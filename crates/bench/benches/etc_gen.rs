@@ -1,0 +1,57 @@
+//! ETC generation throughput: the CVB method vs the range-based baseline,
+//! plus consistency shaping cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fepia_etc::consistency::apply_consistency;
+use fepia_etc::{generate_cvb, generate_range, Consistency, EtcParams};
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_etc_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etc_gen");
+    for &(apps, machines) in &[(20usize, 5usize), (200, 20), (2_000, 50)] {
+        let cells = (apps * machines) as u64;
+        group.throughput(Throughput::Elements(cells));
+        let params = EtcParams {
+            apps,
+            machines,
+            ..EtcParams::paper_section_4_2()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("cvb", format!("{apps}x{machines}")),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = rng_for(7, 0);
+                    black_box(generate_cvb(&mut rng, p))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("range", format!("{apps}x{machines}")),
+            &(apps, machines),
+            |b, &(a, m)| {
+                b.iter(|| {
+                    let mut rng = rng_for(7, 1);
+                    black_box(generate_range(&mut rng, a, m, 100.0, 10.0))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("consistency_sort", format!("{apps}x{machines}")),
+            &params,
+            |b, p| {
+                let matrix = generate_cvb(&mut rng_for(7, 2), p);
+                b.iter(|| {
+                    let mut m = matrix.clone();
+                    apply_consistency(&mut m, Consistency::Consistent, &mut rng_for(7, 3));
+                    black_box(m)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_etc_gen);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Mapping heuristic cost on the paper's 20×5 instance and a larger 100×10
+//! one. (Quality comparisons live in the `heuristic_comparison` example;
+//! this measures time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_mapping::heuristics::all_heuristics;
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    for &(apps, machines) in &[(20usize, 5usize), (100, 10)] {
+        let params = EtcParams {
+            apps,
+            machines,
+            ..EtcParams::paper_section_4_2()
+        };
+        let etc = generate_cvb(&mut rng_for(8, 0), &params);
+        for h in all_heuristics(500) {
+            group.bench_with_input(
+                BenchmarkId::new(h.name(), format!("{apps}x{machines}")),
+                &etc,
+                |b, etc| {
+                    b.iter(|| {
+                        let mut rng = rng_for(8, 1);
+                        black_box(h.map(etc, &mut rng))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

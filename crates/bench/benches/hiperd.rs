@@ -1,0 +1,84 @@
+//! HiPer-D robustness cost: path count, feature count, and the
+//! linear-fast-path vs numeric-solver ablation on the same system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fepia_core::RadiusOptions;
+use fepia_hiperd::loadfn::{LoadFn, Shape};
+use fepia_hiperd::path::enumerate_paths;
+use fepia_hiperd::robustness::load_robustness_with_paths;
+use fepia_hiperd::slack::system_slack_with_paths;
+use fepia_hiperd::{generate_system, GenParams, HiperdMapping};
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_hiperd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hiperd");
+
+    // Robustness cost vs system scale (paths/features grow together).
+    for &(apps, target_paths) in &[(10usize, 8usize), (20, 19), (40, 40)] {
+        let params = GenParams {
+            apps,
+            target_paths,
+            ..GenParams::paper_section_4_3()
+        };
+        let sys = generate_system(&mut rng_for(5, apps as u64), &params);
+        let paths = enumerate_paths(&sys);
+        let mapping = HiperdMapping::random(&mut rng_for(5, 999), apps, sys.n_machines);
+        let opts = RadiusOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("robustness_linear", format!("{apps}apps_{}paths", paths.len())),
+            &apps,
+            |b, _| {
+                b.iter(|| {
+                    load_robustness_with_paths(
+                        black_box(&sys),
+                        black_box(&mapping),
+                        &paths,
+                        &opts,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slack", format!("{apps}apps_{}paths", paths.len())),
+            &apps,
+            |b, _| {
+                b.iter(|| system_slack_with_paths(black_box(&sys), black_box(&mapping), &paths))
+            },
+        );
+    }
+
+    // Ablation: the same paper-scale system with every computation function
+    // made nonlinear (Power 1.5) — forces the numeric solver per feature.
+    let params = GenParams::paper_section_4_3();
+    let mut sys = generate_system(&mut rng_for(6, 0), &params);
+    let paths = enumerate_paths(&sys);
+    let mapping = HiperdMapping::random(&mut rng_for(6, 999), sys.n_apps, sys.n_machines);
+    let opts = RadiusOptions::default();
+    group.bench_function("robustness_linear_paper", |b| {
+        b.iter(|| load_robustness_with_paths(&sys, &mapping, &paths, &opts).unwrap())
+    });
+    for row in &mut sys.comp {
+        for f in row {
+            // Re-shape to u^1.5 with the scale adjusted to preserve rough
+            // magnitudes at the operating point (value^1.5 would explode).
+            let approx_u: f64 = f
+                .coeffs
+                .iter()
+                .zip(&[962.0, 380.0, 240.0])
+                .map(|(b, l)| b * l)
+                .sum();
+            let rescale = if approx_u > 0.0 { approx_u.powf(-0.5) } else { 1.0 };
+            *f = LoadFn::new(f.coeffs.clone(), Shape::Power(1.5), f.scale * rescale);
+        }
+    }
+    group.bench_function("robustness_nonlinear_paper", |b| {
+        b.iter(|| load_robustness_with_paths(&sys, &mapping, &paths, &opts).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hiperd);
+criterion_main!(benches);

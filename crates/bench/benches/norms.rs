@@ -1,0 +1,56 @@
+//! Norm ablation: the robustness metric under ℓ₁ / ℓ₂ / ℓ∞ / weighted-ℓ₂,
+//! via the generic analysis path on the §4.2 system (all-affine impacts, so
+//! every norm has an exact dual-norm radius).
+//!
+//! Besides cost, the run prints the metric under each norm once, making the
+//! ordering `ρ_∞ ≤ ρ₂ ≤ ρ₁` visible in bench logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fepia_core::RadiusOptions;
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_mapping::{makespan_robustness_generic, Mapping};
+use fepia_optim::Norm;
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_norms(c: &mut Criterion) {
+    let params = EtcParams::paper_section_4_2();
+    let etc = generate_cvb(&mut rng_for(10, 0), &params);
+    let mapping = Mapping::random(&mut rng_for(10, 1), params.apps, params.machines);
+    let norms: Vec<(&str, Norm)> = vec![
+        ("l1", Norm::L1),
+        ("l2", Norm::L2),
+        ("linf", Norm::LInf),
+        ("weighted_l2", Norm::WeightedL2(vec![2.0; params.apps])),
+    ];
+
+    for (name, norm) in &norms {
+        let opts = RadiusOptions {
+            norm: norm.clone(),
+            solver: Default::default(),
+        };
+        let metric = makespan_robustness_generic(&mapping, &etc, 1.2, &opts)
+            .unwrap()
+            .metric;
+        println!("norm {name}: ρ = {metric:.4}");
+    }
+
+    let mut group = c.benchmark_group("norms");
+    for (name, norm) in norms {
+        let opts = RadiusOptions {
+            norm,
+            solver: Default::default(),
+        };
+        group.bench_with_input(BenchmarkId::new("metric", name), &opts, |b, opts| {
+            b.iter(|| {
+                black_box(
+                    makespan_robustness_generic(&mapping, &etc, 1.2, opts).unwrap().metric,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_norms);
+criterion_main!(benches);

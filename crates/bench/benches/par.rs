@@ -1,0 +1,42 @@
+//! Parallel sweep speedup: the Fig. 3 evaluation body under `fepia-par`
+//! with 1/2/4/8 threads, static vs dynamic scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_mapping::{makespan_robustness, Mapping};
+use fepia_par::{par_map, par_map_dynamic, ParConfig};
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_par(c: &mut Criterion) {
+    let params = EtcParams {
+        apps: 200, // larger than the paper's 20 so each item has real work
+        machines: 10,
+        ..EtcParams::paper_section_4_2()
+    };
+    let etc = generate_cvb(&mut rng_for(9, 0), &params);
+    let indices: Vec<usize> = (0..1_000).collect();
+    let body = |_: usize, &i: &usize| {
+        let m = Mapping::random(&mut rng_for(9, i as u64 + 1), params.apps, params.machines);
+        makespan_robustness(&m, &etc, 1.2).unwrap().metric
+    };
+
+    let mut group = c.benchmark_group("par_sweep");
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for &threads in &[1usize, 2, 4, 8] {
+        if threads > max {
+            continue;
+        }
+        let cfg = ParConfig::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("static", threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(par_map(&indices, cfg, body)))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(par_map_dynamic(&indices, cfg, body)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par);
+criterion_main!(benches);

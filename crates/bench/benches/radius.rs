@@ -1,0 +1,73 @@
+//! Ablation: analytic (Eq. 6 hyperplane) vs generic numeric radius.
+//!
+//! Measures the cost of the exact closed form, the generic analysis path
+//! that *detects* linearity, and the black-box numeric solver forced to
+//! treat the same function as non-linear — i.e. what the FePIA generality
+//! costs when you don't exploit structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fepia_core::{
+    radius::robustness_radius, FeatureSpec, FnImpact, Perturbation, RadiusOptions, SumSelected,
+    Tolerance,
+};
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_mapping::{makespan_robustness, Mapping};
+use fepia_optim::VecN;
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radius");
+    for &apps in &[20usize, 100, 400] {
+        let params = EtcParams {
+            apps,
+            machines: 5,
+            ..EtcParams::paper_section_4_2()
+        };
+        let etc = generate_cvb(&mut rng_for(1, 0), &params);
+        let mapping = Mapping::random(&mut rng_for(1, 1), apps, 5);
+
+        group.bench_with_input(BenchmarkId::new("analytic_eq6", apps), &apps, |b, _| {
+            b.iter(|| makespan_robustness(black_box(&mapping), black_box(&etc), 1.2).unwrap())
+        });
+
+        // Generic path, one machine's feature: linearity detected.
+        let on0 = mapping.apps_on(0);
+        let c_orig = VecN::new(mapping.assigned_times(&etc));
+        let bound = 1.2 * mapping.makespan(&etc);
+        let pert = Perturbation::continuous("C", c_orig.clone());
+        let feature = FeatureSpec::new("F_0", Tolerance::upper(bound));
+        let linear_impact = SumSelected::new(on0.clone(), apps);
+        group.bench_with_input(BenchmarkId::new("generic_linear", apps), &apps, |b, _| {
+            b.iter(|| {
+                robustness_radius(
+                    black_box(&feature),
+                    black_box(&linear_impact),
+                    black_box(&pert),
+                    &RadiusOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+
+        // Same function as an opaque closure: numeric solver engaged.
+        let on0c = on0.clone();
+        let blackbox =
+            FnImpact::new(move |v: &VecN| on0c.iter().map(|&i| v[i]).sum::<f64>()).with_dim(apps);
+        group.bench_with_input(BenchmarkId::new("numeric_blackbox", apps), &apps, |b, _| {
+            b.iter(|| {
+                robustness_radius(
+                    black_box(&feature),
+                    black_box(&blackbox),
+                    black_box(&pert),
+                    &RadiusOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radius);
+criterion_main!(benches);

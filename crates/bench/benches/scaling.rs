@@ -1,0 +1,65 @@
+//! Scaling of the §4.2 metric evaluation with |A| and |M|.
+//!
+//! The Fig. 3 experiment evaluates 1000 mappings; this bench shows the
+//! per-mapping cost is linear in the problem size, so full-paper sweeps are
+//! milliseconds and parameter studies are cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_mapping::{makespan_robustness, Mapping};
+use fepia_stats::rng_for;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+
+    // Scale applications at fixed machines.
+    for &apps in &[20usize, 80, 320, 1280] {
+        let params = EtcParams {
+            apps,
+            machines: 5,
+            ..EtcParams::paper_section_4_2()
+        };
+        let etc = generate_cvb(&mut rng_for(2, 0), &params);
+        let mapping = Mapping::random(&mut rng_for(2, 1), apps, 5);
+        group.throughput(Throughput::Elements(apps as u64));
+        group.bench_with_input(BenchmarkId::new("apps", apps), &apps, |b, _| {
+            b.iter(|| makespan_robustness(black_box(&mapping), black_box(&etc), 1.2).unwrap())
+        });
+    }
+
+    // Scale machines at fixed applications.
+    for &machines in &[5usize, 20, 80] {
+        let params = EtcParams {
+            apps: 320,
+            machines,
+            ..EtcParams::paper_section_4_2()
+        };
+        let etc = generate_cvb(&mut rng_for(3, 0), &params);
+        let mapping = Mapping::random(&mut rng_for(3, 1), 320, machines);
+        group.throughput(Throughput::Elements(machines as u64));
+        group.bench_with_input(BenchmarkId::new("machines", machines), &machines, |b, _| {
+            b.iter(|| makespan_robustness(black_box(&mapping), black_box(&etc), 1.2).unwrap())
+        });
+    }
+
+    // The full Fig. 3 paper-scale sweep body (ETC + 1000 mappings),
+    // sequential, as the end-to-end unit.
+    group.bench_function("fig3_paper_sweep_sequential", |b| {
+        let params = EtcParams::paper_section_4_2();
+        let etc = generate_cvb(&mut rng_for(4, 0), &params);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1_000u64 {
+                let m = Mapping::random(&mut rng_for(4, i + 1), params.apps, params.machines);
+                acc += makespan_robustness(&m, &etc, 1.2).unwrap().metric;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

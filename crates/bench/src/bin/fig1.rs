@@ -1,0 +1,82 @@
+//! Regenerates **Fig. 1**: the possible directions of increase of a
+//! 2-element perturbation parameter, the boundary curve
+//! `{π | f(π) = β^max}`, and the closest boundary point `π*` whose distance
+//! to `π_orig` is the robustness radius.
+//!
+//! The paper's figure is conceptual; we instantiate it with a concrete
+//! convex impact function `f(π) = π₁² / 40 + π₂` (mixing a quadratic and a
+//! linear term so the boundary visibly curves), β^max = 8, and
+//! π_orig = (2, 1), then solve Eq. 1 numerically with the same machinery
+//! the experiments use.
+//!
+//! Output: `results/fig1_radius_concept.svg` plus a console summary.
+
+use fepia_bench::outdir::results_dir;
+use fepia_core::{FeatureSpec, FnImpact, Perturbation, RadiusOptions, Tolerance};
+use fepia_optim::VecN;
+use fepia_plot::{Chart, Series};
+
+fn main() {
+    let beta_max = 8.0;
+    let origin = VecN::from([2.0, 1.0]);
+
+    let f = |v: &VecN| v[0] * v[0] / 40.0 + v[1];
+    let impact = FnImpact::new(f).with_dim(2);
+    // As in the paper's figure, the β^min boundary is the coordinate axes;
+    // only the β^max curve is interesting, so the tolerance is upper-only.
+    let feature = FeatureSpec::new("φ_i", Tolerance::upper(beta_max));
+    let pert = Perturbation::continuous("π_j", origin.clone());
+    let result = fepia_core::radius::robustness_radius(
+        &feature,
+        &impact,
+        &pert,
+        &RadiusOptions::default(),
+    )
+    .expect("well-posed concept instance");
+    let star = result
+        .boundary_point
+        .clone()
+        .expect("reachable boundary has a witness point");
+
+    println!("Fig. 1 concept instance");
+    println!("  f(π) = π₁²/40 + π₂,  β^max = {beta_max},  π_orig = (2, 1)");
+    println!(
+        "  robustness radius r_μ(φ_i, π_j) = {:.4}  (method {:?})",
+        result.radius, result.method
+    );
+    println!("  closest boundary point π* = ({:.4}, {:.4})", star[0], star[1]);
+
+    // Boundary curve: π₂ = β − π₁²/40 for π₁ ∈ [0, √(40β)].
+    let max_x = (40.0 * beta_max).sqrt();
+    let curve: Vec<(f64, f64)> = (0..=200)
+        .map(|k| {
+            let x = k as f64 / 200.0 * max_x;
+            (x, beta_max - x * x / 40.0)
+        })
+        .collect();
+
+    // The radius circle around π_orig (the "possible directions" disk rim).
+    let circle: Vec<(f64, f64)> = (0..=120)
+        .map(|k| {
+            let a = k as f64 / 120.0 * std::f64::consts::TAU;
+            (
+                origin[0] + result.radius * a.cos(),
+                origin[1] + result.radius * a.sin(),
+            )
+        })
+        .collect();
+
+    let mut chart = Chart::new(
+        "Fig. 1 — boundary curve, perturbation disk, and the closest point π*",
+        "π_j1",
+        "π_j2",
+    );
+    chart.add(Series::line("f(π) = β^max", curve));
+    chart.add(Series::line("radius disk rim", circle));
+    chart.add(Series::points("π_orig", vec![(origin[0], origin[1])]));
+    chart.add(Series::points("π*", vec![(star[0], star[1])]));
+
+    let out = results_dir().join("fig1_radius_concept.svg");
+    chart.render(720.0, 540.0).save(&out).expect("write SVG");
+    println!("  wrote {}", out.display());
+}

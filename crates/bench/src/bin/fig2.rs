@@ -1,0 +1,94 @@
+//! Regenerates **Fig. 2**: the DAG model for the applications (circles) and
+//! data transfers (arrows), with sensors as diamonds and actuators as
+//! rectangles — drawn for a generated §4.3-scale system (the paper's exact
+//! topology is unpublished; see DESIGN.md).
+//!
+//! Output: `results/fig2_dag_model.svg`, plus the enumerated path listing
+//! (trigger/update) on the console.
+
+use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_hiperd::dag::topological_order;
+use fepia_hiperd::path::{enumerate_paths, Terminal};
+use fepia_hiperd::{generate_system, GenParams, Node};
+use fepia_plot::{DagLayer, DagNodeKind, DagPlot};
+use fepia_stats::rng_for;
+
+fn main() {
+    let seed = arg_value("--seed").unwrap_or(2003);
+    let sys = generate_system(&mut rng_for(seed, 0), &GenParams::paper_section_4_3());
+    let paths = enumerate_paths(&sys);
+
+    println!(
+        "Fig. 2 system (seed {seed}): {} sensors, {} applications, {} actuators, {} paths",
+        sys.n_sensors(),
+        sys.n_apps,
+        sys.n_actuators,
+        paths.len()
+    );
+    for (k, p) in paths.iter().enumerate() {
+        let kind = match p.terminal {
+            Terminal::Actuator(t) => format!("trigger → act{t}"),
+            Terminal::UpdateApp(i) => format!("update → a{i}"),
+            Terminal::DeadEnd => "dead-end".to_string(),
+        };
+        let apps: Vec<String> = p.apps.iter().map(|i| format!("a{i}")).collect();
+        println!("  P_{k:<2} s{} → {} ({kind})", p.sensor, apps.join(" → "));
+    }
+
+    // Node ids: sensors 0..S, apps S..S+A, actuators S+A...
+    let s = sys.n_sensors();
+    let app_id = |i: usize| s + i;
+    let act_id = |t: usize| s + sys.n_apps + t;
+
+    // Layer applications by longest-path depth from the sensors.
+    let mut depth = vec![0usize; sys.n_apps];
+    for i in topological_order(&sys) {
+        for p in sys.successors(i) {
+            depth[p] = depth[p].max(depth[i] + 1);
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+
+    let mut layers = Vec::new();
+    layers.push(DagLayer {
+        nodes: (0..s)
+            .map(|z| (format!("s{z}"), DagNodeKind::Sensor, z))
+            .collect(),
+    });
+    for d in 0..=max_depth {
+        layers.push(DagLayer {
+            nodes: (0..sys.n_apps)
+                .filter(|&i| depth[i] == d)
+                .map(|i| (format!("a{i}"), DagNodeKind::App, app_id(i)))
+                .collect(),
+        });
+    }
+    layers.push(DagLayer {
+        nodes: (0..sys.n_actuators)
+            .map(|t| (format!("act{t}"), DagNodeKind::Actuator, act_id(t)))
+            .collect(),
+    });
+
+    let to_id = |n: Node| match n {
+        Node::Sensor(z) => z,
+        Node::App(i) => app_id(i),
+        Node::Actuator(t) => act_id(t),
+    };
+    let edges: Vec<(usize, usize)> = sys
+        .edges
+        .iter()
+        .map(|e| (to_id(e.from), to_id(e.to)))
+        .collect();
+
+    let plot = DagPlot {
+        title: format!(
+            "Fig. 2 — HiPer-D DAG model ({} paths; diamonds: sensors, circles: apps, rectangles: actuators)",
+            paths.len()
+        ),
+        layers,
+        edges,
+    };
+    let out = results_dir().join("fig2_dag_model.svg");
+    plot.render(1100.0, 640.0).save(&out).expect("write SVG");
+    println!("wrote {}", out.display());
+}

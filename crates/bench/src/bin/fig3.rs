@@ -1,0 +1,167 @@
+//! Regenerates **Fig. 3**: robustness against makespan for 1000 randomly
+//! generated mappings (§4.2), plus the robustness-against-load-balance-index
+//! plot the paper mentions but does not show, plus the `S₁(x)` cluster-line
+//! analysis explaining the figure's straight-line groups.
+//!
+//! Outputs: `results/fig3_robustness_vs_makespan.svg`,
+//! `results/fig3b_robustness_vs_lbi.svg`, `results/fig3_points.csv`,
+//! `results/fig3_clusters.csv`, and a console summary recorded in
+//! `EXPERIMENTS.md`.
+
+use fepia_bench::csvout::{num, CsvTable};
+use fepia_bench::fig3data::{
+    robustness_makespan_correlation, run, s1_cluster_fits, s1_theory_slope, Fig3Config,
+};
+use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_plot::{Chart, Series};
+use fepia_stats::{pearson, Summary};
+
+fn main() {
+    let seed = arg_value("--seed").unwrap_or(2003);
+    let mappings = arg_value("--mappings").unwrap_or(1_000) as usize;
+    let config = Fig3Config {
+        mappings,
+        ..Fig3Config::paper(seed)
+    };
+    let data = run(&config);
+    let dir = results_dir();
+
+    // --- CSV: every point. ---
+    let mut csv = CsvTable::new(&[
+        "index",
+        "makespan",
+        "load_balance_index",
+        "robustness",
+        "makespan_machine_occupancy",
+        "max_occupancy",
+        "in_s1",
+    ]);
+    for p in &data.points {
+        csv.row(&[
+            p.index.to_string(),
+            num(p.makespan),
+            num(p.load_balance_index),
+            num(p.robustness),
+            p.makespan_machine_occupancy.to_string(),
+            p.max_occupancy.to_string(),
+            p.in_s1.to_string(),
+        ]);
+    }
+    csv.save(dir.join("fig3_points.csv")).expect("write CSV");
+
+    // --- SVG: the Fig. 3 scatter. ---
+    let cloud: Vec<(f64, f64)> = data.points.iter().map(|p| (p.makespan, p.robustness)).collect();
+    let mut chart = Chart::new(
+        format!("Fig. 3 — robustness vs makespan ({mappings} random mappings, τ = 1.2)"),
+        "makespan (s)",
+        "robustness (s)",
+    );
+    chart.add(Series::points("mappings", cloud));
+    chart
+        .render(760.0, 560.0)
+        .save(dir.join("fig3_robustness_vs_makespan.svg"))
+        .expect("write SVG");
+
+    // --- SVG: the "not shown" LBI variant. ---
+    let lbi_cloud: Vec<(f64, f64)> = data
+        .points
+        .iter()
+        .map(|p| (p.load_balance_index, p.robustness))
+        .collect();
+    let mut chart_b = Chart::new(
+        "Fig. 3b — robustness vs load balance index (plot the paper describes but omits)",
+        "load balance index",
+        "robustness (s)",
+    );
+    chart_b.add(Series::points("mappings", lbi_cloud));
+    chart_b
+        .render(760.0, 560.0)
+        .save(dir.join("fig3b_robustness_vs_lbi.svg"))
+        .expect("write SVG");
+
+    // --- SVG: robustness distribution histogram. ---
+    let hist = fepia_stats::Histogram::of(
+        &data.points.iter().map(|p| p.robustness).collect::<Vec<_>>(),
+        12,
+    );
+    let mut hist_chart = fepia_plot::BarChart::new(
+        "Fig. 3 supplement — distribution of the robustness metric over the sweep",
+        "mappings",
+    );
+    for (i, &count) in hist.counts().iter().enumerate() {
+        let (a, b) = hist.bin_range(i);
+        hist_chart.add(format!("{:.0}–{:.0}", a, b), count as f64);
+    }
+    hist_chart
+        .render(760.0, 420.0)
+        .save(dir.join("fig3_robustness_hist.svg"))
+        .expect("write SVG");
+
+    // --- Cluster analysis (the straight lines of Fig. 3). ---
+    let fits = s1_cluster_fits(&data);
+    let mut cluster_csv = CsvTable::new(&[
+        "occupancy_x",
+        "points",
+        "fitted_slope",
+        "theory_slope",
+        "fitted_intercept",
+        "r2",
+    ]);
+    println!("Fig. 3 (seed {seed}, {mappings} mappings)");
+    println!("  S1(x) cluster lines (robustness = slope × makespan):");
+    for (x, (fit, n)) in &fits {
+        let theory = s1_theory_slope(data.tau, *x);
+        println!(
+            "    x = {x:>2}: {n:>4} mappings, slope {:.5} (theory {:.5}), r² = {:.6}",
+            fit.slope, theory, fit.r2
+        );
+        cluster_csv.row(&[
+            x.to_string(),
+            n.to_string(),
+            num(fit.slope),
+            num(theory),
+            num(fit.intercept),
+            num(fit.r2),
+        ]);
+    }
+    cluster_csv
+        .save(dir.join("fig3_clusters.csv"))
+        .expect("write CSV");
+
+    // --- Console summary (the claims EXPERIMENTS.md records). ---
+    let r = robustness_makespan_correlation(&data).unwrap_or(f64::NAN);
+    let lbi_r = pearson(
+        &data.points.iter().map(|p| p.load_balance_index).collect::<Vec<_>>(),
+        &data.points.iter().map(|p| p.robustness).collect::<Vec<_>>(),
+    )
+    .unwrap_or(f64::NAN);
+    let outliers = data.points.iter().filter(|p| !p.in_s1).count();
+    let rob = Summary::of(&data.points.iter().map(|p| p.robustness).collect::<Vec<_>>());
+    let mk = Summary::of(&data.points.iter().map(|p| p.makespan).collect::<Vec<_>>());
+    println!("  robustness–makespan Pearson r = {r:.4}");
+    println!("  robustness–LBI Pearson r      = {lbi_r:.4}");
+    println!(
+        "  makespan ∈ [{:.1}, {:.1}] (mean {:.1}); robustness ∈ [{:.2}, {:.2}] (mean {:.2})",
+        mk.min, mk.max, mk.mean, rob.min, rob.max, rob.mean
+    );
+    println!(
+        "  S2−S1 outliers (makespan machine ≠ max occupancy): {outliers} / {}",
+        data.points.len()
+    );
+
+    // Vertical-spread check: similar makespans, very different robustness.
+    let mut sorted: Vec<&fepia_bench::fig3data::Fig3Point> = data.points.iter().collect();
+    sorted.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("no NaN"));
+    let mut best_ratio: f64 = 1.0;
+    for w in sorted.windows(8) {
+        let lo = w.iter().map(|p| p.robustness).fold(f64::INFINITY, f64::min);
+        let hi = w.iter().map(|p| p.robustness).fold(0.0, f64::max);
+        if lo > 0.0 && (w[7].makespan - w[0].makespan) / w[0].makespan < 0.01 {
+            best_ratio = best_ratio.max(hi / lo);
+        }
+    }
+    println!(
+        "  sharpest same-makespan (±1%) robustness difference: {best_ratio:.2}×"
+    );
+    println!("  wrote fig3_robustness_vs_makespan.svg, fig3b_robustness_vs_lbi.svg, fig3_robustness_hist.svg, fig3_points.csv, fig3_clusters.csv in {}", dir.display());
+}

@@ -1,0 +1,109 @@
+//! Extension experiment: heuristic comparison with uncertainty.
+//!
+//! Runs every §3.1 mapping heuristic over many random instances — the
+//! paper's CVB setting plus two Braun et al. benchmark classes — and
+//! reports mean makespan and mean robustness with 95% bootstrap confidence
+//! intervals. Answers the question the paper's §1 poses (which mapping
+//! strategies are robust?) with error bars instead of a single instance.
+//!
+//! Output: `results/heuristics_table.csv` + console tables.
+
+use fepia_bench::csvout::{num, CsvTable};
+use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_etc::{generate_braun, generate_cvb, BraunClass, Consistency, EtcMatrix, EtcParams, HiLo};
+use fepia_mapping::heuristics::all_heuristics;
+use fepia_mapping::makespan_robustness;
+use fepia_stats::{bootstrap_mean_ci, rng_for};
+
+fn instance(kind: &str, seed: u64) -> EtcMatrix {
+    let mut rng = rng_for(seed, 0);
+    match kind {
+        "cvb_0.7_0.7" => generate_cvb(&mut rng, &EtcParams::paper_section_4_2()),
+        "braun_i_hihi" => generate_braun(
+            &mut rng,
+            BraunClass {
+                consistency: Consistency::Inconsistent,
+                task: HiLo::Hi,
+                machine: HiLo::Hi,
+            },
+            20,
+            5,
+        ),
+        "braun_c_lolo" => generate_braun(
+            &mut rng,
+            BraunClass {
+                consistency: Consistency::Consistent,
+                task: HiLo::Lo,
+                machine: HiLo::Lo,
+            },
+            20,
+            5,
+        ),
+        other => panic!("unknown instance kind {other}"),
+    }
+}
+
+fn main() {
+    let seed = arg_value("--seed").unwrap_or(2003);
+    let instances = arg_value("--instances").unwrap_or(30) as usize;
+    let tau = 1.2;
+    let kinds = ["cvb_0.7_0.7", "braun_i_hihi", "braun_c_lolo"];
+
+    let mut csv = CsvTable::new(&[
+        "instance_class",
+        "heuristic",
+        "mean_makespan",
+        "makespan_ci_lo",
+        "makespan_ci_hi",
+        "mean_robustness",
+        "robustness_ci_lo",
+        "robustness_ci_hi",
+    ]);
+
+    for kind in kinds {
+        println!("\ninstance class {kind} ({instances} instances, 20 apps × 5 machines, τ = {tau}):");
+        println!(
+            "{:<22} {:>24} {:>30}",
+            "heuristic", "makespan (95% CI)", "robustness ρ (95% CI)"
+        );
+        println!("{}", "-".repeat(78));
+        for h in all_heuristics(1_000) {
+            let mut makespans = Vec::with_capacity(instances);
+            let mut metrics = Vec::with_capacity(instances);
+            for k in 0..instances {
+                let etc = instance(kind, seed + k as u64);
+                let mapping = h.map(&etc, &mut rng_for(seed + k as u64, 1));
+                let rob = makespan_robustness(&mapping, &etc, tau).expect("valid instance");
+                makespans.push(rob.makespan);
+                metrics.push(rob.metric);
+            }
+            let mut rng = rng_for(seed, 777);
+            let mk = bootstrap_mean_ci(&makespans, 2_000, 0.95, &mut rng);
+            let rb = bootstrap_mean_ci(&metrics, 2_000, 0.95, &mut rng);
+            println!(
+                "{:<22} {:>9.1} [{:>8.1},{:>8.1}] {:>9.2} [{:>8.2},{:>8.2}]",
+                h.name(),
+                mk.estimate,
+                mk.lo,
+                mk.hi,
+                rb.estimate,
+                rb.lo,
+                rb.hi
+            );
+            csv.row(&[
+                kind.to_string(),
+                h.name().to_string(),
+                num(mk.estimate),
+                num(mk.lo),
+                num(mk.hi),
+                num(rb.estimate),
+                num(rb.lo),
+                num(rb.hi),
+            ]);
+        }
+    }
+
+    let dir = results_dir();
+    csv.save(dir.join("heuristics_table.csv")).expect("write CSV");
+    println!("\nwrote heuristics_table.csv in {}", dir.display());
+}

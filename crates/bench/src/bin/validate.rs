@@ -1,0 +1,121 @@
+//! Large-scale Monte-Carlo validation of the robustness guarantee
+//! (failure injection), for both example systems.
+//!
+//! §3.1's interpretation of Eq. 7: errors with `‖e‖₂ ≤ ρ` never push the
+//! makespan past `τ·M_orig`; §3.2's Eq. 11 makes the analogous promise for
+//! loads. This binary hammers both claims: thousands of random inside-
+//! radius injections per instance must produce **zero** violations, and a
+//! probe just beyond the binding boundary must always violate.
+//!
+//! Output: console summary + `results/validate.csv`.
+
+use fepia_bench::csvout::{num, CsvTable};
+use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_core::RadiusOptions;
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_hiperd::path::enumerate_paths;
+use fepia_hiperd::robustness::{build_constraints, load_robustness_with_paths};
+use fepia_hiperd::{generate_system, GenParams, HiperdMapping};
+use fepia_mapping::{validate_radius_guarantee, Mapping};
+use fepia_optim::VecN;
+use fepia_stats::dist::standard_normal;
+use fepia_stats::rng_for;
+use rand::Rng;
+
+fn main() {
+    let seed = arg_value("--seed").unwrap_or(2003);
+    let instances = arg_value("--instances").unwrap_or(50) as usize;
+    let trials = arg_value("--trials").unwrap_or(2_000) as usize;
+    let mut csv = CsvTable::new(&["system", "instance", "metric", "trials", "false_violations", "boundary_violates"]);
+
+    // --- §3.1: independent application allocation. ---
+    let mut total_trials = 0usize;
+    let mut total_false = 0usize;
+    let mut probes_ok = 0usize;
+    for k in 0..instances {
+        let s = seed + k as u64;
+        let etc = generate_cvb(&mut rng_for(s, 0), &EtcParams::paper_section_4_2());
+        let mapping = Mapping::random(&mut rng_for(s, 1), 20, 5);
+        let out = validate_radius_guarantee(&mapping, &etc, 1.2, trials, &mut rng_for(s, 2))
+            .expect("valid instance");
+        total_trials += out.trials;
+        total_false += out.false_violations;
+        probes_ok += usize::from(out.boundary_probe_violates);
+        csv.row(&[
+            "independent".into(),
+            k.to_string(),
+            num(out.metric),
+            out.trials.to_string(),
+            out.false_violations.to_string(),
+            out.boundary_probe_violates.to_string(),
+        ]);
+    }
+    println!(
+        "§3.1 independent allocation: {instances} instances × {trials} injections = {total_trials} trials, \
+         {total_false} false violations, {probes_ok}/{instances} boundary probes violated as expected"
+    );
+    assert_eq!(total_false, 0, "Eq. 7 guarantee failed");
+    assert_eq!(probes_ok, instances, "a boundary probe failed to violate");
+
+    // --- §3.2: HiPer-D. ---
+    let sys = generate_system(&mut rng_for(seed, 0), &GenParams::paper_section_4_3());
+    let paths = enumerate_paths(&sys);
+    let opts = RadiusOptions::default();
+    let lambda_orig = VecN::new(sys.lambda_orig.clone());
+    let mut rng = rng_for(seed, 99);
+    let mut hp_trials = 0usize;
+    let mut hp_false = 0usize;
+    let mut hp_probes = 0usize;
+    let mut hp_instances = 0usize;
+    for k in 0..instances {
+        let mapping =
+            HiperdMapping::random(&mut rng_for(seed, 200 + k as u64), sys.n_apps, sys.n_machines);
+        let rob = load_robustness_with_paths(&sys, &mapping, &paths, &opts).expect("well-posed");
+        if !(rob.metric.is_finite() && rob.metric > 1.0) {
+            continue;
+        }
+        hp_instances += 1;
+        let set = build_constraints(&sys, &mapping, &paths);
+        let mut false_violations = 0usize;
+        for _ in 0..trials {
+            let dir: Vec<f64> = (0..sys.n_sensors()).map(|_| standard_normal(&mut rng)).collect();
+            let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                continue;
+            }
+            let scale = rng.gen_range(0.0..1.0) * rob.metric / norm;
+            let lambda = lambda_orig.add_scaled(scale, &VecN::new(dir));
+            if set
+                .constraints
+                .iter()
+                .any(|c| c.value(&lambda) > c.bound * (1.0 + 1e-9))
+            {
+                false_violations += 1;
+            }
+        }
+        let star = rob.lambda_star.clone().expect("finite metric has witness");
+        let overshoot = lambda_orig.add_scaled(1.005, &(&star - &lambda_orig));
+        let probe = set.constraints.iter().any(|c| c.value(&overshoot) > c.bound);
+        hp_trials += trials;
+        hp_false += false_violations;
+        hp_probes += usize::from(probe);
+        csv.row(&[
+            "hiperd".into(),
+            k.to_string(),
+            num(rob.metric),
+            trials.to_string(),
+            false_violations.to_string(),
+            probe.to_string(),
+        ]);
+    }
+    println!(
+        "§3.2 HiPer-D: {hp_instances} mappings × {trials} injections = {hp_trials} trials, \
+         {hp_false} false violations, {hp_probes}/{hp_instances} boundary probes violated as expected"
+    );
+    assert_eq!(hp_false, 0, "Eq. 11 guarantee failed");
+    assert_eq!(hp_probes, hp_instances, "a HiPer-D boundary probe failed to violate");
+
+    let dir = results_dir();
+    csv.save(dir.join("validate.csv")).expect("write CSV");
+    println!("wrote validate.csv in {}", dir.display());
+}

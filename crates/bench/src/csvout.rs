@@ -1,0 +1,109 @@
+//! A tiny CSV writer (no external crate; fields are numbers and simple
+//! identifiers, so quoting only handles commas and quotes).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+#[derive(Clone, Debug)]
+pub struct CsvTable {
+    columns: usize,
+    body: String,
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl CsvTable {
+    /// Creates a table with the given header.
+    ///
+    /// # Panics
+    /// Panics on an empty header.
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "CSV needs at least one column");
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{}",
+            header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        CsvTable {
+            columns: header.len(),
+            body,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header.
+    pub fn row(&mut self, fields: &[String]) {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "row has {} fields, header has {}",
+            fields.len(),
+            self.columns
+        );
+        let _ = writeln!(
+            self.body,
+            "{}",
+            fields.iter().map(|f| quote(f)).collect::<Vec<_>>().join(",")
+        );
+    }
+
+    /// The rendered CSV text.
+    pub fn render(&self) -> &str {
+        &self.body
+    }
+
+    /// Writes the table to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, &self.body)
+    }
+}
+
+/// Formats an `f64` for CSV (6 significant-ish digits, `inf` spelled out).
+pub fn num(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "inf".into() } else { "-inf".into() }
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["x,y".into(), "q\"z".into()]);
+        let text = t.render();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("1,2\n"));
+        assert!(text.contains("\"x,y\",\"q\"\"z\"\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fields")]
+    fn rejects_ragged_row() {
+        let mut t = CsvTable::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(1.5), "1.500000");
+        assert_eq!(num(f64::INFINITY), "inf");
+        assert_eq!(num(f64::NEG_INFINITY), "-inf");
+    }
+}

@@ -1,0 +1,225 @@
+//! The §4.3 sweep behind Fig. 4 and Table 2.
+//!
+//! A calibrated random HiPer-D system (3 sensors at the paper's rates,
+//! 3 actuators, 20 applications, ≈19 paths, λ_orig = (962, 380, 240)) is
+//! evaluated over 1000 random mappings; each mapping gets its system-wide
+//! percentage slack and its load-robustness metric (Eq. 11).
+
+use fepia_core::RadiusOptions;
+use fepia_hiperd::path::enumerate_paths;
+use fepia_hiperd::robustness::load_robustness_with_paths;
+use fepia_hiperd::slack::system_slack_with_paths;
+use fepia_hiperd::{generate_system, GenParams, HiperdMapping, HiperdSystem};
+use fepia_par::{par_map_dynamic, ParConfig};
+use fepia_stats::{pearson, rng_for};
+
+/// Configuration of the Fig. 4 / Table 2 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig4Config {
+    /// Master RNG seed (system uses stream 0; mapping `i` uses `i+1`).
+    pub seed: u64,
+    /// Number of random mappings (1000 in the paper).
+    pub mappings: usize,
+    /// System generation parameters.
+    pub gen: GenParams,
+}
+
+impl Fig4Config {
+    /// The paper's §4.3 configuration.
+    pub fn paper(seed: u64) -> Self {
+        Fig4Config {
+            seed,
+            mappings: 1_000,
+            gen: GenParams::paper_section_4_3(),
+        }
+    }
+}
+
+/// One evaluated mapping.
+#[derive(Clone, Debug)]
+pub struct Fig4Point {
+    /// Index of the mapping in the sweep.
+    pub index: usize,
+    /// System-wide percentage slack at `λ_orig`.
+    pub slack: f64,
+    /// Raw robustness metric (Euclidean objects/data-set).
+    pub robustness: f64,
+    /// Floored metric (loads are integral).
+    pub floored: f64,
+    /// Name of the binding constraint.
+    pub binding: String,
+    /// The boundary loads `λ*`, when available.
+    pub lambda_star: Option<Vec<f64>>,
+    /// The mapping itself.
+    pub mapping: HiperdMapping,
+}
+
+/// The sweep output.
+#[derive(Debug)]
+pub struct Fig4Data {
+    /// The generated system.
+    pub system: HiperdSystem,
+    /// One point per mapping.
+    pub points: Vec<Fig4Point>,
+}
+
+/// Runs the sweep (dynamic parallel scheduling: radius cost varies with the
+/// binding structure).
+pub fn run(config: &Fig4Config) -> Fig4Data {
+    let system = generate_system(&mut rng_for(config.seed, 0), &config.gen);
+    let paths = enumerate_paths(&system);
+    let indices: Vec<usize> = (0..config.mappings).collect();
+    let sys_ref = &system;
+    let paths_ref = &paths;
+    let opts = RadiusOptions::default();
+    let points = par_map_dynamic(&indices, &ParConfig::default(), move |_, &i| {
+        let mapping = HiperdMapping::random(
+            &mut rng_for(config.seed, i as u64 + 1),
+            sys_ref.n_apps,
+            sys_ref.n_machines,
+        );
+        let slack = system_slack_with_paths(sys_ref, &mapping, paths_ref);
+        let rob = load_robustness_with_paths(sys_ref, &mapping, paths_ref, &opts)
+            .expect("calibrated systems are well-posed");
+        Fig4Point {
+            index: i,
+            slack,
+            robustness: rob.metric,
+            floored: rob.floored,
+            binding: rob.binding,
+            lambda_star: rob.lambda_star.map(|v| v.into_inner()),
+            mapping,
+        }
+    });
+    Fig4Data { system, points }
+}
+
+/// Pearson correlation between robustness and slack over the feasible
+/// (slack > 0) mappings.
+pub fn robustness_slack_correlation(data: &Fig4Data) -> Option<f64> {
+    let feasible: Vec<&Fig4Point> = data.points.iter().filter(|p| p.slack > 0.0).collect();
+    if feasible.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = feasible.iter().map(|p| p.slack).collect();
+    let ys: Vec<f64> = feasible.iter().map(|p| p.robustness).collect();
+    pearson(&xs, &ys)
+}
+
+/// A Table-2-style pair: two near-equal-slack mappings with very different
+/// robustness.
+#[derive(Clone, Debug)]
+pub struct Table2Pair {
+    /// Index (into the sweep) of the less robust mapping A.
+    pub a: usize,
+    /// Index of the more robust mapping B.
+    pub b: usize,
+    /// |slack_A − slack_B|.
+    pub slack_gap: f64,
+    /// robustness_B / robustness_A (≥ 1).
+    pub ratio: f64,
+}
+
+/// Finds the feasible pair maximizing the robustness ratio subject to a
+/// slack gap of at most `max_slack_gap` (the paper's pair differs by
+/// ≈ 0.005 in slack and ≈ 3.3× in robustness).
+pub fn best_table2_pair(data: &Fig4Data, max_slack_gap: f64) -> Option<Table2Pair> {
+    // Sort feasible points by slack; candidate pairs are slack-neighbors
+    // within the gap, so a sorted sweep finds the global optimum in
+    // O(n·k) where k is the window width.
+    let mut feasible: Vec<&Fig4Point> = data
+        .points
+        .iter()
+        .filter(|p| p.slack > 0.0 && p.robustness.is_finite() && p.robustness > 0.0)
+        .collect();
+    feasible.sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("slack is never NaN"));
+    let mut best: Option<Table2Pair> = None;
+    for i in 0..feasible.len() {
+        for j in (i + 1)..feasible.len() {
+            let gap = feasible[j].slack - feasible[i].slack;
+            if gap > max_slack_gap {
+                break;
+            }
+            let (lo, hi) = if feasible[i].robustness <= feasible[j].robustness {
+                (feasible[i], feasible[j])
+            } else {
+                (feasible[j], feasible[i])
+            };
+            let ratio = hi.robustness / lo.robustness;
+            if best.as_ref().is_none_or(|b| ratio > b.ratio) {
+                best = Some(Table2Pair {
+                    a: lo.index,
+                    b: hi.index,
+                    slack_gap: gap,
+                    ratio,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig4Data {
+        run(&Fig4Config {
+            mappings: 150,
+            ..Fig4Config::paper(7)
+        })
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let d = small();
+        assert_eq!(d.points.len(), 150);
+        for p in &d.points {
+            assert!(p.robustness >= 0.0);
+            assert!(p.floored <= p.robustness);
+            assert!(!p.binding.is_empty());
+        }
+    }
+
+    #[test]
+    fn mostly_feasible_and_correlated() {
+        let d = small();
+        let feasible = d.points.iter().filter(|p| p.slack > 0.0).count();
+        assert!(feasible > 90, "only {feasible}/150 feasible");
+        let r = robustness_slack_correlation(&d).unwrap();
+        assert!(r > 0.3, "robustness–slack correlation too weak: {r}");
+    }
+
+    #[test]
+    fn zero_slack_means_zero_robustness_direction() {
+        // A violated mapping (negative slack) must have robustness 0.
+        let d = small();
+        for p in &d.points {
+            if p.slack < 0.0 {
+                assert_eq!(p.robustness, 0.0, "violated mapping with ρ > 0");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_pair_exists_with_large_ratio() {
+        let d = small();
+        let pair = best_table2_pair(&d, 0.01).expect("a pair exists");
+        assert!(pair.slack_gap <= 0.01);
+        assert!(
+            pair.ratio >= 1.5,
+            "best near-equal-slack ratio only {}",
+            pair.ratio
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+            assert_eq!(pa.robustness, pb.robustness);
+            assert_eq!(pa.slack, pb.slack);
+        }
+    }
+}

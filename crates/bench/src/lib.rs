@@ -1,0 +1,21 @@
+//! `fepia-bench` — experiment harness for the paper's evaluation section.
+//!
+//! One binary per table/figure (see `DESIGN.md` §4):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1` | the robustness-radius concept illustration |
+//! | `fig2` | the HiPer-D DAG model drawing |
+//! | `fig3` | robustness vs makespan, 1000 mappings (§4.2), plus the load-balance-index variant and the `S₁(x)` cluster-line analysis |
+//! | `fig4` | robustness vs slack, 1000 mappings (§4.3) |
+//! | `table2` | near-equal-slack mapping pairs with large robustness ratios |
+//!
+//! The sweep logic lives here (in [`fig3data`] and [`fig4data`]) so the
+//! workspace integration tests can run scaled-down versions of every
+//! experiment; the binaries add CSV/SVG output ([`csvout`], `fepia-plot`)
+//! and console summaries.
+
+pub mod csvout;
+pub mod fig3data;
+pub mod fig4data;
+pub mod outdir;

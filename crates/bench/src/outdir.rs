@@ -1,0 +1,45 @@
+//! Results directory resolution.
+
+use std::path::PathBuf;
+
+/// The directory experiment binaries write CSV/SVG artifacts to:
+/// `$FEPIA_RESULTS` if set, else `./results`. Created if missing.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("FEPIA_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Parses an optional `--seed N` / `--mappings N` style flag from argv.
+pub fn arg_value(name: &str) -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_created() {
+        // Use a scratch location to avoid touching ./results during tests.
+        let scratch = std::env::temp_dir().join("fepia_results_test");
+        std::env::set_var("FEPIA_RESULTS", &scratch);
+        let dir = results_dir();
+        assert!(dir.exists());
+        std::env::remove_var("FEPIA_RESULTS");
+        let _ = std::fs::remove_dir_all(scratch);
+    }
+
+    #[test]
+    fn missing_flag_is_none() {
+        assert_eq!(arg_value("--definitely-not-passed"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the FePIA analysis.
+
+use fepia_optim::OptimError;
+use std::fmt;
+
+/// Errors from constructing or running a robustness analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// The feature set `Φ` is empty — the metric (a minimum over features)
+    /// is undefined.
+    EmptyFeatureSet,
+    /// An impact function expects a different perturbation dimension than
+    /// the perturbation provides.
+    DimensionMismatch {
+        /// What the perturbation vector provides.
+        perturbation: usize,
+        /// What the impact function expects (if known).
+        expected: usize,
+    },
+    /// The numeric solver only supports the Euclidean norm; analytic linear
+    /// impacts support all norms via dual-norm distances.
+    UnsupportedNorm {
+        /// Name of the requested norm.
+        norm: &'static str,
+    },
+    /// The tolerance interval is malformed (min > max, or NaN).
+    InvalidTolerance {
+        /// Lower bound supplied.
+        min: f64,
+        /// Upper bound supplied.
+        max: f64,
+    },
+    /// An underlying numeric failure.
+    Optim(OptimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyFeatureSet => {
+                write!(f, "feature set Φ is empty; robustness metric undefined")
+            }
+            CoreError::DimensionMismatch {
+                perturbation,
+                expected,
+            } => write!(
+                f,
+                "impact function expects dimension {expected}, perturbation has {perturbation}"
+            ),
+            CoreError::UnsupportedNorm { norm } => {
+                write!(f, "norm '{norm}' unsupported for non-linear impact functions")
+            }
+            CoreError::InvalidTolerance { min, max } => {
+                write!(f, "invalid tolerance interval [{min}, {max}]")
+            }
+            CoreError::Optim(e) => write!(f, "numeric solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OptimError> for CoreError {
+    fn from(e: OptimError) -> Self {
+        CoreError::Optim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::EmptyFeatureSet.to_string().contains("empty"));
+        assert!(CoreError::DimensionMismatch {
+            perturbation: 3,
+            expected: 5
+        }
+        .to_string()
+        .contains('5'));
+        assert!(CoreError::UnsupportedNorm { norm: "l1" }
+            .to_string()
+            .contains("l1"));
+        assert!(CoreError::InvalidTolerance { min: 2.0, max: 1.0 }
+            .to_string()
+            .contains("invalid"));
+        let e = CoreError::from(OptimError::Unreachable);
+        assert!(e.to_string().contains("unreachable"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

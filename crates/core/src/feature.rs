@@ -1,0 +1,138 @@
+//! FePIA step 1 — performance features and tolerable variation.
+//!
+//! "For each element `φᵢ ∈ Φ`, quantitatively describe the tolerable
+//! variation in `φᵢ`. Let `⟨βᵢᵐⁱⁿ, βᵢᵐᵃˣ⟩` be a tuple that gives the bounds
+//! of the tolerable variation in the system feature `φᵢ`." (§2, step 1)
+
+use crate::error::CoreError;
+
+/// The tolerable-variation bounds `⟨βᵢᵐⁱⁿ, βᵢᵐᵃˣ⟩` of a performance feature.
+///
+/// Either bound may be infinite when only one side is constrained; the
+/// paper's makespan example uses `⟨0, 1.3 × predicted makespan⟩`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// `βᵢᵐⁱⁿ` — smallest tolerable feature value.
+    pub min: f64,
+    /// `βᵢᵐᵃˣ` — largest tolerable feature value.
+    pub max: f64,
+}
+
+impl Tolerance {
+    /// Creates a two-sided tolerance interval.
+    ///
+    /// Returns [`CoreError::InvalidTolerance`] when `min > max` or either
+    /// bound is NaN.
+    pub fn new(min: f64, max: f64) -> Result<Self, CoreError> {
+        if min.is_nan() || max.is_nan() || min > max {
+            return Err(CoreError::InvalidTolerance { min, max });
+        }
+        Ok(Tolerance { min, max })
+    }
+
+    /// A tolerance bounded only from above (`βᵐⁱⁿ = −∞`): the common case
+    /// for completion times and latencies where only growth hurts.
+    pub fn upper(max: f64) -> Self {
+        Tolerance {
+            min: f64::NEG_INFINITY,
+            max,
+        }
+    }
+
+    /// A tolerance bounded only from below (`βᵐᵃˣ = +∞`), e.g. a minimum
+    /// throughput.
+    pub fn lower(min: f64) -> Self {
+        Tolerance {
+            min,
+            max: f64::INFINITY,
+        }
+    }
+
+    /// Whether the feature value `v` lies within the tolerable variation.
+    pub fn contains(&self, v: f64) -> bool {
+        self.min <= v && v <= self.max
+    }
+
+    /// Whether an upper boundary relationship `f = βᵐᵃˣ` exists (finite max).
+    pub fn has_upper(&self) -> bool {
+        self.max.is_finite()
+    }
+
+    /// Whether a lower boundary relationship `f = βᵐⁱⁿ` exists (finite min).
+    pub fn has_lower(&self) -> bool {
+        self.min.is_finite()
+    }
+}
+
+/// A named performance feature `φᵢ` with its tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureSpec {
+    /// Human-readable name (e.g. `"finish-time m_2"` or `"latency P_7"`);
+    /// appears in robustness reports to identify the binding feature.
+    pub name: String,
+    /// The tolerable-variation bounds.
+    pub tolerance: Tolerance,
+}
+
+impl FeatureSpec {
+    /// Creates a feature spec.
+    pub fn new(name: impl Into<String>, tolerance: Tolerance) -> Self {
+        FeatureSpec {
+            name: name.into(),
+            tolerance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_interval() {
+        let t = Tolerance::new(0.0, 2.0).unwrap();
+        assert!(t.contains(0.0) && t.contains(2.0) && t.contains(1.0));
+        assert!(!t.contains(-0.1) && !t.contains(2.1));
+        assert!(t.has_upper() && t.has_lower());
+    }
+
+    #[test]
+    fn rejects_inverted_interval() {
+        assert_eq!(
+            Tolerance::new(3.0, 1.0),
+            Err(CoreError::InvalidTolerance { min: 3.0, max: 1.0 })
+        );
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(Tolerance::new(f64::NAN, 1.0).is_err());
+        assert!(Tolerance::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn one_sided_bounds() {
+        let up = Tolerance::upper(10.0);
+        assert!(up.contains(-1e300) && up.contains(10.0) && !up.contains(10.5));
+        assert!(up.has_upper() && !up.has_lower());
+
+        let lo = Tolerance::lower(1.0);
+        assert!(lo.contains(1e300) && !lo.contains(0.5));
+        assert!(!lo.has_upper() && lo.has_lower());
+    }
+
+    #[test]
+    fn makespan_example_tuple() {
+        // The paper's step-1 example: ⟨0, 1.3 × predicted makespan⟩.
+        let predicted = 100.0;
+        let t = Tolerance::new(0.0, 1.3 * predicted).unwrap();
+        assert!(t.contains(129.9));
+        assert!(!t.contains(130.1));
+    }
+
+    #[test]
+    fn feature_spec_name() {
+        let f = FeatureSpec::new("finish-time m_2", Tolerance::upper(5.0));
+        assert_eq!(f.name, "finish-time m_2");
+    }
+}

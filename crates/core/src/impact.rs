@@ -1,0 +1,249 @@
+//! FePIA step 3 — impact of perturbations on features.
+//!
+//! "For every `φᵢ ∈ Φ`, determine the relationship `φᵢ = f_ij(πⱼ)` ... that
+//! relates `φᵢ` to `πⱼ`." (§2, step 3). Implementations:
+//!
+//! * [`LinearImpact`] — `f(π) = a·π + c`. Covers the paper's §3.1 (machine
+//!   finishing times are sums of assigned execution times) and the linear
+//!   load functions of its §4.3 experiments. Enables the **exact analytic
+//!   radius** (point-to-hyperplane distance, Eq. 6).
+//! * [`SumSelected`] — the special 0/1-coefficient case of Eq. 4,
+//!   `F_j(C) = Σ_{i mapped to m_j} C_i`.
+//! * [`FnImpact`] — an arbitrary black-box function with optional analytic
+//!   gradient; solved numerically (convexity assumed, as in the paper).
+
+use fepia_optim::VecN;
+
+/// An impact function `f_ij : R^n → R` mapping a perturbation-parameter
+/// value to a performance-feature value.
+pub trait Impact: Sync {
+    /// Evaluates `f(π)`.
+    fn eval(&self, pi: &VecN) -> f64;
+
+    /// The analytic gradient `∇f(π)`, if available. The default `None`
+    /// makes the numeric path fall back to central differences.
+    fn gradient(&self, _pi: &VecN) -> Option<VecN> {
+        None
+    }
+
+    /// If the impact is affine, its `(coefficients, constant)`
+    /// representation `f(π) = a·π + c`. Unlocks the exact analytic radius.
+    fn as_affine(&self) -> Option<(VecN, f64)> {
+        None
+    }
+
+    /// The input dimension the function expects, if fixed.
+    fn expected_dim(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Affine impact `f(π) = coefficients·π + constant`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearImpact {
+    /// Coefficient vector `a`.
+    pub coefficients: VecN,
+    /// Constant offset `c`.
+    pub constant: f64,
+}
+
+impl LinearImpact {
+    /// Creates `f(π) = coefficients·π + constant`.
+    pub fn new(coefficients: VecN, constant: f64) -> Self {
+        LinearImpact {
+            coefficients,
+            constant,
+        }
+    }
+
+    /// Pure linear form without offset.
+    pub fn homogeneous(coefficients: VecN) -> Self {
+        LinearImpact::new(coefficients, 0.0)
+    }
+}
+
+impl Impact for LinearImpact {
+    fn eval(&self, pi: &VecN) -> f64 {
+        self.coefficients.dot(pi) + self.constant
+    }
+
+    fn gradient(&self, _pi: &VecN) -> Option<VecN> {
+        Some(self.coefficients.clone())
+    }
+
+    fn as_affine(&self) -> Option<(VecN, f64)> {
+        Some((self.coefficients.clone(), self.constant))
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.coefficients.dim())
+    }
+}
+
+/// The paper's Eq. 4: the finishing time of a machine is the sum of the
+/// perturbation components (actual execution times) of the applications
+/// mapped to it — an affine impact with 0/1 coefficients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SumSelected {
+    /// Indices of the perturbation components that contribute.
+    pub indices: Vec<usize>,
+    /// Total perturbation dimension `|A|`.
+    pub dim: usize,
+}
+
+impl SumSelected {
+    /// Creates the sum over `indices` of a `dim`-dimensional perturbation.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn new(indices: Vec<usize>, dim: usize) -> Self {
+        assert!(
+            indices.iter().all(|&i| i < dim),
+            "selection index out of range"
+        );
+        SumSelected { indices, dim }
+    }
+}
+
+impl Impact for SumSelected {
+    fn eval(&self, pi: &VecN) -> f64 {
+        self.indices.iter().map(|&i| pi[i]).sum()
+    }
+
+    fn gradient(&self, _pi: &VecN) -> Option<VecN> {
+        let mut g = VecN::zeros(self.dim);
+        for &i in &self.indices {
+            g[i] += 1.0;
+        }
+        Some(g)
+    }
+
+    fn as_affine(&self) -> Option<(VecN, f64)> {
+        Some((self.gradient(&VecN::zeros(self.dim))?, 0.0))
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.dim)
+    }
+}
+
+/// A boxed black-box gradient function.
+type BoxedGradient = Box<dyn Fn(&VecN) -> VecN + Sync>;
+
+/// A black-box impact function (with optional analytic gradient).
+///
+/// Use for non-linear dependencies such as the convex complexity functions
+/// of §3.2 (`x^p`, `e^{px}`, `x log x`, sums and positive multiples).
+pub struct FnImpact {
+    f: Box<dyn Fn(&VecN) -> f64 + Sync>,
+    grad: Option<BoxedGradient>,
+    dim: Option<usize>,
+}
+
+impl FnImpact {
+    /// Wraps an arbitrary function.
+    pub fn new(f: impl Fn(&VecN) -> f64 + Sync + 'static) -> Self {
+        FnImpact {
+            f: Box::new(f),
+            grad: None,
+            dim: None,
+        }
+    }
+
+    /// Attaches an analytic gradient.
+    pub fn with_gradient(mut self, g: impl Fn(&VecN) -> VecN + Sync + 'static) -> Self {
+        self.grad = Some(Box::new(g));
+        self
+    }
+
+    /// Declares the expected input dimension (enables early dimension
+    /// checking in the analysis).
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = Some(dim);
+        self
+    }
+}
+
+impl Impact for FnImpact {
+    fn eval(&self, pi: &VecN) -> f64 {
+        (self.f)(pi)
+    }
+
+    fn gradient(&self, pi: &VecN) -> Option<VecN> {
+        self.grad.as_ref().map(|g| g(pi))
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        self.dim
+    }
+}
+
+impl std::fmt::Debug for FnImpact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnImpact")
+            .field("dim", &self.dim)
+            .field("has_gradient", &self.grad.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_eval_and_gradient() {
+        let f = LinearImpact::new(VecN::from([2.0, -1.0]), 5.0);
+        let x = VecN::from([3.0, 4.0]);
+        assert_eq!(f.eval(&x), 2.0 * 3.0 - 4.0 + 5.0);
+        assert_eq!(f.gradient(&x).unwrap(), VecN::from([2.0, -1.0]));
+        let (a, c) = f.as_affine().unwrap();
+        assert_eq!(a, VecN::from([2.0, -1.0]));
+        assert_eq!(c, 5.0);
+        assert_eq!(f.expected_dim(), Some(2));
+    }
+
+    #[test]
+    fn homogeneous_has_zero_constant() {
+        let f = LinearImpact::homogeneous(VecN::from([1.0]));
+        assert_eq!(f.as_affine().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn sum_selected_is_eq4() {
+        // 5 applications; machine holds apps {0, 2, 3}.
+        let f = SumSelected::new(vec![0, 2, 3], 5);
+        let c = VecN::from([10.0, 99.0, 20.0, 30.0, 99.0]);
+        assert_eq!(f.eval(&c), 60.0);
+        let (a, k) = f.as_affine().unwrap();
+        assert_eq!(a, VecN::from([1.0, 0.0, 1.0, 1.0, 0.0]));
+        assert_eq!(k, 0.0);
+        assert_eq!(f.expected_dim(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sum_selected_checks_indices() {
+        SumSelected::new(vec![5], 5);
+    }
+
+    #[test]
+    fn fn_impact_black_box() {
+        let f = FnImpact::new(|v: &VecN| v[0].exp() + v[1] * v[1]).with_dim(2);
+        let x = VecN::from([0.0, 3.0]);
+        assert_eq!(f.eval(&x), 10.0);
+        assert!(f.gradient(&x).is_none());
+        assert!(f.as_affine().is_none());
+        assert_eq!(f.expected_dim(), Some(2));
+    }
+
+    #[test]
+    fn fn_impact_with_gradient() {
+        let f = FnImpact::new(|v: &VecN| v.dot(v))
+            .with_gradient(|v: &VecN| v.scaled(2.0))
+            .with_dim(3);
+        let x = VecN::from([1.0, 2.0, 3.0]);
+        assert_eq!(f.gradient(&x).unwrap(), VecN::from([2.0, 4.0, 6.0]));
+        assert!(format!("{f:?}").contains("has_gradient: true"));
+    }
+}

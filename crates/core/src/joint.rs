@@ -1,0 +1,252 @@
+//! Simultaneous perturbation parameters (extension).
+//!
+//! The paper analyzes one perturbation parameter at a time and defers the
+//! simultaneous case to Ali's thesis (\[1\] in the paper). This module
+//! implements the natural joint construction: concatenate the parameter
+//! vectors into one perturbation and lift each impact function onto the
+//! concatenated space.
+//!
+//! Because different parameters carry **different units** (seconds of ETC
+//! error vs objects per data set), a raw Euclidean norm on the
+//! concatenation would be meaningless. Each part therefore declares a
+//! `unit` — "one unit of plausible variation" — and the joint space is
+//! measured in those units: component `r` of part `z` enters the joint
+//! vector as `π_r / unit_z`. The joint metric is then *the number of
+//! simultaneous plausible-variation units, in any direction across all
+//! parameters, that the mapping tolerates*.
+
+use crate::analysis::FepiaAnalysis;
+use crate::feature::FeatureSpec;
+use crate::impact::Impact;
+use crate::perturbation::Perturbation;
+use fepia_optim::VecN;
+
+/// Handle to one parameter inside a [`JointAnalysis`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartId(usize);
+
+struct Part {
+    offset: usize,
+    len: usize,
+    unit: f64,
+}
+
+/// An impact on one part's subspace, lifted to the joint normalized space.
+struct LiftedImpact {
+    inner: Box<dyn Impact>,
+    offset: usize,
+    len: usize,
+    unit: f64,
+    joint_dim: usize,
+}
+
+impl LiftedImpact {
+    fn extract(&self, joint: &VecN) -> VecN {
+        // De-normalize back to the part's native units.
+        VecN::new(
+            (0..self.len)
+                .map(|r| joint[self.offset + r] * self.unit)
+                .collect(),
+        )
+    }
+}
+
+impl Impact for LiftedImpact {
+    fn eval(&self, joint: &VecN) -> f64 {
+        self.inner.eval(&self.extract(joint))
+    }
+
+    fn gradient(&self, joint: &VecN) -> Option<VecN> {
+        // Chain rule: ∂f/∂(normalized component) = unit · ∂f/∂(native).
+        let g = self.inner.gradient(&self.extract(joint))?;
+        let mut out = VecN::zeros(self.joint_dim);
+        for r in 0..self.len {
+            out[self.offset + r] = g[r] * self.unit;
+        }
+        Some(out)
+    }
+
+    fn as_affine(&self) -> Option<(VecN, f64)> {
+        let (a, c) = self.inner.as_affine()?;
+        let mut out = VecN::zeros(self.joint_dim);
+        for r in 0..self.len {
+            out[self.offset + r] = a[r] * self.unit;
+        }
+        Some((out, c))
+    }
+
+    fn expected_dim(&self) -> Option<usize> {
+        Some(self.joint_dim)
+    }
+}
+
+/// Builder for a joint analysis over several simultaneous perturbation
+/// parameters.
+#[derive(Default)]
+pub struct JointAnalysis {
+    parts: Vec<Part>,
+    origin: Vec<f64>,
+    names: Vec<String>,
+    features: Vec<(FeatureSpec, PartId, Box<dyn Impact>)>,
+}
+
+impl JointAnalysis {
+    /// Creates an empty joint analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a perturbation parameter with its assumed value and unit of
+    /// plausible variation (`unit > 0`, in the parameter's native units).
+    pub fn add_parameter(&mut self, name: impl Into<String>, origin: VecN, unit: f64) -> PartId {
+        assert!(unit > 0.0 && unit.is_finite(), "unit must be positive");
+        assert!(!origin.is_empty(), "empty parameter vector");
+        let id = PartId(self.parts.len());
+        self.parts.push(Part {
+            offset: self.origin.len(),
+            len: origin.dim(),
+            unit,
+        });
+        // Joint origin is stored normalized.
+        self.origin
+            .extend(origin.iter().map(|&x| x / unit));
+        self.names.push(name.into());
+        id
+    }
+
+    /// Adds a feature whose impact reads the given parameter. (A feature
+    /// depending on several parameters can be added multiple times, once
+    /// per dependency, or expressed directly against the joint space via
+    /// [`FepiaAnalysis`] after [`Self::build`].)
+    pub fn add_feature(
+        &mut self,
+        spec: FeatureSpec,
+        part: PartId,
+        impact: impl Impact + 'static,
+    ) -> &mut Self {
+        assert!(part.0 < self.parts.len(), "unknown parameter handle");
+        self.features.push((spec, part, Box::new(impact)));
+        self
+    }
+
+    /// Finalizes into a standard [`FepiaAnalysis`] over the concatenated,
+    /// unit-normalized perturbation. The resulting metric is measured in
+    /// joint plausible-variation units.
+    pub fn build(self) -> FepiaAnalysis {
+        let joint_dim = self.origin.len();
+        let perturbation = Perturbation::continuous(
+            format!("joint({})", self.names.join(", ")),
+            VecN::new(self.origin),
+        );
+        let mut analysis = FepiaAnalysis::new(perturbation);
+        for (spec, part, inner) in self.features {
+            let p = &self.parts[part.0];
+            analysis.add_feature_boxed(
+                spec,
+                Box::new(LiftedImpact {
+                    inner,
+                    offset: p.offset,
+                    len: p.len,
+                    unit: p.unit,
+                    joint_dim,
+                }),
+            );
+        }
+        analysis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Tolerance;
+    use crate::impact::{FnImpact, LinearImpact};
+    use crate::radius::RadiusOptions;
+
+    /// Two parameters: ETC-style errors (unit 1 s) and loads (unit 100
+    /// objects). One linear feature on each.
+    fn two_param_analysis() -> FepiaAnalysis {
+        let mut j = JointAnalysis::new();
+        let etc = j.add_parameter("C", VecN::from([10.0, 20.0]), 1.0);
+        let load = j.add_parameter("λ", VecN::from([500.0]), 100.0);
+        j.add_feature(
+            FeatureSpec::new("finish-time", Tolerance::upper(40.0)),
+            etc,
+            LinearImpact::homogeneous(VecN::from([1.0, 1.0])),
+        );
+        j.add_feature(
+            FeatureSpec::new("latency", Tolerance::upper(900.0)),
+            load,
+            LinearImpact::homogeneous(VecN::from([1.0])),
+        );
+        j.build()
+    }
+
+    #[test]
+    fn joint_metric_in_normalized_units() {
+        let report = two_param_analysis().run(&RadiusOptions::default()).unwrap();
+        // Feature 1: boundary C₁+C₂ = 40 from (10,20): native distance
+        // 10/√2; unit 1 ⇒ normalized 10/√2 ≈ 7.07.
+        // Feature 2: boundary λ = 900 from 500: native 400; unit 100 ⇒ 4.
+        assert_eq!(report.radii.len(), 2);
+        assert!((report.radii[0].result.radius - 10.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!((report.radii[1].result.radius - 4.0).abs() < 1e-9);
+        assert!((report.metric - 4.0).abs() < 1e-9);
+        assert_eq!(report.binding_feature().name, "latency");
+    }
+
+    #[test]
+    fn unit_choice_changes_the_binding_parameter() {
+        // Shrinking the load unit (loads vary less) makes the load feature
+        // more robust in joint units, flipping the binding feature.
+        let mut j = JointAnalysis::new();
+        let etc = j.add_parameter("C", VecN::from([10.0, 20.0]), 1.0);
+        let load = j.add_parameter("λ", VecN::from([500.0]), 10.0);
+        j.add_feature(
+            FeatureSpec::new("finish-time", Tolerance::upper(40.0)),
+            etc,
+            LinearImpact::homogeneous(VecN::from([1.0, 1.0])),
+        );
+        j.add_feature(
+            FeatureSpec::new("latency", Tolerance::upper(900.0)),
+            load,
+            LinearImpact::homogeneous(VecN::from([1.0])),
+        );
+        let report = j.build().run(&RadiusOptions::default()).unwrap();
+        assert_eq!(report.binding_feature().name, "finish-time");
+    }
+
+    #[test]
+    fn nonlinear_lifted_impact_works() {
+        // A quadratic impact on the second parameter, solved numerically in
+        // the joint space.
+        let mut j = JointAnalysis::new();
+        let _etc = j.add_parameter("C", VecN::from([0.0]), 1.0);
+        let load = j.add_parameter("λ", VecN::from([0.0, 0.0]), 2.0);
+        j.add_feature(
+            FeatureSpec::new("power", Tolerance::upper(16.0)),
+            load,
+            FnImpact::new(|v: &VecN| v.dot(v)).with_dim(2),
+        );
+        let report = j.build().run(&RadiusOptions::default()).unwrap();
+        // Native boundary: ‖λ‖ = 4; normalized by unit 2 ⇒ radius 2.
+        assert!(
+            (report.metric - 2.0).abs() < 1e-4,
+            "metric {}",
+            report.metric
+        );
+    }
+
+    #[test]
+    fn joint_name_mentions_all_parts() {
+        let a = two_param_analysis();
+        assert_eq!(a.perturbation().name, "joint(C, λ)");
+        assert_eq!(a.perturbation().dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit must be positive")]
+    fn rejects_bad_unit() {
+        JointAnalysis::new().add_parameter("p", VecN::from([1.0]), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! `fepia-core` — the generalized robustness metric of Ali et al. (IPDPS 2003).
+//!
+//! The paper's central definition: a mapping `μ` is *robust* with respect to
+//! a set of performance features `Φ` against a perturbation parameter `πⱼ`
+//! when degradation in those features is limited while `πⱼ` stays within the
+//! **robustness radius** of its assumed value. This crate implements the
+//! four FePIA steps as types:
+//!
+//! 1. **Fe** — performance features with tolerable-variation bounds:
+//!    [`feature::FeatureSpec`] and [`feature::Tolerance`]
+//!    (`⟨βᵢᵐⁱⁿ, βᵢᵐᵃˣ⟩`).
+//! 2. **P** — perturbation parameters: [`perturbation::Perturbation`]
+//!    (vector-valued, continuous or discrete, with assumed value
+//!    `πⱼᵒʳⁱᵍ`).
+//! 3. **I** — impact functions `φᵢ = f_ij(πⱼ)`: the [`impact::Impact`]
+//!    trait with linear ([`impact::LinearImpact`], [`impact::SumSelected`])
+//!    and black-box ([`impact::FnImpact`]) implementations.
+//! 4. **A** — the analysis: [`radius::robustness_radius`] (Eq. 1) and
+//!    [`analysis::FepiaAnalysis`] / [`analysis::RobustnessReport`] (Eq. 2).
+//!
+//! Linear impacts take an exact analytic path (the point-to-hyperplane
+//! formula behind the paper's Eq. 6); everything else is solved numerically
+//! by `fepia-optim`'s min-norm level-set solver, valid for the convex impact
+//! functions the paper assumes in §3.2.
+
+pub mod analysis;
+pub mod error;
+pub mod feature;
+pub mod impact;
+pub mod joint;
+pub mod multiparam;
+pub mod perturbation;
+pub mod radius;
+pub mod report;
+
+pub use analysis::{FeatureRadius, FepiaAnalysis, RobustnessReport};
+pub use error::CoreError;
+pub use feature::{FeatureSpec, Tolerance};
+pub use impact::{FnImpact, Impact, LinearImpact, SumSelected};
+pub use joint::{JointAnalysis, PartId};
+pub use multiparam::MultiParamAnalysis;
+pub use perturbation::{Domain, Perturbation};
+pub use radius::{Bound, RadiusMethod, RadiusOptions, RadiusResult};

@@ -1,0 +1,117 @@
+//! Multiple perturbation parameters.
+//!
+//! The paper's step 3 "assumes that each `πⱼ ∈ Π` affects a given `φᵢ`
+//! independently. The case where multiple perturbation parameters can affect
+//! a given `φᵢ` simultaneously is discussed in \[1\]" (Ali's thesis). This
+//! module implements the independent case exactly as the paper develops it:
+//! a separate robustness metric per parameter, plus convenience accessors
+//! for the most fragile parameter.
+
+use crate::analysis::{FepiaAnalysis, RobustnessReport};
+use crate::error::CoreError;
+use crate::radius::RadiusOptions;
+
+/// A set of per-parameter analyses `{ ρ_μ(Φ, πⱼ) : πⱼ ∈ Π }`.
+#[derive(Default)]
+pub struct MultiParamAnalysis {
+    analyses: Vec<FepiaAnalysis>,
+}
+
+/// Reports for every parameter in `Π`, in insertion order.
+#[derive(Clone, Debug)]
+pub struct MultiParamReport {
+    /// `(parameter name, report)` pairs.
+    pub reports: Vec<(String, RobustnessReport)>,
+}
+
+impl MultiParamReport {
+    /// The parameter with the smallest robustness metric — the direction in
+    /// which the system is most fragile. `None` if empty.
+    ///
+    /// Note: metrics for different parameters carry **different units**
+    /// (seconds for ETC errors, objects/data-set for loads); this comparison
+    /// is meaningful only when callers have normalized them, and is mainly
+    /// useful for parameters of the same kind.
+    pub fn most_fragile(&self) -> Option<&(String, RobustnessReport)> {
+        self.reports.iter().min_by(|a, b| {
+            a.1.metric
+                .partial_cmp(&b.1.metric)
+                .expect("metric is never NaN")
+        })
+    }
+}
+
+impl MultiParamAnalysis {
+    /// Creates an empty multi-parameter analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one per-parameter analysis (a perturbation with its own feature
+    /// set, built with [`FepiaAnalysis`]).
+    pub fn add(&mut self, analysis: FepiaAnalysis) -> &mut Self {
+        self.analyses.push(analysis);
+        self
+    }
+
+    /// Number of perturbation parameters `|Π|`.
+    pub fn len(&self) -> usize {
+        self.analyses.len()
+    }
+
+    /// Whether no parameters have been added.
+    pub fn is_empty(&self) -> bool {
+        self.analyses.is_empty()
+    }
+
+    /// Runs all analyses.
+    pub fn run(&self, opts: &RadiusOptions) -> Result<MultiParamReport, CoreError> {
+        let mut reports = Vec::with_capacity(self.analyses.len());
+        for a in &self.analyses {
+            reports.push((a.perturbation().name.clone(), a.run(opts)?));
+        }
+        Ok(MultiParamReport { reports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureSpec, Tolerance};
+    use crate::impact::LinearImpact;
+    use crate::perturbation::Perturbation;
+    use fepia_optim::VecN;
+
+    fn single(name: &str, coeff: f64, bound: f64) -> FepiaAnalysis {
+        let mut a = FepiaAnalysis::new(Perturbation::continuous(name, VecN::from([0.0])));
+        a.add_feature(
+            FeatureSpec::new("f", Tolerance::upper(bound)),
+            LinearImpact::homogeneous(VecN::from([coeff])),
+        );
+        a
+    }
+
+    #[test]
+    fn per_parameter_reports() {
+        let mut m = MultiParamAnalysis::new();
+        m.add(single("load", 2.0, 10.0)); // radius 5
+        m.add(single("error", 1.0, 3.0)); // radius 3
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        let rep = m.run(&RadiusOptions::default()).unwrap();
+        assert_eq!(rep.reports.len(), 2);
+        assert_eq!(rep.reports[0].0, "load");
+        assert!((rep.reports[0].1.metric - 5.0).abs() < 1e-12);
+        assert!((rep.reports[1].1.metric - 3.0).abs() < 1e-12);
+        let fragile = rep.most_fragile().unwrap();
+        assert_eq!(fragile.0, "error");
+    }
+
+    #[test]
+    fn empty_multiparam() {
+        let m = MultiParamAnalysis::new();
+        assert!(m.is_empty());
+        let rep = m.run(&RadiusOptions::default()).unwrap();
+        assert!(rep.most_fragile().is_none());
+    }
+}

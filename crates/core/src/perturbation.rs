@@ -1,0 +1,76 @@
+//! FePIA step 2 — perturbation parameters.
+//!
+//! "Let `Π` be the set of such system and environment parameters. It is
+//! assumed that the elements of `Π` are vectors." (§2, step 2). A
+//! perturbation parameter has an assumed operating value `πⱼᵒʳⁱᵍ` — the ETC
+//! vector `C_orig` in §3.1, the initial sensor loads `λ_orig` in §3.2.
+
+use fepia_optim::VecN;
+
+/// Whether the parameter varies continuously or on an integer lattice.
+///
+/// §3.2 treats the (discrete) sensor load as continuous and then floors the
+/// resulting metric, "because `ρ_μ(Φ, λ)` should not have fractional
+/// values"; [`Domain::Discrete`] triggers exactly that floor in the
+/// analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// Real-valued parameter (ETC errors, rates, ...).
+    Continuous,
+    /// Integer-valued parameter (objects per data set, ...); the metric is
+    /// floored.
+    Discrete,
+}
+
+/// A perturbation parameter `πⱼ`: a named vector with an assumed value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Perturbation {
+    /// Human-readable name (e.g. `"ETC vector C"` or `"sensor load λ"`).
+    pub name: String,
+    /// The assumed operating value `πⱼᵒʳⁱᵍ`.
+    pub origin: VecN,
+    /// Continuous or discrete (see [`Domain`]).
+    pub domain: Domain,
+}
+
+impl Perturbation {
+    /// Creates a continuous perturbation parameter.
+    pub fn continuous(name: impl Into<String>, origin: VecN) -> Self {
+        Perturbation {
+            name: name.into(),
+            origin,
+            domain: Domain::Continuous,
+        }
+    }
+
+    /// Creates a discrete perturbation parameter (metric will be floored).
+    pub fn discrete(name: impl Into<String>, origin: VecN) -> Self {
+        Perturbation {
+            name: name.into(),
+            origin,
+            domain: Domain::Discrete,
+        }
+    }
+
+    /// The number of elements `n_{πⱼ}` in the parameter vector.
+    pub fn dim(&self) -> usize {
+        self.origin.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = Perturbation::continuous("ETC vector C", VecN::from([1.0, 2.0]));
+        assert_eq!(c.domain, Domain::Continuous);
+        assert_eq!(c.dim(), 2);
+
+        let d = Perturbation::discrete("sensor load λ", VecN::from([962.0, 380.0, 240.0]));
+        assert_eq!(d.domain, Domain::Discrete);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.name, "sensor load λ");
+    }
+}

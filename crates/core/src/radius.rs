@@ -1,0 +1,442 @@
+//! FePIA step 4 — the robustness radius (Eq. 1).
+//!
+//! `r_μ(φᵢ, πⱼ) = min { ‖π − π_orig‖₂ : f_ij(π) = βᵢᵐᵃˣ ∨ f_ij(π) = βᵢᵐⁱⁿ }`
+//!
+//! For affine impacts the radius is computed **exactly** with the
+//! point-to-hyperplane distance (the closed form behind the paper's Eq. 6);
+//! non-ℓ₂ norms use the dual-norm distance `|a·π_orig + c − β| / ‖a‖_*`.
+//! Non-affine impacts are solved numerically with
+//! [`fepia_optim::min_norm_to_level_set`] (ℓ₂ only, convexity assumed as in
+//! the paper's §3.2).
+
+use crate::error::CoreError;
+use crate::feature::FeatureSpec;
+use crate::impact::Impact;
+use crate::perturbation::Perturbation;
+use fepia_optim::{
+    min_norm_to_level_set, Hyperplane, LevelSetProblem, Norm, OptimError, SolverOptions, VecN,
+};
+
+/// Which boundary relationship produced the radius.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// `f_ij(π) = βᵢᵐⁱⁿ`.
+    Min,
+    /// `f_ij(π) = βᵢᵐᵃˣ`.
+    Max,
+}
+
+/// How the radius was computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RadiusMethod {
+    /// Exact point-to-hyperplane distance (affine impact).
+    Analytic,
+    /// Iterative min-norm level-set solver.
+    Numeric,
+    /// No finite boundary was reachable; the radius is `+∞`.
+    Unbounded,
+}
+
+/// Options controlling the radius computation.
+#[derive(Clone, Debug)]
+pub struct RadiusOptions {
+    /// The norm measuring perturbation size. The paper uses ℓ₂; other norms
+    /// are supported for affine impacts only.
+    pub norm: Norm,
+    /// Numeric solver options (non-affine impacts).
+    pub solver: SolverOptions,
+}
+
+impl Default for RadiusOptions {
+    fn default() -> Self {
+        RadiusOptions {
+            norm: Norm::L2,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// The robustness radius of one feature against one perturbation parameter.
+#[derive(Clone, Debug)]
+pub struct RadiusResult {
+    /// `r_μ(φᵢ, πⱼ)`; `+∞` when no boundary is reachable, `0` when the
+    /// feature already violates its tolerance at `π_orig`.
+    pub radius: f64,
+    /// The closest boundary point `πⱼ*(φᵢ)` (paper Fig. 1), when the solver
+    /// produces one (ℓ₂ norm and a reachable boundary).
+    pub boundary_point: Option<VecN>,
+    /// Which boundary binds, when one does.
+    pub bound: Option<Bound>,
+    /// True when `f(π_orig)` is already outside `⟨βᵐⁱⁿ, βᵐᵃˣ⟩`.
+    pub violated: bool,
+    /// How the radius was obtained.
+    pub method: RadiusMethod,
+}
+
+/// The dual norm `‖a‖_*` used in the point-to-hyperplane distance
+/// `|residual| / ‖a‖_*` under the primal norm.
+fn dual_norm(norm: &Norm, a: &VecN) -> f64 {
+    match norm {
+        Norm::L1 => a.norm_linf(),
+        Norm::L2 => a.norm_l2(),
+        Norm::LInf => a.norm_l1(),
+        Norm::WeightedL2(w) => {
+            assert_eq!(w.len(), a.dim(), "weight dimension mismatch");
+            a.as_slice()
+                .iter()
+                .zip(w.iter())
+                .map(|(ai, wi)| {
+                    assert!(*wi > 0.0, "weighted norm requires positive weights");
+                    ai * ai / wi
+                })
+                .sum::<f64>()
+                .sqrt()
+        }
+    }
+}
+
+/// Distance (under `opts.norm`) from `π_orig` to one affine boundary
+/// `a·π + c = β`, plus the ℓ₂ closest point when applicable.
+fn affine_bound_radius(
+    a: &VecN,
+    c: f64,
+    beta: f64,
+    origin: &VecN,
+    norm: &Norm,
+) -> (f64, Option<VecN>) {
+    let an = dual_norm(norm, a);
+    if an <= f64::EPSILON {
+        // The feature does not depend on the perturbation: unreachable.
+        return (f64::INFINITY, None);
+    }
+    let residual = a.dot(origin) + c - beta;
+    let radius = residual.abs() / an;
+    let point = if matches!(norm, Norm::L2) {
+        // Only the Euclidean projection is the true closest point.
+        Hyperplane::new(a.clone(), beta - c)
+            .ok()
+            .map(|h| h.project(origin))
+    } else {
+        None
+    };
+    (radius, point)
+}
+
+/// Numeric radius toward one boundary: `min ‖π − π_orig‖₂ s.t. f(π) = β`,
+/// where `direction = +1` solves toward an upper bound (`f(orig) < β`) and
+/// `direction = −1` toward a lower bound (`f(orig) > β`, solved on `−f`).
+fn numeric_bound_radius(
+    impact: &dyn Impact,
+    beta: f64,
+    origin: &VecN,
+    direction: f64,
+    solver: &SolverOptions,
+) -> Result<(f64, Option<VecN>), CoreError> {
+    let f = |pi: &VecN| direction * impact.eval(pi);
+    let has_grad = impact.gradient(origin).is_some();
+    let g = |pi: &VecN| {
+        impact
+            .gradient(pi)
+            .map(|v| v.scaled(direction))
+            .expect("gradient availability checked before solving")
+    };
+    let problem = LevelSetProblem {
+        f: &f,
+        grad: if has_grad { Some(&g) } else { None },
+        origin,
+        level: direction * beta,
+    };
+    match min_norm_to_level_set(&problem, solver) {
+        Ok(sol) => Ok((sol.radius, Some(sol.point))),
+        Err(OptimError::Unreachable) => Ok((f64::INFINITY, None)),
+        Err(e) => Err(CoreError::Optim(e)),
+    }
+}
+
+/// Computes the robustness radius `r_μ(φᵢ, πⱼ)` of `feature` (with impact
+/// function `impact`) against `perturbation` (Eq. 1 of the paper).
+pub fn robustness_radius(
+    feature: &FeatureSpec,
+    impact: &dyn Impact,
+    perturbation: &Perturbation,
+    opts: &RadiusOptions,
+) -> Result<RadiusResult, CoreError> {
+    let origin = &perturbation.origin;
+    if let Some(expected) = impact.expected_dim() {
+        if expected != origin.dim() {
+            return Err(CoreError::DimensionMismatch {
+                perturbation: origin.dim(),
+                expected,
+            });
+        }
+    }
+
+    let tol = feature.tolerance;
+    let f_orig = impact.eval(origin);
+    if !f_orig.is_finite() {
+        return Err(CoreError::Optim(OptimError::NonFinite));
+    }
+    if !tol.contains(f_orig) {
+        // The requirement is violated before any perturbation occurs.
+        return Ok(RadiusResult {
+            radius: 0.0,
+            boundary_point: Some(origin.clone()),
+            bound: Some(if f_orig > tol.max { Bound::Max } else { Bound::Min }),
+            violated: true,
+            method: RadiusMethod::Analytic,
+        });
+    }
+
+    let affine = impact.as_affine();
+    if affine.is_none() && !matches!(opts.norm, Norm::L2) {
+        return Err(CoreError::UnsupportedNorm {
+            norm: opts.norm.name(),
+        });
+    }
+
+    let mut best: Option<(f64, Option<VecN>, Bound)> = None;
+    let mut consider = |radius: f64, point: Option<VecN>, bound: Bound| {
+        if best.as_ref().is_none_or(|(r, _, _)| radius < *r) {
+            best = Some((radius, point, bound));
+        }
+    };
+
+    let is_affine = affine.is_some();
+    match affine {
+        Some((a, c)) => {
+            if tol.has_upper() {
+                let (r, p) = affine_bound_radius(&a, c, tol.max, origin, &opts.norm);
+                consider(r, p, Bound::Max);
+            }
+            if tol.has_lower() {
+                let (r, p) = affine_bound_radius(&a, c, tol.min, origin, &opts.norm);
+                consider(r, p, Bound::Min);
+            }
+        }
+        None => {
+            if tol.has_upper() {
+                let (r, p) = numeric_bound_radius(impact, tol.max, origin, 1.0, &opts.solver)?;
+                consider(r, p, Bound::Max);
+            }
+            if tol.has_lower() {
+                let (r, p) = numeric_bound_radius(impact, tol.min, origin, -1.0, &opts.solver)?;
+                consider(r, p, Bound::Min);
+            }
+        }
+    }
+
+    let method = if is_affine {
+        RadiusMethod::Analytic
+    } else {
+        RadiusMethod::Numeric
+    };
+    Ok(match best {
+        Some((radius, point, bound)) if radius.is_finite() => RadiusResult {
+            radius,
+            boundary_point: point,
+            bound: Some(bound),
+            violated: false,
+            method,
+        },
+        // No finite boundary (both tolerances infinite, the impact is
+        // constant in π, or every boundary is unreachable).
+        _ => RadiusResult {
+            radius: f64::INFINITY,
+            boundary_point: None,
+            bound: None,
+            violated: false,
+            method: RadiusMethod::Unbounded,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Tolerance;
+    use crate::impact::{FnImpact, LinearImpact, SumSelected};
+
+    fn feat(min: f64, max: f64) -> FeatureSpec {
+        FeatureSpec::new("f", Tolerance::new(min, max).unwrap())
+    }
+
+    #[test]
+    fn eq6_exact_form() {
+        // Machine with apps {0,1,2} of a 4-app system; estimated times 10
+        // each; predicted makespan M_orig = 40 (some other machine), τ = 1.2.
+        // Eq. 6: r = (τ·M − F_j(C_orig)) / √3 = (48 − 30)/√3.
+        let impact = SumSelected::new(vec![0, 1, 2], 4);
+        let pert = Perturbation::continuous("C", VecN::filled(4, 10.0));
+        let f = FeatureSpec::new("F_1", Tolerance::upper(48.0));
+        let r = robustness_radius(&f, &impact, &pert, &RadiusOptions::default()).unwrap();
+        assert!((r.radius - 18.0 / 3f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.method, RadiusMethod::Analytic);
+        assert_eq!(r.bound, Some(Bound::Max));
+        assert!(!r.violated);
+        // Paper's observation (2): at C*, the errors of the apps on the
+        // binding machine are all equal; others unchanged.
+        let p = r.boundary_point.unwrap();
+        let delta = 18.0 / 3.0;
+        assert!((p[0] - (10.0 + delta)).abs() < 1e-9);
+        assert!((p[1] - (10.0 + delta)).abs() < 1e-9);
+        assert!((p[2] - (10.0 + delta)).abs() < 1e-9);
+        assert!((p[3] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_binds_when_closer() {
+        // f(π) = π₀, tolerance [8, 100], origin 10: lower boundary at
+        // distance 2, upper at 90.
+        let impact = LinearImpact::homogeneous(VecN::from([1.0]));
+        let pert = Perturbation::continuous("p", VecN::from([10.0]));
+        let r = robustness_radius(&feat(8.0, 100.0), &impact, &pert, &RadiusOptions::default())
+            .unwrap();
+        assert!((r.radius - 2.0).abs() < 1e-12);
+        assert_eq!(r.bound, Some(Bound::Min));
+    }
+
+    #[test]
+    fn violation_gives_zero_radius() {
+        let impact = LinearImpact::homogeneous(VecN::from([1.0]));
+        let pert = Perturbation::continuous("p", VecN::from([10.0]));
+        let r = robustness_radius(&feat(0.0, 5.0), &impact, &pert, &RadiusOptions::default())
+            .unwrap();
+        assert_eq!(r.radius, 0.0);
+        assert!(r.violated);
+        assert_eq!(r.bound, Some(Bound::Max));
+    }
+
+    #[test]
+    fn unaffected_feature_has_infinite_radius() {
+        // Zero coefficients: the feature never moves.
+        let impact = LinearImpact::new(VecN::zeros(3), 2.0);
+        let pert = Perturbation::continuous("p", VecN::zeros(3));
+        let r = robustness_radius(&feat(0.0, 5.0), &impact, &pert, &RadiusOptions::default())
+            .unwrap();
+        assert_eq!(r.radius, f64::INFINITY);
+        assert_eq!(r.method, RadiusMethod::Unbounded);
+    }
+
+    #[test]
+    fn unbounded_tolerance_is_infinite() {
+        let impact = LinearImpact::homogeneous(VecN::from([1.0]));
+        let pert = Perturbation::continuous("p", VecN::from([0.0]));
+        let f = FeatureSpec::new(
+            "f",
+            Tolerance::new(f64::NEG_INFINITY, f64::INFINITY).unwrap(),
+        );
+        let r = robustness_radius(&f, &impact, &pert, &RadiusOptions::default()).unwrap();
+        assert_eq!(r.radius, f64::INFINITY);
+    }
+
+    #[test]
+    fn numeric_matches_analytic_on_affine_blackbox() {
+        // Same affine function, once as LinearImpact (analytic) and once as
+        // a black-box FnImpact (numeric).
+        let coeffs = VecN::from([2.0, 3.0, 1.0]);
+        let lin = LinearImpact::new(coeffs.clone(), 1.0);
+        let blackbox =
+            FnImpact::new(move |v: &VecN| coeffs.dot(v) + 1.0).with_dim(3);
+        let pert = Perturbation::continuous("p", VecN::from([1.0, 1.0, 1.0]));
+        let f = FeatureSpec::new("f", Tolerance::upper(20.0));
+        let ra = robustness_radius(&f, &lin, &pert, &RadiusOptions::default()).unwrap();
+        let rn = robustness_radius(&f, &blackbox, &pert, &RadiusOptions::default()).unwrap();
+        assert_eq!(ra.method, RadiusMethod::Analytic);
+        assert_eq!(rn.method, RadiusMethod::Numeric);
+        assert!(
+            (ra.radius - rn.radius).abs() < 1e-6,
+            "analytic {} vs numeric {}",
+            ra.radius,
+            rn.radius
+        );
+    }
+
+    #[test]
+    fn numeric_convex_boundary() {
+        // f = π₀² + π₁², bound 25 from origin (0,0): radius 5.
+        let impact = FnImpact::new(|v: &VecN| v.dot(v)).with_dim(2);
+        let pert = Perturbation::continuous("p", VecN::zeros(2));
+        let f = FeatureSpec::new("f", Tolerance::upper(25.0));
+        let r = robustness_radius(&f, &impact, &pert, &RadiusOptions::default()).unwrap();
+        assert!((r.radius - 5.0).abs() < 1e-5, "radius {}", r.radius);
+        assert_eq!(r.method, RadiusMethod::Numeric);
+    }
+
+    #[test]
+    fn dual_norm_radii_for_linear() {
+        // f = π₀ + π₁ ≤ 4 from origin: distances are 4/‖(1,1)‖_*:
+        // l2 → 4/√2, l1 → 4/‖·‖∞ = 4, l∞ → 4/‖·‖₁ = 2.
+        let impact = LinearImpact::homogeneous(VecN::from([1.0, 1.0]));
+        let pert = Perturbation::continuous("p", VecN::zeros(2));
+        let f = FeatureSpec::new("f", Tolerance::upper(4.0));
+        let radius_with = |norm: Norm| {
+            robustness_radius(
+                &f,
+                &impact,
+                &pert,
+                &RadiusOptions {
+                    norm,
+                    solver: SolverOptions::default(),
+                },
+            )
+            .unwrap()
+            .radius
+        };
+        assert!((radius_with(Norm::L2) - 4.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((radius_with(Norm::L1) - 4.0).abs() < 1e-12);
+        assert!((radius_with(Norm::LInf) - 2.0).abs() < 1e-12);
+        // Weighted l2 with weights (4, 4): primal norm 2‖x‖₂, so radius
+        // doubles the scaled plane distance: |4| / sqrt(1/4 + 1/4) = 4√2.
+        assert!((radius_with(Norm::WeightedL2(vec![4.0, 4.0])) - 4.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_l2_norm_rejected_for_nonlinear() {
+        let impact = FnImpact::new(|v: &VecN| v.dot(v));
+        let pert = Perturbation::continuous("p", VecN::zeros(2));
+        let f = FeatureSpec::new("f", Tolerance::upper(1.0));
+        let err = robustness_radius(
+            &f,
+            &impact,
+            &pert,
+            &RadiusOptions {
+                norm: Norm::L1,
+                solver: SolverOptions::default(),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::UnsupportedNorm { norm: "l1" });
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let impact = LinearImpact::homogeneous(VecN::from([1.0, 1.0]));
+        let pert = Perturbation::continuous("p", VecN::zeros(3));
+        let err =
+            robustness_radius(&feat(0.0, 1.0), &impact, &pert, &RadiusOptions::default())
+                .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::DimensionMismatch {
+                perturbation: 3,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn radius_monotone_in_tolerance() {
+        // Loosening the makespan tolerance τ can only increase the radius.
+        let impact = SumSelected::new(vec![0, 1], 3);
+        let pert = Perturbation::continuous("C", VecN::filled(3, 10.0));
+        let mut last = 0.0;
+        for tau_m in [25.0, 30.0, 40.0, 80.0] {
+            let f = FeatureSpec::new("F", Tolerance::upper(tau_m));
+            let r = robustness_radius(&f, &impact, &pert, &RadiusOptions::default())
+                .unwrap()
+                .radius;
+            assert!(r >= last, "radius not monotone: {r} < {last}");
+            last = r;
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable rendering of robustness reports.
+//!
+//! Experiment binaries and examples all print the same shape of table
+//! (feature, radius, method, binding marker); this module centralizes it as
+//! a [`std::fmt::Display`] implementation so downstream tools get
+//! consistent output for free.
+
+use crate::analysis::RobustnessReport;
+use crate::radius::RadiusMethod;
+use std::fmt;
+
+fn method_tag(m: RadiusMethod) -> &'static str {
+    match m {
+        RadiusMethod::Analytic => "analytic",
+        RadiusMethod::Numeric => "numeric",
+        RadiusMethod::Unbounded => "unbounded",
+    }
+}
+
+fn radius_cell(r: f64) -> String {
+    if r.is_infinite() {
+        "∞".to_string()
+    } else {
+        format!("{r:.4}")
+    }
+}
+
+impl fmt::Display for RobustnessReport {
+    /// Renders the per-feature radii as an aligned text table, the binding
+    /// feature marked with `◀`, followed by the metric line (floored value
+    /// included for discrete parameters).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name_width = self
+            .radii
+            .iter()
+            .map(|r| r.name.chars().count())
+            .max()
+            .unwrap_or(7)
+            .max(7);
+        writeln!(
+            f,
+            "{:<name_width$}  {:>12}  {:<9}",
+            "feature", "radius", "method"
+        )?;
+        for (i, r) in self.radii.iter().enumerate() {
+            let marker = if i == self.binding { " ◀ binding" } else { "" };
+            let violated = if r.result.violated { " [violated]" } else { "" };
+            writeln!(
+                f,
+                "{:<name_width$}  {:>12}  {:<9}{marker}{violated}",
+                r.name,
+                radius_cell(r.result.radius),
+                method_tag(r.result.method),
+            )?;
+        }
+        write!(f, "ρ = {}", radius_cell(self.metric))?;
+        if let Some(fl) = self.floored_metric {
+            write!(f, " (floored: {})", radius_cell(fl))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::FepiaAnalysis;
+    use crate::feature::{FeatureSpec, Tolerance};
+    use crate::impact::LinearImpact;
+    use crate::perturbation::Perturbation;
+    use crate::radius::RadiusOptions;
+    use fepia_optim::VecN;
+
+    fn report(discrete: bool) -> crate::analysis::RobustnessReport {
+        let pert = if discrete {
+            Perturbation::discrete("λ", VecN::from([0.0, 0.0]))
+        } else {
+            Perturbation::continuous("p", VecN::from([0.0, 0.0]))
+        };
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("throughput a_0", Tolerance::upper(10.0)),
+            LinearImpact::homogeneous(VecN::from([2.0, 0.0])),
+        );
+        a.add_feature(
+            FeatureSpec::new("latency P_0", Tolerance::upper(9.0)),
+            LinearImpact::homogeneous(VecN::from([1.0, 1.0])),
+        );
+        a.add_feature(
+            FeatureSpec::new("unaffected", Tolerance::upper(5.0)),
+            LinearImpact::new(VecN::zeros(2), 1.0),
+        );
+        a.run(&RadiusOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_binding_marker() {
+        let text = report(false).to_string();
+        assert!(text.contains("throughput a_0"));
+        assert!(text.contains("latency P_0"));
+        assert!(text.contains("◀ binding"));
+        assert!(text.contains("∞")); // the unaffected feature
+        // Binding: throughput radius 5.0 vs latency 9/√2 ≈ 6.36.
+        let binding_line = text
+            .lines()
+            .find(|l| l.contains("◀"))
+            .expect("binding marked");
+        assert!(binding_line.contains("throughput a_0"));
+        assert!(text.trim_end().ends_with("ρ = 5.0000"));
+    }
+
+    #[test]
+    fn floored_metric_shown_for_discrete() {
+        let text = report(true).to_string();
+        assert!(text.contains("(floored: 5.0000)"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The Braun et al. benchmark instance classes.
+//!
+//! The heuristic-comparison study the paper builds on (its reference \[7\],
+//! Braun et al. 2001) defined twelve canonical ETC classes — the cross
+//! product of consistency {consistent, semi-consistent, inconsistent} and
+//! high/low task and machine heterogeneity — generated with the range-based
+//! method. They remain the standard benchmark family in heterogeneous-
+//! computing scheduling papers, so the workspace can speak that dialect:
+//! [`generate_braun`] produces any class, and [`BraunClass::all`] enumerates
+//! the full suite.
+
+use crate::consistency::{apply_consistency, Consistency};
+use crate::gen::generate_range;
+use crate::matrix::EtcMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// High or low heterogeneity, with the classical range constants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HiLo {
+    /// High heterogeneity.
+    Hi,
+    /// Low heterogeneity.
+    Lo,
+}
+
+impl HiLo {
+    fn task_range(self) -> f64 {
+        match self {
+            HiLo::Hi => 3_000.0,
+            HiLo::Lo => 100.0,
+        }
+    }
+
+    fn machine_range(self) -> f64 {
+        match self {
+            HiLo::Hi => 1_000.0,
+            HiLo::Lo => 10.0,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            HiLo::Hi => "hi",
+            HiLo::Lo => "lo",
+        }
+    }
+}
+
+/// One of the twelve Braun et al. ETC classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BraunClass {
+    /// Consistency class.
+    pub consistency: Consistency,
+    /// Task heterogeneity level.
+    pub task: HiLo,
+    /// Machine heterogeneity level.
+    pub machine: HiLo,
+}
+
+impl BraunClass {
+    /// The canonical short name, e.g. `u_c_hihi` (uniform, consistent,
+    /// high task / high machine heterogeneity).
+    pub fn name(&self) -> String {
+        let c = match self.consistency {
+            Consistency::Consistent => "c",
+            Consistency::SemiConsistent => "s",
+            Consistency::Inconsistent => "i",
+        };
+        format!("u_{c}_{}{}", self.task.tag(), self.machine.tag())
+    }
+
+    /// All twelve classes, in the conventional order (c, i, s × hihi,
+    /// hilo, lohi, lolo).
+    pub fn all() -> Vec<BraunClass> {
+        let mut out = Vec::with_capacity(12);
+        for consistency in [
+            Consistency::Consistent,
+            Consistency::Inconsistent,
+            Consistency::SemiConsistent,
+        ] {
+            for (task, machine) in [
+                (HiLo::Hi, HiLo::Hi),
+                (HiLo::Hi, HiLo::Lo),
+                (HiLo::Lo, HiLo::Hi),
+                (HiLo::Lo, HiLo::Lo),
+            ] {
+                out.push(BraunClass {
+                    consistency,
+                    task,
+                    machine,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Generates a Braun-class ETC matrix with the range-based method and the
+/// classical range constants (task ranges 100/3000, machine ranges
+/// 10/1000).
+pub fn generate_braun<R: Rng + ?Sized>(
+    rng: &mut R,
+    class: BraunClass,
+    apps: usize,
+    machines: usize,
+) -> EtcMatrix {
+    let mut m = generate_range(
+        rng,
+        apps,
+        machines,
+        class.task.task_range(),
+        class.machine.machine_range(),
+    );
+    apply_consistency(&mut m, class.consistency, rng);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::is_consistent;
+    use fepia_stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn twelve_classes_with_unique_names() {
+        let all = BraunClass::all();
+        assert_eq!(all.len(), 12);
+        let mut names: Vec<String> = all.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"u_c_hihi".to_string()));
+        assert!(names.contains(&"u_i_lolo".to_string()));
+        assert!(names.contains(&"u_s_hilo".to_string()));
+    }
+
+    #[test]
+    fn consistent_classes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in BraunClass::all() {
+            let m = generate_braun(&mut rng, class, 30, 8);
+            assert_eq!(m.apps(), 30);
+            if class.consistency == Consistency::Consistent {
+                assert!(is_consistent(&m), "{} not consistent", class.name());
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneity_levels_scale_value_ranges() {
+        // Braun's hi/lo controls the *range* of the uniform draws (the CV of
+        // a uniform is scale-free, so the discriminator is magnitude): hi
+        // task classes reach values ~30× larger than lo task classes.
+        let mut rng = StdRng::seed_from_u64(2);
+        let hi = generate_braun(
+            &mut rng,
+            BraunClass {
+                consistency: Consistency::Inconsistent,
+                task: HiLo::Hi,
+                machine: HiLo::Lo,
+            },
+            500,
+            8,
+        );
+        let lo = generate_braun(
+            &mut rng,
+            BraunClass {
+                consistency: Consistency::Inconsistent,
+                task: HiLo::Lo,
+                machine: HiLo::Lo,
+            },
+            500,
+            8,
+        );
+        let max_hi = Summary::of(hi.values()).max;
+        let max_lo = Summary::of(lo.values()).max;
+        assert!(
+            max_hi > 10.0 * max_lo,
+            "hi-task max {max_hi} not clearly above lo {max_lo}"
+        );
+    }
+
+    #[test]
+    fn values_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = generate_braun(
+            &mut rng,
+            BraunClass {
+                consistency: Consistency::Inconsistent,
+                task: HiLo::Lo,
+                machine: HiLo::Lo,
+            },
+            100,
+            5,
+        );
+        for &v in m.values() {
+            assert!((1.0..100.0 * 10.0).contains(&v));
+        }
+    }
+}

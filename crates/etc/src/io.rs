@@ -1,0 +1,199 @@
+//! ETC matrix file I/O.
+//!
+//! Researchers exchange ETC matrices as plain CSV (one row per application,
+//! one column per machine); this module reads and writes that format so
+//! generated instances can be archived alongside experiment results and
+//! external instances (e.g. the Braun et al. benchmark suites) can be
+//! loaded.
+
+use crate::matrix::EtcMatrix;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from parsing an ETC CSV.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EtcIoError {
+    /// Filesystem failure (message of the underlying error).
+    Io(String),
+    /// A cell failed to parse as a positive finite number.
+    BadCell {
+        /// 0-based row.
+        row: usize,
+        /// 0-based column.
+        col: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// Rows have inconsistent widths.
+    Ragged {
+        /// 0-based row.
+        row: usize,
+        /// Cells found in that row.
+        found: usize,
+        /// Cells expected (from the first row).
+        expected: usize,
+    },
+    /// The file contains no data rows.
+    Empty,
+}
+
+impl fmt::Display for EtcIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtcIoError::Io(e) => write!(f, "I/O error: {e}"),
+            EtcIoError::BadCell { row, col, text } => {
+                write!(f, "cell ({row}, {col}) is not a positive number: '{text}'")
+            }
+            EtcIoError::Ragged {
+                row,
+                found,
+                expected,
+            } => write!(f, "row {row} has {found} cells, expected {expected}"),
+            EtcIoError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for EtcIoError {}
+
+/// Serializes a matrix as CSV (no header; one application per line).
+pub fn to_csv(matrix: &EtcMatrix) -> String {
+    let mut out = String::new();
+    for i in 0..matrix.apps() {
+        let row: Vec<String> = matrix.row(i).iter().map(|v| format!("{v}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a matrix from CSV text (blank lines and `#` comments skipped).
+pub fn from_csv(text: &str) -> Result<EtcMatrix, EtcIoError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expected = None;
+    for (r, line) in text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .enumerate()
+    {
+        let mut row = Vec::new();
+        for (c, cell) in line.split(',').enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|_| EtcIoError::BadCell {
+                row: r,
+                col: c,
+                text: cell.trim().to_string(),
+            })?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(EtcIoError::BadCell {
+                    row: r,
+                    col: c,
+                    text: cell.trim().to_string(),
+                });
+            }
+            row.push(v);
+        }
+        if let Some(e) = expected {
+            if row.len() != e {
+                return Err(EtcIoError::Ragged {
+                    row: r,
+                    found: row.len(),
+                    expected: e,
+                });
+            }
+        } else {
+            expected = Some(row.len());
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(EtcIoError::Empty);
+    }
+    Ok(EtcMatrix::from_rows(rows))
+}
+
+/// Writes a matrix to a CSV file.
+pub fn save_csv(matrix: &EtcMatrix, path: impl AsRef<Path>) -> Result<(), EtcIoError> {
+    std::fs::write(path, to_csv(matrix)).map_err(|e| EtcIoError::Io(e.to_string()))
+}
+
+/// Reads a matrix from a CSV file.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<EtcMatrix, EtcIoError> {
+    let text = std::fs::read_to_string(path).map_err(|e| EtcIoError::Io(e.to_string()))?;
+    from_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_cvb, EtcParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let m = generate_cvb(
+            &mut StdRng::seed_from_u64(1),
+            &EtcParams::paper_section_4_2(),
+        );
+        let parsed = from_csv(&to_csv(&m)).unwrap();
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = EtcMatrix::from_rows(vec![vec![1.5, 2.0], vec![3.25, 4.0]]);
+        let path = std::env::temp_dir().join("fepia_etc_io_test.csv");
+        save_csv(&m, &path).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        assert_eq!(m, loaded);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# Braun-style instance\n\n10.0, 20.0\n30.0, 40.0\n";
+        let m = from_csv(text).unwrap();
+        assert_eq!(m.apps(), 2);
+        assert_eq!(m.get(1, 1), 40.0);
+    }
+
+    #[test]
+    fn bad_cell_reported_with_position() {
+        let err = from_csv("1.0,2.0\n3.0,oops\n").unwrap_err();
+        assert_eq!(
+            err,
+            EtcIoError::BadCell {
+                row: 1,
+                col: 1,
+                text: "oops".into()
+            }
+        );
+        assert!(err.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn nonpositive_rejected() {
+        assert!(matches!(
+            from_csv("1.0,-2.0\n"),
+            Err(EtcIoError::BadCell { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        assert_eq!(
+            from_csv("1.0,2.0\n3.0\n").unwrap_err(),
+            EtcIoError::Ragged {
+                row: 1,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(from_csv("# only a comment\n").unwrap_err(), EtcIoError::Empty);
+        assert!(matches!(load_csv("/definitely/missing"), Err(EtcIoError::Io(_))));
+    }
+}

@@ -1,0 +1,26 @@
+//! `fepia-etc` — estimated-time-to-compute (ETC) matrices.
+//!
+//! §3.1 of the paper analyzes a system where "`C_ij` \[is\] the estimated time
+//! to compute for application `a_i` on machine `m_j`. It is assumed that
+//! `C_ij` values are known for all i, j, and a mapping μ is determined using
+//! the ETC values." This crate provides:
+//!
+//! * [`matrix::EtcMatrix`] — the `|A| × |M|` matrix type.
+//! * [`gen`] — generation with the CVB heterogeneity method (paper ref \[3\];
+//!   the §4.2 experiments use mean 10 and 0.7/0.7 task/machine
+//!   heterogeneity) and a simpler range-based method.
+//! * [`consistency`] — consistent / semi-consistent / inconsistent shaping
+//!   from the heterogeneous-computing ETC taxonomy (paper ref \[7\], Braun et
+//!   al.), so mapping heuristics can be exercised across matrix classes.
+
+pub mod braun;
+pub mod consistency;
+pub mod gen;
+pub mod io;
+pub mod matrix;
+
+pub use braun::{generate_braun, BraunClass, HiLo};
+pub use consistency::Consistency;
+pub use gen::{generate_cvb, generate_range, EtcParams};
+pub use io::{from_csv, load_csv, save_csv, to_csv, EtcIoError};
+pub use matrix::EtcMatrix;

@@ -1,0 +1,165 @@
+//! The ETC matrix type.
+
+use serde::{Deserialize, Serialize};
+
+/// An `|A| × |M|` matrix of estimated times to compute: `get(i, j)` is the
+/// ETC of application `a_i` on machine `m_j`. Stored row-major.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EtcMatrix {
+    apps: usize,
+    machines: usize,
+    data: Vec<f64>,
+}
+
+impl EtcMatrix {
+    /// Builds a matrix from per-application rows.
+    ///
+    /// # Panics
+    /// Panics if rows are empty, ragged, or contain non-positive or
+    /// non-finite times.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "ETC matrix needs at least one application");
+        let machines = rows[0].len();
+        assert!(machines > 0, "ETC matrix needs at least one machine");
+        let mut data = Vec::with_capacity(rows.len() * machines);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                machines,
+                "ragged ETC matrix: row {i} has {} machines, expected {machines}",
+                row.len()
+            );
+            for (j, &v) in row.iter().enumerate() {
+                assert!(
+                    v.is_finite() && v > 0.0,
+                    "ETC({i},{j}) = {v} must be positive and finite"
+                );
+                data.push(v);
+            }
+        }
+        EtcMatrix {
+            apps: rows.len(),
+            machines,
+            data,
+        }
+    }
+
+    /// A matrix with every entry equal to `value` (useful in tests).
+    pub fn uniform(apps: usize, machines: usize, value: f64) -> Self {
+        assert!(apps > 0 && machines > 0, "empty ETC matrix");
+        assert!(value > 0.0 && value.is_finite(), "invalid uniform ETC value");
+        EtcMatrix {
+            apps,
+            machines,
+            data: vec![value; apps * machines],
+        }
+    }
+
+    /// Number of applications `|A|`.
+    pub fn apps(&self) -> usize {
+        self.apps
+    }
+
+    /// Number of machines `|M|`.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The ETC of application `app` on machine `machine`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn get(&self, app: usize, machine: usize) -> f64 {
+        assert!(app < self.apps, "application index {app} out of range");
+        assert!(machine < self.machines, "machine index {machine} out of range");
+        self.data[app * self.machines + machine]
+    }
+
+    /// The row of ETCs for one application across all machines.
+    pub fn row(&self, app: usize) -> &[f64] {
+        assert!(app < self.apps, "application index {app} out of range");
+        &self.data[app * self.machines..(app + 1) * self.machines]
+    }
+
+    /// Mutable row access (used by the consistency shapers).
+    pub(crate) fn row_mut(&mut self, app: usize) -> &mut [f64] {
+        assert!(app < self.apps, "application index {app} out of range");
+        &mut self.data[app * self.machines..(app + 1) * self.machines]
+    }
+
+    /// The machine with the smallest ETC for `app` (the "MET machine").
+    pub fn best_machine(&self, app: usize) -> usize {
+        let row = self.row(app);
+        row.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("ETC is never NaN"))
+            .map(|(j, _)| j)
+            .expect("non-empty row")
+    }
+
+    /// Iterates over all entries as `(app, machine, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.apps).flat_map(move |i| {
+            (0..self.machines).map(move |j| (i, j, self.data[i * self.machines + j]))
+        })
+    }
+
+    /// All values as a flat slice (row-major).
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = EtcMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.apps(), 3);
+        assert_eq!(m.machines(), 2);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 1), 6.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged() {
+        EtcMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive() {
+        EtcMatrix::from_rows(vec![vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn rejects_empty() {
+        EtcMatrix::from_rows(vec![]);
+    }
+
+    #[test]
+    fn best_machine_finds_met() {
+        let m = EtcMatrix::from_rows(vec![vec![5.0, 2.0, 9.0], vec![1.0, 8.0, 3.0]]);
+        assert_eq!(m.best_machine(0), 1);
+        assert_eq!(m.best_machine(1), 0);
+    }
+
+    #[test]
+    fn uniform_matrix() {
+        let m = EtcMatrix::uniform(2, 3, 7.0);
+        assert!(m.entries().all(|(_, _, v)| v == 7.0));
+        assert_eq!(m.entries().count(), 6);
+        assert_eq!(m.values().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        EtcMatrix::uniform(2, 2, 1.0).get(2, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Graph queries over the HiPer-D DAG.
+
+use crate::model::{HiperdSystem, Node};
+
+/// Checks that the application-to-application edges form a DAG (Kahn's
+/// algorithm over application vertices; sensor and actuator endpoints cannot
+/// participate in cycles by construction).
+pub fn check_acyclic(sys: &HiperdSystem) -> Result<(), String> {
+    let n = sys.n_apps;
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &sys.edges {
+        if let (Node::App(i), Node::App(p)) = (e.from, e.to) {
+            adj[i].push(p);
+            indeg[p] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(i) = queue.pop() {
+        seen += 1;
+        for &p in &adj[i] {
+            indeg[p] -= 1;
+            if indeg[p] == 0 {
+                queue.push(p);
+            }
+        }
+    }
+    if seen == n {
+        Ok(())
+    } else {
+        Err("application graph contains a cycle".into())
+    }
+}
+
+/// A topological order of the applications (predecessors first).
+///
+/// # Panics
+/// Panics if the graph is cyclic (callers validate first).
+pub fn topological_order(sys: &HiperdSystem) -> Vec<usize> {
+    let n = sys.n_apps;
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &sys.edges {
+        if let (Node::App(i), Node::App(p)) = (e.from, e.to) {
+            adj[i].push(p);
+            indeg[p] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &p in &adj[i] {
+            indeg[p] -= 1;
+            if indeg[p] == 0 {
+                queue.push_back(p);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "cyclic application graph");
+    order
+}
+
+/// For each application, the set of sensors with a route to it (as a boolean
+/// mask). "b_ijz = 0 if there is no route from the z-th sensor to
+/// application a_i" (§4.3) — the generator uses this to zero coefficients.
+pub fn sensor_routes(sys: &HiperdSystem) -> Vec<Vec<bool>> {
+    let n = sys.n_apps;
+    let s = sys.n_sensors();
+    let mut reach = vec![vec![false; s]; n];
+    // Seed: direct sensor→app edges.
+    for e in &sys.edges {
+        if let (Node::Sensor(z), Node::App(i)) = (e.from, e.to) {
+            reach[i][z] = true;
+        }
+    }
+    // Propagate along application edges in topological order.
+    for i in topological_order(sys) {
+        for p in sys.successors(i) {
+            let from = reach[i].clone();
+            for (slot, src) in reach[p].iter_mut().zip(from) {
+                *slot |= src;
+            }
+        }
+    }
+    reach
+}
+
+/// Applications with no incoming application edge and at least one sensor
+/// input ("source" applications, fed directly by sensors).
+pub fn source_apps(sys: &HiperdSystem) -> Vec<usize> {
+    (0..sys.n_apps)
+        .filter(|&i| {
+            let mut has_sensor = false;
+            let mut has_app = false;
+            for e in &sys.edges {
+                match (e.from, e.to) {
+                    (Node::Sensor(_), Node::App(p)) if p == i => has_sensor = true,
+                    (Node::App(_), Node::App(p)) if p == i => has_app = true,
+                    _ => {}
+                }
+            }
+            has_sensor && !has_app
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadfn::LoadFn;
+    use crate::model::test_support::tiny_system;
+    use crate::model::Edge;
+
+    #[test]
+    fn tiny_system_is_acyclic() {
+        assert!(check_acyclic(&tiny_system()).is_ok());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut sys = tiny_system();
+        // a1 → a0 closes the cycle a0 → a1 → a0.
+        sys.edges.push(Edge {
+            from: Node::App(1),
+            to: Node::App(0),
+            comm: LoadFn::zero(2),
+        });
+        assert!(check_acyclic(&sys).is_err());
+        assert!(sys.validate().is_err());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let sys = tiny_system();
+        let order = topological_order(&sys);
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1)); // a0 → a1
+        assert!(pos(2) < pos(1)); // a2 → a1
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn sensor_routes_propagate() {
+        let sys = tiny_system();
+        let routes = sensor_routes(&sys);
+        assert_eq!(routes[0], vec![true, false]); // a0 ← s0 only
+        assert_eq!(routes[2], vec![false, true]); // a2 ← s1 only
+        assert_eq!(routes[1], vec![true, true]); // a1 joins both
+    }
+
+    #[test]
+    fn source_apps_found() {
+        let sys = tiny_system();
+        assert_eq!(source_apps(&sys), vec![0, 2]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Mapping heuristics for the HiPer-D system.
+//!
+//! The paper's companion work (its reference \[2\], *Greedy heuristics for
+//! resource allocation in dynamic distributed real-time heterogeneous
+//! computing systems*) maps exactly this system with greedy heuristics;
+//! §1's motivating problem is choosing mappings that maximize robustness.
+//! This module provides:
+//!
+//! * [`RandomHiperd`] — the §4.3 experiment generator;
+//! * [`RoundRobinHiperd`] — occupancy-balanced, function-oblivious;
+//! * [`MinOccupancy`] — greedy occupancy balancing (minimizes the
+//!   multitasking factor growth);
+//! * [`SlackGreedy`] — greedy maximization of the worst partial throughput
+//!   slack;
+//! * [`RobustGreedy`] — greedy maximization of the worst partial
+//!   throughput robustness radius (the Eq. 10a distances);
+//! * [`RobustLocalSearch`] — hill-climbing on the full Eq. 11 metric from
+//!   a greedy start (most expensive, best metric).
+
+use crate::mapping::{multitask_factor, HiperdMapping};
+use crate::model::HiperdSystem;
+use crate::path::{app_rates, enumerate_paths};
+use crate::robustness::load_robustness_with_paths;
+use fepia_core::RadiusOptions;
+use fepia_optim::VecN;
+use rand::{Rng, RngCore};
+
+/// A static HiPer-D mapping heuristic.
+pub trait HiperdHeuristic {
+    /// Short stable name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Produces a mapping for the system.
+    fn map(&self, sys: &HiperdSystem, rng: &mut dyn RngCore) -> HiperdMapping;
+}
+
+/// Uniform random assignment (the paper's §4.3 sweep generator).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomHiperd;
+
+impl HiperdHeuristic for RandomHiperd {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn map(&self, sys: &HiperdSystem, rng: &mut dyn RngCore) -> HiperdMapping {
+        HiperdMapping::new(
+            (0..sys.n_apps).map(|_| rng.gen_range(0..sys.n_machines)).collect(),
+            sys.n_machines,
+        )
+    }
+}
+
+/// Cyclic assignment `a_i → m_{i mod |M|}`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinHiperd;
+
+impl HiperdHeuristic for RoundRobinHiperd {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn map(&self, sys: &HiperdSystem, _rng: &mut dyn RngCore) -> HiperdMapping {
+        HiperdMapping::new(
+            (0..sys.n_apps).map(|i| i % sys.n_machines).collect(),
+            sys.n_machines,
+        )
+    }
+}
+
+/// Greedy occupancy balancing: each application goes to the currently
+/// least-occupied machine (ties → lowest index). Minimizes the largest
+/// multitasking factor, ignoring the functions themselves.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinOccupancy;
+
+impl HiperdHeuristic for MinOccupancy {
+    fn name(&self) -> &'static str {
+        "min-occupancy"
+    }
+
+    fn map(&self, sys: &HiperdSystem, _rng: &mut dyn RngCore) -> HiperdMapping {
+        let mut occ = vec![0usize; sys.n_machines];
+        let mut assignment = Vec::with_capacity(sys.n_apps);
+        for _ in 0..sys.n_apps {
+            let j = occ
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &n)| n)
+                .map(|(j, _)| j)
+                .expect("at least one machine");
+            occ[j] += 1;
+            assignment.push(j);
+        }
+        HiperdMapping::new(assignment, sys.n_machines)
+    }
+}
+
+/// Shared greedy skeleton: applications are committed in decreasing order
+/// of their cheapest-machine computation value at `λ_orig`; each goes to
+/// the machine maximizing `score` over the partial assignment.
+fn greedy_by_score<S>(sys: &HiperdSystem, score: S) -> HiperdMapping
+where
+    // score(sys, partial assignment (usize::MAX = unassigned), occupancy,
+    // rates, λ_orig) → larger is better.
+    S: Fn(&HiperdSystem, &[usize], &[usize], &[Option<f64>], &VecN) -> f64,
+{
+    let lambda = VecN::new(sys.lambda_orig.clone());
+    let paths = enumerate_paths(sys);
+    let rates = app_rates(sys, &paths);
+
+    // Order: heaviest applications first.
+    let weight = |i: usize| {
+        (0..sys.n_machines)
+            .map(|j| sys.comp[i][j].eval(&lambda))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut order: Vec<usize> = (0..sys.n_apps).collect();
+    order.sort_by(|&a, &b| weight(b).partial_cmp(&weight(a)).expect("no NaN"));
+
+    let mut assignment = vec![usize::MAX; sys.n_apps];
+    let mut occ = vec![0usize; sys.n_machines];
+    for &i in &order {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for j in 0..sys.n_machines {
+            assignment[i] = j;
+            occ[j] += 1;
+            let s = score(sys, &assignment, &occ, &rates, &lambda);
+            occ[j] -= 1;
+            if s > best.1 {
+                best = (j, s);
+            }
+        }
+        assignment[i] = best.0;
+        occ[best.0] += 1;
+    }
+    HiperdMapping::new(assignment, sys.n_machines)
+}
+
+/// Worst throughput slack over the assigned applications of a partial
+/// assignment.
+fn partial_worst_slack(
+    sys: &HiperdSystem,
+    assignment: &[usize],
+    occ: &[usize],
+    rates: &[Option<f64>],
+    lambda: &VecN,
+) -> f64 {
+    let mut worst = f64::INFINITY;
+    for (i, &j) in assignment.iter().enumerate() {
+        if j == usize::MAX {
+            continue;
+        }
+        let Some(rate) = rates[i] else { continue };
+        let t = sys.comp[i][j].eval(lambda) * multitask_factor(occ[j]);
+        worst = worst.min(1.0 - t * rate);
+    }
+    worst
+}
+
+/// Worst throughput robustness radius (hyperplane distance) over the
+/// assigned applications of a partial assignment.
+fn partial_worst_radius(
+    sys: &HiperdSystem,
+    assignment: &[usize],
+    occ: &[usize],
+    rates: &[Option<f64>],
+    lambda: &VecN,
+) -> f64 {
+    let mut worst = f64::INFINITY;
+    for (i, &j) in assignment.iter().enumerate() {
+        if j == usize::MAX {
+            continue;
+        }
+        let Some(rate) = rates[i] else { continue };
+        let f = sys.comp[i][j].scaled(multitask_factor(occ[j]));
+        let value = f.eval(lambda);
+        let gnorm = f.gradient(lambda).norm_l2();
+        let radius = if gnorm <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            (1.0 / rate - value) / gnorm
+        };
+        worst = worst.min(radius);
+    }
+    worst
+}
+
+/// Greedy maximization of the worst partial throughput **slack**.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlackGreedy;
+
+impl HiperdHeuristic for SlackGreedy {
+    fn name(&self) -> &'static str {
+        "slack-greedy"
+    }
+
+    fn map(&self, sys: &HiperdSystem, _rng: &mut dyn RngCore) -> HiperdMapping {
+        greedy_by_score(sys, partial_worst_slack)
+    }
+}
+
+/// Greedy maximization of the worst partial throughput **robustness
+/// radius** — the Eq. 10a distances, the quantity the paper argues should
+/// drive mapping decisions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RobustGreedy;
+
+impl HiperdHeuristic for RobustGreedy {
+    fn name(&self) -> &'static str {
+        "robust-greedy"
+    }
+
+    fn map(&self, sys: &HiperdSystem, _rng: &mut dyn RngCore) -> HiperdMapping {
+        greedy_by_score(sys, partial_worst_radius)
+    }
+}
+
+/// Hill climbing on the full Eq. 11 metric: starts from [`RobustGreedy`],
+/// then repeatedly applies the single reassignment that most improves
+/// `ρ_μ(Φ, λ)` until no move helps or the iteration budget is spent.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustLocalSearch {
+    /// Maximum accepted moves.
+    pub max_moves: usize,
+}
+
+impl Default for RobustLocalSearch {
+    fn default() -> Self {
+        RobustLocalSearch { max_moves: 20 }
+    }
+}
+
+impl HiperdHeuristic for RobustLocalSearch {
+    fn name(&self) -> &'static str {
+        "robust-local-search"
+    }
+
+    fn map(&self, sys: &HiperdSystem, rng: &mut dyn RngCore) -> HiperdMapping {
+        let paths = enumerate_paths(sys);
+        let opts = RadiusOptions::default();
+        let metric = |m: &HiperdMapping| {
+            load_robustness_with_paths(sys, m, &paths, &opts)
+                .map(|r| r.metric)
+                .unwrap_or(0.0)
+        };
+        let mut current = RobustGreedy.map(sys, rng);
+        let mut cur_metric = metric(&current);
+        for _ in 0..self.max_moves {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for app in 0..sys.n_apps {
+                let old = current.machine_of(app);
+                for j in 0..sys.n_machines {
+                    if j == old {
+                        continue;
+                    }
+                    let mut cand = current.clone();
+                    cand.reassign(app, j);
+                    let m = metric(&cand);
+                    if m > cur_metric && best.as_ref().is_none_or(|&(_, _, bm)| m > bm) {
+                        best = Some((app, j, m));
+                    }
+                }
+            }
+            let Some((app, j, m)) = best else { break };
+            current.reassign(app, j);
+            cur_metric = m;
+        }
+        current
+    }
+}
+
+/// Every heuristic in this module, boxed, for sweep experiments.
+pub fn all_hiperd_heuristics() -> Vec<Box<dyn HiperdHeuristic>> {
+    vec![
+        Box::new(RandomHiperd),
+        Box::new(RoundRobinHiperd),
+        Box::new(MinOccupancy),
+        Box::new(SlackGreedy),
+        Box::new(RobustGreedy),
+        Box::new(RobustLocalSearch::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_system, GenParams};
+    use crate::slack::system_slack;
+    use fepia_stats::rng_for;
+
+    fn system(seed: u64) -> HiperdSystem {
+        generate_system(&mut rng_for(seed, 0), &GenParams::paper_section_4_3())
+    }
+
+    fn metric(sys: &HiperdSystem, m: &HiperdMapping) -> f64 {
+        crate::robustness::load_robustness(sys, m, &RadiusOptions::default())
+            .unwrap()
+            .metric
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_mappings() {
+        let sys = system(1);
+        for h in all_hiperd_heuristics() {
+            let m = h.map(&sys, &mut rng_for(1, 9));
+            assert_eq!(m.apps(), sys.n_apps, "{}", h.name());
+            assert!(m.assignment().iter().all(|&j| j < sys.n_machines));
+        }
+    }
+
+    #[test]
+    fn min_occupancy_balances() {
+        let sys = system(2);
+        let m = MinOccupancy.map(&sys, &mut rng_for(0, 0));
+        let occ = m.occupancy();
+        let (lo, hi) = (occ.iter().min().unwrap(), occ.iter().max().unwrap());
+        assert!(hi - lo <= 1, "unbalanced occupancy {occ:?}");
+    }
+
+    #[test]
+    fn robust_greedy_beats_mean_random() {
+        for seed in [3u64, 4] {
+            let sys = system(seed);
+            let greedy = metric(&sys, &RobustGreedy.map(&sys, &mut rng_for(seed, 0)));
+            let randoms: Vec<f64> = (0..15)
+                .map(|k| {
+                    metric(
+                        &sys,
+                        &RandomHiperd.map(&sys, &mut rng_for(seed, 10 + k)),
+                    )
+                })
+                .collect();
+            let mean = randoms.iter().sum::<f64>() / randoms.len() as f64;
+            assert!(
+                greedy > mean,
+                "seed {seed}: robust-greedy {greedy} ≤ mean random {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_never_hurts_greedy() {
+        let sys = system(5);
+        let g = metric(&sys, &RobustGreedy.map(&sys, &mut rng_for(5, 0)));
+        let ls = metric(
+            &sys,
+            &RobustLocalSearch { max_moves: 5 }.map(&sys, &mut rng_for(5, 0)),
+        );
+        assert!(ls >= g - 1e-9, "local search {ls} worse than its start {g}");
+    }
+
+    #[test]
+    fn slack_greedy_gets_good_slack() {
+        let sys = system(6);
+        let sg = system_slack(&sys, &SlackGreedy.map(&sys, &mut rng_for(6, 0)));
+        let randoms: Vec<f64> = (0..15)
+            .map(|k| system_slack(&sys, &RandomHiperd.map(&sys, &mut rng_for(6, 20 + k))))
+            .collect();
+        let mean = randoms.iter().sum::<f64>() / randoms.len() as f64;
+        assert!(sg > mean, "slack-greedy {sg} ≤ mean random {mean}");
+    }
+
+    #[test]
+    fn heuristic_names_unique() {
+        let hs = all_hiperd_heuristics();
+        let mut names: Vec<&str> = hs.iter().map(|h| h.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), hs.len());
+    }
+}

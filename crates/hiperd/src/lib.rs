@@ -1,0 +1,46 @@
+//! `fepia-hiperd` — the paper's §3.2 system: a HiPer-D-like distributed
+//! real-time environment.
+//!
+//! The model (developed in the paper's reference \[2\] and summarized in
+//! §3.2): heterogeneous sensors produce periodic data streams that flow
+//! through a DAG of continuously-executing applications to actuators.
+//! Machines multitask (round-robin), so an application's computation time
+//! scales with the occupancy of its machine. Two QoS families constrain the
+//! system:
+//!
+//! * **throughput** — every application (and data transfer) in a path must
+//!   process faster than the driving sensor produces:
+//!   `T(λ) ≤ 1/R(aᵢ)`;
+//! * **latency** — each path's end-to-end time must satisfy
+//!   `L_k(λ) ≤ L_k^max` (Eq. 8).
+//!
+//! The perturbation parameter is the **sensor load vector** `λ` (objects
+//! per data set); the robustness metric (Eqs. 10–11) is the largest
+//! Euclidean load increase, in any direction, that no constraint survives
+//! being crossed — floored, because loads are integral.
+//!
+//! Modules: [`loadfn`] (convex computation/communication-time functions),
+//! [`model`] (sensors/apps/actuators/edges/system), [`dag`] (graph
+//! queries), [`path`] (trigger/update path enumeration), [`mapping`]
+//! (assignments + the `1.3·n(m_j)` multitasking factor), [`slack`] (the
+//! §4.3 comparison measure), [`robustness`] (Eqs. 10–11 via `fepia-core`),
+//! [`gen`] (the calibrated random generator behind the §4.3 experiments).
+
+pub mod dag;
+pub mod gen;
+pub mod heuristics;
+pub mod loadfn;
+pub mod mapping;
+pub mod model;
+pub mod path;
+pub mod robustness;
+pub mod slack;
+
+pub use gen::{generate_system, GenParams};
+pub use heuristics::{all_hiperd_heuristics, HiperdHeuristic};
+pub use loadfn::{LoadFn, Shape};
+pub use mapping::HiperdMapping;
+pub use model::{Edge, HiperdSystem, Node, Sensor};
+pub use path::{Path, Terminal};
+pub use robustness::{load_robustness, HiperdRobustness};
+pub use slack::system_slack;

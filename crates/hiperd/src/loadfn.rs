@@ -1,0 +1,303 @@
+//! Computation/communication-time functions of the sensor load.
+//!
+//! §3.2 assumes "the dependence of `T_i^c` and `T_ip^n` on `λ` is known (or
+//! can be estimated)" and notes the analysis is convex whenever those
+//! functions are convex, listing `e^{px}`, `x^p` (p ≥ 1) and `x log x` as
+//! common convex complexity functions. A [`LoadFn`] is
+//!
+//! ```text
+//! T(λ) = scale · g( coeffs · λ )
+//! ```
+//!
+//! a convex increasing shape `g` applied to a non-negative linear aggregate
+//! of the sensor loads — exactly the family the paper's experiments draw
+//! from (§4.3 uses the linear case `Σ_z b_ijz·λ_z`). Composition with the
+//! non-negative linear map keeps every shape convex in `λ`, and gradients
+//! stay analytic.
+
+use fepia_optim::VecN;
+use serde::{Deserialize, Serialize};
+
+/// The scalar shape `g(u)` applied to the load aggregate `u = coeffs·λ ≥ 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// `g(u) = u` — the paper's §4.3 experimental setting.
+    Linear,
+    /// `g(u) = u^p`, `p ≥ 1` (convex on `u ≥ 0`).
+    Power(f64),
+    /// `g(u) = e^{q·u} − 1`, `q > 0` (convex, `g(0) = 0`).
+    Exp(f64),
+    /// `g(u) = u·ln(1 + u)` (convex and increasing on `u ≥ 0`; the `1 + u`
+    /// shift keeps it defined and zero at `u = 0`).
+    XLogX,
+}
+
+impl Shape {
+    fn eval(&self, u: f64) -> f64 {
+        match *self {
+            Shape::Linear => u,
+            Shape::Power(p) => u.powf(p),
+            Shape::Exp(q) => (q * u).exp() - 1.0,
+            Shape::XLogX => u * (1.0 + u).ln(),
+        }
+    }
+
+    fn derivative(&self, u: f64) -> f64 {
+        match *self {
+            Shape::Linear => 1.0,
+            Shape::Power(p) => p * u.powf(p - 1.0),
+            Shape::Exp(q) => q * (q * u).exp(),
+            Shape::XLogX => (1.0 + u).ln() + u / (1.0 + u),
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            Shape::Power(p) => assert!(p >= 1.0, "power shape needs p ≥ 1, got {p}"),
+            Shape::Exp(q) => assert!(q > 0.0, "exp shape needs q > 0, got {q}"),
+            _ => {}
+        }
+    }
+}
+
+/// A time function `T(λ) = scale · g(coeffs·λ)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadFn {
+    /// Per-sensor coefficients `b_z ≥ 0`; zero where no route exists from
+    /// sensor `z`.
+    pub coeffs: Vec<f64>,
+    /// The convex shape `g`.
+    pub shape: Shape,
+    /// Positive multiplier (the §4.3 experiments put the multitasking
+    /// factor here when a mapping is applied).
+    pub scale: f64,
+}
+
+impl LoadFn {
+    /// Creates a load function.
+    ///
+    /// # Panics
+    /// Panics on negative coefficients/scale or invalid shape parameters.
+    pub fn new(coeffs: Vec<f64>, shape: Shape, scale: f64) -> Self {
+        assert!(
+            coeffs.iter().all(|&b| b >= 0.0 && b.is_finite()),
+            "load coefficients must be non-negative and finite"
+        );
+        assert!(
+            scale >= 0.0 && scale.is_finite(),
+            "scale must be non-negative and finite"
+        );
+        shape.validate();
+        LoadFn {
+            coeffs,
+            shape,
+            scale,
+        }
+    }
+
+    /// The §4.3 linear form `scale · Σ_z b_z λ_z`.
+    pub fn linear(coeffs: Vec<f64>, scale: f64) -> Self {
+        LoadFn::new(coeffs, Shape::Linear, scale)
+    }
+
+    /// The identically-zero function (e.g. the §4.3 communication times,
+    /// which "were all set to zero").
+    pub fn zero(dim: usize) -> Self {
+        LoadFn::linear(vec![0.0; dim], 0.0)
+    }
+
+    /// Number of sensors the function reads.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True when the function is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.scale == 0.0 || self.coeffs.iter().all(|&b| b == 0.0)
+    }
+
+    /// Evaluates `T(λ)`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn eval(&self, lambda: &VecN) -> f64 {
+        assert_eq!(lambda.dim(), self.coeffs.len(), "load dimension mismatch");
+        let u: f64 = self
+            .coeffs
+            .iter()
+            .zip(lambda.iter())
+            .map(|(b, l)| b * l)
+            .sum();
+        self.scale * self.shape.eval(u)
+    }
+
+    /// The gradient `∇T(λ) = scale · g'(coeffs·λ) · coeffs`.
+    pub fn gradient(&self, lambda: &VecN) -> VecN {
+        assert_eq!(lambda.dim(), self.coeffs.len(), "load dimension mismatch");
+        let u: f64 = self
+            .coeffs
+            .iter()
+            .zip(lambda.iter())
+            .map(|(b, l)| b * l)
+            .sum();
+        let d = self.scale * self.shape.derivative(u);
+        VecN::new(self.coeffs.iter().map(|b| d * b).collect())
+    }
+
+    /// The affine representation `(a, c)` with `T(λ) = a·λ + c`, when the
+    /// shape is linear.
+    pub fn as_affine(&self) -> Option<(VecN, f64)> {
+        match self.shape {
+            Shape::Linear => Some((
+                VecN::new(self.coeffs.iter().map(|b| self.scale * b).collect()),
+                0.0,
+            )),
+            _ => None,
+        }
+    }
+
+    /// Returns this function with its scale multiplied by `factor` (how the
+    /// multitasking factor is applied).
+    pub fn scaled(&self, factor: f64) -> LoadFn {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        LoadFn {
+            coeffs: self.coeffs.clone(),
+            shape: self.shape,
+            scale: self.scale * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table2_style_linear_function() {
+        // Table 2's a_20 on mapping A: 6.50·(3λ₁ + 14λ₂ + 18λ₃).
+        let f = LoadFn::linear(vec![3.0, 14.0, 18.0], 6.5);
+        let lambda = VecN::from([962.0, 380.0, 240.0]);
+        let expected = 6.5 * (3.0 * 962.0 + 14.0 * 380.0 + 18.0 * 240.0);
+        assert!((f.eval(&lambda) - expected).abs() < 1e-9);
+        let (a, c) = f.as_affine().unwrap();
+        assert_eq!(c, 0.0);
+        assert!((a[0] - 19.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_function() {
+        let z = LoadFn::zero(3);
+        assert!(z.is_zero());
+        assert_eq!(z.eval(&VecN::from([10.0, 20.0, 30.0])), 0.0);
+        assert_eq!(z.dim(), 3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let lambda = VecN::from([5.0, 2.0]);
+        for shape in [
+            Shape::Linear,
+            Shape::Power(2.0),
+            Shape::Exp(0.01),
+            Shape::XLogX,
+        ] {
+            let f = LoadFn::new(vec![0.5, 1.5], shape, 2.0);
+            let g = f.gradient(&lambda);
+            for r in 0..2 {
+                let h = 1e-6;
+                let mut up = lambda.clone();
+                up[r] += h;
+                let mut dn = lambda.clone();
+                dn[r] -= h;
+                let fd = (f.eval(&up) - f.eval(&dn)) / (2.0 * h);
+                assert!(
+                    (g[r] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "{shape:?} component {r}: analytic {} vs fd {}",
+                    g[r],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_zero_at_zero_load() {
+        let origin = VecN::zeros(2);
+        for shape in [
+            Shape::Linear,
+            Shape::Power(2.0),
+            Shape::Exp(0.5),
+            Shape::XLogX,
+        ] {
+            let f = LoadFn::new(vec![1.0, 1.0], shape, 3.0);
+            assert_eq!(f.eval(&origin), 0.0, "{shape:?} not zero at origin");
+        }
+    }
+
+    #[test]
+    fn nonlinear_has_no_affine_form() {
+        assert!(LoadFn::new(vec![1.0], Shape::Power(2.0), 1.0)
+            .as_affine()
+            .is_none());
+        assert!(LoadFn::new(vec![1.0], Shape::Exp(1.0), 1.0)
+            .as_affine()
+            .is_none());
+    }
+
+    #[test]
+    fn scaled_multiplies_scale() {
+        let f = LoadFn::linear(vec![2.0], 1.0).scaled(5.2);
+        assert_eq!(f.eval(&VecN::from([3.0])), 5.2 * 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_coefficients() {
+        LoadFn::linear(vec![-1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p ≥ 1")]
+    fn rejects_concave_power() {
+        LoadFn::new(vec![1.0], Shape::Power(0.5), 1.0);
+    }
+
+    proptest! {
+        /// Midpoint convexity along random segments in the non-negative
+        /// orthant, for every shape.
+        #[test]
+        fn convexity(
+            a in prop::collection::vec(0.0..50.0f64, 3),
+            b in prop::collection::vec(0.0..50.0f64, 3),
+            coeffs in prop::collection::vec(0.0..5.0f64, 3),
+            shape_idx in 0usize..4,
+        ) {
+            let shape = [Shape::Linear, Shape::Power(1.7), Shape::Exp(0.05), Shape::XLogX][shape_idx];
+            let f = LoadFn::new(coeffs, shape, 1.3);
+            let va = VecN::new(a);
+            let vb = VecN::new(b);
+            let mid = (&va + &vb).scaled(0.5);
+            let lhs = f.eval(&mid);
+            let rhs = 0.5 * (f.eval(&va) + f.eval(&vb));
+            prop_assert!(lhs <= rhs + 1e-6 * (1.0 + rhs.abs()),
+                "convexity violated for {shape:?}: f(mid)={lhs} > avg={rhs}");
+        }
+
+        /// Monotone non-decreasing in every load component.
+        #[test]
+        fn monotonicity(
+            base in prop::collection::vec(0.0..100.0f64, 2),
+            bump in 0.0..50.0f64,
+            comp in 0usize..2,
+            shape_idx in 0usize..4,
+        ) {
+            let shape = [Shape::Linear, Shape::Power(2.0), Shape::Exp(0.02), Shape::XLogX][shape_idx];
+            let f = LoadFn::new(vec![0.7, 1.2], shape, 2.0);
+            let lo = VecN::new(base);
+            let mut hi = lo.clone();
+            hi[comp] += bump;
+            prop_assert!(f.eval(&hi) + 1e-9 >= f.eval(&lo));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Application-to-machine assignments with multitasking.
+//!
+//! "Each machine is capable of multitasking, executing the applications
+//! mapped to it in a round robin fashion" (§3.2). Following the paper's
+//! Table 2, the effective computation-time function of an application on a
+//! machine running `n ≥ 2` applications is its complexity function scaled
+//! by the **multitasking factor** `1.3·n(m_j)`; a machine running a single
+//! application applies no factor.
+
+use crate::loadfn::LoadFn;
+use crate::model::HiperdSystem;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The multitasking factor `1.3·n` for `n ≥ 2`, else 1.
+pub fn multitask_factor(n: usize) -> f64 {
+    if n >= 2 {
+        1.3 * n as f64
+    } else {
+        1.0
+    }
+}
+
+/// An assignment of HiPer-D applications to machines.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HiperdMapping {
+    assignment: Vec<usize>,
+    machines: usize,
+}
+
+impl HiperdMapping {
+    /// Creates a mapping.
+    ///
+    /// # Panics
+    /// Panics on an empty assignment, zero machines, or out-of-range
+    /// entries.
+    pub fn new(assignment: Vec<usize>, machines: usize) -> Self {
+        assert!(!assignment.is_empty(), "mapping needs at least one application");
+        assert!(machines > 0, "mapping needs at least one machine");
+        assert!(
+            assignment.iter().all(|&j| j < machines),
+            "machine index out of range"
+        );
+        HiperdMapping {
+            assignment,
+            machines,
+        }
+    }
+
+    /// A uniformly random mapping (the §4.3 experiment generator).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, apps: usize, machines: usize) -> Self {
+        assert!(apps > 0 && machines > 0, "empty mapping");
+        HiperdMapping {
+            assignment: (0..apps).map(|_| rng.gen_range(0..machines)).collect(),
+            machines,
+        }
+    }
+
+    /// The assignment vector.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The machine application `app` runs on.
+    pub fn machine_of(&self, app: usize) -> usize {
+        self.assignment[app]
+    }
+
+    /// Number of applications.
+    pub fn apps(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Re-assigns one application (used by the local-search heuristics).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range machine index.
+    pub fn reassign(&mut self, app: usize, machine: usize) {
+        assert!(machine < self.machines, "machine index out of range");
+        self.assignment[app] = machine;
+    }
+
+    /// `n(m_j)` for every machine.
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut n = vec![0usize; self.machines];
+        for &j in &self.assignment {
+            n[j] += 1;
+        }
+        n
+    }
+
+    /// The effective computation-time function `T_i^c(λ)` of application
+    /// `app` under this mapping: the complexity function on its assigned
+    /// machine, scaled by the multitasking factor of that machine.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch with `sys`.
+    pub fn effective_comp(&self, sys: &HiperdSystem, app: usize) -> LoadFn {
+        assert_eq!(sys.n_apps, self.apps(), "system/mapping app mismatch");
+        assert_eq!(sys.n_machines, self.machines, "system/mapping machine mismatch");
+        let j = self.assignment[app];
+        let n = self.assignment.iter().filter(|&&m| m == j).count();
+        sys.comp[app][j].scaled(multitask_factor(n))
+    }
+
+    /// All effective computation functions, indexed by application.
+    pub fn effective_comps(&self, sys: &HiperdSystem) -> Vec<LoadFn> {
+        let occ = self.occupancy();
+        (0..self.apps())
+            .map(|i| {
+                let j = self.assignment[i];
+                sys.comp[i][j].scaled(multitask_factor(occ[j]))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::tiny_system;
+    use fepia_optim::VecN;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn multitask_factor_table2_form() {
+        assert_eq!(multitask_factor(0), 1.0);
+        assert_eq!(multitask_factor(1), 1.0);
+        // Table 2's factors: 2.60, 3.90, 5.20, 6.50, 7.80 for n = 2..6.
+        for (n, expect) in [(2, 2.6), (3, 3.9), (4, 5.2), (5, 6.5), (6, 7.8)] {
+            assert!(
+                (multitask_factor(n) - expect).abs() < 1e-12,
+                "n = {n}: {} vs {expect}",
+                multitask_factor(n)
+            );
+        }
+    }
+
+    #[test]
+    fn effective_comp_applies_factor() {
+        let sys = tiny_system();
+        // a0, a1 → m0 (n=2 → ×2.6); a2 → m1 (alone → ×1).
+        let m = HiperdMapping::new(vec![0, 0, 1], 2);
+        let lambda = VecN::from([100.0, 50.0]);
+        // a0 on m0: base 2λ₀ = 200, ×2.6.
+        assert!((m.effective_comp(&sys, 0).eval(&lambda) - 520.0).abs() < 1e-9);
+        // a2 on m1: base 2λ₁ = 100, alone.
+        assert!((m.effective_comp(&sys, 2).eval(&lambda) - 100.0).abs() < 1e-9);
+        let all = m.effective_comps(&sys);
+        for (i, f) in all.iter().enumerate() {
+            assert_eq!(*f, m.effective_comp(&sys, i));
+        }
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a = HiperdMapping::random(&mut StdRng::seed_from_u64(3), 20, 5);
+        let b = HiperdMapping::random(&mut StdRng::seed_from_u64(3), 20, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.occupancy().iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_assignment() {
+        HiperdMapping::new(vec![0, 5], 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! The HiPer-D system model: sensors, applications, actuators, transfers.
+
+use crate::loadfn::LoadFn;
+use serde::{Deserialize, Serialize};
+
+/// A sensor: "produces data periodically at a certain rate". `rate` is the
+/// maximum periodic output data rate; `1/rate` is the throughput bound for
+/// everything in paths it drives.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Display name.
+    pub name: String,
+    /// Output data rate (the §4.3 experiment uses 4×10⁻⁵, 3×10⁻⁵, 8×10⁻⁶).
+    pub rate: f64,
+}
+
+impl Sensor {
+    /// Creates a sensor with a positive rate.
+    pub fn new(name: impl Into<String>, rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "sensor rate must be positive");
+        Sensor {
+            name: name.into(),
+            rate,
+        }
+    }
+}
+
+/// A vertex of the HiPer-D graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// The `z`-th sensor (diamond in the paper's Fig. 2).
+    Sensor(usize),
+    /// The `i`-th application (circle).
+    App(usize),
+    /// The `t`-th actuator (rectangle).
+    Actuator(usize),
+}
+
+/// A directed data transfer with its communication-time function
+/// `T_ip^n(λ)` (identically zero in the §4.3 experiments).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producer endpoint.
+    pub from: Node,
+    /// Consumer endpoint.
+    pub to: Node,
+    /// Communication-time function of the load vector.
+    pub comm: LoadFn,
+}
+
+/// The full system: the DAG of Fig. 2 plus per-(app, machine) computation
+/// time functions, sensor rates, initial loads and per-path latency bounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HiperdSystem {
+    /// The sensors (with their rates).
+    pub sensors: Vec<Sensor>,
+    /// Number of applications `|A|`.
+    pub n_apps: usize,
+    /// Number of actuators.
+    pub n_actuators: usize,
+    /// Number of machines `|M|`.
+    pub n_machines: usize,
+    /// All data transfers.
+    pub edges: Vec<Edge>,
+    /// `comp[i][j]` — computation-time function `T_ij^c(λ)` of application
+    /// `a_i` on machine `m_j`, **before** the multitasking factor.
+    pub comp: Vec<Vec<LoadFn>>,
+    /// `L_k^max` per enumerated path (aligned with
+    /// [`crate::path::enumerate_paths`] order).
+    pub latency_limits: Vec<f64>,
+    /// The initial load vector `λ_orig` (objects per data set).
+    pub lambda_orig: Vec<f64>,
+}
+
+impl HiperdSystem {
+    /// Number of sensors (= the dimension of `λ`).
+    pub fn n_sensors(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Validates structural consistency; returns a description of the first
+    /// problem found. Called by the generator and recommended after manual
+    /// construction.
+    pub fn validate(&self) -> Result<(), String> {
+        let s = self.n_sensors();
+        if s == 0 {
+            return Err("system has no sensors".into());
+        }
+        if self.n_apps == 0 {
+            return Err("system has no applications".into());
+        }
+        if self.n_machines == 0 {
+            return Err("system has no machines".into());
+        }
+        if self.lambda_orig.len() != s {
+            return Err(format!(
+                "lambda_orig has {} entries for {s} sensors",
+                self.lambda_orig.len()
+            ));
+        }
+        if self.lambda_orig.iter().any(|&l| l < 0.0 || !l.is_finite()) {
+            return Err("negative or non-finite initial load".into());
+        }
+        if self.comp.len() != self.n_apps {
+            return Err(format!(
+                "comp has {} rows for {} applications",
+                self.comp.len(),
+                self.n_apps
+            ));
+        }
+        for (i, row) in self.comp.iter().enumerate() {
+            if row.len() != self.n_machines {
+                return Err(format!("comp row {i} has {} machines", row.len()));
+            }
+            for (j, f) in row.iter().enumerate() {
+                if f.dim() != s {
+                    return Err(format!("comp[{i}][{j}] has dimension {}", f.dim()));
+                }
+            }
+        }
+        for (k, e) in self.edges.iter().enumerate() {
+            let ok_from = match e.from {
+                Node::Sensor(z) => z < s,
+                Node::App(i) => i < self.n_apps,
+                Node::Actuator(_) => false, // actuators never produce
+            };
+            let ok_to = match e.to {
+                Node::Sensor(_) => false, // sensors never consume
+                Node::App(i) => i < self.n_apps,
+                Node::Actuator(t) => t < self.n_actuators,
+            };
+            if !ok_from || !ok_to {
+                return Err(format!("edge {k} has invalid endpoints {:?}→{:?}", e.from, e.to));
+            }
+            if e.comm.dim() != s {
+                return Err(format!("edge {k} comm function has dimension {}", e.comm.dim()));
+            }
+        }
+        crate::dag::check_acyclic(self)?;
+        Ok(())
+    }
+
+    /// The successor applications `D(a_i)` of application `i`.
+    pub fn successors(&self, app: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|e| match (e.from, e.to) {
+                (Node::App(i), Node::App(p)) if i == app => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Edges out of `node`, as `(edge index, &Edge)`.
+    pub fn edges_from(&self, node: Node) -> Vec<(usize, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == node)
+            .collect()
+    }
+
+    /// In-degree of application `i` (sensor + application inputs). An
+    /// application with in-degree ≥ 2 is a "multiple-input application" —
+    /// an update-path terminal.
+    pub fn in_degree(&self, app: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.to == Node::App(app))
+            .count()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::loadfn::LoadFn;
+
+    /// The miniature system used across this crate's unit tests:
+    ///
+    /// ```text
+    /// s0 → a0 → a1 → act0        (trigger path for s0)
+    /// s1 → a2 ──┘                (a1 has in-degree 2 → update terminal)
+    /// ```
+    ///
+    /// 2 sensors, 3 apps, 1 actuator, 2 machines; linear computation
+    /// functions; zero communication times.
+    pub fn tiny_system() -> HiperdSystem {
+        let zero = LoadFn::zero(2);
+        let sys = HiperdSystem {
+            sensors: vec![Sensor::new("s0", 1e-3), Sensor::new("s1", 5e-4)],
+            n_apps: 3,
+            n_actuators: 1,
+            n_machines: 2,
+            edges: vec![
+                Edge {
+                    from: Node::Sensor(0),
+                    to: Node::App(0),
+                    comm: zero.clone(),
+                },
+                Edge {
+                    from: Node::App(0),
+                    to: Node::App(1),
+                    comm: zero.clone(),
+                },
+                Edge {
+                    from: Node::App(1),
+                    to: Node::Actuator(0),
+                    comm: zero.clone(),
+                },
+                Edge {
+                    from: Node::Sensor(1),
+                    to: Node::App(2),
+                    comm: zero.clone(),
+                },
+                Edge {
+                    from: Node::App(2),
+                    to: Node::App(1),
+                    comm: zero,
+                },
+            ],
+            comp: vec![
+                // a0 reads sensor 0 only.
+                vec![LoadFn::linear(vec![2.0, 0.0], 1.0), LoadFn::linear(vec![3.0, 0.0], 1.0)],
+                // a1 reads both sensors (it joins the streams).
+                vec![LoadFn::linear(vec![1.0, 1.0], 1.0), LoadFn::linear(vec![2.0, 2.0], 1.0)],
+                // a2 reads sensor 1 only.
+                vec![LoadFn::linear(vec![0.0, 4.0], 1.0), LoadFn::linear(vec![0.0, 2.0], 1.0)],
+            ],
+            latency_limits: vec![2_000.0, 2_500.0],
+            lambda_orig: vec![100.0, 50.0],
+        };
+        sys.validate().expect("tiny system is valid");
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::tiny_system;
+    use super::*;
+
+    #[test]
+    fn tiny_system_validates() {
+        let sys = tiny_system();
+        assert_eq!(sys.n_sensors(), 2);
+        assert_eq!(sys.n_apps, 3);
+    }
+
+    #[test]
+    fn successors_are_application_only() {
+        let sys = tiny_system();
+        assert_eq!(sys.successors(0), vec![1]);
+        assert_eq!(sys.successors(1), Vec::<usize>::new()); // a1 → actuator only
+        assert_eq!(sys.successors(2), vec![1]);
+    }
+
+    #[test]
+    fn in_degree_counts_all_inputs() {
+        let sys = tiny_system();
+        assert_eq!(sys.in_degree(0), 1);
+        assert_eq!(sys.in_degree(1), 2); // multi-input application
+        assert_eq!(sys.in_degree(2), 1);
+    }
+
+    #[test]
+    fn edges_from_filters() {
+        let sys = tiny_system();
+        assert_eq!(sys.edges_from(Node::Sensor(0)).len(), 1);
+        assert_eq!(sys.edges_from(Node::App(1)).len(), 1);
+        assert_eq!(sys.edges_from(Node::Actuator(0)).len(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_lambda() {
+        let mut sys = tiny_system();
+        sys.lambda_orig = vec![1.0];
+        assert!(sys.validate().unwrap_err().contains("lambda_orig"));
+    }
+
+    #[test]
+    fn validation_rejects_actuator_producer() {
+        let mut sys = tiny_system();
+        sys.edges.push(Edge {
+            from: Node::Actuator(0),
+            to: Node::App(0),
+            comm: LoadFn::zero(2),
+        });
+        assert!(sys.validate().unwrap_err().contains("invalid endpoints"));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_comp_dimension() {
+        let mut sys = tiny_system();
+        sys.comp[0][0] = LoadFn::linear(vec![1.0], 1.0);
+        assert!(sys.validate().unwrap_err().contains("dimension"));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn sensor_rate_validated() {
+        Sensor::new("bad", 0.0);
+    }
+}

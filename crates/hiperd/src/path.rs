@@ -1,0 +1,225 @@
+//! Path enumeration.
+//!
+//! "A *path* is a chain of producer-consumer pairs that starts at a sensor
+//! (the *driving sensor*) and ends at an actuator (if it is a 'trigger
+//! path') or at a multiple-input application (if it is an 'update path')."
+//! (§3.2). An application may be on multiple paths.
+//!
+//! One modeling decision is needed that the paper leaves to its reference
+//! \[2\]: which stream *continues through* a multiple-input application. We
+//! designate the earliest-indexed incoming edge of each multi-input
+//! application as its **trigger input**; a path arriving on the trigger
+//! input flows through (so downstream applications stay covered by paths),
+//! while paths arriving on any other input terminate there as update paths.
+//! This matches the HiPer-D modeling style (each fusion application has one
+//! triggering stream and ancillary update streams) and guarantees that
+//! every application reachable from a sensor lies on at least one path.
+
+use crate::model::{HiperdSystem, Node};
+
+/// How a path ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Terminal {
+    /// Trigger path: ends at an actuator.
+    Actuator(usize),
+    /// Update path: ends when its data enters a multiple-input application
+    /// on a non-trigger input (that application's computation is *not* part
+    /// of this path).
+    UpdateApp(usize),
+    /// The chain dead-ends at an application with no consumers (only occurs
+    /// in hand-built, incomplete graphs; the generator never produces it).
+    DeadEnd,
+}
+
+/// One path `P_k`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Path {
+    /// Index of the driving sensor.
+    pub sensor: usize,
+    /// The applications on the path, in flow order (the paper's `P_k`).
+    pub apps: Vec<usize>,
+    /// Indices (into `system.edges`) of every transfer traversed, including
+    /// the sensor→first-app and last-app→terminal edges.
+    pub edges: Vec<usize>,
+    /// How the path ends.
+    pub terminal: Terminal,
+}
+
+impl Path {
+    /// True for trigger paths (sensor → … → actuator).
+    pub fn is_trigger(&self) -> bool {
+        matches!(self.terminal, Terminal::Actuator(_))
+    }
+}
+
+/// For each multi-input application, the edge index of its trigger input
+/// (the smallest-index incoming edge).
+fn trigger_inputs(sys: &HiperdSystem) -> Vec<Option<usize>> {
+    let mut trig = vec![None; sys.n_apps];
+    for (k, e) in sys.edges.iter().enumerate() {
+        if let Node::App(i) = e.to {
+            if trig[i].is_none() {
+                trig[i] = Some(k);
+            }
+        }
+    }
+    trig
+}
+
+/// Enumerates every path, deterministically (sensors in index order, DFS in
+/// edge-index order). Worst-case exponential in DAG joins, like any path
+/// enumeration; the §4.3-scale systems have ≈19 paths.
+pub fn enumerate_paths(sys: &HiperdSystem) -> Vec<Path> {
+    let trig = trigger_inputs(sys);
+    let mut paths = Vec::new();
+
+    // DFS stack frame: (current app, apps so far, edges so far, sensor).
+    for z in 0..sys.n_sensors() {
+        for (k0, e0) in sys.edges_from(Node::Sensor(z)) {
+            let Node::App(first) = e0.to else { continue };
+            dfs(sys, &trig, z, first, k0, &mut Vec::new(), &mut Vec::new(), &mut paths);
+        }
+    }
+    paths
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    sys: &HiperdSystem,
+    trig: &[Option<usize>],
+    sensor: usize,
+    app: usize,
+    via_edge: usize,
+    apps: &mut Vec<usize>,
+    edges: &mut Vec<usize>,
+    out: &mut Vec<Path>,
+) {
+    edges.push(via_edge);
+    // Arriving at a multi-input application on a non-trigger input ends the
+    // path *before* the application's computation.
+    if sys.in_degree(app) >= 2 && trig[app] != Some(via_edge) {
+        out.push(Path {
+            sensor,
+            apps: apps.clone(),
+            edges: edges.clone(),
+            terminal: Terminal::UpdateApp(app),
+        });
+        edges.pop();
+        return;
+    }
+    apps.push(app);
+    let outgoing = sys.edges_from(Node::App(app));
+    if outgoing.is_empty() {
+        out.push(Path {
+            sensor,
+            apps: apps.clone(),
+            edges: edges.clone(),
+            terminal: Terminal::DeadEnd,
+        });
+    }
+    for (k, e) in outgoing {
+        match e.to {
+            Node::Actuator(t) => {
+                let mut path_edges = edges.clone();
+                path_edges.push(k);
+                out.push(Path {
+                    sensor,
+                    apps: apps.clone(),
+                    edges: path_edges,
+                    terminal: Terminal::Actuator(t),
+                });
+            }
+            Node::App(next) => {
+                dfs(sys, trig, sensor, next, k, apps, edges, out);
+            }
+            Node::Sensor(_) => unreachable!("validated systems have no edges into sensors"),
+        }
+    }
+    apps.pop();
+    edges.pop();
+}
+
+/// `R(a_i)` for every application: the tightest (largest) driving-sensor
+/// rate over the paths containing `a_i`; `None` for applications on no path.
+pub fn app_rates(sys: &HiperdSystem, paths: &[Path]) -> Vec<Option<f64>> {
+    let mut rates: Vec<Option<f64>> = vec![None; sys.n_apps];
+    for p in paths {
+        let r = sys.sensors[p.sensor].rate;
+        for &i in &p.apps {
+            rates[i] = Some(rates[i].map_or(r, |cur: f64| cur.max(r)));
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::tiny_system;
+
+    #[test]
+    fn tiny_system_has_two_paths() {
+        let sys = tiny_system();
+        let paths = enumerate_paths(&sys);
+        assert_eq!(paths.len(), 2);
+
+        // Trigger path: s0 → a0 → a1 → act0 (a1's trigger input is edge 1,
+        // the first incoming edge in index order).
+        let trigger = paths.iter().find(|p| p.is_trigger()).unwrap();
+        assert_eq!(trigger.sensor, 0);
+        assert_eq!(trigger.apps, vec![0, 1]);
+        assert_eq!(trigger.terminal, Terminal::Actuator(0));
+        assert_eq!(trigger.edges, vec![0, 1, 2]);
+
+        // Update path: s1 → a2 →(a1) — ends at the multi-input app.
+        let update = paths.iter().find(|p| !p.is_trigger()).unwrap();
+        assert_eq!(update.sensor, 1);
+        assert_eq!(update.apps, vec![2]);
+        assert_eq!(update.terminal, Terminal::UpdateApp(1));
+        assert_eq!(update.edges, vec![3, 4]);
+    }
+
+    #[test]
+    fn app_rates_use_tightest_driver() {
+        let sys = tiny_system();
+        let paths = enumerate_paths(&sys);
+        let rates = app_rates(&sys, &paths);
+        // a0, a1 on the s0 path (rate 1e-3); a2 on the s1 path (5e-4).
+        assert_eq!(rates[0], Some(1e-3));
+        assert_eq!(rates[1], Some(1e-3));
+        assert_eq!(rates[2], Some(5e-4));
+    }
+
+    #[test]
+    fn deterministic_enumeration() {
+        let sys = tiny_system();
+        assert_eq!(enumerate_paths(&sys), enumerate_paths(&sys));
+    }
+
+    #[test]
+    fn dead_end_reported() {
+        let mut sys = tiny_system();
+        // Remove a1 → act0: the trigger path now dead-ends at a1.
+        sys.edges.remove(2);
+        let paths = enumerate_paths(&sys);
+        assert!(paths.iter().any(|p| p.terminal == Terminal::DeadEnd));
+    }
+
+    #[test]
+    fn fanout_multiplies_paths() {
+        use crate::loadfn::LoadFn;
+        use crate::model::{Edge, Node};
+        let mut sys = tiny_system();
+        // a0 also feeds a new actuator directly: one more trigger path.
+        sys.n_actuators = 2;
+        sys.edges.push(Edge {
+            from: Node::App(0),
+            to: Node::Actuator(1),
+            comm: LoadFn::zero(2),
+        });
+        sys.latency_limits.push(1_000.0);
+        let paths = enumerate_paths(&sys);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.iter().filter(|p| p.is_trigger()).count(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! System-wide percentage slack (§4.3).
+//!
+//! "Let the fractional value of a given QoS attribute be the value of the
+//! attribute as a percentage of the maximum allowed value. Then the
+//! percentage slack for a given QoS attribute is the fractional value
+//! subtracted from 1. The system-wide percentage slack is the minimum value
+//! of percentage slack taken over all QoS constraints."
+//!
+//! The experiments show slack is **not** a reliable proxy for robustness —
+//! reproducing that comparison is the whole point of Fig. 4 / Table 2.
+
+use crate::mapping::HiperdMapping;
+use crate::model::HiperdSystem;
+use crate::path::{enumerate_paths, Path};
+use crate::robustness::build_constraints;
+use fepia_optim::VecN;
+
+/// The system-wide percentage slack of a mapped system at its initial load
+/// `λ_orig`: `min over constraints of (1 − value/bound)`. Negative when
+/// some constraint is already violated.
+pub fn system_slack(sys: &HiperdSystem, mapping: &HiperdMapping) -> f64 {
+    let paths = enumerate_paths(sys);
+    system_slack_with_paths(sys, mapping, &paths)
+}
+
+/// As [`system_slack`], with pre-enumerated paths (for sweeps).
+pub fn system_slack_with_paths(
+    sys: &HiperdSystem,
+    mapping: &HiperdMapping,
+    paths: &[Path],
+) -> f64 {
+    let set = build_constraints(sys, mapping, paths);
+    let lambda = VecN::new(sys.lambda_orig.clone());
+    set.constraints
+        .iter()
+        .map(|c| 1.0 - c.fraction(&lambda))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::tiny_system;
+
+    #[test]
+    fn slack_hand_computed() {
+        // From the constraint values in robustness.rs tests:
+        //   a_0: 520/1000 → slack 0.48   (minimum)
+        //   a_1: 390/1000 → 0.61
+        //   a_2: 100/2000 → 0.95
+        //   P_0: 910/2000 → 0.545
+        //   P_1: 100/2500 → 0.96
+        let sys = tiny_system();
+        let m = HiperdMapping::new(vec![0, 0, 1], 2);
+        assert!((system_slack(&sys, &m) - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violated_system_has_negative_slack() {
+        let mut sys = tiny_system();
+        sys.lambda_orig = vec![1_000.0, 50.0]; // a_0: 2.6·2·1000 = 5200 > 1000
+        let m = HiperdMapping::new(vec![0, 0, 1], 2);
+        assert!(system_slack(&sys, &m) < 0.0);
+    }
+
+    #[test]
+    fn lighter_load_increases_slack() {
+        let sys = tiny_system();
+        let m = HiperdMapping::new(vec![0, 0, 1], 2);
+        let base = system_slack(&sys, &m);
+        let mut lighter = sys.clone();
+        lighter.lambda_orig = vec![50.0, 25.0];
+        assert!(system_slack(&lighter, &m) > base);
+    }
+
+    #[test]
+    fn slack_with_paths_matches() {
+        let sys = tiny_system();
+        let m = HiperdMapping::new(vec![0, 1, 1], 2);
+        let paths = enumerate_paths(&sys);
+        assert_eq!(
+            system_slack(&sys, &m),
+            system_slack_with_paths(&sys, &m, &paths)
+        );
+    }
+}

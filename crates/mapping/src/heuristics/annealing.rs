@@ -1,0 +1,114 @@
+//! Simulated annealing over the mapping space.
+
+use super::{MappingHeuristic, Mct};
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::{Rng, RngCore};
+
+/// Simulated annealing: starts from the MCT mapping, proposes single-app
+/// reassignments, accepts worse moves with Boltzmann probability under a
+/// geometric cooling schedule. Objective: makespan (normalized by the
+/// initial makespan so `initial_temperature` is scale-free).
+#[derive(Clone, Copy, Debug)]
+pub struct SimulatedAnnealing {
+    /// Proposal count.
+    pub iterations: usize,
+    /// Initial temperature (relative to the starting makespan).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration, in (0, 1).
+    pub cooling: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            iterations: 2_000,
+            initial_temperature: 0.1,
+            cooling: 0.995,
+        }
+    }
+}
+
+impl MappingHeuristic for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+
+    fn map(&self, etc: &EtcMatrix, rng: &mut dyn RngCore) -> Mapping {
+        assert!(
+            (0.0..1.0).contains(&self.cooling) && self.initial_temperature > 0.0,
+            "invalid annealing schedule"
+        );
+        let mut current = Mct.map(etc, rng);
+        let scale = current.makespan(etc).max(f64::MIN_POSITIVE);
+        let mut cur_cost = 1.0; // normalized
+        let mut best = current.clone();
+        let mut best_cost = cur_cost;
+        let mut temp = self.initial_temperature;
+
+        for _ in 0..self.iterations {
+            let app = rng.gen_range(0..current.apps());
+            let old_machine = current.machine_of(app);
+            let new_machine = rng.gen_range(0..current.machines());
+            if new_machine == old_machine {
+                temp *= self.cooling;
+                continue;
+            }
+            current.reassign(app, new_machine);
+            let cost = current.makespan(etc) / scale;
+            let accept = cost <= cur_cost
+                || rng.gen_range(0.0..1.0f64) < ((cur_cost - cost) / temp).exp();
+            if accept {
+                cur_cost = cost;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = current.clone();
+                }
+            } else {
+                current.reassign(app, old_machine);
+            }
+            temp *= self.cooling;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn improves_or_matches_mct() {
+        for seed in 0..4u64 {
+            let etc = instance(seed);
+            let mct = Mct.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
+            let sa = SimulatedAnnealing::default()
+                .map(&etc, &mut rng_for(seed, 1))
+                .makespan(&etc);
+            assert!(sa <= mct + 1e-12, "seed {seed}: SA {sa} worse than MCT {mct}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let etc = instance(9);
+        let a = SimulatedAnnealing::default().map(&etc, &mut rng_for(1, 0));
+        let b = SimulatedAnnealing::default().map(&etc, &mut rng_for(1, 0));
+        assert_eq!(a, b);
+        assert_valid(&a, &etc);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid annealing schedule")]
+    fn rejects_bad_schedule() {
+        let etc = instance(0);
+        let _ = SimulatedAnnealing {
+            iterations: 1,
+            initial_temperature: 0.1,
+            cooling: 1.5,
+        }
+        .map(&etc, &mut rng_for(0, 0));
+    }
+}

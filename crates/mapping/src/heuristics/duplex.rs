@@ -1,0 +1,56 @@
+//! Duplex: the better of Min-Min and Max-Min.
+
+use super::{MappingHeuristic, MaxMin, MinMin};
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::RngCore;
+
+/// Runs [`MinMin`] and [`MaxMin`] and keeps the mapping with the smaller
+/// makespan (tie → Min-Min). Exploits that the two excel on complementary
+/// workload shapes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Duplex;
+
+impl MappingHeuristic for Duplex {
+    fn name(&self) -> &'static str {
+        "duplex"
+    }
+
+    fn map(&self, etc: &EtcMatrix, rng: &mut dyn RngCore) -> Mapping {
+        let a = MinMin.map(etc, rng);
+        let b = MaxMin.map(etc, rng);
+        if a.makespan(etc) <= b.makespan(etc) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn duplex_is_min_of_both() {
+        for seed in 0..8u64 {
+            let etc = instance(seed);
+            let mut rng = rng_for(seed, 0);
+            let d = Duplex.map(&etc, &mut rng).makespan(&etc);
+            let a = MinMin.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
+            let b = MaxMin.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
+            assert!((d - a.min(b)).abs() < 1e-12, "duplex {d}, minmin {a}, maxmin {b}");
+        }
+    }
+
+    #[test]
+    fn tie_prefers_minmin() {
+        let etc = EtcMatrix::uniform(2, 2, 5.0);
+        let mut rng = rng_for(0, 0);
+        let d = Duplex.map(&etc, &mut rng);
+        let a = MinMin.map(&etc, &mut rng);
+        assert_eq!(d, a);
+    }
+}

@@ -1,0 +1,159 @@
+//! A simple genetic algorithm over the mapping space.
+
+use super::{MappingHeuristic, Mct, MinMin};
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::{Rng, RngCore};
+
+/// Generational GA: tournament selection, uniform crossover, per-gene
+/// mutation, elitism of one. The population is seeded with MCT and Min-Min
+/// mappings (plus random fill), the standard construction in the heuristic
+/// literature the paper builds on.
+#[derive(Clone, Copy, Debug)]
+pub struct Genetic {
+    /// Population size (≥ 2).
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for Genetic {
+    fn default() -> Self {
+        Genetic {
+            population: 32,
+            generations: 100,
+            mutation_rate: 0.05,
+        }
+    }
+}
+
+fn tournament<'a, R: Rng + ?Sized>(
+    pop: &'a [(Mapping, f64)],
+    rng: &mut R,
+) -> &'a Mapping {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    if pop[a].1 <= pop[b].1 {
+        &pop[a].0
+    } else {
+        &pop[b].0
+    }
+}
+
+impl MappingHeuristic for Genetic {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn map(&self, etc: &EtcMatrix, rng: &mut dyn RngCore) -> Mapping {
+        assert!(self.population >= 2, "population must be at least 2");
+        assert!(
+            (0.0..=1.0).contains(&self.mutation_rate),
+            "mutation rate must lie in [0, 1]"
+        );
+        let apps = etc.apps();
+        let machines = etc.machines();
+
+        let mut pop: Vec<(Mapping, f64)> = Vec::with_capacity(self.population);
+        for seed in [Mct.map(etc, rng), MinMin.map(etc, rng)] {
+            let cost = seed.makespan(etc);
+            pop.push((seed, cost));
+        }
+        while pop.len() < self.population {
+            let m = Mapping::random(rng, apps, machines);
+            let cost = m.makespan(etc);
+            pop.push((m, cost));
+        }
+
+        for _ in 0..self.generations {
+            let elite = pop
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("cost is never NaN"))
+                .expect("non-empty population")
+                .clone();
+            let mut next = Vec::with_capacity(self.population);
+            next.push(elite);
+            while next.len() < self.population {
+                let p1 = tournament(&pop, rng);
+                let p2 = tournament(&pop, rng);
+                // Uniform crossover + mutation.
+                let genes: Vec<usize> = (0..apps)
+                    .map(|i| {
+                        let base = if rng.gen_bool(0.5) {
+                            p1.machine_of(i)
+                        } else {
+                            p2.machine_of(i)
+                        };
+                        if rng.gen_range(0.0..1.0f64) < self.mutation_rate {
+                            rng.gen_range(0..machines)
+                        } else {
+                            base
+                        }
+                    })
+                    .collect();
+                let child = Mapping::new(genes, machines);
+                let cost = child.makespan(etc);
+                next.push((child, cost));
+            }
+            pop = next;
+        }
+        pop.into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("cost is never NaN"))
+            .expect("non-empty population")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn never_worse_than_seeds() {
+        // Elitism + seeded population: the GA result can't be worse than
+        // the better of MCT and Min-Min.
+        for seed in 0..3u64 {
+            let etc = instance(seed);
+            let mct = Mct.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
+            let mm = MinMin.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
+            let ga = Genetic {
+                population: 16,
+                generations: 30,
+                mutation_rate: 0.05,
+            }
+            .map(&etc, &mut rng_for(seed, 1))
+            .makespan(&etc);
+            assert!(ga <= mct.min(mm) + 1e-12, "seed {seed}: GA {ga} vs {mct}/{mm}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let etc = instance(5);
+        let g = Genetic {
+            population: 8,
+            generations: 10,
+            mutation_rate: 0.1,
+        };
+        let a = g.map(&etc, &mut rng_for(2, 0));
+        let b = g.map(&etc, &mut rng_for(2, 0));
+        assert_eq!(a, b);
+        assert_valid(&a, &etc);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be at least 2")]
+    fn rejects_tiny_population() {
+        let etc = instance(0);
+        let _ = Genetic {
+            population: 1,
+            generations: 1,
+            mutation_rate: 0.0,
+        }
+        .map(&etc, &mut rng_for(0, 0));
+    }
+}

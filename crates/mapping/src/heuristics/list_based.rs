@@ -1,0 +1,188 @@
+//! List-based batch heuristics: Min-Min, Max-Min, Sufferage.
+//!
+//! All three keep the full set of unmapped applications and repeatedly pick
+//! one to commit, recomputing completion times each round — the classical
+//! O(|A|²·|M|) scheme from the heuristic-comparison literature the paper
+//! cites (its reference [7]).
+
+use super::{best_completion, MappingHeuristic};
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::RngCore;
+
+fn list_based_map<F>(etc: &EtcMatrix, mut pick: F) -> Mapping
+where
+    // Picks the next application from (app, best machine, best completion,
+    // second-best completion) tuples of the still-unmapped applications.
+    F: FnMut(&[(usize, usize, f64, f64)]) -> usize,
+{
+    let apps = etc.apps();
+    let mut loads = vec![0.0f64; etc.machines()];
+    let mut assignment = vec![usize::MAX; apps];
+    let mut unmapped: Vec<usize> = (0..apps).collect();
+
+    while !unmapped.is_empty() {
+        let candidates: Vec<(usize, usize, f64, f64)> = unmapped
+            .iter()
+            .map(|&i| {
+                let (j, ct) = best_completion(&loads, etc, i);
+                // Second-best completion time (∞ on single-machine systems).
+                let second = loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != j)
+                    .map(|(k, &load)| load + etc.get(i, k))
+                    .fold(f64::INFINITY, f64::min);
+                (i, j, ct, second)
+            })
+            .collect();
+        let chosen = pick(&candidates);
+        let (i, j, _, _) = candidates[chosen];
+        loads[j] += etc.get(i, j);
+        assignment[i] = j;
+        unmapped.retain(|&u| u != i);
+    }
+    Mapping::new(assignment, etc.machines())
+}
+
+/// **Min-Min**: each round, commit the application whose best completion
+/// time is smallest. Tends to produce short makespans by keeping machines
+/// free for the expensive tail.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinMin;
+
+impl MappingHeuristic for MinMin {
+    fn name(&self) -> &'static str {
+        "min-min"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        list_based_map(etc, |cands| {
+            cands
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("CT is never NaN"))
+                .map(|(idx, _)| idx)
+                .expect("non-empty candidates")
+        })
+    }
+}
+
+/// **Max-Min**: each round, commit the application whose best completion
+/// time is largest — front-loads the expensive applications.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxMin;
+
+impl MappingHeuristic for MaxMin {
+    fn name(&self) -> &'static str {
+        "max-min"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        list_based_map(etc, |cands| {
+            cands
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("CT is never NaN"))
+                .map(|(idx, _)| idx)
+                .expect("non-empty candidates")
+        })
+    }
+}
+
+/// **Sufferage**: each round, commit the application with the largest
+/// *sufferage* — the gap between its second-best and best completion times,
+/// i.e. how much it would suffer if denied its best machine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sufferage;
+
+impl MappingHeuristic for Sufferage {
+    fn name(&self) -> &'static str {
+        "sufferage"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        list_based_map(etc, |cands| {
+            cands
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    let sa = a.1 .3 - a.1 .2;
+                    let sb = b.1 .3 - b.1 .2;
+                    sa.partial_cmp(&sb).expect("sufferage is never NaN")
+                })
+                .map(|(idx, _)| idx)
+                .expect("non-empty candidates")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use crate::heuristics::{Mct, RandomMap};
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn minmin_hand_example() {
+        // Two apps, two machines. App 0: (2, 10); app 1: (3, 4).
+        // Min-Min commits app 0 → m0 (CT 2), then app 1: CTs (5, 4) → m1.
+        let etc = EtcMatrix::from_rows(vec![vec![2.0, 10.0], vec![3.0, 4.0]]);
+        let m = MinMin.map(&etc, &mut rng_for(0, 0));
+        assert_eq!(m.assignment(), &[0, 1]);
+        assert_eq!(m.makespan(&etc), 4.0);
+    }
+
+    #[test]
+    fn maxmin_front_loads_expensive_app() {
+        // App 1 is huge: Max-Min commits it first to the fast machine.
+        let etc = EtcMatrix::from_rows(vec![
+            vec![1.0, 1.5],
+            vec![50.0, 80.0],
+            vec![1.0, 1.5],
+        ]);
+        let m = MaxMin.map(&etc, &mut rng_for(0, 0));
+        assert_eq!(m.machine_of(1), 0);
+        // Small apps spill to machine 1.
+        assert_eq!(m.machine_of(0), 1);
+        assert_eq!(m.machine_of(2), 1);
+    }
+
+    #[test]
+    fn sufferage_prioritizes_high_stakes_app() {
+        // App 0 suffers hugely without machine 0 (2 vs 100); app 1 barely
+        // cares (3 vs 4). Sufferage must give machine 0 to app 0 first.
+        let etc = EtcMatrix::from_rows(vec![vec![2.0, 100.0], vec![3.0, 4.0]]);
+        let m = Sufferage.map(&etc, &mut rng_for(0, 0));
+        assert_eq!(m.machine_of(0), 0);
+    }
+
+    #[test]
+    fn batch_heuristics_beat_random_on_makespan() {
+        // Not a theorem, but on CVB instances with 4× more apps than
+        // machines it holds with overwhelming margin.
+        for seed in 0..5u64 {
+            let etc = instance(seed);
+            let rnd = RandomMap.map(&etc, &mut rng_for(seed, 9)).makespan(&etc);
+            for h in [&MinMin as &dyn MappingHeuristic, &MaxMin, &Sufferage] {
+                let m = h.map(&etc, &mut rng_for(seed, 1));
+                assert_valid(&m, &etc);
+                assert!(
+                    m.makespan(&etc) <= rnd * 1.05,
+                    "{} lost badly to random on seed {seed}",
+                    h.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minmin_no_worse_than_mct_usually() {
+        // Min-Min refines MCT's greedy order; check it is competitive.
+        let etc = instance(11);
+        let mm = MinMin.map(&etc, &mut rng_for(0, 0)).makespan(&etc);
+        let mct = Mct.map(&etc, &mut rng_for(0, 0)).makespan(&etc);
+        assert!(mm <= mct * 1.1, "min-min {mm} vs mct {mct}");
+    }
+}

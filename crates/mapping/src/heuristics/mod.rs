@@ -1,0 +1,152 @@
+//! Mapping heuristics.
+//!
+//! The paper frames the research problem as "how to determine a mapping …
+//! so as to maximize robustness of desired system features" (§1) and builds
+//! on the heuristic literature of its references \[7\] (Braun et al.'s
+//! comparison of static heuristics) and \[21\] (dynamic mapping). This module
+//! implements the classical baselines so robustness can be studied across
+//! mapping strategies, plus a robustness-greedy heuristic that targets the
+//! paper's motivating objective directly:
+//!
+//! | heuristic | idea |
+//! |---|---|
+//! | [`Olb`] | earliest-available machine, ignores ETCs |
+//! | [`Met`] | minimum execution time, ignores loads |
+//! | [`Mct`] | minimum completion time |
+//! | [`MinMin`] | repeatedly map the task with the smallest best-completion |
+//! | [`MaxMin`] | repeatedly map the task with the largest best-completion |
+//! | [`Duplex`] | better of Min-Min / Max-Min |
+//! | [`Sufferage`] | map the task that would suffer most otherwise |
+//! | [`RoundRobin`] | cyclic assignment |
+//! | [`RandomMap`] | uniform random (the paper's §4 generator) |
+//! | [`RobustGreedy`] | greedily maximize the partial Eq. 7 metric |
+//! | [`SimulatedAnnealing`] | random-restart local search with cooling |
+//! | [`TabuSearch`] | steepest-descent with a tabu list |
+//! | [`Genetic`] | population search with crossover/mutation |
+
+mod annealing;
+mod duplex;
+mod genetic;
+mod list_based;
+mod robust_greedy;
+mod simple;
+mod tabu;
+
+pub use annealing::SimulatedAnnealing;
+pub use duplex::Duplex;
+pub use genetic::Genetic;
+pub use list_based::{MaxMin, MinMin, Sufferage};
+pub use robust_greedy::RobustGreedy;
+pub use simple::{Mct, Met, Olb, RandomMap, RoundRobin};
+pub use tabu::TabuSearch;
+
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::RngCore;
+
+/// A static mapping heuristic: given the ETC matrix, produce a mapping.
+///
+/// Deterministic heuristics ignore `rng`; stochastic ones (random, SA, GA)
+/// must draw all randomness from it so experiments stay reproducible.
+pub trait MappingHeuristic {
+    /// A short stable name for reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Produces a mapping for `etc`.
+    fn map(&self, etc: &EtcMatrix, rng: &mut dyn RngCore) -> Mapping;
+}
+
+/// The machine minimizing `load[j] + ETC(app, j)` and that completion time.
+pub(crate) fn best_completion(loads: &[f64], etc: &EtcMatrix, app: usize) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (j, &load) in loads.iter().enumerate() {
+        let ct = load + etc.get(app, j);
+        if ct < best.1 {
+            best = (j, ct);
+        }
+    }
+    best
+}
+
+/// Every heuristic in this module, boxed, for sweep-style experiments.
+pub fn all_heuristics(seeded_iters: usize) -> Vec<Box<dyn MappingHeuristic>> {
+    vec![
+        Box::new(Olb),
+        Box::new(Met),
+        Box::new(Mct),
+        Box::new(MinMin),
+        Box::new(MaxMin),
+        Box::new(Duplex),
+        Box::new(Sufferage),
+        Box::new(RoundRobin),
+        Box::new(RandomMap),
+        Box::new(RobustGreedy { tau: 1.2 }),
+        Box::new(SimulatedAnnealing {
+            iterations: seeded_iters,
+            initial_temperature: 0.1,
+            cooling: 0.995,
+        }),
+        Box::new(TabuSearch {
+            iterations: seeded_iters / 10,
+            tabu_len: 16,
+        }),
+        Box::new(Genetic {
+            population: 32,
+            generations: seeded_iters / 10,
+            mutation_rate: 0.05,
+        }),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use fepia_etc::{generate_cvb, EtcMatrix, EtcParams};
+    use fepia_stats::rng_for;
+
+    /// A paper-scale instance (20 apps × 5 machines, CVB 10/0.7/0.7).
+    pub fn instance(seed: u64) -> EtcMatrix {
+        generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2())
+    }
+
+    /// Asserts a mapping is structurally valid for the given ETC matrix.
+    pub fn assert_valid(mapping: &crate::Mapping, etc: &EtcMatrix) {
+        assert_eq!(mapping.apps(), etc.apps());
+        assert_eq!(mapping.machines(), etc.machines());
+        assert!(mapping.assignment().iter().all(|&j| j < etc.machines()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_support::*;
+
+    #[test]
+    fn best_completion_accounts_for_load() {
+        let etc = EtcMatrix::from_rows(vec![vec![10.0, 12.0]]);
+        // Machine 0 is faster but busy: completion 30 vs 12.
+        let (j, ct) = best_completion(&[20.0, 0.0], &etc, 0);
+        assert_eq!(j, 1);
+        assert_eq!(ct, 12.0);
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_mappings() {
+        let etc = instance(1);
+        let mut rng = fepia_stats::rng_for(1, 99);
+        for h in all_heuristics(200) {
+            let m = h.map(&etc, &mut rng);
+            assert_valid(&m, &etc);
+            assert!(!h.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn heuristic_names_are_unique() {
+        let hs = all_heuristics(10);
+        let mut names: Vec<&str> = hs.iter().map(|h| h.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), hs.len());
+    }
+}

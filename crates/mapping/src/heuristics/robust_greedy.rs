@@ -1,0 +1,147 @@
+//! Robustness-greedy mapping.
+//!
+//! The paper's §1 motivates the whole metric with the problem of
+//! "determin[ing] a mapping … so as to maximize robustness". This heuristic
+//! attacks that objective directly: applications are committed in
+//! decreasing order of their mean ETC, each to the machine that maximizes
+//! the Eq. 7 metric of the *partial* mapping (with the partial makespan as
+//! `M_orig`). Ties and the early all-empty rounds degrade gracefully to
+//! minimum-completion-time behaviour.
+
+use super::MappingHeuristic;
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::RngCore;
+
+/// Greedy robustness maximizer (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct RobustGreedy {
+    /// The makespan tolerance factor τ the final mapping will be judged
+    /// with (1.2 in the paper's experiments).
+    pub tau: f64,
+}
+
+impl Default for RobustGreedy {
+    fn default() -> Self {
+        RobustGreedy { tau: 1.2 }
+    }
+}
+
+/// The Eq. 7 metric of a partial assignment described by per-machine loads
+/// and occupancies, with `M_orig` the current partial makespan.
+fn partial_metric(loads: &[f64], occupancy: &[usize], tau: f64) -> f64 {
+    let makespan = loads.iter().cloned().fold(0.0, f64::max);
+    let bound = tau * makespan;
+    loads
+        .iter()
+        .zip(occupancy.iter())
+        .filter(|&(_, &n)| n > 0)
+        .map(|(&f, &n)| (bound - f) / (n as f64).sqrt())
+        .fold(f64::INFINITY, f64::min)
+}
+
+impl MappingHeuristic for RobustGreedy {
+    fn name(&self) -> &'static str {
+        "robust-greedy"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        assert!(self.tau >= 1.0, "tolerance factor τ must be ≥ 1");
+        let apps = etc.apps();
+        let machines = etc.machines();
+
+        // Commit big applications first: they constrain the layout most.
+        let mut order: Vec<usize> = (0..apps).collect();
+        let mean_etc: Vec<f64> = (0..apps)
+            .map(|i| etc.row(i).iter().sum::<f64>() / machines as f64)
+            .collect();
+        order.sort_by(|&a, &b| {
+            mean_etc[b]
+                .partial_cmp(&mean_etc[a])
+                .expect("ETC is never NaN")
+        });
+
+        let mut loads = vec![0.0f64; machines];
+        let mut occupancy = vec![0usize; machines];
+        let mut assignment = vec![usize::MAX; apps];
+        for &i in &order {
+            let mut best_j = 0;
+            let mut best_score = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for j in 0..machines {
+                loads[j] += etc.get(i, j);
+                occupancy[j] += 1;
+                // Primary: partial robustness; secondary: shorter completion
+                // (breaks the all-equal early rounds toward MCT behaviour).
+                let score = (
+                    partial_metric(&loads, &occupancy, self.tau),
+                    -(loads[j]),
+                );
+                loads[j] -= etc.get(i, j);
+                occupancy[j] -= 1;
+                if score > best_score {
+                    best_score = score;
+                    best_j = j;
+                }
+            }
+            loads[best_j] += etc.get(i, best_j);
+            occupancy[best_j] += 1;
+            assignment[i] = best_j;
+        }
+        Mapping::new(assignment, machines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use crate::heuristics::RandomMap;
+    use crate::robustness::makespan_robustness;
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn partial_metric_matches_eq7_shape() {
+        // loads (30, 20), occupancy (2, 1), τ=1.2: bound 36,
+        // radii 6/√2 and 16 → metric 6/√2.
+        let m = partial_metric(&[30.0, 20.0], &[2, 1], 1.2);
+        assert!((m - 6.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beats_random_mappings_on_robustness() {
+        for seed in 0..6u64 {
+            let etc = instance(seed);
+            let greedy = RobustGreedy::default().map(&etc, &mut rng_for(seed, 0));
+            assert_valid(&greedy, &etc);
+            let rg = makespan_robustness(&greedy, &etc, 1.2).unwrap().metric;
+            // A greedy heuristic carries no optimality guarantee, but it
+            // must clearly beat the *average* random mapping.
+            let metrics: Vec<f64> = (0..20)
+                .map(|k| {
+                    let m = RandomMap.map(&etc, &mut rng_for(seed, 100 + k));
+                    makespan_robustness(&m, &etc, 1.2).unwrap().metric
+                })
+                .collect();
+            let mean_random = metrics.iter().sum::<f64>() / metrics.len() as f64;
+            assert!(
+                rg >= mean_random,
+                "seed {seed}: greedy {rg} < mean-of-20-random {mean_random}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let etc = instance(4);
+        let a = RobustGreedy::default().map(&etc, &mut rng_for(0, 0));
+        let b = RobustGreedy::default().map(&etc, &mut rng_for(1, 1));
+        assert_eq!(a, b, "robust-greedy must not consume randomness");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn rejects_bad_tau() {
+        let etc = instance(0);
+        let _ = RobustGreedy { tau: 0.5 }.map(&etc, &mut rng_for(0, 0));
+    }
+}

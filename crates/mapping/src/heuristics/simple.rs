@@ -1,0 +1,168 @@
+//! Single-pass heuristics: OLB, MET, MCT, round-robin, random.
+
+use super::{best_completion, MappingHeuristic};
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::{Rng, RngCore};
+
+/// **Opportunistic Load Balancing**: each application (in index order) goes
+/// to the machine that becomes available earliest, without looking at its
+/// ETC there. Balances occupancy, often at a large makespan cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Olb;
+
+impl MappingHeuristic for Olb {
+    fn name(&self) -> &'static str {
+        "olb"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        let mut loads = vec![0.0f64; etc.machines()];
+        let mut assignment = Vec::with_capacity(etc.apps());
+        for i in 0..etc.apps() {
+            let j = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("load is never NaN"))
+                .map(|(j, _)| j)
+                .expect("at least one machine");
+            loads[j] += etc.get(i, j);
+            assignment.push(j);
+        }
+        Mapping::new(assignment, etc.machines())
+    }
+}
+
+/// **Minimum Execution Time**: each application goes to its fastest machine,
+/// ignoring machine loads. Can badly overload a universally fast machine on
+/// consistent ETCs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Met;
+
+impl MappingHeuristic for Met {
+    fn name(&self) -> &'static str {
+        "met"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        let assignment = (0..etc.apps()).map(|i| etc.best_machine(i)).collect();
+        Mapping::new(assignment, etc.machines())
+    }
+}
+
+/// **Minimum Completion Time**: each application (in index order) goes to
+/// the machine minimizing `current load + ETC`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mct;
+
+impl MappingHeuristic for Mct {
+    fn name(&self) -> &'static str {
+        "mct"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        let mut loads = vec![0.0f64; etc.machines()];
+        let mut assignment = Vec::with_capacity(etc.apps());
+        for i in 0..etc.apps() {
+            let (j, _) = best_completion(&loads, etc, i);
+            loads[j] += etc.get(i, j);
+            assignment.push(j);
+        }
+        Mapping::new(assignment, etc.machines())
+    }
+}
+
+/// Cyclic assignment `a_i → m_{i mod |M|}`; the occupancy-balanced but
+/// ETC-oblivious baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl MappingHeuristic for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn map(&self, etc: &EtcMatrix, _rng: &mut dyn RngCore) -> Mapping {
+        let m = etc.machines();
+        Mapping::new((0..etc.apps()).map(|i| i % m).collect(), m)
+    }
+}
+
+/// Uniform random assignment — exactly the generator used for the 1000
+/// mappings of the paper's §4 experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomMap;
+
+impl MappingHeuristic for RandomMap {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn map(&self, etc: &EtcMatrix, rng: &mut dyn RngCore) -> Mapping {
+        let m = etc.machines();
+        Mapping::new((0..etc.apps()).map(|_| rng.gen_range(0..m)).collect(), m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn met_picks_row_minima() {
+        let etc = EtcMatrix::from_rows(vec![vec![5.0, 1.0], vec![2.0, 9.0]]);
+        let m = Met.map(&etc, &mut rng_for(0, 0));
+        assert_eq!(m.assignment(), &[1, 0]);
+    }
+
+    #[test]
+    fn mct_beats_met_on_consistent_matrix() {
+        // Machine 0 fastest for everything: MET piles all apps onto it,
+        // MCT spills to machine 1 once machine 0 is loaded.
+        let etc = EtcMatrix::from_rows(vec![
+            vec![10.0, 11.0],
+            vec![10.0, 11.0],
+            vec![10.0, 11.0],
+            vec![10.0, 11.0],
+        ]);
+        let mut rng = rng_for(0, 0);
+        let met = Met.map(&etc, &mut rng);
+        let mct = Mct.map(&etc, &mut rng);
+        assert!(mct.makespan(&etc) < met.makespan(&etc));
+        assert_eq!(met.makespan(&etc), 40.0);
+        assert_eq!(mct.makespan(&etc), 22.0);
+    }
+
+    #[test]
+    fn olb_balances_occupancy() {
+        let etc = EtcMatrix::uniform(10, 5, 1.0);
+        let m = Olb.map(&etc, &mut rng_for(0, 0));
+        assert!(m.occupancy().iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let etc = EtcMatrix::uniform(5, 2, 1.0);
+        let m = RoundRobin.map(&etc, &mut rng_for(0, 0));
+        assert_eq!(m.assignment(), &[0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let etc = instance(2);
+        let a = RandomMap.map(&etc, &mut rng_for(5, 0));
+        let b = RandomMap.map(&etc, &mut rng_for(5, 0));
+        assert_eq!(a, b);
+        assert_valid(&a, &etc);
+    }
+
+    #[test]
+    fn mct_on_paper_instance_beats_random_typically() {
+        let etc = instance(3);
+        let mct = Mct.map(&etc, &mut rng_for(3, 0));
+        let rnd = RandomMap.map(&etc, &mut rng_for(3, 1));
+        assert!(mct.makespan(&etc) <= rnd.makespan(&etc));
+    }
+}

@@ -1,0 +1,143 @@
+//! Tabu search over the mapping space.
+
+use super::{MappingHeuristic, Mct};
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// Steepest-descent tabu search: each iteration scans every (application,
+/// machine) reassignment, applies the best non-tabu move (aspiration: tabu
+/// moves are allowed when they beat the global best), and records the
+/// *reverse* move on a fixed-length tabu list.
+#[derive(Clone, Copy, Debug)]
+pub struct TabuSearch {
+    /// Number of moves to apply.
+    pub iterations: usize,
+    /// Length of the tabu list (recent reverse-moves barred).
+    pub tabu_len: usize,
+}
+
+impl Default for TabuSearch {
+    fn default() -> Self {
+        TabuSearch {
+            iterations: 200,
+            tabu_len: 16,
+        }
+    }
+}
+
+impl MappingHeuristic for TabuSearch {
+    fn name(&self) -> &'static str {
+        "tabu"
+    }
+
+    fn map(&self, etc: &EtcMatrix, rng: &mut dyn RngCore) -> Mapping {
+        let mut current = Mct.map(etc, rng);
+        let mut best = current.clone();
+        let mut best_cost = best.makespan(etc);
+        let mut tabu: VecDeque<(usize, usize)> = VecDeque::with_capacity(self.tabu_len);
+
+        for _ in 0..self.iterations {
+            let mut move_best: Option<(usize, usize, f64)> = None;
+            let cur_cost = current.makespan(etc);
+            for app in 0..current.apps() {
+                let old = current.machine_of(app);
+                for machine in 0..current.machines() {
+                    if machine == old {
+                        continue;
+                    }
+                    current.reassign(app, machine);
+                    let cost = current.makespan(etc);
+                    current.reassign(app, old);
+                    let is_tabu = tabu.contains(&(app, machine));
+                    // Aspiration: accept a tabu move only if it sets a new
+                    // global best.
+                    if is_tabu && cost >= best_cost {
+                        continue;
+                    }
+                    if move_best.is_none_or(|(_, _, c)| cost < c) {
+                        move_best = Some((app, machine, cost));
+                    }
+                }
+            }
+            let Some((app, machine, cost)) = move_best else {
+                break; // every move tabu and non-aspiring
+            };
+            let old = current.machine_of(app);
+            current.reassign(app, machine);
+            // Bar the reverse move.
+            if self.tabu_len > 0 {
+                if tabu.len() == self.tabu_len {
+                    tabu.pop_front();
+                }
+                tabu.push_back((app, old));
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = current.clone();
+            } else if cost > cur_cost * 1.5 {
+                // Runaway uphill drift: restart from the incumbent.
+                current = best.clone();
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::*;
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn improves_or_matches_mct() {
+        for seed in 0..4u64 {
+            let etc = instance(seed);
+            let mct = Mct.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
+            let tabu = TabuSearch::default()
+                .map(&etc, &mut rng_for(seed, 0))
+                .makespan(&etc);
+            assert!(tabu <= mct + 1e-12, "seed {seed}: tabu {tabu} vs MCT {mct}");
+        }
+    }
+
+    #[test]
+    fn escapes_local_minimum_of_mct() {
+        // A matrix where MCT's greedy order is provably suboptimal:
+        // apps (in order) 0..3, machines 2. MCT: app0→m0(4), app1→m1(5),
+        // app2→m0(4+6=10)... tabu should shuffle to something ≤ MCT.
+        let etc = EtcMatrix::from_rows(vec![
+            vec![4.0, 5.0],
+            vec![6.0, 5.0],
+            vec![6.0, 7.0],
+            vec![4.0, 8.0],
+        ]);
+        let mut rng = rng_for(0, 0);
+        let mct_cost = Mct.map(&etc, &mut rng).makespan(&etc);
+        let tabu_cost = TabuSearch::default().map(&etc, &mut rng).makespan(&etc);
+        assert!(tabu_cost <= mct_cost);
+    }
+
+    #[test]
+    fn deterministic() {
+        let etc = instance(2);
+        let a = TabuSearch::default().map(&etc, &mut rng_for(1, 0));
+        let b = TabuSearch::default().map(&etc, &mut rng_for(1, 0));
+        assert_eq!(a, b);
+        assert_valid(&a, &etc);
+    }
+
+    #[test]
+    fn zero_iterations_returns_mct() {
+        let etc = instance(3);
+        let t = TabuSearch {
+            iterations: 0,
+            tabu_len: 4,
+        }
+        .map(&etc, &mut rng_for(0, 0));
+        let mct = Mct.map(&etc, &mut rng_for(0, 0));
+        assert_eq!(t, mct);
+    }
+}

@@ -1,0 +1,41 @@
+//! `fepia-mapping` — the paper's §3.1 system: independent applications on
+//! heterogeneous machines.
+//!
+//! A mapping `μ` assigns each application in `A` to one machine in `M`
+//! (no multitasking; machines run their queues back-to-back, so ordering
+//! does not change finishing times). Given an ETC matrix:
+//!
+//! * the **finishing time** of machine `m_j` is
+//!   `F_j(C) = Σ_{i : a_i → m_j} C_i` (Eq. 4);
+//! * the **makespan** is `max_j F_j`;
+//! * the **robustness radius** of `F_j` against ETC errors is
+//!   `r_μ(F_j, C) = (τ·M_orig − F_j(C_orig)) / √(#apps on m_j)` (Eq. 6);
+//! * the **robustness metric** is `ρ_μ(Φ, C) = min_j r_μ(F_j, C)` (Eq. 7).
+//!
+//! Modules:
+//!
+//! * [`mapping`] — the [`Mapping`] type and the performance measures of
+//!   §4.2 (makespan, load-balance index).
+//! * [`robustness`] — the analytic Eq. 6/Eq. 7 implementation plus a
+//!   generic-path construction through `fepia-core` used for
+//!   cross-validation and the norm ablation.
+//! * [`validate`] — Monte-Carlo validation of the radius guarantee
+//!   (failure injection).
+//! * [`heuristics`] — baseline mapping heuristics from the literature the
+//!   paper builds on (OLB, MET, MCT, Min-Min, Max-Min, Duplex, Sufferage,
+//!   round-robin, simulated annealing, tabu search, a simple GA) plus a
+//!   robustness-greedy heuristic for the paper's motivating problem of
+//!   *maximizing* robustness.
+
+pub mod heuristics;
+pub mod mapping;
+pub mod robustness;
+pub mod sensitivity;
+pub mod validate;
+
+pub use fepia_etc::EtcMatrix;
+pub use heuristics::MappingHeuristic;
+pub use mapping::Mapping;
+pub use robustness::{makespan_robustness, makespan_robustness_generic, MakespanRobustness};
+pub use sensitivity::{etc_sensitivity, EtcSensitivity};
+pub use validate::{validate_radius_guarantee, ValidationOutcome};

@@ -1,0 +1,279 @@
+//! Makespan robustness against ETC errors (Eqs. 5–7).
+//!
+//! [`makespan_robustness`] is the exact analytic path: Eq. 6 per machine,
+//! Eq. 7 for the metric. [`makespan_robustness_generic`] builds the same
+//! analysis through the generic `fepia-core` machinery (one
+//! [`SumSelected`] feature per machine); the two
+//! must agree to solver precision, which the tests and the workspace
+//! integration tests verify. The generic path also unlocks non-ℓ₂ norms for
+//! the ablation bench.
+
+use crate::mapping::Mapping;
+use fepia_core::{
+    CoreError, FeatureSpec, FepiaAnalysis, Perturbation, RadiusOptions, RobustnessReport,
+    SumSelected, Tolerance,
+};
+use fepia_etc::EtcMatrix;
+use fepia_optim::VecN;
+
+/// The result of the analytic §3.1 robustness analysis.
+#[derive(Clone, Debug)]
+pub struct MakespanRobustness {
+    /// Per-machine robustness radii `r_μ(F_j, C)` (Eq. 6); `+∞` for
+    /// machines with no applications (their finishing time cannot move).
+    pub radii: Vec<f64>,
+    /// The robustness metric `ρ_μ(Φ, C)` (Eq. 7).
+    pub metric: f64,
+    /// The machine attaining the minimum radius.
+    pub binding_machine: usize,
+    /// The predicted makespan `M_orig`.
+    pub makespan: f64,
+    /// The closest boundary point `C*` — actual execution times at which the
+    /// binding machine exactly hits `τ·M_orig`. Per the paper's
+    /// observations (1)–(2), only the binding machine's applications differ
+    /// from `C_orig`, all by the same amount.
+    pub boundary_etc: VecN,
+}
+
+/// Computes the §3.1 robustness analytically (Eqs. 6–7).
+///
+/// `tau` is the makespan tolerance factor (`1.2` in the paper's §4.2: "the
+/// actual makespan could be no more than 1.2 times the predicted value").
+///
+/// # Panics
+/// Panics if `tau < 1` (the predicted makespan itself would violate the
+/// requirement) or on ETC/mapping shape mismatch.
+pub fn makespan_robustness(
+    mapping: &Mapping,
+    etc: &EtcMatrix,
+    tau: f64,
+) -> Result<MakespanRobustness, CoreError> {
+    assert!(tau >= 1.0, "tolerance factor τ must be ≥ 1, got {tau}");
+    let finish = mapping.finishing_times(etc);
+    let occupancy = mapping.occupancy();
+    let makespan = finish.iter().cloned().fold(0.0, f64::max);
+    let bound = tau * makespan;
+
+    let mut radii = Vec::with_capacity(finish.len());
+    for (j, (&f_j, &n_j)) in finish.iter().zip(occupancy.iter()).enumerate() {
+        if n_j == 0 {
+            radii.push(f64::INFINITY);
+            continue;
+        }
+        // Eq. 6: perpendicular distance from C_orig to the hyperplane
+        // F_j(C) = τ·M_orig.
+        let r = (bound - f_j) / (n_j as f64).sqrt();
+        debug_assert!(r >= 0.0, "machine {j} above the makespan bound");
+        radii.push(r);
+    }
+
+    let binding_machine = radii
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("radius is never NaN"))
+        .map(|(j, _)| j)
+        .expect("at least one machine");
+    let metric = radii[binding_machine];
+
+    // Paper observations (1)-(2): at C*, only the binding machine's
+    // applications change, each by (τM − F_b)/n_b.
+    let mut boundary = VecN::new(mapping.assigned_times(etc));
+    if metric.is_finite() {
+        let n_b = occupancy[binding_machine] as f64;
+        let delta = (bound - finish[binding_machine]) / n_b;
+        for i in mapping.apps_on(binding_machine) {
+            boundary[i] += delta;
+        }
+    }
+
+    Ok(MakespanRobustness {
+        radii,
+        metric,
+        binding_machine,
+        makespan,
+        boundary_etc: boundary,
+    })
+}
+
+/// Builds the same analysis through the generic FePIA machinery: the
+/// perturbation is the assigned-time vector `C`, and each machine
+/// contributes one feature `F_j` with tolerance `⟨−∞, τ·M_orig⟩` and impact
+/// [`SumSelected`] (Eq. 4).
+///
+/// Used for cross-validation of the closed form and for non-ℓ₂ norms.
+pub fn makespan_robustness_generic(
+    mapping: &Mapping,
+    etc: &EtcMatrix,
+    tau: f64,
+    opts: &RadiusOptions,
+) -> Result<RobustnessReport, CoreError> {
+    assert!(tau >= 1.0, "tolerance factor τ must be ≥ 1, got {tau}");
+    let makespan = mapping.makespan(etc);
+    let bound = tau * makespan;
+    let c_orig = VecN::new(mapping.assigned_times(etc));
+    let apps = mapping.apps();
+
+    let mut analysis = FepiaAnalysis::new(Perturbation::continuous("ETC vector C", c_orig));
+    for j in 0..mapping.machines() {
+        let on_j = mapping.apps_on(j);
+        if on_j.is_empty() {
+            continue; // F_j ≡ 0: unaffected by C, infinite radius.
+        }
+        analysis.add_feature(
+            FeatureSpec::new(format!("finish-time m_{j}"), Tolerance::upper(bound)),
+            SumSelected::new(on_j, apps),
+        );
+    }
+    analysis.run(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fepia_etc::{generate_cvb, EtcParams};
+    use fepia_optim::Norm;
+    use fepia_stats::rng_for;
+    use proptest::prelude::*;
+
+    fn paper_like_instance(seed: u64) -> (Mapping, EtcMatrix) {
+        let etc = generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2());
+        let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+        (mapping, etc)
+    }
+
+    #[test]
+    fn eq6_hand_computed() {
+        // 3 apps, 2 machines: m0 ← {0, 1} (F_0 = 30), m1 ← {2} (F_1 = 30).
+        // M = 30, τ = 1.2 ⇒ bound 36: r_0 = 6/√2, r_1 = 6; ρ = 6/√2.
+        let etc =
+            EtcMatrix::from_rows(vec![vec![10.0, 1.0], vec![20.0, 1.0], vec![1.0, 30.0]]);
+        let m = Mapping::new(vec![0, 0, 1], 2);
+        let r = makespan_robustness(&m, &etc, 1.2).unwrap();
+        assert!((r.radii[0] - 6.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((r.radii[1] - 6.0).abs() < 1e-12);
+        assert!((r.metric - 6.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.binding_machine, 0);
+        assert_eq!(r.makespan, 30.0);
+    }
+
+    #[test]
+    fn boundary_point_observations() {
+        // Paper §3.1 observations: at C*, only apps on the binding machine
+        // change, all by the same amount, and F_binding(C*) = τM.
+        let (m, etc) = paper_like_instance(7);
+        let r = makespan_robustness(&m, &etc, 1.2).unwrap();
+        let c_orig = m.assigned_times(&etc);
+        let binding_apps = m.apps_on(r.binding_machine);
+        let mut deltas = Vec::new();
+        for (i, &c) in c_orig.iter().enumerate() {
+            let d = r.boundary_etc[i] - c;
+            if binding_apps.contains(&i) {
+                deltas.push(d);
+            } else {
+                assert!(d.abs() < 1e-12, "non-binding app {i} moved by {d}");
+            }
+        }
+        let first = deltas[0];
+        assert!(deltas.iter().all(|d| (d - first).abs() < 1e-9));
+        let f_star: f64 = binding_apps.iter().map(|&i| r.boundary_etc[i]).sum();
+        assert!((f_star - 1.2 * r.makespan).abs() < 1e-9);
+        // And ‖C* − C_orig‖₂ = ρ.
+        let dist = (deltas.iter().map(|d| d * d).sum::<f64>()).sqrt();
+        assert!((dist - r.metric).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_machine_infinite_radius() {
+        let etc = EtcMatrix::uniform(2, 3, 10.0);
+        let m = Mapping::new(vec![0, 1], 3);
+        let r = makespan_robustness(&m, &etc, 1.5).unwrap();
+        assert_eq!(r.radii[2], f64::INFINITY);
+        assert!(r.metric.is_finite());
+    }
+
+    #[test]
+    fn tau_one_gives_zero_metric() {
+        // τ = 1: the makespan machine is already on the boundary.
+        let etc = EtcMatrix::uniform(4, 2, 10.0);
+        let m = Mapping::new(vec![0, 0, 0, 1], 2);
+        let r = makespan_robustness(&m, &etc, 1.0).unwrap();
+        assert_eq!(r.metric, 0.0);
+        assert_eq!(r.binding_machine, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn tau_below_one_rejected() {
+        let etc = EtcMatrix::uniform(1, 1, 1.0);
+        let _ = makespan_robustness(&Mapping::new(vec![0], 1), &etc, 0.9);
+    }
+
+    #[test]
+    fn generic_path_matches_analytic() {
+        for seed in 0..20u64 {
+            let (m, etc) = paper_like_instance(seed);
+            let analytic = makespan_robustness(&m, &etc, 1.2).unwrap();
+            let generic =
+                makespan_robustness_generic(&m, &etc, 1.2, &RadiusOptions::default()).unwrap();
+            assert!(
+                (analytic.metric - generic.metric).abs() < 1e-9,
+                "seed {seed}: analytic {} vs generic {}",
+                analytic.metric,
+                generic.metric
+            );
+        }
+    }
+
+    #[test]
+    fn generic_path_norm_ordering() {
+        // For the same mapping, l∞-radius ≤ l2-radius ≤ l1-radius (dual-norm
+        // distances with ‖a‖₁ ≥ ‖a‖₂ ≥ ‖a‖∞ for 0/1 coefficient vectors).
+        let (m, etc) = paper_like_instance(3);
+        let radius = |norm: Norm| {
+            makespan_robustness_generic(
+                &m,
+                &etc,
+                1.2,
+                &RadiusOptions {
+                    norm,
+                    solver: Default::default(),
+                },
+            )
+            .unwrap()
+            .metric
+        };
+        let (r1, r2, rinf) = (radius(Norm::L1), radius(Norm::L2), radius(Norm::LInf));
+        assert!(rinf <= r2 + 1e-12 && r2 <= r1 + 1e-12, "{rinf} {r2} {r1}");
+    }
+
+    #[test]
+    fn s1_linearity_from_section_4_2() {
+        // Within the set S₁(x) of mappings whose makespan machine also has
+        // the max occupancy x, robustness = (τ−1)·M_orig/√x is linear in
+        // M_orig: verify the formula directly on constructed mappings.
+        let etc = EtcMatrix::uniform(8, 2, 10.0);
+        // m0 gets 6 apps (F=60, occupancy max), m1 gets 2 (F=20).
+        let m = Mapping::new(vec![0, 0, 0, 0, 0, 0, 1, 1], 2);
+        let r = makespan_robustness(&m, &etc, 1.2).unwrap();
+        assert_eq!(r.binding_machine, 0);
+        let expected = (1.2 - 1.0) * 60.0 / (6f64).sqrt();
+        assert!((r.metric - expected).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// The metric is the min over per-machine radii; all radii are
+        /// non-negative; loosening τ never decreases the metric.
+        #[test]
+        fn metric_invariants(seed in 0u64..300, tau_step in 0.0..1.0f64) {
+            let (m, etc) = paper_like_instance(seed);
+            let tau1 = 1.0 + tau_step;
+            let tau2 = tau1 + 0.25;
+            let r1 = makespan_robustness(&m, &etc, tau1).unwrap();
+            let r2 = makespan_robustness(&m, &etc, tau2).unwrap();
+            prop_assert!(r1.radii.iter().all(|&r| r >= 0.0));
+            let min = r1.radii.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!((min - r1.metric).abs() < 1e-12);
+            prop_assert!(r2.metric >= r1.metric - 1e-12);
+        }
+    }
+}

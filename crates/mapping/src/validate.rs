@@ -1,0 +1,165 @@
+//! Monte-Carlo validation of the robustness guarantee (failure injection).
+//!
+//! The paper's interpretation of Eq. 7: "if the Euclidean distance between
+//! any vector of the actual execution times and the vector of the estimated
+//! execution times is no larger than `ρ_μ(Φ, C)`, then the actual makespan
+//! will be at most `τ` times the predicted makespan value."
+//!
+//! [`validate_radius_guarantee`] injects random ETC error vectors and checks
+//! exactly that: errors with `‖e‖₂ ≤ ρ` must never cause a violation, and a
+//! probe **just past** the binding boundary point must cause one. This is
+//! the empirical safety net behind the analytic formula.
+
+use crate::mapping::Mapping;
+use crate::robustness::makespan_robustness;
+use fepia_core::CoreError;
+use fepia_etc::EtcMatrix;
+use fepia_stats::dist::standard_normal;
+use rand::Rng;
+
+/// Result of a validation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidationOutcome {
+    /// Random inside-radius error vectors tried.
+    pub trials: usize,
+    /// Inside-radius trials that (incorrectly) violated the makespan bound —
+    /// must be 0 for the guarantee to hold.
+    pub false_violations: usize,
+    /// Whether the beyond-boundary probe produced the expected violation.
+    pub boundary_probe_violates: bool,
+    /// The robustness metric used.
+    pub metric: f64,
+}
+
+impl ValidationOutcome {
+    /// True when the guarantee held on every trial and the boundary probe
+    /// confirmed tightness.
+    pub fn holds(&self) -> bool {
+        self.false_violations == 0 && self.boundary_probe_violates
+    }
+}
+
+/// Makespan when each application's actual time is `C_orig[i] + e[i]`
+/// (actual times clamped to ≥ 0: execution times cannot be negative; the
+/// guarantee is only strengthened by the clamp).
+fn perturbed_makespan(mapping: &Mapping, c_orig: &[f64], errors: &[f64]) -> f64 {
+    let mut finish = vec![0.0; mapping.machines()];
+    for (i, &j) in mapping.assignment().iter().enumerate() {
+        finish[j] += (c_orig[i] + errors[i]).max(0.0);
+    }
+    finish.into_iter().fold(0.0, f64::max)
+}
+
+/// Samples a uniformly random direction, scales it to norm `radius`.
+fn random_error<R: Rng + ?Sized>(rng: &mut R, dim: usize, radius: f64) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            return v.into_iter().map(|x| x * radius / norm).collect();
+        }
+    }
+}
+
+/// Injects `trials` random error vectors with `‖e‖₂` uniform in `[0, ρ]`
+/// (every direction allowed, as in the paper's "any combination of ETC
+/// errors") and verifies the makespan bound; then probes a point just beyond
+/// the binding boundary and verifies the bound breaks there.
+pub fn validate_radius_guarantee<R: Rng + ?Sized>(
+    mapping: &Mapping,
+    etc: &EtcMatrix,
+    tau: f64,
+    trials: usize,
+    rng: &mut R,
+) -> Result<ValidationOutcome, CoreError> {
+    let rob = makespan_robustness(mapping, etc, tau)?;
+    let c_orig = mapping.assigned_times(etc);
+    let bound = tau * rob.makespan;
+    let dim = mapping.apps();
+
+    let mut false_violations = 0;
+    if rob.metric.is_finite() && rob.metric > 0.0 {
+        for _ in 0..trials {
+            let scale: f64 = rng.gen_range(0.0..1.0);
+            let e = random_error(rng, dim, scale * rob.metric);
+            // Tiny slack absorbs floating-point roundoff at the boundary.
+            if perturbed_makespan(mapping, &c_orig, &e) > bound * (1.0 + 1e-9) {
+                false_violations += 1;
+            }
+        }
+    }
+
+    // Push the boundary point 0.1% further along its own direction: the
+    // binding machine must then exceed τ·M_orig.
+    let boundary_probe_violates = if rob.metric.is_finite() && rob.metric > 0.0 {
+        let e: Vec<f64> = rob
+            .boundary_etc
+            .as_slice()
+            .iter()
+            .zip(c_orig.iter())
+            .map(|(b, c)| (b - c) * 1.001)
+            .collect();
+        perturbed_makespan(mapping, &c_orig, &e) > bound
+    } else {
+        // Degenerate metric (0 or ∞): nothing to probe; report success.
+        true
+    };
+
+    Ok(ValidationOutcome {
+        trials,
+        false_violations,
+        boundary_probe_violates,
+        metric: rob.metric,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fepia_etc::{generate_cvb, EtcParams};
+    use fepia_stats::rng_for;
+
+    #[test]
+    fn guarantee_holds_on_paper_scale_instances() {
+        for seed in 0..10u64 {
+            let etc = generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2());
+            let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+            let out =
+                validate_radius_guarantee(&mapping, &etc, 1.2, 500, &mut rng_for(seed, 2))
+                    .unwrap();
+            assert!(
+                out.holds(),
+                "seed {seed}: {out:?} — the Eq. 7 guarantee failed"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_metric_short_circuits() {
+        // τ = 1 gives metric 0: no inside-radius sampling possible.
+        let etc = EtcMatrix::uniform(4, 2, 10.0);
+        let mapping = Mapping::new(vec![0, 0, 1, 1], 2);
+        let out = validate_radius_guarantee(&mapping, &etc, 1.0, 100, &mut rng_for(0, 0))
+            .unwrap();
+        assert_eq!(out.metric, 0.0);
+        assert_eq!(out.false_violations, 0);
+        assert!(out.holds());
+    }
+
+    #[test]
+    fn perturbed_makespan_clamps_negative_times() {
+        let mapping = Mapping::new(vec![0, 1], 2);
+        let c = [10.0, 10.0];
+        // Error pushes app 0's time to -5: clamped to 0.
+        let e = [-15.0, 0.0];
+        assert_eq!(perturbed_makespan(&mapping, &c, &e), 10.0);
+    }
+
+    #[test]
+    fn random_error_has_requested_norm() {
+        let mut rng = rng_for(1, 1);
+        let e = random_error(&mut rng, 20, 3.5);
+        let n = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((n - 3.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Empirical convexity checking.
+//!
+//! The paper's §3.2 analysis is exact only when the impact functions are
+//! convex ("if the `T_x^c(λ)` and `T_xy^n(λ)` functions are not convex,
+//! then it is assumed that heuristic techniques can be used to find
+//! near-optimal solutions"). Users plugging arbitrary black-box impact
+//! functions into the numeric solver can use [`check_midpoint_convexity`]
+//! to probe that assumption before trusting the resulting radius: it
+//! samples random segments inside a box and tests midpoint convexity
+//! `f((a+b)/2) ≤ (f(a)+f(b))/2`.
+//!
+//! A probe cannot *prove* convexity — it can only fail to refute it — so
+//! the result is reported as counterexamples found, not a boolean blessing.
+
+use crate::vector::VecN;
+use rand::Rng;
+
+/// A counterexample to midpoint convexity.
+#[derive(Clone, Debug)]
+pub struct ConvexityViolation {
+    /// Segment endpoint `a`.
+    pub a: VecN,
+    /// Segment endpoint `b`.
+    pub b: VecN,
+    /// `f(midpoint) − (f(a)+f(b))/2` — positive by construction.
+    pub gap: f64,
+}
+
+/// The outcome of a convexity probe.
+#[derive(Clone, Debug)]
+pub struct ConvexityReport {
+    /// Segments tested.
+    pub samples: usize,
+    /// Violations found (empty = consistent with convexity on the box).
+    pub violations: Vec<ConvexityViolation>,
+}
+
+impl ConvexityReport {
+    /// True when no violation was found.
+    pub fn consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Probes midpoint convexity of `f` on the axis-aligned box
+/// `[lo, hi]^n` with `samples` random segments. Relative tolerance
+/// `rel_tol` absorbs floating-point noise on huge function values.
+///
+/// # Panics
+/// Panics if `lo >= hi` or `dim == 0`.
+pub fn check_midpoint_convexity<F, R>(
+    f: F,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+    samples: usize,
+    rel_tol: f64,
+    rng: &mut R,
+) -> ConvexityReport
+where
+    F: Fn(&VecN) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(dim > 0, "zero-dimensional convexity probe");
+    assert!(lo < hi, "empty probe box [{lo}, {hi}]");
+    let mut violations = Vec::new();
+    for _ in 0..samples {
+        let a = VecN::new((0..dim).map(|_| rng.gen_range(lo..hi)).collect());
+        let b = VecN::new((0..dim).map(|_| rng.gen_range(lo..hi)).collect());
+        let mid = (&a + &b).scaled(0.5);
+        let fm = f(&mid);
+        let avg = 0.5 * (f(&a) + f(&b));
+        if fm > avg + rel_tol * (1.0 + avg.abs()) {
+            violations.push(ConvexityViolation {
+                a,
+                b,
+                gap: fm - avg,
+            });
+        }
+    }
+    ConvexityReport {
+        samples,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn convex_functions_pass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // The paper's convex examples: e^x, x^p (p ≥ 1), x·log x.
+        type Case = (&'static str, Box<dyn Fn(&VecN) -> f64>);
+        let cases: Vec<Case> = vec![
+            ("exp", Box::new(|v: &VecN| (v[0] + v[1]).exp())),
+            ("power", Box::new(|v: &VecN| v[0].powf(2.5) + v[1].powi(2))),
+            ("xlogx", Box::new(|v: &VecN| v.iter().map(|&x| x * x.ln()).sum())),
+            ("norm", Box::new(|v: &VecN| v.norm_l2())),
+        ];
+        for (name, f) in cases {
+            let report = check_midpoint_convexity(f, 2, 0.1, 10.0, 2_000, 1e-9, &mut rng);
+            assert!(report.consistent(), "{name} flagged as non-convex");
+        }
+    }
+
+    #[test]
+    fn log_is_caught() {
+        // The paper's "notable exception": log x is concave.
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = check_midpoint_convexity(
+            |v: &VecN| (v[0] + v[1]).ln(),
+            2,
+            0.5,
+            50.0,
+            2_000,
+            1e-9,
+            &mut rng,
+        );
+        assert!(!report.consistent());
+        assert!(report.violations[0].gap > 0.0);
+    }
+
+    #[test]
+    fn sine_is_caught() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = check_midpoint_convexity(
+            |v: &VecN| v[0].sin(),
+            1,
+            0.0,
+            6.0,
+            2_000,
+            1e-9,
+            &mut rng,
+        );
+        assert!(!report.consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty probe box")]
+    fn rejects_empty_box() {
+        let mut rng = StdRng::seed_from_u64(4);
+        check_midpoint_convexity(|_: &VecN| 0.0, 1, 1.0, 1.0, 1, 1e-9, &mut rng);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the numeric solvers.
+
+use std::fmt;
+
+/// Errors reported by the root finders and the constrained min-norm solver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptimError {
+    /// A bracketing interval did not actually bracket a sign change.
+    NoBracket {
+        /// Left endpoint of the attempted bracket.
+        a: f64,
+        /// Right endpoint of the attempted bracket.
+        b: f64,
+    },
+    /// The iteration limit was exhausted before reaching the tolerance.
+    MaxIterations {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The boundary is unreachable, e.g. the impact function never attains
+    /// the bound along any searched direction (the system can absorb an
+    /// unbounded perturbation — the robustness radius is +∞).
+    Unreachable,
+    /// The objective or constraint produced a non-finite value.
+    NonFinite,
+    /// The problem is degenerate (zero-dimension perturbation, zero normal
+    /// vector, empty feature set, ...).
+    Degenerate(String),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::NoBracket { a, b } => {
+                write!(f, "interval [{a}, {b}] does not bracket a root")
+            }
+            OptimError::MaxIterations { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            OptimError::Unreachable => write!(f, "constraint boundary is unreachable"),
+            OptimError::NonFinite => write!(f, "non-finite value encountered"),
+            OptimError::Degenerate(msg) => write!(f, "degenerate problem: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(OptimError::NoBracket { a: 0.0, b: 1.0 }
+            .to_string()
+            .contains("bracket"));
+        assert!(OptimError::MaxIterations { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(OptimError::Unreachable.to_string().contains("unreachable"));
+        assert!(OptimError::NonFinite.to_string().contains("non-finite"));
+        assert!(OptimError::Degenerate("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+}

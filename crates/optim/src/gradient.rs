@@ -1,0 +1,227 @@
+//! Finite-difference gradients and unconstrained descent.
+//!
+//! The impact functions `f_ij` of the FePIA procedure are supplied by users
+//! as black boxes; when no analytic gradient is given, the constrained solver
+//! differentiates them numerically with central differences. A small
+//! backtracking gradient-descent routine is also provided for smooth
+//! unconstrained subproblems.
+
+use crate::error::OptimError;
+use crate::vector::VecN;
+
+/// Central-difference gradient of `f` at `x` with relative step `h_rel`.
+///
+/// The step for component `r` is `h_rel · max(1, |x_r|)`, which keeps the
+/// difference well-scaled for both tiny and huge operating points (sensor
+/// loads in the paper's Table 2 are O(10²)–O(10³)).
+pub fn gradient_central<F: Fn(&VecN) -> f64>(f: &F, x: &VecN, h_rel: f64) -> VecN {
+    let n = x.dim();
+    let mut g = VecN::zeros(n);
+    let mut xp = x.clone();
+    for r in 0..n {
+        let h = h_rel * x[r].abs().max(1.0);
+        let orig = xp[r];
+        xp[r] = orig + h;
+        let fp = f(&xp);
+        xp[r] = orig - h;
+        let fm = f(&xp);
+        xp[r] = orig;
+        g[r] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+/// Forward-difference gradient (half the function evaluations of
+/// [`gradient_central`], one order less accurate).
+pub fn gradient_forward<F: Fn(&VecN) -> f64>(f: &F, x: &VecN, h_rel: f64) -> VecN {
+    let n = x.dim();
+    let f0 = f(x);
+    let mut g = VecN::zeros(n);
+    let mut xp = x.clone();
+    for r in 0..n {
+        let h = h_rel * x[r].abs().max(1.0);
+        let orig = xp[r];
+        xp[r] = orig + h;
+        g[r] = (f(&xp) - f0) / h;
+        xp[r] = orig;
+    }
+    g
+}
+
+/// Options for [`descend`].
+#[derive(Clone, Copy, Debug)]
+pub struct DescentOptions {
+    /// Initial step size tried at each iteration.
+    pub step0: f64,
+    /// Backtracking shrink factor in (0, 1).
+    pub shrink: f64,
+    /// Armijo sufficient-decrease constant in (0, 1).
+    pub armijo: f64,
+    /// Convergence tolerance on the gradient norm.
+    pub grad_tol: f64,
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Relative finite-difference step (when no analytic gradient).
+    pub fd_step: f64,
+}
+
+impl Default for DescentOptions {
+    fn default() -> Self {
+        DescentOptions {
+            step0: 1.0,
+            shrink: 0.5,
+            armijo: 1e-4,
+            grad_tol: 1e-9,
+            max_iter: 500,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+/// Result of [`descend`].
+#[derive(Clone, Debug)]
+pub struct DescentResult {
+    /// The minimizer found.
+    pub x: VecN,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Gradient norm at `x`.
+    pub grad_norm: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Gradient descent with Armijo backtracking line search.
+///
+/// `grad` may be `None`, in which case central differences are used. Intended
+/// for the smooth, convex subproblems arising in the robustness-radius
+/// refinement; it is not a general-purpose NLP solver.
+pub fn descend<F, G>(
+    f: F,
+    grad: Option<G>,
+    x0: VecN,
+    opts: DescentOptions,
+) -> Result<DescentResult, OptimError>
+where
+    F: Fn(&VecN) -> f64,
+    G: Fn(&VecN) -> VecN,
+{
+    let mut x = x0;
+    let mut fx = f(&x);
+    if !fx.is_finite() {
+        return Err(OptimError::NonFinite);
+    }
+    for it in 0..opts.max_iter {
+        let g = match &grad {
+            Some(gf) => gf(&x),
+            None => gradient_central(&f, &x, opts.fd_step),
+        };
+        let gnorm = g.norm_l2();
+        if !gnorm.is_finite() {
+            return Err(OptimError::NonFinite);
+        }
+        if gnorm <= opts.grad_tol {
+            return Ok(DescentResult {
+                x,
+                value: fx,
+                grad_norm: gnorm,
+                iterations: it,
+            });
+        }
+        // Backtracking along -g.
+        let mut step = opts.step0;
+        let g2 = gnorm * gnorm;
+        let mut improved = false;
+        for _ in 0..60 {
+            let cand = x.add_scaled(-step, &g);
+            let fc = f(&cand);
+            if fc.is_finite() && fc <= fx - opts.armijo * step * g2 {
+                x = cand;
+                fx = fc;
+                improved = true;
+                break;
+            }
+            step *= opts.shrink;
+        }
+        if !improved {
+            // Line search stalled: treat current point as converged if the
+            // step has underflowed, otherwise report failure.
+            return Ok(DescentResult {
+                x,
+                value: fx,
+                grad_norm: gnorm,
+                iterations: it,
+            });
+        }
+    }
+    Err(OptimError::MaxIterations {
+        iterations: opts.max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type NoGrad = fn(&VecN) -> VecN;
+
+    #[test]
+    fn central_gradient_of_quadratic() {
+        // f = x² + 3y², ∇f = (2x, 6y)
+        let f = |v: &VecN| v[0] * v[0] + 3.0 * v[1] * v[1];
+        let g = gradient_central(&f, &VecN::from([2.0, -1.0]), 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-6);
+        assert!((g[1] + 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_gradient_close_to_central() {
+        let f = |v: &VecN| (v[0] * v[1]).sin() + v[0];
+        let x = VecN::from([0.3, 1.7]);
+        let gc = gradient_central(&f, &x, 1e-6);
+        let gf = gradient_forward(&f, &x, 1e-7);
+        assert!(gc.distance_l2(&gf) < 1e-4);
+    }
+
+    #[test]
+    fn gradient_scales_step_for_large_components() {
+        // At x = 1e8 a fixed absolute step would lose all precision; the
+        // relative step keeps the linear function's derivative exact.
+        let f = |v: &VecN| 5.0 * v[0];
+        let g = gradient_central(&f, &VecN::from([1e8]), 1e-8);
+        assert!((g[0] - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn descend_quadratic_bowl() {
+        let f = |v: &VecN| (v[0] - 1.0).powi(2) + (v[1] + 2.0).powi(2);
+        let r = descend::<_, NoGrad>(f, None, VecN::zeros(2), DescentOptions::default()).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "{:?}", r);
+        assert!((r.x[1] + 2.0).abs() < 1e-4, "{:?}", r);
+    }
+
+    #[test]
+    fn descend_with_analytic_gradient() {
+        let f = |v: &VecN| v[0] * v[0] + v[1] * v[1];
+        let g = |v: &VecN| v.scaled(2.0);
+        let r = descend(f, Some(g), VecN::from([3.0, -4.0]), DescentOptions::default()).unwrap();
+        assert!(r.x.norm_l2() < 1e-4);
+        assert!(r.value < 1e-8);
+    }
+
+    #[test]
+    fn descend_rejects_non_finite_start() {
+        let f = |_: &VecN| f64::NAN;
+        assert!(matches!(
+            descend::<_, NoGrad>(f, None, VecN::zeros(1), DescentOptions::default()),
+            Err(OptimError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn descend_already_optimal() {
+        let f = |v: &VecN| v[0] * v[0];
+        let r = descend::<_, NoGrad>(f, None, VecN::zeros(1), DescentOptions::default()).unwrap();
+        assert_eq!(r.iterations, 0);
+    }
+}

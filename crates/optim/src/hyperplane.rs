@@ -1,0 +1,177 @@
+//! Hyperplane geometry.
+//!
+//! The paper's §3.1 reduces the robustness radius for linear impact functions
+//! to the point-to-hyperplane distance formula (its Eq. 6, citing Simmons'
+//! calculus text \[23\]). A linear boundary relationship `f(π) = β` with
+//! `f(π) = a·π + c` is the hyperplane `a·π + (c − β) = 0`; the closest point
+//! to `π_orig` is its orthogonal projection onto that plane.
+
+use crate::error::OptimError;
+use crate::vector::VecN;
+
+/// The hyperplane `{ x : normal · x = offset }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hyperplane {
+    normal: VecN,
+    offset: f64,
+}
+
+impl Hyperplane {
+    /// Creates the hyperplane `normal · x = offset`.
+    ///
+    /// Returns [`OptimError::Degenerate`] if the normal is the zero vector
+    /// (then the "plane" is either all of space or empty).
+    pub fn new(normal: VecN, offset: f64) -> Result<Self, OptimError> {
+        if normal.norm_l2() <= f64::EPSILON {
+            return Err(OptimError::Degenerate("zero normal vector".into()));
+        }
+        if !normal.is_finite() || !offset.is_finite() {
+            return Err(OptimError::NonFinite);
+        }
+        Ok(Hyperplane { normal, offset })
+    }
+
+    /// The normal vector `a`.
+    pub fn normal(&self) -> &VecN {
+        &self.normal
+    }
+
+    /// The offset `b` in `a · x = b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The signed distance from `point` to the plane:
+    /// `(a·x − b) / ‖a‖₂`. Positive on the side the normal points to.
+    pub fn signed_distance(&self, point: &VecN) -> f64 {
+        (self.normal.dot(point) - self.offset) / self.normal.norm_l2()
+    }
+
+    /// The (non-negative) Euclidean distance from `point` to the plane.
+    ///
+    /// For a machine `m_j` with `n_j` applications, Eq. 6 of the paper is
+    /// exactly this distance with `a = (1,…,1)` (dimension `n_j`) and
+    /// `b = τ·M_orig`, giving `(τ·M_orig − F_j(C_orig)) / √n_j`.
+    pub fn distance(&self, point: &VecN) -> f64 {
+        self.signed_distance(point).abs()
+    }
+
+    /// The orthogonal projection of `point` onto the plane — the **closest
+    /// boundary point**, i.e. the `π_j*(φ_i)` of the paper's Fig. 1 when the
+    /// boundary is linear.
+    pub fn project(&self, point: &VecN) -> VecN {
+        let d = self.normal.dot(point) - self.offset;
+        let nn = self.normal.dot(&self.normal);
+        point.add_scaled(-d / nn, &self.normal)
+    }
+
+    /// Evaluates the linear form `a · x` at `point`.
+    pub fn eval(&self, point: &VecN) -> f64 {
+        self.normal.dot(point)
+    }
+
+    /// Whether `point` lies on the plane up to tolerance `tol` (measured as
+    /// Euclidean distance).
+    pub fn contains(&self, point: &VecN, tol: f64) -> bool {
+        self.distance(point) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_zero_normal() {
+        assert!(matches!(
+            Hyperplane::new(VecN::zeros(3), 1.0),
+            Err(OptimError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            Hyperplane::new(VecN::from([f64::NAN]), 0.0),
+            Err(OptimError::NonFinite)
+        );
+        assert_eq!(
+            Hyperplane::new(VecN::from([1.0]), f64::INFINITY),
+            Err(OptimError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn distance_in_2d() {
+        // x + y = 2, from origin: distance sqrt(2)
+        let h = Hyperplane::new(VecN::from([1.0, 1.0]), 2.0).unwrap();
+        assert!((h.distance(&VecN::zeros(2)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_shape_matches_paper() {
+        // Machine with n applications, all estimated times t, bound τM:
+        // Eq. 6 says radius = (τM − n·t)/√n.
+        let n = 4usize;
+        let t = 10.0;
+        let tau_m = 52.0;
+        let h = Hyperplane::new(VecN::filled(n, 1.0), tau_m).unwrap();
+        let c_orig = VecN::filled(n, t);
+        let expected = (tau_m - (n as f64) * t) / (n as f64).sqrt();
+        assert!((h.distance(&c_orig) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_lands_on_plane_and_is_closest() {
+        let h = Hyperplane::new(VecN::from([2.0, -1.0, 0.5]), 3.0).unwrap();
+        let p = VecN::from([1.0, 4.0, -2.0]);
+        let q = h.project(&p);
+        assert!(h.contains(&q, 1e-9));
+        assert!((p.distance_l2(&q) - h.distance(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_distance_sign() {
+        let h = Hyperplane::new(VecN::from([1.0]), 0.0).unwrap();
+        assert!(h.signed_distance(&VecN::from([2.0])) > 0.0);
+        assert!(h.signed_distance(&VecN::from([-2.0])) < 0.0);
+    }
+
+    fn plane_strategy() -> impl Strategy<Value = (Hyperplane, VecN)> {
+        (
+            prop::collection::vec(-10.0..10.0f64, 3),
+            -10.0..10.0f64,
+            prop::collection::vec(-10.0..10.0f64, 3),
+        )
+            .prop_filter_map("nonzero normal", |(n, b, p)| {
+                let normal = VecN::new(n);
+                if normal.norm_l2() < 1e-3 {
+                    None
+                } else {
+                    Some((Hyperplane::new(normal, b).unwrap(), VecN::new(p)))
+                }
+            })
+    }
+
+    proptest! {
+        /// The projection is optimal: no on-plane point constructed by moving
+        /// tangentially from the projection is closer.
+        #[test]
+        fn projection_optimality((h, p) in plane_strategy(), shift in prop::collection::vec(-5.0..5.0f64, 3)) {
+            let q = h.project(&p);
+            prop_assert!(h.contains(&q, 1e-7));
+            // Build another on-plane point: project an arbitrary shifted point.
+            let other = h.project(&p.add_scaled(1.0, &VecN::new(shift)));
+            prop_assert!(p.distance_l2(&q) <= p.distance_l2(&other) + 1e-7);
+        }
+
+        /// Projection is idempotent.
+        #[test]
+        fn projection_idempotent((h, p) in plane_strategy()) {
+            let q = h.project(&p);
+            let q2 = h.project(&q);
+            prop_assert!(q.distance_l2(&q2) < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `fepia-optim` — numeric substrate for the FePIA robustness metric.
+//!
+//! The robustness radius of Ali et al. (Eq. 1) is a *min-norm-to-level-set*
+//! problem: find the point on the boundary `f(π) = β` closest (in some norm)
+//! to the assumed operating point `π_orig`. This crate provides everything
+//! needed to solve it:
+//!
+//! * [`vector::VecN`] — a dense `f64` vector with the arithmetic the solvers
+//!   need (no external linear-algebra crates; the numeric substrate is part of
+//!   the reproduction surface).
+//! * [`norm::Norm`] — the ℓ₂ norm of the paper plus ℓ₁/ℓ∞/weighted-ℓ₂
+//!   extensions used by the norm-sensitivity ablation.
+//! * [`hyperplane::Hyperplane`] — exact point-to-plane distance/projection,
+//!   the closed form behind Eq. 6 of the paper.
+//! * [`root1d`] — bisection and Brent root finding for scalar boundary
+//!   crossings.
+//! * [`gradient`] — finite-difference gradients and gradient descent with
+//!   backtracking line search.
+//! * [`constrained`] — the general solver for
+//!   `min ‖π − π_orig‖  s.t.  f(π) = β` used when the impact function is not
+//!   linear: a ray-marching seed plus an alternating-projection refinement,
+//!   both valid for the convex impact functions the paper assumes (§3.2).
+
+pub mod constrained;
+pub mod convex;
+pub mod error;
+pub mod gradient;
+pub mod hyperplane;
+pub mod norm;
+pub mod root1d;
+pub mod vector;
+
+pub use constrained::{min_norm_to_level_set, LevelSetProblem, LevelSetSolution, SolverOptions};
+pub use convex::{check_midpoint_convexity, ConvexityReport};
+pub use error::OptimError;
+pub use hyperplane::Hyperplane;
+pub use norm::Norm;
+pub use vector::VecN;

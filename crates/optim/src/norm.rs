@@ -1,0 +1,119 @@
+//! Norm selection for the robustness radius.
+//!
+//! The paper defines the robustness radius with the Euclidean (ℓ₂) norm
+//! (Eq. 1). Ali's thesis discusses alternatives; this crate exposes them so
+//! the workspace's norm-sensitivity ablation (`benches/norms.rs`) can compare
+//! radii under different norms. [`Norm::L2`] is always the default.
+
+use crate::vector::VecN;
+
+/// A vector norm used to measure the size of a perturbation
+/// `π_j − π_j_orig`.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Norm {
+    /// ℓ₁ — sum of absolute component changes (total perturbation budget).
+    L1,
+    /// ℓ₂ — Euclidean norm; the paper's choice (Eq. 1).
+    #[default]
+    L2,
+    /// ℓ∞ — the largest single-component change.
+    LInf,
+    /// Weighted ℓ₂ — `sqrt(Σ w_r x_r²)`; lets callers express that some
+    /// perturbation components are more likely (smaller weight) than others.
+    WeightedL2(Vec<f64>),
+}
+
+
+impl Norm {
+    /// Evaluates the norm of `x`.
+    ///
+    /// # Panics
+    /// Panics for [`Norm::WeightedL2`] if the weight dimension mismatches or
+    /// any weight is negative.
+    pub fn eval(&self, x: &VecN) -> f64 {
+        match self {
+            Norm::L1 => x.norm_l1(),
+            Norm::L2 => x.norm_l2(),
+            Norm::LInf => x.norm_linf(),
+            Norm::WeightedL2(w) => x.norm_weighted_l2(w),
+        }
+    }
+
+    /// The distance between two points under this norm.
+    pub fn distance(&self, a: &VecN, b: &VecN) -> f64 {
+        self.eval(&(a - b))
+    }
+
+    /// A short human-readable name (used in reports and bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Norm::L1 => "l1",
+            Norm::L2 => "l2",
+            Norm::LInf => "linf",
+            Norm::WeightedL2(_) => "weighted-l2",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_is_l2() {
+        assert_eq!(Norm::default(), Norm::L2);
+    }
+
+    #[test]
+    fn eval_matches_vector_methods() {
+        let x = VecN::from([3.0, -4.0]);
+        assert_eq!(Norm::L1.eval(&x), 7.0);
+        assert_eq!(Norm::L2.eval(&x), 5.0);
+        assert_eq!(Norm::LInf.eval(&x), 4.0);
+        assert_eq!(Norm::WeightedL2(vec![1.0, 1.0]).eval(&x), 5.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Norm::L1.name(), "l1");
+        assert_eq!(Norm::L2.name(), "l2");
+        assert_eq!(Norm::LInf.name(), "linf");
+        assert_eq!(Norm::WeightedL2(vec![]).name(), "weighted-l2");
+    }
+
+    fn vec_strategy(n: usize) -> impl Strategy<Value = VecN> {
+        prop::collection::vec(-1e6..1e6f64, n).prop_map(VecN::new)
+    }
+
+    proptest! {
+        /// Norm axioms: non-negativity, absolute homogeneity, triangle
+        /// inequality, and the standard ordering ℓ∞ ≤ ℓ₂ ≤ ℓ₁.
+        #[test]
+        fn norm_axioms(a in vec_strategy(4), b in vec_strategy(4), s in -100.0..100.0f64) {
+            for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+                let na = norm.eval(&a);
+                prop_assert!(na >= 0.0);
+                // homogeneity
+                let scaled = norm.eval(&a.scaled(s));
+                prop_assert!((scaled - s.abs() * na).abs() <= 1e-6 * (1.0 + scaled.abs()));
+                // triangle inequality
+                let nsum = norm.eval(&(&a + &b));
+                prop_assert!(nsum <= na + norm.eval(&b) + 1e-9 * (1.0 + na));
+            }
+            let (l1, l2, linf) = (a.norm_l1(), a.norm_l2(), a.norm_linf());
+            prop_assert!(linf <= l2 + 1e-9 * (1.0 + l2));
+            prop_assert!(l2 <= l1 + 1e-9 * (1.0 + l1));
+        }
+
+        /// Distance is symmetric and zero iff the points coincide.
+        #[test]
+        fn distance_symmetry(a in vec_strategy(3), b in vec_strategy(3)) {
+            for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+                prop_assert!((norm.distance(&a, &b) - norm.distance(&b, &a)).abs() < 1e-9);
+                prop_assert_eq!(norm.distance(&a, &a), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Scalar root finding.
+//!
+//! The general robustness-radius solver reduces boundary crossings to
+//! one-dimensional root problems: along a ray `π_orig + t·d`, the boundary is
+//! crossed where `g(t) = f(π_orig + t·d) − β` changes sign. [`bisect`] is the
+//! guaranteed workhorse; [`brent`] converges much faster on smooth functions
+//! and falls back to bisection steps when interpolation misbehaves.
+
+use crate::error::OptimError;
+
+/// Stopping criteria for the 1-D root finders.
+#[derive(Clone, Copy, Debug)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tol: f64,
+    /// Absolute tolerance on the residual |g(t)|.
+    pub f_tol: f64,
+    /// Maximum iterations before giving up.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// A root found by a 1-D solver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Residual `g(x)` at the returned abscissa.
+    pub residual: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+fn check_bracket(fa: f64, fb: f64, a: f64, b: f64) -> Result<(), OptimError> {
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(OptimError::NonFinite);
+    }
+    if fa * fb > 0.0 {
+        return Err(OptimError::NoBracket { a, b });
+    }
+    Ok(())
+}
+
+/// Bisection on `[a, b]`. Requires `g(a)` and `g(b)` to have opposite signs
+/// (or one of them to be exactly zero). Linear convergence, bulletproof.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut g: F,
+    mut a: f64,
+    mut b: f64,
+    opts: RootOptions,
+) -> Result<Root, OptimError> {
+    let mut fa = g(a);
+    let fb = g(b);
+    check_bracket(fa, fb, a, b)?;
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    for it in 1..=opts.max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = g(mid);
+        if !fm.is_finite() {
+            return Err(OptimError::NonFinite);
+        }
+        if fm.abs() <= opts.f_tol || (b - a).abs() <= opts.x_tol {
+            return Ok(Root {
+                x: mid,
+                residual: fm,
+                iterations: it,
+            });
+        }
+        if fa * fm < 0.0 {
+            b = mid;
+        } else {
+            a = mid;
+            fa = fm;
+        }
+    }
+    Err(OptimError::MaxIterations {
+        iterations: opts.max_iter,
+    })
+}
+
+/// Brent's method on `[a, b]`: inverse quadratic interpolation + secant +
+/// bisection safeguards. Superlinear on smooth functions, never worse than
+/// bisection.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut g: F,
+    mut a: f64,
+    mut b: f64,
+    opts: RootOptions,
+) -> Result<Root, OptimError> {
+    let mut fa = g(a);
+    let mut fb = g(b);
+    check_bracket(fa, fb, a, b)?;
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for it in 1..=opts.max_iter {
+        if fb.abs() <= opts.f_tol {
+            return Ok(Root {
+                x: b,
+                residual: fb,
+                iterations: it,
+            });
+        }
+        if (b - a).abs() <= opts.x_tol {
+            return Ok(Root {
+                x: b,
+                residual: fb,
+                iterations: it,
+            });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // inverse quadratic interpolation
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // secant
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond_range = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond_tol_m = mflag && (b - c).abs() < opts.x_tol;
+        let cond_tol_d = !mflag && d.abs() < opts.x_tol;
+        if cond_range || cond_mflag || cond_dflag || cond_tol_m || cond_tol_d {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = g(s);
+        if !fs.is_finite() {
+            return Err(OptimError::NonFinite);
+        }
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(OptimError::MaxIterations {
+        iterations: opts.max_iter,
+    })
+}
+
+/// Expands an interval `[0, t]` geometrically until `g` changes sign (finding
+/// an upper bracket for the boundary crossing along a ray), or returns
+/// [`OptimError::Unreachable`] if no sign change occurs before `t_max`.
+///
+/// Assumes `g(0) < 0` (operating point strictly inside the robust region).
+pub fn bracket_upward<F: FnMut(f64) -> f64>(
+    mut g: F,
+    t0: f64,
+    t_max: f64,
+    growth: f64,
+) -> Result<(f64, f64), OptimError> {
+    assert!(t0 > 0.0 && growth > 1.0, "invalid bracketing parameters");
+    let g0 = g(0.0);
+    if !g0.is_finite() {
+        return Err(OptimError::NonFinite);
+    }
+    if g0 >= 0.0 {
+        // Already at/over the boundary: degenerate bracket at 0.
+        return Ok((0.0, 0.0));
+    }
+    let mut lo = 0.0;
+    let mut hi = t0;
+    loop {
+        let gh = g(hi);
+        if !gh.is_finite() {
+            return Err(OptimError::NonFinite);
+        }
+        if gh >= 0.0 {
+            return Ok((lo, hi));
+        }
+        lo = hi;
+        hi *= growth;
+        if hi > t_max {
+            return Err(OptimError::Unreachable);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_linear() {
+        let r = bisect(|x| 2.0 * x - 3.0, 0.0, 10.0, RootOptions::default()).unwrap();
+        assert!((r.x - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert_eq!(r.x, 0.0);
+        let r = bisect(|x| x - 1.0, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert_eq!(r.x, 1.0);
+    }
+
+    #[test]
+    fn bisect_reports_no_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()),
+            Err(OptimError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_rejects_nan() {
+        assert_eq!(
+            bisect(|_| f64::NAN, 0.0, 1.0, RootOptions::default()),
+            Err(OptimError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn brent_cubic() {
+        let r = brent(
+            |x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0),
+            -4.0,
+            0.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x + 3.0).abs() < 1e-9, "root at -3, got {}", r.x);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // cos x = x near 0.739085
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((r.x - 0.739_085_133_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn brent_faster_than_bisect_on_smooth() {
+        let opts = RootOptions {
+            x_tol: 1e-14,
+            f_tol: 1e-14,
+            max_iter: 500,
+        };
+        let rb = brent(|x| x.exp() - 5.0, 0.0, 4.0, opts).unwrap();
+        let ri = bisect(|x| x.exp() - 5.0, 0.0, 4.0, opts).unwrap();
+        assert!((rb.x - 5f64.ln()).abs() < 1e-10);
+        assert!((ri.x - 5f64.ln()).abs() < 1e-10);
+        assert!(rb.iterations < ri.iterations);
+    }
+
+    #[test]
+    fn bracket_finds_crossing() {
+        // g(t) = t^2 - 100, crossing at t = 10
+        let (lo, hi) = bracket_upward(|t| t * t - 100.0, 1.0, 1e9, 2.0).unwrap();
+        assert!(lo < 10.0 && 10.0 <= hi);
+    }
+
+    #[test]
+    fn bracket_unreachable() {
+        assert_eq!(
+            bracket_upward(|_| -1.0, 1.0, 1e6, 2.0),
+            Err(OptimError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn bracket_degenerate_at_boundary() {
+        assert_eq!(bracket_upward(|_| 0.0, 1.0, 1e6, 2.0), Ok((0.0, 0.0)));
+    }
+
+    proptest! {
+        /// For monotone linear functions both solvers find the analytic root.
+        #[test]
+        fn solvers_agree_on_linear(slope in 0.1..50.0f64, root in -50.0..50.0f64) {
+            let g = |x: f64| slope * (x - root);
+            let lo = root - 60.0;
+            let hi = root + 60.0;
+            let rb = bisect(g, lo, hi, RootOptions::default()).unwrap();
+            let rr = brent(g, lo, hi, RootOptions::default()).unwrap();
+            prop_assert!((rb.x - root).abs() < 1e-6);
+            prop_assert!((rr.x - root).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Dense `f64` vectors.
+//!
+//! `VecN` is the numeric workhorse of the whole workspace: perturbation
+//! parameters (`π_j` in the paper), ETC error vectors (`C − C_orig`), and
+//! sensor-load vectors (`λ`) are all `VecN`s. It is intentionally small — a
+//! newtype over `Vec<f64>` with exactly the operations the solvers need.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense vector in `R^n`.
+#[derive(Clone, PartialEq, Default)]
+pub struct VecN(Vec<f64>);
+
+impl VecN {
+    /// Creates a vector from its components.
+    pub fn new(components: Vec<f64>) -> Self {
+        VecN(components)
+    }
+
+    /// Creates the zero vector of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        VecN(vec![0.0; n])
+    }
+
+    /// Creates a vector of dimension `n` with every component equal to `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        VecN(vec![value; n])
+    }
+
+    /// Creates the `i`-th standard basis vector of dimension `n`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n`.
+    pub fn basis(n: usize, i: usize) -> Self {
+        assert!(i < n, "basis index {i} out of range for dimension {n}");
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        VecN(v)
+    }
+
+    /// The dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector has dimension zero.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutably borrows the components as a slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector, returning its components.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.0.iter()
+    }
+
+    /// The dot product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &VecN) -> f64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dot product of mismatched dimensions"
+        );
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// The Euclidean (ℓ₂) norm. This is the norm of the paper's Eq. 1.
+    pub fn norm_l2(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// The ℓ₁ norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.0.iter().map(|x| x.abs()).sum()
+    }
+
+    /// The ℓ∞ norm (maximum absolute value); 0 for the empty vector.
+    pub fn norm_linf(&self) -> f64 {
+        self.0.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// The weighted ℓ₂ norm `sqrt(Σ w_r x_r²)`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ or any weight is negative.
+    pub fn norm_weighted_l2(&self, weights: &[f64]) -> f64 {
+        assert_eq!(self.dim(), weights.len(), "weight dimension mismatch");
+        self.0
+            .iter()
+            .zip(weights.iter())
+            .map(|(x, w)| {
+                assert!(*w >= 0.0, "negative weight {w} in weighted norm");
+                w * x * x
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns `self + t * dir` (a point along a ray).
+    pub fn add_scaled(&self, t: f64, dir: &VecN) -> VecN {
+        assert_eq!(self.dim(), dir.dim(), "add_scaled dimension mismatch");
+        VecN(
+            self.0
+                .iter()
+                .zip(dir.0.iter())
+                .map(|(a, d)| a + t * d)
+                .collect(),
+        )
+    }
+
+    /// In-place `self += t * dir` (BLAS `axpy`).
+    pub fn axpy(&mut self, t: f64, dir: &VecN) {
+        assert_eq!(self.dim(), dir.dim(), "axpy dimension mismatch");
+        for (a, d) in self.0.iter_mut().zip(dir.0.iter()) {
+            *a += t * d;
+        }
+    }
+
+    /// Scales the vector by a scalar, returning a new vector.
+    pub fn scaled(&self, s: f64) -> VecN {
+        VecN(self.0.iter().map(|x| x * s).collect())
+    }
+
+    /// Returns the unit vector in the direction of `self`, or `None` if the
+    /// norm is too small to normalize safely.
+    pub fn normalized(&self) -> Option<VecN> {
+        let n = self.norm_l2();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self.scaled(1.0 / n))
+        }
+    }
+
+    /// Component-wise maximum with a scalar (used to clamp onto the
+    /// non-negative orthant, e.g. sensor loads cannot go below zero).
+    pub fn max_scalar(&self, floor: f64) -> VecN {
+        VecN(self.0.iter().map(|x| x.max(floor)).collect())
+    }
+
+    /// Component-wise floor (used for discrete perturbation parameters,
+    /// §3.2 of the paper).
+    pub fn floor(&self) -> VecN {
+        VecN(self.0.iter().map(|x| x.floor()).collect())
+    }
+
+    /// True if every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
+
+    /// The Euclidean distance `‖self − other‖₂`.
+    pub fn distance_l2(&self, other: &VecN) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "distance dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl fmt::Debug for VecN {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VecN{:?}", self.0)
+    }
+}
+
+impl From<Vec<f64>> for VecN {
+    fn from(v: Vec<f64>) -> Self {
+        VecN(v)
+    }
+}
+
+impl From<&[f64]> for VecN {
+    fn from(v: &[f64]) -> Self {
+        VecN(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for VecN {
+    fn from(v: [f64; N]) -> Self {
+        VecN(v.to_vec())
+    }
+}
+
+impl Index<usize> for VecN {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for VecN {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for &VecN {
+    type Output = VecN;
+    fn add(self, rhs: &VecN) -> VecN {
+        self.add_scaled(1.0, rhs)
+    }
+}
+
+impl Sub for &VecN {
+    type Output = VecN;
+    fn sub(self, rhs: &VecN) -> VecN {
+        self.add_scaled(-1.0, rhs)
+    }
+}
+
+impl AddAssign<&VecN> for VecN {
+    fn add_assign(&mut self, rhs: &VecN) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&VecN> for VecN {
+    fn sub_assign(&mut self, rhs: &VecN) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Mul<f64> for &VecN {
+    type Output = VecN;
+    fn mul(self, s: f64) -> VecN {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &VecN {
+    type Output = VecN;
+    fn neg(self) -> VecN {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dim() {
+        assert_eq!(VecN::zeros(3).dim(), 3);
+        assert_eq!(VecN::filled(2, 4.0).as_slice(), &[4.0, 4.0]);
+        assert_eq!(VecN::basis(3, 1).as_slice(), &[0.0, 1.0, 0.0]);
+        assert!(VecN::zeros(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index")]
+    fn basis_out_of_range_panics() {
+        let _ = VecN::basis(2, 2);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = VecN::from([3.0, -4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm_l2(), 5.0);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(a.norm_linf(), 4.0);
+    }
+
+    #[test]
+    fn weighted_norm_reduces_to_l2_with_unit_weights() {
+        let a = VecN::from([1.0, 2.0, 2.0]);
+        let w = [1.0, 1.0, 1.0];
+        assert!((a.norm_weighted_l2(&w) - a.norm_l2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_norm_scales_components() {
+        let a = VecN::from([1.0, 1.0]);
+        // sqrt(4*1 + 9*1) = sqrt(13)
+        assert!((a.norm_weighted_l2(&[4.0, 9.0]) - 13f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn weighted_norm_rejects_negative_weight() {
+        VecN::from([1.0]).norm_weighted_l2(&[-1.0]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = VecN::from([1.0, 2.0]);
+        let b = VecN::from([3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_axpy_agree() {
+        let a = VecN::from([1.0, 1.0, 1.0]);
+        let d = VecN::from([1.0, 2.0, 3.0]);
+        let r = a.add_scaled(0.5, &d);
+        let mut m = a.clone();
+        m.axpy(0.5, &d);
+        assert_eq!(r, m);
+        assert_eq!(r.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = VecN::from([3.0, 4.0]);
+        let u = a.normalized().unwrap();
+        assert!((u.norm_l2() - 1.0).abs() < 1e-12);
+        assert!(VecN::zeros(2).normalized().is_none());
+    }
+
+    #[test]
+    fn distance_is_norm_of_difference() {
+        let a = VecN::from([1.0, 2.0]);
+        let b = VecN::from([4.0, 6.0]);
+        assert_eq!(a.distance_l2(&b), 5.0);
+        assert_eq!(a.distance_l2(&b), (&a - &b).norm_l2());
+    }
+
+    #[test]
+    fn clamp_and_floor() {
+        let a = VecN::from([-1.5, 2.7]);
+        assert_eq!(a.max_scalar(0.0).as_slice(), &[0.0, 2.7]);
+        assert_eq!(a.floor().as_slice(), &[-2.0, 2.0]);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(VecN::from([1.0, 2.0]).is_finite());
+        assert!(!VecN::from([f64::NAN]).is_finite());
+        assert!(!VecN::from([f64::INFINITY]).is_finite());
+    }
+}

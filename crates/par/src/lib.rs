@@ -1,0 +1,269 @@
+//! `fepia-par` — deterministic parallelism substrate.
+//!
+//! The paper's experiments evaluate 1000 random mappings per system; each
+//! evaluation is independent, so the sweeps are embarrassingly parallel.
+//! This crate provides the small amount of machinery the harness needs,
+//! built directly on `crossbeam::thread::scope` (no global thread pool, no
+//! work-stealing runtime — the work units are coarse):
+//!
+//! * [`par_map`] — static chunking; lowest overhead when work items are
+//!   uniform (e.g. makespan evaluation).
+//! * [`par_map_dynamic`] — an atomic work queue; better when item cost is
+//!   skewed (e.g. the numeric robustness solver converges in a varying
+//!   number of iterations).
+//!
+//! Both are **deterministic**: results are returned in input order and each
+//! closure receives its item index, so callers that derive per-item RNGs
+//! (see `fepia_stats::rng_for`) get bitwise-identical results for any thread
+//! count, including 1.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration for the parallel drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct ParConfig {
+    /// Worker threads; `None` uses [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+    /// Below this many items, run sequentially (thread spawn not worth it).
+    pub sequential_below: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            threads: None,
+            sequential_below: 32,
+        }
+    }
+}
+
+impl ParConfig {
+    /// A config pinned to exactly `n` threads.
+    pub fn with_threads(n: usize) -> Self {
+        assert!(n > 0, "thread count must be positive");
+        ParConfig {
+            threads: Some(n),
+            sequential_below: 0,
+        }
+    }
+
+    fn effective_threads(&self, items: usize) -> usize {
+        let hw = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        hw.max(1).min(items.max(1))
+    }
+}
+
+/// Applies `f(index, &item)` to every item, in parallel, returning results in
+/// input order. Static contiguous chunking.
+///
+/// Panics in `f` propagate to the caller (via `crossbeam::thread::scope`).
+pub fn par_map<T, U, F>(items: &[T], cfg: &ParConfig, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads(n);
+    if threads == 1 || n < cfg.sequential_below {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        // Hand each worker a disjoint &mut of the output: safe, lock-free.
+        for (w, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let base = w * chunk;
+            let items = &items[base..base + out_chunk.len()];
+            s.spawn(move |_| {
+                for (off, (slot, item)) in out_chunk.iter_mut().zip(items.iter()).enumerate() {
+                    *slot = Some(f(base + off, item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|v| v.expect("chunk worker skipped a slot"))
+        .collect()
+}
+
+/// Like [`par_map`], but items are claimed one at a time from an atomic
+/// counter, so skewed per-item costs balance across workers. Results are
+/// still returned in input order.
+pub fn par_map_dynamic<T, U, F>(items: &[T], cfg: &ParConfig, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads(n);
+    if threads == 1 || n < cfg.sequential_below {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let collected = &collected;
+            let f = &f;
+            s.spawn(move |_| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                collected.lock().extend(local);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut pairs = collected.into_inner();
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Parallel fold: maps every item and reduces the results with `combine`
+/// (which must be associative and commutative). Returns `None` on empty
+/// input.
+pub fn par_map_reduce<T, U, F, C>(items: &[T], cfg: &ParConfig, f: F, combine: C) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    C: Fn(U, U) -> U,
+{
+    par_map(items, cfg, f).into_iter().reduce(combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(&[] as &[i32], &ParConfig::default(), |_, x| *x);
+        assert!(out.is_empty());
+        let out: Vec<i32> = par_map_dynamic(&[] as &[i32], &ParConfig::default(), |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8] {
+            let cfg = ParConfig::with_threads(threads);
+            assert_eq!(par_map(&items, &cfg, |_, x| x * x), expect);
+            assert_eq!(par_map_dynamic(&items, &cfg, |_, x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec![10u64, 20, 30, 40, 50];
+        let cfg = ParConfig::with_threads(2);
+        let out = par_map(&items, &cfg, |i, x| (i, *x));
+        for (pos, (i, x)) in out.iter().enumerate() {
+            assert_eq!(pos, *i);
+            assert_eq!(items[pos], *x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // Per-index "RNG": the result depends only on the index, so any
+        // thread count must produce identical output.
+        let items: Vec<usize> = (0..777).collect();
+        let f = |i: usize, _: &usize| {
+            let mut z = i as u64 ^ 0xDEAD_BEEF;
+            z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z ^ (z >> 31)
+        };
+        let seq = par_map(&items, &ParConfig::with_threads(1), f);
+        for threads in [2, 4, 7] {
+            assert_eq!(par_map(&items, &ParConfig::with_threads(threads), f), seq);
+            assert_eq!(
+                par_map_dynamic(&items, &ParConfig::with_threads(threads), f),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_handles_skewed_costs() {
+        // Items near the front are much more expensive; the dynamic queue
+        // must still return correct, ordered results.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_dynamic(&items, &ParConfig::with_threads(4), |i, _| {
+            let spins = if i < 4 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(k);
+            }
+            let _ = acc;
+            i as u64
+        });
+        assert_eq!(out, (0..64).map(|i| i as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_finds_minimum() {
+        let items: Vec<f64> = vec![5.0, 2.0, 9.0, 2.5];
+        let min = par_map_reduce(&items, &ParConfig::with_threads(2), |_, x| *x, f64::min);
+        assert_eq!(min, Some(2.0));
+        let none: Option<f64> =
+            par_map_reduce(&[] as &[f64], &ParConfig::default(), |_, x| *x, f64::min);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn sequential_fallback_below_threshold() {
+        let cfg = ParConfig {
+            threads: Some(8),
+            sequential_below: 100,
+        };
+        let items: Vec<i32> = (0..50).collect();
+        assert_eq!(
+            par_map(&items, &cfg, |_, x| x + 1),
+            (1..51).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<i32> = (0..100).collect();
+        let _ = par_map(&items, &ParConfig::with_threads(4), |i, _| {
+            if i == 57 {
+                panic!("injected failure");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        ParConfig::with_threads(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Axis scales and "nice" tick placement.
+
+/// A linear map from a data domain to pixel coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Data domain `(lo, hi)`.
+    pub domain: (f64, f64),
+    /// Pixel range `(lo, hi)` (may be inverted for y axes).
+    pub range: (f64, f64),
+}
+
+impl Scale {
+    /// Creates a scale; the domain must be non-degenerate.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        assert!(
+            domain.1 > domain.0,
+            "degenerate scale domain [{}, {}]",
+            domain.0,
+            domain.1
+        );
+        Scale { domain, range }
+    }
+
+    /// Maps a data value to pixels.
+    pub fn map(&self, x: f64) -> f64 {
+        let t = (x - self.domain.0) / (self.domain.1 - self.domain.0);
+        self.range.0 + t * (self.range.1 - self.range.0)
+    }
+}
+
+/// Expands a raw data extent into a "nice" domain with a small margin and
+/// returns it with tick positions: at most `max_ticks` ticks at a 1/2/5×10ᵏ
+/// step.
+pub fn nice_domain(lo: f64, hi: f64, max_ticks: usize) -> ((f64, f64), Vec<f64>) {
+    assert!(max_ticks >= 2, "need at least two ticks");
+    let (lo, hi) = if hi > lo {
+        (lo, hi)
+    } else {
+        (lo - 0.5, lo + 0.5) // degenerate extent: widen symmetrically
+    };
+    let span = hi - lo;
+    let raw_step = span / (max_ticks - 1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).floor() * step;
+    let end = (hi / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= end + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ((start, end), ticks)
+}
+
+/// Formats a tick label compactly (trims trailing zeros; switches to
+/// scientific notation for very large/small magnitudes).
+pub fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        return format!("{v:.1e}");
+    }
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_linearly() {
+        let s = Scale::new((0.0, 10.0), (100.0, 200.0));
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+    }
+
+    #[test]
+    fn inverted_range_for_y_axes() {
+        let s = Scale::new((0.0, 1.0), (300.0, 0.0));
+        assert_eq!(s.map(0.0), 300.0);
+        assert_eq!(s.map(1.0), 0.0);
+    }
+
+    #[test]
+    fn nice_domain_covers_extent() {
+        let ((lo, hi), ticks) = nice_domain(3.2, 97.5, 6);
+        assert!(lo <= 3.2 && hi >= 97.5);
+        assert!(ticks.len() >= 2 && ticks.len() <= 8);
+        // 1/2/5 steps: consecutive differences all equal
+        let step = ticks[1] - ticks[0];
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nice_domain_handles_degenerate_extent() {
+        let ((lo, hi), ticks) = nice_domain(5.0, 5.0, 5);
+        assert!(lo < 5.0 && hi > 5.0);
+        assert!(!ticks.is_empty());
+    }
+
+    #[test]
+    fn tick_labels() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(2.5), "2.5");
+        assert_eq!(tick_label(100.0), "100");
+        assert_eq!(tick_label(2e7), "2.0e7");
+        assert_eq!(tick_label(1e-5), "1.0e-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate scale domain")]
+    fn scale_rejects_empty_domain() {
+        Scale::new((1.0, 1.0), (0.0, 10.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Bar charts (robustness histograms, per-heuristic comparisons).
+//!
+//! Marks follow the chart spec: thin bars with a 2px surface gap between
+//! neighbors, 4px rounded data-ends, baseline-anchored, value labels in ink.
+
+use crate::axis::{nice_domain, tick_label, Scale};
+use crate::svg::{Anchor, SvgDoc};
+use crate::theme;
+
+/// A single-series bar chart with categorical x labels.
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// `(label, value)` pairs, drawn left to right.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Adds one bar.
+    pub fn add(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        assert!(value.is_finite() && value >= 0.0, "bar values must be ≥ 0");
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    /// Panics when no bars were added.
+    pub fn render(&self, width: f64, height: f64) -> SvgDoc {
+        assert!(!self.bars.is_empty(), "bar chart has no bars");
+        let margin_left = 64.0;
+        let margin_right = 24.0;
+        let margin_top = 40.0;
+        let margin_bottom = 64.0;
+
+        let max = self.bars.iter().map(|b| b.1).fold(0.0, f64::max).max(1e-12);
+        let (yd, yticks) = nice_domain(0.0, max, 6);
+        let ys = Scale::new(yd, (height - margin_bottom, margin_top));
+        let baseline = ys.map(0.0);
+
+        let mut doc = SvgDoc::new(width, height, theme::SURFACE);
+        for &t in &yticks {
+            let y = ys.map(t);
+            doc.line(margin_left, y, width - margin_right, y, theme::GRID, 1.0);
+            doc.text(
+                margin_left - 6.0,
+                y + 3.0,
+                &tick_label(t),
+                10.0,
+                theme::TEXT_SECONDARY,
+                Anchor::End,
+            );
+        }
+        doc.line(
+            margin_left,
+            baseline,
+            width - margin_right,
+            baseline,
+            theme::AXIS,
+            1.0,
+        );
+
+        let span = width - margin_left - margin_right;
+        let slot = span / self.bars.len() as f64;
+        // 2px surface gap between adjacent fills.
+        let bar_w = (slot - 2.0).clamp(2.0, 64.0);
+        for (i, (label, value)) in self.bars.iter().enumerate() {
+            let cx = margin_left + (i as f64 + 0.5) * slot;
+            let top = ys.map(*value);
+            // Baseline-anchored with a 4px rounded data-end.
+            doc.rect(
+                cx - bar_w / 2.0,
+                top,
+                bar_w,
+                (baseline - top).max(0.0),
+                theme::series_color(0),
+                4.0,
+            );
+            doc.text(
+                cx,
+                height - margin_bottom + 16.0,
+                label,
+                10.0,
+                theme::TEXT_SECONDARY,
+                Anchor::Middle,
+            );
+            // Direct value label (ink, never series-colored).
+            doc.text(
+                cx,
+                top - 5.0,
+                &tick_label(*value),
+                10.0,
+                theme::TEXT_PRIMARY,
+                Anchor::Middle,
+            );
+        }
+        doc.text(
+            width / 2.0,
+            22.0,
+            &self.title,
+            14.0,
+            theme::TEXT_PRIMARY,
+            Anchor::Middle,
+        );
+        doc.text(
+            8.0,
+            margin_top - 10.0,
+            &self.y_label,
+            12.0,
+            theme::TEXT_PRIMARY,
+            Anchor::Start,
+        );
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bars_and_labels() {
+        let mut c = BarChart::new("heuristic robustness", "ρ (s)");
+        c.add("mct", 2.0).add("olb", 5.3).add("robust-greedy", 15.0);
+        let svg = c.render(480.0, 320.0).render();
+        assert!(svg.contains(">mct<"));
+        assert!(svg.contains(">robust-greedy<"));
+        assert!(svg.contains(">15<")); // value label
+        assert_eq!(svg.matches("rx=\"4\"").count(), 3);
+    }
+
+    #[test]
+    fn zero_bars_have_zero_height() {
+        let mut c = BarChart::new("t", "y");
+        c.add("z", 0.0).add("a", 1.0);
+        let svg = c.render(200.0, 150.0).render();
+        assert!(svg.contains("height=\"0.00\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "no bars")]
+    fn empty_rejected() {
+        BarChart::new("t", "y").render(100.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_rejected() {
+        BarChart::new("t", "y").add("x", -1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Layered DAG rendering (Fig. 2).
+//!
+//! The paper's Fig. 2 draws sensors as diamonds, applications as circles and
+//! actuators as rectangles, with arrows for data transfers. [`DagPlot`]
+//! reproduces that: callers supply nodes pre-assigned to layers (the
+//! experiment binary computes layers as longest-path depth from the
+//! sensors) and the edge list; layout is columnar left-to-right.
+
+use crate::svg::{Anchor, SvgDoc};
+use crate::theme;
+
+/// What a DAG node is (selects its glyph, per the paper's Fig. 2 legend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagNodeKind {
+    /// Diamond.
+    Sensor,
+    /// Circle.
+    App,
+    /// Rectangle.
+    Actuator,
+}
+
+/// One column of the layered drawing.
+#[derive(Clone, Debug, Default)]
+pub struct DagLayer {
+    /// `(label, kind, node id)` triples, drawn top to bottom.
+    pub nodes: Vec<(String, DagNodeKind, usize)>,
+}
+
+/// A layered DAG drawing.
+#[derive(Clone, Debug)]
+pub struct DagPlot {
+    /// Title.
+    pub title: String,
+    /// Columns, left to right.
+    pub layers: Vec<DagLayer>,
+    /// Edges as `(from node id, to node id)`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl DagPlot {
+    /// Pixel position of every node id, given the canvas size.
+    fn positions(
+        &self,
+        width: f64,
+        height: f64,
+    ) -> std::collections::HashMap<usize, (f64, f64)> {
+        let mut pos = std::collections::HashMap::new();
+        let cols = self.layers.len().max(1) as f64;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let x = (li as f64 + 0.5) / cols * (width - 40.0) + 20.0;
+            let rows = layer.nodes.len().max(1) as f64;
+            for (ni, &(_, _, id)) in layer.nodes.iter().enumerate() {
+                let y = (ni as f64 + 0.5) / rows * (height - 80.0) + 50.0;
+                pos.insert(id, (x, y));
+            }
+        }
+        pos
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node id missing from every layer.
+    pub fn render(&self, width: f64, height: f64) -> SvgDoc {
+        let mut doc = SvgDoc::new(width, height, theme::SURFACE);
+        let pos = self.positions(width, height);
+
+        // Edges first (under the nodes).
+        for &(from, to) in &self.edges {
+            let (x1, y1) = pos[&from];
+            let (x2, y2) = pos[&to];
+            // Pull endpoints toward each other so arrows stop at glyph rims.
+            let dx = x2 - x1;
+            let dy = y2 - y1;
+            let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let trim = 14.0_f64.min(len / 3.0);
+            doc.arrow(
+                x1 + dx / len * trim,
+                y1 + dy / len * trim,
+                x2 - dx / len * trim,
+                y2 - dy / len * trim,
+                theme::AXIS,
+            );
+        }
+
+        // Nodes: one categorical hue per kind (identity is also carried by
+        // the glyph shape, so color is redundant, not load-bearing).
+        for layer in &self.layers {
+            for &(ref label, kind, id) in &layer.nodes {
+                let (x, y) = pos[&id];
+                match kind {
+                    DagNodeKind::Sensor => {
+                        let r = 11.0;
+                        doc.polygon(
+                            &[(x, y - r), (x + r, y), (x, y + r), (x - r, y)],
+                            theme::series_color(2),
+                            theme::TEXT_SECONDARY,
+                        );
+                    }
+                    DagNodeKind::App => {
+                        doc.circle(x, y, 11.0, theme::series_color(0), Some(theme::SURFACE));
+                    }
+                    DagNodeKind::Actuator => {
+                        doc.rect(x - 11.0, y - 9.0, 22.0, 18.0, theme::series_color(1), 3.0);
+                    }
+                }
+                doc.text(x, y + 24.0, label, 9.0, theme::TEXT_SECONDARY, Anchor::Middle);
+            }
+        }
+
+        doc.text(
+            width / 2.0,
+            22.0,
+            &self.title,
+            14.0,
+            theme::TEXT_PRIMARY,
+            Anchor::Middle,
+        );
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dag() -> DagPlot {
+        DagPlot {
+            title: "DAG model".into(),
+            layers: vec![
+                DagLayer {
+                    nodes: vec![("s0".into(), DagNodeKind::Sensor, 0)],
+                },
+                DagLayer {
+                    nodes: vec![
+                        ("a0".into(), DagNodeKind::App, 1),
+                        ("a1".into(), DagNodeKind::App, 2),
+                    ],
+                },
+                DagLayer {
+                    nodes: vec![("act0".into(), DagNodeKind::Actuator, 3)],
+                },
+            ],
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn renders_all_glyph_kinds() {
+        let svg = tiny_dag().render(640.0, 480.0).render();
+        assert!(svg.contains("<polygon")); // sensor diamond
+        assert!(svg.contains("<circle")); // app
+        assert!(svg.contains("<rect x=")); // actuator (beyond background)
+        assert!(svg.contains("DAG model"));
+        assert!(svg.contains(">a1<"));
+    }
+
+    #[test]
+    fn edge_count_matches() {
+        let svg = tiny_dag().render(640.0, 480.0).render();
+        // Each arrow is 3 line elements; plus 2 per... count <line occurrences:
+        // 4 edges × 3 lines = 12.
+        assert_eq!(svg.matches("<line").count(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dangling_edge_panics() {
+        let mut dag = tiny_dag();
+        dag.edges.push((0, 99));
+        let _ = dag.render(100.0, 100.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! `fepia-plot` — self-contained SVG output for the paper's figures.
+//!
+//! The experiment binaries regenerate the paper's figures as standalone
+//! `.svg` files: scatter plots for Figs. 3–4 ([`scatter`]), the boundary
+//! curve illustration for Fig. 1 ([`scatter`] line series), and the DAG
+//! model drawing for Fig. 2 ([`dagviz`]). No external plotting crates; SVG
+//! is written directly ([`svg`]) with nice-tick axes ([`axis`]).
+//!
+//! Styling follows a validated light-mode chart palette ([`theme`]): thin
+//! recessive grid and axes, ink-colored text (never series-colored), series
+//! hues assigned in a fixed order.
+
+pub mod axis;
+pub mod bars;
+pub mod dagviz;
+pub mod scatter;
+pub mod svg;
+pub mod theme;
+
+pub use bars::BarChart;
+pub use dagviz::{DagLayer, DagNodeKind, DagPlot};
+pub use scatter::{Chart, Series, SeriesKind};
+pub use svg::SvgDoc;

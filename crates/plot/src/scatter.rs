@@ -1,0 +1,280 @@
+//! Scatter / line charts (Figs. 1, 3 and 4).
+
+use crate::axis::{nice_domain, tick_label, Scale};
+use crate::svg::{Anchor, SvgDoc};
+use crate::theme;
+
+/// How a series is drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Individual points (the 1000-mapping clouds).
+    Points,
+    /// A connected 2px line (boundary curves, fitted lines).
+    Line,
+}
+
+/// One named series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` data.
+    pub points: Vec<(f64, f64)>,
+    /// Points or line.
+    pub kind: SeriesKind,
+}
+
+impl Series {
+    /// A point-cloud series.
+    pub fn points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            kind: SeriesKind::Points,
+        }
+    }
+
+    /// A line series.
+    pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            kind: SeriesKind::Line,
+        }
+    }
+}
+
+/// A 2-D chart with nice-tick axes, a recessive grid, and a legend when
+/// more than one series is present.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Chart title (primary ink).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, in palette-slot order (≤ 8; never cycled).
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (assigned the next palette slot).
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        assert!(
+            self.series.len() < theme::SERIES.len(),
+            "at most {} series; fold the rest",
+            theme::SERIES.len()
+        );
+        self.series.push(series);
+        self
+    }
+
+    /// The joint data extent over all series.
+    fn extent(&self) -> ((f64, f64), (f64, f64)) {
+        let mut xr = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut yr = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xr = (xr.0.min(x), xr.1.max(x));
+                yr = (yr.0.min(y), yr.1.max(y));
+            }
+        }
+        (xr, yr)
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    /// Panics if no series has any points.
+    pub fn render(&self, width: f64, height: f64) -> SvgDoc {
+        let (xr, yr) = self.extent();
+        assert!(
+            xr.0.is_finite() && yr.0.is_finite(),
+            "chart has no data points"
+        );
+
+        let margin_left = 64.0;
+        let margin_right = 24.0;
+        let margin_top = 40.0;
+        let margin_bottom = 56.0;
+        let (xd, xticks) = nice_domain(xr.0, xr.1, 7);
+        let (yd, yticks) = nice_domain(yr.0, yr.1, 6);
+        let xs = Scale::new(xd, (margin_left, width - margin_right));
+        let ys = Scale::new(yd, (height - margin_bottom, margin_top));
+
+        let mut doc = SvgDoc::new(width, height, theme::SURFACE);
+
+        // Grid (recessive) + tick labels (secondary ink).
+        for &t in &xticks {
+            let x = xs.map(t);
+            doc.line(x, margin_top, x, height - margin_bottom, theme::GRID, 1.0);
+            doc.text(
+                x,
+                height - margin_bottom + 16.0,
+                &tick_label(t),
+                10.0,
+                theme::TEXT_SECONDARY,
+                Anchor::Middle,
+            );
+        }
+        for &t in &yticks {
+            let y = ys.map(t);
+            doc.line(margin_left, y, width - margin_right, y, theme::GRID, 1.0);
+            doc.text(
+                margin_left - 6.0,
+                y + 3.0,
+                &tick_label(t),
+                10.0,
+                theme::TEXT_SECONDARY,
+                Anchor::End,
+            );
+        }
+        // Axis lines.
+        doc.line(
+            margin_left,
+            height - margin_bottom,
+            width - margin_right,
+            height - margin_bottom,
+            theme::AXIS,
+            1.0,
+        );
+        doc.line(
+            margin_left,
+            margin_top,
+            margin_left,
+            height - margin_bottom,
+            theme::AXIS,
+            1.0,
+        );
+
+        // Series marks.
+        for (slot, s) in self.series.iter().enumerate() {
+            let color = theme::series_color(slot);
+            match s.kind {
+                SeriesKind::Points => {
+                    for &(x, y) in &s.points {
+                        doc.circle(xs.map(x), ys.map(y), 2.5, color, None);
+                    }
+                }
+                SeriesKind::Line => {
+                    let pts: Vec<(f64, f64)> =
+                        s.points.iter().map(|&(x, y)| (xs.map(x), ys.map(y))).collect();
+                    doc.polyline(&pts, color, 2.0);
+                }
+            }
+        }
+
+        // Titles and axis labels (ink tokens).
+        doc.text(
+            width / 2.0,
+            22.0,
+            &self.title,
+            14.0,
+            theme::TEXT_PRIMARY,
+            Anchor::Middle,
+        );
+        doc.text(
+            (margin_left + width - margin_right) / 2.0,
+            height - 16.0,
+            &self.x_label,
+            12.0,
+            theme::TEXT_PRIMARY,
+            Anchor::Middle,
+        );
+        // Y label: horizontal at the top-left (no rotation keeps the writer
+        // simple and the label legible).
+        doc.text(8.0, margin_top - 10.0, &self.y_label, 12.0, theme::TEXT_PRIMARY, Anchor::Start);
+
+        // Legend (only with ≥ 2 series — a single series is named by the
+        // title).
+        if self.series.len() >= 2 {
+            let mut ly = margin_top + 6.0;
+            let lx = width - margin_right - 150.0;
+            for (slot, s) in self.series.iter().enumerate() {
+                doc.circle(lx, ly - 3.0, 4.0, theme::series_color(slot), None);
+                doc.text(lx + 10.0, ly, &s.name, 11.0, theme::TEXT_SECONDARY, Anchor::Start);
+                ly += 16.0;
+            }
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        let mut c = Chart::new("Robustness vs makespan", "makespan", "robustness");
+        c.add(Series::points(
+            "mappings",
+            vec![(10.0, 1.0), (20.0, 2.0), (30.0, 1.5)],
+        ));
+        c
+    }
+
+    #[test]
+    fn renders_points_and_labels() {
+        let svg = sample_chart().render(640.0, 480.0).render();
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("Robustness vs makespan"));
+        assert!(svg.contains("makespan"));
+        assert!(svg.contains("robustness"));
+    }
+
+    #[test]
+    fn single_series_has_no_legend_text() {
+        let svg = sample_chart().render(640.0, 480.0).render();
+        // The legend would repeat the series name "mappings".
+        assert!(!svg.contains(">mappings<"));
+    }
+
+    #[test]
+    fn two_series_show_legend() {
+        let mut c = sample_chart();
+        c.add(Series::line("fit", vec![(10.0, 1.0), (30.0, 2.0)]));
+        let svg = c.render(640.0, 480.0).render();
+        assert!(svg.contains(">mappings<"));
+        assert!(svg.contains(">fit<"));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data points")]
+    fn empty_chart_panics() {
+        Chart::new("t", "x", "y").render(100.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn series_slots_capped() {
+        let mut c = Chart::new("t", "x", "y");
+        for i in 0..9 {
+            c.add(Series::points(format!("s{i}"), vec![(0.0, 0.0)]));
+        }
+    }
+
+    #[test]
+    fn constant_y_data_renders() {
+        // Degenerate vertical extent must not panic (nice_domain widens it).
+        let mut c = Chart::new("t", "x", "y");
+        c.add(Series::points("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let svg = c.render(320.0, 240.0).render();
+        assert!(svg.contains("<circle"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Minimal SVG document writer.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escapes text content for XML.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Text anchoring for [`SvgDoc::text`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned at the given x.
+    Start,
+    /// Centered on the given x.
+    Middle,
+    /// Right-aligned at the given x.
+    End,
+}
+
+impl Anchor {
+    fn attr(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Clone, Debug)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Creates an empty document of the given pixel size, filled with the
+    /// given background color.
+    pub fn new(width: f64, height: f64, background: &str) -> Self {
+        assert!(width > 0.0 && height > 0.0, "non-positive SVG size");
+        let mut doc = SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        };
+        let _ = writeln!(
+            doc.body,
+            r#"<rect x="0" y="0" width="{width}" height="{height}" fill="{background}"/>"#
+        );
+        doc
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Draws a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Draws a filled circle with an optional 2px surface ring (the mark
+    /// spec for overlapping scatter points).
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, ring: Option<&str>) {
+        match ring {
+            Some(ring) => {
+                let _ = writeln!(
+                    self.body,
+                    r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" stroke="{ring}" stroke-width="2"/>"#
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    self.body,
+                    r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#
+                );
+            }
+        }
+    }
+
+    /// Draws a rectangle (optionally rounded).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, rx: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" rx="{rx}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Draws an unfilled polygon outline (used for sensor diamonds).
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, stroke: &str) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Draws a polyline (stroked, unfilled).
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Draws text. `size` in px; color should be an ink token, never a
+    /// series hue.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, color: &str, anchor: Anchor) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="system-ui, sans-serif" fill="{color}" text-anchor="{}">{}</text>"#,
+            anchor.attr(),
+            escape(content)
+        );
+    }
+
+    /// Draws an arrowhead-terminated line (for DAG edges).
+    pub fn arrow(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        self.line(x1, y1, x2, y2, stroke, 1.0);
+        // Arrowhead: two short strokes at the destination.
+        let dx = x2 - x1;
+        let dy = y2 - y1;
+        let len = (dx * dx + dy * dy).sqrt();
+        if len < 1e-9 {
+            return;
+        }
+        let (ux, uy) = (dx / len, dy / len);
+        let (px, py) = (-uy, ux);
+        let size = 4.0;
+        let bx = x2 - ux * size * 1.8;
+        let by = y2 - uy * size * 1.8;
+        self.line(x2, y2, bx + px * size, by + py * size, stroke, 1.0);
+        self.line(x2, y2, bx - px * size, by - py * size, stroke, 1.0);
+    }
+
+    /// Renders the finished document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Writes the document to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_document() {
+        let mut doc = SvgDoc::new(100.0, 50.0, "#ffffff");
+        doc.line(0.0, 0.0, 10.0, 10.0, "#000000", 1.0);
+        doc.circle(5.0, 5.0, 2.0, "#ff0000", None);
+        doc.circle(6.0, 6.0, 2.0, "#ff0000", Some("#ffffff"));
+        doc.rect(1.0, 1.0, 5.0, 5.0, "#00ff00", 2.0);
+        doc.text(50.0, 25.0, "hello", 12.0, "#000", Anchor::Middle);
+        doc.polyline(&[(0.0, 0.0), (1.0, 1.0)], "#123456", 2.0);
+        doc.polygon(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)], "#abc", "#def");
+        doc.arrow(0.0, 0.0, 10.0, 0.0, "#999");
+        let svg = doc.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("stroke-width=\"2\"")); // ring on second circle
+        assert!(svg.contains("hello"));
+        assert!(svg.contains("viewBox=\"0 0 100 50\""));
+    }
+
+    #[test]
+    fn escapes_text() {
+        let mut doc = SvgDoc::new(10.0, 10.0, "#fff");
+        doc.text(0.0, 0.0, "a < b & \"c\"", 10.0, "#000", Anchor::Start);
+        let svg = doc.render();
+        assert!(svg.contains("a &lt; b &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    fn degenerate_polyline_is_skipped() {
+        let mut doc = SvgDoc::new(10.0, 10.0, "#fff");
+        doc.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        assert!(!doc.render().contains("polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn rejects_zero_size() {
+        SvgDoc::new(0.0, 10.0, "#fff");
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let mut path = std::env::temp_dir();
+        path.push("fepia_plot_svg_test.svg");
+        let doc = SvgDoc::new(10.0, 10.0, "#fff");
+        doc.save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,58 @@
+//! Chart theme: a validated light-mode palette.
+//!
+//! Values are the reference data-viz palette (categorical slots in the
+//! CVD-safe fixed order, ink text tokens, recessive structure colors).
+//! Series hues are assigned by slot order and never cycled.
+
+/// Chart surface (background).
+pub const SURFACE: &str = "#fcfcfb";
+/// Primary ink (titles, axis labels).
+pub const TEXT_PRIMARY: &str = "#0b0b0b";
+/// Secondary ink (tick labels, captions).
+pub const TEXT_SECONDARY: &str = "#52514e";
+/// Recessive grid lines.
+pub const GRID: &str = "#e8e7e3";
+/// Axis lines.
+pub const AXIS: &str = "#b5b3ac";
+
+/// The categorical series palette, in fixed assignment order
+/// (blue, aqua, yellow, green, violet, red, magenta, orange).
+pub const SERIES: [&str; 8] = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+];
+
+/// The hue for series slot `i` (folding beyond 8 is the caller's job — the
+/// palette is never cycled; this asserts instead).
+pub fn series_color(i: usize) -> &'static str {
+    assert!(
+        i < SERIES.len(),
+        "only {} categorical slots; fold extra series instead of cycling hues",
+        SERIES.len()
+    );
+    SERIES[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_distinct() {
+        let mut s = SERIES.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), SERIES.len());
+    }
+
+    #[test]
+    fn lookup_in_order() {
+        assert_eq!(series_color(0), "#2a78d6");
+        assert_eq!(series_color(5), "#e34948");
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical slots")]
+    fn never_cycles() {
+        series_color(8);
+    }
+}

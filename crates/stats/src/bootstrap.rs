@@ -1,0 +1,154 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Heuristic comparisons over random instances ("robust-greedy beats random
+//! by X on average") need uncertainty estimates; the percentile bootstrap
+//! is the standard distribution-free tool. Used by the
+//! `heuristics_table` experiment binary to decide which differences in mean
+//! robustness are statistically meaningful.
+
+use rand::Rng;
+
+/// A two-sided confidence interval for a statistic of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (statistic of the original sample).
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+impl BootstrapCi {
+    /// Whether the interval excludes `value` (a crude significance check).
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+///
+/// # Panics
+/// Panics on an empty sample, `resamples == 0`, or a level outside (0, 1).
+pub fn bootstrap_ci<R, S>(
+    xs: &[f64],
+    statistic: S,
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> BootstrapCi
+where
+    R: Rng + ?Sized,
+    S: Fn(&[f64]) -> f64,
+{
+    assert!(!xs.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level {level}");
+
+    let estimate = statistic(xs);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic is never NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| {
+        let pos = q * (stats.len() - 1) as f64;
+        stats[pos.round() as usize]
+    };
+    BootstrapCi {
+        estimate,
+        lo: idx(alpha),
+        hi: idx(1.0 - alpha),
+        level,
+    }
+}
+
+/// Convenience: bootstrap CI for the sample mean.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> BootstrapCi {
+    bootstrap_ci(
+        xs,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_brackets_true_mean_of_normal_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..400).map(|_| 5.0 + standard_normal(&mut rng)).collect();
+        let ci = bootstrap_mean_ci(&xs, 2_000, 0.95, &mut rng);
+        assert!(ci.lo <= 5.0 && 5.0 <= ci.hi, "{ci:?} misses the true mean 5");
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        // Width ≈ 2·1.96/√400 ≈ 0.2.
+        assert!(ci.hi - ci.lo < 0.4, "implausibly wide: {ci:?}");
+    }
+
+    #[test]
+    fn clear_shift_is_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..200).map(|_| 10.0 + standard_normal(&mut rng)).collect();
+        let ci = bootstrap_mean_ci(&xs, 1_000, 0.99, &mut rng);
+        assert!(ci.excludes(0.0));
+        assert!(!ci.excludes(10.0));
+    }
+
+    #[test]
+    fn constant_sample_collapses() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ci = bootstrap_mean_ci(&[7.0; 20], 200, 0.9, &mut rng);
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+        assert_eq!(ci.estimate, 7.0);
+    }
+
+    #[test]
+    fn arbitrary_statistic() {
+        // Bootstrap the max: estimate is the sample max, CI upper = max.
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = [1.0, 2.0, 9.0, 4.0];
+        let ci = bootstrap_ci(
+            &xs,
+            |s| s.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            500,
+            0.9,
+            &mut rng,
+        );
+        assert_eq!(ci.estimate, 9.0);
+        assert!(ci.hi <= 9.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        bootstrap_mean_ci(&[], 10, 0.9, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad level")]
+    fn level_validated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        bootstrap_mean_ci(&[1.0], 10, 1.5, &mut rng);
+    }
+}

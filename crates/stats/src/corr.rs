@@ -1,0 +1,139 @@
+//! Correlation coefficients.
+//!
+//! Used by the experiment harness to quantify the paper's qualitative claims
+//! that robustness is "generally correlated" with makespan (Fig. 3) and slack
+//! (Fig. 4) while still differing sharply between individual mappings.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` when either sample has (numerically) zero variance, where
+/// the coefficient is undefined.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    assert!(xs.len() >= 2, "pearson: need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank over the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson correlation of the fractional ranks).
+/// Ties receive average ranks. Returns `None` for constant samples.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_is_undefined() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant() {
+        // A monotone nonlinear transform leaves Spearman at 1 while Pearson
+        // drops below 1.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        let p = pearson(&xs, &ys).unwrap();
+        let s = spearman(&xs, &ys).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(p < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tie_handling_uses_average_ranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn known_pearson_value() {
+        // Hand-computed: xs = [1,2,3], ys = [1,2,2].
+        let p = pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0, 2.0]).unwrap();
+        assert!((p - 0.866_025_403_78).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// |r| ≤ 1 and r is symmetric in its arguments.
+        #[test]
+        fn pearson_bounds(pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..60)) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&xs, &ys) {
+                prop_assert!(r.abs() <= 1.0 + 1e-9);
+                let r2 = pearson(&ys, &xs).unwrap();
+                prop_assert!((r - r2).abs() < 1e-9);
+            }
+        }
+
+        /// Correlation is invariant under positive affine transforms.
+        #[test]
+        fn pearson_affine_invariance(pairs in prop::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 3..40), a in 0.1..10.0f64, b in -5.0..5.0f64) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let xt: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let (Some(r1), Some(r2)) = (pearson(&xs, &ys), pearson(&xt, &ys)) {
+                prop_assert!((r1 - r2).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Random distributions.
+//!
+//! Only `rand`'s uniform primitives are taken as given; the Gamma and normal
+//! samplers are implemented here because the experiments' ETC and load
+//! coefficients are Gamma-distributed (paper §4.2–§4.3) and no distribution
+//! crate is in the allowed dependency set.
+
+use rand::Rng;
+
+/// Standard normal sampler (Marsaglia polar method).
+///
+/// Used internally by the Gamma sampler; also handy for synthetic error
+/// vectors in the Monte-Carlo validation experiments.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A Gamma(shape `k`, scale `θ`) distribution: mean `kθ`, variance `kθ²`,
+/// coefficient of variation `1/√k`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution with the given shape `k > 0` and scale
+    /// `θ > 0`.
+    ///
+    /// # Panics
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "gamma shape must be positive, got {shape}"
+        );
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "gamma scale must be positive, got {scale}"
+        );
+        Gamma { shape, scale }
+    }
+
+    /// Creates the Gamma distribution with the given `mean` and
+    /// `heterogeneity` (std-dev / mean, called *V* in Ali et al. 2000):
+    /// shape `1/V²`, scale `mean·V²`.
+    ///
+    /// This is the parameterization the paper's experiments use (mean 10,
+    /// heterogeneity 0.7).
+    pub fn from_mean_heterogeneity(mean: f64, heterogeneity: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            heterogeneity > 0.0,
+            "heterogeneity must be positive, got {heterogeneity}"
+        );
+        let v2 = heterogeneity * heterogeneity;
+        Gamma::new(1.0 / v2, mean * v2)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The distribution mean `kθ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// The distribution variance `kθ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Draws one sample (Marsaglia–Tsang method; the `k < 1` case uses the
+    /// standard boost `Gamma(k+1)·U^{1/k}`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: X ~ Gamma(k+1), then X·U^{1/k} ~ Gamma(k).
+            let boosted = Gamma::new(self.shape + 1.0, self.scale);
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2
+                || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln())
+            {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn rejects_bad_shape() {
+        Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_bad_scale() {
+        Gamma::new(1.0, -1.0);
+    }
+
+    #[test]
+    fn mean_het_parameterization() {
+        let g = Gamma::from_mean_heterogeneity(10.0, 0.7);
+        assert!((g.mean() - 10.0).abs() < 1e-12);
+        // CV = 1/sqrt(shape) = 0.7
+        assert!((1.0 / g.shape().sqrt() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let g = Gamma::from_mean_heterogeneity(10.0, 0.7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        // The paper's experimental distribution: mean 10, heterogeneity 0.7.
+        let g = Gamma::from_mean_heterogeneity(10.0, 0.7);
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs = g.sample_n(&mut rng, 200_000);
+        let s = Summary::of(&xs);
+        assert!((s.mean - 10.0).abs() < 0.1, "mean {}", s.mean);
+        assert!(
+            (s.heterogeneity() - 0.7).abs() < 0.02,
+            "heterogeneity {}",
+            s.heterogeneity()
+        );
+    }
+
+    #[test]
+    fn small_shape_branch_moments() {
+        // shape < 1 exercises the boost branch: heterogeneity 2 → shape 0.25.
+        let g = Gamma::from_mean_heterogeneity(4.0, 2.0);
+        assert!(g.shape() < 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = g.sample_n(&mut rng, 400_000);
+        let s = Summary::of(&xs);
+        assert!((s.mean - 4.0).abs() < 0.08, "mean {}", s.mean);
+        assert!((s.heterogeneity() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let s = Summary::of(&xs);
+        assert!(s.mean.abs() < 0.01, "mean {}", s.mean);
+        assert!((s.std - 1.0).abs() < 0.01, "std {}", s.std);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Gamma::from_mean_heterogeneity(10.0, 0.7);
+        let a = g.sample_n(&mut StdRng::seed_from_u64(9), 32);
+        let b = g.sample_n(&mut StdRng::seed_from_u64(9), 32);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixed-width histograms.
+//!
+//! Used by the experiment harness to summarize robustness distributions over
+//! the 1000-mapping sweeps in console output and `EXPERIMENTS.md`.
+
+/// A histogram over `[lo, hi)` with equal-width bins. Values outside the
+/// range are counted in saturating edge bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the data range of `xs`.
+    pub fn of(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "histogram of empty sample");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        let mut h = Histogram::new(lo, hi * (1.0 + 1e-12) + 1e-300, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `[start, end)` interval of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// A compact ASCII rendering (one line per bin), for console summaries.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (a, b) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{a:>10.2}, {b:>10.2}) {c:>6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fill() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.add(i as f64);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn of_spans_data() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0, 4.0], 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+        // max value must land in the last bin, not overflow
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn of_constant_sample() {
+        let h = Histogram::of(&[2.0, 2.0, 2.0], 3);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_partition() {
+        let h = Histogram::new(0.0, 9.0, 3);
+        assert_eq!(h.bin_range(0), (0.0, 3.0));
+        assert_eq!(h.bin_range(2), (6.0, 9.0));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(1.5);
+        h.add(1.6);
+        let r = h.render(10);
+        assert!(r.contains('#'));
+        assert_eq!(r.lines().count(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! `fepia-stats` — statistics substrate for the FePIA experiments.
+//!
+//! The paper's experiments (§4) need:
+//!
+//! * Gamma-distributed random numbers with a given **mean** and
+//!   **heterogeneity** (standard deviation divided by mean) — the
+//!   coefficient-of-variation-based (CVB) method of Ali, Siegel, Maheswaran,
+//!   Hensgen & Sedigh-Ali (2000), the paper's reference \[3\]. Implemented in
+//!   [`dist`] (Marsaglia–Tsang sampling) and [`cvb`].
+//! * Descriptive statistics, correlation and simple linear regression to
+//!   verify the qualitative claims of Figs. 3–4 ("robustness and makespan
+//!   are generally correlated", the straight-line clusters `S₁(x)`).
+//!   Implemented in [`summary`], [`corr`], [`regress`] and [`histogram`].
+//! * Deterministic RNG sub-seeding so parallel experiment sweeps are exactly
+//!   reproducible regardless of thread count. Implemented in [`rng`].
+
+pub mod bootstrap;
+pub mod corr;
+pub mod cvb;
+pub mod dist;
+pub mod histogram;
+pub mod regress;
+pub mod rng;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi};
+pub use corr::{pearson, spearman};
+pub use cvb::CvbGenerator;
+pub use dist::Gamma;
+pub use histogram::Histogram;
+pub use regress::{linear_fit, LinearFit};
+pub use rng::{rng_for, subseed};
+pub use summary::Summary;

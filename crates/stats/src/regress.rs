@@ -1,0 +1,124 @@
+//! Simple linear regression.
+//!
+//! The Fig. 3 analysis groups mappings by the occupancy of the machine that
+//! determines the makespan and fits a straight line per group: the paper
+//! predicts robustness `= (τ−1)·M_orig/√x + slope corrections` to be linear
+//! in the makespan within each group `S₁(x)`. The experiment harness uses
+//! [`linear_fit`] to measure those slopes and R².
+
+/// An ordinary-least-squares line `y = intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; 0 when the
+    /// model explains nothing beyond the mean).
+    pub r2: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicts `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Residual `y − prediction` for an observation.
+    pub fn residual(&self, x: f64, y: f64) -> f64 {
+        y - self.predict(x)
+    }
+}
+
+/// Fits `y = a + b·x` by least squares.
+///
+/// Returns `None` when `x` has zero variance (vertical line) or fewer than
+/// two points are supplied.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy <= 0.0 {
+        1.0 // y is constant and perfectly fit by the horizontal line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_full_r2() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn vertical_data_rejected() {
+        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]), None);
+        assert_eq!(linear_fit(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn residuals_sum_to_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.2, 1.9, 3.3, 3.8, 5.1];
+        let f = linear_fit(&xs, &ys).unwrap();
+        let sum: f64 = xs.iter().zip(ys.iter()).map(|(&x, &y)| f.residual(x, y)).sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    proptest! {
+        /// R² ∈ [0,1]; fitting noise-free affine data recovers it.
+        #[test]
+        fn recovers_affine(a in -10.0..10.0f64, b in -10.0..10.0f64, xs in prop::collection::vec(-100.0..100.0f64, 2..30)) {
+            let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+            if let Some(f) = linear_fit(&xs, &ys) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r2));
+                prop_assert!((f.slope - b).abs() < 1e-5 * (1.0 + b.abs()));
+                prop_assert!((f.intercept - a).abs() < 1e-4 * (1.0 + a.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Descriptive statistics.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// The *heterogeneity* of the sample — standard deviation divided by
+    /// mean. This is exactly the definition used in the paper's §4.2 ("the
+    /// heterogeneity of a set of numbers is the standard deviation divided
+    /// by the mean").
+    pub fn heterogeneity(&self) -> f64 {
+        self.std / self.mean
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation between
+/// order statistics. The input need not be sorted.
+///
+/// # Panics
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// The median of a sample (see [`quantile`]).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // sample variance with n-1: 32/7
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn heterogeneity_definition() {
+        let s = Summary::of(&[1.0, 3.0]);
+        // mean 2, std sqrt(2); heterogeneity = sqrt(2)/2
+        assert!((s.heterogeneity() - 2f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 1.0 / 3.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_range_checked() {
+        quantile(&[1.0], 1.5);
+    }
+
+    proptest! {
+        /// min ≤ mean ≤ max, and std is translation-invariant.
+        #[test]
+        fn summary_invariants(mut xs in prop::collection::vec(-1e6..1e6f64, 1..50), shift in -100.0..100.0f64) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            for x in xs.iter_mut() { *x += shift; }
+            let s2 = Summary::of(&xs);
+            prop_assert!((s.std - s2.std).abs() < 1e-6 * (1.0 + s.std));
+        }
+
+        /// Quantile is monotone in q and bounded by min/max.
+        #[test]
+        fn quantile_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..40), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+            let s = Summary::of(&xs);
+            prop_assert!(quantile(&xs, lo) >= s.min - 1e-12);
+            prop_assert!(quantile(&xs, hi) <= s.max + 1e-12);
+        }
+    }
+}

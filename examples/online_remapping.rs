@@ -1,0 +1,141 @@
+//! Using the robustness metric as an **online re-mapping trigger**.
+//!
+//! The paper's motivation: systems "operate in an environment that
+//! undergoes unpredictable changes", so a mapping chosen at design time
+//! slowly loses headroom as reality drifts away from the assumptions. This
+//! example simulates sensor loads drifting upward as a random walk and
+//! compares three operating policies for the HiPer-D system:
+//!
+//! * **never remap** — keep the initial mapping until a QoS violation;
+//! * **remap on violation** — recover only after a constraint breaks;
+//! * **remap on low robustness** — re-run the robust-greedy heuristic
+//!   whenever the *remaining* robustness radius (recomputed at the current
+//!   loads) falls below a threshold, i.e. use ρ as an early-warning gauge.
+//!
+//! The robustness-triggered policy acts before anything breaks — the
+//! operational payoff of having a metric with the units of the load.
+//!
+//! Run with: `cargo run --release --example online_remapping`
+
+use fepia::core::RadiusOptions;
+use fepia::hiperd::heuristics::{HiperdHeuristic, RobustGreedy};
+use fepia::hiperd::path::enumerate_paths;
+use fepia::hiperd::robustness::{build_constraints, load_robustness_with_paths};
+use fepia::hiperd::{generate_system, GenParams, HiperdMapping, HiperdSystem};
+use fepia::optim::VecN;
+use fepia::stats::rng_for;
+use rand::Rng;
+
+/// Remaining robustness of `mapping` when the loads have drifted to
+/// `lambda`: recompute ρ on a copy of the system anchored at the current
+/// loads.
+fn remaining_robustness(
+    sys: &HiperdSystem,
+    mapping: &HiperdMapping,
+    lambda: &[f64],
+) -> f64 {
+    let mut drifted = sys.clone();
+    drifted.lambda_orig = lambda.to_vec();
+    let paths = enumerate_paths(&drifted);
+    load_robustness_with_paths(&drifted, mapping, &paths, &RadiusOptions::default())
+        .map(|r| r.metric)
+        .unwrap_or(0.0)
+}
+
+fn any_violation(sys: &HiperdSystem, mapping: &HiperdMapping, lambda: &[f64]) -> bool {
+    let paths = enumerate_paths(sys);
+    let set = build_constraints(sys, mapping, &paths);
+    let l = VecN::new(lambda.to_vec());
+    set.constraints.iter().any(|c| c.value(&l) > c.bound)
+}
+
+fn remap(sys: &HiperdSystem, lambda: &[f64], seed: u64) -> HiperdMapping {
+    let mut anchored = sys.clone();
+    anchored.lambda_orig = lambda.to_vec();
+    RobustGreedy.map(&anchored, &mut rng_for(seed, 0))
+}
+
+struct PolicyOutcome {
+    violations: usize,
+    remaps: usize,
+}
+
+fn simulate(
+    sys: &HiperdSystem,
+    policy: &str,
+    steps: usize,
+    threshold: f64,
+    seed: u64,
+) -> PolicyOutcome {
+    let mut rng = rng_for(seed, 1);
+    let mut lambda = sys.lambda_orig.clone();
+    // The design-time mapping: feasible at λ_orig but with little spare
+    // robustness (the least-robust feasible mapping of a small random
+    // draw) — what a deployment that never looked at ρ might ship.
+    let mut mapping = (0..30)
+        .map(|k| HiperdMapping::random(&mut rng_for(seed, 2 + k), sys.n_apps, sys.n_machines))
+        .filter(|m| !any_violation(sys, m, &sys.lambda_orig))
+        .min_by(|a, b| {
+            remaining_robustness(sys, a, &sys.lambda_orig)
+                .partial_cmp(&remaining_robustness(sys, b, &sys.lambda_orig))
+                .expect("robustness is never NaN")
+        })
+        .expect("some random mapping is feasible at the initial loads");
+    let mut violations = 0;
+    let mut remaps = 0;
+
+    for step in 0..steps {
+        // Gently upward-biased random walk on every sensor load: slow
+        // enough that well-chosen mappings stay feasible throughout, fast
+        // enough to exhaust a mediocre design-time mapping's headroom.
+        for l in lambda.iter_mut() {
+            *l = (*l + rng.gen_range(-15.0..21.0)).max(0.0);
+        }
+        let violated = any_violation(sys, &mapping, &lambda);
+        if violated {
+            violations += 1;
+        }
+        match policy {
+            "never" => {}
+            "on-violation" => {
+                if violated {
+                    mapping = remap(sys, &lambda, seed + step as u64);
+                    remaps += 1;
+                }
+            }
+            "on-low-robustness" => {
+                if remaining_robustness(sys, &mapping, &lambda) < threshold {
+                    mapping = remap(sys, &lambda, seed + step as u64);
+                    remaps += 1;
+                }
+            }
+            other => panic!("unknown policy {other}"),
+        }
+    }
+    PolicyOutcome { violations, remaps }
+}
+
+fn main() {
+    let sys = generate_system(&mut rng_for(11, 0), &GenParams::paper_section_4_3());
+    let steps = 100;
+    let threshold = 300.0; // objects/data set of remaining headroom
+
+    println!(
+        "drifting loads for {steps} steps from λ_orig = {:?}; threshold ρ < {threshold}\n",
+        sys.lambda_orig
+    );
+    println!(
+        "{:<20} {:>22} {:>8}",
+        "policy", "violated time-steps", "remaps"
+    );
+    println!("{}", "-".repeat(54));
+    for policy in ["never", "on-violation", "on-low-robustness"] {
+        let out = simulate(&sys, policy, steps, threshold, 99);
+        println!("{policy:<20} {:>22} {:>8}", out.violations, out.remaps);
+    }
+    println!(
+        "\nUsing the remaining robustness radius as the trigger re-maps *before* \
+         constraints break: the metric's units (objects per data set) make the \
+         threshold directly meaningful to operators."
+    );
+}

@@ -1,0 +1,59 @@
+//! Robustness-aware mapping of the HiPer-D system.
+//!
+//! The paper's §1 poses the research problem of *choosing* mappings that
+//! maximize robustness. This example runs the HiPer-D heuristic suite
+//! (random / round-robin / min-occupancy / slack-greedy / robust-greedy /
+//! robust-local-search) on a paper-scale generated system (§4.3 parameters)
+//! and compares slack against the Eq. 11 robustness metric — showing both
+//! that explicit robustness optimization pays and that optimizing slack is
+//! not the same thing.
+//!
+//! Run with: `cargo run --release --example robust_hiperd_mapping`
+
+use fepia::core::RadiusOptions;
+use fepia::hiperd::heuristics::all_hiperd_heuristics;
+use fepia::hiperd::{generate_system, load_robustness, system_slack, GenParams};
+use fepia::stats::rng_for;
+
+fn main() {
+    let sys = generate_system(&mut rng_for(42, 0), &GenParams::paper_section_4_3());
+    println!(
+        "HiPer-D system: {} sensors, {} applications, {} machines, λ_orig = {:?}\n",
+        sys.n_sensors(),
+        sys.n_apps,
+        sys.n_machines,
+        sys.lambda_orig
+    );
+
+    println!(
+        "{:<22} {:>9} {:>14} {:>10}  binding constraint",
+        "heuristic", "slack", "robustness ρ", "floored"
+    );
+    println!("{}", "-".repeat(78));
+
+    let opts = RadiusOptions::default();
+    let mut best: Option<(String, f64)> = None;
+    for h in all_hiperd_heuristics() {
+        let mapping = h.map(&sys, &mut rng_for(42, 1));
+        let slack = system_slack(&sys, &mapping);
+        let rob = load_robustness(&sys, &mapping, &opts).expect("well-posed");
+        println!(
+            "{:<22} {:>9.4} {:>14.1} {:>10.0}  {}",
+            h.name(),
+            slack,
+            rob.metric,
+            rob.floored,
+            rob.binding
+        );
+        if best.as_ref().is_none_or(|(_, m)| rob.metric > *m) {
+            best = Some((h.name().to_string(), rob.metric));
+        }
+    }
+
+    let (name, metric) = best.expect("at least one heuristic");
+    println!("{}", "-".repeat(78));
+    println!(
+        "most robust: {name} — tolerates any sensor-load increase with Euclidean \
+         norm up to {metric:.0} objects/data set without a QoS violation."
+    );
+}

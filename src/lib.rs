@@ -1,0 +1,72 @@
+//! `fepia` — facade crate for the FePIA robustness-metric workspace.
+//!
+//! This workspace reproduces *"Definition of a Robustness Metric for Resource
+//! Allocation"* (Shoukat Ali, Anthony A. Maciejewski, Howard Jay Siegel,
+//! Jong-Kook Kim; IPDPS/IPPS 2003). The paper defines, for a resource
+//! allocation (*mapping*) `μ`:
+//!
+//! * the **robustness radius** `r_μ(φᵢ, πⱼ)` — the smallest Euclidean
+//!   perturbation of the parameter vector `πⱼ` away from its assumed value
+//!   that drives the performance feature `φᵢ` out of its tolerable range
+//!   (Eq. 1), and
+//! * the **robustness metric** `ρ_μ(Φ, πⱼ) = min_{φᵢ∈Φ} r_μ(φᵢ, πⱼ)`
+//!   (Eq. 2),
+//!
+//! together with the four-step **FePIA** derivation procedure and two worked
+//! systems: independent application allocation (§3.1) and the HiPer-D
+//! streaming DAG system (§3.2).
+//!
+//! The facade re-exports the member crates under stable names:
+//!
+//! * [`core`](mod@core) — the FePIA framework (features, perturbations,
+//!   impacts, radii, metric).
+//! * [`optim`](mod@optim) — the numeric substrate (vectors, hyperplanes,
+//!   root finding, the min-norm boundary solver).
+//! * [`stats`](mod@stats) — Gamma sampling, the CVB heterogeneity method,
+//!   summaries, correlation, regression.
+//! * [`par`](mod@par) — deterministic parallel sweeps on crossbeam scoped
+//!   threads.
+//! * [`etc`](mod@etc) — ETC-matrix generation (mean/heterogeneity
+//!   controlled, consistency shaping).
+//! * [`mapping`](mod@mapping) — the §3.1 independent-task system with the
+//!   analytic Eq. 6 radius and baseline mapping heuristics.
+//! * [`hiperd`](mod@hiperd) — the §3.2 HiPer-D system model with
+//!   throughput/latency constraints, slack, and load robustness.
+//! * [`plot`](mod@plot) — self-contained SVG output for the paper's
+//!   figures.
+//!
+//! # Quickstart
+//!
+//! Compute the robustness of a mapping of 6 independent applications on 2
+//! machines against ETC errors, with a 20% makespan tolerance (the paper's
+//! §4.2 setting in miniature):
+//!
+//! ```
+//! use fepia::mapping::{makespan_robustness, EtcMatrix, Mapping};
+//!
+//! // Estimated times-to-compute: rows are applications, columns machines.
+//! let etc = EtcMatrix::from_rows(vec![
+//!     vec![10.0, 20.0],
+//!     vec![15.0, 10.0],
+//!     vec![12.0, 24.0],
+//!     vec![30.0, 18.0],
+//!     vec![ 9.0,  9.0],
+//!     vec![22.0, 11.0],
+//! ]);
+//! let mapping = Mapping::new(vec![0, 1, 0, 1, 0, 1], 2);
+//! let makespan = mapping.makespan(&etc);
+//! let report = makespan_robustness(&mapping, &etc, 1.2).unwrap();
+//! // Any ETC error vector with l2-norm below the metric keeps the actual
+//! // makespan within 1.2x the predicted value (Eq. 7 of the paper).
+//! assert!(report.metric > 0.0);
+//! assert!(report.metric <= 1.2 * makespan);
+//! ```
+
+pub use fepia_core as core;
+pub use fepia_etc as etc;
+pub use fepia_hiperd as hiperd;
+pub use fepia_mapping as mapping;
+pub use fepia_optim as optim;
+pub use fepia_par as par;
+pub use fepia_plot as plot;
+pub use fepia_stats as stats;

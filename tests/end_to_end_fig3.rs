@@ -1,0 +1,125 @@
+//! End-to-end Fig. 3 (§4.2): a scaled-down run of the exact experiment
+//! pipeline, asserting the qualitative claims the paper makes about the
+//! figure.
+
+use fepia_bench::fig3data::{
+    robustness_makespan_correlation, run, s1_cluster_fits, s1_theory_slope, Fig3Config,
+};
+
+fn sweep(seed: u64, mappings: usize) -> fepia_bench::fig3data::Fig3Data {
+    run(&Fig3Config {
+        mappings,
+        ..Fig3Config::paper(seed)
+    })
+}
+
+#[test]
+fn robustness_and_makespan_are_generally_correlated() {
+    // "While robustness and makespan are generally correlated…"
+    for seed in [1u64, 2, 3] {
+        let d = sweep(seed, 300);
+        let r = robustness_makespan_correlation(&d).expect("non-constant sweep");
+        assert!(r > 0.5, "seed {seed}: correlation only {r}");
+    }
+}
+
+#[test]
+fn similar_makespans_differ_sharply_in_robustness() {
+    // "…for any given value of makespan there are a number of mappings
+    // that differ significantly in terms of their actual robustness."
+    let d = sweep(4, 500);
+    let mut pts: Vec<(f64, f64)> = d.points.iter().map(|p| (p.makespan, p.robustness)).collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    let mut best_ratio: f64 = 1.0;
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            if (pts[j].0 - pts[i].0) / pts[i].0 > 0.02 {
+                break;
+            }
+            let (lo, hi) = if pts[i].1 <= pts[j].1 {
+                (pts[i].1, pts[j].1)
+            } else {
+                (pts[j].1, pts[i].1)
+            };
+            if lo > 0.0 {
+                best_ratio = best_ratio.max(hi / lo);
+            }
+        }
+    }
+    assert!(
+        best_ratio > 1.5,
+        "no sharp same-makespan robustness differences found (best {best_ratio})"
+    );
+}
+
+#[test]
+fn clusters_form_straight_lines_with_eq6_slopes() {
+    // "Some mappings are clustered into groups, such that for all mappings
+    // within a group, the robustness increases linearly with the makespan"
+    // — and the slope is (τ−1)/√x by Eq. 6.
+    let d = sweep(5, 600);
+    let fits = s1_cluster_fits(&d);
+    let mut checked = 0;
+    for (x, (fit, n)) in fits {
+        if n < 10 {
+            continue;
+        }
+        assert!(fit.r2 > 0.999, "S1({x}) not a line: r² = {}", fit.r2);
+        let theory = s1_theory_slope(d.tau, x);
+        assert!(
+            (fit.slope - theory).abs() < 0.02 * theory,
+            "S1({x}) slope {} vs theory {theory}",
+            fit.slope
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "too few populated clusters ({checked})");
+}
+
+#[test]
+fn outliers_exist_and_sit_below_their_group_lines() {
+    // "Note that all such outlying points lie 'below' the line specified by
+    // S1(x)."
+    let d = sweep(6, 600);
+    let outliers: Vec<_> = d.points.iter().filter(|p| !p.in_s1).collect();
+    assert!(
+        !outliers.is_empty(),
+        "600 random mappings should include S2−S1 outliers"
+    );
+    for p in outliers {
+        let line = s1_theory_slope(d.tau, p.makespan_machine_occupancy) * p.makespan;
+        assert!(
+            p.robustness <= line + 1e-9,
+            "outlier above its cluster line: ρ = {} > {line}",
+            p.robustness
+        );
+    }
+}
+
+#[test]
+fn load_balance_index_is_not_a_robustness_proxy_either() {
+    // The paper: "A similar conclusion could be drawn from the robustness
+    // against load balance index plot (not shown here)." Verify similar
+    // LBI values coexist with very different robustness.
+    let d = sweep(7, 500);
+    let mut pts: Vec<(f64, f64)> = d
+        .points
+        .iter()
+        .map(|p| (p.load_balance_index, p.robustness))
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    let mut best_ratio: f64 = 1.0;
+    for w in pts.windows(6) {
+        if w[5].0 - w[0].0 < 0.02 {
+            let lo = w.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let hi = w.iter().map(|p| p.1).fold(0.0, f64::max);
+            if lo > 0.0 {
+                best_ratio = best_ratio.max(hi / lo);
+            }
+        }
+    }
+    assert!(
+        best_ratio > 1.5,
+        "LBI separated robustness too well (best same-LBI ratio {best_ratio})"
+    );
+}

@@ -1,0 +1,92 @@
+//! The facade crate's public API surface: everything a downstream user
+//! reaches through `fepia::…` works together, and property tests hold
+//! across crate boundaries.
+
+use fepia::core::{FeatureSpec, FepiaAnalysis, LinearImpact, Perturbation, RadiusOptions, Tolerance};
+use fepia::optim::{Norm, VecN};
+use proptest::prelude::*;
+
+#[test]
+fn all_reexports_are_reachable() {
+    // One symbol per member crate, used for real.
+    let v = fepia::optim::VecN::from([3.0, 4.0]);
+    assert_eq!(v.norm_l2(), 5.0);
+
+    let g = fepia::stats::Gamma::from_mean_heterogeneity(10.0, 0.7);
+    assert!((g.mean() - 10.0).abs() < 1e-12);
+
+    let out = fepia::par::par_map(&[1, 2, 3], &fepia::par::ParConfig::default(), |_, x| x * 2);
+    assert_eq!(out, vec![2, 4, 6]);
+
+    let etc = fepia::etc::EtcMatrix::uniform(4, 2, 5.0);
+    let m = fepia::mapping::Mapping::new(vec![0, 0, 1, 1], 2);
+    assert_eq!(m.makespan(&etc), 10.0);
+
+    let chart = {
+        let mut c = fepia::plot::Chart::new("t", "x", "y");
+        c.add(fepia::plot::Series::points("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        c
+    };
+    assert!(chart.render(200.0, 150.0).render().contains("<svg"));
+}
+
+proptest! {
+    /// Cross-crate property: for a single-feature affine analysis, the
+    /// metric equals the dual-norm hyperplane distance for every norm.
+    #[test]
+    fn affine_metric_matches_dual_norm_distance(
+        coeffs in prop::collection::vec(0.1..10.0f64, 2..6),
+        origin in prop::collection::vec(0.0..10.0f64, 6),
+        margin in 1.0..100.0f64,
+    ) {
+        let n = coeffs.len();
+        let origin = VecN::new(origin[..n].to_vec());
+        let a = VecN::new(coeffs);
+        let f0 = a.dot(&origin);
+        let bound = f0 + margin;
+
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            let mut analysis = FepiaAnalysis::new(Perturbation::continuous("p", origin.clone()));
+            analysis.add_feature(
+                FeatureSpec::new("f", Tolerance::upper(bound)),
+                LinearImpact::homogeneous(a.clone()),
+            );
+            let report = analysis
+                .run(&RadiusOptions { norm: norm.clone(), solver: Default::default() })
+                .unwrap();
+            let dual = match norm {
+                Norm::L1 => a.norm_linf(),
+                Norm::L2 => a.norm_l2(),
+                Norm::LInf => a.norm_l1(),
+                Norm::WeightedL2(_) => unreachable!(),
+            };
+            let expect = margin / dual;
+            prop_assert!(
+                (report.metric - expect).abs() < 1e-9 * (1.0 + expect),
+                "{}: metric {} vs dual-norm distance {expect}", norm.name(), report.metric
+            );
+        }
+    }
+
+    /// Scaling all ETCs by s > 0 scales makespan and robustness by s
+    /// (the metric has the units of C — the paper notes it is in seconds).
+    #[test]
+    fn metric_units_scale_with_etc(seed in 0u64..50, s in 0.1..10.0f64) {
+        use fepia::etc::{generate_cvb, EtcParams};
+        use fepia::mapping::{makespan_robustness, Mapping};
+        use fepia::stats::rng_for;
+
+        let etc = generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2());
+        let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+        let base = makespan_robustness(&mapping, &etc, 1.2).unwrap();
+
+        let scaled_rows: Vec<Vec<f64>> = (0..etc.apps())
+            .map(|i| etc.row(i).iter().map(|v| v * s).collect())
+            .collect();
+        let etc_s = fepia::etc::EtcMatrix::from_rows(scaled_rows);
+        let scaled = makespan_robustness(&mapping, &etc_s, 1.2).unwrap();
+
+        prop_assert!((scaled.makespan - s * base.makespan).abs() < 1e-6 * (1.0 + scaled.makespan));
+        prop_assert!((scaled.metric - s * base.metric).abs() < 1e-6 * (1.0 + scaled.metric));
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate validation: the paper's closed forms (Eq. 6 / hyperplane
+//! distances) against the generic FePIA machinery and the raw geometric
+//! substrate, on randomized instances.
+//!
+//! Three independent implementations of the same quantity must agree:
+//!
+//! 1. `fepia-mapping::makespan_robustness` — Eq. 6 evaluated directly;
+//! 2. `fepia-mapping::makespan_robustness_generic` — Eq. 1 through
+//!    `fepia-core` with `SumSelected` impacts (analytic affine path);
+//! 3. a hand-rolled computation from `fepia-optim::Hyperplane`.
+
+use fepia::core::RadiusOptions;
+use fepia::etc::{generate_cvb, EtcParams};
+use fepia::mapping::{makespan_robustness, makespan_robustness_generic, Mapping};
+use fepia::optim::{Hyperplane, VecN};
+use fepia::stats::rng_for;
+
+fn hyperplane_metric(mapping: &Mapping, etc: &fepia::etc::EtcMatrix, tau: f64) -> f64 {
+    let bound = tau * mapping.makespan(etc);
+    let c_orig = VecN::new(mapping.assigned_times(etc));
+    let mut best = f64::INFINITY;
+    for j in 0..mapping.machines() {
+        let on_j = mapping.apps_on(j);
+        if on_j.is_empty() {
+            continue;
+        }
+        let mut normal = VecN::zeros(mapping.apps());
+        for &i in &on_j {
+            normal[i] = 1.0;
+        }
+        let h = Hyperplane::new(normal, bound).expect("nonzero normal");
+        best = best.min(h.distance(&c_orig));
+    }
+    best
+}
+
+#[test]
+fn three_implementations_agree_on_random_instances() {
+    for seed in 0..50u64 {
+        let params = EtcParams {
+            apps: 10 + (seed as usize % 15),
+            machines: 2 + (seed as usize % 5),
+            ..EtcParams::paper_section_4_2()
+        };
+        let etc = generate_cvb(&mut rng_for(seed, 0), &params);
+        let mapping = Mapping::random(&mut rng_for(seed, 1), params.apps, params.machines);
+        let tau = 1.05 + 0.01 * (seed % 40) as f64;
+
+        let analytic = makespan_robustness(&mapping, &etc, tau).unwrap().metric;
+        let generic = makespan_robustness_generic(&mapping, &etc, tau, &RadiusOptions::default())
+            .unwrap()
+            .metric;
+        let geometric = hyperplane_metric(&mapping, &etc, tau);
+
+        assert!(
+            (analytic - generic).abs() < 1e-9,
+            "seed {seed}: Eq.6 {analytic} vs generic {generic}"
+        );
+        assert!(
+            (analytic - geometric).abs() < 1e-9,
+            "seed {seed}: Eq.6 {analytic} vs hyperplane {geometric}"
+        );
+    }
+}
+
+#[test]
+fn boundary_point_lies_on_bound_and_at_metric_distance() {
+    for seed in 0..20u64 {
+        let params = EtcParams::paper_section_4_2();
+        let etc = generate_cvb(&mut rng_for(seed, 2), &params);
+        let mapping = Mapping::random(&mut rng_for(seed, 3), params.apps, params.machines);
+        let rob = makespan_robustness(&mapping, &etc, 1.2).unwrap();
+        let c_orig = VecN::new(mapping.assigned_times(&etc));
+        // Distance from C_orig to C* equals the metric…
+        assert!((rob.boundary_etc.distance_l2(&c_orig) - rob.metric).abs() < 1e-9);
+        // …and at C* the binding machine's finishing time is exactly τ·M.
+        let f_star: f64 = mapping
+            .apps_on(rob.binding_machine)
+            .iter()
+            .map(|&i| rob.boundary_etc[i])
+            .sum();
+        assert!((f_star - 1.2 * rob.makespan).abs() < 1e-9, "seed {seed}");
+    }
+}
+
+/// For random probe directions, the boundary crossing along any ray from
+/// C_orig is at distance ≥ ρ — ρ really is the minimum over *all*
+/// directions, not just the ones the solver looked at.
+#[test]
+fn metric_is_a_lower_bound_over_random_directions() {
+    use rand::Rng;
+    let params = EtcParams::paper_section_4_2();
+    let etc = generate_cvb(&mut rng_for(99, 0), &params);
+    let mapping = Mapping::random(&mut rng_for(99, 1), params.apps, params.machines);
+    let tau = 1.2;
+    let rob = makespan_robustness(&mapping, &etc, tau).unwrap();
+    let bound = tau * rob.makespan;
+    let c_orig = mapping.assigned_times(&etc);
+
+    let mut rng = rng_for(99, 2);
+    for _ in 0..500 {
+        // Random non-negative direction (errors that increase times — the
+        // direction family that can actually cross the upper boundary).
+        let dir: Vec<f64> = (0..params.apps).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-9 {
+            continue;
+        }
+        // Find the exact crossing distance along this ray: the first t at
+        // which some machine hits the bound. F_j(t) = F_j + t·(Σ_j dir)/norm.
+        let mut t_cross = f64::INFINITY;
+        for j in 0..mapping.machines() {
+            let on_j = mapping.apps_on(j);
+            if on_j.is_empty() {
+                continue;
+            }
+            let f_j: f64 = on_j.iter().map(|&i| c_orig[i]).sum();
+            let rate: f64 = on_j.iter().map(|&i| dir[i]).sum::<f64>() / norm;
+            if rate > 1e-12 {
+                t_cross = t_cross.min((bound - f_j) / rate);
+            }
+        }
+        assert!(
+            t_cross >= rob.metric - 1e-9,
+            "direction crosses at {t_cross} < metric {}",
+            rob.metric
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Monte-Carlo validation of the robustness guarantee on **both** example
+//! systems — the empirical meaning of Eqs. 7 and 11: any perturbation with
+//! Euclidean norm at most ρ leaves every requirement satisfied, and the
+//! boundary is tight (a probe just beyond the binding point violates).
+
+use fepia::core::RadiusOptions;
+use fepia::etc::{generate_cvb, EtcParams};
+use fepia::hiperd::path::enumerate_paths;
+use fepia::hiperd::robustness::{build_constraints, load_robustness_with_paths};
+use fepia::hiperd::{generate_system, GenParams, HiperdMapping};
+use fepia::mapping::{validate_radius_guarantee, Mapping};
+use fepia::optim::VecN;
+use fepia::stats::dist::standard_normal;
+use fepia::stats::rng_for;
+use rand::Rng;
+
+#[test]
+fn independent_allocation_guarantee_holds() {
+    // §3.1 system: 20 seeds × 300 error injections each.
+    for seed in 0..20u64 {
+        let etc = generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2());
+        let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+        let out =
+            validate_radius_guarantee(&mapping, &etc, 1.2, 300, &mut rng_for(seed, 2)).unwrap();
+        assert!(out.holds(), "seed {seed}: {out:?}");
+    }
+}
+
+#[test]
+fn hiperd_guarantee_holds() {
+    // §3.2 system: random load-increase vectors with ‖Δλ‖₂ ≤ ρ must not
+    // violate any constraint; pushing 0.5% past the binding boundary point
+    // must violate one.
+    let sys = generate_system(&mut rng_for(31, 0), &GenParams::paper_section_4_3());
+    let paths = enumerate_paths(&sys);
+    let opts = RadiusOptions::default();
+    let mut rng = rng_for(31, 1);
+
+    let mut validated = 0;
+    for k in 0..25u64 {
+        let mapping = HiperdMapping::random(&mut rng_for(31, 2 + k), sys.n_apps, sys.n_machines);
+        let rob = load_robustness_with_paths(&sys, &mapping, &paths, &opts).unwrap();
+        if !(rob.metric.is_finite() && rob.metric > 1.0) {
+            continue;
+        }
+        let set = build_constraints(&sys, &mapping, &paths);
+        let lambda_orig = VecN::new(sys.lambda_orig.clone());
+
+        // Inside-radius injections (any direction, like the paper's "any
+        // combination of sensor loads").
+        for _ in 0..200 {
+            let dir: Vec<f64> = (0..sys.n_sensors()).map(|_| standard_normal(&mut rng)).collect();
+            let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-9 {
+                continue;
+            }
+            let scale = rng.gen_range(0.0..1.0) * rob.metric / norm;
+            let lambda = lambda_orig.add_scaled(scale, &VecN::new(dir));
+            for c in &set.constraints {
+                assert!(
+                    c.value(&lambda) <= c.bound * (1.0 + 1e-9),
+                    "inside-radius violation of {} (mapping {k})",
+                    c.name
+                );
+            }
+        }
+
+        // Tightness: 0.5% beyond the binding boundary point.
+        let star = rob.lambda_star.clone().expect("finite metric has a witness");
+        let overshoot = lambda_orig.add_scaled(1.005, &(&star - &lambda_orig));
+        let violated = set
+            .constraints
+            .iter()
+            .any(|c| c.value(&overshoot) > c.bound);
+        assert!(violated, "no violation just past the boundary (mapping {k})");
+        validated += 1;
+    }
+    assert!(validated >= 10, "too few mappings validated ({validated})");
+}
+
+#[test]
+fn hiperd_floored_metric_respects_integral_loads() {
+    // The floored metric is what the paper quotes for discrete loads: any
+    // *integral* load increase with norm ≤ floor(ρ) is safe too (it is ≤ ρ).
+    let sys = generate_system(&mut rng_for(32, 0), &GenParams::paper_section_4_3());
+    let paths = enumerate_paths(&sys);
+    let mapping = HiperdMapping::random(&mut rng_for(32, 1), sys.n_apps, sys.n_machines);
+    let rob =
+        load_robustness_with_paths(&sys, &mapping, &paths, &RadiusOptions::default()).unwrap();
+    if !rob.metric.is_finite() || rob.floored < 1.0 {
+        return;
+    }
+    let set = build_constraints(&sys, &mapping, &paths);
+    let lambda_orig = VecN::new(sys.lambda_orig.clone());
+    let mut rng = rng_for(32, 2);
+    for _ in 0..300 {
+        // Random integral increase with norm ≤ floored metric.
+        let dir: Vec<f64> = (0..sys.n_sensors()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+        let scaled: Vec<f64> = dir
+            .iter()
+            .map(|d| (d * rob.floored / norm).floor())
+            .collect();
+        let l2 = scaled.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(l2 <= rob.floored + 1e-9);
+        let lambda = lambda_orig.add_scaled(1.0, &VecN::new(scaled));
+        for c in &set.constraints {
+            assert!(c.value(&lambda) <= c.bound * (1.0 + 1e-9));
+        }
+    }
+}
