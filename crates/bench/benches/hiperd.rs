@@ -26,26 +26,22 @@ fn bench_hiperd(c: &mut Criterion) {
         let mapping = HiperdMapping::random(&mut rng_for(5, 999), apps, sys.n_machines);
         let opts = RadiusOptions::default();
         group.bench_with_input(
-            BenchmarkId::new("robustness_linear", format!("{apps}apps_{}paths", paths.len())),
+            BenchmarkId::new(
+                "robustness_linear",
+                format!("{apps}apps_{}paths", paths.len()),
+            ),
             &apps,
             |b, _| {
                 b.iter(|| {
-                    load_robustness_with_paths(
-                        black_box(&sys),
-                        black_box(&mapping),
-                        &paths,
-                        &opts,
-                    )
-                    .unwrap()
+                    load_robustness_with_paths(black_box(&sys), black_box(&mapping), &paths, &opts)
+                        .unwrap()
                 })
             },
         );
         group.bench_with_input(
             BenchmarkId::new("slack", format!("{apps}apps_{}paths", paths.len())),
             &apps,
-            |b, _| {
-                b.iter(|| system_slack_with_paths(black_box(&sys), black_box(&mapping), &paths))
-            },
+            |b, _| b.iter(|| system_slack_with_paths(black_box(&sys), black_box(&mapping), &paths)),
         );
     }
 
@@ -69,7 +65,11 @@ fn bench_hiperd(c: &mut Criterion) {
                 .zip(&[962.0, 380.0, 240.0])
                 .map(|(b, l)| b * l)
                 .sum();
-            let rescale = if approx_u > 0.0 { approx_u.powf(-0.5) } else { 1.0 };
+            let rescale = if approx_u > 0.0 {
+                approx_u.powf(-0.5)
+            } else {
+                1.0
+            };
             *f = LoadFn::new(f.coeffs.clone(), Shape::Power(1.5), f.scale * rescale);
         }
     }

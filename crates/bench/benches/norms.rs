@@ -44,7 +44,9 @@ fn bench_norms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("metric", name), &opts, |b, opts| {
             b.iter(|| {
                 black_box(
-                    makespan_robustness_generic(&mapping, &etc, 1.2, opts).unwrap().metric,
+                    makespan_robustness_generic(&mapping, &etc, 1.2, opts)
+                        .unwrap()
+                        .metric,
                 )
             })
         });

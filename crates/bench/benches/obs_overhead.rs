@@ -1,0 +1,95 @@
+//! Proof that the fepia-obs disabled path is free.
+//!
+//! The acceptance bar is "< 2% overhead on `robustness_radius` with
+//! `FEPIA_OBS` unset". A before/after comparison against un-instrumented
+//! code is impossible (the un-instrumented solver no longer exists), so the
+//! bench bounds the overhead from above instead: it measures (a) one full
+//! numeric `robustness_radius` solve with observability disabled and (b) the
+//! cost of the disabled-path instrumentation primitives themselves
+//! (`enabled()` checks and inert `SpanGuard`s), then charges a generous 10
+//! primitive operations per solve (the real count is 4: two spans and two
+//! `enabled()` branches). The bound must come out below 2%.
+//!
+//! Custom harness (`harness = false`): run with
+//! `cargo bench --bench obs_overhead`; under `cargo test` (`--test` flag)
+//! it does one quick pass with the same assertion.
+
+use fepia_core::{
+    robustness_radius, FeatureSpec, FnImpact, Perturbation, RadiusOptions, Tolerance,
+};
+use fepia_optim::VecN;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn solve_once() -> f64 {
+    let impact = FnImpact::new(|v: &VecN| v.dot(v) + (v[0] * v[1]).tanh()).with_dim(3);
+    let pert = Perturbation::continuous("p", VecN::from([0.1, -0.2, 0.3]));
+    let feature = FeatureSpec::new("f", Tolerance::upper(9.0));
+    robustness_radius(&feature, &impact, &pert, &RadiusOptions::default())
+        .expect("radius solve")
+        .radius
+}
+
+/// Median of per-call nanoseconds over `samples` batches of `batch` calls.
+fn time_ns<F: FnMut()>(mut f: F, batch: u64, samples: usize) -> f64 {
+    let mut xs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        xs.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    assert!(
+        !fepia_obs::enabled(),
+        "obs must be disabled for the overhead bound (unset FEPIA_OBS)"
+    );
+
+    let (solve_batch, solve_samples, prim_batch) = if quick {
+        (1, 5, 10_000)
+    } else {
+        (4, 25, 1_000_000)
+    };
+
+    // Warm-up.
+    black_box(solve_once());
+
+    let solve_ns = time_ns(
+        || {
+            black_box(solve_once());
+        },
+        solve_batch,
+        solve_samples,
+    );
+
+    // The complete disabled-path footprint of one instrumented call:
+    // an `enabled()` load plus an inert span guard, measured together.
+    let prim_ns = time_ns(
+        || {
+            black_box(fepia_obs::enabled());
+            let g = fepia_obs::SpanGuard::enter("bench.noop");
+            black_box(&g);
+        },
+        prim_batch,
+        15,
+    );
+
+    const PRIMITIVES_PER_SOLVE: f64 = 10.0; // real count is 4; bound generously
+    let overhead_pct = 100.0 * PRIMITIVES_PER_SOLVE * prim_ns / solve_ns;
+    println!("robustness_radius (obs disabled): {solve_ns:.0} ns/solve");
+    println!("disabled instrumentation primitive: {prim_ns:.2} ns");
+    println!(
+        "bounded overhead: {PRIMITIVES_PER_SOLVE} x {prim_ns:.2} ns = {overhead_pct:.4}% of a solve"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled-path overhead bound {overhead_pct:.3}% exceeds the 2% budget"
+    );
+    println!("OK: disabled-path overhead bound is below 2%");
+}

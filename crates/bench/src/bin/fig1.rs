@@ -26,13 +26,9 @@ fn main() {
     // only the β^max curve is interesting, so the tolerance is upper-only.
     let feature = FeatureSpec::new("φ_i", Tolerance::upper(beta_max));
     let pert = Perturbation::continuous("π_j", origin.clone());
-    let result = fepia_core::radius::robustness_radius(
-        &feature,
-        &impact,
-        &pert,
-        &RadiusOptions::default(),
-    )
-    .expect("well-posed concept instance");
+    let result =
+        fepia_core::radius::robustness_radius(&feature, &impact, &pert, &RadiusOptions::default())
+            .expect("well-posed concept instance");
     let star = result
         .boundary_point
         .clone()
@@ -44,7 +40,10 @@ fn main() {
         "  robustness radius r_μ(φ_i, π_j) = {:.4}  (method {:?})",
         result.radius, result.method
     );
-    println!("  closest boundary point π* = ({:.4}, {:.4})", star[0], star[1]);
+    println!(
+        "  closest boundary point π* = ({:.4}, {:.4})",
+        star[0], star[1]
+    );
 
     // Boundary curve: π₂ = β − π₁²/40 for π₁ ∈ [0, √(40β)].
     let max_x = (40.0 * beta_max).sqrt();

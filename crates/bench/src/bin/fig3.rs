@@ -17,6 +17,9 @@ use fepia_plot::{Chart, Series};
 use fepia_stats::{pearson, Summary};
 
 fn main() {
+    // Experiment harness: always collect run metrics for the telemetry
+    // snapshot. Events stay opt-in via FEPIA_OBS=<path>.
+    fepia_obs::set_enabled(true);
     let seed = arg_value("--seed").unwrap_or(2003);
     let mappings = arg_value("--mappings").unwrap_or(1_000) as usize;
     let config = Fig3Config {
@@ -50,7 +53,11 @@ fn main() {
     csv.save(dir.join("fig3_points.csv")).expect("write CSV");
 
     // --- SVG: the Fig. 3 scatter. ---
-    let cloud: Vec<(f64, f64)> = data.points.iter().map(|p| (p.makespan, p.robustness)).collect();
+    let cloud: Vec<(f64, f64)> = data
+        .points
+        .iter()
+        .map(|p| (p.makespan, p.robustness))
+        .collect();
     let mut chart = Chart::new(
         format!("Fig. 3 — robustness vs makespan ({mappings} random mappings, τ = 1.2)"),
         "makespan (s)",
@@ -131,7 +138,11 @@ fn main() {
     // --- Console summary (the claims EXPERIMENTS.md records). ---
     let r = robustness_makespan_correlation(&data).unwrap_or(f64::NAN);
     let lbi_r = pearson(
-        &data.points.iter().map(|p| p.load_balance_index).collect::<Vec<_>>(),
+        &data
+            .points
+            .iter()
+            .map(|p| p.load_balance_index)
+            .collect::<Vec<_>>(),
         &data.points.iter().map(|p| p.robustness).collect::<Vec<_>>(),
     )
     .unwrap_or(f64::NAN);
@@ -160,8 +171,18 @@ fn main() {
             best_ratio = best_ratio.max(hi / lo);
         }
     }
-    println!(
-        "  sharpest same-makespan (±1%) robustness difference: {best_ratio:.2}×"
-    );
+    println!("  sharpest same-makespan (±1%) robustness difference: {best_ratio:.2}×");
     println!("  wrote fig3_robustness_vs_makespan.svg, fig3b_robustness_vs_lbi.svg, fig3_robustness_hist.svg, fig3_points.csv, fig3_clusters.csv in {}", dir.display());
+
+    // --- Run telemetry: manifest + metrics snapshot next to the outputs. ---
+    let manifest = fepia_obs::RunManifest::new("fig3")
+        .param("seed", seed)
+        .param("mappings", mappings)
+        .param("tau", data.tau)
+        .output("fig3_points.csv")
+        .output("fig3_clusters.csv")
+        .output("fig3_robustness_vs_makespan.svg")
+        .output("fig3b_robustness_vs_lbi.svg")
+        .output("fig3_robustness_hist.svg");
+    fepia_bench::telemetry::write_run_telemetry(&dir, "fig3", &manifest);
 }

@@ -14,6 +14,9 @@ use fepia_stats::Summary;
 use std::collections::BTreeMap;
 
 fn main() {
+    // Experiment harness: always collect run metrics for the telemetry
+    // snapshot. Events stay opt-in via FEPIA_OBS=<path>.
+    fepia_obs::set_enabled(true);
     let seed = arg_value("--seed").unwrap_or(2003);
     let mappings = arg_value("--mappings").unwrap_or(1_000) as usize;
     let config = Fig4Config {
@@ -139,4 +142,12 @@ fn main() {
         "  wrote fig4_robustness_vs_slack.svg, fig4_points.csv in {}",
         dir.display()
     );
+
+    // --- Run telemetry: manifest + metrics snapshot next to the outputs. ---
+    let manifest = fepia_obs::RunManifest::new("fig4")
+        .param("seed", seed)
+        .param("mappings", mappings)
+        .output("fig4_points.csv")
+        .output("fig4_robustness_vs_slack.svg");
+    fepia_bench::telemetry::write_run_telemetry(&dir, "fig4", &manifest);
 }

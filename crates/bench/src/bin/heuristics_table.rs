@@ -10,7 +10,9 @@
 
 use fepia_bench::csvout::{num, CsvTable};
 use fepia_bench::outdir::{arg_value, results_dir};
-use fepia_etc::{generate_braun, generate_cvb, BraunClass, Consistency, EtcMatrix, EtcParams, HiLo};
+use fepia_etc::{
+    generate_braun, generate_cvb, BraunClass, Consistency, EtcMatrix, EtcParams, HiLo,
+};
 use fepia_mapping::heuristics::all_heuristics;
 use fepia_mapping::makespan_robustness;
 use fepia_stats::{bootstrap_mean_ci, rng_for};
@@ -61,7 +63,9 @@ fn main() {
     ]);
 
     for kind in kinds {
-        println!("\ninstance class {kind} ({instances} instances, 20 apps × 5 machines, τ = {tau}):");
+        println!(
+            "\ninstance class {kind} ({instances} instances, 20 apps × 5 machines, τ = {tau}):"
+        );
         println!(
             "{:<22} {:>24} {:>30}",
             "heuristic", "makespan (95% CI)", "robustness ρ (95% CI)"
@@ -104,6 +108,7 @@ fn main() {
     }
 
     let dir = results_dir();
-    csv.save(dir.join("heuristics_table.csv")).expect("write CSV");
+    csv.save(dir.join("heuristics_table.csv"))
+        .expect("write CSV");
     println!("\nwrote heuristics_table.csv in {}", dir.display());
 }

@@ -23,7 +23,11 @@ use fepia_stats::Summary;
 /// Largest robustness ratio among mapping pairs whose makespans differ by
 /// less than 2%.
 fn same_makespan_spread(data: &fepia_bench::fig3data::Fig3Data) -> f64 {
-    let mut pts: Vec<(f64, f64)> = data.points.iter().map(|p| (p.makespan, p.robustness)).collect();
+    let mut pts: Vec<(f64, f64)> = data
+        .points
+        .iter()
+        .map(|p| (p.makespan, p.robustness))
+        .collect();
     pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
     let mut best: f64 = 1.0;
     for i in 0..pts.len() {
@@ -101,6 +105,7 @@ fn main() {
     }
 
     let dir = results_dir();
-    csv.save(dir.join("sweep_heterogeneity.csv")).expect("write CSV");
+    csv.save(dir.join("sweep_heterogeneity.csv"))
+        .expect("write CSV");
     println!("wrote sweep_heterogeneity.csv in {}", dir.display());
 }

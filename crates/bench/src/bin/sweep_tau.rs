@@ -62,7 +62,11 @@ fn main() {
         // Concavity check: piecewise-linear min of affine functions.
         let ys: Vec<f64> = taus
             .iter()
-            .map(|&t| makespan_robustness(&mapping, &etc, t).expect("τ ≥ 1").metric)
+            .map(|&t| {
+                makespan_robustness(&mapping, &etc, t)
+                    .expect("τ ≥ 1")
+                    .metric
+            })
             .collect();
         for w in ys.windows(3) {
             assert!(

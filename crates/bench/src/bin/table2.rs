@@ -21,7 +21,11 @@ use std::fmt::Write as _;
 fn format_comp_fn(sys: &HiperdSystem, mapping: &HiperdMapping, app: usize) -> String {
     let f = mapping.effective_comp(sys, app);
     let base = &sys.comp[app][mapping.machine_of(app)];
-    let factor = if base.scale > 0.0 { f.scale / base.scale } else { 1.0 };
+    let factor = if base.scale > 0.0 {
+        f.scale / base.scale
+    } else {
+        1.0
+    };
     let inner: Vec<String> = base
         .coeffs
         .iter()
@@ -106,7 +110,11 @@ fn main() {
     describe(&mut out, "B (more robust)", &data.system, b);
 
     let _ = writeln!(out, "\ncomputation time functions T_ij^c(λ):");
-    let _ = writeln!(out, "  {:<6} {:<40} {:<40}", "app", "mapping A", "mapping B");
+    let _ = writeln!(
+        out,
+        "  {:<6} {:<40} {:<40}",
+        "app", "mapping A", "mapping B"
+    );
     for i in 0..data.system.n_apps {
         let _ = writeln!(
             out,

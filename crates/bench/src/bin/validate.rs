@@ -26,7 +26,14 @@ fn main() {
     let seed = arg_value("--seed").unwrap_or(2003);
     let instances = arg_value("--instances").unwrap_or(50) as usize;
     let trials = arg_value("--trials").unwrap_or(2_000) as usize;
-    let mut csv = CsvTable::new(&["system", "instance", "metric", "trials", "false_violations", "boundary_violates"]);
+    let mut csv = CsvTable::new(&[
+        "system",
+        "instance",
+        "metric",
+        "trials",
+        "false_violations",
+        "boundary_violates",
+    ]);
 
     // --- §3.1: independent application allocation. ---
     let mut total_trials = 0usize;
@@ -68,8 +75,11 @@ fn main() {
     let mut hp_probes = 0usize;
     let mut hp_instances = 0usize;
     for k in 0..instances {
-        let mapping =
-            HiperdMapping::random(&mut rng_for(seed, 200 + k as u64), sys.n_apps, sys.n_machines);
+        let mapping = HiperdMapping::random(
+            &mut rng_for(seed, 200 + k as u64),
+            sys.n_apps,
+            sys.n_machines,
+        );
         let rob = load_robustness_with_paths(&sys, &mapping, &paths, &opts).expect("well-posed");
         if !(rob.metric.is_finite() && rob.metric > 1.0) {
             continue;
@@ -78,7 +88,9 @@ fn main() {
         let set = build_constraints(&sys, &mapping, &paths);
         let mut false_violations = 0usize;
         for _ in 0..trials {
-            let dir: Vec<f64> = (0..sys.n_sensors()).map(|_| standard_normal(&mut rng)).collect();
+            let dir: Vec<f64> = (0..sys.n_sensors())
+                .map(|_| standard_normal(&mut rng))
+                .collect();
             let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm < 1e-12 {
                 continue;
@@ -95,7 +107,10 @@ fn main() {
         }
         let star = rob.lambda_star.clone().expect("finite metric has witness");
         let overshoot = lambda_orig.add_scaled(1.005, &(&star - &lambda_orig));
-        let probe = set.constraints.iter().any(|c| c.value(&overshoot) > c.bound);
+        let probe = set
+            .constraints
+            .iter()
+            .any(|c| c.value(&overshoot) > c.bound);
         hp_trials += trials;
         hp_false += false_violations;
         hp_probes += usize::from(probe);
@@ -113,7 +128,10 @@ fn main() {
          {hp_false} false violations, {hp_probes}/{hp_instances} boundary probes violated as expected"
     );
     assert_eq!(hp_false, 0, "Eq. 11 guarantee failed");
-    assert_eq!(hp_probes, hp_instances, "a HiPer-D boundary probe failed to violate");
+    assert_eq!(
+        hp_probes, hp_instances,
+        "a HiPer-D boundary probe failed to violate"
+    );
 
     let dir = results_dir();
     csv.save(dir.join("validate.csv")).expect("write CSV");

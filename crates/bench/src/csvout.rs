@@ -31,7 +31,11 @@ impl CsvTable {
         let _ = writeln!(
             body,
             "{}",
-            header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         CsvTable {
             columns: header.len(),
@@ -54,7 +58,11 @@ impl CsvTable {
         let _ = writeln!(
             self.body,
             "{}",
-            fields.iter().map(|f| quote(f)).collect::<Vec<_>>().join(",")
+            fields
+                .iter()
+                .map(|f| quote(f))
+                .collect::<Vec<_>>()
+                .join(",")
         );
     }
 
@@ -72,7 +80,11 @@ impl CsvTable {
 /// Formats an `f64` for CSV (6 significant-ish digits, `inf` spelled out).
 pub fn num(v: f64) -> String {
     if v.is_infinite() {
-        if v > 0.0 { "inf".into() } else { "-inf".into() }
+        if v > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        }
     } else {
         format!("{v:.6}")
     }

@@ -19,3 +19,4 @@ pub mod csvout;
 pub mod fig3data;
 pub mod fig4data;
 pub mod outdir;
+pub mod telemetry;

@@ -1,0 +1,46 @@
+//! Run telemetry for the figure binaries.
+//!
+//! Every figure run writes two JSON documents next to its CSV/SVG outputs:
+//! a `RunManifest` describing the run (binary, parameters, output files) and
+//! a snapshot of the global `fepia-obs` metrics registry. A results
+//! directory is therefore self-describing: which command produced it, with
+//! which seed, and what the solver/dispatch/parallelism counters looked
+//! like. When `FEPIA_OBS` names a path, the structured event stream lands
+//! there as JSON lines as well.
+
+use fepia_obs::RunManifest;
+use std::path::Path;
+
+/// Writes `<stem>_manifest.json` and `<stem>_metrics.json` into `dir` and
+/// flushes any installed event sink. Failures are reported, not fatal — a
+/// figure run must not die on telemetry I/O.
+pub fn write_run_telemetry(dir: &Path, stem: &str, manifest: &RunManifest) {
+    let manifest_path = dir.join(format!("{stem}_manifest.json"));
+    if let Err(err) = manifest.write_to(&manifest_path) {
+        eprintln!("warning: cannot write {}: {err}", manifest_path.display());
+    }
+    let metrics_path = dir.join(format!("{stem}_metrics.json"));
+    let json = fepia_obs::global().snapshot().to_json();
+    if let Err(err) = std::fs::write(&metrics_path, json + "\n") {
+        eprintln!("warning: cannot write {}: {err}", metrics_path.display());
+    }
+    fepia_obs::flush_sink();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_files_are_written() {
+        let dir = std::env::temp_dir().join("fepia-bench-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = RunManifest::new("test").param("seed", 7u64).output("x.csv");
+        write_run_telemetry(&dir, "test", &manifest);
+        let m = std::fs::read_to_string(dir.join("test_manifest.json")).unwrap();
+        assert!(m.contains("\"schema\":\"fepia.manifest/v1\""));
+        let s = std::fs::read_to_string(dir.join("test_metrics.json")).unwrap();
+        assert!(s.contains("\"schema\":\"fepia.metrics/v1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

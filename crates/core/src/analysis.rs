@@ -50,6 +50,16 @@ impl RobustnessReport {
     pub fn any_violated(&self) -> bool {
         self.radii.iter().any(|r| r.result.violated)
     }
+
+    /// Total impact-function evaluations spent across all radii.
+    pub fn total_f_evals(&self) -> u64 {
+        self.radii.iter().map(|r| r.result.f_evals).sum()
+    }
+
+    /// Total numeric-solver refinement iterations across all radii.
+    pub fn total_iterations(&self) -> usize {
+        self.radii.iter().map(|r| r.result.iterations).sum()
+    }
 }
 
 /// A FePIA analysis under construction: one perturbation parameter plus the
@@ -91,7 +101,11 @@ impl FepiaAnalysis {
     }
 
     /// Runs step 4: computes every radius and the metric (Eq. 2).
+    ///
+    /// When `fepia-obs` is enabled, each run increments `core.analysis.runs`
+    /// and emits one `analysis.run` event naming the binding feature.
     pub fn run(&self, opts: &RadiusOptions) -> Result<RobustnessReport, CoreError> {
+        let _span = fepia_obs::span!("core.analysis.run");
         if self.features.is_empty() {
             return Err(CoreError::EmptyFeatureSet);
         }
@@ -120,12 +134,23 @@ impl FepiaAnalysis {
             Domain::Discrete => Some(metric),
             Domain::Continuous => None,
         };
-        Ok(RobustnessReport {
+        let report = RobustnessReport {
             radii,
             metric,
             binding,
             floored_metric,
-        })
+        };
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter("core.analysis.runs").inc();
+            fepia_obs::Event::new("analysis.run")
+                .field("features", report.radii.len())
+                .field("metric", report.metric)
+                .field("binding", report.binding_feature().name.as_str())
+                .field("violated", report.any_violated())
+                .field("f_evals", report.total_f_evals())
+                .emit();
+        }
+        Ok(report)
     }
 }
 

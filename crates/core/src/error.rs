@@ -48,7 +48,10 @@ impl fmt::Display for CoreError {
                 "impact function expects dimension {expected}, perturbation has {perturbation}"
             ),
             CoreError::UnsupportedNorm { norm } => {
-                write!(f, "norm '{norm}' unsupported for non-linear impact functions")
+                write!(
+                    f,
+                    "norm '{norm}' unsupported for non-linear impact functions"
+                )
             }
             CoreError::InvalidTolerance { min, max } => {
                 write!(f, "invalid tolerance interval [{min}, {max}]")

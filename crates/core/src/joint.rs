@@ -108,8 +108,7 @@ impl JointAnalysis {
             unit,
         });
         // Joint origin is stored normalized.
-        self.origin
-            .extend(origin.iter().map(|&x| x / unit));
+        self.origin.extend(origin.iter().map(|&x| x / unit));
         self.names.push(name.into());
         id
     }

@@ -40,4 +40,4 @@ pub use impact::{FnImpact, Impact, LinearImpact, SumSelected};
 pub use joint::{JointAnalysis, PartId};
 pub use multiparam::MultiParamAnalysis;
 pub use perturbation::{Domain, Perturbation};
-pub use radius::{Bound, RadiusMethod, RadiusOptions, RadiusResult};
+pub use radius::{robustness_radius, Bound, RadiusMethod, RadiusOptions, RadiusResult};

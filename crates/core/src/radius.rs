@@ -71,6 +71,12 @@ pub struct RadiusResult {
     pub violated: bool,
     /// How the radius was obtained.
     pub method: RadiusMethod,
+    /// Refinement iterations spent by the numeric solver (0 on the analytic
+    /// and unbounded paths).
+    pub iterations: usize,
+    /// Impact-function evaluations consumed: 1 for the feasibility check at
+    /// `π_orig`, plus everything the numeric solver spends.
+    pub f_evals: u64,
 }
 
 /// The dual norm `‖a‖_*` used in the point-to-hyperplane distance
@@ -131,7 +137,7 @@ fn numeric_bound_radius(
     origin: &VecN,
     direction: f64,
     solver: &SolverOptions,
-) -> Result<(f64, Option<VecN>), CoreError> {
+) -> Result<(f64, Option<VecN>, usize, u64), CoreError> {
     let f = |pi: &VecN| direction * impact.eval(pi);
     let has_grad = impact.gradient(origin).is_some();
     let g = |pi: &VecN| {
@@ -147,15 +153,66 @@ fn numeric_bound_radius(
         level: direction * beta,
     };
     match min_norm_to_level_set(&problem, solver) {
-        Ok(sol) => Ok((sol.radius, Some(sol.point))),
-        Err(OptimError::Unreachable) => Ok((f64::INFINITY, None)),
+        Ok(sol) => Ok((sol.radius, Some(sol.point), sol.iterations, sol.f_evals)),
+        Err(OptimError::Unreachable) => Ok((f64::INFINITY, None, 0, 0)),
         Err(e) => Err(CoreError::Optim(e)),
     }
 }
 
 /// Computes the robustness radius `r_μ(φᵢ, πⱼ)` of `feature` (with impact
 /// function `impact`) against `perturbation` (Eq. 1 of the paper).
+///
+/// When `fepia-obs` is enabled, records analytic/numeric/unbounded dispatch
+/// counts under `core.radius.*` and emits one `radius.computed` event per
+/// call, carrying the feature identity.
 pub fn robustness_radius(
+    feature: &FeatureSpec,
+    impact: &dyn Impact,
+    perturbation: &Perturbation,
+    opts: &RadiusOptions,
+) -> Result<RadiusResult, CoreError> {
+    let _span = fepia_obs::span!("core.radius");
+    let result = radius_inner(feature, impact, perturbation, opts);
+    if fepia_obs::enabled() {
+        if let Ok(r) = &result {
+            record_radius(feature, r);
+        } else {
+            fepia_obs::global().counter("core.radius.errors").inc();
+        }
+    }
+    result
+}
+
+fn record_radius(feature: &FeatureSpec, r: &RadiusResult) {
+    let reg = fepia_obs::global();
+    let method = match r.method {
+        RadiusMethod::Analytic => "analytic",
+        RadiusMethod::Numeric => "numeric",
+        RadiusMethod::Unbounded => "unbounded",
+    };
+    reg.counter(&format!("core.radius.dispatch.{method}")).inc();
+    if r.violated {
+        reg.counter("core.radius.violations").inc();
+    }
+    fepia_obs::Event::new("radius.computed")
+        .field("feature", feature.name.as_str())
+        .field("radius", r.radius)
+        .field("method", method)
+        .field(
+            "bound",
+            match r.bound {
+                Some(Bound::Min) => "min",
+                Some(Bound::Max) => "max",
+                None => "none",
+            },
+        )
+        .field("violated", r.violated)
+        .field("iterations", r.iterations)
+        .field("f_evals", r.f_evals)
+        .emit();
+}
+
+fn radius_inner(
     feature: &FeatureSpec,
     impact: &dyn Impact,
     perturbation: &Perturbation,
@@ -181,9 +238,15 @@ pub fn robustness_radius(
         return Ok(RadiusResult {
             radius: 0.0,
             boundary_point: Some(origin.clone()),
-            bound: Some(if f_orig > tol.max { Bound::Max } else { Bound::Min }),
+            bound: Some(if f_orig > tol.max {
+                Bound::Max
+            } else {
+                Bound::Min
+            }),
             violated: true,
             method: RadiusMethod::Analytic,
+            iterations: 0,
+            f_evals: 1,
         });
     }
 
@@ -202,6 +265,8 @@ pub fn robustness_radius(
     };
 
     let is_affine = affine.is_some();
+    let mut iterations = 0usize;
+    let mut f_evals = 1u64; // the feasibility check above
     match affine {
         Some((a, c)) => {
             if tol.has_upper() {
@@ -215,11 +280,17 @@ pub fn robustness_radius(
         }
         None => {
             if tol.has_upper() {
-                let (r, p) = numeric_bound_radius(impact, tol.max, origin, 1.0, &opts.solver)?;
+                let (r, p, it, fe) =
+                    numeric_bound_radius(impact, tol.max, origin, 1.0, &opts.solver)?;
+                iterations += it;
+                f_evals += fe;
                 consider(r, p, Bound::Max);
             }
             if tol.has_lower() {
-                let (r, p) = numeric_bound_radius(impact, tol.min, origin, -1.0, &opts.solver)?;
+                let (r, p, it, fe) =
+                    numeric_bound_radius(impact, tol.min, origin, -1.0, &opts.solver)?;
+                iterations += it;
+                f_evals += fe;
                 consider(r, p, Bound::Min);
             }
         }
@@ -237,6 +308,8 @@ pub fn robustness_radius(
             bound: Some(bound),
             violated: false,
             method,
+            iterations,
+            f_evals,
         },
         // No finite boundary (both tolerances infinite, the impact is
         // constant in π, or every boundary is unreachable).
@@ -246,6 +319,8 @@ pub fn robustness_radius(
             bound: None,
             violated: false,
             method: RadiusMethod::Unbounded,
+            iterations,
+            f_evals,
         },
     })
 }
@@ -299,8 +374,8 @@ mod tests {
     fn violation_gives_zero_radius() {
         let impact = LinearImpact::homogeneous(VecN::from([1.0]));
         let pert = Perturbation::continuous("p", VecN::from([10.0]));
-        let r = robustness_radius(&feat(0.0, 5.0), &impact, &pert, &RadiusOptions::default())
-            .unwrap();
+        let r =
+            robustness_radius(&feat(0.0, 5.0), &impact, &pert, &RadiusOptions::default()).unwrap();
         assert_eq!(r.radius, 0.0);
         assert!(r.violated);
         assert_eq!(r.bound, Some(Bound::Max));
@@ -311,8 +386,8 @@ mod tests {
         // Zero coefficients: the feature never moves.
         let impact = LinearImpact::new(VecN::zeros(3), 2.0);
         let pert = Perturbation::continuous("p", VecN::zeros(3));
-        let r = robustness_radius(&feat(0.0, 5.0), &impact, &pert, &RadiusOptions::default())
-            .unwrap();
+        let r =
+            robustness_radius(&feat(0.0, 5.0), &impact, &pert, &RadiusOptions::default()).unwrap();
         assert_eq!(r.radius, f64::INFINITY);
         assert_eq!(r.method, RadiusMethod::Unbounded);
     }
@@ -335,8 +410,7 @@ mod tests {
         // a black-box FnImpact (numeric).
         let coeffs = VecN::from([2.0, 3.0, 1.0]);
         let lin = LinearImpact::new(coeffs.clone(), 1.0);
-        let blackbox =
-            FnImpact::new(move |v: &VecN| coeffs.dot(v) + 1.0).with_dim(3);
+        let blackbox = FnImpact::new(move |v: &VecN| coeffs.dot(v) + 1.0).with_dim(3);
         let pert = Perturbation::continuous("p", VecN::from([1.0, 1.0, 1.0]));
         let f = FeatureSpec::new("f", Tolerance::upper(20.0));
         let ra = robustness_radius(&f, &lin, &pert, &RadiusOptions::default()).unwrap();
@@ -412,9 +486,8 @@ mod tests {
     fn dimension_mismatch_detected() {
         let impact = LinearImpact::homogeneous(VecN::from([1.0, 1.0]));
         let pert = Perturbation::continuous("p", VecN::zeros(3));
-        let err =
-            robustness_radius(&feat(0.0, 1.0), &impact, &pert, &RadiusOptions::default())
-                .unwrap_err();
+        let err = robustness_radius(&feat(0.0, 1.0), &impact, &pert, &RadiusOptions::default())
+            .unwrap_err();
         assert_eq!(
             err,
             CoreError::DimensionMismatch {

@@ -39,24 +39,36 @@ impl fmt::Display for RobustnessReport {
             .max(7);
         writeln!(
             f,
-            "{:<name_width$}  {:>12}  {:<9}",
-            "feature", "radius", "method"
+            "{:<name_width$}  {:>12}  {:<9}  {:>6}  {:>7}",
+            "feature", "radius", "method", "iters", "f_evals"
         )?;
         for (i, r) in self.radii.iter().enumerate() {
-            let marker = if i == self.binding { " ◀ binding" } else { "" };
+            let marker = if i == self.binding {
+                " ◀ binding"
+            } else {
+                ""
+            };
             let violated = if r.result.violated { " [violated]" } else { "" };
             writeln!(
                 f,
-                "{:<name_width$}  {:>12}  {:<9}{marker}{violated}",
+                "{:<name_width$}  {:>12}  {:<9}  {:>6}  {:>7}{marker}{violated}",
                 r.name,
                 radius_cell(r.result.radius),
                 method_tag(r.result.method),
+                r.result.iterations,
+                r.result.f_evals,
             )?;
         }
         write!(f, "ρ = {}", radius_cell(self.metric))?;
         if let Some(fl) = self.floored_metric {
             write!(f, " (floored: {})", radius_cell(fl))?;
         }
+        write!(
+            f,
+            "  [{} f-evals, {} solver iterations]",
+            self.total_f_evals(),
+            self.total_iterations()
+        )?;
         Ok(())
     }
 }
@@ -99,13 +111,15 @@ mod tests {
         assert!(text.contains("latency P_0"));
         assert!(text.contains("◀ binding"));
         assert!(text.contains("∞")); // the unaffected feature
-        // Binding: throughput radius 5.0 vs latency 9/√2 ≈ 6.36.
+                                     // Binding: throughput radius 5.0 vs latency 9/√2 ≈ 6.36.
         let binding_line = text
             .lines()
             .find(|l| l.contains("◀"))
             .expect("binding marked");
         assert!(binding_line.contains("throughput a_0"));
-        assert!(text.trim_end().ends_with("ρ = 5.0000"));
+        assert!(text.contains("ρ = 5.0000"));
+        assert!(text.contains("f_evals"));
+        assert!(text.contains("f-evals"));
     }
 
     #[test]

@@ -13,10 +13,9 @@ use crate::consistency::{apply_consistency, Consistency};
 use crate::gen::generate_range;
 use crate::matrix::EtcMatrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// High or low heterogeneity, with the classical range constants.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HiLo {
     /// High heterogeneity.
     Hi,
@@ -48,7 +47,7 @@ impl HiLo {
 }
 
 /// One of the twelve Braun et al. ETC classes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BraunClass {
     /// Consistency class.
     pub consistency: Consistency,

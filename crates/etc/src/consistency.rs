@@ -15,10 +15,9 @@
 
 use crate::matrix::EtcMatrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The consistency class to impose on a generated matrix.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Consistency {
     /// Leave the matrix as generated.
     Inconsistent,
@@ -83,7 +82,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn sample_matrix(seed: u64) -> EtcMatrix {
-        generate_cvb(&mut StdRng::seed_from_u64(seed), &EtcParams::paper_section_4_2())
+        generate_cvb(
+            &mut StdRng::seed_from_u64(seed),
+            &EtcParams::paper_section_4_2(),
+        )
     }
 
     #[test]
@@ -124,7 +126,10 @@ mod tests {
             let row = m.row(i);
             // Even-indexed machines are sorted among themselves...
             let evens: Vec<f64> = row.iter().step_by(2).copied().collect();
-            assert!(evens.windows(2).all(|w| w[0] <= w[1]), "row {i} not semi-sorted");
+            assert!(
+                evens.windows(2).all(|w| w[0] <= w[1]),
+                "row {i} not semi-sorted"
+            );
             // ...and odd-indexed entries are untouched.
             for (j, &v) in row.iter().enumerate() {
                 if j % 2 == 1 {

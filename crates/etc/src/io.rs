@@ -193,7 +193,13 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(from_csv("# only a comment\n").unwrap_err(), EtcIoError::Empty);
-        assert!(matches!(load_csv("/definitely/missing"), Err(EtcIoError::Io(_))));
+        assert_eq!(
+            from_csv("# only a comment\n").unwrap_err(),
+            EtcIoError::Empty
+        );
+        assert!(matches!(
+            load_csv("/definitely/missing"),
+            Err(EtcIoError::Io(_))
+        ));
     }
 }

@@ -1,10 +1,8 @@
 //! The ETC matrix type.
 
-use serde::{Deserialize, Serialize};
-
 /// An `|A| × |M|` matrix of estimated times to compute: `get(i, j)` is the
 /// ETC of application `a_i` on machine `m_j`. Stored row-major.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EtcMatrix {
     apps: usize,
     machines: usize,
@@ -18,7 +16,10 @@ impl EtcMatrix {
     /// Panics if rows are empty, ragged, or contain non-positive or
     /// non-finite times.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
-        assert!(!rows.is_empty(), "ETC matrix needs at least one application");
+        assert!(
+            !rows.is_empty(),
+            "ETC matrix needs at least one application"
+        );
         let machines = rows[0].len();
         assert!(machines > 0, "ETC matrix needs at least one machine");
         let mut data = Vec::with_capacity(rows.len() * machines);
@@ -47,7 +48,10 @@ impl EtcMatrix {
     /// A matrix with every entry equal to `value` (useful in tests).
     pub fn uniform(apps: usize, machines: usize, value: f64) -> Self {
         assert!(apps > 0 && machines > 0, "empty ETC matrix");
-        assert!(value > 0.0 && value.is_finite(), "invalid uniform ETC value");
+        assert!(
+            value > 0.0 && value.is_finite(),
+            "invalid uniform ETC value"
+        );
         EtcMatrix {
             apps,
             machines,
@@ -71,7 +75,10 @@ impl EtcMatrix {
     /// Panics on out-of-range indices.
     pub fn get(&self, app: usize, machine: usize) -> f64 {
         assert!(app < self.apps, "application index {app} out of range");
-        assert!(machine < self.machines, "machine index {machine} out of range");
+        assert!(
+            machine < self.machines,
+            "machine index {machine} out of range"
+        );
         self.data[app * self.machines + machine]
     }
 

@@ -47,8 +47,7 @@ pub fn topological_order(sys: &HiperdSystem) -> Vec<usize> {
             indeg[p] += 1;
         }
     }
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
         order.push(i);

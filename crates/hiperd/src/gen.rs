@@ -34,10 +34,9 @@ use crate::robustness::build_constraints;
 use fepia_optim::VecN;
 use fepia_stats::{summary::median, Gamma};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters for [`generate_system`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GenParams {
     /// Sensor rates (`4e-5, 3e-5, 8e-6` in the paper).
     pub sensor_rates: Vec<f64>,
@@ -164,7 +163,13 @@ fn sample_coefficients<R: Rng + ?Sized>(
         .map(|i| {
             // Per-(app, sensor) task value, shared across machines (CVB).
             let q: Vec<f64> = (0..s)
-                .map(|z| if routes[i][z] { task_gamma.sample(rng) } else { 0.0 })
+                .map(|z| {
+                    if routes[i][z] {
+                        task_gamma.sample(rng)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             (0..p.machines)
                 .map(|_| {
@@ -199,8 +204,7 @@ pub fn generate_system<R: Rng + ?Sized>(rng: &mut R, p: &GenParams) -> HiperdSys
     assert!(!p.sensor_rates.is_empty() && p.apps > 0 && p.machines > 0);
     assert!(p.actuators > 0, "need at least one actuator");
     assert!(
-        (0.0..1.0).contains(&p.target_throughput_fraction)
-            && p.target_throughput_fraction > 0.0,
+        (0.0..1.0).contains(&p.target_throughput_fraction) && p.target_throughput_fraction > 0.0,
         "throughput fraction target must lie in (0, 1)"
     );
     assert!(
@@ -299,7 +303,8 @@ pub fn generate_system<R: Rng + ?Sized>(rng: &mut R, p: &GenParams) -> HiperdSys
         .map(|_| rng.gen_range(0.75..1.25) * lat_scale)
         .collect();
 
-    sys.validate().expect("generated system is structurally valid");
+    sys.validate()
+        .expect("generated system is structurally valid");
     sys
 }
 
@@ -318,10 +323,7 @@ mod tests {
         for seed in 0..5u64 {
             let sys = paper_system(seed);
             let n = enumerate_paths(&sys).len();
-            assert!(
-                n.abs_diff(19) <= 2,
-                "seed {seed}: {n} paths, wanted ≈ 19"
-            );
+            assert!(n.abs_diff(19) <= 2, "seed {seed}: {n} paths, wanted ≈ 19");
         }
     }
 
@@ -335,7 +337,11 @@ mod tests {
         assert_eq!(sys.lambda_orig, vec![962.0, 380.0, 240.0]);
         assert_eq!(sys.sensors[0].rate, 4e-5);
         // Latency limits span ±25% of their scale, like U[750, 1250].
-        let lo = sys.latency_limits.iter().cloned().fold(f64::INFINITY, f64::min);
+        let lo = sys
+            .latency_limits
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let hi = sys.latency_limits.iter().cloned().fold(0.0, f64::max);
         assert!(hi / lo < 1.25 / 0.75 + 1e-9);
     }
@@ -372,7 +378,9 @@ mod tests {
             covered.iter().all(|&c| c),
             "some application lies on no path: {covered:?}"
         );
-        assert!(paths.iter().all(|p| p.terminal != crate::path::Terminal::DeadEnd));
+        assert!(paths
+            .iter()
+            .all(|p| p.terminal != crate::path::Terminal::DeadEnd));
     }
 
     #[test]

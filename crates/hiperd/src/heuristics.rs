@@ -45,7 +45,9 @@ impl HiperdHeuristic for RandomHiperd {
 
     fn map(&self, sys: &HiperdSystem, rng: &mut dyn RngCore) -> HiperdMapping {
         HiperdMapping::new(
-            (0..sys.n_apps).map(|_| rng.gen_range(0..sys.n_machines)).collect(),
+            (0..sys.n_apps)
+                .map(|_| rng.gen_range(0..sys.n_machines))
+                .collect(),
             sys.n_machines,
         )
     }
@@ -324,12 +326,7 @@ mod tests {
             let sys = system(seed);
             let greedy = metric(&sys, &RobustGreedy.map(&sys, &mut rng_for(seed, 0)));
             let randoms: Vec<f64> = (0..15)
-                .map(|k| {
-                    metric(
-                        &sys,
-                        &RandomHiperd.map(&sys, &mut rng_for(seed, 10 + k)),
-                    )
-                })
+                .map(|k| metric(&sys, &RandomHiperd.map(&sys, &mut rng_for(seed, 10 + k))))
                 .collect();
             let mean = randoms.iter().sum::<f64>() / randoms.len() as f64;
             assert!(

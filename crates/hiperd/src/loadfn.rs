@@ -16,10 +16,9 @@
 //! stay analytic.
 
 use fepia_optim::VecN;
-use serde::{Deserialize, Serialize};
 
 /// The scalar shape `g(u)` applied to the load aggregate `u = coeffs·λ ≥ 0`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Shape {
     /// `g(u) = u` — the paper's §4.3 experimental setting.
     Linear,
@@ -61,7 +60,7 @@ impl Shape {
 }
 
 /// A time function `T(λ) = scale · g(coeffs·λ)`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadFn {
     /// Per-sensor coefficients `b_z ≥ 0`; zero where no route exists from
     /// sensor `z`.

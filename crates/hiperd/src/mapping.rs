@@ -10,7 +10,6 @@
 use crate::loadfn::LoadFn;
 use crate::model::HiperdSystem;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The multitasking factor `1.3·n` for `n ≥ 2`, else 1.
 pub fn multitask_factor(n: usize) -> f64 {
@@ -22,7 +21,7 @@ pub fn multitask_factor(n: usize) -> f64 {
 }
 
 /// An assignment of HiPer-D applications to machines.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct HiperdMapping {
     assignment: Vec<usize>,
     machines: usize,
@@ -35,7 +34,10 @@ impl HiperdMapping {
     /// Panics on an empty assignment, zero machines, or out-of-range
     /// entries.
     pub fn new(assignment: Vec<usize>, machines: usize) -> Self {
-        assert!(!assignment.is_empty(), "mapping needs at least one application");
+        assert!(
+            !assignment.is_empty(),
+            "mapping needs at least one application"
+        );
         assert!(machines > 0, "mapping needs at least one machine");
         assert!(
             assignment.iter().all(|&j| j < machines),
@@ -102,7 +104,10 @@ impl HiperdMapping {
     /// Panics on shape mismatch with `sys`.
     pub fn effective_comp(&self, sys: &HiperdSystem, app: usize) -> LoadFn {
         assert_eq!(sys.n_apps, self.apps(), "system/mapping app mismatch");
-        assert_eq!(sys.n_machines, self.machines, "system/mapping machine mismatch");
+        assert_eq!(
+            sys.n_machines, self.machines,
+            "system/mapping machine mismatch"
+        );
         let j = self.assignment[app];
         let n = self.assignment.iter().filter(|&&m| m == j).count();
         sys.comp[app][j].scaled(multitask_factor(n))

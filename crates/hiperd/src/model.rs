@@ -1,12 +1,11 @@
 //! The HiPer-D system model: sensors, applications, actuators, transfers.
 
 use crate::loadfn::LoadFn;
-use serde::{Deserialize, Serialize};
 
 /// A sensor: "produces data periodically at a certain rate". `rate` is the
 /// maximum periodic output data rate; `1/rate` is the throughput bound for
 /// everything in paths it drives.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Sensor {
     /// Display name.
     pub name: String,
@@ -17,7 +16,10 @@ pub struct Sensor {
 impl Sensor {
     /// Creates a sensor with a positive rate.
     pub fn new(name: impl Into<String>, rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "sensor rate must be positive");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "sensor rate must be positive"
+        );
         Sensor {
             name: name.into(),
             rate,
@@ -26,7 +28,7 @@ impl Sensor {
 }
 
 /// A vertex of the HiPer-D graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Node {
     /// The `z`-th sensor (diamond in the paper's Fig. 2).
     Sensor(usize),
@@ -38,7 +40,7 @@ pub enum Node {
 
 /// A directed data transfer with its communication-time function
 /// `T_ip^n(λ)` (identically zero in the §4.3 experiments).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Edge {
     /// Producer endpoint.
     pub from: Node,
@@ -50,7 +52,7 @@ pub struct Edge {
 
 /// The full system: the DAG of Fig. 2 plus per-(app, machine) computation
 /// time functions, sensor rates, initial loads and per-path latency bounds.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HiperdSystem {
     /// The sensors (with their rates).
     pub sensors: Vec<Sensor>,
@@ -130,10 +132,16 @@ impl HiperdSystem {
                 Node::Actuator(t) => t < self.n_actuators,
             };
             if !ok_from || !ok_to {
-                return Err(format!("edge {k} has invalid endpoints {:?}→{:?}", e.from, e.to));
+                return Err(format!(
+                    "edge {k} has invalid endpoints {:?}→{:?}",
+                    e.from, e.to
+                ));
             }
             if e.comm.dim() != s {
-                return Err(format!("edge {k} comm function has dimension {}", e.comm.dim()));
+                return Err(format!(
+                    "edge {k} comm function has dimension {}",
+                    e.comm.dim()
+                ));
             }
         }
         crate::dag::check_acyclic(self)?;
@@ -164,10 +172,7 @@ impl HiperdSystem {
     /// application with in-degree ≥ 2 is a "multiple-input application" —
     /// an update-path terminal.
     pub fn in_degree(&self, app: usize) -> usize {
-        self.edges
-            .iter()
-            .filter(|e| e.to == Node::App(app))
-            .count()
+        self.edges.iter().filter(|e| e.to == Node::App(app)).count()
     }
 }
 
@@ -221,11 +226,20 @@ pub(crate) mod test_support {
             ],
             comp: vec![
                 // a0 reads sensor 0 only.
-                vec![LoadFn::linear(vec![2.0, 0.0], 1.0), LoadFn::linear(vec![3.0, 0.0], 1.0)],
+                vec![
+                    LoadFn::linear(vec![2.0, 0.0], 1.0),
+                    LoadFn::linear(vec![3.0, 0.0], 1.0),
+                ],
                 // a1 reads both sensors (it joins the streams).
-                vec![LoadFn::linear(vec![1.0, 1.0], 1.0), LoadFn::linear(vec![2.0, 2.0], 1.0)],
+                vec![
+                    LoadFn::linear(vec![1.0, 1.0], 1.0),
+                    LoadFn::linear(vec![2.0, 2.0], 1.0),
+                ],
                 // a2 reads sensor 1 only.
-                vec![LoadFn::linear(vec![0.0, 4.0], 1.0), LoadFn::linear(vec![0.0, 2.0], 1.0)],
+                vec![
+                    LoadFn::linear(vec![0.0, 4.0], 1.0),
+                    LoadFn::linear(vec![0.0, 2.0], 1.0),
+                ],
             ],
             latency_limits: vec![2_000.0, 2_500.0],
             lambda_orig: vec![100.0, 50.0],

@@ -77,7 +77,16 @@ pub fn enumerate_paths(sys: &HiperdSystem) -> Vec<Path> {
     for z in 0..sys.n_sensors() {
         for (k0, e0) in sys.edges_from(Node::Sensor(z)) {
             let Node::App(first) = e0.to else { continue };
-            dfs(sys, &trig, z, first, k0, &mut Vec::new(), &mut Vec::new(), &mut paths);
+            dfs(
+                sys,
+                &trig,
+                z,
+                first,
+                k0,
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut paths,
+            );
         }
     }
     paths

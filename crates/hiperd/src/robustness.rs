@@ -284,7 +284,11 @@ mod tests {
         // Binding: throughput a_0 at ≈ 92.31.
         let (sys, m) = mapped_tiny();
         let rob = load_robustness(&sys, &m, &RadiusOptions::default()).unwrap();
-        assert!((rob.metric - 480.0 / 5.2).abs() < 1e-9, "metric {}", rob.metric);
+        assert!(
+            (rob.metric - 480.0 / 5.2).abs() < 1e-9,
+            "metric {}",
+            rob.metric
+        );
         assert_eq!(rob.binding, "throughput a_0");
         assert_eq!(rob.floored, (480.0f64 / 5.2).floor());
         // λ* moves only along sensor 0 (a_0 reads only sensor 0).

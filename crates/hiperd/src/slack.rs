@@ -24,11 +24,7 @@ pub fn system_slack(sys: &HiperdSystem, mapping: &HiperdMapping) -> f64 {
 }
 
 /// As [`system_slack`], with pre-enumerated paths (for sweeps).
-pub fn system_slack_with_paths(
-    sys: &HiperdSystem,
-    mapping: &HiperdMapping,
-    paths: &[Path],
-) -> f64 {
+pub fn system_slack_with_paths(sys: &HiperdSystem, mapping: &HiperdMapping, paths: &[Path]) -> f64 {
     let set = build_constraints(sys, mapping, paths);
     let lambda = VecN::new(sys.lambda_orig.clone());
     set.constraints

@@ -56,8 +56,8 @@ impl MappingHeuristic for SimulatedAnnealing {
             }
             current.reassign(app, new_machine);
             let cost = current.makespan(etc) / scale;
-            let accept = cost <= cur_cost
-                || rng.gen_range(0.0..1.0f64) < ((cur_cost - cost) / temp).exp();
+            let accept =
+                cost <= cur_cost || rng.gen_range(0.0..1.0f64) < ((cur_cost - cost) / temp).exp();
             if accept {
                 cur_cost = cost;
                 if cost < best_cost {
@@ -87,7 +87,10 @@ mod tests {
             let sa = SimulatedAnnealing::default()
                 .map(&etc, &mut rng_for(seed, 1))
                 .makespan(&etc);
-            assert!(sa <= mct + 1e-12, "seed {seed}: SA {sa} worse than MCT {mct}");
+            assert!(
+                sa <= mct + 1e-12,
+                "seed {seed}: SA {sa} worse than MCT {mct}"
+            );
         }
     }
 

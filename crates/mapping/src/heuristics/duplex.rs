@@ -41,7 +41,10 @@ mod tests {
             let d = Duplex.map(&etc, &mut rng).makespan(&etc);
             let a = MinMin.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
             let b = MaxMin.map(&etc, &mut rng_for(seed, 0)).makespan(&etc);
-            assert!((d - a.min(b)).abs() < 1e-12, "duplex {d}, minmin {a}, maxmin {b}");
+            assert!(
+                (d - a.min(b)).abs() < 1e-12,
+                "duplex {d}, minmin {a}, maxmin {b}"
+            );
         }
     }
 

@@ -29,10 +29,7 @@ impl Default for Genetic {
     }
 }
 
-fn tournament<'a, R: Rng + ?Sized>(
-    pop: &'a [(Mapping, f64)],
-    rng: &mut R,
-) -> &'a Mapping {
+fn tournament<'a, R: Rng + ?Sized>(pop: &'a [(Mapping, f64)], rng: &mut R) -> &'a Mapping {
     let a = rng.gen_range(0..pop.len());
     let b = rng.gen_range(0..pop.len());
     if pop[a].1 <= pop[b].1 {
@@ -127,7 +124,10 @@ mod tests {
             }
             .map(&etc, &mut rng_for(seed, 1))
             .makespan(&etc);
-            assert!(ga <= mct.min(mm) + 1e-12, "seed {seed}: GA {ga} vs {mct}/{mm}");
+            assert!(
+                ga <= mct.min(mm) + 1e-12,
+                "seed {seed}: GA {ga} vs {mct}/{mm}"
+            );
         }
     }
 

@@ -137,11 +137,7 @@ mod tests {
     #[test]
     fn maxmin_front_loads_expensive_app() {
         // App 1 is huge: Max-Min commits it first to the fast machine.
-        let etc = EtcMatrix::from_rows(vec![
-            vec![1.0, 1.5],
-            vec![50.0, 80.0],
-            vec![1.0, 1.5],
-        ]);
+        let etc = EtcMatrix::from_rows(vec![vec![1.0, 1.5], vec![50.0, 80.0], vec![1.0, 1.5]]);
         let m = MaxMin.map(&etc, &mut rng_for(0, 0));
         assert_eq!(m.machine_of(1), 0);
         // Small apps spill to machine 1.

@@ -72,10 +72,7 @@ impl MappingHeuristic for RobustGreedy {
                 occupancy[j] += 1;
                 // Primary: partial robustness; secondary: shorter completion
                 // (breaks the all-equal early rounds toward MCT behaviour).
-                let score = (
-                    partial_metric(&loads, &occupancy, self.tau),
-                    -(loads[j]),
-                );
+                let score = (partial_metric(&loads, &occupancy, self.tau), -(loads[j]));
                 loads[j] -= etc.get(i, j);
                 occupancy[j] -= 1;
                 if score > best_score {

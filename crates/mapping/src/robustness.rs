@@ -49,6 +49,7 @@ pub fn makespan_robustness(
     tau: f64,
 ) -> Result<MakespanRobustness, CoreError> {
     assert!(tau >= 1.0, "tolerance factor τ must be ≥ 1, got {tau}");
+    let _span = fepia_obs::span!("mapping.makespan_robustness");
     let finish = mapping.finishing_times(etc);
     let occupancy = mapping.occupancy();
     let makespan = finish.iter().cloned().fold(0.0, f64::max);
@@ -84,6 +85,17 @@ pub fn makespan_robustness(
         for i in mapping.apps_on(binding_machine) {
             boundary[i] += delta;
         }
+    }
+
+    if fepia_obs::enabled() {
+        fepia_obs::global()
+            .counter("mapping.closed_form.calls")
+            .inc();
+        fepia_obs::Event::new("mapping.makespan_robustness")
+            .field("metric", metric)
+            .field("makespan", makespan)
+            .field("binding_machine", binding_machine)
+            .emit();
     }
 
     Ok(MakespanRobustness {
@@ -145,8 +157,7 @@ mod tests {
     fn eq6_hand_computed() {
         // 3 apps, 2 machines: m0 ← {0, 1} (F_0 = 30), m1 ← {2} (F_1 = 30).
         // M = 30, τ = 1.2 ⇒ bound 36: r_0 = 6/√2, r_1 = 6; ρ = 6/√2.
-        let etc =
-            EtcMatrix::from_rows(vec![vec![10.0, 1.0], vec![20.0, 1.0], vec![1.0, 30.0]]);
+        let etc = EtcMatrix::from_rows(vec![vec![10.0, 1.0], vec![20.0, 1.0], vec![1.0, 30.0]]);
         let m = Mapping::new(vec![0, 0, 1], 2);
         let r = makespan_robustness(&m, &etc, 1.2).unwrap();
         assert!((r.radii[0] - 6.0 / 2f64.sqrt()).abs() < 1e-12);

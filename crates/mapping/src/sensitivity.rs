@@ -60,9 +60,7 @@ pub fn etc_sensitivity(
         for (i, g) in gradients.iter_mut().enumerate() {
             let on_makespan = mapping.machine_of(i) == mm;
             let on_binding = mapping.machine_of(i) == b;
-            *g = (tau * f64::from(u8::from(on_makespan))
-                - f64::from(u8::from(on_binding)))
-                * scale;
+            *g = (tau * f64::from(u8::from(on_makespan)) - f64::from(u8::from(on_binding))) * scale;
         }
     }
 
@@ -145,11 +143,7 @@ mod tests {
     fn signs_follow_the_formula() {
         // Construct: m0 binding AND makespan machine (2 apps, F=40),
         // m1 light (1 app, F=10). τ = 1.2.
-        let etc = EtcMatrix::from_rows(vec![
-            vec![20.0, 99.0],
-            vec![20.0, 99.0],
-            vec![99.0, 10.0],
-        ]);
+        let etc = EtcMatrix::from_rows(vec![vec![20.0, 99.0], vec![20.0, 99.0], vec![99.0, 10.0]]);
         let mapping = Mapping::new(vec![0, 0, 1], 2);
         let s = etc_sensitivity(&mapping, &etc, 1.2).unwrap();
         assert_eq!(s.binding_machine, 0);

@@ -125,8 +125,7 @@ mod tests {
             let etc = generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2());
             let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
             let out =
-                validate_radius_guarantee(&mapping, &etc, 1.2, 500, &mut rng_for(seed, 2))
-                    .unwrap();
+                validate_radius_guarantee(&mapping, &etc, 1.2, 500, &mut rng_for(seed, 2)).unwrap();
             assert!(
                 out.holds(),
                 "seed {seed}: {out:?} — the Eq. 7 guarantee failed"
@@ -139,8 +138,7 @@ mod tests {
         // τ = 1 gives metric 0: no inside-radius sampling possible.
         let etc = EtcMatrix::uniform(4, 2, 10.0);
         let mapping = Mapping::new(vec![0, 0, 1, 1], 2);
-        let out = validate_radius_guarantee(&mapping, &etc, 1.0, 100, &mut rng_for(0, 0))
-            .unwrap();
+        let out = validate_radius_guarantee(&mapping, &etc, 1.0, 100, &mut rng_for(0, 0)).unwrap();
         assert_eq!(out.metric, 0.0);
         assert_eq!(out.false_violations, 0);
         assert!(out.holds());

@@ -1,0 +1,223 @@
+//! Minimal JSON writer (no external dependencies).
+//!
+//! The obs layer emits JSON-lines events and metrics snapshots; this module
+//! is the single place JSON is produced so escaping and number formatting
+//! stay consistent. Only writing is supported — nothing in the workspace
+//! parses JSON.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`; non-finite values become strings
+/// (`"inf"`, `"-inf"`, `"nan"`) since JSON has no literal for them.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is valid JSON except that it
+        // can produce e.g. `1e300`; that is valid JSON too.
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// A JSON scalar the obs layer can record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite rendered as strings).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Appends this value's JSON rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => write_f64(out, *v),
+            Value::Str(s) => write_str(out, s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Incremental JSON object writer: `{"k":v,...}` with insertion order kept.
+#[derive(Default)]
+pub struct ObjectWriter {
+    buf: String,
+    any: bool,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Appends `"key": value`.
+    pub fn field(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.key(key);
+        value.into().write(&mut self.buf);
+        self
+    }
+
+    /// Appends `"key"` followed by a pre-rendered JSON fragment (for nested
+    /// objects/arrays produced by another writer).
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders a JSON array from pre-rendered element fragments.
+pub fn array_of(elems: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, e) in elems.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quotes() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nonfinite_numbers_are_strings() {
+        let mut s = String::new();
+        write_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "\"inf\"");
+        s.clear();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "\"nan\"");
+        s.clear();
+        write_f64(&mut s, 2.5);
+        assert_eq!(s, "2.5");
+    }
+
+    #[test]
+    fn object_writer_orders_fields() {
+        let mut o = ObjectWriter::new();
+        o.field("b", 1u64).field("a", "x").field("f", 0.5);
+        assert_eq!(o.finish(), r#"{"b":1,"a":"x","f":0.5}"#);
+    }
+
+    #[test]
+    fn nested_raw_and_array() {
+        let inner = {
+            let mut o = ObjectWriter::new();
+            o.field("n", 3u64);
+            o.finish()
+        };
+        let mut outer = ObjectWriter::new();
+        outer.field_raw("inner", &inner);
+        outer.field_raw("xs", &array_of(["1".to_string(), "2".to_string()]));
+        assert_eq!(outer.finish(), r#"{"inner":{"n":3},"xs":[1,2]}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Run manifests: one JSON document describing a benchmark/figure run —
+//! which binary, which parameters, which output files — written next to the
+//! outputs so a results directory is self-describing.
+
+use crate::json::{array_of, ObjectWriter, Value};
+use std::io::Write as _;
+use std::path::Path;
+
+/// A structured description of one run, rendered as
+/// `{"schema":"fepia.manifest/v1","run":...,"params":{...},"outputs":[...]}`.
+#[must_use = "a manifest does nothing until written or rendered"]
+pub struct RunManifest {
+    run: String,
+    params: Vec<(String, Value)>,
+    outputs: Vec<String>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for the run `name` (e.g. `"fig3"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        RunManifest {
+            run: name.into(),
+            params: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Records one run parameter.
+    pub fn param(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// Records one output file produced by the run.
+    pub fn output(mut self, path: impl Into<String>) -> Self {
+        self.outputs.push(path.into());
+        self
+    }
+
+    /// Renders the manifest as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut params = ObjectWriter::new();
+        for (k, v) in &self.params {
+            params.field(k, v.clone());
+        }
+        let outputs = array_of(self.outputs.iter().map(|o| {
+            let mut s = String::new();
+            crate::json::write_str(&mut s, o);
+            s
+        }));
+        let mut root = ObjectWriter::new();
+        root.field("schema", "fepia.manifest/v1");
+        root.field("run", self.run.as_str());
+        root.field_raw("params", &params.finish());
+        root.field_raw("outputs", &outputs);
+        root.finish()
+    }
+
+    /// Writes the manifest (plus trailing newline) to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_golden() {
+        let m = RunManifest::new("fig3")
+            .param("machines", 8u64)
+            .param("tolerance", 0.3)
+            .output("fig3.csv")
+            .output("fig3.svg");
+        assert_eq!(
+            m.to_json(),
+            r#"{"schema":"fepia.manifest/v1","run":"fig3","params":{"machines":8,"tolerance":0.3},"outputs":["fig3.csv","fig3.svg"]}"#
+        );
+    }
+
+    #[test]
+    fn manifest_writes_file() {
+        let dir = std::env::temp_dir().join("fepia-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        RunManifest::new("t").write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("}\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

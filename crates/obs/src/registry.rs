@@ -1,0 +1,650 @@
+//! Metric primitives and the registry.
+//!
+//! Counters and gauges are single atomics; histograms are fixed-bucket
+//! (bounds chosen at construction) with lock-free recording and
+//! p50/p90/p99 readout by linear interpolation inside the bucket. The
+//! [`MetricsRegistry`] maps names to metrics; handles are `Arc`s, so hot
+//! paths look a metric up once and then touch only atomics.
+
+use crate::json::ObjectWriter;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter. Increments **wrap** on u64 overflow
+/// (an explicit, tested policy: a saturated counter would silently flatten
+/// rates, a wrap is detectable from the snapshot sequence).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` (wrapping).
+    pub fn add(&self, n: u64) {
+        // fetch_add on AtomicU64 wraps by definition.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative; wrapping).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// `bounds` are the inclusive upper edges of the first `bounds.len()`
+/// buckets; one implicit overflow bucket catches everything larger. The
+/// observation sum is kept as f64 bits under a CAS loop so means stay exact
+/// for non-integer observations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (overflow)
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bucket edges
+    /// (must be finite, strictly increasing, non-empty).
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// `n` exponential buckets: `start, start·factor, start·factor², …`.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n > 0, "bad exponential spec");
+        let mut bounds = Vec::with_capacity(n);
+        let mut edge = start;
+        for _ in 0..n {
+            bounds.push(edge);
+            edge *= factor;
+        }
+        Histogram::with_bounds(bounds)
+    }
+
+    /// The default timing histogram: 100 ns … ~100 s in half-decade steps.
+    pub fn timing_ns() -> Self {
+        Histogram::exponential(100.0, 10f64.sqrt(), 19)
+    }
+
+    /// Records one observation (NaN is ignored).
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Merges a thread-local batch (same bounds) into this histogram.
+    pub(crate) fn merge_local(&self, local: &LocalHistogram) {
+        debug_assert_eq!(local.buckets.len(), self.buckets.len());
+        for (dst, &src) in self.buckets.iter().zip(local.buckets.iter()) {
+            if src > 0 {
+                dst.fetch_add(src, Ordering::Relaxed);
+            }
+        }
+        if local.count > 0 {
+            self.count.fetch_add(local.count, Ordering::Relaxed);
+            atomic_f64_update(&self.sum_bits, |s| s + local.sum);
+            atomic_f64_update(&self.min_bits, |m| m.min(local.min));
+            atomic_f64_update(&self.max_bits, |m| m.max(local.max));
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bucket counts with linear
+    /// interpolation inside the bucket; `None` when empty.
+    ///
+    /// The estimate is clamped to the observed min/max, so degenerate
+    /// single-value histograms report that value for every quantile.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let target = q * total as f64;
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                // Interpolate within this bucket's range.
+                let lo = if i == 0 { min } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    max
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let v = lo + (hi - lo) * frac;
+                return Some(v.clamp(min, max));
+            }
+            cum = next;
+        }
+        Some(max)
+    }
+
+    /// Convenience: (p50, p90, p99), `None` when empty.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.5)?,
+            self.quantile(0.9)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
+    /// Bucket upper edges (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A non-atomic histogram batch used for per-thread span aggregation.
+#[derive(Debug, Clone)]
+pub(crate) struct LocalHistogram {
+    pub(crate) bounds: Vec<f64>,
+    pub(crate) buckets: Vec<u64>,
+    pub(crate) count: u64,
+    pub(crate) sum: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+}
+
+impl LocalHistogram {
+    pub(crate) fn timing_ns() -> Self {
+        let h = Histogram::timing_ns();
+        LocalHistogram {
+            buckets: vec![0; h.bounds.len() + 1],
+            bounds: h.bounds,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub(crate) fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// A name → metric map. Use [`crate::global`] for the process-wide registry
+/// or construct scoped registries for tests and isolated runs.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the histogram `name` with default timing buckets
+    /// (nanoseconds, 100 ns … ~100 s).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, Histogram::timing_ns)
+    }
+
+    /// Gets or creates the histogram `name`, building it with `make` when
+    /// absent (use for non-timing bucket layouts).
+    pub fn histogram_with(&self, name: &str, make: impl FnOnce() -> Histogram) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(make())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        crate::span::flush_thread_spans();
+        let m = self.metrics.lock().expect("metrics lock");
+        let entries = m
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        mean: h.mean(),
+                        p50: h.quantile(0.5),
+                        p90: h.quantile(0.9),
+                        p99: h.quantile(0.99),
+                    },
+                };
+                SnapshotEntry {
+                    name: name.clone(),
+                    value,
+                }
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Removes every metric (scoped registries / test isolation).
+    pub fn clear(&self) {
+        self.metrics.lock().expect("metrics lock").clear();
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// A snapshot of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// Mean (`None` when empty).
+        mean: Option<f64>,
+        /// Median estimate.
+        p50: Option<f64>,
+        /// 90th percentile estimate.
+        p90: Option<f64>,
+        /// 99th percentile estimate.
+        p99: Option<f64>,
+    },
+}
+
+/// One named entry of a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotEntry {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time copy of a registry, renderable as JSON or text.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Entries in name order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Renders `{"schema":"fepia.metrics/v1","metrics":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut metrics = ObjectWriter::new();
+        for e in &self.entries {
+            let body = match &e.value {
+                SnapshotValue::Counter(v) => {
+                    let mut o = ObjectWriter::new();
+                    o.field("type", "counter").field("value", *v);
+                    o.finish()
+                }
+                SnapshotValue::Gauge(v) => {
+                    let mut o = ObjectWriter::new();
+                    o.field("type", "gauge").field("value", *v);
+                    o.finish()
+                }
+                SnapshotValue::Histogram {
+                    count,
+                    sum,
+                    mean,
+                    p50,
+                    p90,
+                    p99,
+                } => {
+                    let mut o = ObjectWriter::new();
+                    o.field("type", "histogram")
+                        .field("count", *count)
+                        .field("sum", *sum);
+                    for (k, v) in [("mean", mean), ("p50", p50), ("p90", p90), ("p99", p99)] {
+                        if let Some(v) = v {
+                            o.field(k, *v);
+                        }
+                    }
+                    o.finish()
+                }
+            };
+            metrics.field_raw(&e.name, &body);
+        }
+        let mut root = ObjectWriter::new();
+        root.field("schema", "fepia.metrics/v1");
+        root.field_raw("metrics", &metrics.finish());
+        root.finish()
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| {
+            if let SnapshotValue::Counter(v) = e.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => writeln!(f, "{:<width$}  counter    {v}", e.name)?,
+                SnapshotValue::Gauge(v) => writeln!(f, "{:<width$}  gauge      {v}", e.name)?,
+                SnapshotValue::Histogram {
+                    count,
+                    mean,
+                    p50,
+                    p90,
+                    p99,
+                    ..
+                } => {
+                    write!(f, "{:<width$}  histogram  n={count}", e.name)?;
+                    for (k, v) in [("mean", mean), ("p50", p50), ("p90", p90), ("p99", p99)] {
+                        if let Some(v) = v {
+                            write!(f, "  {k}={v:.1}")?;
+                        }
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::len_zero)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics_and_wrap() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Overflow policy: wrap, not saturate.
+        c.add(u64::MAX);
+        assert_eq!(c.get(), 41);
+    }
+
+    #[test]
+    fn gauge_set_add() {
+        let g = Gauge::default();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_uniform() {
+        // 1..=1000 in unit buckets: quantiles should be ~ q·1000.
+        let h = Histogram::with_bounds((1..=1000).map(|i| i as f64).collect());
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p90, p99) = h.percentiles().unwrap();
+        assert!((p50 - 500.0).abs() <= 1.0, "p50 {p50}");
+        assert!((p90 - 900.0).abs() <= 1.0, "p90 {p90}");
+        assert!((p99 - 990.0).abs() <= 1.0, "p99 {p99}");
+        assert!((h.mean().unwrap() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_skewed_and_overflow() {
+        let h = Histogram::with_bounds(vec![10.0, 100.0]);
+        for _ in 0..99 {
+            h.record(5.0);
+        }
+        h.record(1e6); // overflow bucket
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((5.0..=10.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 1e6 && p99 > 5.0, "p99 {p99}");
+        // Max is clamped to the observed max, not +inf.
+        assert_eq!(h.quantile(1.0), Some(1e6));
+    }
+
+    #[test]
+    fn histogram_single_value_degenerate() {
+        let h = Histogram::timing_ns();
+        h.record(250.0);
+        // All quantiles clamp to the single observed value.
+        assert_eq!(h.quantile(0.0), Some(250.0));
+        assert_eq!(h.quantile(0.5), Some(250.0));
+        assert_eq!(h.quantile(1.0), Some(250.0));
+    }
+
+    #[test]
+    fn histogram_empty_and_nan() {
+        let h = Histogram::timing_ns();
+        assert_eq!(h.quantile(0.5), None);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::with_bounds(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_get_or_create_and_snapshot() {
+        let r = MetricsRegistry::new();
+        r.counter("a.calls").add(3);
+        r.counter("a.calls").add(4); // same counter
+        r.gauge("b.depth").set(-2);
+        r.histogram("c.ns").record(1000.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.calls"), Some(7));
+        assert_eq!(snap.entries.len(), 3);
+        // Names are sorted.
+        let names: Vec<_> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.calls", "b.depth", "c.ns"]);
+        let json = snap.to_json();
+        assert!(
+            json.starts_with("{\"schema\":\"fepia.metrics/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"a.calls\":{\"type\":\"counter\",\"value\":7}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn display_renders_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter("calls").add(2);
+        r.gauge("depth").set(1);
+        r.histogram("lat").record(500.0);
+        let text = r.snapshot().to_string();
+        assert!(text.contains("counter"));
+        assert!(text.contains("gauge"));
+        assert!(text.contains("histogram"));
+        assert!(text.contains("n=1"));
+    }
+}

@@ -26,6 +26,7 @@ use crate::error::OptimError;
 use crate::gradient::gradient_central;
 use crate::root1d::{bracket_upward, brent, RootOptions};
 use crate::vector::VecN;
+use std::cell::Cell;
 
 /// The problem `min ‖x − origin‖₂  s.t.  f(x) = level`, with
 /// `f(origin) < level` expected (the operating point is inside the robust
@@ -90,6 +91,21 @@ pub struct LevelSetSolution {
     /// True when `f(origin) ≥ level`: the requirement is already violated at
     /// the operating point, so the radius is 0.
     pub already_violating: bool,
+    /// Impact-function evaluations consumed, including the probes behind
+    /// finite-difference gradients and the 1-D root solves.
+    pub f_evals: u64,
+    /// Gradient evaluations (analytic calls, or finite-difference
+    /// assemblies — each of which additionally costs `2n` `f_evals`).
+    pub grad_evals: u64,
+}
+
+/// Per-solve tallies, shared by the counting closures below.
+#[derive(Default)]
+struct SolveCounters {
+    f: Cell<u64>,
+    grad: Cell<u64>,
+    seed_fallbacks: Cell<u64>,
+    bracket_failures: Cell<u64>,
 }
 
 fn eval_grad(p: &LevelSetProblem<'_>, x: &VecN, fd_step: f64) -> VecN {
@@ -136,10 +152,83 @@ fn cross_along(
 /// along any probe direction (the robustness radius is unbounded — callers
 /// map this to `+∞`), and [`OptimError::Degenerate`] for a zero-dimensional
 /// perturbation.
+///
+/// When `fepia-obs` is enabled, each solve records evaluation counts,
+/// refinement iterations, seed fallbacks, bracket failures and the
+/// convergence outcome under `optim.solver.*`, and emits one
+/// `solver.solve` event.
 pub fn min_norm_to_level_set(
     p: &LevelSetProblem<'_>,
     opts: &SolverOptions,
 ) -> Result<LevelSetSolution, OptimError> {
+    let _span = fepia_obs::span!("optim.min_norm");
+    let counters = SolveCounters::default();
+    let result = solve_counted(p, opts, &counters);
+    if fepia_obs::enabled() {
+        record_solve(&counters, &result);
+    }
+    result
+}
+
+fn record_solve(counters: &SolveCounters, result: &Result<LevelSetSolution, OptimError>) {
+    let reg = fepia_obs::global();
+    reg.counter("optim.solver.calls").inc();
+    reg.counter("optim.solver.f_evals").add(counters.f.get());
+    reg.counter("optim.solver.grad_evals")
+        .add(counters.grad.get());
+    reg.counter("optim.solver.seed_fallbacks")
+        .add(counters.seed_fallbacks.get());
+    reg.counter("optim.solver.bracket_failures")
+        .add(counters.bracket_failures.get());
+    let outcome = match result {
+        Ok(sol) if sol.already_violating => "already_violating",
+        Ok(sol) if sol.converged => "converged",
+        Ok(_) => "iteration_cap",
+        Err(OptimError::Unreachable) => "unreachable",
+        Err(_) => "error",
+    };
+    reg.counter(&format!("optim.solver.outcome.{outcome}"))
+        .inc();
+    if let Ok(sol) = result {
+        reg.histogram_with("optim.solver.iterations", || {
+            fepia_obs::Histogram::exponential(1.0, 2.0, 12)
+        })
+        .record(sol.iterations as f64);
+        fepia_obs::Event::new("solver.solve")
+            .field("outcome", outcome)
+            .field("radius", sol.radius)
+            .field("iterations", sol.iterations)
+            .field("f_evals", sol.f_evals)
+            .field("grad_evals", sol.grad_evals)
+            .emit();
+    } else {
+        fepia_obs::Event::new("solver.solve")
+            .field("outcome", outcome)
+            .field("f_evals", counters.f.get())
+            .field("grad_evals", counters.grad.get())
+            .emit();
+    }
+}
+
+fn solve_counted(
+    outer: &LevelSetProblem<'_>,
+    opts: &SolverOptions,
+    counters: &SolveCounters,
+) -> Result<LevelSetSolution, OptimError> {
+    // Route every impact-function call through a counting wrapper so the
+    // reported `f_evals` covers seeds, root solves and FD gradient probes.
+    let f_counting = |x: &VecN| {
+        counters.f.set(counters.f.get() + 1);
+        (outer.f)(x)
+    };
+    let inner = LevelSetProblem {
+        f: &f_counting,
+        grad: outer.grad,
+        origin: outer.origin,
+        level: outer.level,
+    };
+    let p = &inner;
+
     let n = p.origin.dim();
     if n == 0 {
         return Err(OptimError::Degenerate(
@@ -157,6 +246,8 @@ pub fn min_norm_to_level_set(
             iterations: 0,
             converged: true,
             already_violating: true,
+            f_evals: counters.f.get(),
+            grad_evals: counters.grad.get(),
         });
     }
 
@@ -167,6 +258,7 @@ pub fn min_norm_to_level_set(
     // to reach the global minimum of a convex level set: the gradient
     // direction, the diagonal, and ± every axis.
     let mut candidates: Vec<VecN> = Vec::with_capacity(2 * n + 2);
+    counters.grad.set(counters.grad.get() + 1);
     let g0 = eval_grad(p, p.origin, opts.fd_step);
     if let Some(u) = g0.normalized() {
         candidates.push(u);
@@ -181,7 +273,12 @@ pub fn min_norm_to_level_set(
     for dir in &candidates {
         match cross_along(p, p.origin, dir, scale, opts) {
             Ok(x) => seeds.push(x),
-            Err(OptimError::Unreachable) => continue,
+            Err(OptimError::Unreachable) => {
+                counters
+                    .seed_fallbacks
+                    .set(counters.seed_fallbacks.get() + 1);
+                continue;
+            }
             Err(e) => return Err(e),
         }
     }
@@ -210,10 +307,20 @@ pub fn min_norm_to_level_set(
     // reachable that way.
     let crossing = |dir: &VecN, hint: f64| -> Result<Option<f64>, OptimError> {
         let g = |s: f64| (p.f)(&p.origin.add_scaled(s, dir)) - p.level;
-        match bracket_upward(g, (0.5 * hint).max(1e-6 * scale), opts.t_max_factor * scale, 2.0) {
+        match bracket_upward(
+            g,
+            (0.5 * hint).max(1e-6 * scale),
+            opts.t_max_factor * scale,
+            2.0,
+        ) {
             Ok((lo, hi)) if lo == hi => Ok(Some(0.0)),
             Ok((lo, hi)) => Ok(Some(brent(g, lo, hi, opts.root)?.x)),
-            Err(OptimError::Unreachable) => Ok(None),
+            Err(OptimError::Unreachable) => {
+                counters
+                    .bracket_failures
+                    .set(counters.bracket_failures.get() + 1);
+                Ok(None)
+            }
             Err(e) => Err(e),
         }
     };
@@ -230,6 +337,8 @@ pub fn min_norm_to_level_set(
                 iterations,
                 converged: true,
                 already_violating: false,
+                f_evals: counters.f.get(),
+                grad_evals: counters.grad.get(),
             });
         };
 
@@ -237,6 +346,7 @@ pub fn min_norm_to_level_set(
         for _ in 0..opts.max_outer {
             iterations += 1;
             let x = p.origin.add_scaled(t, &u);
+            counters.grad.set(counters.grad.get() + 1);
             let g = eval_grad(p, &x, opts.fd_step);
             let gnorm = g.norm_l2();
             if !gnorm.is_finite() {
@@ -295,6 +405,8 @@ pub fn min_norm_to_level_set(
         iterations,
         converged,
         already_violating: false,
+        f_evals: counters.f.get(),
+        grad_evals: counters.grad.get(),
     })
 }
 
@@ -345,8 +457,8 @@ mod tests {
     #[test]
     fn ellipse_finds_nearest_axis_point() {
         // f = x²/4 + y² = 1 from the origin: nearest points (0, ±1), radius 1.
-        let sol = solve_simple(|v: &VecN| v[0] * v[0] / 4.0 + v[1] * v[1], &[0.1, 0.2], 1.0)
-            .unwrap();
+        let sol =
+            solve_simple(|v: &VecN| v[0] * v[0] / 4.0 + v[1] * v[1], &[0.1, 0.2], 1.0).unwrap();
         // True distance computed by dense parametric search over the ellipse.
         assert!(
             (sol.radius - 0.7984364).abs() < 1e-3,
@@ -364,7 +476,11 @@ mod tests {
             std::f64::consts::E * std::f64::consts::E,
         )
         .unwrap();
-        assert!((sol.radius - 2f64.sqrt()).abs() < 1e-5, "radius {}", sol.radius);
+        assert!(
+            (sol.radius - 2f64.sqrt()).abs() < 1e-5,
+            "radius {}",
+            sol.radius
+        );
         assert!((sol.point[0] - 1.0).abs() < 1e-4);
         assert!((sol.point[1] - 1.0).abs() < 1e-4);
     }

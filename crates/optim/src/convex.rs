@@ -98,7 +98,10 @@ mod tests {
         let cases: Vec<Case> = vec![
             ("exp", Box::new(|v: &VecN| (v[0] + v[1]).exp())),
             ("power", Box::new(|v: &VecN| v[0].powf(2.5) + v[1].powi(2))),
-            ("xlogx", Box::new(|v: &VecN| v.iter().map(|&x| x * x.ln()).sum())),
+            (
+                "xlogx",
+                Box::new(|v: &VecN| v.iter().map(|&x| x * x.ln()).sum()),
+            ),
             ("norm", Box::new(|v: &VecN| v.norm_l2())),
         ];
         for (name, f) in cases {
@@ -127,15 +130,8 @@ mod tests {
     #[test]
     fn sine_is_caught() {
         let mut rng = StdRng::seed_from_u64(3);
-        let report = check_midpoint_convexity(
-            |v: &VecN| v[0].sin(),
-            1,
-            0.0,
-            6.0,
-            2_000,
-            1e-9,
-            &mut rng,
-        );
+        let report =
+            check_midpoint_convexity(|v: &VecN| v[0].sin(), 1, 0.0, 6.0, 2_000, 1e-9, &mut rng);
         assert!(!report.consistent());
     }
 

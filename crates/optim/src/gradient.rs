@@ -204,7 +204,13 @@ mod tests {
     fn descend_with_analytic_gradient() {
         let f = |v: &VecN| v[0] * v[0] + v[1] * v[1];
         let g = |v: &VecN| v.scaled(2.0);
-        let r = descend(f, Some(g), VecN::from([3.0, -4.0]), DescentOptions::default()).unwrap();
+        let r = descend(
+            f,
+            Some(g),
+            VecN::from([3.0, -4.0]),
+            DescentOptions::default(),
+        )
+        .unwrap();
         assert!(r.x.norm_l2() < 1e-4);
         assert!(r.value < 1e-8);
     }

@@ -9,8 +9,7 @@ use crate::vector::VecN;
 
 /// A vector norm used to measure the size of a perturbation
 /// `π_j − π_j_orig`.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum Norm {
     /// ℓ₁ — sum of absolute component changes (total perturbation budget).
     L1,
@@ -23,7 +22,6 @@ pub enum Norm {
     /// perturbation components are more likely (smaller weight) than others.
     WeightedL2(Vec<f64>),
 }
-
 
 impl Norm {
     /// Evaluates the norm of `x`.

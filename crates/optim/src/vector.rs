@@ -79,11 +79,7 @@ impl VecN {
             other.dim(),
             "dot product of mismatched dimensions"
         );
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// The Euclidean (ℓ₂) norm. This is the norm of the paper's Eq. 1.

@@ -3,7 +3,7 @@
 //! The paper's experiments evaluate 1000 random mappings per system; each
 //! evaluation is independent, so the sweeps are embarrassingly parallel.
 //! This crate provides the small amount of machinery the harness needs,
-//! built directly on `crossbeam::thread::scope` (no global thread pool, no
+//! built directly on `std::thread::scope` (no global thread pool, no
 //! work-stealing runtime — the work units are coarse):
 //!
 //! * [`par_map`] — static chunking; lowest overhead when work items are
@@ -16,9 +16,17 @@
 //! closure receives its item index, so callers that derive per-item RNGs
 //! (see `fepia_stats::rng_for`) get bitwise-identical results for any thread
 //! count, including 1.
+//!
+//! # Observability
+//!
+//! When `fepia-obs` is enabled, the drivers record per-worker items
+//! processed, busy vs. idle nanoseconds, and collect-lock contention into
+//! the global metrics registry (`par.*`). Instrumentation only observes —
+//! results are bitwise identical whether or not it is on.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration for the parallel drivers.
 #[derive(Clone, Copy, Debug)]
@@ -56,10 +64,57 @@ impl ParConfig {
     }
 }
 
+/// Per-worker accounting, recorded into the global registry when obs is on.
+struct WorkerStats {
+    observe: bool,
+    items: u64,
+    busy_ns: f64,
+    started: Option<Instant>,
+}
+
+impl WorkerStats {
+    fn begin(observe: bool) -> Self {
+        WorkerStats {
+            observe,
+            items: 0,
+            busy_ns: 0.0,
+            started: observe.then(Instant::now),
+        }
+    }
+
+    /// Times one work item; `run` is always executed, timing is optional.
+    fn item<U>(&mut self, run: impl FnOnce() -> U) -> U {
+        self.items += 1;
+        if self.observe {
+            let t0 = Instant::now();
+            let out = run();
+            self.busy_ns += t0.elapsed().as_nanos() as f64;
+            out
+        } else {
+            run()
+        }
+    }
+
+    /// Flushes this worker's tallies (`driver` is `"static"`/`"dynamic"`).
+    fn finish(self, driver: &str) {
+        if let Some(started) = self.started {
+            let wall_ns = started.elapsed().as_nanos() as f64;
+            let reg = fepia_obs::global();
+            reg.counter(&format!("par.{driver}.items")).add(self.items);
+            reg.histogram(&format!("par.{driver}.items_per_worker"))
+                .record(self.items as f64);
+            reg.histogram(&format!("par.{driver}.worker.busy_ns"))
+                .record(self.busy_ns);
+            reg.histogram(&format!("par.{driver}.worker.idle_ns"))
+                .record((wall_ns - self.busy_ns).max(0.0));
+        }
+    }
+}
+
 /// Applies `f(index, &item)` to every item, in parallel, returning results in
 /// input order. Static contiguous chunking.
 ///
-/// Panics in `f` propagate to the caller (via `crossbeam::thread::scope`).
+/// Panics in `f` propagate to the caller (via `std::thread::scope`).
 pub fn par_map<T, U, F>(items: &[T], cfg: &ParConfig, f: F) -> Vec<U>
 where
     T: Sync,
@@ -75,22 +130,24 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let observe = fepia_obs::enabled();
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         // Hand each worker a disjoint &mut of the output: safe, lock-free.
         for (w, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
             let base = w * chunk;
             let items = &items[base..base + out_chunk.len()];
-            s.spawn(move |_| {
+            s.spawn(move || {
+                let mut stats = WorkerStats::begin(observe);
                 for (off, (slot, item)) in out_chunk.iter_mut().zip(items.iter()).enumerate() {
-                    *slot = Some(f(base + off, item));
+                    *slot = Some(stats.item(|| f(base + off, item)));
                 }
+                stats.finish("static");
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter()
         .map(|v| v.expect("chunk worker skipped a slot"))
         .collect()
@@ -114,29 +171,54 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let observe = fepia_obs::enabled();
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
             let next = &next;
             let collected = &collected;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
+                let mut stats = WorkerStats::begin(observe);
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    local.push((i, stats.item(|| f(i, &items[i]))));
                 }
-                collected.lock().extend(local);
+                // The collect lock is the only shared mutable state; when obs
+                // is on, record whether this worker had to wait for it.
+                if observe {
+                    let t0 = Instant::now();
+                    let mut guard = match collected.try_lock() {
+                        Ok(g) => g,
+                        Err(_) => {
+                            fepia_obs::global()
+                                .counter("par.dynamic.collect_contended")
+                                .inc();
+                            collected.lock().expect("collect lock poisoned")
+                        }
+                    };
+                    guard.extend(local);
+                    drop(guard);
+                    fepia_obs::global()
+                        .histogram("par.dynamic.collect_wait_ns")
+                        .record(t0.elapsed().as_nanos() as f64);
+                } else {
+                    collected
+                        .lock()
+                        .expect("collect lock poisoned")
+                        .extend(local);
+                }
+                stats.finish("dynamic");
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    let mut pairs = collected.into_inner();
+    let mut pairs = collected.into_inner().expect("collect lock poisoned");
     pairs.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(pairs.len(), n);
     pairs.into_iter().map(|(_, u)| u).collect()
@@ -247,6 +329,17 @@ mod tests {
             par_map(&items, &cfg, |_, x| x + 1),
             (1..51).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn instrumented_run_records_worker_metrics() {
+        fepia_obs::set_enabled(true);
+        let items: Vec<u64> = (0..256).collect();
+        let out = par_map_dynamic(&items, &ParConfig::with_threads(4), |_, x| x + 1);
+        fepia_obs::set_enabled(false);
+        assert_eq!(out, (1..257).collect::<Vec<_>>());
+        let snap = fepia_obs::global().snapshot();
+        assert!(snap.counter("par.dynamic.items").unwrap_or(0) >= 256);
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub struct DagPlot {
 
 impl DagPlot {
     /// Pixel position of every node id, given the canvas size.
-    fn positions(
-        &self,
-        width: f64,
-        height: f64,
-    ) -> std::collections::HashMap<usize, (f64, f64)> {
+    fn positions(&self, width: f64, height: f64) -> std::collections::HashMap<usize, (f64, f64)> {
         let mut pos = std::collections::HashMap::new();
         let cols = self.layers.len().max(1) as f64;
         for (li, layer) in self.layers.iter().enumerate() {
@@ -105,7 +101,14 @@ impl DagPlot {
                         doc.rect(x - 11.0, y - 9.0, 22.0, 18.0, theme::series_color(1), 3.0);
                     }
                 }
-                doc.text(x, y + 24.0, label, 9.0, theme::TEXT_SECONDARY, Anchor::Middle);
+                doc.text(
+                    x,
+                    y + 24.0,
+                    label,
+                    9.0,
+                    theme::TEXT_SECONDARY,
+                    Anchor::Middle,
+                );
             }
         }
 

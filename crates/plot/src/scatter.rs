@@ -172,8 +172,11 @@ impl Chart {
                     }
                 }
                 SeriesKind::Line => {
-                    let pts: Vec<(f64, f64)> =
-                        s.points.iter().map(|&(x, y)| (xs.map(x), ys.map(y))).collect();
+                    let pts: Vec<(f64, f64)> = s
+                        .points
+                        .iter()
+                        .map(|&(x, y)| (xs.map(x), ys.map(y)))
+                        .collect();
                     doc.polyline(&pts, color, 2.0);
                 }
             }
@@ -198,7 +201,14 @@ impl Chart {
         );
         // Y label: horizontal at the top-left (no rotation keeps the writer
         // simple and the label legible).
-        doc.text(8.0, margin_top - 10.0, &self.y_label, 12.0, theme::TEXT_PRIMARY, Anchor::Start);
+        doc.text(
+            8.0,
+            margin_top - 10.0,
+            &self.y_label,
+            12.0,
+            theme::TEXT_PRIMARY,
+            Anchor::Start,
+        );
 
         // Legend (only with ≥ 2 series — a single series is named by the
         // title).
@@ -207,7 +217,14 @@ impl Chart {
             let lx = width - margin_right - 150.0;
             for (slot, s) in self.series.iter().enumerate() {
                 doc.circle(lx, ly - 3.0, 4.0, theme::series_color(slot), None);
-                doc.text(lx + 10.0, ly, &s.name, 11.0, theme::TEXT_SECONDARY, Anchor::Start);
+                doc.text(
+                    lx + 10.0,
+                    ly,
+                    &s.name,
+                    11.0,
+                    theme::TEXT_SECONDARY,
+                    Anchor::Start,
+                );
                 ly += 16.0;
             }
         }

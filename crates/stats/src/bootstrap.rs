@@ -45,7 +45,10 @@ where
 {
     assert!(!xs.is_empty(), "bootstrap of empty sample");
     assert!(resamples > 0, "need at least one resample");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level {level}");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "bad level {level}"
+    );
 
     let estimate = statistic(xs);
     let mut stats = Vec::with_capacity(resamples);
@@ -98,7 +101,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let xs: Vec<f64> = (0..400).map(|_| 5.0 + standard_normal(&mut rng)).collect();
         let ci = bootstrap_mean_ci(&xs, 2_000, 0.95, &mut rng);
-        assert!(ci.lo <= 5.0 && 5.0 <= ci.hi, "{ci:?} misses the true mean 5");
+        assert!(
+            ci.lo <= 5.0 && 5.0 <= ci.hi,
+            "{ci:?} misses the true mean 5"
+        );
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
         // Width ≈ 2·1.96/√400 ≈ 0.2.
         assert!(ci.hi - ci.lo < 0.4, "implausibly wide: {ci:?}");

@@ -104,9 +104,7 @@ impl Gamma {
             let v = t * t * t;
             let u: f64 = rng.gen_range(0.0..1.0);
             let x2 = x * x;
-            if u < 1.0 - 0.0331 * x2 * x2
-                || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
                 return d * v * self.scale;
             }
         }

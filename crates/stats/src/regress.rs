@@ -105,7 +105,11 @@ mod tests {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
         let ys = [1.2, 1.9, 3.3, 3.8, 5.1];
         let f = linear_fit(&xs, &ys).unwrap();
-        let sum: f64 = xs.iter().zip(ys.iter()).map(|(&x, &y)| f.residual(x, y)).sum();
+        let sum: f64 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| f.residual(x, y))
+            .sum();
         assert!(sum.abs() < 1e-9);
     }
 

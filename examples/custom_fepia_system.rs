@@ -16,7 +16,9 @@
 //!
 //! Run with: `cargo run --example custom_fepia_system`
 
-use fepia::core::{FeatureSpec, FepiaAnalysis, FnImpact, LinearImpact, Perturbation, RadiusOptions, Tolerance};
+use fepia::core::{
+    FeatureSpec, FepiaAnalysis, FnImpact, LinearImpact, Perturbation, RadiusOptions, Tolerance,
+};
 use fepia::optim::VecN;
 
 fn main() {
@@ -32,7 +34,9 @@ fn main() {
     analysis.add_feature(
         FeatureSpec::new("rack power (W)", Tolerance::upper(900.0)),
         FnImpact::new(|u: &VecN| {
-            u.iter().map(|&ui| 120.0 + 180.0 * ui.max(0.0).powf(1.5)).sum()
+            u.iter()
+                .map(|&ui| 120.0 + 180.0 * ui.max(0.0).powf(1.5))
+                .sum()
         })
         .with_dim(3),
     );
@@ -41,7 +45,10 @@ fn main() {
     // SLO 200 ms.
     for i in 0..3 {
         analysis.add_feature(
-            FeatureSpec::new(format!("p99 latency server {i} (ms)"), Tolerance::upper(200.0)),
+            FeatureSpec::new(
+                format!("p99 latency server {i} (ms)"),
+                Tolerance::upper(200.0),
+            ),
             FnImpact::new(move |u: &VecN| {
                 let ui = u[i].clamp(0.0, 0.949_999);
                 20.0 / (1.0 - ui / 0.95)

@@ -40,10 +40,16 @@ fn main() {
             rob.metric,
             format!("m_{}", rob.binding_machine),
         );
-        if best_makespan.as_ref().is_none_or(|(_, v)| rob.makespan < *v) {
+        if best_makespan
+            .as_ref()
+            .is_none_or(|(_, v)| rob.makespan < *v)
+        {
             best_makespan = Some((h.name().to_string(), rob.makespan));
         }
-        if best_robustness.as_ref().is_none_or(|(_, v)| rob.metric > *v) {
+        if best_robustness
+            .as_ref()
+            .is_none_or(|(_, v)| rob.metric > *v)
+        {
             best_robustness = Some((h.name().to_string(), rob.metric));
         }
     }

@@ -22,25 +22,58 @@ fn build_system() -> HiperdSystem {
     // radar → filter(a0) → track(a1) → fuse(a3) → actuator
     // sonar → detect(a2) ────────────→ fuse(a3)   (update input)
     let edges = vec![
-        Edge { from: Node::Sensor(0), to: Node::App(0), comm: zero.clone() },
-        Edge { from: Node::App(0), to: Node::App(1), comm: zero.clone() },
-        Edge { from: Node::App(1), to: Node::App(3), comm: zero.clone() },
-        Edge { from: Node::Sensor(1), to: Node::App(2), comm: zero.clone() },
-        Edge { from: Node::App(2), to: Node::App(3), comm: zero.clone() },
-        Edge { from: Node::App(3), to: Node::Actuator(0), comm: zero },
+        Edge {
+            from: Node::Sensor(0),
+            to: Node::App(0),
+            comm: zero.clone(),
+        },
+        Edge {
+            from: Node::App(0),
+            to: Node::App(1),
+            comm: zero.clone(),
+        },
+        Edge {
+            from: Node::App(1),
+            to: Node::App(3),
+            comm: zero.clone(),
+        },
+        Edge {
+            from: Node::Sensor(1),
+            to: Node::App(2),
+            comm: zero.clone(),
+        },
+        Edge {
+            from: Node::App(2),
+            to: Node::App(3),
+            comm: zero.clone(),
+        },
+        Edge {
+            from: Node::App(3),
+            to: Node::Actuator(0),
+            comm: zero,
+        },
     ];
 
     // Computation-time functions per (application, machine). The tracker's
     // association step is superlinear in the radar load on the slow
     // machine — a convex Power shape, solved numerically.
     let comp = vec![
-        vec![LoadFn::linear(vec![2.0, 0.0], 1.0), LoadFn::linear(vec![3.0, 0.0], 1.0)],
+        vec![
+            LoadFn::linear(vec![2.0, 0.0], 1.0),
+            LoadFn::linear(vec![3.0, 0.0], 1.0),
+        ],
         vec![
             LoadFn::linear(vec![4.0, 0.0], 1.0),
             LoadFn::new(vec![0.05, 0.0], Shape::Power(2.0), 1.0),
         ],
-        vec![LoadFn::linear(vec![0.0, 3.0], 1.0), LoadFn::linear(vec![0.0, 5.0], 1.0)],
-        vec![LoadFn::linear(vec![1.0, 1.0], 1.0), LoadFn::linear(vec![2.0, 2.0], 1.0)],
+        vec![
+            LoadFn::linear(vec![0.0, 3.0], 1.0),
+            LoadFn::linear(vec![0.0, 5.0], 1.0),
+        ],
+        vec![
+            LoadFn::linear(vec![1.0, 1.0], 1.0),
+            LoadFn::linear(vec![2.0, 2.0], 1.0),
+        ],
     ];
 
     let sys = HiperdSystem {

@@ -29,11 +29,7 @@ use rand::Rng;
 /// Remaining robustness of `mapping` when the loads have drifted to
 /// `lambda`: recompute ρ on a copy of the system anchored at the current
 /// loads.
-fn remaining_robustness(
-    sys: &HiperdSystem,
-    mapping: &HiperdMapping,
-    lambda: &[f64],
-) -> f64 {
+fn remaining_robustness(sys: &HiperdSystem, mapping: &HiperdMapping, lambda: &[f64]) -> f64 {
     let mut drifted = sys.clone();
     drifted.lambda_orig = lambda.to_vec();
     let paths = enumerate_paths(&drifted);
@@ -89,7 +85,7 @@ fn simulate(
         // enough that well-chosen mappings stay feasible throughout, fast
         // enough to exhaust a mediocre design-time mapping's headroom.
         for l in lambda.iter_mut() {
-            *l = (*l + rng.gen_range(-15.0..21.0)).max(0.0);
+            *l = (*l + rng.gen_range(-15.0f64..21.0)).max(0.0);
         }
         let violated = any_violation(sys, &mapping, &lambda);
         if violated {

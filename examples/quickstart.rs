@@ -29,7 +29,10 @@ fn main() {
     let finish = mapping.finishing_times(&etc);
     println!("finishing times F_j: {finish:.1?}");
     println!("predicted makespan M_orig = {:.2}", mapping.makespan(&etc));
-    println!("load balance index = {:.3}", mapping.load_balance_index(&etc));
+    println!(
+        "load balance index = {:.3}",
+        mapping.load_balance_index(&etc)
+    );
 
     let rob = makespan_robustness(&mapping, &etc, tau).expect("valid instance");
     println!("\nper-machine robustness radii (Eq. 6):");

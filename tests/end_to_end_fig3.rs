@@ -28,7 +28,11 @@ fn similar_makespans_differ_sharply_in_robustness() {
     // "…for any given value of makespan there are a number of mappings
     // that differ significantly in terms of their actual robustness."
     let d = sweep(4, 500);
-    let mut pts: Vec<(f64, f64)> = d.points.iter().map(|p| (p.makespan, p.robustness)).collect();
+    let mut pts: Vec<(f64, f64)> = d
+        .points
+        .iter()
+        .map(|p| (p.makespan, p.robustness))
+        .collect();
     pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
     let mut best_ratio: f64 = 1.0;
     for i in 0..pts.len() {

@@ -95,8 +95,16 @@ fn both_constraint_families_can_bind() {
     // a sweep must see both families bind (as the paper's Table 2 pair
     // does: one mapping throughput-bound, the other latency-bound).
     let d = sweep(16, 200);
-    let throughput = d.points.iter().filter(|p| p.binding.starts_with("throughput")).count();
-    let latency = d.points.iter().filter(|p| p.binding.starts_with("latency")).count();
+    let throughput = d
+        .points
+        .iter()
+        .filter(|p| p.binding.starts_with("throughput"))
+        .count();
+    let latency = d
+        .points
+        .iter()
+        .filter(|p| p.binding.starts_with("latency"))
+        .count();
     assert!(
         throughput > 0 && latency > 0,
         "binding mix degenerate: {throughput} throughput / {latency} latency"

@@ -2,7 +2,9 @@
 //! reaches through `fepia::…` works together, and property tests hold
 //! across crate boundaries.
 
-use fepia::core::{FeatureSpec, FepiaAnalysis, LinearImpact, Perturbation, RadiusOptions, Tolerance};
+use fepia::core::{
+    FeatureSpec, FepiaAnalysis, LinearImpact, Perturbation, RadiusOptions, Tolerance,
+};
 use fepia::optim::{Norm, VecN};
 use proptest::prelude::*;
 
@@ -24,7 +26,10 @@ fn all_reexports_are_reachable() {
 
     let chart = {
         let mut c = fepia::plot::Chart::new("t", "x", "y");
-        c.add(fepia::plot::Series::points("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        c.add(fepia::plot::Series::points(
+            "s",
+            vec![(0.0, 0.0), (1.0, 1.0)],
+        ));
         c
     };
     assert!(chart.render(200.0, 150.0).render().contains("<svg"));

@@ -49,7 +49,9 @@ fn hiperd_guarantee_holds() {
         // Inside-radius injections (any direction, like the paper's "any
         // combination of sensor loads").
         for _ in 0..200 {
-            let dir: Vec<f64> = (0..sys.n_sensors()).map(|_| standard_normal(&mut rng)).collect();
+            let dir: Vec<f64> = (0..sys.n_sensors())
+                .map(|_| standard_normal(&mut rng))
+                .collect();
             let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm < 1e-9 {
                 continue;
@@ -66,13 +68,19 @@ fn hiperd_guarantee_holds() {
         }
 
         // Tightness: 0.5% beyond the binding boundary point.
-        let star = rob.lambda_star.clone().expect("finite metric has a witness");
+        let star = rob
+            .lambda_star
+            .clone()
+            .expect("finite metric has a witness");
         let overshoot = lambda_orig.add_scaled(1.005, &(&star - &lambda_orig));
         let violated = set
             .constraints
             .iter()
             .any(|c| c.value(&overshoot) > c.bound);
-        assert!(violated, "no violation just past the boundary (mapping {k})");
+        assert!(
+            violated,
+            "no violation just past the boundary (mapping {k})"
+        );
         validated += 1;
     }
     assert!(validated >= 10, "too few mappings validated ({validated})");
@@ -95,7 +103,9 @@ fn hiperd_floored_metric_respects_integral_loads() {
     let mut rng = rng_for(32, 2);
     for _ in 0..300 {
         // Random integral increase with norm ≤ floored metric.
-        let dir: Vec<f64> = (0..sys.n_sensors()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let dir: Vec<f64> = (0..sys.n_sensors())
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
         let scaled: Vec<f64> = dir
             .iter()

@@ -1,0 +1,178 @@
+//! Observability must never perturb results: with metrics, spans and a
+//! JSONL event sink all active, the parallel sweeps have to produce
+//! bitwise-identical numbers for any thread count — and identical to the
+//! fully-disabled sequential run. Also pins the JSON-lines event schema.
+
+use fepia_core::{
+    robustness_radius, FeatureSpec, FnImpact, Perturbation, RadiusOptions, Tolerance,
+};
+use fepia_optim::VecN;
+use fepia_par::{par_map, par_map_dynamic, ParConfig};
+use fepia_stats::rng_for;
+use rand::Rng;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The obs layer is process-global; serialize the tests that toggle it.
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .expect("obs test lock")
+}
+
+/// One numerically-solved robustness radius per item, seeded from the item
+/// index — the same shape as the paper sweeps.
+fn radius_for_item(i: usize) -> f64 {
+    let mut rng = rng_for(0xFE91A, i as u64);
+    let origin = VecN::from([rng.gen_range(-0.5..0.5f64), rng.gen_range(-0.5..0.5f64)]);
+    let scale = rng.gen_range(1.0..3.0f64);
+    let impact = FnImpact::new(move |v: &VecN| scale * v.dot(v)).with_dim(2);
+    let pert = Perturbation::continuous("p", origin);
+    let feature = FeatureSpec::new("f", Tolerance::upper(10.0));
+    robustness_radius(&feature, &impact, &pert, &RadiusOptions::default())
+        .expect("radius solve")
+        .radius
+}
+
+#[test]
+fn sweep_is_bitwise_identical_across_thread_counts_with_obs_on() {
+    let _guard = obs_lock();
+    let items: Vec<usize> = (0..48).collect();
+
+    // Reference: obs fully disabled, sequential.
+    fepia_obs::set_enabled(false);
+    fepia_obs::set_events_enabled(false);
+    let reference: Vec<u64> = items
+        .iter()
+        .map(|&i| radius_for_item(i).to_bits())
+        .collect();
+
+    // Everything on: metrics + spans + a real JSONL file sink.
+    let dir = std::env::temp_dir().join("fepia-obs-determinism");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("events.jsonl");
+    let prev = fepia_obs::install_sink(Arc::new(
+        fepia_obs::JsonlSink::create(&path).expect("jsonl sink"),
+    ));
+    fepia_obs::set_enabled(true);
+    fepia_obs::set_events_enabled(true);
+
+    for threads in [1, 2, 8] {
+        let cfg = ParConfig::with_threads(threads);
+        let stat: Vec<u64> = par_map(&items, &cfg, |_, &i| radius_for_item(i).to_bits());
+        let dyn_: Vec<u64> = par_map_dynamic(&items, &cfg, |_, &i| radius_for_item(i).to_bits());
+        assert_eq!(stat, reference, "par_map diverged at {threads} threads");
+        assert_eq!(
+            dyn_, reference,
+            "par_map_dynamic diverged at {threads} threads"
+        );
+    }
+
+    fepia_obs::set_enabled(false);
+    fepia_obs::set_events_enabled(false);
+    fepia_obs::flush_sink();
+    match prev {
+        Some(prev) => {
+            fepia_obs::install_sink(prev);
+        }
+        None => {
+            fepia_obs::clear_sink();
+        }
+    }
+
+    // The sink actually captured the run, one JSON object per line.
+    let text = std::fs::read_to_string(&path).expect("events file");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= items.len(),
+        "expected at least one event per item, got {}",
+        lines.len()
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with(r#"{"schema":"fepia.event/v1","event":""#),
+            "bad event line: {line}"
+        );
+        assert!(line.ends_with('}'), "unterminated event line: {line}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn event_stream_matches_golden_schema() {
+    let _guard = obs_lock();
+    let sink = Arc::new(fepia_obs::VecSink::new());
+    let prev = fepia_obs::install_sink(sink.clone());
+    fepia_obs::set_enabled(true);
+    fepia_obs::set_events_enabled(true);
+
+    let impact = FnImpact::new(|v: &VecN| v.dot(v)).with_dim(2);
+    let pert = Perturbation::continuous("p", VecN::zeros(2));
+    let feature = FeatureSpec::new("mach1", Tolerance::upper(25.0));
+    let r = robustness_radius(&feature, &impact, &pert, &RadiusOptions::default())
+        .expect("radius solve");
+    assert!((r.radius - 5.0).abs() < 1e-5);
+
+    fepia_obs::set_enabled(false);
+    fepia_obs::set_events_enabled(false);
+    match prev {
+        Some(prev) => {
+            fepia_obs::install_sink(prev);
+        }
+        None => {
+            fepia_obs::clear_sink();
+        }
+    }
+
+    let lines = sink.lines();
+    // One solver event and one radius event, in causal order.
+    let solver = lines
+        .iter()
+        .find(|l| l.contains(r#""event":"solver.solve""#))
+        .expect("solver.solve event emitted");
+    for key in [
+        "\"outcome\":",
+        "\"radius\":",
+        "\"iterations\":",
+        "\"f_evals\":",
+        "\"grad_evals\":",
+    ] {
+        assert!(solver.contains(key), "solver.solve missing {key}: {solver}");
+    }
+    let radius = lines
+        .iter()
+        .find(|l| l.contains(r#""event":"radius.computed""#))
+        .expect("radius.computed event emitted");
+    assert!(
+        radius.contains(r#""feature":"mach1""#),
+        "binding-feature identity missing: {radius}"
+    );
+    for key in [
+        "\"method\":\"numeric\"",
+        "\"bound\":\"max\"",
+        "\"violated\":false",
+    ] {
+        assert!(
+            radius.contains(key),
+            "radius.computed missing {key}: {radius}"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshot_reports_solver_and_par_counters() {
+    let _guard = obs_lock();
+    fepia_obs::set_enabled(true);
+    let items: Vec<usize> = (0..40).collect();
+    let _ = par_map_dynamic(&items, &ParConfig::with_threads(4), |_, &i| {
+        radius_for_item(i)
+    });
+    fepia_obs::set_enabled(false);
+
+    let snap = fepia_obs::global().snapshot();
+    assert!(snap.counter("optim.solver.calls").unwrap_or(0) > 0);
+    assert!(snap.counter("core.radius.dispatch.numeric").unwrap_or(0) > 0);
+    assert!(snap.counter("par.dynamic.items").unwrap_or(0) >= items.len() as u64);
+    let json = snap.to_json();
+    assert!(json.starts_with(r#"{"schema":"fepia.metrics/v1""#));
+}

@@ -1,0 +1,292 @@
+//! Offline shim for the `criterion 0.5` API subset the fepia workspace uses.
+//!
+//! A wall-clock micro-benchmark harness: each benchmark is warmed up, then
+//! timed in batches until a measurement budget is spent, and the per-call
+//! median / mean / min are printed. Honoured environment and CLI knobs:
+//!
+//! * `--test` (passed by `cargo test --benches`): run every benchmark body
+//!   exactly once, as a smoke test.
+//! * `FEPIA_BENCH_MS`: per-benchmark measurement budget in milliseconds
+//!   (default 300).
+//!
+//! The statistical machinery of real criterion (bootstrap confidence
+//! intervals, regression detection, HTML reports) is intentionally absent.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Mode: when true, run the routine once and skip measurement.
+    test_mode: bool,
+    budget: Duration,
+    /// Collected per-call timings in nanoseconds (one entry per batch).
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-call nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // costs ≥ ~1 ms (or a single call already exceeds the threshold).
+        let mut batch: u64 = 1;
+        let calibration_floor = Duration::from_millis(1);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= calibration_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: fixed batches until the budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.budget || self.samples.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+            if self.samples.len() >= 500 {
+                break;
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput (printed per run).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored (shim compatibility): sample-count hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (shim compatibility): measurement-time hint.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark; `input` is passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (printing only; kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            budget: self.criterion.budget,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if b.test_mode {
+            println!("bench {full}: ok (test mode)");
+            return;
+        }
+        let mut xs = b.samples;
+        if xs.is_empty() {
+            println!("bench {full}: no samples (routine never called iter?)");
+            return;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = xs[xs.len() / 2];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let min = xs[0];
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1_000.0 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 * 1_000.0 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {full}: median {}  mean {}  min {}  ({} samples){thr}",
+            format_ns(median),
+            format_ns(mean),
+            format_ns(min),
+            xs.len()
+        );
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let budget_ms = std::env::var("FEPIA_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            test_mode,
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_once_in_test_mode() {
+        let mut b = Bencher {
+            test_mode: true,
+            budget: Duration::from_millis(1),
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.samples.len() >= 5);
+        assert!(b.samples.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 20).to_string(), "solve/20");
+        assert_eq!(BenchmarkId::from_parameter("l2").to_string(), "l2");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline shim for the `proptest 1` API subset the fepia workspace uses.
+//!
+//! Runs each property over a fixed number of pseudo-random cases (default 64,
+//! override with `PROPTEST_CASES`) drawn from a per-test deterministic seed.
+//! There is **no shrinking**: a failure reports the case index and message so
+//! the case can be replayed by running the test again (the sequence is
+//! deterministic).
+//!
+//! Supported surface: [`Strategy`] for numeric ranges, tuples (arity 2–4) and
+//! `prop::collection::vec`; the [`Strategy::prop_map`], [`Strategy::prop_filter`]
+//! and [`Strategy::prop_filter_map`] combinators; the [`proptest!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error type carried by a failing property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Result type property bodies evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The source of randomness handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (resamples; panics if the predicate
+    /// rejects too persistently).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Combined filter + map: `f` returns `None` to reject.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+const MAX_REJECTS: usize = 10_000;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected {MAX_REJECTS} samples: {}",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map rejected {MAX_REJECTS} samples: {}",
+            self.reason
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
+        pub trait SizeRange {
+            /// Draws a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for vectors whose elements come from `element`.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        /// `prop::collection::vec(element, len)` — vectors of `len` elements.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, Just, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one property: runs `body` over `case_count()` deterministic cases.
+/// Called by the [`proptest!`] macro expansion, not directly.
+pub fn run_property(test_name: &str, body: impl Fn(&mut TestRng) -> TestCaseResult) {
+    // Per-test deterministic seed, stable across runs and platforms.
+    let mut seed = 0xcbf29ce484222325u64; // FNV-1a
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    for case in 0..case_count() {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(case as u64));
+        if let Err(TestCaseError(msg)) = body(&mut rng) {
+            panic!("property {test_name} failed at case {case}: {msg}");
+        }
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}, {}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}: {} (left: {:?}, right: {:?}, {}:{})",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0.0..1.0f64, v in prop::collection::vec(0..10usize, 3)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vectors(
+            x in -2.0..2.0f64,
+            n in 1usize..5,
+            v in prop::collection::vec(0.0..1.0f64, 2..6),
+        ) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| (0.0..1.0).contains(&e)));
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in (0..10i64, 0..10i64), s in (1.0..2.0f64).prop_map(|x| x * 10.0)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!((10.0..20.0).contains(&s));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn filters(x in (0..100i32).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use super::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let strat = (0.0..1.0f64, 0usize..100);
+        let a: Vec<_> = {
+            let mut rng = TestRng::seed_from_u64(7);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::seed_from_u64(7);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case() {
+        super::run_property("always_fails", |_| Err(super::TestCaseError("nope".into())));
+    }
+}
