@@ -15,6 +15,7 @@ use fepia_etc::{
 };
 use fepia_mapping::heuristics::all_heuristics;
 use fepia_mapping::makespan_robustness;
+use fepia_par::{par_map_dynamic, ParConfig};
 use fepia_stats::{bootstrap_mean_ci, rng_for};
 
 fn instance(kind: &str, seed: u64) -> EtcMatrix {
@@ -71,16 +72,20 @@ fn main() {
             "heuristic", "makespan (95% CI)", "robustness ρ (95% CI)"
         );
         println!("{}", "-".repeat(78));
+        let ks: Vec<u64> = (0..instances as u64).collect();
         for h in all_heuristics(1_000) {
-            let mut makespans = Vec::with_capacity(instances);
-            let mut metrics = Vec::with_capacity(instances);
-            for k in 0..instances {
-                let etc = instance(kind, seed + k as u64);
-                let mapping = h.map(&etc, &mut rng_for(seed + k as u64, 1));
+            // Dynamic scheduling: instance cost varies wildly across
+            // heuristics (OLB vs. annealing), so let idle workers steal.
+            // Results come back in input order, so the CSV is unchanged.
+            let h_ref = &h;
+            let pairs = par_map_dynamic(&ks, &ParConfig::default(), move |_, &k| {
+                let etc = instance(kind, seed + k);
+                let mapping = h_ref.map(&etc, &mut rng_for(seed + k, 1));
                 let rob = makespan_robustness(&mapping, &etc, tau).expect("valid instance");
-                makespans.push(rob.makespan);
-                metrics.push(rob.metric);
-            }
+                (rob.makespan, rob.metric)
+            });
+            let makespans: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let metrics: Vec<f64> = pairs.iter().map(|p| p.1).collect();
             let mut rng = rng_for(seed, 777);
             let mk = bootstrap_mean_ci(&makespans, 2_000, 0.95, &mut rng);
             let rb = bootstrap_mean_ci(&metrics, 2_000, 0.95, &mut rng);

@@ -7,7 +7,7 @@
 
 use fepia_core::RadiusOptions;
 use fepia_hiperd::path::enumerate_paths;
-use fepia_hiperd::robustness::load_robustness_with_paths;
+use fepia_hiperd::robustness::compile_load_analysis;
 use fepia_hiperd::slack::system_slack_with_paths;
 use fepia_hiperd::{generate_system, GenParams, HiperdMapping, HiperdSystem};
 use fepia_par::{par_map_dynamic, ParConfig};
@@ -79,7 +79,10 @@ pub fn run(config: &Fig4Config) -> Fig4Data {
             sys_ref.n_machines,
         );
         let slack = system_slack_with_paths(sys_ref, &mapping, paths_ref);
-        let rob = load_robustness_with_paths(sys_ref, &mapping, paths_ref, &opts)
+        // Compiled path: constraints depend on the mapping, so each item
+        // compiles once; evaluation then runs the allocation-lean plan.
+        let rob = compile_load_analysis(sys_ref, &mapping, paths_ref, &opts)
+            .and_then(|compiled| compiled.evaluate())
             .expect("calibrated systems are well-posed");
         Fig4Point {
             index: i,

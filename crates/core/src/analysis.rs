@@ -8,8 +8,10 @@
 use crate::error::CoreError;
 use crate::feature::FeatureSpec;
 use crate::impact::Impact;
-use crate::perturbation::{Domain, Perturbation};
-use crate::radius::{robustness_radius, RadiusOptions, RadiusResult};
+use crate::perturbation::Perturbation;
+use crate::plan::AnalysisPlan;
+use crate::radius::{RadiusOptions, RadiusResult};
+use std::sync::{Arc, Mutex};
 
 /// One feature's radius within a full analysis.
 #[derive(Clone, Debug)]
@@ -64,9 +66,16 @@ impl RobustnessReport {
 
 /// A FePIA analysis under construction: one perturbation parameter plus the
 /// feature set `Φ` with impact functions.
+///
+/// Since the introduction of the compiled-plan layer ([`crate::plan`]) the
+/// impacts are held behind `Arc<dyn Impact>` so a compiled
+/// [`AnalysisPlan`] can share them without cloning, and the most recent
+/// compilation is cached per option set (invalidated whenever a feature is
+/// added).
 pub struct FepiaAnalysis {
     perturbation: Perturbation,
-    features: Vec<(FeatureSpec, Box<dyn Impact>)>,
+    features: Vec<(FeatureSpec, Arc<dyn Impact>)>,
+    plan_cache: Mutex<Option<(RadiusOptions, Arc<AnalysisPlan>)>>,
 }
 
 impl FepiaAnalysis {
@@ -75,19 +84,26 @@ impl FepiaAnalysis {
         FepiaAnalysis {
             perturbation,
             features: Vec::new(),
+            plan_cache: Mutex::new(None),
         }
     }
 
     /// Adds a feature `φᵢ` with its impact function `f_ij` (steps 1 and 3).
     pub fn add_feature(&mut self, spec: FeatureSpec, impact: impl Impact + 'static) -> &mut Self {
-        self.features.push((spec, Box::new(impact)));
+        self.features.push((spec, Arc::new(impact)));
+        self.invalidate_cache();
         self
     }
 
     /// Adds a boxed impact (for heterogeneous collections built elsewhere).
     pub fn add_feature_boxed(&mut self, spec: FeatureSpec, impact: Box<dyn Impact>) -> &mut Self {
-        self.features.push((spec, impact));
+        self.features.push((spec, Arc::from(impact)));
+        self.invalidate_cache();
         self
+    }
+
+    fn invalidate_cache(&mut self) {
+        *self.plan_cache.get_mut().expect("plan cache poisoned") = None;
     }
 
     /// Number of features added so far.
@@ -100,46 +116,52 @@ impl FepiaAnalysis {
         &self.perturbation
     }
 
+    /// Compiles the feature set into an [`AnalysisPlan`] (see
+    /// [`crate::plan`]): affine features are packed into one contiguous
+    /// block with pre-computed dual norms, numeric features get a reusable
+    /// solver workspace. The result is cached — repeated `compile` (and
+    /// [`run`](Self::run)) calls with equal options return the same
+    /// `Arc<AnalysisPlan>` without recompiling, counted under
+    /// `plan.cache.hits` / `plan.cache.misses` when `fepia-obs` is enabled.
+    pub fn compile(&self, opts: &RadiusOptions) -> Result<Arc<AnalysisPlan>, CoreError> {
+        {
+            let cache = self.plan_cache.lock().expect("plan cache poisoned");
+            if let Some((cached_opts, plan)) = cache.as_ref() {
+                if cached_opts == opts {
+                    if fepia_obs::enabled() {
+                        fepia_obs::global().counter("plan.cache.hits").inc();
+                    }
+                    return Ok(Arc::clone(plan));
+                }
+            }
+        }
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter("plan.cache.misses").inc();
+        }
+        let plan = Arc::new(AnalysisPlan::compile(
+            &self.perturbation,
+            &self.features,
+            opts,
+        )?);
+        *self.plan_cache.lock().expect("plan cache poisoned") =
+            Some((opts.clone(), Arc::clone(&plan)));
+        Ok(plan)
+    }
+
     /// Runs step 4: computes every radius and the metric (Eq. 2).
+    ///
+    /// Since the compiled-plan refactor this is a thin wrapper over
+    /// [`compile`](Self::compile) + [`AnalysisPlan::evaluate_report`]: the
+    /// numbers are bitwise identical to the historical per-feature loop
+    /// (the plan shares its code and float ordering), and repeated runs
+    /// reuse the cached plan.
     ///
     /// When `fepia-obs` is enabled, each run increments `core.analysis.runs`
     /// and emits one `analysis.run` event naming the binding feature.
     pub fn run(&self, opts: &RadiusOptions) -> Result<RobustnessReport, CoreError> {
         let _span = fepia_obs::span!("core.analysis.run");
-        if self.features.is_empty() {
-            return Err(CoreError::EmptyFeatureSet);
-        }
-        let mut radii = Vec::with_capacity(self.features.len());
-        for (spec, impact) in &self.features {
-            let result = robustness_radius(spec, impact.as_ref(), &self.perturbation, opts)?;
-            radii.push(FeatureRadius {
-                name: spec.name.clone(),
-                result,
-            });
-        }
-        let binding = radii
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.result
-                    .radius
-                    .partial_cmp(&b.result.radius)
-                    .expect("radius is never NaN")
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty radii");
-        let metric = radii[binding].result.radius;
-        let floored_metric = match self.perturbation.domain {
-            Domain::Discrete if metric.is_finite() => Some(metric.floor()),
-            Domain::Discrete => Some(metric),
-            Domain::Continuous => None,
-        };
-        let report = RobustnessReport {
-            radii,
-            metric,
-            binding,
-            floored_metric,
-        };
+        let plan = self.compile(opts)?;
+        let report = plan.evaluate_report(&self.perturbation.origin)?;
         if fepia_obs::enabled() {
             fepia_obs::global().counter("core.analysis.runs").inc();
             fepia_obs::Event::new("analysis.run")

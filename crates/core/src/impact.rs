@@ -16,7 +16,10 @@ use fepia_optim::VecN;
 
 /// An impact function `f_ij : R^n → R` mapping a perturbation-parameter
 /// value to a performance-feature value.
-pub trait Impact: Sync {
+///
+/// `Send + Sync` so compiled analysis plans (which hold impacts behind
+/// `Arc<dyn Impact>`) can be shared across the parallel sweep drivers.
+pub trait Impact: Send + Sync {
     /// Evaluates `f(π)`.
     fn eval(&self, pi: &VecN) -> f64;
 
@@ -128,21 +131,21 @@ impl Impact for SumSelected {
 }
 
 /// A boxed black-box gradient function.
-type BoxedGradient = Box<dyn Fn(&VecN) -> VecN + Sync>;
+type BoxedGradient = Box<dyn Fn(&VecN) -> VecN + Send + Sync>;
 
 /// A black-box impact function (with optional analytic gradient).
 ///
 /// Use for non-linear dependencies such as the convex complexity functions
 /// of §3.2 (`x^p`, `e^{px}`, `x log x`, sums and positive multiples).
 pub struct FnImpact {
-    f: Box<dyn Fn(&VecN) -> f64 + Sync>,
+    f: Box<dyn Fn(&VecN) -> f64 + Send + Sync>,
     grad: Option<BoxedGradient>,
     dim: Option<usize>,
 }
 
 impl FnImpact {
     /// Wraps an arbitrary function.
-    pub fn new(f: impl Fn(&VecN) -> f64 + Sync + 'static) -> Self {
+    pub fn new(f: impl Fn(&VecN) -> f64 + Send + Sync + 'static) -> Self {
         FnImpact {
             f: Box::new(f),
             grad: None,
@@ -151,7 +154,7 @@ impl FnImpact {
     }
 
     /// Attaches an analytic gradient.
-    pub fn with_gradient(mut self, g: impl Fn(&VecN) -> VecN + Sync + 'static) -> Self {
+    pub fn with_gradient(mut self, g: impl Fn(&VecN) -> VecN + Send + Sync + 'static) -> Self {
         self.grad = Some(Box::new(g));
         self
     }

@@ -22,6 +22,11 @@
 //! formula behind the paper's Eq. 6); everything else is solved numerically
 //! by `fepia-optim`'s min-norm level-set solver, valid for the convex impact
 //! functions the paper assumes in §3.2.
+//!
+//! For repeated evaluation (sweeps, search heuristics) compile the analysis
+//! once with [`analysis::FepiaAnalysis::compile`] and evaluate the resulting
+//! [`plan::AnalysisPlan`] at many origins — same numbers, none of the
+//! per-call dispatch and allocation.
 
 pub mod analysis;
 pub mod error;
@@ -30,6 +35,7 @@ pub mod impact;
 pub mod joint;
 pub mod multiparam;
 pub mod perturbation;
+pub mod plan;
 pub mod radius;
 pub mod report;
 
@@ -40,4 +46,5 @@ pub use impact::{FnImpact, Impact, LinearImpact, SumSelected};
 pub use joint::{JointAnalysis, PartId};
 pub use multiparam::MultiParamAnalysis;
 pub use perturbation::{Domain, Perturbation};
+pub use plan::{AnalysisPlan, PlanEvaluation, PlanWorkspace};
 pub use radius::{robustness_radius, Bound, RadiusMethod, RadiusOptions, RadiusResult};

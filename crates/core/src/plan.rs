@@ -1,0 +1,743 @@
+//! Compile-once analysis plans.
+//!
+//! [`FepiaAnalysis::run`](crate::analysis::FepiaAnalysis::run) resolves every
+//! feature through trait objects on each call: `as_affine()` clones
+//! coefficient vectors, the numeric solver rebuilds its probe directions,
+//! and the report allocates per feature. The paper's experiments (§4)
+//! evaluate the metric over 1000 random mappings per system and the search
+//! heuristics call it once per candidate move, so that per-call work
+//! dominates. [`AnalysisPlan`] moves it to compile time:
+//!
+//! * **Affine features** are packed into one contiguous structure-of-arrays
+//!   block ([`CompiledAffine`]): coefficients row-major, constants and
+//!   pre-computed dual norms alongside. Evaluating a block row is a dot
+//!   product, a residual and a division — no allocation, no virtual call.
+//! * **Numeric features** ([`CompiledNumeric`]) keep their impact behind an
+//!   `Arc<dyn Impact>` and run through the same
+//!   [`radius_inner`](crate::radius) code path as the legacy API, with a
+//!   reusable [`fepia_optim::SolverWorkspace`] so repeated solves skip the
+//!   probe-direction setup.
+//!
+//! **Invariant:** for any origin, plan evaluation is *bitwise identical* to
+//! the legacy per-feature [`crate::robustness_radius`] loop — the affine
+//! block performs the same float operations in the same order, and the
+//! numeric entries literally share the legacy code. Property tests in the
+//! workspace root pin this.
+//!
+//! The plan is immutable, `Send + Sync`, and shared via `Arc`, so parallel
+//! sweeps ([`AnalysisPlan::evaluate_batch_par`]) compile once and evaluate
+//! everywhere; per-worker mutable scratch lives in [`PlanWorkspace`].
+
+use crate::analysis::{FeatureRadius, RobustnessReport};
+use crate::error::CoreError;
+use crate::feature::FeatureSpec;
+use crate::impact::Impact;
+use crate::perturbation::{Domain, Perturbation};
+use crate::radius::{
+    affine_bound_radius, dual_norm, radius_inner, record_radius, Bound, RadiusMethod,
+    RadiusOptions, RadiusResult,
+};
+use fepia_optim::{Norm, OptimError, SolverWorkspace, VecN};
+use fepia_par::{par_map_dynamic_with, ParConfig};
+use std::sync::Arc;
+
+/// Where a feature landed after compilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Row index into the [`CompiledAffine`] block.
+    Affine(usize),
+    /// Index into the [`CompiledNumeric`] entries.
+    Numeric(usize),
+}
+
+/// One compiled feature: its spec plus the slot holding its evaluator.
+struct PlanFeature {
+    spec: FeatureSpec,
+    slot: Slot,
+}
+
+/// All affine features of a plan, packed as a structure-of-arrays: row `r`
+/// is `f(π) = coeffs[r·dim .. (r+1)·dim] · π + constants[r]`, with the dual
+/// norm `‖a_r‖_*` (under the plan's norm) pre-computed in `duals[r]` by a
+/// single pass at compile time.
+struct CompiledAffine {
+    dim: usize,
+    coeffs: Vec<f64>,
+    constants: Vec<f64>,
+    duals: Vec<f64>,
+}
+
+impl CompiledAffine {
+    fn rows(&self) -> usize {
+        self.constants.len()
+    }
+
+    fn row(&self, r: usize) -> &[f64] {
+        &self.coeffs[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// `a_r · π + c_r`, with the multiply/add order of [`VecN::dot`] so the
+    /// result is bitwise identical to the legacy `LinearImpact::eval`.
+    fn eval(&self, r: usize, origin: &VecN) -> f64 {
+        let dot: f64 = self
+            .row(r)
+            .iter()
+            .zip(origin.as_slice().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        dot + self.constants[r]
+    }
+}
+
+/// One non-affine feature: the impact function and its pre-built problem
+/// context (level-set problems are constructed per evaluation because they
+/// borrow the origin, but the solver workspace is reused).
+struct CompiledNumeric {
+    impact: Arc<dyn Impact>,
+}
+
+/// Mutable per-evaluation-context scratch for plan evaluation. One per
+/// thread; create with [`AnalysisPlan::workspace`] (or `Default`).
+#[derive(Default)]
+pub struct PlanWorkspace {
+    solver: SolverWorkspace,
+}
+
+impl PlanWorkspace {
+    /// An empty workspace; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        PlanWorkspace::default()
+    }
+}
+
+/// The metric-level result of one plan evaluation (no per-feature allocation
+/// beyond the radii vector).
+#[derive(Clone, Debug)]
+pub struct PlanEvaluation {
+    /// Per-feature robustness radii, in feature insertion order.
+    pub radii: Vec<f64>,
+    /// `ρ_μ(Φ, πⱼ) = min_i r_μ(φᵢ, πⱼ)`.
+    pub metric: f64,
+    /// Index of the binding (first minimal) feature.
+    pub binding: usize,
+    /// Floored metric for discrete perturbation domains, `None` otherwise.
+    pub floored_metric: Option<f64>,
+    /// True if any feature violates its tolerance at the evaluated origin.
+    pub any_violated: bool,
+}
+
+impl PlanEvaluation {
+    /// The metric to quote: floored for discrete parameters, raw otherwise.
+    pub fn effective_metric(&self) -> f64 {
+        self.floored_metric.unwrap_or(self.metric)
+    }
+}
+
+/// A compiled, immutable, shareable FePIA analysis: compile once with
+/// [`crate::FepiaAnalysis::compile`], evaluate at any number of origins.
+pub struct AnalysisPlan {
+    perturbation: Perturbation,
+    features: Vec<PlanFeature>,
+    affine: CompiledAffine,
+    numeric: Vec<CompiledNumeric>,
+    opts: RadiusOptions,
+}
+
+impl std::fmt::Debug for AnalysisPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisPlan")
+            .field("perturbation", &self.perturbation.name)
+            .field("features", &self.features.len())
+            .field("affine", &self.affine.rows())
+            .field("numeric", &self.numeric.len())
+            .finish()
+    }
+}
+
+impl AnalysisPlan {
+    /// Compiles `features` against `perturbation` under `opts`.
+    ///
+    /// Fails fast on conditions the legacy path would only hit at run time:
+    /// an empty feature set, impact/perturbation dimension mismatches, and
+    /// non-affine impacts under a non-ℓ₂ norm (which the numeric solver
+    /// cannot handle).
+    pub(crate) fn compile(
+        perturbation: &Perturbation,
+        features: &[(FeatureSpec, Arc<dyn Impact>)],
+        opts: &RadiusOptions,
+    ) -> Result<AnalysisPlan, CoreError> {
+        let _span = fepia_obs::span!("core.plan.compile");
+        if features.is_empty() {
+            return Err(CoreError::EmptyFeatureSet);
+        }
+        let dim = perturbation.origin.dim();
+        let mut plan_features = Vec::with_capacity(features.len());
+        let mut affine = CompiledAffine {
+            dim,
+            coeffs: Vec::new(),
+            constants: Vec::new(),
+            duals: Vec::new(),
+        };
+        let mut affine_rows: Vec<VecN> = Vec::new();
+        let mut numeric = Vec::new();
+        for (spec, impact) in features {
+            if let Some(expected) = impact.expected_dim() {
+                if expected != dim {
+                    return Err(CoreError::DimensionMismatch {
+                        perturbation: dim,
+                        expected,
+                    });
+                }
+            }
+            let slot = match impact.as_affine() {
+                Some((a, c)) => {
+                    if a.dim() != dim {
+                        return Err(CoreError::DimensionMismatch {
+                            perturbation: dim,
+                            expected: a.dim(),
+                        });
+                    }
+                    let row = affine.rows();
+                    affine.coeffs.extend_from_slice(a.as_slice());
+                    affine.constants.push(c);
+                    affine_rows.push(a);
+                    Slot::Affine(row)
+                }
+                None => {
+                    if !matches!(opts.norm, Norm::L2) {
+                        return Err(CoreError::UnsupportedNorm {
+                            norm: opts.norm.name(),
+                        });
+                    }
+                    numeric.push(CompiledNumeric {
+                        impact: Arc::clone(impact),
+                    });
+                    Slot::Numeric(numeric.len() - 1)
+                }
+            };
+            plan_features.push(PlanFeature {
+                spec: spec.clone(),
+                slot,
+            });
+        }
+        // Single dual-norm pass over the whole block.
+        affine.duals = affine_rows
+            .iter()
+            .map(|a| dual_norm(&opts.norm, a))
+            .collect();
+
+        if fepia_obs::enabled() {
+            let reg = fepia_obs::global();
+            reg.counter("plan.compiles").inc();
+            reg.counter("plan.compiled.affine")
+                .add(affine.rows() as u64);
+            reg.counter("plan.compiled.numeric")
+                .add(numeric.len() as u64);
+        }
+        Ok(AnalysisPlan {
+            perturbation: perturbation.clone(),
+            features: plan_features,
+            affine,
+            numeric,
+            opts: opts.clone(),
+        })
+    }
+
+    /// The perturbation the plan was compiled against (its origin is the
+    /// default evaluation point).
+    pub fn perturbation(&self) -> &Perturbation {
+        &self.perturbation
+    }
+
+    /// The options the plan was compiled under.
+    pub fn options(&self) -> &RadiusOptions {
+        &self.opts
+    }
+
+    /// Number of features in the plan.
+    pub fn feature_count(&self) -> usize {
+        self.features.len()
+    }
+
+    /// How many features compiled into the affine block.
+    pub fn affine_count(&self) -> usize {
+        self.affine.rows()
+    }
+
+    /// How many features require the numeric solver.
+    pub fn numeric_count(&self) -> usize {
+        self.numeric.len()
+    }
+
+    /// Feature names, in insertion order.
+    pub fn feature_names(&self) -> impl Iterator<Item = &str> {
+        self.features.iter().map(|f| f.spec.name.as_str())
+    }
+
+    /// A fresh evaluation workspace for this plan.
+    pub fn workspace(&self) -> PlanWorkspace {
+        PlanWorkspace::new()
+    }
+
+    /// One feature's full radius result at `origin`.
+    ///
+    /// This mirrors `radius_inner` branch for branch; the affine arm redoes
+    /// its float operations against the packed block (bitwise identical),
+    /// the numeric arm *is* `radius_inner`. `want_point` gates the only
+    /// allocating step of the affine arm (the ℓ₂ boundary projection).
+    fn eval_feature(
+        &self,
+        idx: usize,
+        origin: &VecN,
+        ws: &mut PlanWorkspace,
+        want_point: bool,
+    ) -> Result<RadiusResult, CoreError> {
+        let feature = &self.features[idx];
+        let tol = feature.spec.tolerance;
+        match feature.slot {
+            Slot::Numeric(k) => radius_inner(
+                &feature.spec,
+                self.numeric[k].impact.as_ref(),
+                origin,
+                &self.opts,
+                &mut ws.solver,
+            ),
+            Slot::Affine(r) => {
+                let f_orig = self.affine.eval(r, origin);
+                if !f_orig.is_finite() {
+                    return Err(CoreError::Optim(OptimError::NonFinite));
+                }
+                if !tol.contains(f_orig) {
+                    return Ok(RadiusResult {
+                        radius: 0.0,
+                        boundary_point: want_point.then(|| origin.clone()),
+                        bound: Some(if f_orig > tol.max {
+                            Bound::Max
+                        } else {
+                            Bound::Min
+                        }),
+                        violated: true,
+                        method: RadiusMethod::Analytic,
+                        iterations: 0,
+                        f_evals: 1,
+                    });
+                }
+                if tol.min == tol.max {
+                    // Degenerate tolerance: origin on the only boundary.
+                    return Ok(RadiusResult {
+                        radius: 0.0,
+                        boundary_point: want_point.then(|| origin.clone()),
+                        bound: Some(Bound::Max),
+                        violated: false,
+                        method: RadiusMethod::Analytic,
+                        iterations: 0,
+                        f_evals: 1,
+                    });
+                }
+                let dual = self.affine.duals[r];
+                let mut best: Option<(f64, Bound)> = None;
+                let mut consider = |radius: f64, bound: Bound| {
+                    if best.as_ref().is_none_or(|(b, _)| radius < *b) {
+                        best = Some((radius, bound));
+                    }
+                };
+                // Same residual arithmetic as `affine_bound_radius`: the
+                // legacy path computes `(a·π + c) − β` left to right, and
+                // `f_orig` above is `(a·π) + c` with the identical dot, so
+                // `f_orig − β` is bitwise equal to the legacy residual.
+                let bound_radius = |beta: f64| -> f64 {
+                    if dual <= f64::EPSILON {
+                        return f64::INFINITY;
+                    }
+                    let residual = f_orig - beta;
+                    residual.abs() / dual
+                };
+                if tol.has_upper() {
+                    let radius = bound_radius(tol.max);
+                    consider(radius, Bound::Max);
+                }
+                if tol.has_lower() {
+                    let radius = bound_radius(tol.min);
+                    consider(radius, Bound::Min);
+                }
+                Ok(match best {
+                    Some((radius, bound)) if radius.is_finite() => {
+                        let boundary_point = if want_point {
+                            let beta = match bound {
+                                Bound::Max => tol.max,
+                                Bound::Min => tol.min,
+                            };
+                            let a = VecN::from(self.affine.row(r));
+                            affine_bound_radius(
+                                &a,
+                                self.constants_at(r),
+                                beta,
+                                origin,
+                                &self.opts.norm,
+                            )
+                            .1
+                        } else {
+                            None
+                        };
+                        RadiusResult {
+                            radius,
+                            boundary_point,
+                            bound: Some(bound),
+                            violated: false,
+                            method: RadiusMethod::Analytic,
+                            iterations: 0,
+                            f_evals: 1,
+                        }
+                    }
+                    _ => RadiusResult {
+                        radius: f64::INFINITY,
+                        boundary_point: None,
+                        bound: None,
+                        violated: false,
+                        method: RadiusMethod::Unbounded,
+                        iterations: 0,
+                        f_evals: 1,
+                    },
+                })
+            }
+        }
+    }
+
+    fn constants_at(&self, r: usize) -> f64 {
+        self.affine.constants[r]
+    }
+
+    /// Evaluates the metric at `origin` with caller-provided scratch. The
+    /// core fast path: one allocation (the radii vector) per call.
+    pub fn evaluate_with(
+        &self,
+        origin: &VecN,
+        ws: &mut PlanWorkspace,
+    ) -> Result<PlanEvaluation, CoreError> {
+        self.check_dim(origin)?;
+        let mut radii = Vec::with_capacity(self.features.len());
+        let mut any_violated = false;
+        for idx in 0..self.features.len() {
+            let r = self.eval_feature(idx, origin, ws, false)?;
+            any_violated |= r.violated;
+            radii.push(r.radius);
+        }
+        let binding = first_min_index(&radii);
+        let metric = radii[binding];
+        let floored_metric = floored(self.perturbation.domain, metric);
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter("plan.eval.full").inc();
+        }
+        Ok(PlanEvaluation {
+            radii,
+            metric,
+            binding,
+            floored_metric,
+            any_violated,
+        })
+    }
+
+    /// [`Self::evaluate_with`] with a throwaway workspace.
+    pub fn evaluate(&self, origin: &VecN) -> Result<PlanEvaluation, CoreError> {
+        let mut ws = self.workspace();
+        self.evaluate_with(origin, &mut ws)
+    }
+
+    /// Evaluates the plan at every origin, sequentially, sharing one
+    /// workspace across the whole batch.
+    pub fn evaluate_batch(&self, origins: &[VecN]) -> Result<Vec<PlanEvaluation>, CoreError> {
+        let _span = fepia_obs::span!("core.plan.batch");
+        let mut ws = self.workspace();
+        let out: Result<Vec<_>, _> = origins
+            .iter()
+            .map(|origin| self.evaluate_with(origin, &mut ws))
+            .collect();
+        if fepia_obs::enabled() {
+            fepia_obs::global()
+                .counter("plan.eval.batch.items")
+                .add(origins.len() as u64);
+        }
+        out
+    }
+
+    /// Parallel batch evaluation over the `fepia-par` dynamic driver: one
+    /// [`PlanWorkspace`] per worker, results in input order, bitwise
+    /// identical to [`Self::evaluate_batch`] for any thread count.
+    pub fn evaluate_batch_par(
+        &self,
+        origins: &[VecN],
+        cfg: &ParConfig,
+    ) -> Result<Vec<PlanEvaluation>, CoreError> {
+        let _span = fepia_obs::span!("core.plan.batch");
+        let out: Result<Vec<_>, _> =
+            par_map_dynamic_with(origins, cfg, PlanWorkspace::new, |ws, _i, origin: &VecN| {
+                self.evaluate_with(origin, ws)
+            })
+            .into_iter()
+            .collect();
+        if fepia_obs::enabled() {
+            fepia_obs::global()
+                .counter("plan.eval.batch.items")
+                .add(origins.len() as u64);
+        }
+        out
+    }
+
+    /// Full-report evaluation (boundary points included) — the engine behind
+    /// the legacy [`crate::FepiaAnalysis::run`]. Emits the same per-feature
+    /// `radius.computed` events / dispatch counters as the one-shot
+    /// `robustness_radius` path (the batch/metric-only entry points stay
+    /// event-free).
+    pub fn evaluate_report(&self, origin: &VecN) -> Result<RobustnessReport, CoreError> {
+        self.check_dim(origin)?;
+        let mut ws = self.workspace();
+        let mut radii = Vec::with_capacity(self.features.len());
+        for (idx, feature) in self.features.iter().enumerate() {
+            let result = self.eval_feature(idx, origin, &mut ws, true)?;
+            if fepia_obs::enabled() {
+                record_radius(&feature.spec, &result);
+            }
+            radii.push(FeatureRadius {
+                name: feature.spec.name.clone(),
+                result,
+            });
+        }
+        let binding = first_min_index_by(&radii, |fr| fr.result.radius);
+        let metric = radii[binding].result.radius;
+        let floored_metric = floored(self.perturbation.domain, metric);
+        Ok(RobustnessReport {
+            radii,
+            metric,
+            binding,
+            floored_metric,
+        })
+    }
+
+    fn check_dim(&self, origin: &VecN) -> Result<(), CoreError> {
+        if origin.dim() != self.affine.dim {
+            return Err(CoreError::DimensionMismatch {
+                perturbation: origin.dim(),
+                expected: self.affine.dim,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Index of the first minimum (the tie-break `Iterator::min_by` uses, which
+/// the legacy binding-feature selection relies on).
+fn first_min_index(radii: &[f64]) -> usize {
+    first_min_index_by(radii, |r| *r)
+}
+
+fn first_min_index_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> usize {
+    items
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("radius is never NaN"))
+        .map(|(i, _)| i)
+        .expect("non-empty feature set")
+}
+
+fn floored(domain: Domain, metric: f64) -> Option<f64> {
+    match domain {
+        Domain::Discrete if metric.is_finite() => Some(metric.floor()),
+        Domain::Discrete => Some(metric),
+        Domain::Continuous => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FepiaAnalysis;
+    use crate::feature::Tolerance;
+    use crate::impact::{FnImpact, LinearImpact, SumSelected};
+    use crate::robustness_radius;
+
+    fn mixed_analysis() -> FepiaAnalysis {
+        let pert = Perturbation::continuous("p", VecN::from([1.0, 2.0, 3.0]));
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("lin", Tolerance::upper(30.0)),
+            LinearImpact::new(VecN::from([2.0, 1.0, 0.5]), 1.0),
+        );
+        a.add_feature(
+            FeatureSpec::new("sum", Tolerance::new(1.0, 40.0).unwrap()),
+            SumSelected::new(vec![0, 2], 3),
+        );
+        a.add_feature(
+            FeatureSpec::new("quad", Tolerance::upper(60.0)),
+            FnImpact::new(|v: &VecN| v.dot(v)).with_dim(3),
+        );
+        a
+    }
+
+    #[test]
+    fn plan_matches_legacy_bitwise() {
+        let analysis = mixed_analysis();
+        let opts = RadiusOptions::default();
+        let plan = analysis.compile(&opts).unwrap();
+        assert_eq!(plan.feature_count(), 3);
+        assert_eq!(plan.affine_count(), 2);
+        assert_eq!(plan.numeric_count(), 1);
+
+        let origin = analysis.perturbation().origin.clone();
+        let eval = plan.evaluate(&origin).unwrap();
+        let report = analysis.run(&opts).unwrap();
+        assert_eq!(eval.radii.len(), report.radii.len());
+        for (fast, legacy) in eval.radii.iter().zip(report.radii.iter()) {
+            assert_eq!(fast.to_bits(), legacy.result.radius.to_bits());
+        }
+        assert_eq!(eval.metric.to_bits(), report.metric.to_bits());
+        assert_eq!(eval.binding, report.binding);
+    }
+
+    #[test]
+    fn batch_matches_single_evaluations() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        let origins: Vec<VecN> = (0..8)
+            .map(|i| VecN::from([1.0 + i as f64 * 0.1, 2.0, 3.0 - i as f64 * 0.05]))
+            .collect();
+        let batch = plan.evaluate_batch(&origins).unwrap();
+        for (origin, b) in origins.iter().zip(batch.iter()) {
+            let single = plan.evaluate(origin).unwrap();
+            assert_eq!(b.metric.to_bits(), single.metric.to_bits());
+        }
+        let par = plan
+            .evaluate_batch_par(&origins, &ParConfig::with_threads(2))
+            .unwrap();
+        for (a, b) in batch.iter().zip(par.iter()) {
+            assert_eq!(a.metric.to_bits(), b.metric.to_bits());
+            assert_eq!(a.binding, b.binding);
+        }
+    }
+
+    #[test]
+    fn report_matches_per_feature_path() {
+        let analysis = mixed_analysis();
+        let opts = RadiusOptions::default();
+        let plan = analysis.compile(&opts).unwrap();
+        let pert = analysis.perturbation().clone();
+        let report = plan.evaluate_report(&pert.origin).unwrap();
+        // Against the true legacy path: robustness_radius per feature.
+        let legacy_lin = robustness_radius(
+            &FeatureSpec::new("lin", Tolerance::upper(30.0)),
+            &LinearImpact::new(VecN::from([2.0, 1.0, 0.5]), 1.0),
+            &pert,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(
+            report.radii[0].result.radius.to_bits(),
+            legacy_lin.radius.to_bits()
+        );
+        assert_eq!(
+            report.radii[0].result.boundary_point,
+            legacy_lin.boundary_point
+        );
+        let legacy_quad = robustness_radius(
+            &FeatureSpec::new("quad", Tolerance::upper(60.0)),
+            &FnImpact::new(|v: &VecN| v.dot(v)).with_dim(3),
+            &pert,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(
+            report.radii[2].result.radius.to_bits(),
+            legacy_quad.radius.to_bits()
+        );
+    }
+
+    #[test]
+    fn compile_rejects_bad_inputs() {
+        let pert = Perturbation::continuous("p", VecN::zeros(2));
+        let empty = FepiaAnalysis::new(pert.clone());
+        assert_eq!(
+            empty.compile(&RadiusOptions::default()).unwrap_err(),
+            CoreError::EmptyFeatureSet
+        );
+
+        let mut wrong_dim = FepiaAnalysis::new(pert.clone());
+        wrong_dim.add_feature(
+            FeatureSpec::new("f", Tolerance::upper(1.0)),
+            LinearImpact::homogeneous(VecN::from([1.0, 1.0, 1.0])),
+        );
+        assert!(matches!(
+            wrong_dim.compile(&RadiusOptions::default()).unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
+
+        let mut nonlinear = FepiaAnalysis::new(pert);
+        nonlinear.add_feature(
+            FeatureSpec::new("f", Tolerance::upper(1.0)),
+            FnImpact::new(|v: &VecN| v.dot(v)).with_dim(2),
+        );
+        let opts = RadiusOptions {
+            norm: Norm::L1,
+            solver: Default::default(),
+        };
+        assert_eq!(
+            nonlinear.compile(&opts).unwrap_err(),
+            CoreError::UnsupportedNorm { norm: "l1" }
+        );
+    }
+
+    #[test]
+    fn evaluate_checks_origin_dimension() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        assert!(matches!(
+            plan.evaluate(&VecN::zeros(2)).unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_and_violated_features_in_plan() {
+        let pert = Perturbation::continuous("p", VecN::from([2.0, 3.0]));
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("on-boundary", Tolerance::new(5.0, 5.0).unwrap()),
+            LinearImpact::new(VecN::from([1.0, 1.0]), 0.0),
+        );
+        a.add_feature(
+            FeatureSpec::new("violated", Tolerance::upper(1.0)),
+            LinearImpact::new(VecN::from([1.0, 1.0]), 0.0),
+        );
+        let plan = a.compile(&RadiusOptions::default()).unwrap();
+        let eval = plan.evaluate(&VecN::from([2.0, 3.0])).unwrap();
+        assert_eq!(eval.radii, vec![0.0, 0.0]);
+        assert!(eval.any_violated);
+        assert_eq!(eval.metric, 0.0);
+        assert_eq!(eval.binding, 0);
+    }
+
+    #[test]
+    fn infinite_radius_feature_unbounded() {
+        let pert = Perturbation::continuous("p", VecN::zeros(2));
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("const", Tolerance::upper(5.0)),
+            LinearImpact::new(VecN::zeros(2), 1.0),
+        );
+        let plan = a.compile(&RadiusOptions::default()).unwrap();
+        let eval = plan.evaluate(&VecN::zeros(2)).unwrap();
+        assert_eq!(eval.metric, f64::INFINITY);
+    }
+
+    #[test]
+    fn discrete_domain_floors_plan_metric() {
+        let pert = Perturbation::discrete("λ", VecN::from([0.0]));
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("T", Tolerance::upper(7.5)),
+            LinearImpact::homogeneous(VecN::from([2.0])),
+        );
+        let plan = a.compile(&RadiusOptions::default()).unwrap();
+        let eval = plan.evaluate(&VecN::from([0.0])).unwrap();
+        assert_eq!(eval.floored_metric, Some(3.0));
+        assert_eq!(eval.effective_metric(), 3.0);
+    }
+}

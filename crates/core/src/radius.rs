@@ -14,7 +14,8 @@ use crate::feature::FeatureSpec;
 use crate::impact::Impact;
 use crate::perturbation::Perturbation;
 use fepia_optim::{
-    min_norm_to_level_set, Hyperplane, LevelSetProblem, Norm, OptimError, SolverOptions, VecN,
+    min_norm_to_level_set_with, Hyperplane, LevelSetProblem, Norm, OptimError, SolverOptions,
+    SolverWorkspace, VecN,
 };
 
 /// Which boundary relationship produced the radius.
@@ -38,7 +39,9 @@ pub enum RadiusMethod {
 }
 
 /// Options controlling the radius computation.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` so compiled plans can be cached per option set.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RadiusOptions {
     /// The norm measuring perturbation size. The paper uses ℓ₂; other norms
     /// are supported for affine impacts only.
@@ -81,7 +84,7 @@ pub struct RadiusResult {
 
 /// The dual norm `‖a‖_*` used in the point-to-hyperplane distance
 /// `|residual| / ‖a‖_*` under the primal norm.
-fn dual_norm(norm: &Norm, a: &VecN) -> f64 {
+pub(crate) fn dual_norm(norm: &Norm, a: &VecN) -> f64 {
     match norm {
         Norm::L1 => a.norm_linf(),
         Norm::L2 => a.norm_l2(),
@@ -103,7 +106,7 @@ fn dual_norm(norm: &Norm, a: &VecN) -> f64 {
 
 /// Distance (under `opts.norm`) from `π_orig` to one affine boundary
 /// `a·π + c = β`, plus the ℓ₂ closest point when applicable.
-fn affine_bound_radius(
+pub(crate) fn affine_bound_radius(
     a: &VecN,
     c: f64,
     beta: f64,
@@ -131,12 +134,13 @@ fn affine_bound_radius(
 /// Numeric radius toward one boundary: `min ‖π − π_orig‖₂ s.t. f(π) = β`,
 /// where `direction = +1` solves toward an upper bound (`f(orig) < β`) and
 /// `direction = −1` toward a lower bound (`f(orig) > β`, solved on `−f`).
-fn numeric_bound_radius(
+pub(crate) fn numeric_bound_radius(
     impact: &dyn Impact,
     beta: f64,
     origin: &VecN,
     direction: f64,
     solver: &SolverOptions,
+    ws: &mut SolverWorkspace,
 ) -> Result<(f64, Option<VecN>, usize, u64), CoreError> {
     let f = |pi: &VecN| direction * impact.eval(pi);
     let has_grad = impact.gradient(origin).is_some();
@@ -152,7 +156,7 @@ fn numeric_bound_radius(
         origin,
         level: direction * beta,
     };
-    match min_norm_to_level_set(&problem, solver) {
+    match min_norm_to_level_set_with(&problem, solver, ws) {
         Ok(sol) => Ok((sol.radius, Some(sol.point), sol.iterations, sol.f_evals)),
         Err(OptimError::Unreachable) => Ok((f64::INFINITY, None, 0, 0)),
         Err(e) => Err(CoreError::Optim(e)),
@@ -172,7 +176,8 @@ pub fn robustness_radius(
     opts: &RadiusOptions,
 ) -> Result<RadiusResult, CoreError> {
     let _span = fepia_obs::span!("core.radius");
-    let result = radius_inner(feature, impact, perturbation, opts);
+    let mut ws = SolverWorkspace::new();
+    let result = radius_inner(feature, impact, &perturbation.origin, opts, &mut ws);
     if fepia_obs::enabled() {
         if let Ok(r) = &result {
             record_radius(feature, r);
@@ -183,7 +188,7 @@ pub fn robustness_radius(
     result
 }
 
-fn record_radius(feature: &FeatureSpec, r: &RadiusResult) {
+pub(crate) fn record_radius(feature: &FeatureSpec, r: &RadiusResult) {
     let reg = fepia_obs::global();
     let method = match r.method {
         RadiusMethod::Analytic => "analytic",
@@ -212,13 +217,16 @@ fn record_radius(feature: &FeatureSpec, r: &RadiusResult) {
         .emit();
 }
 
-fn radius_inner(
+/// The radius computation proper, at an arbitrary origin and with a
+/// caller-provided solver workspace (shared with the compiled-plan path in
+/// [`crate::plan`], which must stay bitwise identical to this function).
+pub(crate) fn radius_inner(
     feature: &FeatureSpec,
     impact: &dyn Impact,
-    perturbation: &Perturbation,
+    origin: &VecN,
     opts: &RadiusOptions,
+    ws: &mut SolverWorkspace,
 ) -> Result<RadiusResult, CoreError> {
-    let origin = &perturbation.origin;
     if let Some(expected) = impact.expected_dim() {
         if expected != origin.dim() {
             return Err(CoreError::DimensionMismatch {
@@ -244,6 +252,22 @@ fn radius_inner(
                 Bound::Min
             }),
             violated: true,
+            method: RadiusMethod::Analytic,
+            iterations: 0,
+            f_evals: 1,
+        });
+    }
+    if tol.min == tol.max {
+        // Degenerate tolerance ⟨β, β⟩ with f(π_orig) = β: the origin lies on
+        // the (only) boundary relationship, so the nearest boundary point is
+        // π_orig itself and the radius is exactly 0 — for *any* impact
+        // function, including constant ones whose level set is all of Rⁿ.
+        // Resolved here so the answer never depends on solver behavior.
+        return Ok(RadiusResult {
+            radius: 0.0,
+            boundary_point: Some(origin.clone()),
+            bound: Some(Bound::Max),
+            violated: false,
             method: RadiusMethod::Analytic,
             iterations: 0,
             f_evals: 1,
@@ -281,14 +305,14 @@ fn radius_inner(
         None => {
             if tol.has_upper() {
                 let (r, p, it, fe) =
-                    numeric_bound_radius(impact, tol.max, origin, 1.0, &opts.solver)?;
+                    numeric_bound_radius(impact, tol.max, origin, 1.0, &opts.solver, ws)?;
                 iterations += it;
                 f_evals += fe;
                 consider(r, p, Bound::Max);
             }
             if tol.has_lower() {
                 let (r, p, it, fe) =
-                    numeric_bound_radius(impact, tol.min, origin, -1.0, &opts.solver)?;
+                    numeric_bound_radius(impact, tol.min, origin, -1.0, &opts.solver, ws)?;
                 iterations += it;
                 f_evals += fe;
                 consider(r, p, Bound::Min);
@@ -495,6 +519,49 @@ mod tests {
                 expected: 2
             }
         );
+    }
+
+    #[test]
+    fn degenerate_tolerance_on_boundary_is_zero() {
+        // β^min = β^max = f(π_orig): the origin sits on the only admissible
+        // value, so the radius is 0 with a well-defined bound — never a
+        // solver-dependent answer. Checked for affine, black-box numeric and
+        // constant impacts.
+        let pert = Perturbation::continuous("p", VecN::from([2.0, 3.0]));
+        let affine = LinearImpact::new(VecN::from([1.0, 1.0]), 0.0);
+        let blackbox = FnImpact::new(|v: &VecN| v[0] + v[1]).with_dim(2);
+        let constant = LinearImpact::new(VecN::zeros(2), 5.0);
+        for (impact, level) in [
+            (&affine as &dyn Impact, 5.0),
+            (&blackbox as &dyn Impact, 5.0),
+            (&constant as &dyn Impact, 5.0),
+        ] {
+            let f = feat(level, level);
+            let r = robustness_radius(&f, impact, &pert, &RadiusOptions::default()).unwrap();
+            assert_eq!(r.radius, 0.0);
+            assert_eq!(r.bound, Some(Bound::Max));
+            assert!(!r.violated);
+            assert_eq!(r.method, RadiusMethod::Analytic);
+            assert_eq!(r.boundary_point.as_ref().unwrap(), &pert.origin);
+            assert_eq!(r.f_evals, 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_tolerance_off_boundary_is_violated() {
+        // β^min = β^max ≠ f(π_orig): already outside the tolerable region.
+        let pert = Perturbation::continuous("p", VecN::from([2.0, 3.0]));
+        let impact = LinearImpact::new(VecN::from([1.0, 1.0]), 0.0); // f = 5
+        let above =
+            robustness_radius(&feat(4.0, 4.0), &impact, &pert, &RadiusOptions::default()).unwrap();
+        assert_eq!(above.radius, 0.0);
+        assert!(above.violated);
+        assert_eq!(above.bound, Some(Bound::Max));
+        let below =
+            robustness_radius(&feat(6.0, 6.0), &impact, &pert, &RadiusOptions::default()).unwrap();
+        assert_eq!(below.radius, 0.0);
+        assert!(below.violated);
+        assert_eq!(below.bound, Some(Bound::Min));
     }
 
     #[test]

@@ -42,5 +42,7 @@ pub use loadfn::{LoadFn, Shape};
 pub use mapping::HiperdMapping;
 pub use model::{Edge, HiperdSystem, Node, Sensor};
 pub use path::{Path, Terminal};
-pub use robustness::{load_robustness, HiperdRobustness};
+pub use robustness::{
+    compile_load_analysis, load_robustness, CompiledLoadAnalysis, HiperdRobustness,
+};
 pub use slack::system_slack;

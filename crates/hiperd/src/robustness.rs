@@ -16,10 +16,11 @@ use crate::mapping::HiperdMapping;
 use crate::model::{HiperdSystem, Node};
 use crate::path::{app_rates, enumerate_paths, Path};
 use fepia_core::{
-    CoreError, FeatureSpec, FepiaAnalysis, Impact, Perturbation, RadiusOptions, RobustnessReport,
-    Tolerance,
+    AnalysisPlan, CoreError, FeatureSpec, FepiaAnalysis, Impact, Perturbation, PlanEvaluation,
+    PlanWorkspace, RadiusOptions, RobustnessReport, Tolerance,
 };
 use fepia_optim::VecN;
+use std::sync::Arc;
 
 /// One QoS constraint: `value(λ) = Σ terms ≤ bound`.
 #[derive(Clone, Debug)]
@@ -192,18 +193,42 @@ pub fn load_robustness(
     load_robustness_with_paths(sys, mapping, &paths, opts)
 }
 
-/// As [`load_robustness`], with pre-enumerated paths (for sweeps).
+/// As [`load_robustness`], with pre-enumerated paths (for sweeps). A thin
+/// wrapper over [`compile_load_analysis`] + [`CompiledLoadAnalysis::evaluate`]
+/// — one-shot callers pay one compile, sweep callers should compile once and
+/// evaluate many times.
 pub fn load_robustness_with_paths(
     sys: &HiperdSystem,
     mapping: &HiperdMapping,
     paths: &[Path],
     opts: &RadiusOptions,
 ) -> Result<HiperdRobustness, CoreError> {
+    compile_load_analysis(sys, mapping, paths, opts)?.evaluate()
+}
+
+/// The §3.2 analysis compiled once for a mapped system: the constraint set
+/// is resolved into a `fepia-core` [`AnalysisPlan`] (affine constraints
+/// packed into one block, nonlinear ones solver-backed), ready to evaluate
+/// at `λ_orig` or any other load vector without rebuilding Φ.
+#[derive(Clone)]
+pub struct CompiledLoadAnalysis {
+    plan: Arc<AnalysisPlan>,
+    lambda_orig: VecN,
+}
+
+/// Builds and compiles the Eq. 9 constraint set for `mapping` under `opts`.
+pub fn compile_load_analysis(
+    sys: &HiperdSystem,
+    mapping: &HiperdMapping,
+    paths: &[Path],
+    opts: &RadiusOptions,
+) -> Result<CompiledLoadAnalysis, CoreError> {
     let set = build_constraints(sys, mapping, paths);
     let dim = sys.n_sensors();
     let lambda_orig = VecN::new(sys.lambda_orig.clone());
 
-    let mut analysis = FepiaAnalysis::new(Perturbation::discrete("sensor load λ", lambda_orig));
+    let mut analysis =
+        FepiaAnalysis::new(Perturbation::discrete("sensor load λ", lambda_orig.clone()));
     for c in set.constraints {
         analysis.add_feature_boxed(
             FeatureSpec::new(c.name, Tolerance::upper(c.bound)),
@@ -213,15 +238,49 @@ pub fn load_robustness_with_paths(
             }),
         );
     }
-    let report = analysis.run(opts)?;
-    let binding = report.binding_feature();
-    Ok(HiperdRobustness {
-        metric: report.metric,
-        floored: report.effective_metric(),
-        binding: binding.name.clone(),
-        lambda_star: binding.result.boundary_point.clone(),
-        report,
-    })
+    let plan = analysis.compile(opts)?;
+    Ok(CompiledLoadAnalysis { plan, lambda_orig })
+}
+
+impl CompiledLoadAnalysis {
+    /// The underlying compiled plan (shareable across threads).
+    pub fn plan(&self) -> &Arc<AnalysisPlan> {
+        &self.plan
+    }
+
+    /// The assumed load vector `λ_orig` the plan was compiled against.
+    pub fn lambda_orig(&self) -> &VecN {
+        &self.lambda_orig
+    }
+
+    /// Full Eq. 10/11 analysis at `λ_orig` — identical numbers to the legacy
+    /// [`load_robustness_with_paths`].
+    pub fn evaluate(&self) -> Result<HiperdRobustness, CoreError> {
+        self.evaluate_at(&self.lambda_orig)
+    }
+
+    /// Full analysis at an arbitrary load vector (what-if probes).
+    pub fn evaluate_at(&self, lambda: &VecN) -> Result<HiperdRobustness, CoreError> {
+        let report = self.plan.evaluate_report(lambda)?;
+        let binding = report.binding_feature();
+        Ok(HiperdRobustness {
+            metric: report.metric,
+            floored: report.effective_metric(),
+            binding: binding.name.clone(),
+            lambda_star: binding.result.boundary_point.clone(),
+            report,
+        })
+    }
+
+    /// Metric-only fast path with caller-provided scratch (for sweeps that
+    /// evaluate many mappings or load vectors on worker threads).
+    pub fn evaluate_metric_with(
+        &self,
+        lambda: &VecN,
+        ws: &mut PlanWorkspace,
+    ) -> Result<PlanEvaluation, CoreError> {
+        self.plan.evaluate_with(lambda, ws)
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +450,28 @@ mod tests {
         assert_eq!(rob.binding, "comm a_0→a_1");
         // Radius: (1000 − 900)/‖(9, 0)‖ = 100/9.
         assert!((rob.metric - 100.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_analysis_matches_one_shot_bitwise() {
+        let (sys, m) = mapped_tiny();
+        let paths = enumerate_paths(&sys);
+        let opts = RadiusOptions::default();
+        let compiled = compile_load_analysis(&sys, &m, &paths, &opts).unwrap();
+        let one_shot = load_robustness_with_paths(&sys, &m, &paths, &opts).unwrap();
+        // Same plan evaluated at λ_orig and at other load vectors.
+        let at_orig = compiled.evaluate().unwrap();
+        assert_eq!(at_orig.metric.to_bits(), one_shot.metric.to_bits());
+        assert_eq!(at_orig.floored.to_bits(), one_shot.floored.to_bits());
+        assert_eq!(at_orig.binding, one_shot.binding);
+        let mut ws = compiled.plan().workspace();
+        let lambda = VecN::from([120.0, 60.0]);
+        let probe = compiled.evaluate_metric_with(&lambda, &mut ws).unwrap();
+        let full = compiled.evaluate_at(&lambda).unwrap();
+        assert_eq!(probe.metric.to_bits(), full.metric.to_bits());
+        // Repeated metric evaluations reuse the workspace without drift.
+        let again = compiled.evaluate_metric_with(&lambda, &mut ws).unwrap();
+        assert_eq!(probe.metric.to_bits(), again.metric.to_bits());
     }
 
     #[test]

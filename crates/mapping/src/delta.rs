@@ -1,0 +1,562 @@
+//! Incremental §3.1 robustness evaluation (`DeltaEval`).
+//!
+//! The local-search heuristics move one application at a time. Re-running
+//! the full analysis after each move costs O(|A| + |M|) plus several
+//! allocations ([`Mapping::finishing_times`] builds a fresh vector, Eq. 6
+//! another); but a single move only changes the finishing times of the two
+//! affected machines. [`DeltaEval`] keeps the per-machine loads, occupancies,
+//! makespan, Eq. 6 radii and the Eq. 7 running minimum as live state, and
+//! updates them in O(2) machines per move (falling back to an O(|M|) rescan
+//! only when the makespan — and with it the tolerance bound `τ·M` — moves).
+//!
+//! **Bitwise discipline.** Every number `DeltaEval` reports is bitwise
+//! identical to what the legacy full recompute
+//! ([`crate::robustness::makespan_robustness`] / [`Mapping::makespan`])
+//! would produce on the same mapping. This is load-bearing: simulated
+//! annealing's accept test short-circuits its RNG draw on the cost
+//! comparison, so a 1-ulp cost difference would desynchronize the random
+//! stream and change the search trajectory. The implementation therefore
+//! *re-sums* an affected machine's load from scratch over its applications
+//! in ascending index order — the exact accumulation order of
+//! [`Mapping::finishing_times`] — instead of adding/subtracting the moved
+//! application's time (floating-point `(a + x) − x ≠ a`), and maintains the
+//! makespan as a value (the max of non-negative loads is order-independent)
+//! with the legacy fold as the fallback. Property tests at the workspace
+//! root verify bitwise agreement after random move sequences.
+//!
+//! When `fepia-obs` is enabled, each `DeltaEval` flushes `plan.delta.*`
+//! counters on drop: `moves`, `peeks`, and how many applies took the O(2)
+//! path (`radii_delta`) vs a binding rescan (`rescans`) vs a full
+//! bound-change recompute (`full`).
+
+use crate::mapping::Mapping;
+use fepia_etc::EtcMatrix;
+
+/// Reusable makespan scratch for population heuristics: evaluates an
+/// assignment's makespan without constructing a [`Mapping`] or allocating,
+/// with the exact accumulation order of [`Mapping::makespan`].
+#[derive(Clone, Debug, Default)]
+pub struct MakespanEvaluator {
+    loads: Vec<f64>,
+}
+
+impl MakespanEvaluator {
+    /// An empty evaluator; the load buffer grows on first use.
+    pub fn new() -> Self {
+        MakespanEvaluator::default()
+    }
+
+    /// The makespan of `assignment` under `etc` — bitwise identical to
+    /// `Mapping::new(assignment.to_vec(), etc.machines()).makespan(etc)`.
+    pub fn eval(&mut self, assignment: &[usize], etc: &EtcMatrix) -> f64 {
+        self.loads.clear();
+        self.loads.resize(etc.machines(), 0.0);
+        for (i, &j) in assignment.iter().enumerate() {
+            self.loads[j] += etc.get(i, j);
+        }
+        self.loads.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Live incremental state of the §3.1 analysis for one mapping under one
+/// tolerance factor τ. See the module docs for the update strategy and the
+/// bitwise guarantees.
+pub struct DeltaEval<'a> {
+    etc: &'a EtcMatrix,
+    tau: f64,
+    /// `assignment[i] = Some(j)` — `None` while an application is not yet
+    /// committed (partial mappings, e.g. during greedy construction).
+    assignment: Vec<Option<usize>>,
+    /// Applications on each machine, ascending (the legacy summation order).
+    apps_on: Vec<Vec<usize>>,
+    loads: Vec<f64>,
+    occupancy: Vec<usize>,
+    makespan: f64,
+    radii: Vec<f64>,
+    metric: f64,
+    binding: usize,
+    // plan.delta.* counters, flushed on drop.
+    moves: u64,
+    peeks: u64,
+    delta_radii: u64,
+    rescans: u64,
+    full: u64,
+}
+
+impl<'a> DeltaEval<'a> {
+    /// Builds the state for a complete `mapping`.
+    ///
+    /// # Panics
+    /// Panics if `tau < 1` or on ETC/mapping shape mismatch.
+    pub fn new(etc: &'a EtcMatrix, mapping: &Mapping, tau: f64) -> Self {
+        assert_eq!(
+            etc.apps(),
+            mapping.apps(),
+            "ETC/mapping application mismatch"
+        );
+        assert_eq!(
+            etc.machines(),
+            mapping.machines(),
+            "ETC/mapping machine mismatch"
+        );
+        let mut de = DeltaEval::empty(etc, etc.machines(), tau);
+        for (i, &j) in mapping.assignment().iter().enumerate() {
+            de.assignment[i] = Some(j);
+            de.apps_on[j].push(i); // ascending by construction
+            de.occupancy[j] += 1;
+        }
+        for j in 0..de.machines() {
+            de.loads[j] = de.resum(j);
+        }
+        de.makespan = de.loads.iter().cloned().fold(0.0, f64::max);
+        de.recompute_radii();
+        de
+    }
+
+    /// State for an empty partial mapping over `machines` machines: all
+    /// loads 0, every radius `+∞`.
+    ///
+    /// # Panics
+    /// Panics if `tau < 1` or `machines` disagrees with the ETC.
+    pub fn empty(etc: &'a EtcMatrix, machines: usize, tau: f64) -> Self {
+        assert!(tau >= 1.0, "tolerance factor τ must be ≥ 1, got {tau}");
+        assert_eq!(etc.machines(), machines, "ETC/machine-count mismatch");
+        DeltaEval {
+            etc,
+            tau,
+            assignment: vec![None; etc.apps()],
+            apps_on: vec![Vec::new(); machines],
+            loads: vec![0.0; machines],
+            occupancy: vec![0; machines],
+            makespan: 0.0,
+            radii: vec![f64::INFINITY; machines],
+            metric: f64::INFINITY,
+            binding: 0,
+            moves: 0,
+            peeks: 0,
+            delta_radii: 0,
+            rescans: 0,
+            full: 0,
+        }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The current makespan `max_j F_j` (bitwise = [`Mapping::makespan`]).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// The Eq. 7 metric of the current (possibly partial) mapping.
+    pub fn metric(&self) -> f64 {
+        self.metric
+    }
+
+    /// The binding machine (first index attaining the minimum radius).
+    pub fn binding_machine(&self) -> usize {
+        self.binding
+    }
+
+    /// Per-machine Eq. 6 radii; `+∞` for empty machines.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// Per-machine finishing times.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Per-machine application counts.
+    pub fn occupancy(&self) -> &[usize] {
+        &self.occupancy
+    }
+
+    /// Where `app` currently runs (`None` if uncommitted).
+    pub fn machine_of(&self, app: usize) -> Option<usize> {
+        self.assignment[app]
+    }
+
+    /// Materializes the current assignment as a [`Mapping`].
+    ///
+    /// # Panics
+    /// Panics if any application is still uncommitted.
+    pub fn mapping(&self) -> Mapping {
+        let assignment = self
+            .assignment
+            .iter()
+            .map(|a| a.expect("partial mapping cannot be materialized"))
+            .collect();
+        Mapping::new(assignment, self.machines())
+    }
+
+    /// Rebuilds the state for a different complete mapping (same ETC and τ),
+    /// e.g. after a tabu restart from the incumbent.
+    pub fn reset(&mut self, mapping: &Mapping) {
+        assert_eq!(mapping.apps(), self.assignment.len());
+        assert_eq!(mapping.machines(), self.machines());
+        for list in &mut self.apps_on {
+            list.clear();
+        }
+        for (i, &j) in mapping.assignment().iter().enumerate() {
+            self.assignment[i] = Some(j);
+            self.apps_on[j].push(i);
+        }
+        for j in 0..self.machines() {
+            self.occupancy[j] = self.apps_on[j].len();
+            self.loads[j] = self.resum(j);
+        }
+        self.makespan = self.loads.iter().cloned().fold(0.0, f64::max);
+        self.recompute_radii();
+    }
+
+    /// The load of machine `j`, re-summed from scratch in ascending
+    /// application order — the accumulation order of
+    /// [`Mapping::finishing_times`], hence bitwise identical to it.
+    fn resum(&self, j: usize) -> f64 {
+        let mut s = 0.0;
+        for &i in &self.apps_on[j] {
+            s += self.etc.get(i, j);
+        }
+        s
+    }
+
+    /// Sum of machine `dst`'s load with `app` inserted at its sorted
+    /// position (ascending order preserved).
+    fn resum_with(&self, dst: usize, app: usize) -> f64 {
+        let mut s = 0.0;
+        let mut inserted = false;
+        for &i in &self.apps_on[dst] {
+            if !inserted && app < i {
+                s += self.etc.get(app, dst);
+                inserted = true;
+            }
+            s += self.etc.get(i, dst);
+        }
+        if !inserted {
+            s += self.etc.get(app, dst);
+        }
+        s
+    }
+
+    /// Sum of machine `src`'s load with `app` removed.
+    fn resum_without(&self, src: usize, app: usize) -> f64 {
+        let mut s = 0.0;
+        for &i in &self.apps_on[src] {
+            if i != app {
+                s += self.etc.get(i, src);
+            }
+        }
+        s
+    }
+
+    fn radius_of(bound: f64, load: f64, occ: usize) -> f64 {
+        if occ == 0 {
+            f64::INFINITY
+        } else {
+            (bound - load) / (occ as f64).sqrt()
+        }
+    }
+
+    fn recompute_radii(&mut self) {
+        let bound = self.tau * self.makespan;
+        for j in 0..self.machines() {
+            self.radii[j] = Self::radius_of(bound, self.loads[j], self.occupancy[j]);
+        }
+        self.rescan_binding();
+    }
+
+    /// Legacy binding selection: `min_by` keeps the *first* minimum.
+    fn rescan_binding(&mut self) {
+        let binding = self
+            .radii
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("radius is never NaN"))
+            .map(|(j, _)| j)
+            .expect("at least one machine");
+        self.binding = binding;
+        self.metric = self.radii[binding];
+    }
+
+    /// The makespan if `app` (currently assigned) moved to `dst`, without
+    /// committing — bitwise identical to reassigning and calling
+    /// [`Mapping::makespan`], with no allocation and no mutation.
+    pub fn peek_makespan(&mut self, app: usize, dst: usize) -> f64 {
+        self.peeks += 1;
+        let src = self.assignment[app].expect("peek_makespan needs an assigned app");
+        if src == dst {
+            return self.makespan;
+        }
+        let ns = self.resum_without(src, app);
+        let nd = self.resum_with(dst, app);
+        let mut mk = 0.0f64;
+        for j in 0..self.machines() {
+            let v = if j == src {
+                ns
+            } else if j == dst {
+                nd
+            } else {
+                self.loads[j]
+            };
+            mk = mk.max(v);
+        }
+        mk
+    }
+
+    /// The Eq. 7 metric and `dst`'s new load if the *uncommitted* `app` were
+    /// assigned to `dst` — the greedy-construction probe. Matches the shape
+    /// of the legacy `partial_metric` (empty machines excluded).
+    pub fn peek_assign(&mut self, app: usize, dst: usize) -> (f64, f64) {
+        self.peeks += 1;
+        assert!(
+            self.assignment[app].is_none(),
+            "peek_assign needs an uncommitted app"
+        );
+        let nd = self.resum_with(dst, app);
+        let mut mk = 0.0f64;
+        for j in 0..self.machines() {
+            let v = if j == dst { nd } else { self.loads[j] };
+            mk = mk.max(v);
+        }
+        let bound = self.tau * mk;
+        let mut metric = f64::INFINITY;
+        for j in 0..self.machines() {
+            let (load, occ) = if j == dst {
+                (nd, self.occupancy[j] + 1)
+            } else {
+                (self.loads[j], self.occupancy[j])
+            };
+            if occ == 0 {
+                continue;
+            }
+            metric = metric.min((bound - load) / (occ as f64).sqrt());
+        }
+        (metric, nd)
+    }
+
+    /// Commits `app` to `dst` (an assignment if previously uncommitted, a
+    /// move otherwise) and updates loads, makespan, radii and the running
+    /// minimum. O(2) machines when the makespan — and hence the tolerance
+    /// bound — is unchanged; O(|M|) otherwise.
+    pub fn apply(&mut self, app: usize, dst: usize) {
+        let src = self.assignment[app];
+        if src == Some(dst) {
+            return;
+        }
+        self.moves += 1;
+        let old_src_load = src.map(|s| self.loads[s]);
+        if let Some(s) = src {
+            let pos = self.apps_on[s]
+                .iter()
+                .position(|&i| i == app)
+                .expect("assignment/apps_on out of sync");
+            self.apps_on[s].remove(pos);
+            self.occupancy[s] -= 1;
+            self.loads[s] = self.resum(s);
+        }
+        let pos = self.apps_on[dst].partition_point(|&i| i < app);
+        self.apps_on[dst].insert(pos, app);
+        self.occupancy[dst] += 1;
+        self.loads[dst] = self.resum(dst);
+        self.assignment[app] = Some(dst);
+
+        // Makespan as a value: the max of non-negative loads does not depend
+        // on fold order, so these shortcuts reproduce the legacy fold bit
+        // for bit (loads are never −0.0).
+        let new_dst = self.loads[dst];
+        let mk = if new_dst >= self.makespan {
+            // dst grew past (or to) the old max; src only shrank.
+            new_dst
+        } else if old_src_load.is_some_and(|l| l == self.makespan) {
+            // The old max machine lost an application: full fold.
+            self.loads.iter().cloned().fold(0.0, f64::max)
+        } else {
+            self.makespan
+        };
+
+        if mk.to_bits() == self.makespan.to_bits() {
+            // Bound unchanged: only the two affected machines' radii move.
+            let bound = self.tau * mk;
+            if let Some(s) = src {
+                self.radii[s] = Self::radius_of(bound, self.loads[s], self.occupancy[s]);
+            }
+            self.radii[dst] = Self::radius_of(bound, self.loads[dst], self.occupancy[dst]);
+            if src == Some(self.binding) || dst == self.binding {
+                // The old minimum itself moved: order vs the field unknown.
+                self.rescans += 1;
+                self.rescan_binding();
+            } else {
+                // First-min over {old binding, src, dst} suffices: every
+                // other machine's radius is unchanged and was ≥ the old
+                // metric (strictly, for indices below the old binding).
+                self.delta_radii += 1;
+                let mut cands = [0usize; 3];
+                let mut n = 0;
+                if let Some(s) = src {
+                    cands[n] = s;
+                    n += 1;
+                }
+                cands[n] = dst;
+                n += 1;
+                cands[n] = self.binding;
+                n += 1;
+                cands[..n].sort_unstable();
+                let mut best = cands[0];
+                for &j in &cands[1..n] {
+                    if self.radii[j] < self.radii[best] {
+                        best = j;
+                    }
+                }
+                self.binding = best;
+                self.metric = self.radii[best];
+            }
+        } else {
+            // Bound moved: every radius shifts.
+            self.full += 1;
+            self.makespan = mk;
+            self.recompute_radii();
+        }
+    }
+}
+
+impl Drop for DeltaEval<'_> {
+    fn drop(&mut self) {
+        if !fepia_obs::enabled() {
+            return;
+        }
+        let reg = fepia_obs::global();
+        reg.counter("plan.delta.moves").add(self.moves);
+        reg.counter("plan.delta.peeks").add(self.peeks);
+        reg.counter("plan.delta.radii_delta").add(self.delta_radii);
+        reg.counter("plan.delta.rescans").add(self.rescans);
+        reg.counter("plan.delta.full").add(self.full);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robustness::makespan_robustness;
+    use fepia_etc::{generate_cvb, EtcParams};
+    use fepia_stats::rng_for;
+    use rand::Rng;
+
+    fn instance(seed: u64) -> (Mapping, EtcMatrix) {
+        let etc = generate_cvb(&mut rng_for(seed, 0), &EtcParams::paper_section_4_2());
+        let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+        (mapping, etc)
+    }
+
+    fn assert_state_bitwise(de: &DeltaEval<'_>, mapping: &Mapping, etc: &EtcMatrix, tau: f64) {
+        let fresh = makespan_robustness(mapping, etc, tau).unwrap();
+        assert_eq!(de.makespan().to_bits(), fresh.makespan.to_bits());
+        assert_eq!(de.metric().to_bits(), fresh.metric.to_bits());
+        assert_eq!(de.binding_machine(), fresh.binding_machine);
+        for (a, b) in de.radii().iter().zip(fresh.radii.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in de.loads().iter().zip(mapping.finishing_times(etc).iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn construction_matches_full_analysis_bitwise() {
+        for seed in 0..10u64 {
+            let (m, etc) = instance(seed);
+            let de = DeltaEval::new(&etc, &m, 1.2);
+            assert_state_bitwise(&de, &m, &etc, 1.2);
+        }
+    }
+
+    #[test]
+    fn move_sequence_stays_bitwise_identical() {
+        for seed in 0..6u64 {
+            let (mut m, etc) = instance(seed);
+            let mut de = DeltaEval::new(&etc, &m, 1.2);
+            let mut rng = rng_for(seed, 99);
+            for _ in 0..300 {
+                let app = rng.gen_range(0..m.apps());
+                let dst = rng.gen_range(0..m.machines());
+                de.apply(app, dst);
+                m.reassign(app, dst);
+                assert_state_bitwise(&de, &m, &etc, 1.2);
+            }
+        }
+    }
+
+    #[test]
+    fn peek_makespan_matches_reassign_and_does_not_mutate() {
+        let (mut m, etc) = instance(3);
+        let mut de = DeltaEval::new(&etc, &m, 1.2);
+        let mut rng = rng_for(3, 7);
+        for _ in 0..100 {
+            let app = rng.gen_range(0..m.apps());
+            let dst = rng.gen_range(0..m.machines());
+            let old = m.machine_of(app);
+            m.reassign(app, dst);
+            let expected = m.makespan(&etc);
+            m.reassign(app, old);
+            assert_eq!(de.peek_makespan(app, dst).to_bits(), expected.to_bits());
+            assert_state_bitwise(&de, &m, &etc, 1.2);
+        }
+    }
+
+    #[test]
+    fn empty_state_and_greedy_assignment() {
+        let (_, etc) = instance(1);
+        let mut de = DeltaEval::empty(&etc, etc.machines(), 1.2);
+        assert_eq!(de.metric(), f64::INFINITY);
+        assert_eq!(de.makespan(), 0.0);
+        // Commit every app to machine i mod machines; compare to the full
+        // analysis at the end.
+        for app in 0..etc.apps() {
+            let (metric, load) = de.peek_assign(app, app % etc.machines());
+            assert!(metric.is_finite() || de.occupancy().iter().all(|&n| n == 0));
+            assert!(load > 0.0);
+            de.apply(app, app % etc.machines());
+        }
+        let m = de.mapping();
+        assert_state_bitwise(&de, &m, &etc, 1.2);
+    }
+
+    #[test]
+    fn reset_rebuilds_state() {
+        let (m1, etc) = instance(5);
+        let m2 = Mapping::random(&mut rng_for(55, 1), 20, 5);
+        let mut de = DeltaEval::new(&etc, &m1, 1.2);
+        de.apply(0, (de.machine_of(0).unwrap() + 1) % de.machines());
+        de.reset(&m2);
+        assert_state_bitwise(&de, &m2, &etc, 1.2);
+    }
+
+    #[test]
+    fn noop_move_is_ignored() {
+        let (m, etc) = instance(2);
+        let mut de = DeltaEval::new(&etc, &m, 1.2);
+        let before = de.metric().to_bits();
+        de.apply(4, m.machine_of(4));
+        assert_eq!(de.metric().to_bits(), before);
+        assert_state_bitwise(&de, &m, &etc, 1.2);
+    }
+
+    #[test]
+    fn makespan_evaluator_matches_mapping() {
+        let (m, etc) = instance(8);
+        let mut ev = MakespanEvaluator::new();
+        assert_eq!(
+            ev.eval(m.assignment(), &etc).to_bits(),
+            m.makespan(&etc).to_bits()
+        );
+        // Reuse across different assignments.
+        let m2 = Mapping::random(&mut rng_for(8, 2), 20, 5);
+        assert_eq!(
+            ev.eval(m2.assignment(), &etc).to_bits(),
+            m2.makespan(&etc).to_bits()
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulated annealing over the mapping space.
 
 use super::{MappingHeuristic, Mct};
+use crate::delta::DeltaEval;
 use crate::mapping::Mapping;
 use fepia_etc::EtcMatrix;
 use rand::{Rng, RngCore};
@@ -41,6 +42,10 @@ impl MappingHeuristic for SimulatedAnnealing {
         );
         let mut current = Mct.map(etc, rng);
         let scale = current.makespan(etc).max(f64::MIN_POSITIVE);
+        // Incremental move evaluation: `peek_makespan` is bitwise identical
+        // to reassign-and-recompute, so the normalized costs — and with them
+        // the short-circuited RNG stream of the accept test — are unchanged.
+        let mut delta = DeltaEval::new(etc, &current, 1.0);
         let mut cur_cost = 1.0; // normalized
         let mut best = current.clone();
         let mut best_cost = cur_cost;
@@ -54,18 +59,17 @@ impl MappingHeuristic for SimulatedAnnealing {
                 temp *= self.cooling;
                 continue;
             }
-            current.reassign(app, new_machine);
-            let cost = current.makespan(etc) / scale;
+            let cost = delta.peek_makespan(app, new_machine) / scale;
             let accept =
                 cost <= cur_cost || rng.gen_range(0.0..1.0f64) < ((cur_cost - cost) / temp).exp();
             if accept {
+                delta.apply(app, new_machine);
+                current.reassign(app, new_machine);
                 cur_cost = cost;
                 if cost < best_cost {
                     best_cost = cost;
                     best = current.clone();
                 }
-            } else {
-                current.reassign(app, old_machine);
             }
             temp *= self.cooling;
         }

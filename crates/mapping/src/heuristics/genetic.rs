@@ -1,6 +1,7 @@
 //! A simple genetic algorithm over the mapping space.
 
 use super::{MappingHeuristic, Mct, MinMin};
+use crate::delta::MakespanEvaluator;
 use crate::mapping::Mapping;
 use fepia_etc::EtcMatrix;
 use rand::{Rng, RngCore};
@@ -52,15 +53,18 @@ impl MappingHeuristic for Genetic {
         );
         let apps = etc.apps();
         let machines = etc.machines();
+        // One load buffer for every fitness evaluation in the run (bitwise
+        // identical to `Mapping::makespan`, without its per-call allocation).
+        let mut fitness = MakespanEvaluator::new();
 
         let mut pop: Vec<(Mapping, f64)> = Vec::with_capacity(self.population);
         for seed in [Mct.map(etc, rng), MinMin.map(etc, rng)] {
-            let cost = seed.makespan(etc);
+            let cost = fitness.eval(seed.assignment(), etc);
             pop.push((seed, cost));
         }
         while pop.len() < self.population {
             let m = Mapping::random(rng, apps, machines);
-            let cost = m.makespan(etc);
+            let cost = fitness.eval(m.assignment(), etc);
             pop.push((m, cost));
         }
 
@@ -90,9 +94,8 @@ impl MappingHeuristic for Genetic {
                         }
                     })
                     .collect();
-                let child = Mapping::new(genes, machines);
-                let cost = child.makespan(etc);
-                next.push((child, cost));
+                let cost = fitness.eval(&genes, etc);
+                next.push((Mapping::new(genes, machines), cost));
             }
             pop = next;
         }

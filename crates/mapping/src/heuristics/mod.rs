@@ -36,7 +36,7 @@ pub use annealing::SimulatedAnnealing;
 pub use duplex::Duplex;
 pub use genetic::Genetic;
 pub use list_based::{MaxMin, MinMin, Sufferage};
-pub use robust_greedy::RobustGreedy;
+pub use robust_greedy::{partial_metric, RobustGreedy};
 pub use simple::{Mct, Met, Olb, RandomMap, RoundRobin};
 pub use tabu::TabuSearch;
 
@@ -48,7 +48,10 @@ use rand::RngCore;
 ///
 /// Deterministic heuristics ignore `rng`; stochastic ones (random, SA, GA)
 /// must draw all randomness from it so experiments stay reproducible.
-pub trait MappingHeuristic {
+///
+/// `Send + Sync` so sweep drivers can share one heuristic across worker
+/// threads (every implementation is a plain value type).
+pub trait MappingHeuristic: Send + Sync {
     /// A short stable name for reports and bench labels.
     fn name(&self) -> &'static str;
 

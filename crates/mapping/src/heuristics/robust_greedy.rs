@@ -9,6 +9,7 @@
 //! minimum-completion-time behaviour.
 
 use super::MappingHeuristic;
+use crate::delta::DeltaEval;
 use crate::mapping::Mapping;
 use fepia_etc::EtcMatrix;
 use rand::RngCore;
@@ -29,7 +30,10 @@ impl Default for RobustGreedy {
 
 /// The Eq. 7 metric of a partial assignment described by per-machine loads
 /// and occupancies, with `M_orig` the current partial makespan.
-fn partial_metric(loads: &[f64], occupancy: &[usize], tau: f64) -> f64 {
+///
+/// Kept as the closed-form reference for [`DeltaEval::peek_assign`], which
+/// the heuristic now probes with (same shape, incremental bookkeeping).
+pub fn partial_metric(loads: &[f64], occupancy: &[usize], tau: f64) -> f64 {
     let makespan = loads.iter().cloned().fold(0.0, f64::max);
     let bound = tau * makespan;
     loads
@@ -61,30 +65,23 @@ impl MappingHeuristic for RobustGreedy {
                 .expect("ETC is never NaN")
         });
 
-        let mut loads = vec![0.0f64; machines];
-        let mut occupancy = vec![0usize; machines];
-        let mut assignment = vec![usize::MAX; apps];
+        let mut delta = DeltaEval::empty(etc, machines, self.tau);
         for &i in &order {
             let mut best_j = 0;
             let mut best_score = (f64::NEG_INFINITY, f64::NEG_INFINITY);
             for j in 0..machines {
-                loads[j] += etc.get(i, j);
-                occupancy[j] += 1;
                 // Primary: partial robustness; secondary: shorter completion
                 // (breaks the all-equal early rounds toward MCT behaviour).
-                let score = (partial_metric(&loads, &occupancy, self.tau), -(loads[j]));
-                loads[j] -= etc.get(i, j);
-                occupancy[j] -= 1;
+                let (metric, load) = delta.peek_assign(i, j);
+                let score = (metric, -load);
                 if score > best_score {
                     best_score = score;
                     best_j = j;
                 }
             }
-            loads[best_j] += etc.get(i, best_j);
-            occupancy[best_j] += 1;
-            assignment[i] = best_j;
+            delta.apply(i, best_j);
         }
-        Mapping::new(assignment, machines)
+        delta.mapping()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Tabu search over the mapping space.
 
 use super::{MappingHeuristic, Mct};
+use crate::delta::DeltaEval;
 use crate::mapping::Mapping;
 use fepia_etc::EtcMatrix;
 use rand::RngCore;
@@ -36,20 +37,22 @@ impl MappingHeuristic for TabuSearch {
         let mut current = Mct.map(etc, rng);
         let mut best = current.clone();
         let mut best_cost = best.makespan(etc);
+        // Neighborhood scans probe |A|·(|M|−1) moves per iteration; the
+        // incremental evaluator prices each without reassigning or
+        // allocating, bitwise identical to the legacy recompute.
+        let mut delta = DeltaEval::new(etc, &current, 1.0);
         let mut tabu: VecDeque<(usize, usize)> = VecDeque::with_capacity(self.tabu_len);
 
         for _ in 0..self.iterations {
             let mut move_best: Option<(usize, usize, f64)> = None;
-            let cur_cost = current.makespan(etc);
+            let cur_cost = delta.makespan();
             for app in 0..current.apps() {
                 let old = current.machine_of(app);
                 for machine in 0..current.machines() {
                     if machine == old {
                         continue;
                     }
-                    current.reassign(app, machine);
-                    let cost = current.makespan(etc);
-                    current.reassign(app, old);
+                    let cost = delta.peek_makespan(app, machine);
                     let is_tabu = tabu.contains(&(app, machine));
                     // Aspiration: accept a tabu move only if it sets a new
                     // global best.
@@ -66,6 +69,7 @@ impl MappingHeuristic for TabuSearch {
             };
             let old = current.machine_of(app);
             current.reassign(app, machine);
+            delta.apply(app, machine);
             // Bar the reverse move.
             if self.tabu_len > 0 {
                 if tabu.len() == self.tabu_len {
@@ -79,6 +83,7 @@ impl MappingHeuristic for TabuSearch {
             } else if cost > cur_cost * 1.5 {
                 // Runaway uphill drift: restart from the incumbent.
                 current = best.clone();
+                delta.reset(&current);
             }
         }
         best

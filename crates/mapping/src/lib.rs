@@ -19,6 +19,10 @@
 //! * [`robustness`] — the analytic Eq. 6/Eq. 7 implementation plus a
 //!   generic-path construction through `fepia-core` used for
 //!   cross-validation and the norm ablation.
+//! * [`delta`] — incremental move evaluation: [`DeltaEval`] keeps loads,
+//!   makespan, Eq. 6 radii and the Eq. 7 minimum live across single-app
+//!   moves (O(2) machines per move, bitwise identical to a full recompute);
+//!   the local-search heuristics run on it.
 //! * [`validate`] — Monte-Carlo validation of the radius guarantee
 //!   (failure injection).
 //! * [`heuristics`] — baseline mapping heuristics from the literature the
@@ -27,12 +31,14 @@
 //!   robustness-greedy heuristic for the paper's motivating problem of
 //!   *maximizing* robustness.
 
+pub mod delta;
 pub mod heuristics;
 pub mod mapping;
 pub mod robustness;
 pub mod sensitivity;
 pub mod validate;
 
+pub use delta::{DeltaEval, MakespanEvaluator};
 pub use fepia_etc::EtcMatrix;
 pub use heuristics::MappingHeuristic;
 pub use mapping::Mapping;

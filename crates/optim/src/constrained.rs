@@ -43,7 +43,7 @@ pub struct LevelSetProblem<'a> {
 }
 
 /// Tunables for the solver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolverOptions {
     /// Relative convergence tolerance on the radius between refinements.
     pub tol: f64,
@@ -108,6 +108,43 @@ struct SolveCounters {
     bracket_failures: Cell<u64>,
 }
 
+/// Reusable scratch state for repeated [`min_norm_to_level_set_with`] calls.
+///
+/// The seed stage probes `2n + 1` fixed directions (the diagonal and ± every
+/// axis) that depend only on the problem dimension; the workspace caches
+/// them, plus the seed buffer, so a compiled analysis plan can solve the
+/// same numeric feature for thousands of origins without rebuilding them.
+/// Reusing a workspace never changes results: the probe directions and their
+/// order are identical to the ones a fresh solve would construct.
+#[derive(Default)]
+pub struct SolverWorkspace {
+    dim: usize,
+    probes: Vec<VecN>,
+    seeds: Vec<VecN>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are grown lazily on first use.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// (Re)builds the fixed probe directions for dimension `n`.
+    fn ensure_dim(&mut self, n: usize) {
+        if self.dim == n && !self.probes.is_empty() {
+            return;
+        }
+        self.probes.clear();
+        self.probes.reserve(2 * n + 1);
+        self.probes.push(VecN::filled(n, 1.0 / (n as f64).sqrt()));
+        for i in 0..n {
+            self.probes.push(VecN::basis(n, i));
+            self.probes.push(-&VecN::basis(n, i));
+        }
+        self.dim = n;
+    }
+}
+
 fn eval_grad(p: &LevelSetProblem<'_>, x: &VecN, fd_step: f64) -> VecN {
     match p.grad {
         Some(g) => g(x),
@@ -161,9 +198,24 @@ pub fn min_norm_to_level_set(
     p: &LevelSetProblem<'_>,
     opts: &SolverOptions,
 ) -> Result<LevelSetSolution, OptimError> {
+    let mut ws = SolverWorkspace::new();
+    min_norm_to_level_set_with(p, opts, &mut ws)
+}
+
+/// [`min_norm_to_level_set`] with a caller-provided [`SolverWorkspace`].
+///
+/// Results are bitwise identical to the workspace-free entry point; the
+/// workspace only amortizes the per-solve probe-direction and seed-buffer
+/// allocations across repeated calls (compiled analysis plans hold one per
+/// evaluation context).
+pub fn min_norm_to_level_set_with(
+    p: &LevelSetProblem<'_>,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+) -> Result<LevelSetSolution, OptimError> {
     let _span = fepia_obs::span!("optim.min_norm");
     let counters = SolveCounters::default();
-    let result = solve_counted(p, opts, &counters);
+    let result = solve_counted(p, opts, &counters, ws);
     if fepia_obs::enabled() {
         record_solve(&counters, &result);
     }
@@ -214,6 +266,7 @@ fn solve_counted(
     outer: &LevelSetProblem<'_>,
     opts: &SolverOptions,
     counters: &SolveCounters,
+    ws: &mut SolverWorkspace,
 ) -> Result<LevelSetSolution, OptimError> {
     // Route every impact-function call through a counting wrapper so the
     // reported `f_evals` covers seeds, root solves and FD gradient probes.
@@ -256,21 +309,17 @@ fn solve_counted(
     // --- Seed: march to the boundary along candidate directions. ---
     // The descent below is local, so seeds must cover enough of the sphere
     // to reach the global minimum of a convex level set: the gradient
-    // direction, the diagonal, and ± every axis.
-    let mut candidates: Vec<VecN> = Vec::with_capacity(2 * n + 2);
+    // direction, the diagonal, and ± every axis. The dimension-only probes
+    // (diagonal + axes) come from the workspace; only the gradient direction
+    // is problem-specific.
+    ws.ensure_dim(n);
+    let SolverWorkspace { probes, seeds, .. } = ws;
     counters.grad.set(counters.grad.get() + 1);
     let g0 = eval_grad(p, p.origin, opts.fd_step);
-    if let Some(u) = g0.normalized() {
-        candidates.push(u);
-    }
-    candidates.push(VecN::filled(n, 1.0 / (n as f64).sqrt()));
-    for i in 0..n {
-        candidates.push(VecN::basis(n, i));
-        candidates.push(-&VecN::basis(n, i));
-    }
+    let grad_dir = g0.normalized();
 
-    let mut seeds: Vec<VecN> = Vec::new();
-    for dir in &candidates {
+    seeds.clear();
+    for dir in grad_dir.iter().chain(probes.iter()) {
         match cross_along(p, p.origin, dir, scale, opts) {
             Ok(x) => seeds.push(x),
             Err(OptimError::Unreachable) => {
@@ -327,7 +376,7 @@ fn solve_counted(
 
     let mut best: Option<(VecN, f64, bool)> = None; // (u, t, converged)
     let mut iterations = 0;
-    for x_seed in &seeds {
+    for x_seed in seeds.iter() {
         let mut t = x_seed.distance_l2(p.origin);
         let Some(mut u) = (x_seed - p.origin).normalized() else {
             // Seed coincides with the origin: zero radius, cannot improve.
@@ -541,6 +590,31 @@ mod tests {
         };
         let without = min_norm_to_level_set(&p2, &SolverOptions::default()).unwrap();
         assert!((with_grad.radius - without.radius).abs() < 1e-5);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        // A shared workspace across solves of different dimensions must give
+        // exactly the results of fresh per-call solves.
+        let mut ws = SolverWorkspace::new();
+        for dim in [2usize, 3, 2] {
+            let origin = VecN::filled(dim, 0.25);
+            let f = |v: &VecN| v.dot(v);
+            let p = LevelSetProblem {
+                f: &f,
+                grad: None,
+                origin: &origin,
+                level: 9.0,
+            };
+            let fresh = min_norm_to_level_set(&p, &SolverOptions::default()).unwrap();
+            let reused =
+                min_norm_to_level_set_with(&p, &SolverOptions::default(), &mut ws).unwrap();
+            assert_eq!(fresh.radius.to_bits(), reused.radius.to_bits());
+            assert_eq!(fresh.point, reused.point);
+            assert_eq!(fresh.iterations, reused.iterations);
+            assert_eq!(fresh.f_evals, reused.f_evals);
+            assert_eq!(fresh.grad_evals, reused.grad_evals);
+        }
     }
 
     mod properties {

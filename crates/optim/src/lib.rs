@@ -30,7 +30,10 @@ pub mod norm;
 pub mod root1d;
 pub mod vector;
 
-pub use constrained::{min_norm_to_level_set, LevelSetProblem, LevelSetSolution, SolverOptions};
+pub use constrained::{
+    min_norm_to_level_set, min_norm_to_level_set_with, LevelSetProblem, LevelSetSolution,
+    SolverOptions, SolverWorkspace,
+};
 pub use convex::{check_midpoint_convexity, ConvexityReport};
 pub use error::OptimError;
 pub use hyperplane::Hyperplane;

@@ -9,7 +9,7 @@
 use crate::error::OptimError;
 
 /// Stopping criteria for the 1-D root finders.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RootOptions {
     /// Absolute tolerance on the abscissa.
     pub x_tol: f64,

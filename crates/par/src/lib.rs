@@ -121,13 +121,36 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_with(items, cfg, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker scratch state: `init()` runs once on each
+/// worker thread and the resulting state is threaded through every item that
+/// worker processes (`f(&mut state, index, &item)`).
+///
+/// This is the batch driver used by compiled analysis plans: each worker
+/// builds one reusable evaluation workspace instead of allocating per item.
+/// Determinism is unchanged — results depend only on `(index, item)`, never
+/// on which worker ran them, so any state must be pure scratch.
+pub fn par_map_with<T, U, S, I, F>(items: &[T], cfg: &ParConfig, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = cfg.effective_threads(n);
     if threads == 1 || n < cfg.sequential_below {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     let observe = fepia_obs::enabled();
@@ -137,12 +160,14 @@ where
         // Hand each worker a disjoint &mut of the output: safe, lock-free.
         for (w, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
+            let init = &init;
             let base = w * chunk;
             let items = &items[base..base + out_chunk.len()];
             s.spawn(move || {
                 let mut stats = WorkerStats::begin(observe);
+                let mut state = init();
                 for (off, (slot, item)) in out_chunk.iter_mut().zip(items.iter()).enumerate() {
-                    *slot = Some(stats.item(|| f(base + off, item)));
+                    *slot = Some(stats.item(|| f(&mut state, base + off, item)));
                 }
                 stats.finish("static");
             });
@@ -162,13 +187,29 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_dynamic_with(items, cfg, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map_dynamic`] with per-worker scratch state (see [`par_map_with`]).
+pub fn par_map_dynamic_with<T, U, S, I, F>(items: &[T], cfg: &ParConfig, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = cfg.effective_threads(n);
     if threads == 1 || n < cfg.sequential_below {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     let observe = fepia_obs::enabled();
@@ -179,15 +220,17 @@ where
             let next = &next;
             let collected = &collected;
             let f = &f;
+            let init = &init;
             s.spawn(move || {
                 let mut stats = WorkerStats::begin(observe);
+                let mut state = init();
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, stats.item(|| f(i, &items[i]))));
+                    local.push((i, stats.item(|| f(&mut state, i, &items[i]))));
                 }
                 // The collect lock is the only shared mutable state; when obs
                 // is on, record whether this worker had to wait for it.
@@ -329,6 +372,41 @@ mod tests {
             par_map(&items, &cfg, |_, x| x + 1),
             (1..51).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn stateful_drivers_match_sequential_map() {
+        // Per-worker scratch state must not leak into results: a reused
+        // buffer produces the same output as the stateless drivers for any
+        // thread count.
+        let items: Vec<u64> = (0..500).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let init = || Vec::<u64>::new();
+        let f = |buf: &mut Vec<u64>, _i: usize, x: &u64| {
+            buf.clear();
+            buf.push(*x * 3);
+            buf[0] + 1
+        };
+        for threads in [1, 2, 3, 8] {
+            let cfg = ParConfig::with_threads(threads);
+            assert_eq!(par_map_with(&items, &cfg, init, f), expect);
+            assert_eq!(par_map_dynamic_with(&items, &cfg, init, f), expect);
+        }
+    }
+
+    #[test]
+    fn stateful_init_runs_at_most_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..256).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_dynamic_with(
+            &items,
+            &ParConfig::with_threads(4),
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, i, _| i,
+        );
+        assert_eq!(out, items);
+        assert!(inits.load(Ordering::Relaxed) <= 4, "state not reused");
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Performance gate for the compiled-plan layer: runs the plan_speedup bench
+# (DeltaEval-vs-full move evaluation; compile-once batch vs per-item
+# compile) and records the measured numbers in BENCH_plan.json at the repo
+# root. The bench itself asserts the acceptance bars (>= 5x move eval,
+# >= 1.5x batch), so a non-zero exit means a performance regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results}"
+
+echo "==> cargo bench -p fepia-bench --bench plan_speedup"
+cargo bench -p fepia-bench --bench plan_speedup
+
+cp "$FEPIA_RESULTS/BENCH_plan.json" BENCH_plan.json
+echo "bench: wrote $(pwd)/BENCH_plan.json"

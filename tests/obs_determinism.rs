@@ -4,8 +4,11 @@
 //! fully-disabled sequential run. Also pins the JSON-lines event schema.
 
 use fepia_core::{
-    robustness_radius, FeatureSpec, FnImpact, Perturbation, RadiusOptions, Tolerance,
+    robustness_radius, AnalysisPlan, FeatureSpec, FepiaAnalysis, FnImpact, LinearImpact,
+    Perturbation, RadiusOptions, Tolerance,
 };
+use fepia_etc::{generate_cvb, EtcParams};
+use fepia_mapping::{DeltaEval, Mapping};
 use fepia_optim::VecN;
 use fepia_par::{par_map, par_map_dynamic, ParConfig};
 use fepia_stats::rng_for;
@@ -157,6 +160,121 @@ fn event_stream_matches_golden_schema() {
             "radius.computed missing {key}: {radius}"
         );
     }
+}
+
+/// One compiled plan (affine + numeric feature) over a seeded batch of
+/// origins — the compiled analogue of `radius_for_item`.
+fn batch_plan_and_origins() -> (Arc<AnalysisPlan>, Vec<VecN>) {
+    let mut analysis = FepiaAnalysis::new(Perturbation::continuous("p", VecN::zeros(2)));
+    analysis.add_feature(
+        FeatureSpec::new("aff", Tolerance::upper(4.0)),
+        LinearImpact::new(VecN::from([1.0, 2.0]), 0.5),
+    );
+    analysis.add_feature(
+        FeatureSpec::new("num", Tolerance::upper(10.0)),
+        FnImpact::new(|v: &VecN| v.dot(v)).with_dim(2),
+    );
+    let plan = analysis
+        .compile(&RadiusOptions::default())
+        .expect("compiles");
+    let origins = (0..48)
+        .map(|i| {
+            let mut rng = rng_for(0xBA7C4, i);
+            VecN::from([rng.gen_range(-0.5..0.5f64), rng.gen_range(-0.5..0.5f64)])
+        })
+        .collect();
+    (plan, origins)
+}
+
+/// A seeded 60-move DeltaEval walk; returns the metric bits after each
+/// move. The evaluator is dropped before returning, so its `plan.delta.*`
+/// counters flush while the caller's obs state is still in effect.
+fn delta_walk_metric_bits() -> Vec<u64> {
+    let params = EtcParams::paper_section_4_2();
+    let etc = generate_cvb(&mut rng_for(0xDE17A, 0), &params);
+    let start = Mapping::random(&mut rng_for(0xDE17A, 1), params.apps, params.machines);
+    let mut rng = rng_for(0xDE17A, 2);
+    let mut delta = DeltaEval::new(&etc, &start, 1.2);
+    (0..60)
+        .map(|_| {
+            let app = rng.gen_range(0..params.apps);
+            let dst = rng.gen_range(0..params.machines);
+            delta.apply(app, dst);
+            delta.metric().to_bits()
+        })
+        .collect()
+}
+
+#[test]
+fn compiled_batch_and_delta_are_deterministic_under_obs() {
+    let _guard = obs_lock();
+
+    // Reference: obs fully disabled, sequential batch + delta walk.
+    fepia_obs::set_enabled(false);
+    fepia_obs::set_events_enabled(false);
+    let (plan, origins) = batch_plan_and_origins();
+    let reference: Vec<u64> = plan
+        .evaluate_batch(&origins)
+        .expect("batch evaluates")
+        .iter()
+        .map(|e| e.metric.to_bits())
+        .collect();
+    let delta_reference = delta_walk_metric_bits();
+
+    // Everything on: metrics + spans + a real JSONL file sink.
+    let dir = std::env::temp_dir().join("fepia-obs-plan-determinism");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("events.jsonl");
+    let prev = fepia_obs::install_sink(Arc::new(
+        fepia_obs::JsonlSink::create(&path).expect("jsonl sink"),
+    ));
+    fepia_obs::set_enabled(true);
+    fepia_obs::set_events_enabled(true);
+
+    // Recompiling through the analysis cache counts a hit while obs is on.
+    let (plan_obs, _) = batch_plan_and_origins();
+    for threads in [1, 2, 8] {
+        let cfg = ParConfig::with_threads(threads);
+        let par_bits: Vec<u64> = plan_obs
+            .evaluate_batch_par(&origins, &cfg)
+            .expect("parallel batch evaluates")
+            .iter()
+            .map(|e| e.metric.to_bits())
+            .collect();
+        assert_eq!(
+            par_bits, reference,
+            "evaluate_batch_par diverged at {threads} threads"
+        );
+    }
+    let delta_obs = delta_walk_metric_bits();
+    assert_eq!(delta_obs, delta_reference, "DeltaEval diverged under obs");
+
+    fepia_obs::set_enabled(false);
+    fepia_obs::set_events_enabled(false);
+    fepia_obs::flush_sink();
+    match prev {
+        Some(prev) => {
+            fepia_obs::install_sink(prev);
+        }
+        None => {
+            fepia_obs::clear_sink();
+        }
+    }
+
+    // The plan.* counters recorded the compiled-path work.
+    let snap = fepia_obs::global().snapshot();
+    assert!(snap.counter("plan.compiles").unwrap_or(0) >= 1);
+    assert!(
+        snap.counter("plan.eval.batch.items").unwrap_or(0) >= 3 * origins.len() as u64,
+        "batch item counter missing the three sweeps"
+    );
+    // 60 random moves, minus the ~1/5 that are no-ops (app already on the
+    // drawn machine) and skip the counter.
+    assert!(
+        snap.counter("plan.delta.moves").unwrap_or(0) >= 30,
+        "DeltaEval drop did not flush its move counter"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
