@@ -11,7 +11,7 @@
 //!
 //! Output: `results/fig1_radius_concept.svg` plus a console summary.
 
-use fepia_bench::outdir::results_dir;
+use fepia_bench::{or_fail, outdir::results_dir};
 use fepia_core::{FeatureSpec, FnImpact, Perturbation, RadiusOptions, Tolerance};
 use fepia_optim::VecN;
 use fepia_plot::{Chart, Series};
@@ -26,13 +26,14 @@ fn main() {
     // only the β^max curve is interesting, so the tolerance is upper-only.
     let feature = FeatureSpec::new("φ_i", Tolerance::upper(beta_max));
     let pert = Perturbation::continuous("π_j", origin.clone());
-    let result =
-        fepia_core::radius::robustness_radius(&feature, &impact, &pert, &RadiusOptions::default())
-            .expect("well-posed concept instance");
-    let star = result
-        .boundary_point
-        .clone()
-        .expect("reachable boundary has a witness point");
+    let result = or_fail!(
+        fepia_core::radius::robustness_radius(&feature, &impact, &pert, &RadiusOptions::default()),
+        "well-posed concept instance"
+    );
+    let star = or_fail!(
+        result.boundary_point.clone(),
+        "reachable boundary has a witness point"
+    );
 
     println!("Fig. 1 concept instance");
     println!("  f(π) = π₁²/40 + π₂,  β^max = {beta_max},  π_orig = (2, 1)");
@@ -76,6 +77,6 @@ fn main() {
     chart.add(Series::points("π*", vec![(star[0], star[1])]));
 
     let out = results_dir().join("fig1_radius_concept.svg");
-    chart.render(720.0, 540.0).save(&out).expect("write SVG");
+    or_fail!(chart.render(720.0, 540.0).save(&out), "write SVG");
     println!("  wrote {}", out.display());
 }

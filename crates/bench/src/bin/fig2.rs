@@ -6,7 +6,7 @@
 //! Output: `results/fig2_dag_model.svg`, plus the enumerated path listing
 //! (trigger/update) on the console.
 
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_hiperd::dag::topological_order;
 use fepia_hiperd::path::{enumerate_paths, Terminal};
 use fepia_hiperd::{generate_system, GenParams, Node};
@@ -89,6 +89,6 @@ fn main() {
         edges,
     };
     let out = results_dir().join("fig2_dag_model.svg");
-    plot.render(1100.0, 640.0).save(&out).expect("write SVG");
+    or_fail!(plot.render(1100.0, 640.0).save(&out), "write SVG");
     println!("wrote {}", out.display());
 }

@@ -12,7 +12,7 @@ use fepia_bench::csvout::{num, CsvTable};
 use fepia_bench::fig3data::{
     robustness_makespan_correlation, run, s1_cluster_fits, s1_theory_slope, Fig3Config,
 };
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_plot::{Chart, Series};
 use fepia_stats::{pearson, Summary};
 
@@ -50,7 +50,7 @@ fn main() {
             p.in_s1.to_string(),
         ]);
     }
-    csv.save(dir.join("fig3_points.csv")).expect("write CSV");
+    or_fail!(csv.save(dir.join("fig3_points.csv")), "write CSV");
 
     // --- SVG: the Fig. 3 scatter. ---
     let cloud: Vec<(f64, f64)> = data
@@ -64,10 +64,12 @@ fn main() {
         "robustness (s)",
     );
     chart.add(Series::points("mappings", cloud));
-    chart
-        .render(760.0, 560.0)
-        .save(dir.join("fig3_robustness_vs_makespan.svg"))
-        .expect("write SVG");
+    or_fail!(
+        chart
+            .render(760.0, 560.0)
+            .save(dir.join("fig3_robustness_vs_makespan.svg")),
+        "write SVG"
+    );
 
     // --- SVG: the "not shown" LBI variant. ---
     let lbi_cloud: Vec<(f64, f64)> = data
@@ -81,10 +83,12 @@ fn main() {
         "robustness (s)",
     );
     chart_b.add(Series::points("mappings", lbi_cloud));
-    chart_b
-        .render(760.0, 560.0)
-        .save(dir.join("fig3b_robustness_vs_lbi.svg"))
-        .expect("write SVG");
+    or_fail!(
+        chart_b
+            .render(760.0, 560.0)
+            .save(dir.join("fig3b_robustness_vs_lbi.svg")),
+        "write SVG"
+    );
 
     // --- SVG: robustness distribution histogram. ---
     let hist = fepia_stats::Histogram::of(
@@ -99,10 +103,12 @@ fn main() {
         let (a, b) = hist.bin_range(i);
         hist_chart.add(format!("{:.0}–{:.0}", a, b), count as f64);
     }
-    hist_chart
-        .render(760.0, 420.0)
-        .save(dir.join("fig3_robustness_hist.svg"))
-        .expect("write SVG");
+    or_fail!(
+        hist_chart
+            .render(760.0, 420.0)
+            .save(dir.join("fig3_robustness_hist.svg")),
+        "write SVG"
+    );
 
     // --- Cluster analysis (the straight lines of Fig. 3). ---
     let fits = s1_cluster_fits(&data);
@@ -131,9 +137,7 @@ fn main() {
             num(fit.r2),
         ]);
     }
-    cluster_csv
-        .save(dir.join("fig3_clusters.csv"))
-        .expect("write CSV");
+    or_fail!(cluster_csv.save(dir.join("fig3_clusters.csv")), "write CSV");
 
     // --- Console summary (the claims EXPERIMENTS.md records). ---
     let r = robustness_makespan_correlation(&data).unwrap_or(f64::NAN);
@@ -162,7 +166,7 @@ fn main() {
 
     // Vertical-spread check: similar makespans, very different robustness.
     let mut sorted: Vec<&fepia_bench::fig3data::Fig3Point> = data.points.iter().collect();
-    sorted.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("no NaN"));
+    sorted.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
     let mut best_ratio: f64 = 1.0;
     for w in sorted.windows(8) {
         let lo = w.iter().map(|p| p.robustness).fold(f64::INFINITY, f64::min);

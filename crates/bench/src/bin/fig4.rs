@@ -8,7 +8,7 @@
 
 use fepia_bench::csvout::{num, CsvTable};
 use fepia_bench::fig4data::{robustness_slack_correlation, run, Fig4Config};
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_plot::{Chart, Series};
 use fepia_stats::Summary;
 use std::collections::BTreeMap;
@@ -51,7 +51,7 @@ fn main() {
             get(2),
         ]);
     }
-    csv.save(dir.join("fig4_points.csv")).expect("write CSV");
+    or_fail!(csv.save(dir.join("fig4_points.csv")), "write CSV");
 
     // --- SVG. ---
     let feasible: Vec<&fepia_bench::fig4data::Fig4Point> =
@@ -63,10 +63,12 @@ fn main() {
         "robustness (objects per data set)",
     );
     chart.add(Series::points("mappings", cloud));
-    chart
-        .render(760.0, 560.0)
-        .save(dir.join("fig4_robustness_vs_slack.svg"))
-        .expect("write SVG");
+    or_fail!(
+        chart
+            .render(760.0, 560.0)
+            .save(dir.join("fig4_robustness_vs_slack.svg")),
+        "write SVG"
+    );
 
     // --- Console summary. ---
     println!("Fig. 4 (seed {seed}, {mappings} mappings)");
@@ -103,7 +105,7 @@ fn main() {
 
     // Same-slack robustness spread (the paper's headline observation).
     let mut sorted = feasible.clone();
-    sorted.sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("no NaN"));
+    sorted.sort_by(|a, b| a.slack.total_cmp(&b.slack));
     let mut best_ratio: f64 = 1.0;
     for i in 0..sorted.len() {
         for j in (i + 1)..sorted.len() {

@@ -9,7 +9,7 @@
 //! Output: `results/heuristics_table.csv` + console tables.
 
 use fepia_bench::csvout::{num, CsvTable};
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_etc::{
     generate_braun, generate_cvb, BraunClass, Consistency, EtcMatrix, EtcParams, HiLo,
 };
@@ -81,7 +81,7 @@ fn main() {
             let pairs = par_map_dynamic(&ks, &ParConfig::default(), move |_, &k| {
                 let etc = instance(kind, seed + k);
                 let mapping = h_ref.map(&etc, &mut rng_for(seed + k, 1));
-                let rob = makespan_robustness(&mapping, &etc, tau).expect("valid instance");
+                let rob = or_fail!(makespan_robustness(&mapping, &etc, tau), "valid instance");
                 (rob.makespan, rob.metric)
             });
             let makespans: Vec<f64> = pairs.iter().map(|p| p.0).collect();
@@ -113,7 +113,6 @@ fn main() {
     }
 
     let dir = results_dir();
-    csv.save(dir.join("heuristics_table.csv"))
-        .expect("write CSV");
+    or_fail!(csv.save(dir.join("heuristics_table.csv")), "write CSV");
     println!("\nwrote heuristics_table.csv in {}", dir.display());
 }

@@ -16,7 +16,7 @@
 
 use fepia_bench::csvout::{num, CsvTable};
 use fepia_bench::fig3data::{robustness_makespan_correlation, run, Fig3Config};
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_etc::EtcParams;
 use fepia_stats::Summary;
 
@@ -28,7 +28,7 @@ fn same_makespan_spread(data: &fepia_bench::fig3data::Fig3Data) -> f64 {
         .iter()
         .map(|p| (p.makespan, p.robustness))
         .collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut best: f64 = 1.0;
     for i in 0..pts.len() {
         for j in (i + 1)..pts.len() {
@@ -105,7 +105,6 @@ fn main() {
     }
 
     let dir = results_dir();
-    csv.save(dir.join("sweep_heterogeneity.csv"))
-        .expect("write CSV");
+    or_fail!(csv.save(dir.join("sweep_heterogeneity.csv")), "write CSV");
     println!("wrote sweep_heterogeneity.csv in {}", dir.display());
 }

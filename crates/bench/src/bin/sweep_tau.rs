@@ -11,7 +11,7 @@
 //! Output: `results/sweep_tau.csv` + `results/sweep_tau.svg`.
 
 use fepia_bench::csvout::{num, CsvTable};
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_etc::{generate_cvb, EtcParams};
 use fepia_mapping::{makespan_robustness, Mapping};
 use fepia_plot::{Chart, Series};
@@ -41,7 +41,7 @@ fn main() {
         let mut pts = Vec::new();
         let mut bindings = Vec::new();
         for &tau in &taus {
-            let rob = makespan_robustness(&mapping, &etc, tau).expect("τ ≥ 1");
+            let rob = or_fail!(makespan_robustness(&mapping, &etc, tau), "τ ≥ 1");
             csv.row(&[
                 m_idx.to_string(),
                 num(tau),
@@ -54,19 +54,15 @@ fn main() {
         let switches = bindings.windows(2).filter(|w| w[0] != w[1]).count();
         println!(
             "  mapping {m_idx}: ρ(1.0) = {:.3} → ρ(1.8) = {:.3}, binding-machine switches: {switches}",
-            pts.first().expect("nonempty").1,
-            pts.last().expect("nonempty").1
+            or_fail!(pts.first(), "nonempty").1,
+            or_fail!(pts.last(), "nonempty").1
         );
         chart.add(Series::line(format!("mapping {m_idx}"), pts));
 
         // Concavity check: piecewise-linear min of affine functions.
         let ys: Vec<f64> = taus
             .iter()
-            .map(|&t| {
-                makespan_robustness(&mapping, &etc, t)
-                    .expect("τ ≥ 1")
-                    .metric
-            })
+            .map(|&t| or_fail!(makespan_robustness(&mapping, &etc, t), "τ ≥ 1").metric)
             .collect();
         for w in ys.windows(3) {
             assert!(
@@ -77,10 +73,10 @@ fn main() {
     }
 
     let dir = results_dir();
-    csv.save(dir.join("sweep_tau.csv")).expect("write CSV");
-    chart
-        .render(760.0, 560.0)
-        .save(dir.join("sweep_tau.svg"))
-        .expect("write SVG");
+    or_fail!(csv.save(dir.join("sweep_tau.csv")), "write CSV");
+    or_fail!(
+        chart.render(760.0, 560.0).save(dir.join("sweep_tau.svg")),
+        "write SVG"
+    );
     println!("wrote sweep_tau.csv, sweep_tau.svg in {}", dir.display());
 }

@@ -11,7 +11,7 @@
 //! Outputs: `results/table2.txt` and the same text on the console.
 
 use fepia_bench::fig4data::{best_table2_pair, run, Fig4Config};
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_hiperd::{HiperdMapping, HiperdSystem, Shape};
 use std::fmt::Write as _;
 
@@ -85,8 +85,10 @@ fn main() {
         ..Fig4Config::paper(seed)
     });
 
-    let pair = best_table2_pair(&data, max_gap)
-        .expect("a feasible near-equal-slack pair exists in a 1000-mapping sweep");
+    let pair = or_fail!(
+        best_table2_pair(&data, max_gap),
+        "a feasible near-equal-slack pair exists in a 1000-mapping sweep"
+    );
     let a = &data.points[pair.a];
     let b = &data.points[pair.b];
 
@@ -127,6 +129,6 @@ fn main() {
 
     print!("{out}");
     let path = results_dir().join("table2.txt");
-    std::fs::write(&path, &out).expect("write table");
+    or_fail!(std::fs::write(&path, &out), "write table");
     println!("wrote {}", path.display());
 }

@@ -10,7 +10,7 @@
 //! Output: console summary + `results/validate.csv`.
 
 use fepia_bench::csvout::{num, CsvTable};
-use fepia_bench::outdir::{arg_value, results_dir};
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
 use fepia_core::RadiusOptions;
 use fepia_etc::{generate_cvb, EtcParams};
 use fepia_hiperd::path::enumerate_paths;
@@ -43,8 +43,10 @@ fn main() {
         let s = seed + k as u64;
         let etc = generate_cvb(&mut rng_for(s, 0), &EtcParams::paper_section_4_2());
         let mapping = Mapping::random(&mut rng_for(s, 1), 20, 5);
-        let out = validate_radius_guarantee(&mapping, &etc, 1.2, trials, &mut rng_for(s, 2))
-            .expect("valid instance");
+        let out = or_fail!(
+            validate_radius_guarantee(&mapping, &etc, 1.2, trials, &mut rng_for(s, 2)),
+            "valid instance"
+        );
         total_trials += out.trials;
         total_false += out.false_violations;
         probes_ok += usize::from(out.boundary_probe_violates);
@@ -80,7 +82,10 @@ fn main() {
             sys.n_apps,
             sys.n_machines,
         );
-        let rob = load_robustness_with_paths(&sys, &mapping, &paths, &opts).expect("well-posed");
+        let rob = or_fail!(
+            load_robustness_with_paths(&sys, &mapping, &paths, &opts),
+            "well-posed"
+        );
         if !(rob.metric.is_finite() && rob.metric > 1.0) {
             continue;
         }
@@ -105,7 +110,7 @@ fn main() {
                 false_violations += 1;
             }
         }
-        let star = rob.lambda_star.clone().expect("finite metric has witness");
+        let star = or_fail!(rob.lambda_star.clone(), "finite metric has witness");
         let overshoot = lambda_orig.add_scaled(1.005, &(&star - &lambda_orig));
         let probe = set
             .constraints
@@ -134,6 +139,6 @@ fn main() {
     );
 
     let dir = results_dir();
-    csv.save(dir.join("validate.csv")).expect("write CSV");
+    or_fail!(csv.save(dir.join("validate.csv")), "write CSV");
     println!("wrote validate.csv in {}", dir.display());
 }

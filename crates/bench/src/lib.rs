@@ -16,6 +16,7 @@
 //! and console summaries.
 
 pub mod csvout;
+pub mod fatal;
 pub mod fig3data;
 pub mod fig4data;
 pub mod outdir;

@@ -8,7 +8,7 @@ pub fn results_dir() -> PathBuf {
     let dir = std::env::var_os("FEPIA_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    crate::or_fail!(std::fs::create_dir_all(&dir), "create results directory");
     dir
 }
 

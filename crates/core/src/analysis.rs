@@ -11,6 +11,7 @@ use crate::impact::Impact;
 use crate::perturbation::Perturbation;
 use crate::plan::AnalysisPlan;
 use crate::radius::{RadiusOptions, RadiusResult};
+use crate::verdict::{FailReason, PlanVerdict, ResiliencePolicy, VerdictKind};
 use std::sync::{Arc, Mutex};
 
 /// One feature's radius within a full analysis.
@@ -35,6 +36,11 @@ pub struct RobustnessReport {
     /// ("ρ should not have fractional values"); `None` for continuous
     /// parameters.
     pub floored_metric: Option<f64>,
+    /// Classification of the evaluation. The legacy exact path always emits
+    /// [`VerdictKind::Exact`] (it aborts on failure instead of degrading);
+    /// fault-tolerant consumers read it to distinguish certified-degraded
+    /// reports (see [`crate::verdict`]).
+    pub kind: VerdictKind,
 }
 
 impl RobustnessReport {
@@ -173,6 +179,21 @@ impl FepiaAnalysis {
                 .emit();
         }
         Ok(report)
+    }
+
+    /// Fault-tolerant analogue of [`run`](Self::run): never fails, never
+    /// panics through — every outcome (including a compile error) becomes a
+    /// typed [`PlanVerdict`]. The workhorse of degraded sweeps; see
+    /// [`AnalysisPlan::evaluate_verdict`] for the per-origin semantics.
+    pub fn run_verdict(&self, opts: &RadiusOptions, policy: &ResiliencePolicy) -> PlanVerdict {
+        let _span = fepia_obs::span!("core.analysis.run_verdict");
+        match self.compile(opts) {
+            Ok(plan) => plan.evaluate_verdict(&self.perturbation.origin, policy),
+            Err(e) => PlanVerdict::all_failed(
+                self.features.len().max(1),
+                FailReason::Solver(e.to_string()),
+            ),
+        }
     }
 }
 

@@ -30,6 +30,15 @@ pub enum CoreError {
         /// Upper bound supplied.
         max: f64,
     },
+    /// A perturbation origin `πᵒʳⁱᵍ` contains a NaN or infinite component.
+    NonFiniteOrigin {
+        /// Name of the perturbation parameter.
+        name: String,
+        /// Index of the first offending component.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// An underlying numeric failure.
     Optim(OptimError),
 }
@@ -56,6 +65,10 @@ impl fmt::Display for CoreError {
             CoreError::InvalidTolerance { min, max } => {
                 write!(f, "invalid tolerance interval [{min}, {max}]")
             }
+            CoreError::NonFiniteOrigin { name, index, value } => write!(
+                f,
+                "perturbation '{name}' origin component {index} is non-finite ({value})"
+            ),
             CoreError::Optim(e) => write!(f, "numeric solver failure: {e}"),
         }
     }
@@ -95,6 +108,13 @@ mod tests {
         assert!(CoreError::InvalidTolerance { min: 2.0, max: 1.0 }
             .to_string()
             .contains("invalid"));
+        assert!(CoreError::NonFiniteOrigin {
+            name: "λ".into(),
+            index: 2,
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("non-finite"));
         let e = CoreError::from(OptimError::Unreachable);
         assert!(e.to_string().contains("unreachable"));
         assert!(std::error::Error::source(&e).is_some());

@@ -32,20 +32,34 @@ impl Tolerance {
 
     /// A tolerance bounded only from above (`βᵐⁱⁿ = −∞`): the common case
     /// for completion times and latencies where only growth hurts.
+    ///
+    /// # Panics
+    /// Panics when `max` is NaN; use [`Tolerance::try_upper`] for a fallible
+    /// variant.
     pub fn upper(max: f64) -> Self {
-        Tolerance {
-            min: f64::NEG_INFINITY,
-            max,
-        }
+        Self::try_upper(max).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A tolerance bounded only from below (`βᵐᵃˣ = +∞`), e.g. a minimum
     /// throughput.
+    ///
+    /// # Panics
+    /// Panics when `min` is NaN; use [`Tolerance::try_lower`] for a fallible
+    /// variant.
     pub fn lower(min: f64) -> Self {
-        Tolerance {
-            min,
-            max: f64::INFINITY,
-        }
+        Self::try_lower(min).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Tolerance::upper`]: rejects a NaN bound with
+    /// [`CoreError::InvalidTolerance`].
+    pub fn try_upper(max: f64) -> Result<Self, CoreError> {
+        Self::new(f64::NEG_INFINITY, max)
+    }
+
+    /// Fallible [`Tolerance::lower`]: rejects a NaN bound with
+    /// [`CoreError::InvalidTolerance`].
+    pub fn try_lower(min: f64) -> Result<Self, CoreError> {
+        Self::new(min, f64::INFINITY)
     }
 
     /// Whether the feature value `v` lies within the tolerable variation.
@@ -108,6 +122,14 @@ mod tests {
     fn rejects_nan() {
         assert!(Tolerance::new(f64::NAN, 1.0).is_err());
         assert!(Tolerance::new(0.0, f64::NAN).is_err());
+        assert!(Tolerance::try_upper(f64::NAN).is_err());
+        assert!(Tolerance::try_lower(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tolerance")]
+    fn one_sided_constructor_rejects_nan() {
+        Tolerance::upper(f64::NAN);
     }
 
     #[test]

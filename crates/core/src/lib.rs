@@ -38,6 +38,7 @@ pub mod perturbation;
 pub mod plan;
 pub mod radius;
 pub mod report;
+pub mod verdict;
 
 pub use analysis::{FeatureRadius, FepiaAnalysis, RobustnessReport};
 pub use error::CoreError;
@@ -48,3 +49,6 @@ pub use multiparam::MultiParamAnalysis;
 pub use perturbation::{Domain, Perturbation};
 pub use plan::{AnalysisPlan, PlanEvaluation, PlanWorkspace};
 pub use radius::{robustness_radius, Bound, RadiusMethod, RadiusOptions, RadiusResult};
+pub use verdict::{
+    DegradeReason, FailReason, PlanVerdict, RadiusVerdict, ResiliencePolicy, VerdictKind,
+};

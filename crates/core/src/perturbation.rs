@@ -5,6 +5,7 @@
 //! perturbation parameter has an assumed operating value `πⱼᵒʳⁱᵍ` — the ETC
 //! vector `C_orig` in §3.1, the initial sensor loads `λ_orig` in §3.2.
 
+use crate::error::CoreError;
 use fepia_optim::VecN;
 
 /// Whether the parameter varies continuously or on an integer lattice.
@@ -35,21 +36,48 @@ pub struct Perturbation {
 
 impl Perturbation {
     /// Creates a continuous perturbation parameter.
+    ///
+    /// # Panics
+    /// Panics when any origin component is NaN or infinite; use
+    /// [`Perturbation::try_continuous`] for a fallible variant.
     pub fn continuous(name: impl Into<String>, origin: VecN) -> Self {
-        Perturbation {
-            name: name.into(),
-            origin,
-            domain: Domain::Continuous,
-        }
+        Self::try_continuous(name, origin).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates a discrete perturbation parameter (metric will be floored).
+    ///
+    /// # Panics
+    /// Panics when any origin component is NaN or infinite; use
+    /// [`Perturbation::try_discrete`] for a fallible variant.
     pub fn discrete(name: impl Into<String>, origin: VecN) -> Self {
-        Perturbation {
-            name: name.into(),
-            origin,
-            domain: Domain::Discrete,
+        Self::try_discrete(name, origin).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Perturbation::continuous`]: rejects non-finite origin
+    /// components with [`CoreError::NonFiniteOrigin`].
+    pub fn try_continuous(name: impl Into<String>, origin: VecN) -> Result<Self, CoreError> {
+        Self::validated(name.into(), origin, Domain::Continuous)
+    }
+
+    /// Fallible [`Perturbation::discrete`]: rejects non-finite origin
+    /// components with [`CoreError::NonFiniteOrigin`].
+    pub fn try_discrete(name: impl Into<String>, origin: VecN) -> Result<Self, CoreError> {
+        Self::validated(name.into(), origin, Domain::Discrete)
+    }
+
+    fn validated(name: String, origin: VecN, domain: Domain) -> Result<Self, CoreError> {
+        if let Some(index) = origin.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteOrigin {
+                value: origin[index],
+                name,
+                index,
+            });
         }
+        Ok(Perturbation {
+            name,
+            origin,
+            domain,
+        })
     }
 
     /// The number of elements `n_{πⱼ}` in the parameter vector.
@@ -72,5 +100,18 @@ mod tests {
         assert_eq!(d.domain, Domain::Discrete);
         assert_eq!(d.dim(), 3);
         assert_eq!(d.name, "sensor load λ");
+    }
+
+    #[test]
+    fn rejects_non_finite_origin() {
+        let err = Perturbation::try_continuous("C", VecN::from([1.0, f64::NAN])).unwrap_err();
+        assert!(matches!(err, CoreError::NonFiniteOrigin { index: 1, .. }));
+        assert!(Perturbation::try_discrete("λ", VecN::from([f64::INFINITY])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infallible_constructor_panics_on_nan_origin() {
+        Perturbation::continuous("C", VecN::from([f64::NAN, 1.0]));
     }
 }

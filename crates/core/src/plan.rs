@@ -30,15 +30,24 @@
 
 use crate::analysis::{FeatureRadius, RobustnessReport};
 use crate::error::CoreError;
-use crate::feature::FeatureSpec;
+use crate::feature::{FeatureSpec, Tolerance};
 use crate::impact::Impact;
 use crate::perturbation::{Domain, Perturbation};
 use crate::radius::{
     affine_bound_radius, dual_norm, radius_inner, record_radius, Bound, RadiusMethod,
     RadiusOptions, RadiusResult,
 };
-use fepia_optim::{Norm, OptimError, SolverWorkspace, VecN};
-use fepia_par::{par_map_dynamic_with, ParConfig};
+use crate::verdict::{
+    DegradeReason, FailReason, PlanVerdict, RadiusVerdict, ResiliencePolicy, VerdictKind,
+};
+use fepia_optim::{
+    certified_level_interval, min_norm_to_level_set_resilient, LevelSetProblem, Norm, OptimError,
+    SolverOptions, SolverWorkspace, VecN,
+};
+use fepia_par::{
+    par_map_dynamic_catch_with, par_map_dynamic_with, CatchConfig, ParConfig, TaskError,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Where a feature landed after compilation.
@@ -510,7 +519,212 @@ impl AnalysisPlan {
             metric,
             binding,
             floored_metric,
+            kind: VerdictKind::Exact,
         })
+    }
+
+    /// One feature's classified verdict at `origin` — the fault-tolerant
+    /// counterpart of [`Self::eval_feature`]. Never returns an error and
+    /// (with `policy.catch_panics`) never unwinds: every outcome maps onto
+    /// a [`RadiusVerdict`].
+    fn eval_feature_verdict(
+        &self,
+        idx: usize,
+        origin: &VecN,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+    ) -> RadiusVerdict {
+        let feature = &self.features[idx];
+        match feature.slot {
+            // The affine arm is exact and infallible past the finiteness
+            // check, so the legacy evaluator already covers it.
+            Slot::Affine(_) => match self.eval_feature(idx, origin, ws, false) {
+                Ok(r) if r.violated => RadiusVerdict::Infeasible,
+                Ok(r) => RadiusVerdict::Exact(r),
+                Err(CoreError::Optim(OptimError::NonFinite)) => {
+                    RadiusVerdict::Failed(FailReason::NonFiniteImpact)
+                }
+                Err(e) => RadiusVerdict::Failed(FailReason::Solver(e.to_string())),
+            },
+            Slot::Numeric(k) => {
+                let impact = self.numeric[k].impact.as_ref();
+                let tol = feature.spec.tolerance;
+                if policy.catch_panics {
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        self.numeric_feature_verdict(tol, impact, origin, &mut ws.solver, policy)
+                    }));
+                    match attempt {
+                        Ok(verdict) => verdict,
+                        Err(payload) => {
+                            // The workspace may hold partially-written
+                            // buffers from the unwound solve: reinitialize
+                            // (self-heal) before the next feature uses it.
+                            ws.solver = SolverWorkspace::new();
+                            if fepia_obs::enabled() {
+                                fepia_obs::global().counter("core.verdict.panics").inc();
+                            }
+                            RadiusVerdict::Failed(FailReason::Panic(panic_text(payload)))
+                        }
+                    }
+                } else {
+                    self.numeric_feature_verdict(tol, impact, origin, &mut ws.solver, policy)
+                }
+            }
+        }
+    }
+
+    /// The numeric arm of [`Self::eval_feature_verdict`]: mirrors
+    /// `radius_inner`'s pre-checks, then solves each active bound with the
+    /// resilient solver and combines the two outcomes.
+    fn numeric_feature_verdict(
+        &self,
+        tol: Tolerance,
+        impact: &dyn Impact,
+        origin: &VecN,
+        ws: &mut SolverWorkspace,
+        policy: &ResiliencePolicy,
+    ) -> RadiusVerdict {
+        let f_orig = impact.eval(origin);
+        if !f_orig.is_finite() {
+            return RadiusVerdict::Failed(FailReason::NonFiniteImpact);
+        }
+        if !tol.contains(f_orig) {
+            return RadiusVerdict::Infeasible;
+        }
+        if tol.min == tol.max {
+            // Degenerate tolerance: origin on the only boundary (see
+            // `radius_inner` for the rationale).
+            return RadiusVerdict::Exact(RadiusResult {
+                radius: 0.0,
+                boundary_point: Some(origin.clone()),
+                bound: Some(Bound::Max),
+                violated: false,
+                method: RadiusMethod::Analytic,
+                iterations: 0,
+                f_evals: 1,
+            });
+        }
+        let mut outcomes = Vec::with_capacity(2);
+        if tol.has_upper() {
+            outcomes.push((
+                numeric_bound_verdict(impact, tol.max, origin, 1.0, &self.opts.solver, policy, ws),
+                Bound::Max,
+            ));
+        }
+        if tol.has_lower() {
+            outcomes.push((
+                numeric_bound_verdict(impact, tol.min, origin, -1.0, &self.opts.solver, policy, ws),
+                Bound::Min,
+            ));
+        }
+        combine_bound_outcomes(outcomes)
+    }
+
+    /// Fault-tolerant evaluation at `origin`: classifies every feature
+    /// instead of aborting, so sweeps always get an answer per origin.
+    ///
+    /// Under fault injection (`fepia-chaos` enabled) origin components may
+    /// be poisoned before the finiteness scan, exercising the same rejection
+    /// path as genuinely bad inputs.
+    pub fn evaluate_verdict_with(
+        &self,
+        origin: &VecN,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+    ) -> PlanVerdict {
+        if origin.dim() != self.affine.dim {
+            return self.record_verdict(PlanVerdict::all_failed(
+                self.features.len(),
+                FailReason::DimensionMismatch {
+                    got: origin.dim(),
+                    expected: self.affine.dim,
+                },
+            ));
+        }
+        let poisoned;
+        let origin = if fepia_chaos::enabled() {
+            let mut v = origin.clone();
+            for i in 0..v.dim() {
+                v[i] = fepia_chaos::poison_f64("core.origin", v[i]);
+            }
+            poisoned = v;
+            &poisoned
+        } else {
+            origin
+        };
+        if let Some(index) = origin.as_slice().iter().position(|x| !x.is_finite()) {
+            return self.record_verdict(PlanVerdict::all_failed(
+                self.features.len(),
+                FailReason::NonFiniteInput { index },
+            ));
+        }
+        let mut radii = Vec::with_capacity(self.features.len());
+        for idx in 0..self.features.len() {
+            radii.push(self.eval_feature_verdict(idx, origin, ws, policy));
+        }
+        self.record_verdict(PlanVerdict::from_radii(radii))
+    }
+
+    /// [`Self::evaluate_verdict_with`] with a throwaway workspace.
+    pub fn evaluate_verdict(&self, origin: &VecN, policy: &ResiliencePolicy) -> PlanVerdict {
+        let mut ws = self.workspace();
+        self.evaluate_verdict_with(origin, &mut ws, policy)
+    }
+
+    /// Sequential fault-tolerant batch: one verdict per origin, no early
+    /// abort, one shared workspace.
+    pub fn evaluate_batch_verdicts(
+        &self,
+        origins: &[VecN],
+        policy: &ResiliencePolicy,
+    ) -> Vec<PlanVerdict> {
+        let _span = fepia_obs::span!("core.plan.batch_verdicts");
+        let mut ws = self.workspace();
+        origins
+            .iter()
+            .map(|origin| self.evaluate_verdict_with(origin, &mut ws, policy))
+            .collect()
+    }
+
+    /// Parallel fault-tolerant batch over the catching `fepia-par` driver:
+    /// worker panics are isolated per origin, quarantined tasks get one
+    /// bounded re-dispatch, and an origin whose task panics on every attempt
+    /// still yields a verdict ([`FailReason::Panic`]) rather than killing
+    /// the sweep.
+    pub fn evaluate_batch_par_verdicts(
+        &self,
+        origins: &[VecN],
+        cfg: &ParConfig,
+        policy: &ResiliencePolicy,
+    ) -> Vec<PlanVerdict> {
+        let _span = fepia_obs::span!("core.plan.batch_verdicts");
+        let catch = CatchConfig::default();
+        par_map_dynamic_catch_with(origins, cfg, &catch, PlanWorkspace::new, {
+            |ws: &mut PlanWorkspace, _i, origin: &VecN| {
+                self.evaluate_verdict_with(origin, ws, policy)
+            }
+        })
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(TaskError::Panicked { message, .. }) => {
+                PlanVerdict::all_failed(self.features.len(), FailReason::Panic(message))
+            }
+        })
+        .collect()
+    }
+
+    fn record_verdict(&self, v: PlanVerdict) -> PlanVerdict {
+        if fepia_obs::enabled() {
+            let reg = fepia_obs::global();
+            for r in &v.radii {
+                reg.counter(&format!("core.verdict.{}", r.label())).inc();
+            }
+            if !v.is_exact() {
+                reg.counter("degraded.evaluations").inc();
+            }
+        }
+        v
     }
 
     fn check_dim(&self, origin: &VecN) -> Result<(), CoreError> {
@@ -524,17 +738,226 @@ impl AnalysisPlan {
     }
 }
 
+/// Outcome of one numeric bound solve in the verdict path: exact, certified
+/// interval, or nothing.
+enum BoundOutcome {
+    Exact {
+        radius: f64,
+        point: Option<VecN>,
+        iterations: usize,
+        f_evals: u64,
+    },
+    Interval {
+        lo: f64,
+        hi: f64,
+        reason: DegradeReason,
+        restarts: usize,
+    },
+    Fail(FailReason),
+}
+
+/// Resilient counterpart of `numeric_bound_radius`: solve toward one
+/// tolerance boundary under the retry policy, degrading to the axis-probe
+/// certificate instead of erroring.
+fn numeric_bound_verdict(
+    impact: &dyn Impact,
+    beta: f64,
+    origin: &VecN,
+    direction: f64,
+    solver: &SolverOptions,
+    policy: &ResiliencePolicy,
+    ws: &mut SolverWorkspace,
+) -> BoundOutcome {
+    let f = |pi: &VecN| direction * impact.eval(pi);
+    let has_grad = impact.gradient(origin).is_some();
+    let g = |pi: &VecN| {
+        impact
+            .gradient(pi)
+            .map(|v| v.scaled(direction))
+            .expect("gradient availability checked before solving")
+    };
+    let problem = LevelSetProblem {
+        f: &f,
+        grad: if has_grad { Some(&g) } else { None },
+        origin,
+        level: direction * beta,
+    };
+    match min_norm_to_level_set_resilient(&problem, solver, &policy.retry, ws) {
+        Ok(res) if !res.degraded => BoundOutcome::Exact {
+            radius: res.solution.radius,
+            point: Some(res.solution.point),
+            iterations: res.solution.iterations,
+            f_evals: res.solution.f_evals,
+        },
+        Ok(res) => {
+            // Non-converged, but every solver iterate sits on the boundary:
+            // the best radius found is a certified upper bound. The axis
+            // probes supply the lower certificate.
+            let hi = res.solution.radius;
+            let lo = match certified_level_interval(&problem, solver, policy.certify_bisections) {
+                Ok(iv) => iv.lo.min(hi),
+                Err(_) => 0.0,
+            };
+            BoundOutcome::Interval {
+                lo,
+                hi,
+                reason: DegradeReason::IterationCap,
+                restarts: res.restarts,
+            }
+        }
+        Err(OptimError::Unreachable) => BoundOutcome::Exact {
+            radius: f64::INFINITY,
+            point: None,
+            iterations: 0,
+            f_evals: 0,
+        },
+        Err(e) => {
+            let restarts = match &e {
+                OptimError::Exhausted { restarts, .. } => *restarts,
+                _ => 0,
+            };
+            match certified_level_interval(&problem, solver, policy.certify_bisections) {
+                Ok(iv) => BoundOutcome::Interval {
+                    lo: iv.lo,
+                    hi: iv.hi,
+                    reason: DegradeReason::BudgetExhausted,
+                    restarts,
+                },
+                Err(ce) => BoundOutcome::Fail(FailReason::Solver(format!("{e}; fallback: {ce}"))),
+            }
+        }
+    }
+}
+
+/// Combines the (up to two) per-bound outcomes into one feature verdict.
+/// The all-exact path reproduces the legacy `consider` loop (min radius,
+/// upper bound first on ties); anything else aggregates min-of-intervals,
+/// a failed bound contributing the vacuous `[0, ∞)`.
+fn combine_bound_outcomes(outcomes: Vec<(BoundOutcome, Bound)>) -> RadiusVerdict {
+    if outcomes.is_empty() {
+        // Both tolerances infinite: no boundary constrains the feature.
+        return RadiusVerdict::Exact(RadiusResult {
+            radius: f64::INFINITY,
+            boundary_point: None,
+            bound: None,
+            violated: false,
+            method: RadiusMethod::Unbounded,
+            iterations: 0,
+            f_evals: 1,
+        });
+    }
+    if outcomes
+        .iter()
+        .all(|(o, _)| matches!(o, BoundOutcome::Exact { .. }))
+    {
+        let mut best: Option<(f64, Option<VecN>, Bound)> = None;
+        let mut iterations = 0usize;
+        let mut f_evals = 1u64; // the feasibility check at the origin
+        for (o, bound) in outcomes {
+            if let BoundOutcome::Exact {
+                radius,
+                point,
+                iterations: it,
+                f_evals: fe,
+            } = o
+            {
+                iterations += it;
+                f_evals += fe;
+                if best.as_ref().is_none_or(|(r, _, _)| radius < *r) {
+                    best = Some((radius, point, bound));
+                }
+            }
+        }
+        return RadiusVerdict::Exact(match best {
+            Some((radius, point, bound)) if radius.is_finite() => RadiusResult {
+                radius,
+                boundary_point: point,
+                bound: Some(bound),
+                violated: false,
+                method: RadiusMethod::Numeric,
+                iterations,
+                f_evals,
+            },
+            _ => RadiusResult {
+                radius: f64::INFINITY,
+                boundary_point: None,
+                bound: None,
+                violated: false,
+                method: RadiusMethod::Unbounded,
+                iterations,
+                f_evals,
+            },
+        });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::INFINITY;
+    let mut reason = None;
+    let mut restarts_max = 0usize;
+    let mut fail: Option<FailReason> = None;
+    for (o, _) in outcomes {
+        match o {
+            BoundOutcome::Exact { radius, .. } => {
+                lo = lo.min(radius);
+                hi = hi.min(radius);
+            }
+            BoundOutcome::Interval {
+                lo: l,
+                hi: h,
+                reason: r,
+                restarts,
+            } => {
+                lo = lo.min(l);
+                hi = hi.min(h);
+                reason.get_or_insert(r);
+                restarts_max = restarts_max.max(restarts);
+            }
+            BoundOutcome::Fail(fr) => {
+                // The failed bound's radius could be anything in [0, ∞).
+                lo = 0.0;
+                fail.get_or_insert(fr);
+            }
+        }
+    }
+    if let Some(fr) = fail {
+        if lo == 0.0 && hi.is_infinite() {
+            // Nothing certified on either side.
+            return RadiusVerdict::Failed(fr);
+        }
+    }
+    RadiusVerdict::Bounded {
+        lo: lo.min(hi),
+        hi,
+        reason: reason.unwrap_or(DegradeReason::BudgetExhausted),
+        restarts: restarts_max,
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Index of the first minimum (the tie-break `Iterator::min_by` uses, which
 /// the legacy binding-feature selection relies on).
 fn first_min_index(radii: &[f64]) -> usize {
     first_min_index_by(radii, |r| *r)
 }
 
+/// `total_cmp` is selection-identical to the historical
+/// `partial_cmp().expect(..)` here — radii are never `-0.0` (they come from
+/// `abs()` / norms) — but it stays total under fault injection: a NaN radius
+/// (positive bit pattern) sorts *after* `+∞` and is never picked as the
+/// minimum instead of poisoning the whole comparison.
 fn first_min_index_by<T>(items: &[T], key: impl Fn(&T) -> f64) -> usize {
     items
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("radius is never NaN"))
+        .min_by(|(_, a), (_, b)| key(a).total_cmp(&key(b)))
         .map(|(i, _)| i)
         .expect("non-empty feature set")
 }
@@ -725,6 +1148,152 @@ mod tests {
         let plan = a.compile(&RadiusOptions::default()).unwrap();
         let eval = plan.evaluate(&VecN::zeros(2)).unwrap();
         assert_eq!(eval.metric, f64::INFINITY);
+    }
+
+    #[test]
+    fn verdict_matches_exact_path_on_clean_problems() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        let origin = analysis.perturbation().origin.clone();
+        let eval = plan.evaluate(&origin).unwrap();
+        let verdict = plan.evaluate_verdict(&origin, &ResiliencePolicy::default());
+        assert_eq!(verdict.kind, VerdictKind::Exact);
+        assert!(verdict.is_exact());
+        assert_eq!(verdict.metric_lo.to_bits(), eval.metric.to_bits());
+        assert_eq!(verdict.metric_hi.to_bits(), eval.metric.to_bits());
+        assert_eq!(verdict.binding, Some(eval.binding));
+        for (v, r) in verdict.radii.iter().zip(eval.radii.iter()) {
+            assert_eq!(v.exact_radius().unwrap().to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn verdict_classifies_poisoned_origin() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        let bad = VecN::from([1.0, f64::NAN, 3.0]);
+        let verdict = plan.evaluate_verdict(&bad, &ResiliencePolicy::default());
+        assert_eq!(verdict.kind, VerdictKind::Failed);
+        assert_eq!(verdict.radii.len(), 3);
+        for v in &verdict.radii {
+            assert!(matches!(
+                v,
+                RadiusVerdict::Failed(FailReason::NonFiniteInput { index: 1 })
+            ));
+        }
+        assert_eq!(verdict.metric_lo, 0.0);
+        assert_eq!(verdict.metric_hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn verdict_classifies_dimension_mismatch() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        let verdict = plan.evaluate_verdict(&VecN::zeros(2), &ResiliencePolicy::default());
+        assert_eq!(verdict.kind, VerdictKind::Failed);
+        assert!(matches!(
+            verdict.radii[0],
+            RadiusVerdict::Failed(FailReason::DimensionMismatch {
+                got: 2,
+                expected: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn verdict_isolates_panicking_impact() {
+        let pert = Perturbation::continuous("p", VecN::from([1.0, 1.0]));
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("good", Tolerance::upper(10.0)),
+            LinearImpact::new(VecN::from([1.0, 1.0]), 0.0),
+        );
+        a.add_feature(
+            FeatureSpec::new("bomb", Tolerance::upper(10.0)),
+            FnImpact::new(|v: &VecN| {
+                if v.dot(v) > 2.5 {
+                    panic!("impact exploded");
+                }
+                v.dot(v)
+            })
+            .with_dim(2),
+        );
+        let plan = a.compile(&RadiusOptions::default()).unwrap();
+        let verdict = plan.evaluate_verdict(&VecN::from([1.0, 1.0]), &ResiliencePolicy::default());
+        assert_eq!(verdict.kind, VerdictKind::Failed);
+        assert!(matches!(
+            &verdict.radii[1],
+            RadiusVerdict::Failed(FailReason::Panic(msg)) if msg.contains("impact exploded")
+        ));
+        // The clean feature still certifies the metric's upper bound.
+        let (lo, hi) = verdict.radii[0].radius_bounds().unwrap();
+        assert_eq!(lo, hi);
+        assert!(hi.is_finite());
+        assert_eq!(verdict.metric_hi.to_bits(), hi.to_bits());
+        assert_eq!(verdict.metric_lo, 0.0);
+    }
+
+    #[test]
+    fn verdict_degrades_to_certified_interval_when_starved() {
+        // One outer iteration and no restarts: the curved feature cannot
+        // converge, so the verdict must degrade to an interval that still
+        // brackets the true radius (5.0 for ‖π‖² = 25 from the origin).
+        let pert = Perturbation::continuous("p", VecN::zeros(2));
+        let mut a = FepiaAnalysis::new(pert);
+        a.add_feature(
+            FeatureSpec::new("quad", Tolerance::upper(25.0)),
+            FnImpact::new(|v: &VecN| v.dot(v)).with_dim(2),
+        );
+        let opts = RadiusOptions {
+            norm: Norm::L2,
+            solver: fepia_optim::SolverOptions {
+                max_outer: 1,
+                ..Default::default()
+            },
+        };
+        let plan = a.compile(&opts).unwrap();
+        let policy = ResiliencePolicy {
+            retry: fepia_optim::RetryPolicy {
+                max_restarts: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let verdict = plan.evaluate_verdict(&VecN::zeros(2), &policy);
+        let (lo, hi) = verdict.radii[0]
+            .radius_bounds()
+            .expect("degraded verdict still has bounds");
+        assert!(lo <= 5.0 + 1e-6, "lo {lo} must not exceed true radius");
+        assert!(hi >= 5.0 - 1e-6, "hi {hi} must not undercut true radius");
+        assert!(
+            matches!(verdict.kind, VerdictKind::Bounded | VerdictKind::Exact),
+            "got {:?}",
+            verdict.kind
+        );
+    }
+
+    #[test]
+    fn batch_verdicts_cover_every_origin() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        let mut origins: Vec<VecN> = (0..12)
+            .map(|i| VecN::from([1.0 + i as f64 * 0.1, 2.0, 3.0]))
+            .collect();
+        origins[5] = VecN::from([f64::INFINITY, 0.0, 0.0]); // poisoned
+        origins[9] = VecN::zeros(2); // wrong dimension
+        let policy = ResiliencePolicy::default();
+        let seq = plan.evaluate_batch_verdicts(&origins, &policy);
+        assert_eq!(seq.len(), origins.len());
+        assert_eq!(seq[5].kind, VerdictKind::Failed);
+        assert_eq!(seq[9].kind, VerdictKind::Failed);
+        assert_eq!(seq[0].kind, VerdictKind::Exact);
+        let par = plan.evaluate_batch_par_verdicts(&origins, &ParConfig::with_threads(3), &policy);
+        assert_eq!(par.len(), origins.len());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.kind, p.kind);
+            assert_eq!(s.metric_lo.to_bits(), p.metric_lo.to_bits());
+            assert_eq!(s.metric_hi.to_bits(), p.metric_hi.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Typed verdicts for fault-tolerant robustness evaluation.
+//!
+//! The legacy entry points ([`crate::robustness_radius`],
+//! [`crate::plan::AnalysisPlan::evaluate`]) return `Result<_, CoreError>`:
+//! one poisoned input or non-convergent solve aborts the whole call — and,
+//! through `collect`, the whole 10k-mapping sweep. The verdict API never
+//! aborts: every feature of every origin gets a classification:
+//!
+//! * [`RadiusVerdict::Exact`] — the radius was computed exactly (analytic
+//!   form or converged solve).
+//! * [`RadiusVerdict::Bounded`] — the exact solve exhausted its retry
+//!   budget; a certified interval `[lo, hi]` brackets the radius (degraded
+//!   boundary point and/or the axis-probe certificates of
+//!   [`fepia_optim::certified_level_interval`]).
+//! * [`RadiusVerdict::Infeasible`] — the feature already violates its
+//!   tolerance at the origin: the radius is *certainly* zero.
+//! * [`RadiusVerdict::Failed`] — nothing could be certified; the reason
+//!   says why (poisoned input, panicking impact, solver exhaustion, ...).
+//!
+//! [`PlanVerdict`] aggregates per-feature verdicts into an interval on the
+//! metric `ρ = min_i r_i`, so degraded sweeps still rank mappings.
+
+use crate::radius::RadiusResult;
+use fepia_optim::RetryPolicy;
+
+/// Why an exact radius degraded to a certified interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// Every retry hit the solver's iteration cap; the best boundary point
+    /// found supplies the upper certificate.
+    IterationCap,
+    /// The retry budget (evals or wall deadline) ran out and the certified
+    /// axis-probe interval replaced the solve entirely.
+    BudgetExhausted,
+}
+
+/// Why a radius could not be computed or bracketed at all.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailReason {
+    /// The evaluation origin carries a non-finite component.
+    NonFiniteInput {
+        /// Index of the first offending component.
+        index: usize,
+    },
+    /// The impact function returned a non-finite value at the origin.
+    NonFiniteImpact,
+    /// The origin's dimension does not match the compiled plan.
+    DimensionMismatch {
+        /// What the origin provides.
+        got: usize,
+        /// What the plan expects.
+        expected: usize,
+    },
+    /// The solver and the certified fallback both failed.
+    Solver(String),
+    /// The impact function (or injected fault) panicked; the payload is the
+    /// panic message.
+    Panic(String),
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::NonFiniteInput { index } => {
+                write!(f, "non-finite origin component at index {index}")
+            }
+            FailReason::NonFiniteImpact => write!(f, "impact function non-finite at origin"),
+            FailReason::DimensionMismatch { got, expected } => {
+                write!(f, "origin dimension {got}, plan expects {expected}")
+            }
+            FailReason::Solver(msg) => write!(f, "solver failure: {msg}"),
+            FailReason::Panic(msg) => write!(f, "panic during evaluation: {msg}"),
+        }
+    }
+}
+
+/// The classified outcome of one feature's radius computation.
+#[derive(Clone, Debug)]
+pub enum RadiusVerdict {
+    /// Radius computed exactly.
+    Exact(RadiusResult),
+    /// Radius certified to lie in `[lo, hi]` (possibly `hi = +∞`).
+    Bounded {
+        /// Certified lower bound.
+        lo: f64,
+        /// Certified upper bound.
+        hi: f64,
+        /// What forced the degradation.
+        reason: DegradeReason,
+        /// Solver restarts consumed before degrading.
+        restarts: usize,
+    },
+    /// The tolerance is already violated at the origin: radius exactly 0.
+    Infeasible,
+    /// No radius and no certificate.
+    Failed(FailReason),
+}
+
+impl RadiusVerdict {
+    /// Certified `[lo, hi]` bounds on the radius, `None` for `Failed`.
+    pub fn radius_bounds(&self) -> Option<(f64, f64)> {
+        match self {
+            RadiusVerdict::Exact(r) => Some((r.radius, r.radius)),
+            RadiusVerdict::Bounded { lo, hi, .. } => Some((*lo, *hi)),
+            RadiusVerdict::Infeasible => Some((0.0, 0.0)),
+            RadiusVerdict::Failed(_) => None,
+        }
+    }
+
+    /// The exact radius, when one exists (`Exact` or `Infeasible`).
+    pub fn exact_radius(&self) -> Option<f64> {
+        match self {
+            RadiusVerdict::Exact(r) => Some(r.radius),
+            RadiusVerdict::Infeasible => Some(0.0),
+            _ => None,
+        }
+    }
+
+    /// Classification label (`exact` / `bounded` / `infeasible` / `failed`),
+    /// also the obs counter suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RadiusVerdict::Exact(_) => "exact",
+            RadiusVerdict::Bounded { .. } => "bounded",
+            RadiusVerdict::Infeasible => "infeasible",
+            RadiusVerdict::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Coarse classification of a whole plan evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Every feature exact: `metric_lo == metric_hi` is the metric.
+    Exact,
+    /// At least one feature degraded; the metric lies in
+    /// `[metric_lo, metric_hi]`.
+    Bounded,
+    /// Some feature is already violated: the metric is exactly 0.
+    Infeasible,
+    /// Some feature failed outright; only `metric_hi` (min over the
+    /// certified features) is meaningful, `metric_lo` is 0.
+    Failed,
+}
+
+/// Aggregated verdict for one origin: per-feature classifications plus an
+/// interval on the metric `ρ = min_i r_i`.
+#[derive(Clone, Debug)]
+pub struct PlanVerdict {
+    /// Per-feature verdicts, in feature insertion order.
+    pub radii: Vec<RadiusVerdict>,
+    /// Certified lower bound on the metric.
+    pub metric_lo: f64,
+    /// Certified upper bound on the metric (`+∞` when nothing certifies an
+    /// upper bound).
+    pub metric_hi: f64,
+    /// Feature index attaining `metric_hi`, when one does.
+    pub binding: Option<usize>,
+    /// Overall classification.
+    pub kind: VerdictKind,
+}
+
+impl PlanVerdict {
+    /// Aggregates per-feature verdicts into the metric interval.
+    ///
+    /// Precedence: any `Infeasible` pins the metric at exactly 0; otherwise
+    /// any `Failed` voids the lower bound (`metric_lo = 0`) while the upper
+    /// bound keeps the min over certified features; otherwise the metric
+    /// interval is the min of the per-feature intervals.
+    pub fn from_radii(radii: Vec<RadiusVerdict>) -> PlanVerdict {
+        let mut any_failed = false;
+        let mut any_bounded = false;
+        let mut any_infeasible = false;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::INFINITY;
+        let mut binding = None;
+        for (i, v) in radii.iter().enumerate() {
+            match v {
+                RadiusVerdict::Infeasible => {
+                    any_infeasible = true;
+                    if hi > 0.0 {
+                        hi = 0.0;
+                        binding = Some(i);
+                    }
+                    lo = 0.0;
+                }
+                RadiusVerdict::Failed(_) => any_failed = true,
+                RadiusVerdict::Bounded { .. } | RadiusVerdict::Exact(_) => {
+                    if matches!(v, RadiusVerdict::Bounded { .. }) {
+                        any_bounded = true;
+                    }
+                    let (l, h) = v.radius_bounds().expect("certified verdict has bounds");
+                    if h < hi {
+                        hi = h;
+                        binding = Some(i);
+                    }
+                    lo = lo.min(l);
+                }
+            }
+        }
+        let kind = if any_infeasible {
+            VerdictKind::Infeasible
+        } else if any_failed {
+            lo = 0.0;
+            VerdictKind::Failed
+        } else if any_bounded {
+            VerdictKind::Bounded
+        } else {
+            VerdictKind::Exact
+        };
+        // min-of-intervals: the metric can be as low as the lowest feature
+        // lower bound, and no higher than the lowest upper bound.
+        let metric_lo = if radii.is_empty() { 0.0 } else { lo.min(hi) };
+        PlanVerdict {
+            radii,
+            metric_lo,
+            metric_hi: hi,
+            binding,
+            kind,
+        }
+    }
+
+    /// Builds a verdict where *every* feature failed for the same reason
+    /// (e.g. a poisoned origin) — the whole-origin failure path.
+    pub fn all_failed(features: usize, reason: FailReason) -> PlanVerdict {
+        PlanVerdict {
+            radii: (0..features)
+                .map(|_| RadiusVerdict::Failed(reason.clone()))
+                .collect(),
+            metric_lo: 0.0,
+            metric_hi: f64::INFINITY,
+            binding: None,
+            kind: VerdictKind::Failed,
+        }
+    }
+
+    /// True when the metric is a single certified number
+    /// (`Exact`/`Infeasible` kinds).
+    pub fn is_exact(&self) -> bool {
+        matches!(self.kind, VerdictKind::Exact | VerdictKind::Infeasible)
+    }
+
+    /// Midpoint of the metric interval — a usable ranking score even for
+    /// degraded verdicts (`metric_lo` when the interval is unbounded above).
+    pub fn metric_estimate(&self) -> f64 {
+        if self.metric_hi.is_finite() {
+            0.5 * (self.metric_lo + self.metric_hi)
+        } else {
+            self.metric_lo
+        }
+    }
+}
+
+/// Policy for the fault-tolerant (verdict) evaluation paths: how hard to
+/// retry the exact solve, and how much to spend on the certified fallback.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Retry/budget policy for the numeric solver.
+    pub retry: RetryPolicy,
+    /// Bisection refinements per axis direction in the certified-interval
+    /// fallback.
+    pub certify_bisections: usize,
+    /// Catch panics from impact functions (and injected faults) and convert
+    /// them into [`RadiusVerdict::Failed`]. Disable only to debug the panic
+    /// itself.
+    pub catch_panics: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            retry: RetryPolicy::default(),
+            certify_bisections: 30,
+            catch_panics: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radius::RadiusMethod;
+
+    fn exact(radius: f64) -> RadiusVerdict {
+        RadiusVerdict::Exact(RadiusResult {
+            radius,
+            boundary_point: None,
+            bound: None,
+            violated: false,
+            method: RadiusMethod::Analytic,
+            iterations: 0,
+            f_evals: 1,
+        })
+    }
+
+    #[test]
+    fn all_exact_collapses_to_point_interval() {
+        let v = PlanVerdict::from_radii(vec![exact(3.0), exact(1.5), exact(2.0)]);
+        assert_eq!(v.kind, VerdictKind::Exact);
+        assert_eq!(v.metric_lo, 1.5);
+        assert_eq!(v.metric_hi, 1.5);
+        assert_eq!(v.binding, Some(1));
+        assert!(v.is_exact());
+        assert_eq!(v.metric_estimate(), 1.5);
+    }
+
+    #[test]
+    fn bounded_feature_widens_metric() {
+        let v = PlanVerdict::from_radii(vec![
+            exact(3.0),
+            RadiusVerdict::Bounded {
+                lo: 1.0,
+                hi: 2.0,
+                reason: DegradeReason::IterationCap,
+                restarts: 2,
+            },
+        ]);
+        assert_eq!(v.kind, VerdictKind::Bounded);
+        assert_eq!(v.metric_lo, 1.0);
+        assert_eq!(v.metric_hi, 2.0);
+        assert_eq!(v.binding, Some(1));
+        assert!(!v.is_exact());
+        assert_eq!(v.metric_estimate(), 1.5);
+    }
+
+    #[test]
+    fn infeasible_pins_metric_to_zero() {
+        let v = PlanVerdict::from_radii(vec![
+            exact(3.0),
+            RadiusVerdict::Infeasible,
+            RadiusVerdict::Failed(FailReason::NonFiniteImpact),
+        ]);
+        assert_eq!(v.kind, VerdictKind::Infeasible);
+        assert_eq!((v.metric_lo, v.metric_hi), (0.0, 0.0));
+        assert_eq!(v.binding, Some(1));
+        assert!(v.is_exact());
+    }
+
+    #[test]
+    fn failed_feature_voids_lower_bound_only() {
+        let v = PlanVerdict::from_radii(vec![
+            exact(3.0),
+            RadiusVerdict::Failed(FailReason::Panic("boom".into())),
+        ]);
+        assert_eq!(v.kind, VerdictKind::Failed);
+        assert_eq!(v.metric_lo, 0.0);
+        assert_eq!(v.metric_hi, 3.0);
+        assert_eq!(v.binding, Some(0));
+    }
+
+    #[test]
+    fn all_failed_has_unbounded_interval() {
+        let v = PlanVerdict::all_failed(3, FailReason::NonFiniteInput { index: 1 });
+        assert_eq!(v.radii.len(), 3);
+        assert_eq!(v.kind, VerdictKind::Failed);
+        assert_eq!(v.metric_lo, 0.0);
+        assert_eq!(v.metric_hi, f64::INFINITY);
+        assert_eq!(v.binding, None);
+        assert_eq!(v.metric_estimate(), 0.0);
+    }
+
+    #[test]
+    fn fail_reasons_display() {
+        for (reason, needle) in [
+            (FailReason::NonFiniteInput { index: 4 }, "index 4"),
+            (FailReason::NonFiniteImpact, "non-finite"),
+            (
+                FailReason::DimensionMismatch {
+                    got: 2,
+                    expected: 3,
+                },
+                "expects 3",
+            ),
+            (FailReason::Solver("no bracket".into()), "no bracket"),
+            (FailReason::Panic("boom".into()), "boom"),
+        ] {
+            assert!(
+                reason.to_string().contains(needle),
+                "{reason} missing {needle:?}"
+            );
+        }
+    }
+}

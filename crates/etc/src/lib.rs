@@ -23,4 +23,4 @@ pub use braun::{generate_braun, BraunClass, HiLo};
 pub use consistency::Consistency;
 pub use gen::{generate_cvb, generate_range, EtcParams};
 pub use io::{from_csv, load_csv, save_csv, to_csv, EtcIoError};
-pub use matrix::EtcMatrix;
+pub use matrix::{EtcMatrix, EtcMatrixError};

@@ -1,5 +1,57 @@
 //! The ETC matrix type.
 
+use std::fmt;
+
+/// Typed construction failure for [`EtcMatrix::try_from_rows`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EtcMatrixError {
+    /// The row set is empty (no applications) or the first row is empty
+    /// (no machines).
+    Empty,
+    /// A row's length disagrees with the first row's.
+    Ragged {
+        /// Offending row index.
+        row: usize,
+        /// Machines in the offending row.
+        got: usize,
+        /// Machines expected (from the first row).
+        expected: usize,
+    },
+    /// An entry is NaN, infinite, or not strictly positive.
+    InvalidEntry {
+        /// Application (row) index.
+        app: usize,
+        /// Machine (column) index.
+        machine: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EtcMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtcMatrixError::Empty => {
+                write!(f, "ETC matrix needs at least one application and machine")
+            }
+            EtcMatrixError::Ragged { row, got, expected } => write!(
+                f,
+                "ragged ETC matrix: row {row} has {got} machines, expected {expected}"
+            ),
+            EtcMatrixError::InvalidEntry {
+                app,
+                machine,
+                value,
+            } => write!(
+                f,
+                "ETC({app},{machine}) = {value} must be positive and finite"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EtcMatrixError {}
+
 /// An `|A| × |M|` matrix of estimated times to compute: `get(i, j)` is the
 /// ETC of application `a_i` on machine `m_j`. Stored row-major.
 #[derive(Clone, Debug, PartialEq)]
@@ -14,35 +66,44 @@ impl EtcMatrix {
     ///
     /// # Panics
     /// Panics if rows are empty, ragged, or contain non-positive or
-    /// non-finite times.
+    /// non-finite times; see [`EtcMatrix::try_from_rows`] for a fallible
+    /// variant.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
-        assert!(
-            !rows.is_empty(),
-            "ETC matrix needs at least one application"
-        );
+        Self::try_from_rows(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`EtcMatrix::from_rows`]: rejects empty/ragged row sets and
+    /// non-positive or non-finite entries with a typed [`EtcMatrixError`].
+    pub fn try_from_rows(rows: Vec<Vec<f64>>) -> Result<Self, EtcMatrixError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(EtcMatrixError::Empty);
+        }
         let machines = rows[0].len();
-        assert!(machines > 0, "ETC matrix needs at least one machine");
         let mut data = Vec::with_capacity(rows.len() * machines);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(
-                row.len(),
-                machines,
-                "ragged ETC matrix: row {i} has {} machines, expected {machines}",
-                row.len()
-            );
+            if row.len() != machines {
+                return Err(EtcMatrixError::Ragged {
+                    row: i,
+                    got: row.len(),
+                    expected: machines,
+                });
+            }
             for (j, &v) in row.iter().enumerate() {
-                assert!(
-                    v.is_finite() && v > 0.0,
-                    "ETC({i},{j}) = {v} must be positive and finite"
-                );
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(EtcMatrixError::InvalidEntry {
+                        app: i,
+                        machine: j,
+                        value: v,
+                    });
+                }
                 data.push(v);
             }
         }
-        EtcMatrix {
+        Ok(EtcMatrix {
             apps: rows.len(),
             machines,
             data,
-        }
+        })
     }
 
     /// A matrix with every entry equal to `value` (useful in tests).
@@ -168,5 +229,31 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bounds_checked() {
         EtcMatrix::uniform(2, 2, 1.0).get(2, 0);
+    }
+
+    #[test]
+    fn try_from_rows_reports_typed_errors() {
+        assert_eq!(EtcMatrix::try_from_rows(vec![]), Err(EtcMatrixError::Empty));
+        assert_eq!(
+            EtcMatrix::try_from_rows(vec![vec![1.0, 2.0], vec![3.0]]),
+            Err(EtcMatrixError::Ragged {
+                row: 1,
+                got: 1,
+                expected: 2
+            })
+        );
+        assert!(matches!(
+            EtcMatrix::try_from_rows(vec![vec![1.0, f64::NAN]]),
+            Err(EtcMatrixError::InvalidEntry {
+                app: 0,
+                machine: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            EtcMatrix::try_from_rows(vec![vec![1.0], vec![f64::INFINITY]]),
+            Err(EtcMatrixError::InvalidEntry { app: 1, .. })
+        ));
+        assert!(EtcMatrix::try_from_rows(vec![vec![1.0, 2.0]]).is_ok());
     }
 }

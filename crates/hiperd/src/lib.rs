@@ -38,7 +38,7 @@ pub mod slack;
 
 pub use gen::{generate_system, GenParams};
 pub use heuristics::{all_hiperd_heuristics, HiperdHeuristic};
-pub use loadfn::{LoadFn, Shape};
+pub use loadfn::{LoadFn, LoadFnError, Shape};
 pub use mapping::HiperdMapping;
 pub use model::{Edge, HiperdSystem, Node, Sensor};
 pub use path::{Path, Terminal};

@@ -16,6 +16,46 @@
 //! stay analytic.
 
 use fepia_optim::VecN;
+use std::fmt;
+
+/// Typed construction failure for [`LoadFn::try_new`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadFnError {
+    /// A coefficient is negative, NaN, or infinite.
+    InvalidCoefficient {
+        /// Index of the offending coefficient.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The scale is negative, NaN, or infinite.
+    InvalidScale {
+        /// The offending value.
+        value: f64,
+    },
+    /// A shape parameter is out of its convexity range.
+    InvalidShape {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoadFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadFnError::InvalidCoefficient { index, value } => write!(
+                f,
+                "load coefficients must be non-negative and finite: coeffs[{index}] = {value}"
+            ),
+            LoadFnError::InvalidScale { value } => {
+                write!(f, "scale must be non-negative and finite, got {value}")
+            }
+            LoadFnError::InvalidShape { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadFnError {}
 
 /// The scalar shape `g(u)` applied to the load aggregate `u = coeffs·λ ≥ 0`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,12 +90,17 @@ impl Shape {
         }
     }
 
-    fn validate(&self) {
-        match *self {
-            Shape::Power(p) => assert!(p >= 1.0, "power shape needs p ≥ 1, got {p}"),
-            Shape::Exp(q) => assert!(q > 0.0, "exp shape needs q > 0, got {q}"),
-            _ => {}
-        }
+    fn validate(&self) -> Result<(), LoadFnError> {
+        let message = match *self {
+            Shape::Power(p) if !(p >= 1.0 && p.is_finite()) => {
+                format!("power shape needs p ≥ 1, got {p}")
+            }
+            Shape::Exp(q) if !(q > 0.0 && q.is_finite()) => {
+                format!("exp shape needs q > 0, got {q}")
+            }
+            _ => return Ok(()),
+        };
+        Err(LoadFnError::InvalidShape { message })
     }
 }
 
@@ -76,22 +121,31 @@ impl LoadFn {
     /// Creates a load function.
     ///
     /// # Panics
-    /// Panics on negative coefficients/scale or invalid shape parameters.
+    /// Panics on negative/non-finite coefficients or scale, or invalid shape
+    /// parameters; see [`LoadFn::try_new`] for a fallible variant.
     pub fn new(coeffs: Vec<f64>, shape: Shape, scale: f64) -> Self {
-        assert!(
-            coeffs.iter().all(|&b| b >= 0.0 && b.is_finite()),
-            "load coefficients must be non-negative and finite"
-        );
-        assert!(
-            scale >= 0.0 && scale.is_finite(),
-            "scale must be non-negative and finite"
-        );
-        shape.validate();
-        LoadFn {
+        Self::try_new(coeffs, shape, scale).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LoadFn::new`]: rejects negative or non-finite coefficients
+    /// and scale, and out-of-range shape parameters, with a typed
+    /// [`LoadFnError`].
+    pub fn try_new(coeffs: Vec<f64>, shape: Shape, scale: f64) -> Result<Self, LoadFnError> {
+        if let Some(index) = coeffs.iter().position(|&b| !(b >= 0.0 && b.is_finite())) {
+            return Err(LoadFnError::InvalidCoefficient {
+                value: coeffs[index],
+                index,
+            });
+        }
+        if !(scale >= 0.0 && scale.is_finite()) {
+            return Err(LoadFnError::InvalidScale { value: scale });
+        }
+        shape.validate()?;
+        Ok(LoadFn {
             coeffs,
             shape,
             scale,
-        }
+        })
     }
 
     /// The §4.3 linear form `scale · Σ_z b_z λ_z`.
@@ -260,6 +314,27 @@ mod tests {
     #[should_panic(expected = "p ≥ 1")]
     fn rejects_concave_power() {
         LoadFn::new(vec![1.0], Shape::Power(0.5), 1.0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert!(matches!(
+            LoadFn::try_new(vec![1.0, f64::NAN], Shape::Linear, 1.0),
+            Err(LoadFnError::InvalidCoefficient { index: 1, .. })
+        ));
+        assert!(matches!(
+            LoadFn::try_new(vec![1.0], Shape::Linear, f64::INFINITY),
+            Err(LoadFnError::InvalidScale { .. })
+        ));
+        assert!(matches!(
+            LoadFn::try_new(vec![1.0], Shape::Exp(-2.0), 1.0),
+            Err(LoadFnError::InvalidShape { .. })
+        ));
+        assert!(matches!(
+            LoadFn::try_new(vec![1.0], Shape::Power(f64::NAN), 1.0),
+            Err(LoadFnError::InvalidShape { .. })
+        ));
+        assert!(LoadFn::try_new(vec![1.0], Shape::XLogX, 2.0).is_ok());
     }
 
     proptest! {

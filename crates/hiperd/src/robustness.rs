@@ -17,7 +17,7 @@ use crate::model::{HiperdSystem, Node};
 use crate::path::{app_rates, enumerate_paths, Path};
 use fepia_core::{
     AnalysisPlan, CoreError, FeatureSpec, FepiaAnalysis, Impact, Perturbation, PlanEvaluation,
-    PlanWorkspace, RadiusOptions, RobustnessReport, Tolerance,
+    PlanVerdict, PlanWorkspace, RadiusOptions, ResiliencePolicy, RobustnessReport, Tolerance,
 };
 use fepia_optim::VecN;
 use std::sync::Arc;
@@ -281,6 +281,24 @@ impl CompiledLoadAnalysis {
     ) -> Result<PlanEvaluation, CoreError> {
         self.plan.evaluate_with(lambda, ws)
     }
+
+    /// Fault-tolerant analysis at `λ_orig`: every constraint gets a typed
+    /// verdict instead of the first failure aborting the call. Degraded
+    /// constraint sweeps still rank mappings via the metric interval.
+    pub fn evaluate_verdict(&self, policy: &ResiliencePolicy) -> PlanVerdict {
+        self.plan.evaluate_verdict(&self.lambda_orig, policy)
+    }
+
+    /// [`Self::evaluate_verdict`] at an arbitrary load vector, with
+    /// caller-provided scratch for sweep workers.
+    pub fn evaluate_verdict_with(
+        &self,
+        lambda: &VecN,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+    ) -> PlanVerdict {
+        self.plan.evaluate_verdict_with(lambda, ws, policy)
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +490,43 @@ mod tests {
         // Repeated metric evaluations reuse the workspace without drift.
         let again = compiled.evaluate_metric_with(&lambda, &mut ws).unwrap();
         assert_eq!(probe.metric.to_bits(), again.metric.to_bits());
+    }
+
+    #[test]
+    fn verdict_path_matches_exact_analysis() {
+        let (sys, m) = mapped_tiny();
+        let paths = enumerate_paths(&sys);
+        let opts = RadiusOptions::default();
+        let compiled = compile_load_analysis(&sys, &m, &paths, &opts).unwrap();
+        let exact = compiled.evaluate().unwrap();
+        let verdict = compiled.evaluate_verdict(&ResiliencePolicy::default());
+        assert!(verdict.is_exact());
+        assert_eq!(verdict.metric_lo.to_bits(), exact.metric.to_bits());
+        assert_eq!(verdict.metric_hi.to_bits(), exact.metric.to_bits());
+        assert_eq!(verdict.radii.len(), exact.report.radii.len());
+    }
+
+    #[test]
+    fn verdict_classifies_poisoned_load_vector() {
+        use fepia_core::{FailReason, RadiusVerdict, VerdictKind};
+        let (sys, m) = mapped_tiny();
+        let paths = enumerate_paths(&sys);
+        let compiled = compile_load_analysis(&sys, &m, &paths, &RadiusOptions::default()).unwrap();
+        let mut ws = compiled.plan().workspace();
+        let bad = VecN::from([100.0, f64::NAN]);
+        let verdict = compiled.evaluate_verdict_with(&bad, &mut ws, &ResiliencePolicy::default());
+        assert_eq!(verdict.kind, VerdictKind::Failed);
+        assert!(matches!(
+            verdict.radii[0],
+            RadiusVerdict::Failed(FailReason::NonFiniteInput { index: 1 })
+        ));
+        // The workspace survives for the next (clean) evaluation.
+        let clean = compiled.evaluate_verdict_with(
+            compiled.lambda_orig(),
+            &mut ws,
+            &ResiliencePolicy::default(),
+        );
+        assert!(clean.is_exact());
     }
 
     #[test]

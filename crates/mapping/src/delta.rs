@@ -30,6 +30,7 @@
 //! bound-change recompute (`full`).
 
 use crate::mapping::Mapping;
+use fepia_core::{Bound, FailReason, RadiusMethod, RadiusResult, RadiusVerdict};
 use fepia_etc::EtcMatrix;
 
 /// Reusable makespan scratch for population heuristics: evaluates an
@@ -81,6 +82,7 @@ pub struct DeltaEval<'a> {
     delta_radii: u64,
     rescans: u64,
     full: u64,
+    heals: u64,
 }
 
 impl<'a> DeltaEval<'a> {
@@ -137,6 +139,7 @@ impl<'a> DeltaEval<'a> {
             delta_radii: 0,
             rescans: 0,
             full: 0,
+            heals: 0,
         }
     }
 
@@ -270,16 +273,64 @@ impl<'a> DeltaEval<'a> {
     }
 
     /// Legacy binding selection: `min_by` keeps the *first* minimum.
+    /// `total_cmp` is selection-identical to the historical
+    /// `partial_cmp().expect(..)` for the finite, never-`-0.0` radii this
+    /// state holds, but stays total under fault injection: a NaN radius
+    /// sorts after `+∞` instead of aborting the comparison.
     fn rescan_binding(&mut self) {
         let binding = self
             .radii
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("radius is never NaN"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
             .expect("at least one machine");
         self.binding = binding;
         self.metric = self.radii[binding];
+    }
+
+    /// True when every cached quantity is finite or a legitimate `+∞`
+    /// (empty-machine radii); NaN anywhere means corruption.
+    fn state_is_sane(&self) -> bool {
+        self.makespan.is_finite()
+            && !self.metric.is_nan()
+            && self.loads.iter().all(|l| l.is_finite())
+            && !self.radii.iter().any(|r| r.is_nan())
+    }
+
+    /// Self-heal: rebuild every cached quantity from the ground truth (the
+    /// ETC matrix and the assignment lists). Poisoned cached values cannot
+    /// survive this — the ETC itself is validated finite at construction.
+    fn heal(&mut self) {
+        self.heals += 1;
+        for j in 0..self.machines() {
+            self.loads[j] = self.resum(j);
+        }
+        self.makespan = self.loads.iter().cloned().fold(0.0, f64::max);
+        self.recompute_radii();
+    }
+
+    /// Classified state of the incremental analysis: [`RadiusVerdict::Exact`]
+    /// carrying the Eq. 7 metric in the healthy case,
+    /// [`RadiusVerdict::Infeasible`] when some machine already exceeds the
+    /// tolerance bound, [`RadiusVerdict::Failed`] if cached state is
+    /// corrupted (only reachable when self-healing is bypassed).
+    pub fn verdict(&self) -> RadiusVerdict {
+        if !self.state_is_sane() {
+            return RadiusVerdict::Failed(FailReason::NonFiniteImpact);
+        }
+        if self.metric < 0.0 {
+            return RadiusVerdict::Infeasible;
+        }
+        RadiusVerdict::Exact(RadiusResult {
+            radius: self.metric,
+            boundary_point: None,
+            bound: Some(Bound::Max),
+            violated: false,
+            method: RadiusMethod::Analytic,
+            iterations: 0,
+            f_evals: 0,
+        })
     }
 
     /// The makespan if `app` (currently assigned) moved to `dst`, without
@@ -364,6 +415,14 @@ impl<'a> DeltaEval<'a> {
         self.loads[dst] = self.resum(dst);
         self.assignment[app] = Some(dst);
 
+        // Fault injection: one relaxed load when disabled; when enabled,
+        // chaos may corrupt the freshly cached dst load, exercising the
+        // self-heal path below.
+        let chaos = fepia_chaos::enabled();
+        if chaos {
+            self.loads[dst] = fepia_chaos::poison_f64("mapping.delta.load", self.loads[dst]);
+        }
+
         // Makespan as a value: the max of non-negative loads does not depend
         // on fold order, so these shortcuts reproduce the legacy fold bit
         // for bit (loads are never −0.0).
@@ -420,6 +479,10 @@ impl<'a> DeltaEval<'a> {
             self.makespan = mk;
             self.recompute_radii();
         }
+
+        if chaos && !self.state_is_sane() {
+            self.heal();
+        }
     }
 }
 
@@ -434,6 +497,7 @@ impl Drop for DeltaEval<'_> {
         reg.counter("plan.delta.radii_delta").add(self.delta_radii);
         reg.counter("plan.delta.rescans").add(self.rescans);
         reg.counter("plan.delta.full").add(self.full);
+        reg.counter("chaos.healed").add(self.heals);
     }
 }
 
@@ -541,6 +605,49 @@ mod tests {
         let before = de.metric().to_bits();
         de.apply(4, m.machine_of(4));
         assert_eq!(de.metric().to_bits(), before);
+        assert_state_bitwise(&de, &m, &etc, 1.2);
+    }
+
+    #[test]
+    fn heal_restores_corrupted_state_bitwise() {
+        let (m, etc) = instance(4);
+        let mut de = DeltaEval::new(&etc, &m, 1.2);
+        // Corrupt cached values directly (what chaos poisoning does through
+        // `apply`), then verify the verdict flags it and healing restores
+        // the exact legacy state.
+        de.loads[2] = f64::NAN;
+        de.radii[1] = f64::NAN;
+        de.makespan = f64::INFINITY;
+        assert!(!de.state_is_sane());
+        assert!(matches!(de.verdict(), RadiusVerdict::Failed(_)));
+        de.heal();
+        assert_state_bitwise(&de, &m, &etc, 1.2);
+        assert!(matches!(de.verdict(), RadiusVerdict::Exact(_)));
+    }
+
+    #[test]
+    fn verdict_reports_exact_metric() {
+        let (m, etc) = instance(6);
+        let de = DeltaEval::new(&etc, &m, 1.2);
+        match de.verdict() {
+            RadiusVerdict::Exact(r) => assert_eq!(r.radius.to_bits(), de.metric().to_bits()),
+            other => panic!("expected Exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rescan_binding_survives_nan_radius() {
+        let (m, etc) = instance(7);
+        let mut de = DeltaEval::new(&etc, &m, 1.2);
+        let clean_binding = de.binding_machine();
+        // A NaN radius must sort last, never becoming the binding machine
+        // (and never panicking the comparison).
+        let victim = (clean_binding + 1) % de.machines();
+        de.radii[victim] = f64::NAN;
+        de.rescan_binding();
+        assert_eq!(de.binding_machine(), clean_binding);
+        assert!(!de.metric().is_nan());
+        de.heal();
         assert_state_bitwise(&de, &m, &etc, 1.2);
     }
 

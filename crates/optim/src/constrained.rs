@@ -54,6 +54,12 @@ pub struct SolverOptions {
     pub t_max_factor: f64,
     /// Relative finite-difference step for numeric gradients.
     pub fd_step: f64,
+    /// Relative magnitude of the deterministic perturbation applied to the
+    /// seed probe directions. `0.0` (the default) probes the canonical
+    /// directions exactly — results are bitwise identical to builds before
+    /// this knob existed. Resilient restarts raise it so a retry explores a
+    /// rotated seed fan instead of replaying the failed one.
+    pub seed_jitter: f64,
     /// Options for the 1-D boundary-crossing root solves.
     pub root: RootOptions,
 }
@@ -65,6 +71,7 @@ impl Default for SolverOptions {
             max_outer: 100,
             t_max_factor: 1e12,
             fd_step: 1e-6,
+            seed_jitter: 0.0,
             root: RootOptions {
                 x_tol: 1e-11,
                 f_tol: 1e-10,
@@ -143,6 +150,29 @@ impl SolverWorkspace {
         }
         self.dim = n;
     }
+}
+
+/// SplitMix64 finalizer, used to derive the deterministic seed jitter.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Rotates `dir` by a deterministic pseudo-random perturbation of relative
+/// magnitude `amount`. The perturbation is a pure function of
+/// `(amount bits, probe index, component index)`, so a retry with the same
+/// jitter replays the same rotated fan.
+fn jitter_dir(dir: &VecN, amount: f64, probe: usize) -> VecN {
+    let salt = amount.to_bits() ^ (probe as u64).wrapping_mul(0x2545f4914f6cdd1d);
+    let mut v = dir.clone();
+    for j in 0..v.dim() {
+        let h = splitmix64(salt ^ (j as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        v[j] += amount * (u - 0.5);
+    }
+    v.normalized().unwrap_or_else(|| dir.clone())
 }
 
 fn eval_grad(p: &LevelSetProblem<'_>, x: &VecN, fd_step: f64) -> VecN {
@@ -288,6 +318,13 @@ fn solve_counted(
             "zero-dimensional perturbation".into(),
         ));
     }
+    // Fault injection: pretend the refinement budget ran out before starting.
+    // The resilient wrapper re-draws on retry, exercising the recovery path.
+    if fepia_chaos::should_fire("optim.nonconvergence") {
+        return Err(OptimError::MaxIterations {
+            iterations: opts.max_outer,
+        });
+    }
     let f0 = (p.f)(p.origin);
     if !f0.is_finite() || !p.level.is_finite() {
         return Err(OptimError::NonFinite);
@@ -319,7 +356,14 @@ fn solve_counted(
     let grad_dir = g0.normalized();
 
     seeds.clear();
-    for dir in grad_dir.iter().chain(probes.iter()) {
+    for (i, dir) in grad_dir.iter().chain(probes.iter()).enumerate() {
+        let jittered;
+        let dir = if opts.seed_jitter != 0.0 {
+            jittered = jitter_dir(dir, opts.seed_jitter, i);
+            &jittered
+        } else {
+            dir
+        };
         match cross_along(p, p.origin, dir, scale, opts) {
             Ok(x) => seeds.push(x),
             Err(OptimError::Unreachable) => {

@@ -26,6 +26,14 @@ pub enum OptimError {
     /// The problem is degenerate (zero-dimension perturbation, zero normal
     /// vector, empty feature set, ...).
     Degenerate(String),
+    /// A resilient solve consumed its whole retry/eval/deadline budget
+    /// without producing even a best-effort boundary point.
+    Exhausted {
+        /// Restart attempts consumed (beyond the initial solve).
+        restarts: usize,
+        /// Description of the last underlying failure.
+        last: String,
+    },
 }
 
 impl fmt::Display for OptimError {
@@ -40,6 +48,12 @@ impl fmt::Display for OptimError {
             OptimError::Unreachable => write!(f, "constraint boundary is unreachable"),
             OptimError::NonFinite => write!(f, "non-finite value encountered"),
             OptimError::Degenerate(msg) => write!(f, "degenerate problem: {msg}"),
+            OptimError::Exhausted { restarts, last } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {restarts} restarts: {last}"
+                )
+            }
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod error;
 pub mod gradient;
 pub mod hyperplane;
 pub mod norm;
+pub mod resilient;
 pub mod root1d;
 pub mod vector;
 
@@ -38,4 +39,8 @@ pub use convex::{check_midpoint_convexity, ConvexityReport};
 pub use error::OptimError;
 pub use hyperplane::Hyperplane;
 pub use norm::Norm;
+pub use resilient::{
+    certified_level_interval, min_norm_to_level_set_resilient, CertifiedInterval,
+    ResilientSolution, RetryPolicy,
+};
 pub use vector::VecN;

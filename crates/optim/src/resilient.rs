@@ -1,0 +1,479 @@
+//! Resilient wrapper around the min-norm solver: retry with escalating
+//! budgets, then degrade to a cheap certified interval.
+//!
+//! The base solver ([`min_norm_to_level_set_with`]) can fail transiently —
+//! a bracket that misses, an iteration cap, a poisoned evaluation under
+//! fault injection. Instead of silently falling back (or aborting a 10k-
+//! mapping sweep), [`min_norm_to_level_set_resilient`] retries with
+//! perturbed seed fans and growing iteration budgets under an explicit
+//! eval/wall budget, and reports *how* it finished: clean, recovered after
+//! restarts, or degraded to the best boundary point found.
+//!
+//! When even that fails, [`certified_level_interval`] brackets the radius
+//! from both sides with a few dozen axis-aligned evaluations:
+//!
+//! * **Lower bound** — every evaluated point `x₀ ± aⱼ·eⱼ` with
+//!   `f < β` is certified inside the sublevel set; for the convex impact
+//!   functions the paper assumes (§3.2), the cross-polytope spanned by those
+//!   points is inside too, and its inradius `1/√(Σⱼ 1/aⱼ²)` is a certified
+//!   lower bound on the distance to the boundary.
+//! * **Upper bound** — any evaluated point with `f ≥ β` certifies (by
+//!   continuity along the segment from the origin) a boundary crossing at or
+//!   before its distance.
+//!
+//! Consumers surface the pair as `RadiusVerdict::Bounded { lo, hi }`.
+
+use crate::constrained::{
+    min_norm_to_level_set_with, LevelSetProblem, LevelSetSolution, SolverOptions, SolverWorkspace,
+};
+use crate::error::OptimError;
+use crate::vector::VecN;
+use std::time::{Duration, Instant};
+
+/// Retry/budget policy for [`min_norm_to_level_set_resilient`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Restart attempts after the initial solve.
+    pub max_restarts: usize,
+    /// Multiplier on `max_outer` per restart (attempt `k` runs with
+    /// `max_outer · growthᵏ` iterations).
+    pub budget_growth: f64,
+    /// Base seed jitter: attempt `k ≥ 1` solves with
+    /// `seed_jitter = base · k`, rotating the probe fan away from the one
+    /// that failed.
+    pub seed_jitter: f64,
+    /// Total impact-function evaluation budget across attempts
+    /// (`0` = unlimited).
+    pub max_f_evals: u64,
+    /// Wall-clock deadline across attempts (`None` = unlimited). Hitting it
+    /// stops *between* attempts; a single attempt is never interrupted, so
+    /// results stay deterministic — only the number of attempts can vary.
+    pub wall_limit: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_restarts: 2,
+            budget_growth: 2.0,
+            seed_jitter: 0.05,
+            max_f_evals: 200_000,
+            wall_limit: None,
+        }
+    }
+}
+
+/// Outcome of a resilient solve.
+#[derive(Clone, Debug)]
+pub struct ResilientSolution {
+    /// The best solution found (converged, or best-effort when `degraded`).
+    pub solution: LevelSetSolution,
+    /// Restart attempts consumed beyond the initial solve.
+    pub restarts: usize,
+    /// `true` when no attempt converged and this is the best boundary point
+    /// reached at budget exhaustion. The point still lies *on* the boundary
+    /// (every solver iterate is feasible), so its radius is a certified
+    /// upper bound on the true radius.
+    pub degraded: bool,
+}
+
+/// [`min_norm_to_level_set_with`] under a [`RetryPolicy`].
+///
+/// Definitive outcomes (`Unreachable`, `Degenerate`) return immediately;
+/// transient ones (`MaxIterations`, `NoBracket`, `NonFinite`, a
+/// non-converged solution) trigger restarts with escalating budgets and
+/// jittered seed fans. With the whole budget spent, the best non-converged
+/// boundary point is returned as `degraded`; with nothing usable at all the
+/// call fails with [`OptimError::Exhausted`].
+///
+/// With `policy.seed_jitter = 0` and `max_restarts = 0` this is exactly the
+/// base solver. When `fepia-obs` is enabled, `optim.retry.*` counters track
+/// attempts, recoveries, degradations and exhaustions.
+pub fn min_norm_to_level_set_resilient(
+    p: &LevelSetProblem<'_>,
+    opts: &SolverOptions,
+    policy: &RetryPolicy,
+    ws: &mut SolverWorkspace,
+) -> Result<ResilientSolution, OptimError> {
+    let started = policy.wall_limit.map(|limit| (Instant::now(), limit));
+    let mut best: Option<LevelSetSolution> = None;
+    let mut total_f: u64 = 0;
+    let mut last_failure = String::new();
+    let mut attempts = 0usize;
+
+    for attempt in 0..=policy.max_restarts {
+        attempts = attempt;
+        let mut a_opts = *opts;
+        if attempt > 0 {
+            let growth = policy.budget_growth.max(1.0).powi(attempt as i32);
+            a_opts.max_outer = ((opts.max_outer as f64) * growth).ceil() as usize;
+            a_opts.seed_jitter = policy.seed_jitter * attempt as f64;
+            if fepia_obs::enabled() {
+                fepia_obs::global().counter("optim.retry.attempts").inc();
+            }
+        }
+        match min_norm_to_level_set_with(p, &a_opts, ws) {
+            Ok(sol) => {
+                total_f = total_f.saturating_add(sol.f_evals);
+                if sol.converged || sol.already_violating {
+                    if attempt > 0 && fepia_obs::enabled() {
+                        fepia_obs::global().counter("optim.retry.recovered").inc();
+                    }
+                    return Ok(ResilientSolution {
+                        solution: sol,
+                        restarts: attempt,
+                        degraded: false,
+                    });
+                }
+                last_failure = format!("iteration cap at {} outer iterations", a_opts.max_outer);
+                if best
+                    .as_ref()
+                    .is_none_or(|b: &LevelSetSolution| sol.radius < b.radius)
+                {
+                    best = Some(sol);
+                }
+            }
+            // Definitive: the boundary truly is unreachable (radius +∞) or
+            // the problem is malformed. Retrying cannot change this.
+            Err(e @ (OptimError::Unreachable | OptimError::Degenerate(_))) => return Err(e),
+            // Transient: a jittered fan or bigger budget may succeed — and
+            // under fault injection the next draw may simply not fire.
+            Err(e) => {
+                last_failure = e.to_string();
+            }
+        }
+        if policy.max_f_evals > 0 && total_f >= policy.max_f_evals {
+            last_failure = format!("{last_failure}; eval budget {} spent", policy.max_f_evals);
+            break;
+        }
+        if let Some((t0, limit)) = started {
+            if t0.elapsed() >= limit {
+                last_failure = format!("{last_failure}; wall deadline {limit:?} passed");
+                break;
+            }
+        }
+    }
+
+    match best {
+        Some(solution) => {
+            if fepia_obs::enabled() {
+                fepia_obs::global().counter("optim.retry.degraded").inc();
+            }
+            Ok(ResilientSolution {
+                solution,
+                restarts: attempts,
+                degraded: true,
+            })
+        }
+        None => {
+            if fepia_obs::enabled() {
+                fepia_obs::global().counter("optim.retry.exhausted").inc();
+            }
+            Err(OptimError::Exhausted {
+                restarts: attempts,
+                last: last_failure,
+            })
+        }
+    }
+}
+
+/// A certified two-sided bracket on the min-norm radius.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CertifiedInterval {
+    /// Certified lower bound (cross-polytope inradius over evaluated inside
+    /// points); `0.0` when no inside extent could be certified on some axis,
+    /// `+∞` when the boundary was not reached along any axis.
+    pub lo: f64,
+    /// Certified upper bound (distance to the nearest evaluated point at or
+    /// past the boundary); `+∞` when no crossing was observed.
+    pub hi: f64,
+    /// Impact-function evaluations spent.
+    pub f_evals: u64,
+}
+
+/// Brackets the radius of `p` with axis-aligned probes only — the graceful-
+/// degradation fallback when the exact solve exhausts its budget.
+///
+/// Walks `±eⱼ` from the origin with doubling steps, then bisects the first
+/// crossing `bisect_iters` times per direction. Every evaluation either
+/// extends a certified-inside extent (`f < level`) or tightens the certified
+/// upper bound (`f ≥ level`). The lower bound is sound for convex impact
+/// functions (the paper's §3.2 assumption); for non-convex `f` it is a
+/// heuristic. Cost is `O(n · bisect_iters)` evaluations — no gradients, no
+/// root polish, immune to solver non-convergence.
+///
+/// Errors only on malformed problems (`f(origin)` non-finite or
+/// zero-dimensional); a poisoned probe evaluation merely stops the walk
+/// along that direction.
+pub fn certified_level_interval(
+    p: &LevelSetProblem<'_>,
+    opts: &SolverOptions,
+    bisect_iters: usize,
+) -> Result<CertifiedInterval, OptimError> {
+    let n = p.origin.dim();
+    if n == 0 {
+        return Err(OptimError::Degenerate(
+            "zero-dimensional perturbation".into(),
+        ));
+    }
+    let mut f_evals: u64 = 0;
+    let mut eval = |x: &VecN| {
+        f_evals += 1;
+        (p.f)(x)
+    };
+    let f0 = eval(p.origin);
+    if !f0.is_finite() || !p.level.is_finite() {
+        return Err(OptimError::NonFinite);
+    }
+    if f0 >= p.level {
+        // Already violating: the radius is exactly zero.
+        return Ok(CertifiedInterval {
+            lo: 0.0,
+            hi: 0.0,
+            f_evals,
+        });
+    }
+
+    let scale = p.origin.norm_l2().max(1.0);
+    let t_max = opts.t_max_factor * scale;
+    let mut hi = f64::INFINITY;
+    // Per-axis certified inside extent (min over the two signs).
+    let mut inradius_sum = 0.0f64;
+    let mut degenerate_axis = false;
+    // True while every direction walked clear past t_max without crossing or
+    // poisoning — the same evidence the exact solver calls `Unreachable`.
+    let mut all_unreached = true;
+
+    for j in 0..n {
+        let mut axis_extent = f64::INFINITY;
+        for sign in [1.0f64, -1.0] {
+            let g = |t: f64, ev: &mut dyn FnMut(&VecN) -> f64| {
+                let mut x = p.origin.clone();
+                x[j] += sign * t;
+                ev(&x) - p.level
+            };
+            // Expanding walk to the first crossing (or give-up).
+            let mut inside = 0.0f64;
+            let mut t = 1e-3 * scale;
+            let mut crossing = None;
+            let mut poisoned = false;
+            while t <= t_max {
+                let gt = g(t, &mut eval);
+                if !gt.is_finite() {
+                    poisoned = true;
+                    break; // poisoned / overflowed: stop certifying here
+                }
+                if gt >= 0.0 {
+                    crossing = Some(t);
+                    break;
+                }
+                inside = t;
+                t *= 2.0;
+            }
+            if crossing.is_some() || poisoned {
+                all_unreached = false;
+            }
+            if let Some(mut out) = crossing {
+                hi = hi.min(out);
+                // Bisect [inside, out] to tighten both certificates.
+                for _ in 0..bisect_iters {
+                    let mid = 0.5 * (inside + out);
+                    let gm = g(mid, &mut eval);
+                    if !gm.is_finite() {
+                        break;
+                    }
+                    if gm >= 0.0 {
+                        out = mid;
+                        hi = hi.min(mid);
+                    } else {
+                        inside = mid;
+                    }
+                }
+            }
+            axis_extent = axis_extent.min(inside);
+        }
+        if axis_extent == 0.0 {
+            degenerate_axis = true;
+        } else if axis_extent.is_finite() {
+            inradius_sum += 1.0 / (axis_extent * axis_extent);
+        }
+    }
+
+    if all_unreached {
+        // No crossing, no poison, every axis walked out to t_max: mirror the
+        // exact solver's `Unreachable` convention — the radius is unbounded.
+        return Ok(CertifiedInterval {
+            lo: f64::INFINITY,
+            hi: f64::INFINITY,
+            f_evals,
+        });
+    }
+    let lo = if degenerate_axis {
+        0.0
+    } else if inradius_sum > 0.0 {
+        1.0 / inradius_sum.sqrt()
+    } else {
+        0.0 // nothing certified inside (cannot happen with a finite f0, but stay safe)
+    };
+    // Numerical safety: the certificates are individually sound, but make
+    // the pair an interval even if bisection tolerance crossed them.
+    let lo = lo.min(hi);
+    Ok(CertifiedInterval { lo, hi, f_evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constrained::min_norm_to_level_set;
+
+    fn problem<'a>(
+        f: &'a dyn Fn(&VecN) -> f64,
+        origin: &'a VecN,
+        level: f64,
+    ) -> LevelSetProblem<'a> {
+        LevelSetProblem {
+            f,
+            grad: None,
+            origin,
+            level,
+        }
+    }
+
+    #[test]
+    fn resilient_matches_base_solver_on_clean_problems() {
+        let f = |v: &VecN| v.dot(v);
+        let origin = VecN::from([0.5, 0.25]);
+        let p = problem(&f, &origin, 9.0);
+        let opts = SolverOptions::default();
+        let base = min_norm_to_level_set(&p, &opts).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let res =
+            min_norm_to_level_set_resilient(&p, &opts, &RetryPolicy::default(), &mut ws).unwrap();
+        assert_eq!(res.restarts, 0);
+        assert!(!res.degraded);
+        assert_eq!(res.solution.radius.to_bits(), base.radius.to_bits());
+    }
+
+    #[test]
+    fn resilient_recovers_from_iteration_starvation() {
+        // An ellipse with a tiny budget: the first attempt hits the cap, and
+        // escalation (4x, then 16x the budget) converges.
+        let f = |v: &VecN| v[0] * v[0] / 25.0 + v[1] * v[1];
+        let origin = VecN::from([0.3, 0.1]);
+        let p = problem(&f, &origin, 1.0);
+        let opts = SolverOptions {
+            max_outer: 1,
+            ..SolverOptions::default()
+        };
+        let policy = RetryPolicy {
+            max_restarts: 4,
+            budget_growth: 4.0,
+            ..RetryPolicy::default()
+        };
+        let mut ws = SolverWorkspace::new();
+        let res = min_norm_to_level_set_resilient(&p, &opts, &policy, &mut ws).unwrap();
+        // Either a later attempt converged, or we got a certified degraded
+        // boundary point; both must carry a sane radius.
+        assert!(res.solution.radius.is_finite());
+        assert!(res.solution.radius > 0.0);
+        if !res.degraded {
+            assert!(res.restarts > 0, "cap of 1 cannot converge first try");
+        }
+    }
+
+    #[test]
+    fn resilient_propagates_unreachable() {
+        let f = |v: &VecN| 1.0 - (-v.dot(v)).exp();
+        let origin = VecN::from([0.0, 0.0]);
+        let p = problem(&f, &origin, 2.0);
+        let mut ws = SolverWorkspace::new();
+        let err = min_norm_to_level_set_resilient(
+            &p,
+            &SolverOptions::default(),
+            &RetryPolicy::default(),
+            &mut ws,
+        )
+        .unwrap_err();
+        assert_eq!(err, OptimError::Unreachable);
+    }
+
+    #[test]
+    fn interval_brackets_sphere_radius() {
+        // f = ‖x‖², level 4: true radius 2 from the center.
+        let f = |v: &VecN| v.dot(v);
+        let origin = VecN::from([0.0, 0.0, 0.0]);
+        let p = problem(&f, &origin, 4.0);
+        let iv = certified_level_interval(&p, &SolverOptions::default(), 40).unwrap();
+        assert!(iv.lo <= 2.0 + 1e-9, "lo {} must not exceed true 2", iv.lo);
+        assert!(iv.hi >= 2.0 - 1e-9, "hi {} must not undercut true 2", iv.hi);
+        // The cross-polytope inradius of a sphere is r/√n: the certified
+        // interval is [2/√3, 2] here, tight on both certificates.
+        let expect_lo = 2.0 / 3f64.sqrt();
+        assert!(
+            (iv.lo - expect_lo).abs() < 1e-3 && (iv.hi - 2.0).abs() < 1e-6,
+            "interval [{}, {}] vs expected [{expect_lo}, 2]",
+            iv.lo,
+            iv.hi
+        );
+    }
+
+    #[test]
+    fn interval_brackets_offset_ellipse() {
+        let f = |v: &VecN| v[0] * v[0] / 4.0 + v[1] * v[1];
+        let origin = VecN::from([0.1, 0.2]);
+        let p = problem(&f, &origin, 1.0);
+        let exact = min_norm_to_level_set(&p, &SolverOptions::default())
+            .unwrap()
+            .radius;
+        let iv = certified_level_interval(&p, &SolverOptions::default(), 40).unwrap();
+        assert!(
+            iv.lo <= exact + 1e-9 && exact <= iv.hi + 1e-9,
+            "[{}, {}] must bracket exact {}",
+            iv.lo,
+            iv.hi,
+            exact
+        );
+    }
+
+    #[test]
+    fn interval_handles_already_violating() {
+        let f = |v: &VecN| v[0];
+        let origin = VecN::from([5.0]);
+        let p = problem(&f, &origin, 3.0);
+        let iv = certified_level_interval(&p, &SolverOptions::default(), 10).unwrap();
+        assert_eq!((iv.lo, iv.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn interval_unbounded_when_level_unattained() {
+        let f = |v: &VecN| 1.0 - (-v.dot(v)).exp();
+        let origin = VecN::from([0.0, 0.0]);
+        let p = problem(&f, &origin, 2.0);
+        let iv = certified_level_interval(&p, &SolverOptions::default(), 10).unwrap();
+        assert_eq!(iv.lo, f64::INFINITY);
+        assert_eq!(iv.hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn interval_survives_poisoned_evaluations() {
+        // f returns NaN off the first axis: the second axis certifies
+        // nothing, so lo degrades to 0, but the first axis still yields a
+        // finite hi. No panic, no hang.
+        let f = |v: &VecN| {
+            if v[1] != 0.0 {
+                f64::NAN
+            } else {
+                v[0].abs()
+            }
+        };
+        let origin = VecN::from([0.0, 0.0]);
+        let p = problem(&f, &origin, 1.0);
+        let iv = certified_level_interval(&p, &SolverOptions::default(), 20).unwrap();
+        assert_eq!(iv.lo, 0.0);
+        assert!(
+            iv.hi.is_finite() && (iv.hi - 1.0).abs() < 0.05,
+            "hi {}",
+            iv.hi
+        );
+    }
+}

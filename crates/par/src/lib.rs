@@ -267,6 +267,200 @@ where
     pairs.into_iter().map(|(_, u)| u).collect()
 }
 
+/// Why a task in the catching driver failed after all attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task closure (or an injected fault) panicked on every attempt.
+    Panicked {
+        /// Attempts consumed (initial run + re-dispatches).
+        attempts: usize,
+        /// The last panic's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked { attempts, message } => {
+                write!(f, "task panicked after {attempts} attempts: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Panic-containment policy for [`par_map_dynamic_catch_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct CatchConfig {
+    /// Total attempts per task: the initial run plus bounded re-dispatches
+    /// of quarantined (panicked) tasks. `1` disables re-dispatch.
+    pub max_attempts: usize,
+}
+
+impl Default for CatchConfig {
+    fn default() -> Self {
+        CatchConfig { max_attempts: 2 }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-isolating variant of [`par_map_dynamic_with`]: each task runs under
+/// `catch_unwind`, so one panicking item (a poisoned input, a buggy impact
+/// function, an injected fault) cannot abort the whole sweep.
+///
+/// A panicked task is **quarantined** instead of retried in place: its
+/// worker re-initializes its scratch state (the panic may have left it
+/// inconsistent) and moves on, and the quarantined indices are re-dispatched
+/// together in up to `catch.max_attempts − 1` follow-up rounds. Tasks that
+/// panic on every attempt resolve to [`TaskError::Panicked`] carrying the
+/// last panic message; everything else resolves to `Ok`, in input order —
+/// the call itself never panics and never hangs.
+///
+/// Fault-injection hooks: when `fepia-chaos` is enabled, each task may
+/// receive an artificial latency spike (`par.task` delay site) or an
+/// injected panic (`par.task` panic site) before the real work runs.
+/// Disabled, both hooks are one relaxed atomic load.
+///
+/// When `fepia-obs` is enabled, `par.catch.panics` / `par.catch.redispatched`
+/// / `par.catch.failed` count containment activity.
+pub fn par_map_dynamic_catch_with<T, U, S, I, F>(
+    items: &[T],
+    cfg: &ParConfig,
+    catch: &CatchConfig,
+    init: I,
+    f: F,
+) -> Vec<Result<U, TaskError>>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_attempts = catch.max_attempts.max(1);
+    let observe = fepia_obs::enabled();
+
+    // One guarded execution of task `i` against the given worker state;
+    // rebuilds the state after a panic (it may be mid-mutation).
+    let run_one = |state: &mut S, i: usize| -> Result<U, String> {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            fepia_chaos::maybe_delay("par.task");
+            fepia_chaos::maybe_panic("par.task");
+            f(state, i, &items[i])
+        }));
+        match attempt {
+            Ok(u) => Ok(u),
+            Err(payload) => {
+                *state = init(); // self-heal: discard possibly-corrupt scratch
+                if observe {
+                    fepia_obs::global().counter("par.catch.panics").inc();
+                }
+                Err(panic_message(payload))
+            }
+        }
+    };
+
+    let mut out: Vec<Option<Result<U, TaskError>>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..n).collect();
+
+    for attempt in 1..=max_attempts {
+        if pending.is_empty() {
+            break;
+        }
+        let threads = cfg.effective_threads(pending.len());
+        let round: Vec<(usize, Result<U, String>)> =
+            if threads == 1 || pending.len() < cfg.sequential_below {
+                let mut state = init();
+                pending
+                    .iter()
+                    .map(|&i| (i, run_one(&mut state, i)))
+                    .collect()
+            } else {
+                let next = AtomicUsize::new(0);
+                let collected: Mutex<Vec<(usize, Result<U, String>)>> =
+                    Mutex::new(Vec::with_capacity(pending.len()));
+                let pending_ref = &pending;
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        let next = &next;
+                        let collected = &collected;
+                        let run_one = &run_one;
+                        let init = &init;
+                        s.spawn(move || {
+                            let mut state = init();
+                            let mut local: Vec<(usize, Result<U, String>)> = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= pending_ref.len() {
+                                    break;
+                                }
+                                let i = pending_ref[k];
+                                local.push((i, run_one(&mut state, i)));
+                            }
+                            collected
+                                .lock()
+                                .expect("collect lock poisoned")
+                                .extend(local);
+                        });
+                    }
+                });
+                collected.into_inner().expect("collect lock poisoned")
+            };
+
+        let mut failed: Vec<usize> = Vec::new();
+        for (i, res) in round {
+            match res {
+                Ok(u) => out[i] = Some(Ok(u)),
+                Err(message) => {
+                    if attempt == max_attempts {
+                        out[i] = Some(Err(TaskError::Panicked {
+                            attempts: attempt,
+                            message,
+                        }));
+                    } else {
+                        failed.push(i);
+                    }
+                }
+            }
+        }
+        if observe && !failed.is_empty() {
+            fepia_obs::global()
+                .counter("par.catch.redispatched")
+                .add(failed.len() as u64);
+        }
+        failed.sort_unstable();
+        pending = failed;
+    }
+
+    if observe {
+        let failures = out.iter().filter(|r| matches!(r, Some(Err(_)))).count();
+        if failures > 0 {
+            fepia_obs::global()
+                .counter("par.catch.failed")
+                .add(failures as u64);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every task resolved"))
+        .collect()
+}
+
 /// Parallel fold: maps every item and reduces the results with `combine`
 /// (which must be associative and commutative). Returns `None` on empty
 /// input.
@@ -418,6 +612,100 @@ mod tests {
         assert_eq!(out, (1..257).collect::<Vec<_>>());
         let snap = fepia_obs::global().snapshot();
         assert!(snap.counter("par.dynamic.items").unwrap_or(0) >= 256);
+    }
+
+    #[test]
+    fn catch_driver_contains_persistent_panics() {
+        let items: Vec<i32> = (0..100).collect();
+        for threads in [1, 4] {
+            let out = par_map_dynamic_catch_with(
+                &items,
+                &ParConfig::with_threads(threads),
+                &CatchConfig::default(),
+                || (),
+                |(), i, x| {
+                    if i == 57 {
+                        panic!("poisoned item {i}");
+                    }
+                    *x * 2
+                },
+            );
+            assert_eq!(out.len(), 100);
+            for (i, r) in out.iter().enumerate() {
+                if i == 57 {
+                    let Err(TaskError::Panicked { attempts, message }) = r else {
+                        panic!("item 57 must fail, got {r:?}");
+                    };
+                    assert_eq!(*attempts, 2);
+                    assert!(message.contains("poisoned item 57"));
+                } else {
+                    assert_eq!(*r, Ok(items[i] * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_driver_redispatch_recovers_transient_panics() {
+        // A task that panics only on its first attempt must succeed on
+        // re-dispatch.
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..64).collect();
+        let tries = AtomicUsize::new(0);
+        let out = par_map_dynamic_catch_with(
+            &items,
+            &ParConfig::with_threads(4),
+            &CatchConfig { max_attempts: 3 },
+            || (),
+            |(), i, x| {
+                if i == 13 && tries.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("transient");
+                }
+                *x + 1
+            },
+        );
+        assert_eq!(out[13], Ok(14));
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn catch_driver_heals_worker_state_after_panic() {
+        // The worker scratch must be re-initialized after a panic: a state
+        // corrupted mid-task must never leak into later items.
+        let items: Vec<usize> = (0..200).collect();
+        let out = par_map_dynamic_catch_with(
+            &items,
+            &ParConfig::with_threads(2),
+            &CatchConfig { max_attempts: 1 },
+            || 0u64, // healthy state is 0
+            |state, i, x| {
+                assert_eq!(*state, 0, "corrupt state leaked into item {i}");
+                if i == 99 {
+                    *state = 777; // corrupt, then die
+                    panic!("corrupting panic");
+                }
+                *x as u64
+            },
+        );
+        assert!(matches!(out[99], Err(TaskError::Panicked { .. })));
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 199);
+    }
+
+    #[test]
+    fn catch_driver_matches_plain_driver_when_nothing_panics() {
+        let items: Vec<u64> = (0..300).collect();
+        let plain = par_map_dynamic(&items, &ParConfig::with_threads(3), |_, x| x * 7);
+        let caught = par_map_dynamic_catch_with(
+            &items,
+            &ParConfig::with_threads(3),
+            &CatchConfig::default(),
+            || (),
+            |(), _, x| x * 7,
+        );
+        assert_eq!(
+            caught.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            plain
+        );
     }
 
     #[test]

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Performance gate for the compiled-plan layer: runs the plan_speedup bench
-# (DeltaEval-vs-full move evaluation; compile-once batch vs per-item
-# compile) and records the measured numbers in BENCH_plan.json at the repo
-# root. The bench itself asserts the acceptance bars (>= 5x move eval,
-# >= 1.5x batch), so a non-zero exit means a performance regression.
+# Performance gates:
+#
+# * plan_speedup — the compiled-plan layer (DeltaEval-vs-full move
+#   evaluation; compile-once batch vs per-item compile), recorded in
+#   BENCH_plan.json. The bench asserts the acceptance bars (>= 5x move
+#   eval, >= 1.5x batch).
+# * chaos_overhead — the fault-injection layer's disabled path, recorded
+#   in BENCH_chaos.json. The bench asserts the < 2% overhead budget with
+#   FEPIA_CHAOS unset.
+#
+# A non-zero exit from either bench means a performance regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,3 +20,10 @@ cargo bench -p fepia-bench --bench plan_speedup
 
 cp "$FEPIA_RESULTS/BENCH_plan.json" BENCH_plan.json
 echo "bench: wrote $(pwd)/BENCH_plan.json"
+
+echo "==> cargo bench -p fepia-bench --bench chaos_overhead"
+unset FEPIA_CHAOS
+cargo bench -p fepia-bench --bench chaos_overhead
+
+cp "$FEPIA_RESULTS/BENCH_chaos.json" BENCH_chaos.json
+echo "bench: wrote $(pwd)/BENCH_chaos.json"

@@ -26,6 +26,8 @@
 //!   summaries, correlation, regression.
 //! * [`par`](mod@par) — deterministic parallel sweeps on crossbeam scoped
 //!   threads.
+//! * [`chaos`](mod@chaos) — deterministic, seedable fault injection
+//!   (`FEPIA_CHAOS`); off by default with near-zero cost.
 //! * [`etc`](mod@etc) — ETC-matrix generation (mean/heterogeneity
 //!   controlled, consistency shaping).
 //! * [`mapping`](mod@mapping) — the §3.1 independent-task system with the
@@ -62,6 +64,7 @@
 //! assert!(report.metric <= 1.2 * makespan);
 //! ```
 
+pub use fepia_chaos as chaos;
 pub use fepia_core as core;
 pub use fepia_etc as etc;
 pub use fepia_hiperd as hiperd;
