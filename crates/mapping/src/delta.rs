@@ -76,6 +76,11 @@ pub struct DeltaEval<'a> {
     radii: Vec<f64>,
     metric: f64,
     binding: usize,
+    /// Upper bound on any physically possible machine load under this ETC
+    /// (with headroom): no finite cached value above it can be legitimate,
+    /// so the sanity scan catches huge-but-finite corruption, not just
+    /// NaN/∞.
+    load_ceiling: f64,
     // plan.delta.* counters, flushed on drop.
     moves: u64,
     peeks: u64,
@@ -123,6 +128,14 @@ impl<'a> DeltaEval<'a> {
     pub fn empty(etc: &'a EtcMatrix, machines: usize, tau: f64) -> Self {
         assert!(tau >= 1.0, "tolerance factor τ must be ≥ 1, got {tau}");
         assert_eq!(etc.machines(), machines, "ETC/machine-count mismatch");
+        // Every application contributes to exactly one machine, so no load
+        // can exceed the sum of per-application row maxima; 4× headroom
+        // keeps the bound far from legitimate values while still rejecting
+        // absurd cached numbers (e.g. an injected 1e308).
+        let max_total: f64 = (0..etc.apps())
+            .map(|i| etc.row(i).iter().cloned().fold(0.0, f64::max))
+            .sum();
+        let load_ceiling = 4.0 * max_total.max(1.0);
         DeltaEval {
             etc,
             tau,
@@ -134,6 +147,7 @@ impl<'a> DeltaEval<'a> {
             radii: vec![f64::INFINITY; machines],
             metric: f64::INFINITY,
             binding: 0,
+            load_ceiling,
             moves: 0,
             peeks: 0,
             delta_radii: 0,
@@ -290,11 +304,19 @@ impl<'a> DeltaEval<'a> {
     }
 
     /// True when every cached quantity is finite or a legitimate `+∞`
-    /// (empty-machine radii); NaN anywhere means corruption.
+    /// (empty-machine radii) **and physically plausible**: loads and the
+    /// makespan must stay below [`Self::empty`]'s `load_ceiling`, because a
+    /// corrupted value can be huge yet finite (fault injection cycles
+    /// through 1e308 as well as NaN/±∞) and would otherwise poison radii
+    /// silently.
     fn state_is_sane(&self) -> bool {
         self.makespan.is_finite()
+            && self.makespan <= self.load_ceiling
             && !self.metric.is_nan()
-            && self.loads.iter().all(|l| l.is_finite())
+            && self
+                .loads
+                .iter()
+                .all(|l| l.is_finite() && *l <= self.load_ceiling)
             && !self.radii.iter().any(|r| r.is_nan())
     }
 
@@ -623,6 +645,26 @@ mod tests {
         de.heal();
         assert_state_bitwise(&de, &m, &etc, 1.2);
         assert!(matches!(de.verdict(), RadiusVerdict::Exact(_)));
+    }
+
+    #[test]
+    fn huge_finite_corruption_is_detected_and_healed() {
+        // The chaos poison cycle includes 1e308: finite, so a pure
+        // NaN/∞ scan would accept it and radii would go silently wrong.
+        // The load-ceiling invariant must flag it.
+        let (m, etc) = instance(9);
+        let mut de = DeltaEval::new(&etc, &m, 1.2);
+        de.loads[1] = 1e308;
+        assert!(!de.state_is_sane());
+        assert!(matches!(de.verdict(), RadiusVerdict::Failed(_)));
+        de.heal();
+        assert_state_bitwise(&de, &m, &etc, 1.2);
+
+        // Same for a corrupted cached makespan alone.
+        de.makespan = 1e308;
+        assert!(!de.state_is_sane());
+        de.heal();
+        assert_state_bitwise(&de, &m, &etc, 1.2);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Per-shard LRU cache of compiled scenarios, with single-flight
+//! compilation.
+//!
+//! The cache is keyed on the 64-bit [`Scenario::fingerprint`]; on every hit
+//! the stored scenario is re-checked with the exact [`Scenario::same_as`]
+//! comparison, so a fingerprint collision can cost a recompile but can
+//! never serve the wrong plan.
+//!
+//! **Single-flight.** When two workers of one shard ask for the same
+//! not-yet-compiled scenario, the first inserts a `Compiling` marker and
+//! compiles outside the lock; the second waits on a condvar and picks up
+//! the published plan ([`CacheOutcome::Coalesced`]) instead of compiling
+//! the same scenario twice. If the first compile fails, the marker is
+//! removed and waiters fall through to compiling themselves (the error
+//! might be transient fault injection).
+//!
+//! **Eviction.** Slots carry a monotone last-used tick; inserting beyond
+//! capacity evicts the least-recently-used *ready* slot. `Compiling`
+//! markers are never evicted (a waiter is parked on them).
+
+use crate::scenario::{CompiledScenario, Scenario};
+use fepia_core::CoreError;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How the cache satisfied a lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The compiled plan was already resident.
+    Hit,
+    /// This worker compiled the plan (cold miss, collision replacement, or
+    /// retry after a failed in-flight compile).
+    Compiled,
+    /// Another worker was compiling the same scenario; this lookup waited
+    /// for its result instead of duplicating the work.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// Obs counter suffix (`serve.cache.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hits",
+            CacheOutcome::Compiled => "misses",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+enum Slot {
+    Ready {
+        compiled: Arc<CompiledScenario>,
+        last_used: u64,
+    },
+    Compiling,
+}
+
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of [`CompiledScenario`]s keyed by
+/// [`Scenario::fingerprint`], with single-flight compilation: concurrent
+/// lookups of the same (not-yet-compiled) scenario coalesce onto one
+/// compilation instead of racing. Fingerprint collisions are detected by
+/// [`Scenario::same_as`] and resolved by evict-and-recompile — a colliding
+/// scenario is never served another scenario's plan.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        PlanCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Returns the compiled scenario, compiling it (or waiting for an
+    /// in-flight compilation) as needed.
+    pub fn get_or_compile(
+        &self,
+        scenario: &Arc<Scenario>,
+    ) -> (Result<Arc<CompiledScenario>, CoreError>, CacheOutcome) {
+        enum Decision {
+            Found(Arc<CompiledScenario>),
+            Wait,
+            Compile,
+        }
+        let fp = scenario.fingerprint();
+        let mut waited = false;
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        loop {
+            let state = &mut *inner;
+            let decision = match state.slots.get_mut(&fp) {
+                Some(Slot::Ready {
+                    compiled,
+                    last_used,
+                }) => {
+                    if compiled.scenario().same_as(scenario) {
+                        state.tick += 1;
+                        *last_used = state.tick;
+                        Decision::Found(Arc::clone(compiled))
+                    } else {
+                        // Fingerprint collision: a *different* scenario owns
+                        // the slot. Evict it and recompile rather than ever
+                        // serving the wrong plan.
+                        state.slots.remove(&fp);
+                        if fepia_obs::enabled() {
+                            fepia_obs::global().counter("serve.cache.collisions").inc();
+                        }
+                        Decision::Compile
+                    }
+                }
+                Some(Slot::Compiling) => Decision::Wait,
+                None => Decision::Compile,
+            };
+            match decision {
+                Decision::Found(compiled) => {
+                    let out = if waited {
+                        CacheOutcome::Coalesced
+                    } else {
+                        CacheOutcome::Hit
+                    };
+                    return (Ok(compiled), out);
+                }
+                Decision::Wait => {
+                    waited = true;
+                    inner = self.ready.wait(inner).expect("cache lock poisoned");
+                }
+                Decision::Compile => break,
+            }
+        }
+        inner.slots.insert(fp, Slot::Compiling);
+        drop(inner);
+
+        let result = scenario.compile().map(Arc::new);
+
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match &result {
+            Ok(compiled) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.slots.insert(
+                    fp,
+                    Slot::Ready {
+                        compiled: Arc::clone(compiled),
+                        last_used: tick,
+                    },
+                );
+                self.evict_lru(&mut inner);
+            }
+            Err(_) => {
+                // Remove the marker so waiters retry the compile themselves.
+                inner.slots.remove(&fp);
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+        (result, CacheOutcome::Compiled)
+    }
+
+    /// Evicts least-recently-used ready slots until within capacity.
+    fn evict_lru(&self, inner: &mut Inner) {
+        while inner.slots.len() > self.capacity {
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready { last_used, .. } => Some((*k, *last_used)),
+                    Slot::Compiling => None,
+                })
+                .min_by_key(|&(_, t)| t)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    inner.slots.remove(&k);
+                    if fepia_obs::enabled() {
+                        fepia_obs::global().counter("serve.cache.evictions").inc();
+                    }
+                }
+                None => break, // only Compiling markers left: never evicted
+            }
+        }
+    }
+
+    /// Number of resident slots (ready + compiling), for tests.
+    #[cfg(test)]
+    fn slot_count(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fepia_core::RadiusOptions;
+    use fepia_etc::{generate_cvb, EtcParams};
+    use fepia_mapping::Mapping;
+    use fepia_stats::rng_for;
+    use std::thread;
+
+    fn scenario(seed: u64) -> Arc<Scenario> {
+        let etc = Arc::new(generate_cvb(
+            &mut rng_for(seed, 0),
+            &EtcParams::paper_section_4_2(),
+        ));
+        let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+        Arc::new(Scenario::new(etc, mapping, 1.2, RadiusOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn hit_after_compile_returns_same_plan() {
+        let cache = PlanCache::new(4);
+        let s = scenario(1);
+        let (a, out_a) = cache.get_or_compile(&s);
+        assert_eq!(out_a, CacheOutcome::Compiled);
+        let (b, out_b) = cache.get_or_compile(&s);
+        assert_eq!(out_b, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
+    }
+
+    #[test]
+    fn equal_scenarios_from_different_allocations_hit() {
+        let cache = PlanCache::new(4);
+        let (_, first) = cache.get_or_compile(&scenario(2));
+        assert_eq!(first, CacheOutcome::Compiled);
+        let (_, second) = cache.get_or_compile(&scenario(2));
+        assert_eq!(second, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = PlanCache::new(2);
+        let (s1, s2, s3) = (scenario(1), scenario(2), scenario(3));
+        cache.get_or_compile(&s1).0.unwrap();
+        cache.get_or_compile(&s2).0.unwrap();
+        cache.get_or_compile(&s1).0.unwrap(); // touch s1: s2 becomes LRU
+        cache.get_or_compile(&s3).0.unwrap(); // evicts s2
+        assert_eq!(cache.slot_count(), 2);
+        assert_eq!(cache.get_or_compile(&s1).1, CacheOutcome::Hit);
+        assert_eq!(cache.get_or_compile(&s3).1, CacheOutcome::Hit);
+        // s2 must recompile — but then it evicts the current LRU (s1).
+        assert_eq!(cache.get_or_compile(&s2).1, CacheOutcome::Compiled);
+    }
+
+    #[test]
+    fn concurrent_lookups_coalesce_to_one_plan() {
+        let cache = Arc::new(PlanCache::new(4));
+        let s = scenario(7);
+        let plans: Vec<Arc<CompiledScenario>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || cache.get_or_compile(&s).0.unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Everyone got the *same* Arc: exactly one compile happened.
+        assert!(plans.iter().all(|p| Arc::ptr_eq(p, &plans[0])));
+    }
+}

@@ -1,0 +1,42 @@
+//! `fepia-serve` — a long-running, sharded robustness evaluation service.
+//!
+//! The ROADMAP's north star is a production system where the FePIA metric
+//! (Eq. 1–2) is not a one-shot computation but an always-on query: a
+//! scheduler continuously asks "how robust is this mapping?" and "how
+//! robust would it be after this move?". This crate turns the compiled
+//! plans of `fepia-core` and the incremental `DeltaEval` of
+//! `fepia-mapping` into exactly that service, std-only like the rest of
+//! the workspace:
+//!
+//! * [`Scenario`] / [`CompiledScenario`] — the cacheable unit `(ETC, μ,
+//!   τ, options)`, fingerprinted for routing and compiled bitwise-
+//!   identically to the legacy [`fepia_mapping::makespan_robustness_generic`]
+//!   path.
+//! * [`Service`] — N shards, each with a bounded request queue
+//!   (shed-on-full admission control or blocking backpressure), an LRU
+//!   plan cache with single-flight compilation coalescing, and worker
+//!   threads that answer every accepted request — panics, compile
+//!   failures and injected faults all degrade to typed
+//!   [`fepia_core::PlanVerdict`]s, never dropped tickets.
+//! * [`workload`] — deterministic seeded request streams and
+//!   order-independent response digests, shared by the soak tests, the
+//!   differential oracle and `serve_bench`.
+//!
+//! Observability: `serve.*` counters and histograms (queue depth, cache
+//! hits/misses/coalesced, worker panics, per-request latency, shard busy
+//! time) through `fepia-obs`, plus always-on [`ServiceStats`] atomics.
+//! Fault injection: `serve.enqueue` and `serve.worker` chaos sites
+//! compose with the `core.origin` / `mapping.delta.load` sites downstream.
+
+pub mod cache;
+mod queue;
+pub mod scenario;
+pub mod service;
+pub mod workload;
+
+pub use cache::{CacheOutcome, PlanCache};
+pub use scenario::{CompiledScenario, Scenario, ScenarioError};
+pub use service::{
+    EvalKind, EvalRequest, EvalResponse, Overloaded, ServeError, Service, ServiceConfig,
+    ServiceStats, ShardStatsSnapshot, ShedReason, Ticket,
+};

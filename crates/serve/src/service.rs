@@ -1,0 +1,814 @@
+//! The long-running evaluation service.
+//!
+//! A [`Service`] owns `shards` independent worker groups. Each shard has a
+//! bounded request queue (admission control + backpressure), a plan cache
+//! ([`crate::cache`]) and one or more `std::thread` workers. Requests are
+//! routed by consistent hashing on the scenario fingerprint, so all
+//! traffic for one scenario lands on one shard — its plan is compiled
+//! once, cached once, and never duplicated across shards.
+//!
+//! **Admission.** [`Service::submit`] never blocks: a full queue sheds the
+//! request with a typed [`Overloaded`] carrying the shard and
+//! [`ShedReason`]. [`Service::submit_blocking`] waits for space instead
+//! (backpressure for batch clients). After [`Service::shutdown`] begins,
+//! both reject with [`ShedReason::ShuttingDown`] while workers drain every
+//! request already accepted — accepted work is never dropped.
+//!
+//! **Fault tolerance.** Each evaluation attempt runs under
+//! `catch_unwind`; a panicking attempt (e.g. injected at the
+//! `serve.worker` chaos site) is retried up to
+//! [`ServiceConfig::worker_attempts`] times with a fresh workspace, and
+//! only then does the client see a [`FailReason::Panic`] verdict — the
+//! ticket is always answered. Chaos sites: `serve.enqueue` (delay before
+//! routing) and `serve.worker` (delay + panic injection around the
+//! evaluation).
+//!
+//! **Determinism.** Responses are pure functions of the request: plans are
+//! compiled deterministically and evaluations are bitwise identical
+//! whether the plan came cold, from cache, or from a coalesced compile,
+//! and regardless of which worker or shard ran them. The workspace soak
+//! test replays 100k requests twice and asserts the aggregate digest is
+//! bit-for-bit equal.
+
+use crate::cache::{CacheOutcome, PlanCache};
+use crate::queue::{BoundedQueue, PushError};
+use crate::scenario::Scenario;
+use fepia_core::{FailReason, PlanVerdict, PlanWorkspace, ResiliencePolicy};
+use fepia_optim::VecN;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What to evaluate against a scenario's compiled plan.
+#[derive(Clone, Debug)]
+pub enum EvalKind {
+    /// One verdict at the assumed operating point `C_orig`.
+    Verdict,
+    /// One verdict per caller-supplied origin (perturbed operating points).
+    Origins(Vec<VecN>),
+    /// One verdict per single-application move `(app, dst)` applied to the
+    /// base mapping — the hot scheduler-probe path, served by `DeltaEval`.
+    Moves(Vec<(usize, usize)>),
+}
+
+impl EvalKind {
+    /// Number of verdicts a response to this kind carries.
+    pub fn units(&self) -> usize {
+        match self {
+            EvalKind::Verdict => 1,
+            EvalKind::Origins(os) => os.len(),
+            EvalKind::Moves(ms) => ms.len(),
+        }
+    }
+}
+
+/// One request: a client-chosen id, the scenario, and what to evaluate.
+#[derive(Clone, Debug)]
+pub struct EvalRequest {
+    /// Echoed verbatim in the response; the service never interprets it.
+    pub id: u64,
+    /// The scenario to (look up or) compile and evaluate.
+    pub scenario: Arc<Scenario>,
+    /// What to evaluate.
+    pub kind: EvalKind,
+}
+
+/// The service's answer to one [`EvalRequest`].
+#[derive(Clone, Debug)]
+pub struct EvalResponse {
+    /// The request's id, echoed.
+    pub id: u64,
+    /// Which shard served the request.
+    pub shard: usize,
+    /// How the plan was obtained; `None` when every evaluation attempt
+    /// panicked and the response is the all-failed fallback.
+    pub cache: Option<CacheOutcome>,
+    /// One verdict per requested unit (see [`EvalKind::units`]).
+    pub verdicts: Vec<PlanVerdict>,
+    /// Evaluation attempts consumed (1 = clean first try).
+    pub attempts: u32,
+}
+
+/// Why the service refused a request at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The target shard's queue is at capacity.
+    QueueFull,
+    /// The service is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+/// Typed admission rejection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The shard that refused.
+    pub shard: usize,
+    /// Why.
+    pub reason: ShedReason,
+}
+
+/// Any way a request can fail to produce a response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission; retry later or against another scenario.
+    Overloaded(Overloaded),
+    /// The request is malformed w.r.t. its scenario (index/dimension out of
+    /// range); resubmitting it unchanged can never succeed.
+    Invalid(String),
+    /// The worker side went away without answering (only possible after a
+    /// worker thread died outside the catch path — a bug, not load).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded(o) => write!(
+                f,
+                "shard {} shed the request: {}",
+                o.shard,
+                match o.reason {
+                    ShedReason::QueueFull => "queue full",
+                    ShedReason::ShuttingDown => "shutting down",
+                }
+            ),
+            ServeError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Disconnected => write!(f, "worker disconnected before responding"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Service sizing and resilience knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards (independent queues + caches).
+    pub shards: usize,
+    /// Worker threads per shard. More than one lets a shard overlap a slow
+    /// compile with cached traffic (compilation is single-flighted either
+    /// way).
+    pub workers_per_shard: usize,
+    /// Per-shard queue capacity; `submit` sheds beyond it.
+    pub queue_capacity: usize,
+    /// Per-shard plan-cache capacity (compiled scenarios).
+    pub cache_capacity: usize,
+    /// Evaluation attempts per request before answering with an all-failed
+    /// panic verdict.
+    pub worker_attempts: u32,
+    /// Resilience policy forwarded to verdict evaluations.
+    pub policy: ResiliencePolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            queue_capacity: 1024,
+            cache_capacity: 64,
+            worker_attempts: 4,
+            policy: ResiliencePolicy::default(),
+        }
+    }
+}
+
+/// Always-on (obs-independent) per-shard counters, `Relaxed` atomics.
+#[derive(Default)]
+struct ShardStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed_full: AtomicU64,
+    shed_shutdown: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_coalesced: AtomicU64,
+    worker_panics: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// Snapshot of one shard's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses sent.
+    pub completed: u64,
+    /// Requests shed with [`ShedReason::QueueFull`].
+    pub shed_full: u64,
+    /// Requests shed with [`ShedReason::ShuttingDown`].
+    pub shed_shutdown: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan compilations (cold misses + collision replacements).
+    pub cache_misses: u64,
+    /// Lookups satisfied by another worker's in-flight compile.
+    pub cache_coalesced: u64,
+    /// Evaluation attempts that panicked (and were retried or failed over).
+    pub worker_panics: u64,
+    /// Total wall time workers spent processing requests, in nanoseconds.
+    pub busy_ns: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Cache hit rate over lookups that had a chance to hit
+    /// (hits + coalesced) / (hits + coalesced + misses); 0 when idle.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let warm = self.cache_hits + self.cache_coalesced;
+        let total = warm + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            warm as f64 / total as f64
+        }
+    }
+
+    fn add(&mut self, other: &ShardStatsSnapshot) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.shed_full += other.shed_full;
+        self.shed_shutdown += other.shed_shutdown;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_coalesced += other.cache_coalesced;
+        self.worker_panics += other.worker_panics;
+        self.busy_ns += other.busy_ns;
+    }
+}
+
+impl ShardStats {
+    fn snapshot(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_full: self.shed_full.load(Ordering::Relaxed),
+            shed_shutdown: self.shed_shutdown.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_coalesced: self.cache_coalesced.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-service and per-shard counter snapshots.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// One snapshot per shard, in shard order.
+    pub shards: Vec<ShardStatsSnapshot>,
+}
+
+impl ServiceStats {
+    /// Sum over all shards.
+    pub fn totals(&self) -> ShardStatsSnapshot {
+        let mut t = ShardStatsSnapshot::default();
+        for s in &self.shards {
+            t.add(s);
+        }
+        t
+    }
+}
+
+struct Job {
+    req: EvalRequest,
+    tx: mpsc::Sender<EvalResponse>,
+    enqueued: Instant,
+}
+
+struct Shard {
+    index: usize,
+    queue: BoundedQueue<Job>,
+    cache: PlanCache,
+    stats: ShardStats,
+}
+
+/// A pending response. Dropping the ticket abandons the response (the
+/// worker's send is silently discarded).
+pub struct Ticket {
+    rx: mpsc::Receiver<EvalResponse>,
+    shard: usize,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<EvalResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// The shard the request was routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// The long-running evaluation service. See the module docs.
+pub struct Service {
+    shards: Vec<Arc<Shard>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_attempts: u32,
+    policy: ResiliencePolicy,
+}
+
+impl Service {
+    /// Starts the shards and their worker threads.
+    pub fn start(config: ServiceConfig) -> Service {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.workers_per_shard >= 1, "need at least one worker");
+        assert!(config.worker_attempts >= 1, "need at least one attempt");
+        let shards: Vec<Arc<Shard>> = (0..config.shards)
+            .map(|index| {
+                Arc::new(Shard {
+                    index,
+                    queue: BoundedQueue::new(config.queue_capacity),
+                    cache: PlanCache::new(config.cache_capacity),
+                    stats: ShardStats::default(),
+                })
+            })
+            .collect();
+        let mut workers = Vec::with_capacity(config.shards * config.workers_per_shard);
+        for shard in &shards {
+            for w in 0..config.workers_per_shard {
+                let shard = Arc::clone(shard);
+                let policy = config.policy;
+                let attempts = config.worker_attempts;
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("fepia-serve-{}-{}", shard.index, w))
+                        .spawn(move || worker_loop(&shard, &policy, attempts))
+                        .expect("spawn worker thread"),
+                );
+            }
+        }
+        Service {
+            shards,
+            workers,
+            worker_attempts: config.worker_attempts,
+            policy: config.policy,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a fingerprint routes to (SplitMix-mixed so adjacent
+    /// fingerprints spread).
+    pub fn shard_for(&self, fingerprint: u64) -> usize {
+        (fepia_stats::subseed(fingerprint, 0) % self.shards.len() as u64) as usize
+    }
+
+    fn validate(req: &EvalRequest) -> Result<(), ServeError> {
+        let apps = req.scenario.mapping().apps();
+        let machines = req.scenario.mapping().machines();
+        match &req.kind {
+            EvalKind::Verdict => Ok(()),
+            EvalKind::Origins(os) => {
+                for (k, o) in os.iter().enumerate() {
+                    if o.dim() != apps {
+                        return Err(ServeError::Invalid(format!(
+                            "origin {k} has dimension {}, scenario has {apps} applications",
+                            o.dim()
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            EvalKind::Moves(ms) => {
+                for (k, &(app, dst)) in ms.iter().enumerate() {
+                    if app >= apps || dst >= machines {
+                        return Err(ServeError::Invalid(format!(
+                            "move {k} = ({app}, {dst}) out of range for {apps}×{machines}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn admit(&self, req: EvalRequest) -> Result<(usize, Job, Ticket), ServeError> {
+        Self::validate(&req)?;
+        fepia_chaos::maybe_delay("serve.enqueue");
+        let shard = self.shard_for(req.scenario.fingerprint());
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            tx,
+            enqueued: Instant::now(),
+        };
+        Ok((shard, job, Ticket { rx, shard }))
+    }
+
+    fn shed(&self, shard: usize, reason: ShedReason) -> ServeError {
+        let stats = &self.shards[shard].stats;
+        match reason {
+            ShedReason::QueueFull => stats.shed_full.fetch_add(1, Ordering::Relaxed),
+            ShedReason::ShuttingDown => stats.shed_shutdown.fetch_add(1, Ordering::Relaxed),
+        };
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter("serve.shed").inc();
+        }
+        ServeError::Overloaded(Overloaded { shard, reason })
+    }
+
+    fn accepted(&self, shard: usize) {
+        let s = &self.shards[shard];
+        s.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if fepia_obs::enabled() {
+            let reg = fepia_obs::global();
+            reg.counter("serve.requests").inc();
+            reg.histogram("serve.queue.depth")
+                .record(s.queue.len() as f64);
+        }
+    }
+
+    /// Non-blocking submission: sheds with a typed [`Overloaded`] when the
+    /// target shard's queue is full or the service is draining.
+    pub fn submit(&self, req: EvalRequest) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.admit(req)?;
+        match self.shards[shard].queue.try_push(job) {
+            Ok(()) => {
+                self.accepted(shard);
+                Ok(ticket)
+            }
+            Err(PushError::Full(_)) => Err(self.shed(shard, ShedReason::QueueFull)),
+            Err(PushError::Closed(_)) => Err(self.shed(shard, ShedReason::ShuttingDown)),
+        }
+    }
+
+    /// Blocking submission: waits for queue space (backpressure) instead of
+    /// shedding; still rejects once the service is draining.
+    pub fn submit_blocking(&self, req: EvalRequest) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.admit(req)?;
+        match self.shards[shard].queue.push_blocking(job) {
+            Ok(()) => {
+                self.accepted(shard);
+                Ok(ticket)
+            }
+            Err(_) => Err(self.shed(shard, ShedReason::ShuttingDown)),
+        }
+    }
+
+    /// Submit-and-wait convenience (non-blocking admission).
+    pub fn call(&self, req: EvalRequest) -> Result<EvalResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Submit-and-wait convenience with backpressure admission.
+    pub fn call_blocking(&self, req: EvalRequest) -> Result<EvalResponse, ServeError> {
+        self.submit_blocking(req)?.wait()
+    }
+
+    /// Current counter snapshots.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self.shards.iter().map(|s| s.stats.snapshot()).collect(),
+        }
+    }
+
+    /// The configured per-request attempt budget.
+    pub fn worker_attempts(&self) -> u32 {
+        self.worker_attempts
+    }
+
+    /// The resilience policy evaluations run under.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    fn stop(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker that somehow died takes its panic to join(); surface
+            // it rather than hiding a broken service.
+            handle.join().expect("worker thread panicked");
+        }
+    }
+
+    /// Graceful drain: stop admitting, finish every accepted request, join
+    /// all workers, and return the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
+    let mut ws = PlanWorkspace::new();
+    while let Some(job) = shard.queue.pop() {
+        let started = Instant::now();
+        fepia_chaos::maybe_delay("serve.worker");
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| {
+                process(shard, &job.req, &mut ws, policy)
+            })) {
+                Ok(result) => break Some(result),
+                Err(_) => {
+                    shard.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    if fepia_obs::enabled() {
+                        fepia_obs::global().counter("serve.worker.panics").inc();
+                    }
+                    // The workspace may hold state from the aborted attempt.
+                    ws = PlanWorkspace::new();
+                    if attempts >= max_attempts {
+                        break None;
+                    }
+                }
+            }
+        };
+        let (verdicts, cache) = outcome.map_or_else(
+            || {
+                let reason = FailReason::Panic(format!(
+                    "evaluation panicked on all {max_attempts} attempts"
+                ));
+                let failed = (0..job.req.kind.units().max(1))
+                    .map(|_| PlanVerdict::all_failed(1, reason.clone()))
+                    .collect();
+                (failed, None)
+            },
+            |(v, c)| (v, Some(c)),
+        );
+        if let Some(c) = cache {
+            let counter = match c {
+                CacheOutcome::Hit => &shard.stats.cache_hits,
+                CacheOutcome::Compiled => &shard.stats.cache_misses,
+                CacheOutcome::Coalesced => &shard.stats.cache_coalesced,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            if fepia_obs::enabled() {
+                let name = match c {
+                    CacheOutcome::Hit => "serve.cache.hits",
+                    CacheOutcome::Compiled => "serve.cache.misses",
+                    CacheOutcome::Coalesced => "serve.cache.coalesced",
+                };
+                fepia_obs::global().counter(name).inc();
+            }
+        }
+        let busy = started.elapsed().as_nanos() as u64;
+        shard.stats.busy_ns.fetch_add(busy, Ordering::Relaxed);
+        shard.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if fepia_obs::enabled() {
+            let reg = fepia_obs::global();
+            reg.counter("serve.responses").inc();
+            reg.histogram("serve.shard.busy_ns").record(busy as f64);
+            reg.histogram("serve.request.ns")
+                .record(job.enqueued.elapsed().as_nanos() as f64);
+        }
+        let response = EvalResponse {
+            id: job.req.id,
+            shard: shard.index,
+            cache,
+            verdicts,
+            attempts,
+        };
+        // A dropped ticket is the client's way of abandoning the response.
+        let _ = job.tx.send(response);
+    }
+}
+
+fn process(
+    shard: &Shard,
+    req: &EvalRequest,
+    ws: &mut PlanWorkspace,
+    policy: &ResiliencePolicy,
+) -> (Vec<PlanVerdict>, CacheOutcome) {
+    fepia_chaos::maybe_panic("serve.worker");
+    let (compiled, outcome) = shard.cache.get_or_compile(&req.scenario);
+    let verdicts = match compiled {
+        Ok(compiled) => match &req.kind {
+            EvalKind::Verdict => vec![compiled.verdict_at_origin(ws, policy)],
+            EvalKind::Origins(os) => compiled.verdicts_at(os, ws, policy),
+            EvalKind::Moves(ms) => compiled.move_verdicts(ms),
+        },
+        Err(e) => {
+            // Compilation failed: a typed all-failed verdict per unit, never
+            // a dropped ticket.
+            let reason = FailReason::Solver(e.to_string());
+            (0..req.kind.units().max(1))
+                .map(|_| PlanVerdict::all_failed(1, reason.clone()))
+                .collect()
+        }
+    };
+    (verdicts, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fepia_core::RadiusOptions;
+    use fepia_etc::{generate_cvb, EtcParams};
+    use fepia_mapping::{makespan_robustness, Mapping};
+    use fepia_stats::rng_for;
+
+    fn scenario(seed: u64) -> Arc<Scenario> {
+        let etc = Arc::new(generate_cvb(
+            &mut rng_for(seed, 0),
+            &EtcParams::paper_section_4_2(),
+        ));
+        let mapping = Mapping::random(&mut rng_for(seed, 1), 20, 5);
+        Arc::new(Scenario::new(etc, mapping, 1.2, RadiusOptions::default()).unwrap())
+    }
+
+    fn small_service() -> Service {
+        Service::start(ServiceConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            queue_capacity: 16,
+            cache_capacity: 4,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn verdict_request_round_trips() {
+        let service = small_service();
+        let s = scenario(1);
+        let resp = service
+            .call(EvalRequest {
+                id: 42,
+                scenario: Arc::clone(&s),
+                kind: EvalKind::Verdict,
+            })
+            .unwrap();
+        assert_eq!(resp.id, 42);
+        assert_eq!(resp.verdicts.len(), 1);
+        assert_eq!(resp.cache, Some(CacheOutcome::Compiled));
+        assert_eq!(resp.attempts, 1);
+        let expected = makespan_robustness(s.mapping(), s.etc(), s.tau()).unwrap();
+        assert_eq!(
+            resp.verdicts[0].metric_hi.to_bits(),
+            expected.metric.to_bits()
+        );
+
+        // Same scenario again: served from cache, bitwise-identical.
+        let resp2 = service
+            .call(EvalRequest {
+                id: 43,
+                scenario: s,
+                kind: EvalKind::Verdict,
+            })
+            .unwrap();
+        assert_eq!(resp2.cache, Some(CacheOutcome::Hit));
+        assert_eq!(
+            resp2.verdicts[0].metric_hi.to_bits(),
+            resp.verdicts[0].metric_hi.to_bits()
+        );
+        let totals = service.shutdown().totals();
+        assert_eq!(totals.completed, 2);
+        assert_eq!(totals.cache_hits, 1);
+        assert_eq!(totals.cache_misses, 1);
+    }
+
+    #[test]
+    fn moves_and_origins_units_match() {
+        let service = small_service();
+        let s = scenario(2);
+        let moves = vec![(0, 1), (3, 4), (7, 0)];
+        let resp = service
+            .call(EvalRequest {
+                id: 1,
+                scenario: Arc::clone(&s),
+                kind: EvalKind::Moves(moves.clone()),
+            })
+            .unwrap();
+        assert_eq!(resp.verdicts.len(), 3);
+        for (&(app, dst), v) in moves.iter().zip(&resp.verdicts) {
+            let mut moved = s.mapping().clone();
+            moved.reassign(app, dst);
+            let expected = makespan_robustness(&moved, s.etc(), s.tau()).unwrap();
+            assert_eq!(v.metric_hi.to_bits(), expected.metric.to_bits());
+        }
+
+        let origins = vec![
+            fepia_optim::VecN::new(s.mapping().assigned_times(s.etc())),
+            fepia_optim::VecN::new(s.mapping().assigned_times(s.etc())),
+        ];
+        let resp = service
+            .call(EvalRequest {
+                id: 2,
+                scenario: s,
+                kind: EvalKind::Origins(origins),
+            })
+            .unwrap();
+        assert_eq!(resp.verdicts.len(), 2);
+    }
+
+    #[test]
+    fn invalid_requests_rejected_with_typed_error() {
+        let service = small_service();
+        let s = scenario(3);
+        let bad_move = service.call(EvalRequest {
+            id: 0,
+            scenario: Arc::clone(&s),
+            kind: EvalKind::Moves(vec![(99, 0)]),
+        });
+        assert!(matches!(bad_move, Err(ServeError::Invalid(_))));
+        let bad_origin = service.call(EvalRequest {
+            id: 0,
+            scenario: s,
+            kind: EvalKind::Origins(vec![fepia_optim::VecN::zeros(3)]),
+        });
+        assert!(matches!(bad_origin, Err(ServeError::Invalid(_))));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overload() {
+        // 1 shard, 1 worker, tiny queue; the worker is blocked by the time
+        // we flood, so some submission must shed QueueFull.
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let s = scenario(4);
+        let mut tickets = Vec::new();
+        // Pin the worker on a heavy request, then flood: with the worker
+        // busy and a 1-deep queue, the second light request must shed.
+        let heavy: Vec<(usize, usize)> = (0..20_000).map(|k| (k % 20, k % 5)).collect();
+        tickets.push(
+            service
+                .submit(EvalRequest {
+                    id: 0,
+                    scenario: Arc::clone(&s),
+                    kind: EvalKind::Moves(heavy),
+                })
+                .unwrap(),
+        );
+        let mut shed = None;
+        for id in 1..10_000 {
+            match service.submit(EvalRequest {
+                id,
+                scenario: Arc::clone(&s),
+                kind: EvalKind::Verdict,
+            }) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    shed = Some(e);
+                    break;
+                }
+            }
+        }
+        let shed = shed.expect("a 1-deep queue must shed while the worker is pinned");
+        assert_eq!(
+            shed,
+            ServeError::Overloaded(Overloaded {
+                shard: 0,
+                reason: ShedReason::QueueFull
+            })
+        );
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let totals = service.shutdown().totals();
+        assert!(totals.shed_full >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work_and_rejects_new() {
+        let service = small_service();
+        let s = scenario(5);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|id| {
+                service
+                    .submit_blocking(EvalRequest {
+                        id,
+                        scenario: Arc::clone(&s),
+                        kind: EvalKind::Verdict,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.totals().completed, 8);
+        // Every accepted ticket got its answer despite the shutdown.
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn sharding_is_consistent_per_fingerprint() {
+        let service = small_service();
+        let s = scenario(6);
+        let shard = service.shard_for(s.fingerprint());
+        for _ in 0..5 {
+            assert_eq!(service.shard_for(s.fingerprint()), shard);
+        }
+        drop(service);
+    }
+}

@@ -8,6 +8,10 @@
 # * chaos_overhead — the fault-injection layer's disabled path, recorded
 #   in BENCH_chaos.json. The bench asserts the < 2% overhead budget with
 #   FEPIA_CHAOS unset.
+# * serve_bench — the evaluation service's warm-cache path (sharded
+#   workers, plan cache, DeltaEval move probes), recorded in
+#   BENCH_serve.json. The bench asserts >= 50k cached move-evals/sec and
+#   a >= 90% plan-cache hit rate.
 #
 # A non-zero exit from either bench means a performance regression.
 set -euo pipefail
@@ -27,3 +31,9 @@ cargo bench -p fepia-bench --bench chaos_overhead
 
 cp "$FEPIA_RESULTS/BENCH_chaos.json" BENCH_chaos.json
 echo "bench: wrote $(pwd)/BENCH_chaos.json"
+
+echo "==> cargo bench -p fepia-bench --bench serve_bench"
+cargo bench -p fepia-bench --bench serve_bench
+
+cp "$FEPIA_RESULTS/BENCH_serve.json" BENCH_serve.json
+echo "bench: wrote $(pwd)/BENCH_serve.json"

@@ -13,8 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> tier-1: cargo test -q"
+echo "==> tier-1: cargo test -q (debug)"
 cargo test -q
+
+echo "==> tier-1: cargo test --release -q"
+cargo test --release -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q

@@ -34,6 +34,9 @@
 //!   analytic Eq. 6 radius and baseline mapping heuristics.
 //! * [`hiperd`](mod@hiperd) — the §3.2 HiPer-D system model with
 //!   throughput/latency constraints, slack, and load robustness.
+//! * [`serve`](mod@serve) — the long-running evaluation service: sharded
+//!   workers, per-shard LRU plan caches with single-flight compilation,
+//!   bounded queues with typed shedding, graceful drain.
 //! * [`plot`](mod@plot) — self-contained SVG output for the paper's
 //!   figures.
 //!
@@ -72,4 +75,5 @@ pub use fepia_mapping as mapping;
 pub use fepia_optim as optim;
 pub use fepia_par as par;
 pub use fepia_plot as plot;
+pub use fepia_serve as serve;
 pub use fepia_stats as stats;

@@ -1,0 +1,163 @@
+//! Concurrency stress for `fepia-par`'s quarantine/re-dispatch driver.
+//!
+//! [`par_map_dynamic_catch_with`] promises: every input item resolves to
+//! exactly one slot in input order — `Ok` if any attempt succeeds, a typed
+//! [`TaskError::Panicked`] carrying the attempt count if all attempts
+//! panic — with no lost, duplicated, or reordered results, regardless of
+//! worker count or scheduling. This test hammers that promise with a
+//! *seeded panic schedule*: task `i` panics on attempt `a` iff a
+//! SplitMix64 draw on `(i, a)` says so, which makes each item's attempt
+//! trajectory a pure function of the seed. Running at 1, 2, and 8 threads
+//! must then produce identical outcomes and identical per-item attempt
+//! counts — the work-stealing order may differ, the results may not.
+
+use fepia::par::{par_map_dynamic_catch_with, CatchConfig, ParConfig, TaskError};
+use fepia::stats::subseed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+const ITEMS: usize = 2_000;
+const MAX_ATTEMPTS: usize = 3;
+const SEED: u64 = 0x5ca1_ab1e;
+const PANIC_MARK: &str = "par-stress: scheduled panic";
+
+/// Suppress the backtrace spam from the thousands of *intentional* panics;
+/// anything else still prints.
+fn quiet_scheduled_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let text = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !text.contains(PANIC_MARK) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Does task `item` panic on its `attempt`-th run (1-based)? ~1/3 per
+/// attempt, so ~3.7% of items exhaust all three attempts.
+fn panics_on(item: usize, attempt: usize) -> bool {
+    subseed(SEED, (item as u64) * 64 + attempt as u64).is_multiple_of(3)
+}
+
+/// The attempt count the schedule predicts for `item`: first clean
+/// attempt, or `MAX_ATTEMPTS` when none is.
+fn predicted_attempts(item: usize) -> usize {
+    (1..=MAX_ATTEMPTS)
+        .find(|&a| !panics_on(item, a))
+        .unwrap_or(MAX_ATTEMPTS)
+}
+
+fn predicted_ok(item: usize) -> bool {
+    (1..=MAX_ATTEMPTS).any(|a| !panics_on(item, a))
+}
+
+/// Runs the sweep at `threads` and returns per-item `(outcome, attempts)`,
+/// where outcome is `Ok(value)` / `Err(reported_attempts)`.
+fn run_sweep(threads: usize) -> Vec<(Result<u64, usize>, usize)> {
+    let items: Vec<usize> = (0..ITEMS).collect();
+    let tries: Vec<AtomicUsize> = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect();
+
+    let results = par_map_dynamic_catch_with(
+        &items,
+        &ParConfig {
+            threads: Some(threads),
+            sequential_below: 1,
+        },
+        &CatchConfig {
+            max_attempts: MAX_ATTEMPTS,
+        },
+        || (),
+        |_state, i, &item| {
+            assert_eq!(i, item, "driver handed task {item} the wrong index {i}");
+            let attempt = tries[item].fetch_add(1, Ordering::SeqCst) + 1;
+            assert!(
+                attempt <= MAX_ATTEMPTS,
+                "task {item} dispatched {attempt} times"
+            );
+            if panics_on(item, attempt) {
+                panic!("{PANIC_MARK} (item {item}, attempt {attempt})");
+            }
+            // The value is a pure function of the item, so any successful
+            // attempt — first or re-dispatched — must agree.
+            subseed(SEED ^ 0xdead_beef, item as u64)
+        },
+        // no scratch state to verify here; () re-init is trivially correct
+    );
+
+    assert_eq!(results.len(), ITEMS, "driver lost or duplicated slots");
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let outcome = match r {
+                Ok(v) => Ok(v),
+                Err(TaskError::Panicked { attempts, message }) => {
+                    assert!(
+                        message.contains(PANIC_MARK),
+                        "task {i} failed with foreign panic: {message}"
+                    );
+                    Err(attempts)
+                }
+            };
+            (outcome, tries[i].load(Ordering::SeqCst))
+        })
+        .collect()
+}
+
+#[test]
+fn quarantine_redispatch_loses_nothing_at_any_thread_count() {
+    quiet_scheduled_panics();
+
+    let baseline = run_sweep(1);
+
+    // The schedule itself is the oracle: outcome and attempt count per
+    // item are predictable before running anything.
+    let mut exhausted = 0usize;
+    for (i, (outcome, attempts)) in baseline.iter().enumerate() {
+        assert_eq!(
+            *attempts,
+            predicted_attempts(i),
+            "item {i}: attempt count off-schedule"
+        );
+        match outcome {
+            Ok(v) => {
+                assert!(predicted_ok(i), "item {i} succeeded off-schedule");
+                assert_eq!(*v, subseed(SEED ^ 0xdead_beef, i as u64));
+            }
+            Err(reported) => {
+                assert!(!predicted_ok(i), "item {i} failed off-schedule");
+                assert_eq!(
+                    *reported, MAX_ATTEMPTS,
+                    "item {i}: TaskError must report the full attempt budget"
+                );
+                exhausted += 1;
+            }
+        }
+    }
+    // The stress is real only if both populations are well represented.
+    assert!(
+        exhausted > ITEMS / 100,
+        "too few all-attempts-panic items ({exhausted}) to stress quarantine"
+    );
+    assert!(
+        baseline.iter().filter(|(o, _)| o.is_ok()).count() > ITEMS / 2,
+        "too few successes to stress re-dispatch bookkeeping"
+    );
+
+    // Thread count must be invisible in the results.
+    for threads in [2usize, 8] {
+        let run = run_sweep(threads);
+        assert_eq!(
+            run, baseline,
+            "{threads}-thread sweep diverged from sequential baseline"
+        );
+    }
+}
