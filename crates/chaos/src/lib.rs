@@ -12,7 +12,11 @@
 //! * [`should_fire`] with site `optim.nonconvergence` — force the solver to
 //!   report iteration-cap exhaustion,
 //! * [`maybe_panic`] — panic inside a parallel worker task,
-//! * [`maybe_delay`] — add a small bounded latency spike.
+//! * [`maybe_delay`] — add a small bounded latency spike,
+//! * [`should_fire`] with sites `net.read` / `net.write` — sever a TCP
+//!   connection before a request frame is read, or tear a response frame
+//!   mid-write (`fepia-net` drives both; clients must recover by
+//!   reconnect + retry).
 //!
 //! # Enabling
 //!

@@ -1,0 +1,229 @@
+//! Blocking TCP client with reconnect and deterministic backoff.
+//!
+//! [`NetClient::call`] is the whole API: encode the request, write the
+//! frame, read one frame back, decode. Failures are classified:
+//!
+//! * transport / framing trouble (io errors, torn frames, protocol
+//!   violations) → drop the socket, **reconnect**, resend. Safe because
+//!   responses are pure functions of requests — a retried request yields
+//!   the same (bitwise) answer.
+//! * typed [`WireError::Overloaded`] → keep the connection, **back off**
+//!   (deterministic exponential: `base · 2^n`, capped), resend.
+//! * typed [`WireError::Invalid`] → permanent; returned immediately,
+//!   never retried.
+//!
+//! After [`ClientConfig::max_attempts`] failures the last error is
+//! returned wrapped in [`NetError::RetriesExhausted`] so callers see both
+//! the budget and the terminal cause.
+
+use crate::frame::{read_frame, write_frame, DecodeError, FrameReadError, FrameType};
+use crate::wire::{decode_error, decode_response, encode_request, WireError};
+use fepia_serve::{EvalRequest, EvalResponse, ShedReason};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry budget and backoff shape.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Total attempts per [`NetClient::call`] (first try included).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (0-based) is `base · 2^n`, capped at
+    /// [`ClientConfig::backoff_cap`]. Deterministic — no jitter — so
+    /// fixed-seed tests reproduce identical schedules.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Any way a call can fail.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, or write).
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode as a frame/payload.
+    Decode(DecodeError),
+    /// Typed server refusal: the target shard shed the request.
+    Overloaded {
+        /// Shard that refused.
+        shard: u64,
+        /// Why it refused.
+        reason: ShedReason,
+    },
+    /// Typed server refusal: the request can never be served as sent.
+    Invalid(String),
+    /// The server violated the protocol (wrong frame type or id echo).
+    Protocol(String),
+    /// The retry budget ran out; `last` is the final attempt's error.
+    RetriesExhausted {
+        /// Attempts consumed (== configured `max_attempts`).
+        attempts: u32,
+        /// The terminal cause.
+        last: Box<NetError>,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Decode(e) => write!(f, "decode: {e}"),
+            NetError::Overloaded { shard, reason } => write!(
+                f,
+                "overloaded: shard {shard} ({})",
+                match reason {
+                    ShedReason::QueueFull => "queue full",
+                    ShedReason::ShuttingDown => "shutting down",
+                }
+            ),
+            NetError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A blocking client for one server address. Not thread-safe (`&mut self`
+/// calls); use one client per thread, as the soak tests do.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    reconnects: u64,
+    retries: u64,
+}
+
+impl NetClient {
+    /// Connects eagerly so configuration errors surface immediately.
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        Ok(NetClient {
+            addr,
+            config,
+            stream: Some(stream),
+            reconnects: 0,
+            retries: 0,
+        })
+    }
+
+    /// Times this client reconnected (transport-level recoveries).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Retries performed across all calls (any cause).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, NetError> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(self.addr).map_err(NetError::Io)?;
+            s.set_nodelay(true).map_err(NetError::Io)?;
+            self.stream = Some(s);
+            self.reconnects += 1;
+            if fepia_obs::enabled() {
+                fepia_obs::global().counter("net.client.reconnects").inc();
+            }
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One attempt: write the request frame, read one frame, classify it.
+    fn attempt(&mut self, bytes: &[u8], id: u64) -> Result<EvalResponse, NetError> {
+        let stream = self.stream()?;
+        write_frame(stream, FrameType::Request, bytes).map_err(NetError::Io)?;
+        let frame = match read_frame(stream) {
+            Ok(f) => f,
+            Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
+            Err(FrameReadError::Closed) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server closed the connection",
+                )))
+            }
+            Err(FrameReadError::Decode(e)) => return Err(NetError::Decode(e)),
+        };
+        match frame.frame_type {
+            FrameType::Response => {
+                let resp = decode_response(&frame.payload).map_err(NetError::Decode)?;
+                if resp.id != id {
+                    return Err(NetError::Protocol(format!(
+                        "response id {} for request id {id}",
+                        resp.id
+                    )));
+                }
+                Ok(resp)
+            }
+            FrameType::Error => {
+                let (echo, err) = decode_error(&frame.payload).map_err(NetError::Decode)?;
+                if echo != id && echo != 0 {
+                    return Err(NetError::Protocol(format!(
+                        "error frame id {echo} for request id {id}"
+                    )));
+                }
+                Err(match err {
+                    WireError::Overloaded { shard, reason } => {
+                        NetError::Overloaded { shard, reason }
+                    }
+                    WireError::Invalid(msg) => NetError::Invalid(msg),
+                })
+            }
+            FrameType::Request => Err(NetError::Protocol(
+                "server sent a Request frame".to_string(),
+            )),
+        }
+    }
+
+    /// Evaluates one request, retrying per the config. See the module docs
+    /// for the retry / reconnect / give-up classification.
+    pub fn call(&mut self, req: &EvalRequest) -> Result<EvalResponse, NetError> {
+        let bytes = encode_request(req);
+        let mut last: Option<NetError> = None;
+        for n in 0..self.config.max_attempts {
+            if n > 0 {
+                self.retries += 1;
+                if fepia_obs::enabled() {
+                    fepia_obs::global().counter("net.client.retries").inc();
+                }
+                let exp = self
+                    .config
+                    .backoff_base
+                    .saturating_mul(1u32 << (n - 1).min(16));
+                std::thread::sleep(exp.min(self.config.backoff_cap));
+            }
+            match self.attempt(&bytes, req.id) {
+                Ok(resp) => return Ok(resp),
+                Err(NetError::Invalid(msg)) => return Err(NetError::Invalid(msg)),
+                Err(e @ NetError::Overloaded { .. }) => {
+                    // The connection is fine; the service shed the request.
+                    last = Some(e);
+                }
+                Err(e) => {
+                    // Transport or framing trouble: the stream state is
+                    // unknown, so reconnect before the next attempt.
+                    self.stream = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts: self.config.max_attempts,
+            last: Box::new(last.expect("max_attempts >= 1 guarantees an error")),
+        })
+    }
+}

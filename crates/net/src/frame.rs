@@ -1,0 +1,493 @@
+//! The frame layer: length-prefixed, versioned, checksummed.
+//!
+//! Every message on a fepia-net connection is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = b"FEPN"
+//! 4       1     version = 1
+//! 5       1     frame type (1 request, 2 response, 3 error)
+//! 6       2     reserved, must be 0 (LE)
+//! 8       4     payload length in bytes (LE)
+//! 12      8     FNV-1a 64 checksum of the payload (LE)
+//! 20      n     payload
+//! ```
+//!
+//! Decoding is total: every malformed input maps to a typed
+//! [`DecodeError`] — bad magic, unknown version or type, a length that
+//! exceeds [`MAX_PAYLOAD`] or the bytes actually present, a checksum
+//! mismatch. No input, however corrupt, may panic or mis-parse; the codec
+//! fuzz suite at the workspace root holds the layer to that (arbitrary
+//! byte mutations of valid frames must surface as typed errors).
+//!
+//! The checksum is not a security boundary — it catches torn writes and
+//! corrupted reads (e.g. the `net.write` chaos site truncating a frame
+//! mid-payload), turning them into [`DecodeError::ChecksumMismatch`] or
+//! [`DecodeError::Truncated`] instead of a mis-parsed payload.
+
+use std::io::{Read, Write};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"FEPN";
+/// The one wire-protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Hard cap on payload size; larger claims are rejected before allocation.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server: one [`crate::wire::RequestPayload`].
+    Request,
+    /// Server → client: one successfully evaluated response.
+    Response,
+    /// Server → client: a typed refusal (overload or invalid request).
+    Error,
+}
+
+impl FrameType {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Request => 1,
+            FrameType::Response => 2,
+            FrameType::Error => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<FrameType, DecodeError> {
+        match b {
+            1 => Ok(FrameType::Request),
+            2 => Ok(FrameType::Response),
+            3 => Ok(FrameType::Error),
+            other => Err(DecodeError::UnknownFrameType(other)),
+        }
+    }
+}
+
+/// One decoded frame: type + verified payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload encodes.
+    pub frame_type: FrameType,
+    /// Checksum-verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Every way bytes can fail to be a frame (or a payload can fail to be a
+/// message). Total and typed: malformed input never panics the decoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The frame-type byte names no known type.
+    UnknownFrameType(u8),
+    /// The reserved header field is non-zero (a future extension this
+    /// version does not understand).
+    NonZeroReserved(u16),
+    /// The claimed payload length exceeds [`MAX_PAYLOAD`].
+    OversizedPayload {
+        /// Claimed length.
+        len: u32,
+        /// The cap.
+        max: u32,
+    },
+    /// The payload checksum does not match the header's.
+    ChecksumMismatch {
+        /// Checksum the header claims.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// Fewer bytes are present than the encoding requires.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A tag byte names no known variant of `what`.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u64,
+    },
+    /// A length field is implausible for the bytes that remain (rejected
+    /// before any allocation).
+    BadLength {
+        /// Which collection was being decoded.
+        what: &'static str,
+        /// The claimed element count.
+        len: u64,
+        /// The maximum count the remaining bytes could hold.
+        limit: u64,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8 {
+        /// Which string field.
+        what: &'static str,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes {
+        /// How many bytes remained.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?} (want {MAGIC:02x?})"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                )
+            }
+            DecodeError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            DecodeError::NonZeroReserved(r) => write!(f, "non-zero reserved field {r:#06x}"),
+            DecodeError::OversizedPayload { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte cap")
+            }
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum {actual:#018x} does not match header {expected:#018x}"
+            ),
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated input: needed {needed} bytes, got {got}")
+            }
+            DecodeError::BadTag { what, tag } => write!(f, "bad tag {tag} decoding {what}"),
+            DecodeError::BadLength { what, len, limit } => {
+                write!(
+                    f,
+                    "implausible length {len} for {what} (at most {limit} fit)"
+                )
+            }
+            DecodeError::BadUtf8 { what } => write!(f, "invalid UTF-8 in {what}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a 64 over raw bytes — the frame payload checksum (and the same
+/// function the service uses for scenario fingerprints).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Frame {
+    /// Builds a frame; panics only if the payload exceeds [`MAX_PAYLOAD`]
+    /// (an encoder-side bug, not reachable from network input).
+    pub fn new(frame_type: FrameType, payload: Vec<u8>) -> Frame {
+        assert!(
+            payload.len() <= MAX_PAYLOAD as usize,
+            "encoder produced a {}-byte payload over the {MAX_PAYLOAD}-byte cap",
+            payload.len()
+        );
+        Frame {
+            frame_type,
+            payload,
+        }
+    }
+
+    /// Serializes header + payload into one buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.frame_type.to_byte());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes one frame from a complete byte buffer, rejecting trailing
+    /// bytes. Total: every malformed input yields a typed [`DecodeError`].
+    pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
+        let (header, rest) = decode_header(bytes)?;
+        let len = header.payload_len as usize;
+        if rest.len() < len {
+            return Err(DecodeError::Truncated {
+                needed: HEADER_LEN + len,
+                got: bytes.len(),
+            });
+        }
+        if rest.len() > len {
+            return Err(DecodeError::TrailingBytes {
+                remaining: rest.len() - len,
+            });
+        }
+        let payload = &rest[..len];
+        let actual = fnv1a(payload);
+        if actual != header.checksum {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: header.checksum,
+                actual,
+            });
+        }
+        Ok(Frame {
+            frame_type: header.frame_type,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// Validated header fields.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameHeader {
+    /// What the payload encodes.
+    pub frame_type: FrameType,
+    /// Payload length, already checked against [`MAX_PAYLOAD`].
+    pub payload_len: u32,
+    /// Claimed payload checksum.
+    pub checksum: u64,
+}
+
+fn decode_header(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    if bytes[4] != VERSION {
+        return Err(DecodeError::UnsupportedVersion(bytes[4]));
+    }
+    let frame_type = FrameType::from_byte(bytes[5])?;
+    let reserved = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if reserved != 0 {
+        return Err(DecodeError::NonZeroReserved(reserved));
+    }
+    let payload_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(DecodeError::OversizedPayload {
+            len: payload_len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    Ok((
+        FrameHeader {
+            frame_type,
+            payload_len,
+            checksum,
+        },
+        &bytes[HEADER_LEN..],
+    ))
+}
+
+/// A frame read failing either at the socket or at the codec.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The underlying stream failed (includes clean EOF between frames as
+    /// `UnexpectedEof` only when mid-frame; see [`read_frame`]).
+    Io(std::io::Error),
+    /// The bytes arrived but are not a valid frame.
+    Decode(DecodeError),
+    /// The stream ended cleanly on a frame boundary (peer closed).
+    Closed,
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "io error reading frame: {e}"),
+            FrameReadError::Decode(e) => write!(f, "frame decode error: {e}"),
+            FrameReadError::Closed => write!(f, "connection closed between frames"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+/// Reads exactly one frame from `r`. A clean EOF before the first header
+/// byte is [`FrameReadError::Closed`]; an EOF mid-frame is a truncation
+/// ([`DecodeError::Truncated`] wrapped in `Decode`). The payload is
+/// checksum-verified before being returned.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Err(FrameReadError::Closed);
+                }
+                return Err(FrameReadError::Decode(DecodeError::Truncated {
+                    needed: HEADER_LEN,
+                    got: filled,
+                }));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    // Validate the header before trusting its length to size a buffer.
+    let (parsed, _) = decode_header(&header).map_err(FrameReadError::Decode)?;
+    let len = parsed.payload_len as usize;
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(FrameReadError::Decode(DecodeError::Truncated {
+                    needed: HEADER_LEN + len,
+                    got: HEADER_LEN + filled,
+                }))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    let actual = fnv1a(&payload);
+    if actual != parsed.checksum {
+        return Err(FrameReadError::Decode(DecodeError::ChecksumMismatch {
+            expected: parsed.checksum,
+            actual,
+        }));
+    }
+    Ok(Frame {
+        frame_type: parsed.frame_type,
+        payload,
+    })
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(
+    w: &mut impl Write,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let frame = Frame::new(frame_type, payload.to_vec());
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let frame = Frame::new(FrameType::Request, vec![1, 2, 3, 250]);
+        let bytes = frame.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let read = read_frame(&mut cursor).unwrap();
+        assert_eq!(read, frame);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = Frame::new(FrameType::Error, Vec::new());
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn header_field_corruption_is_typed() {
+        let bytes = Frame::new(FrameType::Response, vec![9; 16]).encode();
+
+        let mut m = bytes.clone();
+        m[0] = b'X';
+        assert!(matches!(Frame::decode(&m), Err(DecodeError::BadMagic(_))));
+
+        let mut m = bytes.clone();
+        m[4] = 9;
+        assert!(matches!(
+            Frame::decode(&m),
+            Err(DecodeError::UnsupportedVersion(9))
+        ));
+
+        let mut m = bytes.clone();
+        m[5] = 77;
+        assert!(matches!(
+            Frame::decode(&m),
+            Err(DecodeError::UnknownFrameType(77))
+        ));
+
+        let mut m = bytes.clone();
+        m[6] = 1;
+        assert!(matches!(
+            Frame::decode(&m),
+            Err(DecodeError::NonZeroReserved(1))
+        ));
+
+        let mut m = bytes.clone();
+        m[20] ^= 0xff; // first payload byte
+        assert!(matches!(
+            Frame::decode(&m),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+
+        let mut m = bytes.clone();
+        m[12] ^= 0xff; // checksum byte
+        assert!(matches!(
+            Frame::decode(&m),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_typed() {
+        let bytes = Frame::new(FrameType::Request, vec![5; 8]).encode();
+        for cut in 0..bytes.len() {
+            let err = Frame::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            Frame::decode(&extended),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = Frame::new(FrameType::Request, vec![0; 4]).encode();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(DecodeError::OversizedPayload { .. })
+        ));
+        // The streaming reader must also reject it from the header alone.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameReadError::Decode(DecodeError::OversizedPayload { .. }))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_closed() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameReadError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! `fepia-net` — a length-prefixed binary TCP wire protocol over the
+//! `fepia-serve` evaluation service.
+//!
+//! PR 4 made robustness evaluation a long-running sharded service; this
+//! crate gives it a network boundary, std-only like the rest of the
+//! workspace (`std::net`, no async runtime, no serde):
+//!
+//! * [`frame`] — the byte layer: `FEPN`-tagged versioned header,
+//!   length-prefixed checksummed payload, total decoding into typed
+//!   [`frame::DecodeError`]s (fuzzed: malformed bytes never panic).
+//! * [`wire`] — the payload layer: requests (scenario by value +
+//!   `Verdict`/`Origins`/`Moves` kind), bit-exact responses (`f64`s as
+//!   IEEE bit patterns), and typed error payloads
+//!   ([`wire::WireError::Overloaded`] / [`wire::WireError::Invalid`]).
+//! * [`server`] — [`server::NetServer`]: a multi-connection
+//!   `TcpListener` front with per-connection reader/writer threads, a
+//!   bounded in-flight window per connection (backpressure via TCP flow
+//!   control), queue-full mapped to typed `Overloaded` frames, and
+//!   graceful drain on shutdown (accepted work is always answered).
+//! * [`client`] — [`client::NetClient`]: blocking, with reconnect on
+//!   transport failure and deterministic exponential backoff on
+//!   `Overloaded`.
+//!
+//! **Equivalence guarantee.** A response served over TCP is *bitwise*
+//! identical to the in-process [`fepia_serve::Service`] answer — every
+//! radius, metric bound, and diagnostic field, NaNs and signed zeros
+//! included — because the wire format transports `f64`s as bit patterns
+//! and the server is a pure transport in front of the same service. The
+//! workspace tests assert this frame-for-frame, chaos-off and under
+//! `FEPIA_CHAOS`.
+//!
+//! Observability: `net.*` counters and the `net.request.us` histogram via
+//! `fepia-obs`. Fault injection: `net.read` (dropped connections) and
+//! `net.write` (torn frames) chaos sites via `fepia-chaos`.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, NetClient, NetError};
+pub use frame::{
+    DecodeError, Frame, FrameReadError, FrameType, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+pub use server::{NetServer, NetStatsSnapshot, ServerConfig};
+pub use wire::{
+    decode_error, decode_request, decode_response, encode_error, encode_request, encode_response,
+    RequestPayload, WireError,
+};

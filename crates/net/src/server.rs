@@ -1,0 +1,436 @@
+//! Multi-connection TCP server fronting a [`fepia_serve::Service`].
+//!
+//! One nonblocking accept loop plus two threads per connection:
+//!
+//! * **reader** — reads frames, decodes requests, submits them to the
+//!   service **non-blocking** ([`Service::submit`]); a shed request is
+//!   answered immediately with a typed `Overloaded` error frame instead
+//!   of silently stalling the connection. Accepted tickets are handed to
+//!   the writer through a `sync_channel` of capacity
+//!   [`ServerConfig::max_in_flight`] — the bounded in-flight window. When
+//!   the window is full the reader blocks on the hand-off, which stops it
+//!   reading further frames: TCP flow control then pushes back on the
+//!   client, so a slow consumer degrades gracefully instead of queueing
+//!   unboundedly.
+//! * **writer** — waits on tickets in request order and writes response
+//!   frames, so each connection's replies arrive FIFO (the id echo lets
+//!   clients double-check).
+//!
+//! Shutdown is a graceful drain: the accept loop stops, each
+//! connection's read half is shut down (unblocking readers
+//! mid-`read_frame`), and writers finish answering every request the
+//! service already accepted — accepted work is never dropped.
+//!
+//! Fault injection: chaos site `net.read` drops the connection before a
+//! frame is read; `net.write` tears a response frame (partial write, then
+//! close). Both model real network failure at the byte boundary; clients
+//! recover by reconnect + retry, and because responses are pure functions
+//! of requests, retries are safe. Observability: `net.*` counters and a
+//! `net.request.us` latency histogram via `fepia-obs`, plus always-on
+//! [`NetStatsSnapshot`] atomics.
+
+use crate::frame::{write_frame, FrameType};
+use crate::wire::{decode_request, encode_error, encode_response, WireError};
+use fepia_serve::{ServeError, Service, ShedReason, Ticket};
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server listens and how much it lets each connection pipeline.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests, examples).
+    pub addr: String,
+    /// Bounded in-flight window per connection: accepted-but-unanswered
+    /// requests a single connection may pipeline before the reader stops
+    /// reading (and TCP backpressure reaches the client).
+    pub max_in_flight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// Always-on server counters (mirrored to `fepia-obs` when enabled).
+#[derive(Default)]
+struct NetStats {
+    connections: AtomicU64,
+    frames_read: AtomicU64,
+    frames_written: AtomicU64,
+    decode_errors: AtomicU64,
+    overloaded: AtomicU64,
+    invalid: AtomicU64,
+    chaos_drops: AtomicU64,
+}
+
+/// Point-in-time copy of the server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames successfully read and decoded.
+    pub frames_read: u64,
+    /// Response frames fully written.
+    pub frames_written: u64,
+    /// Malformed frames received (each closes its connection).
+    pub decode_errors: u64,
+    /// Requests answered with a typed `Overloaded` error frame.
+    pub overloaded: u64,
+    /// Requests answered with a typed `Invalid` error frame.
+    pub invalid: u64,
+    /// Connections dropped / frames torn by the `net.read` / `net.write`
+    /// chaos sites.
+    pub chaos_drops: u64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_read: self.frames_read.load(Ordering::Relaxed),
+            frames_written: self.frames_written.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            chaos_drops: self.chaos_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, field: &AtomicU64, obs_name: &'static str) {
+        field.fetch_add(1, Ordering::Relaxed);
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter(obs_name).inc();
+        }
+    }
+}
+
+/// What the reader hands the writer, in request order.
+enum WriterItem {
+    /// An accepted request: wait for the service, then write the response.
+    Reply {
+        id: u64,
+        ticket: Ticket,
+        received: Instant,
+    },
+    /// A pre-encoded error payload to send as an `Error` frame.
+    Immediate(Vec<u8>),
+}
+
+/// A running TCP front for a [`Service`]. Dropping it without calling
+/// [`NetServer::shutdown`] aborts the accept loop but detaches connection
+/// threads; prefer an explicit shutdown.
+pub struct NetServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<NetStats>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    done: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the accept loop. The service is
+    /// shared: in-process callers and TCP clients can use it concurrently
+    /// (and get identical answers).
+    pub fn start<A: ToSocketAddrs>(
+        service: Arc<Service>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NetStats::default());
+        let accept = {
+            let (stop, stats) = (Arc::clone(&stop), Arc::clone(&stats));
+            std::thread::spawn(move || accept_loop(listener, service, config, stop, stats))
+        };
+        Ok(NetServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            stats,
+        })
+    }
+
+    /// As [`NetServer::start`] with the address taken from the config.
+    pub fn start_default(
+        service: Arc<Service>,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let addr = config.addr.clone();
+        NetServer::start(service, addr.as_str(), config)
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, unblock every reader, let writers
+    /// answer all accepted requests, join everything.
+    pub fn shutdown(mut self) -> NetStatsSnapshot {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.count(&stats.connections, "net.connections");
+                // Blocking I/O from here on; the listener alone is
+                // nonblocking.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let done = Arc::new(AtomicBool::new(false));
+                let reader = {
+                    let (service, stats, done) =
+                        (Arc::clone(&service), Arc::clone(&stats), Arc::clone(&done));
+                    let stream = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let window = config.max_in_flight.max(1);
+                    std::thread::spawn(move || {
+                        connection(stream, service, window, stats);
+                        done.store(true, Ordering::SeqCst);
+                    })
+                };
+                conns.push(Conn {
+                    stream,
+                    reader,
+                    done,
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        // Reap finished connections so a long-lived server does not
+        // accumulate joined-but-retained handles.
+        let mut live = Vec::with_capacity(conns.len());
+        for c in conns.drain(..) {
+            if c.done.load(Ordering::SeqCst) {
+                let _ = c.reader.join();
+            } else {
+                live.push(c);
+            }
+        }
+        conns = live;
+    }
+    // Drain: unblock readers stuck in read_frame; they drop the writer
+    // channel, writers answer everything already accepted, readers join
+    // their writers, we join the readers.
+    for c in &conns {
+        let _ = c.stream.shutdown(Shutdown::Read);
+    }
+    for c in conns {
+        let _ = c.reader.join();
+    }
+}
+
+/// One connection: reader body; owns and joins the writer thread.
+fn connection(stream: TcpStream, service: Arc<Service>, window: usize, stats: Arc<NetStats>) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::sync_channel::<WriterItem>(window);
+    let writer = {
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || writer_loop(writer_stream, rx, stats))
+    };
+    reader_loop(stream, service, tx, &stats);
+    let _ = writer.join();
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    service: Arc<Service>,
+    tx: mpsc::SyncSender<WriterItem>,
+    stats: &NetStats,
+) {
+    loop {
+        if fepia_chaos::enabled() && fepia_chaos::should_fire("net.read") {
+            // Injected connection drop: the client sees EOF / reset and
+            // recovers by reconnecting.
+            stats.count(&stats.chaos_drops, "net.chaos.drops");
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let frame = match crate::frame::read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(crate::frame::FrameReadError::Closed) => return,
+            Err(crate::frame::FrameReadError::Io(_)) => return,
+            Err(crate::frame::FrameReadError::Decode(e)) => {
+                // Malformed bytes: answer with a typed error, then close —
+                // the stream position is unrecoverable.
+                stats.count(&stats.decode_errors, "net.decode_errors");
+                let payload = encode_error(0, &WireError::Invalid(format!("bad frame: {e}")));
+                let _ = tx.send(WriterItem::Immediate(payload));
+                return;
+            }
+        };
+        if frame.frame_type != FrameType::Request {
+            stats.count(&stats.decode_errors, "net.decode_errors");
+            let payload = encode_error(
+                0,
+                &WireError::Invalid(format!(
+                    "unexpected {:?} frame from client",
+                    frame.frame_type
+                )),
+            );
+            let _ = tx.send(WriterItem::Immediate(payload));
+            return;
+        }
+        let payload = match decode_request(&frame.payload) {
+            Ok(p) => p,
+            Err(e) => {
+                stats.count(&stats.decode_errors, "net.decode_errors");
+                let msg = encode_error(0, &WireError::Invalid(format!("bad request: {e}")));
+                let _ = tx.send(WriterItem::Immediate(msg));
+                return;
+            }
+        };
+        stats.count(&stats.frames_read, "net.frames.read");
+        let id = payload.id;
+        let received = Instant::now();
+        let req = match payload.into_request() {
+            Ok(r) => r,
+            Err(msg) => {
+                stats.count(&stats.invalid, "net.invalid");
+                let payload = encode_error(id, &WireError::Invalid(msg));
+                if tx.send(WriterItem::Immediate(payload)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let item = match service.submit(req) {
+            Ok(ticket) => WriterItem::Reply {
+                id,
+                ticket,
+                received,
+            },
+            Err(ServeError::Overloaded(o)) => {
+                stats.count(&stats.overloaded, "net.overloaded");
+                WriterItem::Immediate(encode_error(
+                    id,
+                    &WireError::Overloaded {
+                        shard: o.shard as u64,
+                        reason: o.reason,
+                    },
+                ))
+            }
+            Err(ServeError::Invalid(msg)) => {
+                stats.count(&stats.invalid, "net.invalid");
+                WriterItem::Immediate(encode_error(id, &WireError::Invalid(msg)))
+            }
+            Err(ServeError::Disconnected) => {
+                stats.count(&stats.overloaded, "net.overloaded");
+                WriterItem::Immediate(encode_error(
+                    id,
+                    &WireError::Overloaded {
+                        shard: 0,
+                        reason: ShedReason::ShuttingDown,
+                    },
+                ))
+            }
+        };
+        // Blocks when the in-flight window is full — deliberate: this is
+        // the per-connection backpressure point.
+        if tx.send(item).is_err() {
+            return; // writer gone (torn frame / write error); stop reading
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriterItem>, stats: Arc<NetStats>) {
+    while let Ok(item) = rx.recv() {
+        let (frame_type, payload) = match item {
+            WriterItem::Reply {
+                id,
+                ticket,
+                received,
+            } => match ticket.wait() {
+                Ok(resp) => {
+                    debug_assert_eq!(resp.id, id, "service echoed a different id");
+                    if fepia_obs::enabled() {
+                        fepia_obs::global()
+                            .histogram("net.request.us")
+                            .record(received.elapsed().as_nanos() as f64 / 1_000.0);
+                    }
+                    (FrameType::Response, encode_response(&resp))
+                }
+                Err(_) => (
+                    FrameType::Error,
+                    encode_error(
+                        id,
+                        &WireError::Overloaded {
+                            shard: 0,
+                            reason: ShedReason::ShuttingDown,
+                        },
+                    ),
+                ),
+            },
+            WriterItem::Immediate(payload) => (FrameType::Error, payload),
+        };
+        if fepia_chaos::enabled() && fepia_chaos::should_fire("net.write") {
+            // Injected torn frame: write a strict prefix, then sever the
+            // connection. The client's decoder reports Truncated and the
+            // retry loop reconnects.
+            stats.count(&stats.chaos_drops, "net.chaos.drops");
+            let full = crate::frame::Frame::new(frame_type, payload).encode();
+            let torn = &full[..full.len() / 2];
+            let _ = stream.write_all(torn);
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        if write_frame(&mut stream, frame_type, &payload).is_err() {
+            return;
+        }
+        stats.count(&stats.frames_written, "net.frames.written");
+    }
+}

@@ -1,0 +1,981 @@
+//! Payload encodings for the three frame types.
+//!
+//! All integers are little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), so a decoded response is **bitwise**
+//! identical to the one the server computed — including NaN payloads and
+//! signed zeros. Collections are a `u64` count followed by the elements;
+//! every count is validated against the bytes actually remaining *before*
+//! any allocation, so a hostile length field cannot balloon memory.
+//!
+//! * **Request** ([`encode_request`] / [`decode_request`]) — the request id,
+//!   the full scenario (ETC matrix, assignment, τ, [`RadiusOptions`]), and
+//!   the [`EvalKind`]. The scenario travels by value: the server
+//!   reconstructs it and relies on the service's fingerprint cache to avoid
+//!   recompiling plans for scenarios it has already seen.
+//! * **Response** ([`encode_response`] / [`decode_response`]) — the full
+//!   [`EvalResponse`] including every per-feature [`RadiusVerdict`], so the
+//!   client sees exactly what an in-process caller would.
+//! * **Error** ([`encode_error`] / [`decode_error`]) — a typed refusal:
+//!   [`WireError::Overloaded`] maps the service's queue-full/draining
+//!   shedding onto the wire; [`WireError::Invalid`] is a permanent
+//!   rejection (malformed or semantically impossible request).
+//!
+//! Decoding is total: malformed payloads yield typed
+//! [`DecodeError`]s, never panics (fuzzed at the workspace root).
+
+use crate::frame::DecodeError;
+use fepia_core::{
+    Bound, DegradeReason, FailReason, PlanVerdict, RadiusMethod, RadiusOptions, RadiusResult,
+    RadiusVerdict,
+};
+use fepia_etc::EtcMatrix;
+use fepia_mapping::Mapping;
+use fepia_optim::{Norm, SolverOptions, VecN};
+use fepia_serve::{CacheOutcome, EvalKind, EvalRequest, EvalResponse, Scenario, ShedReason};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Byte-level writer/reader
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte writer.
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// An empty writer.
+    pub fn new() -> PayloadWriter {
+        PayloadWriter { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+impl Default for PayloadWriter {
+    fn default() -> Self {
+        PayloadWriter::new()
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// A reader over the whole payload.
+    pub fn new(buf: &'a [u8]) -> PayloadReader<'a> {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a collection count and rejects it — before any allocation —
+    /// unless `count * min_elem_bytes` could still fit in the bytes left.
+    fn count(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let len = self.u64()?;
+        let limit = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if len > limit {
+            return Err(DecodeError::BadLength { what, len, limit });
+        }
+        Ok(len as usize)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let len = self.count(what, 1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { what })
+    }
+
+    fn f64_vec(&mut self, what: &'static str) -> Result<Vec<f64>, DecodeError> {
+        let len = self.count(what, 8)?;
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    /// Fails with [`DecodeError::TrailingBytes`] unless fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+const KIND_VERDICT: u8 = 1;
+const KIND_ORIGINS: u8 = 2;
+const KIND_MOVES: u8 = 3;
+
+/// Encodes a full request: id, scenario by value, evaluation kind.
+pub fn encode_request(req: &EvalRequest) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(req.id);
+    let s = &req.scenario;
+    w.usize(s.etc().apps());
+    w.usize(s.etc().machines());
+    for &v in s.etc().values() {
+        w.f64(v);
+    }
+    w.usize(s.mapping().machines());
+    w.usize(s.mapping().assignment().len());
+    for &j in s.mapping().assignment() {
+        w.usize(j);
+    }
+    w.f64(s.tau());
+    encode_options(&mut w, s.opts());
+    match &req.kind {
+        EvalKind::Verdict => w.u8(KIND_VERDICT),
+        EvalKind::Origins(os) => {
+            w.u8(KIND_ORIGINS);
+            w.usize(os.len());
+            for o in os {
+                w.usize(o.dim());
+                for &x in o.as_slice() {
+                    w.f64(x);
+                }
+            }
+        }
+        EvalKind::Moves(ms) => {
+            w.u8(KIND_MOVES);
+            w.usize(ms.len());
+            for &(app, dst) in ms {
+                w.usize(app);
+                w.usize(dst);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn encode_options(w: &mut PayloadWriter, opts: &RadiusOptions) {
+    match &opts.norm {
+        Norm::L1 => w.u8(1),
+        Norm::L2 => w.u8(2),
+        Norm::LInf => w.u8(3),
+        Norm::WeightedL2(weights) => {
+            w.u8(4);
+            w.usize(weights.len());
+            for &x in weights {
+                w.f64(x);
+            }
+        }
+    }
+    let s = &opts.solver;
+    w.f64(s.tol);
+    w.usize(s.max_outer);
+    w.f64(s.t_max_factor);
+    w.f64(s.fd_step);
+    w.f64(s.seed_jitter);
+    w.f64(s.root.x_tol);
+    w.f64(s.root.f_tol);
+    w.usize(s.root.max_iter);
+}
+
+fn decode_options(r: &mut PayloadReader<'_>) -> Result<RadiusOptions, DecodeError> {
+    let norm = match r.u8()? {
+        1 => Norm::L1,
+        2 => Norm::L2,
+        3 => Norm::LInf,
+        4 => Norm::WeightedL2(r.f64_vec("norm weights")?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "Norm",
+                tag: tag as u64,
+            })
+        }
+    };
+    // Field order mirrors `encode_options`; each read is sequential, so
+    // bind locals first rather than build the struct literal in place.
+    let tol = r.f64()?;
+    let max_outer = r.u64()? as usize;
+    let t_max_factor = r.f64()?;
+    let fd_step = r.f64()?;
+    let seed_jitter = r.f64()?;
+    let x_tol = r.f64()?;
+    let f_tol = r.f64()?;
+    let max_iter = r.u64()? as usize;
+    let mut solver = SolverOptions {
+        tol,
+        max_outer,
+        t_max_factor,
+        fd_step,
+        seed_jitter,
+        ..SolverOptions::default()
+    };
+    solver.root.x_tol = x_tol;
+    solver.root.f_tol = f_tol;
+    solver.root.max_iter = max_iter;
+    Ok(RadiusOptions { norm, solver })
+}
+
+/// A structurally valid request payload, not yet semantically validated.
+/// [`RequestPayload::into_request`] performs the semantic checks (positive
+/// finite ETC entries, in-range assignment, τ ≥ 1) that separate a
+/// *well-formed* frame from a *servable* request.
+#[derive(Clone, Debug)]
+pub struct RequestPayload {
+    /// Client-chosen request id, echoed in every reply.
+    pub id: u64,
+    apps: usize,
+    machines: usize,
+    etc_values: Vec<f64>,
+    mapping_machines: usize,
+    assignment: Vec<usize>,
+    tau: f64,
+    opts: RadiusOptions,
+    kind: EvalKind,
+}
+
+impl RequestPayload {
+    /// Semantic validation: builds the [`EvalRequest`] or explains why the
+    /// payload can never be served (the server answers with a permanent
+    /// [`WireError::Invalid`]). Never panics, whatever the field values.
+    pub fn into_request(self) -> Result<EvalRequest, String> {
+        if self.apps == 0 || self.machines == 0 {
+            return Err(format!(
+                "empty ETC matrix ({}x{})",
+                self.apps, self.machines
+            ));
+        }
+        let rows: Vec<Vec<f64>> = self
+            .etc_values
+            .chunks(self.machines)
+            .map(|c| c.to_vec())
+            .collect();
+        let etc = EtcMatrix::try_from_rows(rows).map_err(|e| e.to_string())?;
+        if self.mapping_machines == 0 {
+            return Err("mapping declares zero machines".into());
+        }
+        if self.assignment.is_empty() {
+            return Err("empty assignment".into());
+        }
+        if let Some(&bad) = self
+            .assignment
+            .iter()
+            .find(|&&j| j >= self.mapping_machines)
+        {
+            return Err(format!(
+                "assignment entry {bad} out of range for {} machines",
+                self.mapping_machines
+            ));
+        }
+        let mapping = Mapping::new(self.assignment, self.mapping_machines);
+        let scenario = Scenario::new(Arc::new(etc), mapping, self.tau, self.opts)
+            .map_err(|e| e.to_string())?;
+        Ok(EvalRequest {
+            id: self.id,
+            scenario: Arc::new(scenario),
+            kind: self.kind,
+        })
+    }
+}
+
+/// Decodes a request payload. Structural errors (truncation, bad tags,
+/// implausible lengths) are [`DecodeError`]s; semantic errors are deferred
+/// to [`RequestPayload::into_request`].
+pub fn decode_request(payload: &[u8]) -> Result<RequestPayload, DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let apps = r.u64()? as usize;
+    let machines = r.u64()? as usize;
+    let cells = apps.checked_mul(machines).unwrap_or(u64::MAX as usize);
+    let limit = (r.remaining() / 8) as u64;
+    if cells as u64 > limit {
+        return Err(DecodeError::BadLength {
+            what: "ETC matrix",
+            len: cells as u64,
+            limit,
+        });
+    }
+    let etc_values: Vec<f64> = (0..cells).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let mapping_machines = r.u64()? as usize;
+    let n_assign = r.count("assignment", 8)?;
+    let assignment: Vec<usize> = (0..n_assign)
+        .map(|_| r.u64().map(|v| v as usize))
+        .collect::<Result<_, _>>()?;
+    let tau = r.f64()?;
+    let opts = decode_options(&mut r)?;
+    let kind = match r.u8()? {
+        KIND_VERDICT => EvalKind::Verdict,
+        KIND_ORIGINS => {
+            let n = r.count("origins", 8)?;
+            let mut origins = Vec::with_capacity(n);
+            for _ in 0..n {
+                origins.push(VecN::new(r.f64_vec("origin components")?));
+            }
+            EvalKind::Origins(origins)
+        }
+        KIND_MOVES => {
+            let n = r.count("moves", 16)?;
+            let mut moves = Vec::with_capacity(n);
+            for _ in 0..n {
+                let app = r.u64()? as usize;
+                let dst = r.u64()? as usize;
+                moves.push((app, dst));
+            }
+            EvalKind::Moves(moves)
+        }
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "EvalKind",
+                tag: tag as u64,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(RequestPayload {
+        id,
+        apps,
+        machines,
+        etc_values,
+        mapping_machines,
+        assignment,
+        tau,
+        opts,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Encodes a full response, bit-for-bit: every `f64` travels as its IEEE
+/// bit pattern.
+pub fn encode_response(resp: &EvalResponse) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(resp.id);
+    w.usize(resp.shard);
+    w.u32(resp.attempts);
+    match resp.cache {
+        None => w.u8(0),
+        Some(CacheOutcome::Hit) => w.u8(1),
+        Some(CacheOutcome::Compiled) => w.u8(2),
+        Some(CacheOutcome::Coalesced) => w.u8(3),
+    }
+    w.usize(resp.verdicts.len());
+    for v in &resp.verdicts {
+        encode_verdict(&mut w, v);
+    }
+    w.finish()
+}
+
+fn encode_verdict(w: &mut PayloadWriter, v: &PlanVerdict) {
+    w.f64(v.metric_lo);
+    w.f64(v.metric_hi);
+    match v.binding {
+        None => w.u8(0),
+        Some(b) => {
+            w.u8(1);
+            w.usize(b);
+        }
+    }
+    w.u8(match v.kind {
+        fepia_core::VerdictKind::Exact => 1,
+        fepia_core::VerdictKind::Bounded => 2,
+        fepia_core::VerdictKind::Infeasible => 3,
+        fepia_core::VerdictKind::Failed => 4,
+    });
+    w.usize(v.radii.len());
+    for r in &v.radii {
+        encode_radius_verdict(w, r);
+    }
+}
+
+fn encode_radius_verdict(w: &mut PayloadWriter, r: &RadiusVerdict) {
+    match r {
+        RadiusVerdict::Exact(res) => {
+            w.u8(1);
+            w.f64(res.radius);
+            match &res.boundary_point {
+                None => w.u8(0),
+                Some(p) => {
+                    w.u8(1);
+                    w.usize(p.dim());
+                    for &x in p.as_slice() {
+                        w.f64(x);
+                    }
+                }
+            }
+            w.u8(match res.bound {
+                None => 0,
+                Some(Bound::Min) => 1,
+                Some(Bound::Max) => 2,
+            });
+            w.u8(res.violated as u8);
+            w.u8(match res.method {
+                RadiusMethod::Analytic => 1,
+                RadiusMethod::Numeric => 2,
+                RadiusMethod::Unbounded => 3,
+            });
+            w.usize(res.iterations);
+            w.u64(res.f_evals);
+        }
+        RadiusVerdict::Bounded {
+            lo,
+            hi,
+            reason,
+            restarts,
+        } => {
+            w.u8(2);
+            w.f64(*lo);
+            w.f64(*hi);
+            w.u8(match reason {
+                DegradeReason::IterationCap => 1,
+                DegradeReason::BudgetExhausted => 2,
+            });
+            w.usize(*restarts);
+        }
+        RadiusVerdict::Infeasible => w.u8(3),
+        RadiusVerdict::Failed(reason) => {
+            w.u8(4);
+            encode_fail_reason(w, reason);
+        }
+    }
+}
+
+fn encode_fail_reason(w: &mut PayloadWriter, reason: &FailReason) {
+    match reason {
+        FailReason::NonFiniteInput { index } => {
+            w.u8(1);
+            w.usize(*index);
+        }
+        FailReason::NonFiniteImpact => w.u8(2),
+        FailReason::DimensionMismatch { got, expected } => {
+            w.u8(3);
+            w.usize(*got);
+            w.usize(*expected);
+        }
+        FailReason::Solver(msg) => {
+            w.u8(4);
+            w.str(msg);
+        }
+        FailReason::Panic(msg) => {
+            w.u8(5);
+            w.str(msg);
+        }
+    }
+}
+
+/// Decodes a response payload into the same [`EvalResponse`] an in-process
+/// caller would have received (bit-for-bit `f64` fields).
+pub fn decode_response(payload: &[u8]) -> Result<EvalResponse, DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let shard = r.u64()? as usize;
+    let attempts = r.u32()?;
+    let cache = match r.u8()? {
+        0 => None,
+        1 => Some(CacheOutcome::Hit),
+        2 => Some(CacheOutcome::Compiled),
+        3 => Some(CacheOutcome::Coalesced),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "CacheOutcome",
+                tag: tag as u64,
+            })
+        }
+    };
+    let n = r.count("verdicts", 18)?;
+    let mut verdicts = Vec::with_capacity(n);
+    for _ in 0..n {
+        verdicts.push(decode_verdict(&mut r)?);
+    }
+    r.finish()?;
+    Ok(EvalResponse {
+        id,
+        shard,
+        cache,
+        verdicts,
+        attempts,
+    })
+}
+
+fn decode_verdict(r: &mut PayloadReader<'_>) -> Result<PlanVerdict, DecodeError> {
+    let metric_lo = r.f64()?;
+    let metric_hi = r.f64()?;
+    let binding = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()? as usize),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "binding option",
+                tag: tag as u64,
+            })
+        }
+    };
+    let kind = match r.u8()? {
+        1 => fepia_core::VerdictKind::Exact,
+        2 => fepia_core::VerdictKind::Bounded,
+        3 => fepia_core::VerdictKind::Infeasible,
+        4 => fepia_core::VerdictKind::Failed,
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "VerdictKind",
+                tag: tag as u64,
+            })
+        }
+    };
+    let n = r.count("radii", 1)?;
+    let mut radii = Vec::with_capacity(n);
+    for _ in 0..n {
+        radii.push(decode_radius_verdict(r)?);
+    }
+    Ok(PlanVerdict {
+        radii,
+        metric_lo,
+        metric_hi,
+        binding,
+        kind,
+    })
+}
+
+fn decode_radius_verdict(r: &mut PayloadReader<'_>) -> Result<RadiusVerdict, DecodeError> {
+    match r.u8()? {
+        1 => {
+            let radius = r.f64()?;
+            let boundary_point = match r.u8()? {
+                0 => None,
+                1 => Some(VecN::new(r.f64_vec("boundary point")?)),
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "boundary option",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            let bound = match r.u8()? {
+                0 => None,
+                1 => Some(Bound::Min),
+                2 => Some(Bound::Max),
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "Bound",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            let violated = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "violated flag",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            let method = match r.u8()? {
+                1 => RadiusMethod::Analytic,
+                2 => RadiusMethod::Numeric,
+                3 => RadiusMethod::Unbounded,
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "RadiusMethod",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            let iterations = r.u64()? as usize;
+            let f_evals = r.u64()?;
+            Ok(RadiusVerdict::Exact(RadiusResult {
+                radius,
+                boundary_point,
+                bound,
+                violated,
+                method,
+                iterations,
+                f_evals,
+            }))
+        }
+        2 => {
+            let lo = r.f64()?;
+            let hi = r.f64()?;
+            let reason = match r.u8()? {
+                1 => DegradeReason::IterationCap,
+                2 => DegradeReason::BudgetExhausted,
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "DegradeReason",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            let restarts = r.u64()? as usize;
+            Ok(RadiusVerdict::Bounded {
+                lo,
+                hi,
+                reason,
+                restarts,
+            })
+        }
+        3 => Ok(RadiusVerdict::Infeasible),
+        4 => Ok(RadiusVerdict::Failed(decode_fail_reason(r)?)),
+        tag => Err(DecodeError::BadTag {
+            what: "RadiusVerdict",
+            tag: tag as u64,
+        }),
+    }
+}
+
+fn decode_fail_reason(r: &mut PayloadReader<'_>) -> Result<FailReason, DecodeError> {
+    match r.u8()? {
+        1 => Ok(FailReason::NonFiniteInput {
+            index: r.u64()? as usize,
+        }),
+        2 => Ok(FailReason::NonFiniteImpact),
+        3 => Ok(FailReason::DimensionMismatch {
+            got: r.u64()? as usize,
+            expected: r.u64()? as usize,
+        }),
+        4 => Ok(FailReason::Solver(r.str("solver message")?)),
+        5 => Ok(FailReason::Panic(r.str("panic message")?)),
+        tag => Err(DecodeError::BadTag {
+            what: "FailReason",
+            tag: tag as u64,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed server-side refusal, correlated to the request by id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The target shard shed the request; retry later (the client's
+    /// backoff loop does). Mirrors [`fepia_serve::Overloaded`].
+    Overloaded {
+        /// Shard that refused.
+        shard: u64,
+        /// Why it refused.
+        reason: ShedReason,
+    },
+    /// The request can never be served as sent (malformed payload fields
+    /// or out-of-range indices); resubmitting it unchanged cannot succeed.
+    Invalid(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Overloaded { shard, reason } => write!(
+                f,
+                "shard {shard} shed the request: {}",
+                match reason {
+                    ShedReason::QueueFull => "queue full",
+                    ShedReason::ShuttingDown => "shutting down",
+                }
+            ),
+            WireError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+/// Encodes an error payload: the echoed request id plus the typed refusal.
+pub fn encode_error(id: u64, err: &WireError) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(id);
+    match err {
+        WireError::Overloaded { shard, reason } => {
+            w.u8(1);
+            w.u64(*shard);
+            w.u8(match reason {
+                ShedReason::QueueFull => 1,
+                ShedReason::ShuttingDown => 2,
+            });
+        }
+        WireError::Invalid(msg) => {
+            w.u8(2);
+            w.str(msg);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes an error payload into `(request id, refusal)`.
+pub fn decode_error(payload: &[u8]) -> Result<(u64, WireError), DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let err = match r.u8()? {
+        1 => {
+            let shard = r.u64()?;
+            let reason = match r.u8()? {
+                1 => ShedReason::QueueFull,
+                2 => ShedReason::ShuttingDown,
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "ShedReason",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            WireError::Overloaded { shard, reason }
+        }
+        2 => WireError::Invalid(r.str("invalid-request message")?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "WireError",
+                tag: tag as u64,
+            })
+        }
+    };
+    r.finish()?;
+    Ok((id, err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fepia_core::{RadiusOptions, VerdictKind};
+    use fepia_serve::workload::{request, scenario_pool, WorkloadSpec};
+
+    fn sample_requests() -> Vec<EvalRequest> {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        (0..20).map(|i| request(&spec, &pool, i)).collect()
+    }
+
+    #[test]
+    fn request_roundtrip_reconstructs_scenario_bitwise() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            let decoded = decode_request(&bytes).unwrap().into_request().unwrap();
+            assert_eq!(decoded.id, req.id);
+            assert!(decoded.scenario.same_as(&req.scenario));
+            assert_eq!(
+                decoded.scenario.fingerprint(),
+                req.scenario.fingerprint(),
+                "fingerprints must survive the wire"
+            );
+            match (&decoded.kind, &req.kind) {
+                (EvalKind::Verdict, EvalKind::Verdict) => {}
+                (EvalKind::Moves(a), EvalKind::Moves(b)) => assert_eq!(a, b),
+                (EvalKind::Origins(a), EvalKind::Origins(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.dim(), y.dim());
+                        for i in 0..x.dim() {
+                            assert_eq!(x[i].to_bits(), y[i].to_bits());
+                        }
+                    }
+                }
+                other => panic!("kind drifted over the wire: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_norm_and_options_roundtrip() {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        let base = &pool[0];
+        let opts = RadiusOptions {
+            norm: Norm::WeightedL2(vec![0.5, 2.0, 1.25]),
+            solver: SolverOptions {
+                tol: 3e-7,
+                max_outer: 17,
+                ..SolverOptions::default()
+            },
+        };
+        let scenario = Scenario::new(
+            Arc::clone(base.etc()),
+            base.mapping().clone(),
+            1.31,
+            opts.clone(),
+        )
+        .unwrap();
+        let req = EvalRequest {
+            id: 7,
+            scenario: Arc::new(scenario),
+            kind: EvalKind::Verdict,
+        };
+        let decoded = decode_request(&encode_request(&req))
+            .unwrap()
+            .into_request()
+            .unwrap();
+        assert_eq!(decoded.scenario.opts(), &opts);
+        assert_eq!(decoded.scenario.tau().to_bits(), 1.31f64.to_bits());
+    }
+
+    #[test]
+    fn semantic_garbage_is_invalid_not_panic() {
+        // Well-formed frames whose *contents* are unservable must surface
+        // as Err from into_request, not as panics.
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        let good = EvalRequest {
+            id: 1,
+            scenario: Arc::clone(&pool[0]),
+            kind: EvalKind::Verdict,
+        };
+        let bytes = encode_request(&good);
+        let mut payload = decode_request(&bytes).unwrap();
+        payload.tau = f64::NAN;
+        assert!(payload.clone().into_request().is_err());
+        payload.tau = 1.2;
+        payload.assignment[0] = usize::MAX;
+        assert!(payload.clone().into_request().is_err());
+        payload.assignment[0] = 0;
+        payload.etc_values[0] = -3.0;
+        assert!(payload.into_request().is_err());
+    }
+
+    #[test]
+    fn response_roundtrip_is_bitwise() {
+        let resp = EvalResponse {
+            id: 99,
+            shard: 3,
+            cache: Some(CacheOutcome::Coalesced),
+            attempts: 2,
+            verdicts: vec![
+                PlanVerdict {
+                    radii: vec![
+                        RadiusVerdict::Exact(RadiusResult {
+                            radius: 1.5,
+                            boundary_point: Some(VecN::new(vec![1.0, -0.0, f64::NAN])),
+                            bound: Some(Bound::Max),
+                            violated: false,
+                            method: RadiusMethod::Analytic,
+                            iterations: 0,
+                            f_evals: 1,
+                        }),
+                        RadiusVerdict::Bounded {
+                            lo: 0.25,
+                            hi: f64::INFINITY,
+                            reason: DegradeReason::BudgetExhausted,
+                            restarts: 4,
+                        },
+                        RadiusVerdict::Infeasible,
+                        RadiusVerdict::Failed(FailReason::Panic("chaos: injected".into())),
+                    ],
+                    metric_lo: 0.0,
+                    metric_hi: 1.5,
+                    binding: Some(0),
+                    kind: VerdictKind::Failed,
+                },
+                PlanVerdict {
+                    radii: vec![],
+                    metric_lo: f64::INFINITY,
+                    metric_hi: f64::INFINITY,
+                    binding: None,
+                    kind: VerdictKind::Exact,
+                },
+            ],
+        };
+        let bytes = encode_response(&resp);
+        let decoded = decode_response(&bytes).unwrap();
+        // Re-encoding the decoded response must reproduce the bytes exactly:
+        // the encoding is canonical, so byte equality IS bitwise equality.
+        assert_eq!(encode_response(&decoded), bytes);
+        assert_eq!(decoded.id, resp.id);
+        assert_eq!(decoded.verdicts.len(), 2);
+        assert!(decoded.verdicts[0].radii.len() == 4);
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        for err in [
+            WireError::Overloaded {
+                shard: 2,
+                reason: ShedReason::QueueFull,
+            },
+            WireError::Overloaded {
+                shard: 0,
+                reason: ShedReason::ShuttingDown,
+            },
+            WireError::Invalid("move 3 out of range".into()),
+        ] {
+            let bytes = encode_error(41, &err);
+            assert_eq!(decode_error(&bytes).unwrap(), (41, err));
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_rejected_before_allocation() {
+        // A request payload claiming 2^60 origins must fail fast with a
+        // typed error, not attempt the allocation.
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        let req = EvalRequest {
+            id: 1,
+            scenario: Arc::clone(&pool[0]),
+            kind: EvalKind::Origins(vec![VecN::zeros(20)]),
+        };
+        let mut bytes = encode_request(&req);
+        // The origins count sits right after the kind tag; find the tag.
+        let tag_pos = bytes.len() - (8 + 8 + 20 * 8) - 1;
+        assert_eq!(bytes[tag_pos], KIND_ORIGINS);
+        bytes[tag_pos + 1..tag_pos + 9].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+}

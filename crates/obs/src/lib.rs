@@ -31,6 +31,16 @@
 //! [`set_events_enabled`] and [`install_sink`], which take precedence over
 //! the environment.
 //!
+//! # Metric-name families
+//!
+//! Instrumented crates prefix their metric names by layer, so a snapshot
+//! groups naturally: `core.*` (plan compilation/evaluation), `par.*`
+//! (parallel sweeps), `chaos.injected.*` (fired injections), `serve.*`
+//! (queue depth, cache hits/misses, shed requests, per-request latency)
+//! and `net.*` (connections, frames read/written, decode errors,
+//! overload/invalid replies, client reconnects/retries, `net.request.us`
+//! end-to-end latency).
+//!
 //! # Determinism
 //!
 //! The obs layer only *observes*: enabling it never changes scheduling,

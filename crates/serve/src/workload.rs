@@ -16,7 +16,7 @@
 
 use crate::scenario::Scenario;
 use crate::service::{EvalKind, EvalRequest, EvalResponse};
-use fepia_core::{RadiusOptions, VerdictKind};
+use fepia_core::{PlanVerdict, RadiusOptions, RadiusVerdict, VerdictKind};
 use fepia_etc::{generate_cvb, EtcParams};
 use fepia_mapping::Mapping;
 use fepia_optim::VecN;
@@ -186,6 +186,71 @@ pub fn response_digest(resp: &EvalResponse) -> u64 {
 /// threads.
 pub fn combine_digests(digests: impl IntoIterator<Item = u64>) -> u64 {
     digests.into_iter().fold(0u64, |acc, d| acc.wrapping_add(d))
+}
+
+/// Deep *bitwise* equality over verdict lists: every `f64` compared via
+/// `to_bits` (so NaNs must match and `-0.0 != 0.0`), every enum variant and
+/// diagnostic field compared exactly, radii included. This is the standard
+/// the net-equivalence tests hold TCP-served responses to — stricter than
+/// any derived `PartialEq` (which would treat NaN as unequal to itself and
+/// signed zeros as equal).
+pub fn verdicts_bitwise_equal(a: &[PlanVerdict], b: &[PlanVerdict]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| verdict_bitwise_equal(x, y))
+}
+
+fn verdict_bitwise_equal(a: &PlanVerdict, b: &PlanVerdict) -> bool {
+    a.kind == b.kind
+        && a.metric_lo.to_bits() == b.metric_lo.to_bits()
+        && a.metric_hi.to_bits() == b.metric_hi.to_bits()
+        && a.binding == b.binding
+        && a.radii.len() == b.radii.len()
+        && a.radii
+            .iter()
+            .zip(&b.radii)
+            .all(|(x, y)| radius_bitwise_equal(x, y))
+}
+
+fn radius_bitwise_equal(a: &RadiusVerdict, b: &RadiusVerdict) -> bool {
+    match (a, b) {
+        (RadiusVerdict::Exact(x), RadiusVerdict::Exact(y)) => {
+            x.radius.to_bits() == y.radius.to_bits()
+                && x.bound == y.bound
+                && x.violated == y.violated
+                && x.method == y.method
+                && x.iterations == y.iterations
+                && x.f_evals == y.f_evals
+                && match (&x.boundary_point, &y.boundary_point) {
+                    (None, None) => true,
+                    (Some(p), Some(q)) => {
+                        p.dim() == q.dim()
+                            && p.as_slice()
+                                .iter()
+                                .zip(q.as_slice())
+                                .all(|(u, v)| u.to_bits() == v.to_bits())
+                    }
+                    _ => false,
+                }
+        }
+        (
+            RadiusVerdict::Bounded {
+                lo: alo,
+                hi: ahi,
+                reason: ar,
+                restarts: an,
+            },
+            RadiusVerdict::Bounded {
+                lo: blo,
+                hi: bhi,
+                reason: br,
+                restarts: bn,
+            },
+        ) => {
+            alo.to_bits() == blo.to_bits() && ahi.to_bits() == bhi.to_bits() && ar == br && an == bn
+        }
+        (RadiusVerdict::Infeasible, RadiusVerdict::Infeasible) => true,
+        (RadiusVerdict::Failed(x), RadiusVerdict::Failed(y)) => x == y,
+        _ => false,
+    }
 }
 
 #[cfg(test)]

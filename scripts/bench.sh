@@ -12,28 +12,40 @@
 #   workers, plan cache, DeltaEval move probes), recorded in
 #   BENCH_serve.json. The bench asserts >= 50k cached move-evals/sec and
 #   a >= 90% plan-cache hit rate.
+# * net_bench — the same warm service behind the fepia-net TCP protocol,
+#   recorded in BENCH_net.json. The bench asserts >= 25k cached
+#   move-evals/sec over localhost TCP.
 #
-# A non-zero exit from either bench means a performance regression.
+# Every bench runs even if an earlier one fails, so one invocation shows
+# the full picture; the final status summary line reports each verdict
+# and the script exits non-zero if any bench regressed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results}"
-
-echo "==> cargo bench -p fepia-bench --bench plan_speedup"
-cargo bench -p fepia-bench --bench plan_speedup
-
-cp "$FEPIA_RESULTS/BENCH_plan.json" BENCH_plan.json
-echo "bench: wrote $(pwd)/BENCH_plan.json"
-
-echo "==> cargo bench -p fepia-bench --bench chaos_overhead"
+# The chaos_overhead bench measures the *disabled* path.
 unset FEPIA_CHAOS
-cargo bench -p fepia-bench --bench chaos_overhead
 
-cp "$FEPIA_RESULTS/BENCH_chaos.json" BENCH_chaos.json
-echo "bench: wrote $(pwd)/BENCH_chaos.json"
+declare -A status
+failed=0
 
-echo "==> cargo bench -p fepia-bench --bench serve_bench"
-cargo bench -p fepia-bench --bench serve_bench
+run_bench() {
+  local name="$1" json="$2"
+  echo "==> cargo bench -p fepia-bench --bench $name"
+  if cargo bench -p fepia-bench --bench "$name"; then
+    status[$name]=PASS
+    cp "$FEPIA_RESULTS/$json" "$json"
+    echo "bench: wrote $(pwd)/$json"
+  else
+    status[$name]=FAIL
+    failed=1
+  fi
+}
 
-cp "$FEPIA_RESULTS/BENCH_serve.json" BENCH_serve.json
-echo "bench: wrote $(pwd)/BENCH_serve.json"
+run_bench plan_speedup BENCH_plan.json
+run_bench chaos_overhead BENCH_chaos.json
+run_bench serve_bench BENCH_serve.json
+run_bench net_bench BENCH_net.json
+
+echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]}"
+exit "$failed"

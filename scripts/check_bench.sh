@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# CI bench-regression gate.
+#
+# Runs a fresh `scripts/bench.sh` into a scratch results directory and
+# compares the fresh measurements against the *threshold fields of the
+# checked-in* BENCH_*.json files at the repo root:
+#
+#   BENCH_plan.json   move_eval.speedup  >= move_eval.threshold
+#                     batch_eval.speedup >= batch_eval.threshold
+#   BENCH_chaos.json  bounded_overhead_pct <= threshold_pct
+#   BENCH_serve.json  evals_per_sec >= evals_per_sec_threshold
+#                     cache_hit_rate >= hit_rate_threshold
+#   BENCH_net.json    evals_per_sec >= evals_per_sec_threshold
+#
+# (Fresh value, checked-in threshold: retuning a bar requires a reviewed
+# edit to the checked-in JSON, and a perf regression fails the job even
+# if someone also lowered the in-bench assert.)
+#
+# The checked-in files are left untouched; fresh JSONs stay in
+# $FEPIA_RESULTS for the workflow to upload as artifacts. Exits non-zero
+# on any regression, with a per-gate PASS/FAIL summary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results/bench_gate}"
+
+# Preserve the checked-in JSONs: bench.sh copies fresh ones over them.
+stash="$(mktemp -d)"
+trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json; do
+        [ -f "$stash/$f" ] && cp "$stash/$f" "$f"
+      done; rm -rf "$stash"' EXIT
+for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json; do
+  [ -f "$f" ] || { echo "check_bench: missing checked-in $f" >&2; exit 1; }
+  cp "$f" "$stash/$f"
+done
+
+echo "==> check_bench: running fresh benches into $FEPIA_RESULTS"
+scripts/bench.sh
+
+# field FILE KEY [OCCURRENCE] — extracts the OCCURRENCE-th (default 1st)
+# numeric value of "KEY": in FILE. The JSON is produced by our own benches
+# with a fixed shape, so line-oriented extraction is reliable.
+field() {
+  local file="$1" key="$2" occ="${3:-1}"
+  awk -v key="\"$key\":" -v occ="$occ" '
+    index($0, key) {
+      n++
+      if (n == occ) {
+        v = substr($0, index($0, key) + length(key))
+        gsub(/[ ,}]/, "", v)
+        print v
+        exit
+      }
+    }' "$file"
+}
+
+fail=0
+# gate NAME FRESH OP BASELINE — checks FRESH OP BASELINE (>= or <=).
+gate() {
+  local name="$1" fresh="$2" op="$3" baseline="$4"
+  if [ -z "$fresh" ] || [ -z "$baseline" ]; then
+    echo "  FAIL $name: could not extract values (fresh='$fresh', baseline='$baseline')"
+    fail=1
+  elif awk -v a="$fresh" -v b="$baseline" -v op="$op" \
+      'BEGIN { exit !((op == ">=" && a+0 >= b+0) || (op == "<=" && a+0 <= b+0)) }'; then
+    echo "  PASS $name: $fresh $op $baseline"
+  else
+    echo "  FAIL $name: $fresh violates $op $baseline"
+    fail=1
+  fi
+}
+
+echo "==> check_bench: fresh measurements vs checked-in thresholds"
+# BENCH_plan.json: two nested blocks; "speedup"/"threshold" occur in
+# move_eval first, batch_eval second.
+gate "plan move_eval speedup" \
+  "$(field "$FEPIA_RESULTS/BENCH_plan.json" speedup 1)" ">=" \
+  "$(field "$stash/BENCH_plan.json" threshold 1)"
+gate "plan batch_eval speedup" \
+  "$(field "$FEPIA_RESULTS/BENCH_plan.json" speedup 2)" ">=" \
+  "$(field "$stash/BENCH_plan.json" threshold 2)"
+gate "chaos disabled-path overhead pct" \
+  "$(field "$FEPIA_RESULTS/BENCH_chaos.json" bounded_overhead_pct)" "<=" \
+  "$(field "$stash/BENCH_chaos.json" threshold_pct)"
+gate "serve evals/sec" \
+  "$(field "$FEPIA_RESULTS/BENCH_serve.json" evals_per_sec)" ">=" \
+  "$(field "$stash/BENCH_serve.json" evals_per_sec_threshold)"
+gate "serve cache hit rate" \
+  "$(field "$FEPIA_RESULTS/BENCH_serve.json" cache_hit_rate)" ">=" \
+  "$(field "$stash/BENCH_serve.json" hit_rate_threshold)"
+gate "net evals/sec over TCP" \
+  "$(field "$FEPIA_RESULTS/BENCH_net.json" evals_per_sec)" ">=" \
+  "$(field "$stash/BENCH_net.json" evals_per_sec_threshold)"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_bench: REGRESSION — one or more gates failed"
+  exit 1
+fi
+echo "check_bench: all gates passed"

@@ -37,6 +37,11 @@
 //! * [`serve`](mod@serve) — the long-running evaluation service: sharded
 //!   workers, per-shard LRU plan caches with single-flight compilation,
 //!   bounded queues with typed shedding, graceful drain.
+//! * [`net`](mod@net) — the TCP boundary for that service: a
+//!   length-prefixed checksummed wire protocol, a multi-connection
+//!   server with bounded in-flight windows, and a reconnecting blocking
+//!   client; responses over TCP are bitwise identical to in-process
+//!   answers.
 //! * [`plot`](mod@plot) — self-contained SVG output for the paper's
 //!   figures.
 //!
@@ -72,6 +77,7 @@ pub use fepia_core as core;
 pub use fepia_etc as etc;
 pub use fepia_hiperd as hiperd;
 pub use fepia_mapping as mapping;
+pub use fepia_net as net;
 pub use fepia_optim as optim;
 pub use fepia_par as par;
 pub use fepia_plot as plot;

@@ -1,0 +1,144 @@
+//! Fuzz coverage for the `fepia-net` codec (PR 5 acceptance).
+//!
+//! The wire protocol's contract is *total decoding*: whatever bytes arrive
+//! — truncated, bit-flipped, or pure noise — the decoder returns a typed
+//! [`DecodeError`] or a well-formed value. It must never panic, and it
+//! must never silently misparse: the checksum makes any payload mutation
+//! detectable, so a mutated frame either fails typed or (when only the
+//! frame-type byte was rewritten to another valid type) still carries the
+//! original payload bytes verbatim.
+//!
+//! Three layers are fuzzed: raw frames ([`Frame::decode`]), the streaming
+//! reader ([`read_frame`] over a cursor), and the request/response/error
+//! payload codecs (structural decode + semantic validation, which may
+//! reject but may not panic).
+
+use fepia::net::frame::{read_frame, Frame, FrameReadError, FrameType};
+use fepia::net::wire::{
+    decode_error, decode_request, decode_response, encode_request, encode_response,
+};
+use fepia::serve::workload::{request, scenario_pool, WorkloadSpec};
+use fepia::serve::Service;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// A deterministic pool of valid encoded request payloads to mutate
+/// (built once; proptest calls the accessor per case).
+fn valid_request_payloads() -> &'static Vec<Vec<u8>> {
+    static PAYLOADS: std::sync::OnceLock<Vec<Vec<u8>>> = std::sync::OnceLock::new();
+    PAYLOADS.get_or_init(|| {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        (0..8)
+            .map(|i| encode_request(&request(&spec, &pool, i)))
+            .collect()
+    })
+}
+
+/// A valid encoded response payload (real service output, so the verdict
+/// variants that actually occur in production are covered).
+fn valid_response_payload() -> &'static Vec<u8> {
+    static PAYLOAD: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    PAYLOAD.get_or_init(|| {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        let service = Service::start(Default::default());
+        let resp = service
+            .call_blocking(request(&spec, &pool, 3))
+            .expect("clean service answers");
+        service.shutdown();
+        encode_response(&resp)
+    })
+}
+
+proptest! {
+    /// Any byte vector fed to `Frame::decode` yields Ok or a typed error —
+    /// never a panic. (Payload validity is the wire layer's business.)
+    #[test]
+    fn frame_decode_is_total_on_noise(bytes in prop::collection::vec(0u8..=255, 0..256usize)) {
+        let _ = Frame::decode(&bytes); // must simply not panic
+    }
+
+    /// Same property through the streaming reader: a cursor over noise
+    /// produces a typed `FrameReadError`, never a panic, and mid-frame
+    /// truncation is reported as a decode error rather than `Closed`.
+    #[test]
+    fn read_frame_is_total_on_noise(bytes in prop::collection::vec(0u8..=255, 0..256usize)) {
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Ok(_) | Err(FrameReadError::Decode(_)) | Err(FrameReadError::Io(_)) => {}
+            Err(FrameReadError::Closed) => prop_assert!(bytes.is_empty(),
+                "Closed is reserved for clean EOF before the first byte"),
+        }
+    }
+
+    /// Single-byte mutation of a valid frame: decode either fails typed or
+    /// returns a frame whose payload is byte-identical to the original
+    /// (only a frame-type rewrite can survive the checksum).
+    #[test]
+    fn mutated_frames_never_misparse(
+        (which, pos_seed, xor) in (0usize..8, 0usize..4096, 1u8..=255)
+    ) {
+        let payloads = valid_request_payloads();
+        let payload = &payloads[which % payloads.len()];
+        let mut bytes = Frame::new(FrameType::Request, payload.clone()).encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        // A typed rejection is the desired outcome; the one survivable
+        // mutation is a frame-type rewrite at offset 5, which must leave
+        // the payload byte-identical.
+        if let Ok(frame) = Frame::decode(&bytes) {
+            prop_assert_eq!(&frame.payload, payload,
+                "mutation at byte {} misparsed the payload", pos);
+            prop_assert_eq!(pos, 5);
+        }
+    }
+
+    /// Truncating a valid frame at any interior cut yields a typed error
+    /// from both the slice decoder and the streaming reader.
+    #[test]
+    fn truncated_frames_fail_typed(
+        (which, cut_seed) in (0usize..8, 0usize..4096)
+    ) {
+        let payloads = valid_request_payloads();
+        let payload = &payloads[which % payloads.len()];
+        let bytes = Frame::new(FrameType::Request, payload.clone()).encode();
+        let cut = 1 + cut_seed % (bytes.len() - 1); // 1..len: strictly partial
+        prop_assert!(Frame::decode(&bytes[..cut]).is_err());
+        match read_frame(&mut Cursor::new(&bytes[..cut])) {
+            Err(FrameReadError::Decode(_)) | Err(FrameReadError::Io(_)) => {}
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+
+    /// The request payload codec is total under mutation: structural decode
+    /// returns Ok or a typed error, and when it returns Ok the semantic
+    /// validation (`into_request`) returns Ok or Err — neither panics,
+    /// whatever floats/indices the mutation produced.
+    #[test]
+    fn mutated_request_payloads_never_panic(
+        (which, pos_seed, xor) in (0usize..8, 0usize..4096, 1u8..=255)
+    ) {
+        let payloads = valid_request_payloads();
+        let mut payload = payloads[which % payloads.len()].clone();
+        let pos = pos_seed % payload.len();
+        payload[pos] ^= xor;
+        if let Ok(decoded) = decode_request(&payload) {
+            let _ = decoded.into_request(); // Ok or Err(String), never panic
+        }
+    }
+
+    /// Response and error payload codecs are likewise total on mutation
+    /// and on raw noise.
+    #[test]
+    fn mutated_response_and_error_payloads_never_panic(
+        (pos_seed, xor, noise) in
+            (0usize..4096, 1u8..=255, prop::collection::vec(0u8..=255, 0..128usize))
+    ) {
+        let mut payload = valid_response_payload().clone();
+        let pos = pos_seed % payload.len();
+        payload[pos] ^= xor;
+        let _ = decode_response(&payload);
+        let _ = decode_response(&noise);
+        let _ = decode_error(&noise);
+    }
+}
