@@ -10,6 +10,14 @@
 //! primitive operations per solve (the real count is 4: two spans and two
 //! `enabled()` branches). The bound must come out below 2%.
 //!
+//! The same bound is established for the request-tracing layer: with
+//! `FEPIA_TRACE` unset, every span site in the TCP request path costs one
+//! relaxed `trace_enabled()` load. The bench measures a real traced-path
+//! TCP round-trip (tracing off), measures the disabled trace primitive,
+//! charges a generous 16 primitives per request (the real count is 7:
+//! client mint + send/recv, server read/write, queue.wait, worker.exec)
+//! and asserts the bound stays under the same 2% budget.
+//!
 //! Custom harness (`harness = false`): run with
 //! `cargo bench --bench obs_overhead`; under `cargo test` (`--test` flag)
 //! it does one quick pass with the same assertion.
@@ -17,8 +25,12 @@
 use fepia_core::{
     robustness_radius, FeatureSpec, FnImpact, Perturbation, RadiusOptions, Tolerance,
 };
+use fepia_net::{ClientConfig, NetClient, NetServer, ServerConfig};
 use fepia_optim::VecN;
+use fepia_serve::workload::{request, scenario_pool, WorkloadSpec};
+use fepia_serve::Service;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn solve_once() -> f64 {
@@ -92,4 +104,64 @@ fn main() {
         "disabled-path overhead bound {overhead_pct:.3}% exceeds the 2% budget"
     );
     println!("OK: disabled-path overhead bound is below 2%");
+
+    // --- Traced TCP path, tracing disabled -------------------------------
+    assert!(
+        !fepia_obs::trace_enabled(),
+        "tracing must be disabled for the overhead bound (unset FEPIA_TRACE)"
+    );
+
+    let spec = WorkloadSpec::default();
+    let pool = scenario_pool(&spec);
+    let service = Arc::new(Service::start(Default::default()));
+    let server = NetServer::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("start TCP server");
+    let mut client =
+        NetClient::connect(server.local_addr(), ClientConfig::default()).expect("connect client");
+
+    // Warm the plan caches so the round-trip measures the steady state the
+    // span sites sit on, not one-off compilation.
+    for i in 0..32u64 {
+        black_box(client.call(&request(&spec, &pool, i)).expect("warm call"));
+    }
+
+    let (rt_batch, rt_samples) = if quick { (8, 5) } else { (64, 25) };
+    let mut i = 0u64;
+    let roundtrip_ns = time_ns(
+        || {
+            let req = request(&spec, &pool, 1_000 + i % 32);
+            black_box(client.call(&req).expect("bench call"));
+            i += 1;
+        },
+        rt_batch,
+        rt_samples,
+    );
+
+    // One span site's disabled footprint: a relaxed trace_enabled() load.
+    let trace_prim_ns = time_ns(
+        || {
+            black_box(fepia_obs::trace_enabled());
+        },
+        prim_batch,
+        15,
+    );
+
+    server.shutdown();
+    Arc::try_unwrap(service)
+        .ok()
+        .expect("server released its service handle")
+        .shutdown();
+
+    const SPAN_SITES_PER_REQUEST: f64 = 16.0; // real count is 7; bound generously
+    let trace_pct = 100.0 * SPAN_SITES_PER_REQUEST * trace_prim_ns / roundtrip_ns;
+    println!("TCP round-trip (trace disabled): {roundtrip_ns:.0} ns/request");
+    println!("disabled trace primitive: {trace_prim_ns:.2} ns");
+    println!(
+        "bounded trace overhead: {SPAN_SITES_PER_REQUEST} x {trace_prim_ns:.2} ns = {trace_pct:.4}% of a round-trip"
+    );
+    assert!(
+        trace_pct < 2.0,
+        "disabled-trace overhead bound {trace_pct:.3}% exceeds the 2% budget"
+    );
+    println!("OK: disabled-trace TCP overhead bound is below 2%");
 }

@@ -1,0 +1,234 @@
+//! RESMETRIC-style resilience report over chaos telemetry.
+//!
+//! Two modes:
+//!
+//! * **Soak mode** (no path argument, the CI/bench default): drives a
+//!   fixed-seed mixed workload through a real `Service` + `NetServer` over
+//!   TCP with full tracing on, alternating clean phases with seeded chaos
+//!   bursts (`fepia_chaos::set_for_test` / `clear`, bracketed by
+//!   `chaos.burst` marker events). The resulting span stream is written to
+//!   `$FEPIA_RESULTS/resilience_trace.jsonl`.
+//! * **Replay mode** (`resilience_report path/to/telemetry.jsonl`):
+//!   analyzes an existing JSONL stream instead of generating one.
+//!
+//! Either way the telemetry is folded through [`fepia_obs::analyze`] into
+//! the paper-style resilience measures — overall and windowed degraded
+//! fraction, worst-case recovery time after a burst, area-under-degradation,
+//! per-stage latency percentiles — rendered as
+//! `$FEPIA_RESULTS/RESILIENCE.json` with the thresholds embedded, and the
+//! process exits non-zero if any threshold is violated (the shape
+//! `scripts/check_bench.sh` gates on).
+
+use fepia_bench::{or_fail, outdir::arg_value, outdir::results_dir};
+use fepia_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use fepia_obs::trace;
+use fepia_obs::{
+    analyze, AnalyzerConfig, Event, JsonlSink, ResilienceReport, ResilienceThresholds,
+};
+use fepia_serve::workload::{request, scenario_pool, WorkloadSpec};
+use fepia_serve::{Service, ServiceConfig};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Client threads driving each phase.
+const CLIENTS: u64 = 4;
+/// Requests per phase (clean or burst).
+const PHASE_REQUESTS: u64 = 400;
+/// Seeded fault bursts in the soak.
+const BURSTS: usize = 3;
+/// Injection rate during a burst: high enough that every burst degrades
+/// some verdicts (`worker_attempts: 1` turns injected worker panics into
+/// `Failed`), low enough that the retry budget always recovers transport
+/// faults.
+const CHAOS_RATE: f64 = 0.05;
+
+/// The gate. Generous against scheduling noise — the soak's expected
+/// degraded fraction is ≈ `CHAOS_RATE` scaled by the burst duty cycle
+/// (~0.02 overall), recovery ends with the burst's in-flight tail, and AUD
+/// is the fraction integrated over a run of a few seconds.
+const THRESHOLDS: ResilienceThresholds = ResilienceThresholds {
+    max_degraded_fraction: 0.15,
+    max_recovery_us: 2_000_000,
+    max_aud_seconds: 1.5,
+};
+
+fn main() {
+    // Positional argument = replay an existing JSONL; `--flag value` pairs
+    // are consumed by `arg_value`.
+    let mut jsonl_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a.starts_with("--") {
+            let _ = args.next();
+        } else {
+            jsonl_arg = Some(PathBuf::from(a));
+        }
+    }
+
+    let dir = results_dir();
+    let trace_path = match &jsonl_arg {
+        Some(path) => path.clone(),
+        None => {
+            let path = dir.join("resilience_trace.jsonl");
+            run_soak(&path);
+            path
+        }
+    };
+
+    let file = or_fail!(std::fs::File::open(&trace_path), "open telemetry JSONL");
+    let lines: Vec<String> = std::io::BufReader::new(file)
+        .lines()
+        .map(|l| or_fail!(l, "read telemetry JSONL"))
+        .collect();
+    let telemetry = fepia_obs::Telemetry::from_lines(&lines);
+    let report = analyze(&telemetry, &AnalyzerConfig::default());
+
+    let json = report.to_pretty_json(&THRESHOLDS);
+    let out = dir.join("RESILIENCE.json");
+    or_fail!(std::fs::write(&out, &json), "write RESILIENCE.json");
+    print_summary(&trace_path, &report);
+    println!("wrote RESILIENCE.json in {}", dir.display());
+
+    let violations = THRESHOLDS.violations(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("resilience gate: {v}");
+        }
+        std::process::exit(fepia_bench::fatal::FATAL_EXIT_CODE);
+    }
+}
+
+fn print_summary(trace_path: &Path, report: &ResilienceReport) {
+    println!(
+        "analyzed {}: {} requests, {} units, degraded fraction {:.4}, \
+         {} bursts, recovery {} us, AUD {:.4} fraction*s",
+        trace_path.display(),
+        report.requests,
+        report.units,
+        report.degraded_fraction(),
+        report.bursts,
+        report.recovery_us,
+        report.aud_seconds,
+    );
+    for s in &report.stages {
+        println!(
+            "  stage {:<12} n={:<6} p50={:>10.1}us p99={:>10.1}us p999={:>10.1}us",
+            s.stage, s.count, s.p50_us, s.p99_us, s.p999_us
+        );
+    }
+}
+
+/// Silences the panic hook for chaos-injected panics only; everything else
+/// still reports (the workers catch injected panics by design, and a
+/// thousand backtraces would drown the report).
+fn silence_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let text = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if !text.contains("chaos: injected panic") {
+            previous(info);
+        }
+    }));
+}
+
+/// Drives the traced chaos-burst soak over TCP, appending every span and
+/// burst marker to `trace_path`.
+fn run_soak(trace_path: &Path) {
+    let seed = arg_value("--seed").unwrap_or(2003);
+    silence_injected_panics();
+
+    // Full-trace telemetry into the JSONL file. Programmatic setup so the
+    // run does not depend on FEPIA_OBS/FEPIA_TRACE being exported.
+    let sink = or_fail!(JsonlSink::create(trace_path), "create trace JSONL");
+    fepia_obs::install_sink(Arc::new(sink));
+    fepia_obs::set_enabled(true);
+    fepia_obs::set_events_enabled(true);
+    trace::set_trace_enabled(true);
+    trace::set_trace_wall(true);
+    fepia_chaos::clear();
+
+    let spec = WorkloadSpec {
+        seed,
+        ..WorkloadSpec::default()
+    };
+    let pool = scenario_pool(&spec);
+    // `worker_attempts: 1` is what makes bursts *observable*: an injected
+    // worker panic becomes a `Failed` (degraded) verdict instead of being
+    // retried back to `Exact`.
+    let service = Arc::new(Service::start(ServiceConfig {
+        worker_attempts: 1,
+        ..ServiceConfig::default()
+    }));
+    let server = or_fail!(
+        NetServer::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()),
+        "start TCP server"
+    );
+    let addr = server.local_addr();
+
+    // Alternating phases: clean, burst, clean, burst, ... ending clean so
+    // every burst has a post-burst tail for the recovery measure.
+    let next_index = AtomicU64::new(0);
+    let drive_phase = |label: &str| {
+        let start = next_index.load(Ordering::Relaxed);
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                let next_index = &next_index;
+                let pool = &pool;
+                let spec = &spec;
+                scope.spawn(move || {
+                    let mut client = or_fail!(
+                        NetClient::connect(addr, ClientConfig::default()),
+                        "connect soak client"
+                    );
+                    loop {
+                        // Ids only need to be unique across the run, not
+                        // dense, so an overshot final fetch is harmless.
+                        let index = next_index.fetch_add(1, Ordering::Relaxed);
+                        if index >= start + PHASE_REQUESTS {
+                            break;
+                        }
+                        let req = request(spec, pool, index);
+                        or_fail!(client.call(&req), "soak call");
+                    }
+                });
+            }
+        });
+        if fepia_obs::events_enabled() {
+            Event::new("soak.phase").field("label", label).emit();
+        }
+    };
+
+    for burst in 0..BURSTS {
+        drive_phase("clean");
+        Event::new("chaos.burst")
+            .field("phase", "start")
+            .field("burst", burst as u64)
+            .field("t_us", trace::epoch_us())
+            .emit();
+        fepia_chaos::set_for_test(seed ^ (burst as u64 + 1), CHAOS_RATE);
+        drive_phase("burst");
+        fepia_chaos::clear();
+        Event::new("chaos.burst")
+            .field("phase", "end")
+            .field("burst", burst as u64)
+            .field("t_us", trace::epoch_us())
+            .emit();
+    }
+    drive_phase("clean");
+
+    server.shutdown();
+    Arc::try_unwrap(service)
+        .ok()
+        .expect("server released its service handle")
+        .shutdown();
+    fepia_obs::flush_sink();
+    fepia_obs::set_events_enabled(false);
+    fepia_obs::clear_sink();
+}

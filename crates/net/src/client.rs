@@ -17,10 +17,15 @@
 //! the budget and the terminal cause.
 
 use crate::frame::{read_frame, write_frame, DecodeError, FrameReadError, FrameType};
-use crate::wire::{decode_error, decode_response, encode_request, WireError};
+use crate::wire::{
+    decode_error, decode_response, decode_stats_reply, encode_request, encode_stats_request,
+    StatsReply, WireError,
+};
+use fepia_obs::trace::{self, stage};
+use fepia_obs::TraceId;
 use fepia_serve::{EvalRequest, EvalResponse, ShedReason};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Retry budget and backoff shape.
 #[derive(Clone, Debug)]
@@ -144,9 +149,18 @@ impl NetClient {
     }
 
     /// One attempt: write the request frame, read one frame, classify it.
-    fn attempt(&mut self, bytes: &[u8], id: u64) -> Result<EvalResponse, NetError> {
+    fn attempt(&mut self, bytes: &[u8], id: u64, trace: u64) -> Result<EvalResponse, NetError> {
+        let traced = trace != 0 && trace::trace_enabled();
         let stream = self.stream()?;
-        write_frame(stream, FrameType::Request, bytes).map_err(NetError::Io)?;
+        let send_started = Instant::now();
+        write_frame(stream, FrameType::Request, trace, bytes).map_err(NetError::Io)?;
+        if traced {
+            trace::with_wall(
+                trace::span_event(TraceId(trace), stage::CLIENT_SEND, id),
+                send_started,
+            )
+            .emit();
+        }
         let frame = match read_frame(stream) {
             Ok(f) => f,
             Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
@@ -183,16 +197,24 @@ impl NetClient {
                     WireError::Invalid(msg) => NetError::Invalid(msg),
                 })
             }
-            FrameType::Request => Err(NetError::Protocol(
-                "server sent a Request frame".to_string(),
-            )),
+            other => Err(NetError::Protocol(format!(
+                "server sent a {other:?} frame to an eval request"
+            ))),
         }
     }
 
     /// Evaluates one request, retrying per the config. See the module docs
     /// for the retry / reconnect / give-up classification.
+    ///
+    /// Tracing: when [`fepia_obs::trace_enabled`], the client mints the
+    /// request's [`TraceId`] here (deterministically, from the request id),
+    /// sends it in the frame header, and emits `client.send` /
+    /// `client.retry` / `client.recv` spans.
     pub fn call(&mut self, req: &EvalRequest) -> Result<EvalResponse, NetError> {
         let bytes = encode_request(req);
+        let traced = trace::trace_enabled();
+        let trace_id = if traced { TraceId::mint(req.id).0 } else { 0 };
+        let call_started = Instant::now();
         let mut last: Option<NetError> = None;
         for n in 0..self.config.max_attempts {
             if n > 0 {
@@ -200,14 +222,41 @@ impl NetClient {
                 if fepia_obs::enabled() {
                     fepia_obs::global().counter("net.client.retries").inc();
                 }
+                if traced {
+                    trace::with_wall(
+                        trace::span_event(TraceId(trace_id), stage::CLIENT_RETRY, req.id),
+                        call_started,
+                    )
+                    .field("attempt", u64::from(n))
+                    .field(
+                        "cause",
+                        match last.as_ref().expect("retry implies a prior error") {
+                            NetError::Io(_) => "io",
+                            NetError::Decode(_) => "decode",
+                            NetError::Overloaded { .. } => "overloaded",
+                            NetError::Protocol(_) => "protocol",
+                            NetError::Invalid(_) | NetError::RetriesExhausted { .. } => "terminal",
+                        },
+                    )
+                    .emit();
+                }
                 let exp = self
                     .config
                     .backoff_base
                     .saturating_mul(1u32 << (n - 1).min(16));
                 std::thread::sleep(exp.min(self.config.backoff_cap));
             }
-            match self.attempt(&bytes, req.id) {
-                Ok(resp) => return Ok(resp),
+            match self.attempt(&bytes, req.id, trace_id) {
+                Ok(resp) => {
+                    if traced {
+                        trace::with_wall(
+                            trace::span_event(TraceId(trace_id), stage::CLIENT_RECV, req.id),
+                            call_started,
+                        )
+                        .emit();
+                    }
+                    return Ok(resp);
+                }
                 Err(NetError::Invalid(msg)) => return Err(NetError::Invalid(msg)),
                 Err(e @ NetError::Overloaded { .. }) => {
                     // The connection is fine; the service shed the request.
@@ -225,5 +274,56 @@ impl NetClient {
             attempts: self.config.max_attempts,
             last: Box::new(last.expect("max_attempts >= 1 guarantees an error")),
         })
+    }
+
+    /// Polls the server's live counters ([`StatsReply`]): per-shard service
+    /// stats plus the net layer's frame counters. One attempt, no retry —
+    /// a stats poll is cheap to reissue and the caller usually wants
+    /// *current* numbers, not a delayed echo.
+    pub fn stats(&mut self, id: u64) -> Result<StatsReply, NetError> {
+        let bytes = encode_stats_request(id);
+        let stream = self.stream()?;
+        if let Err(e) = write_frame(stream, FrameType::StatsRequest, 0, &bytes) {
+            self.stream = None;
+            return Err(NetError::Io(e));
+        }
+        let frame = match read_frame(stream) {
+            Ok(f) => f,
+            Err(err) => {
+                self.stream = None;
+                return Err(match err {
+                    FrameReadError::Io(e) => NetError::Io(e),
+                    FrameReadError::Closed => NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "server closed the connection",
+                    )),
+                    FrameReadError::Decode(e) => NetError::Decode(e),
+                });
+            }
+        };
+        match frame.frame_type {
+            FrameType::StatsResponse => {
+                let reply = decode_stats_reply(&frame.payload).map_err(NetError::Decode)?;
+                if reply.id != id {
+                    return Err(NetError::Protocol(format!(
+                        "stats reply id {} for poll id {id}",
+                        reply.id
+                    )));
+                }
+                Ok(reply)
+            }
+            FrameType::Error => {
+                let (_, err) = decode_error(&frame.payload).map_err(NetError::Decode)?;
+                Err(match err {
+                    WireError::Overloaded { shard, reason } => {
+                        NetError::Overloaded { shard, reason }
+                    }
+                    WireError::Invalid(msg) => NetError::Invalid(msg),
+                })
+            }
+            other => Err(NetError::Protocol(format!(
+                "server sent a {other:?} frame to a stats poll"
+            ))),
+        }
     }
 }

@@ -5,20 +5,31 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  = b"FEPN"
-//! 4       1     version = 1
-//! 5       1     frame type (1 request, 2 response, 3 error)
+//! 4       1     version = 2
+//! 5       1     frame type (1 request, 2 response, 3 error,
+//!               4 stats request, 5 stats response)
 //! 6       2     reserved, must be 0 (LE)
 //! 8       4     payload length in bytes (LE)
 //! 12      8     FNV-1a 64 checksum of the payload (LE)
-//! 20      n     payload
+//! 20      8     trace id (LE; 0 = untraced)
+//! 28      n     payload
 //! ```
+//!
+//! Version 2 (this PR) appends the 8-byte trace id to the version-1
+//! header: the id a client minted for the request (see
+//! [`fepia_obs::trace`]), echoed verbatim on the response so one JSONL
+//! stream stitches client- and server-side spans together. It is metadata,
+//! not payload: deliberately *outside* the checksum, so trace plumbing can
+//! never turn a valid payload into a checksum failure (a corrupted trace
+//! id corrupts attribution, never data).
 //!
 //! Decoding is total: every malformed input maps to a typed
 //! [`DecodeError`] — bad magic, unknown version or type, a length that
 //! exceeds [`MAX_PAYLOAD`] or the bytes actually present, a checksum
 //! mismatch. No input, however corrupt, may panic or mis-parse; the codec
 //! fuzz suite at the workspace root holds the layer to that (arbitrary
-//! byte mutations of valid frames must surface as typed errors).
+//! byte mutations of valid frames must surface as typed errors, except in
+//! the unchecksummed trace-id bytes, which only ever change attribution).
 //!
 //! The checksum is not a security boundary — it catches torn writes and
 //! corrupted reads (e.g. the `net.write` chaos site truncating a frame
@@ -30,9 +41,9 @@ use std::io::{Read, Write};
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"FEPN";
 /// The one wire-protocol version this build speaks.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 20;
+pub const HEADER_LEN: usize = 28;
 /// Hard cap on payload size; larger claims are rejected before allocation.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
 
@@ -45,6 +56,11 @@ pub enum FrameType {
     Response,
     /// Server → client: a typed refusal (overload or invalid request).
     Error,
+    /// Client → server: poll the live service/net counters
+    /// ([`crate::wire::encode_stats_request`]).
+    StatsRequest,
+    /// Server → client: one [`crate::wire::StatsReply`].
+    StatsResponse,
 }
 
 impl FrameType {
@@ -53,6 +69,8 @@ impl FrameType {
             FrameType::Request => 1,
             FrameType::Response => 2,
             FrameType::Error => 3,
+            FrameType::StatsRequest => 4,
+            FrameType::StatsResponse => 5,
         }
     }
 
@@ -61,16 +79,21 @@ impl FrameType {
             1 => Ok(FrameType::Request),
             2 => Ok(FrameType::Response),
             3 => Ok(FrameType::Error),
+            4 => Ok(FrameType::StatsRequest),
+            5 => Ok(FrameType::StatsResponse),
             other => Err(DecodeError::UnknownFrameType(other)),
         }
     }
 }
 
-/// One decoded frame: type + verified payload bytes.
+/// One decoded frame: type + trace id + verified payload bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
     /// What the payload encodes.
     pub frame_type: FrameType,
+    /// Trace id riding the header (0 = untraced). Not covered by the
+    /// payload checksum.
+    pub trace: u64,
     /// Checksum-verified payload bytes.
     pub payload: Vec<u8>,
 }
@@ -199,8 +222,16 @@ impl Frame {
         );
         Frame {
             frame_type,
+            trace: 0,
             payload,
         }
+    }
+
+    /// [`Frame::new`] carrying a trace id in the header.
+    pub fn with_trace(frame_type: FrameType, trace: u64, payload: Vec<u8>) -> Frame {
+        let mut f = Frame::new(frame_type, payload);
+        f.trace = trace;
+        f
     }
 
     /// Serializes header + payload into one buffer.
@@ -212,6 +243,7 @@ impl Frame {
         out.extend_from_slice(&0u16.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&fnv1a(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.trace.to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
@@ -242,6 +274,7 @@ impl Frame {
         }
         Ok(Frame {
             frame_type: header.frame_type,
+            trace: header.trace,
             payload: payload.to_vec(),
         })
     }
@@ -256,6 +289,8 @@ pub struct FrameHeader {
     pub payload_len: u32,
     /// Claimed payload checksum.
     pub checksum: u64,
+    /// Trace id (0 = untraced).
+    pub trace: u64,
 }
 
 fn decode_header(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), DecodeError> {
@@ -285,11 +320,13 @@ fn decode_header(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), DecodeError> {
         });
     }
     let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let trace = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
     Ok((
         FrameHeader {
             frame_type,
             payload_len,
             checksum,
+            trace,
         },
         &bytes[HEADER_LEN..],
     ))
@@ -369,17 +406,20 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameReadError> {
     }
     Ok(Frame {
         frame_type: parsed.frame_type,
+        trace: parsed.trace,
         payload,
     })
 }
 
-/// Writes one frame (header + payload) and flushes.
+/// Writes one frame (header + payload) and flushes. `trace` rides the
+/// header (0 = untraced).
 pub fn write_frame(
     w: &mut impl Write,
     frame_type: FrameType,
+    trace: u64,
     payload: &[u8],
 ) -> std::io::Result<()> {
-    let frame = Frame::new(frame_type, payload.to_vec());
+    let frame = Frame::with_trace(frame_type, trace, payload.to_vec());
     w.write_all(&frame.encode())?;
     w.flush()
 }
@@ -396,6 +436,26 @@ mod tests {
         let mut cursor = std::io::Cursor::new(bytes);
         let read = read_frame(&mut cursor).unwrap();
         assert_eq!(read, frame);
+    }
+
+    #[test]
+    fn trace_id_rides_the_header() {
+        let frame = Frame::with_trace(FrameType::Response, 0xdead_beef_cafe_f00d, vec![7; 5]);
+        let bytes = frame.encode();
+        assert_eq!(
+            u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+            0xdead_beef_cafe_f00d
+        );
+        let decoded = Frame::decode(&bytes).unwrap();
+        assert_eq!(decoded.trace, 0xdead_beef_cafe_f00d);
+        assert_eq!(decoded, frame);
+        // The trace id is metadata, not payload: flipping its bytes still
+        // decodes (with a different id), never a checksum failure.
+        let mut m = bytes.clone();
+        m[20] ^= 0xff;
+        let reattributed = Frame::decode(&m).unwrap();
+        assert_eq!(reattributed.payload, frame.payload);
+        assert_ne!(reattributed.trace, frame.trace);
     }
 
     #[test]
@@ -434,7 +494,7 @@ mod tests {
         ));
 
         let mut m = bytes.clone();
-        m[20] ^= 0xff; // first payload byte
+        m[HEADER_LEN] ^= 0xff; // first payload byte
         assert!(matches!(
             Frame::decode(&m),
             Err(DecodeError::ChecksumMismatch { .. })

@@ -30,7 +30,10 @@
 //! [`NetStatsSnapshot`] atomics.
 
 use crate::frame::{write_frame, FrameType};
-use crate::wire::{decode_request, encode_error, encode_response, WireError};
+use crate::wire::{
+    decode_request, decode_stats_request, encode_error, encode_response, encode_stats_reply,
+    StatsReply, WireError,
+};
 use fepia_serve::{ServeError, Service, ShedReason, Ticket};
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -119,9 +122,25 @@ enum WriterItem {
         id: u64,
         ticket: Ticket,
         received: Instant,
+        /// Trace id echoed on the response frame (0 = untraced).
+        trace: u64,
     },
-    /// A pre-encoded error payload to send as an `Error` frame.
-    Immediate(Vec<u8>),
+    /// A pre-encoded payload to send as-is (error frames, stats replies).
+    Immediate {
+        frame_type: FrameType,
+        trace: u64,
+        payload: Vec<u8>,
+    },
+}
+
+impl WriterItem {
+    fn error(trace: u64, payload: Vec<u8>) -> WriterItem {
+        WriterItem::Immediate {
+            frame_type: FrameType::Error,
+            trace,
+            payload,
+        }
+    }
 }
 
 /// A running TCP front for a [`Service`]. Dropping it without calling
@@ -308,10 +327,41 @@ fn reader_loop(
                 // the stream position is unrecoverable.
                 stats.count(&stats.decode_errors, "net.decode_errors");
                 let payload = encode_error(0, &WireError::Invalid(format!("bad frame: {e}")));
-                let _ = tx.send(WriterItem::Immediate(payload));
+                let _ = tx.send(WriterItem::error(0, payload));
                 return;
             }
         };
+        let decode_started = Instant::now();
+        if frame.frame_type == FrameType::StatsRequest {
+            // Stats polls are answered at this layer: snapshot the shared
+            // service's counters and this server's own, FIFO with replies.
+            let item = match decode_stats_request(&frame.payload) {
+                Ok(id) => {
+                    stats.count(&stats.frames_read, "net.frames.read");
+                    let reply = StatsReply {
+                        id,
+                        shards: service.stats().shards,
+                        net: stats.snapshot(),
+                    };
+                    WriterItem::Immediate {
+                        frame_type: FrameType::StatsResponse,
+                        trace: frame.trace,
+                        payload: encode_stats_reply(&reply),
+                    }
+                }
+                Err(e) => {
+                    stats.count(&stats.decode_errors, "net.decode_errors");
+                    WriterItem::error(
+                        frame.trace,
+                        encode_error(0, &WireError::Invalid(format!("bad stats poll: {e}"))),
+                    )
+                }
+            };
+            if tx.send(item).is_err() {
+                return;
+            }
+            continue;
+        }
         if frame.frame_type != FrameType::Request {
             stats.count(&stats.decode_errors, "net.decode_errors");
             let payload = encode_error(
@@ -321,7 +371,7 @@ fn reader_loop(
                     frame.frame_type
                 )),
             );
-            let _ = tx.send(WriterItem::Immediate(payload));
+            let _ = tx.send(WriterItem::error(frame.trace, payload));
             return;
         }
         let payload = match decode_request(&frame.payload) {
@@ -329,53 +379,72 @@ fn reader_loop(
             Err(e) => {
                 stats.count(&stats.decode_errors, "net.decode_errors");
                 let msg = encode_error(0, &WireError::Invalid(format!("bad request: {e}")));
-                let _ = tx.send(WriterItem::Immediate(msg));
+                let _ = tx.send(WriterItem::error(frame.trace, msg));
                 return;
             }
         };
         stats.count(&stats.frames_read, "net.frames.read");
         let id = payload.id;
+        let trace = frame.trace;
         let received = Instant::now();
         let req = match payload.into_request() {
             Ok(r) => r,
             Err(msg) => {
                 stats.count(&stats.invalid, "net.invalid");
                 let payload = encode_error(id, &WireError::Invalid(msg));
-                if tx.send(WriterItem::Immediate(payload)).is_err() {
+                if tx.send(WriterItem::error(trace, payload)).is_err() {
                     return;
                 }
                 continue;
             }
         };
-        let item = match service.submit(req) {
+        if trace != 0 && fepia_obs::trace_enabled() {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(trace),
+                    fepia_obs::trace::stage::NET_READ,
+                    id,
+                ),
+                decode_started,
+            )
+            .emit();
+        }
+        let item = match service.submit_traced(req, trace) {
             Ok(ticket) => WriterItem::Reply {
                 id,
                 ticket,
                 received,
+                trace,
             },
             Err(ServeError::Overloaded(o)) => {
                 stats.count(&stats.overloaded, "net.overloaded");
-                WriterItem::Immediate(encode_error(
-                    id,
-                    &WireError::Overloaded {
-                        shard: o.shard as u64,
-                        reason: o.reason,
-                    },
-                ))
+                WriterItem::error(
+                    trace,
+                    encode_error(
+                        id,
+                        &WireError::Overloaded {
+                            shard: o.shard as u64,
+                            reason: o.reason,
+                        },
+                    ),
+                )
             }
             Err(ServeError::Invalid(msg)) => {
                 stats.count(&stats.invalid, "net.invalid");
-                WriterItem::Immediate(encode_error(id, &WireError::Invalid(msg)))
+                WriterItem::error(trace, encode_error(id, &WireError::Invalid(msg)))
             }
             Err(ServeError::Disconnected) => {
                 stats.count(&stats.overloaded, "net.overloaded");
-                WriterItem::Immediate(encode_error(
-                    id,
-                    &WireError::Overloaded {
-                        shard: 0,
-                        reason: ShedReason::ShuttingDown,
-                    },
-                ))
+                WriterItem::error(
+                    trace,
+                    encode_error(
+                        id,
+                        &WireError::Overloaded {
+                            shard: 0,
+                            reason: ShedReason::ShuttingDown,
+                        },
+                    ),
+                )
             }
         };
         // Blocks when the in-flight window is full — deliberate: this is
@@ -388,11 +457,12 @@ fn reader_loop(
 
 fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriterItem>, stats: Arc<NetStats>) {
     while let Ok(item) = rx.recv() {
-        let (frame_type, payload) = match item {
+        let (frame_type, trace, id, payload) = match item {
             WriterItem::Reply {
                 id,
                 ticket,
                 received,
+                trace,
             } => match ticket.wait() {
                 Ok(resp) => {
                     debug_assert_eq!(resp.id, id, "service echoed a different id");
@@ -401,10 +471,12 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriterItem>, stats: Arc
                             .histogram("net.request.us")
                             .record(received.elapsed().as_nanos() as f64 / 1_000.0);
                     }
-                    (FrameType::Response, encode_response(&resp))
+                    (FrameType::Response, trace, id, encode_response(&resp))
                 }
                 Err(_) => (
                     FrameType::Error,
+                    trace,
+                    id,
                     encode_error(
                         id,
                         &WireError::Overloaded {
@@ -414,23 +486,39 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<WriterItem>, stats: Arc
                     ),
                 ),
             },
-            WriterItem::Immediate(payload) => (FrameType::Error, payload),
+            WriterItem::Immediate {
+                frame_type,
+                trace,
+                payload,
+            } => (frame_type, trace, 0, payload),
         };
+        let write_started = Instant::now();
         if fepia_chaos::enabled() && fepia_chaos::should_fire("net.write") {
             // Injected torn frame: write a strict prefix, then sever the
             // connection. The client's decoder reports Truncated and the
             // retry loop reconnects.
             stats.count(&stats.chaos_drops, "net.chaos.drops");
-            let full = crate::frame::Frame::new(frame_type, payload).encode();
+            let full = crate::frame::Frame::with_trace(frame_type, trace, payload).encode();
             let torn = &full[..full.len() / 2];
             let _ = stream.write_all(torn);
             let _ = stream.flush();
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
-        if write_frame(&mut stream, frame_type, &payload).is_err() {
+        if write_frame(&mut stream, frame_type, trace, &payload).is_err() {
             return;
         }
         stats.count(&stats.frames_written, "net.frames.written");
+        if trace != 0 && frame_type == FrameType::Response && fepia_obs::trace_enabled() {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(trace),
+                    fepia_obs::trace::stage::NET_WRITE,
+                    id,
+                ),
+                write_started,
+            )
+            .emit();
+        }
     }
 }

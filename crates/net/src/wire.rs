@@ -24,6 +24,7 @@
 //! [`DecodeError`]s, never panics (fuzzed at the workspace root).
 
 use crate::frame::DecodeError;
+use crate::server::NetStatsSnapshot;
 use fepia_core::{
     Bound, DegradeReason, FailReason, PlanVerdict, RadiusMethod, RadiusOptions, RadiusResult,
     RadiusVerdict,
@@ -31,7 +32,9 @@ use fepia_core::{
 use fepia_etc::EtcMatrix;
 use fepia_mapping::Mapping;
 use fepia_optim::{Norm, SolverOptions, VecN};
-use fepia_serve::{CacheOutcome, EvalKind, EvalRequest, EvalResponse, Scenario, ShedReason};
+use fepia_serve::{
+    CacheOutcome, EvalKind, EvalRequest, EvalResponse, Scenario, ShardStatsSnapshot, ShedReason,
+};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -703,6 +706,113 @@ fn decode_fail_reason(r: &mut PayloadReader<'_>) -> Result<FailReason, DecodeErr
 }
 
 // ---------------------------------------------------------------------------
+// Stats polling
+// ---------------------------------------------------------------------------
+
+/// A live counter snapshot served over TCP: per-shard service counters
+/// plus the server's own frame counters, correlated to the poll by id.
+/// Lets operators watch a running server without reading JSONL post-mortem.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReply {
+    /// The poll id, echoed.
+    pub id: u64,
+    /// One snapshot per shard, in shard order
+    /// (see [`fepia_serve::ServiceStats`]).
+    pub shards: Vec<ShardStatsSnapshot>,
+    /// The TCP server's frame counters.
+    pub net: NetStatsSnapshot,
+}
+
+impl StatsReply {
+    /// Sum of the per-shard counters.
+    pub fn service_totals(&self) -> ShardStatsSnapshot {
+        fepia_serve::ServiceStats {
+            shards: self.shards.clone(),
+        }
+        .totals()
+    }
+}
+
+/// Encodes a stats poll: just the echo id.
+pub fn encode_stats_request(id: u64) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(id);
+    w.finish()
+}
+
+/// Decodes a stats poll back to its id.
+pub fn decode_stats_request(payload: &[u8]) -> Result<u64, DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    r.finish()?;
+    Ok(id)
+}
+
+/// Field count per encoded [`ShardStatsSnapshot`] (all `u64`).
+const SHARD_STAT_FIELDS: usize = 9;
+
+/// Encodes a [`StatsReply`]: id, shard count, 9 `u64` counters per shard,
+/// then the 7 `u64` net counters.
+pub fn encode_stats_reply(reply: &StatsReply) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(reply.id);
+    w.usize(reply.shards.len());
+    for s in &reply.shards {
+        w.u64(s.submitted);
+        w.u64(s.completed);
+        w.u64(s.shed_full);
+        w.u64(s.shed_shutdown);
+        w.u64(s.cache_hits);
+        w.u64(s.cache_misses);
+        w.u64(s.cache_coalesced);
+        w.u64(s.worker_panics);
+        w.u64(s.busy_ns);
+    }
+    let n = &reply.net;
+    w.u64(n.connections);
+    w.u64(n.frames_read);
+    w.u64(n.frames_written);
+    w.u64(n.decode_errors);
+    w.u64(n.overloaded);
+    w.u64(n.invalid);
+    w.u64(n.chaos_drops);
+    w.finish()
+}
+
+/// Decodes a [`StatsReply`]. Total: hostile counts fail typed before any
+/// allocation, like every other collection on the wire.
+pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let n = r.count("shard stats", SHARD_STAT_FIELDS * 8)?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(ShardStatsSnapshot {
+            submitted: r.u64()?,
+            completed: r.u64()?,
+            shed_full: r.u64()?,
+            shed_shutdown: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            cache_coalesced: r.u64()?,
+            worker_panics: r.u64()?,
+            busy_ns: r.u64()?,
+        });
+    }
+    let net = NetStatsSnapshot {
+        connections: r.u64()?,
+        frames_read: r.u64()?,
+        frames_written: r.u64()?,
+        decode_errors: r.u64()?,
+        overloaded: r.u64()?,
+        invalid: r.u64()?,
+        chaos_drops: r.u64()?,
+    };
+    r.finish()?;
+    Ok(StatsReply { id, shards, net })
+}
+
+// ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------
 
@@ -954,6 +1064,51 @@ mod tests {
         ] {
             let bytes = encode_error(41, &err);
             assert_eq!(decode_error(&bytes).unwrap(), (41, err));
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_and_hostile_count() {
+        let reply = StatsReply {
+            id: 31,
+            shards: vec![
+                ShardStatsSnapshot {
+                    submitted: 10,
+                    completed: 9,
+                    shed_full: 1,
+                    shed_shutdown: 0,
+                    cache_hits: 7,
+                    cache_misses: 2,
+                    cache_coalesced: 1,
+                    worker_panics: 3,
+                    busy_ns: 123_456_789,
+                },
+                ShardStatsSnapshot::default(),
+            ],
+            net: NetStatsSnapshot {
+                connections: 4,
+                frames_read: 100,
+                frames_written: 99,
+                decode_errors: 1,
+                overloaded: 2,
+                invalid: 0,
+                chaos_drops: 5,
+            },
+        };
+        let bytes = encode_stats_reply(&reply);
+        assert_eq!(decode_stats_reply(&bytes).unwrap(), reply);
+        assert_eq!(decode_stats_request(&encode_stats_request(31)).unwrap(), 31);
+
+        // A hostile shard count fails typed before any allocation.
+        let mut m = bytes.clone();
+        m[8..16].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            decode_stats_reply(&m),
+            Err(DecodeError::BadLength { .. })
+        ));
+        // Truncation anywhere is typed, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_stats_reply(&bytes[..cut]).is_err());
         }
     }
 

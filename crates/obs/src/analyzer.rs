@@ -1,0 +1,830 @@
+//! RESMETRIC-style resilience analysis over chaos/soak telemetry.
+//!
+//! The chaos soaks stream JSONL events (`trace.span`, `chaos.burst`) but
+//! until now nothing *read* them. This module replays such a stream into
+//! the time-series resilience measures of Koenig et al. (RESMETRIC):
+//!
+//! * **degraded-verdict fraction** — overall and per time window: the
+//!   fraction of evaluated units whose verdict was not `Exact`,
+//! * **recovery time** — after each seeded fault burst ends, how long
+//!   degraded verdicts keep appearing before the stream is clean again,
+//! * **area-under-degradation** — the integral of the windowed degraded
+//!   fraction over time (fraction · seconds), RESMETRIC's "how much
+//!   resilience was lost, for how long" scalar,
+//! * **per-stage latency percentiles** — p50/p99/p999 (nearest-rank) over
+//!   the `us` field of each pipeline stage's spans.
+//!
+//! Inputs are the events emitted by the tracing layer (see
+//! [`crate::trace`]): `worker.exec` spans carry `units`/`degraded` counts
+//! and (in full mode) a `t_us` timestamp; `chaos.burst` marker events
+//! bracket seeded fault bursts. The analyzer is total over hostile input:
+//! lines that do not parse, or parse to something other than an event, are
+//! counted in [`Telemetry::skipped`] and otherwise ignored.
+//!
+//! The output is a [`ResilienceReport`], rendered by
+//! [`ResilienceReport::to_pretty_json`] as the machine-checkable
+//! `RESILIENCE.json` that `scripts/check_bench.sh` gates on: fresh
+//! measures are compared against the *checked-in* thresholds, so a
+//! resilience regression fails CI exactly like a perf regression.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON-line parsing (std-only, tolerant)
+// ---------------------------------------------------------------------------
+
+/// A scalar field value parsed from an event line. Nested objects/arrays
+/// are skipped structurally and not represented.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// A JSON string.
+    Str(String),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Scalar {
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("truncated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "non-utf8 \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the line is valid UTF-8:
+                    // it came in as &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn literal(&mut self, text: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses and discards any JSON value (used for nested structures).
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek().ok_or("truncated value")? {
+            b'"' => self.string().map(|_| ()),
+            b'{' | b'[' => {
+                let (open, close) = if self.peek() == Some(b'{') {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                self.pos += 1;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.peek().ok_or("unbalanced nesting")? {
+                        b'"' => {
+                            self.string()?;
+                        }
+                        b if b == open => {
+                            depth += 1;
+                            self.pos += 1;
+                        }
+                        b if b == close => {
+                            depth -= 1;
+                            self.pos += 1;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                Ok(())
+            }
+            b't' | b'f' | b'n' => {
+                if self.literal("true") || self.literal("false") || self.literal("null") {
+                    Ok(())
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            _ => self.number().map(|_| ()),
+        }
+    }
+}
+
+/// Parses one JSONL event line into its top-level scalar fields, in order.
+/// Nested objects and arrays are skipped (structurally validated, not
+/// returned). Returns `Err` on malformed input — the caller decides
+/// whether that is fatal (fixtures) or skippable (live telemetry).
+pub fn parse_json_line(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.skip_ws();
+    c.expect(b'{')?;
+    let mut fields = Vec::new();
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        return Ok(fields);
+    }
+    loop {
+        c.skip_ws();
+        let key = c.string()?;
+        c.skip_ws();
+        c.expect(b':')?;
+        c.skip_ws();
+        match c.peek().ok_or("truncated value")? {
+            b'"' => fields.push((key, Scalar::Str(c.string()?))),
+            b'{' | b'[' => c.skip_value()?,
+            b't' => {
+                if !c.literal("true") {
+                    return Err("bad literal".into());
+                }
+                fields.push((key, Scalar::Bool(true)));
+            }
+            b'f' => {
+                if !c.literal("false") {
+                    return Err("bad literal".into());
+                }
+                fields.push((key, Scalar::Bool(false)));
+            }
+            b'n' => {
+                if !c.literal("null") {
+                    return Err("bad literal".into());
+                }
+                fields.push((key, Scalar::Null));
+            }
+            _ => fields.push((key, Scalar::Num(c.number()?))),
+        }
+        c.skip_ws();
+        match c.peek() {
+            Some(b',') => c.pos += 1,
+            Some(b'}') => return Ok(fields),
+            _ => return Err(format!("expected ',' or '}}' at byte {}", c.pos)),
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Scalar)], key: &str) -> Option<&'a Scalar> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry model
+// ---------------------------------------------------------------------------
+
+/// One `trace.span` event, as the analyzer sees it.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// The trace id (parsed from its 16-hex-digit form).
+    pub trace: u64,
+    /// Stage name (`client.send`, `worker.exec`, ...).
+    pub stage: String,
+    /// Pipeline sequence number.
+    pub seq: u32,
+    /// The request id the span belongs to.
+    pub id: u64,
+    /// Microseconds since the trace epoch (absent in deterministic mode).
+    pub t_us: Option<u64>,
+    /// Stage duration in microseconds (absent in deterministic mode).
+    pub us: Option<f64>,
+    /// Units evaluated (present on `worker.exec`).
+    pub units: Option<u64>,
+    /// Units whose verdict was not `Exact` (present on `worker.exec`).
+    pub degraded: Option<u64>,
+}
+
+/// One seeded fault burst, bracketed by `chaos.burst` marker events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Burst {
+    /// `t_us` of the `start` marker.
+    pub start_us: u64,
+    /// `t_us` of the `end` marker.
+    pub end_us: u64,
+}
+
+/// Parsed telemetry: spans, bursts, and a count of everything ignored.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Every parsed `trace.span` event, in input order.
+    pub spans: Vec<SpanRecord>,
+    /// Fault bursts, paired from `chaos.burst` start/end markers in input
+    /// order (an unterminated start is dropped).
+    pub bursts: Vec<Burst>,
+    /// Lines that were not parseable events or not analyzer-relevant.
+    pub skipped: u64,
+}
+
+impl Telemetry {
+    /// Parses a JSONL stream. Non-event lines and events the analyzer does
+    /// not consume are counted in [`Telemetry::skipped`], never fatal.
+    pub fn from_lines<I, S>(lines: I) -> Telemetry
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Telemetry::default();
+        let mut open_burst: Option<u64> = None;
+        for line in lines {
+            let line = line.as_ref().trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(fields) = parse_json_line(line) else {
+                t.skipped += 1;
+                continue;
+            };
+            match get(&fields, "event").and_then(Scalar::as_str) {
+                Some("trace.span") => match span_from_fields(&fields) {
+                    Some(span) => t.spans.push(span),
+                    None => t.skipped += 1,
+                },
+                Some("chaos.burst") => {
+                    let phase = get(&fields, "phase").and_then(Scalar::as_str);
+                    let at = get(&fields, "t_us").and_then(Scalar::as_u64);
+                    match (phase, at) {
+                        (Some("start"), Some(at)) => open_burst = Some(at),
+                        (Some("end"), Some(at)) => {
+                            if let Some(start_us) = open_burst.take() {
+                                t.bursts.push(Burst {
+                                    start_us,
+                                    end_us: at.max(start_us),
+                                });
+                            } else {
+                                t.skipped += 1;
+                            }
+                        }
+                        _ => t.skipped += 1,
+                    }
+                }
+                _ => t.skipped += 1,
+            }
+        }
+        t
+    }
+}
+
+fn span_from_fields(fields: &[(String, Scalar)]) -> Option<SpanRecord> {
+    let trace = u64::from_str_radix(get(fields, "trace")?.as_str()?, 16).ok()?;
+    Some(SpanRecord {
+        trace,
+        stage: get(fields, "stage")?.as_str()?.to_string(),
+        seq: get(fields, "seq")?.as_u64()? as u32,
+        id: get(fields, "id")?.as_u64()?,
+        t_us: get(fields, "t_us").and_then(Scalar::as_u64),
+        us: get(fields, "us").and_then(Scalar::as_f64),
+        units: get(fields, "units").and_then(Scalar::as_u64),
+        degraded: get(fields, "degraded").and_then(Scalar::as_u64),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Resilience measures
+// ---------------------------------------------------------------------------
+
+/// Analyzer knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzerConfig {
+    /// Width of the degraded-fraction time windows, in microseconds.
+    pub window_us: u64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig { window_us: 100_000 }
+    }
+}
+
+/// One degraded-fraction time window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowPoint {
+    /// Window start, microseconds since the trace epoch.
+    pub start_us: u64,
+    /// Units evaluated in the window.
+    pub units: u64,
+    /// Units with a non-`Exact` verdict in the window.
+    pub degraded: u64,
+}
+
+impl WindowPoint {
+    /// `degraded / units` (0 when the window is empty).
+    pub fn fraction(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.units as f64
+        }
+    }
+}
+
+/// Latency percentiles for one pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageStats {
+    /// Stage name.
+    pub stage: String,
+    /// Spans with a `us` field.
+    pub count: u64,
+    /// Nearest-rank 50th percentile, microseconds.
+    pub p50_us: f64,
+    /// Nearest-rank 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Nearest-rank 99.9th percentile, microseconds.
+    pub p999_us: f64,
+    /// Largest observed duration, microseconds.
+    pub max_us: f64,
+}
+
+/// The analyzer's output: every resilience measure over one telemetry
+/// stream. Serialize with [`ResilienceReport::to_pretty_json`].
+#[derive(Clone, Debug)]
+pub struct ResilienceReport {
+    /// `worker.exec` spans seen (one per evaluated request).
+    pub requests: u64,
+    /// Total units evaluated.
+    pub units: u64,
+    /// Units with a non-`Exact` verdict.
+    pub degraded_units: u64,
+    /// Seeded fault bursts observed.
+    pub bursts: u64,
+    /// Worst-case recovery time: over all bursts, the longest gap between
+    /// a burst's end and the last degraded verdict attributable to it
+    /// (0 when the stream is clean after every burst).
+    pub recovery_us: u64,
+    /// Area under the windowed degraded-fraction curve, fraction · seconds.
+    pub aud_seconds: f64,
+    /// Window width used for `windows` and `aud_seconds`.
+    pub window_us: u64,
+    /// Degraded fraction per time window (empty without timestamps).
+    pub windows: Vec<WindowPoint>,
+    /// Per-stage latency percentiles, sorted by stage name.
+    pub stages: Vec<StageStats>,
+    /// Lines the parser skipped.
+    pub skipped: u64,
+}
+
+impl ResilienceReport {
+    /// Overall `degraded_units / units` (0 when no units).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.degraded_units as f64 / self.units as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element with at least `q·n` values at or below it.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Computes every resilience measure over `telemetry`.
+pub fn analyze(telemetry: &Telemetry, config: &AnalyzerConfig) -> ResilienceReport {
+    let window_us = config.window_us.max(1);
+
+    // Degradation samples: worker.exec spans carrying unit counts.
+    struct Sample {
+        t_us: Option<u64>,
+        units: u64,
+        degraded: u64,
+    }
+    let samples: Vec<Sample> = telemetry
+        .spans
+        .iter()
+        .filter(|s| s.stage == "worker.exec")
+        .map(|s| Sample {
+            t_us: s.t_us,
+            units: s.units.unwrap_or(0),
+            degraded: s.degraded.unwrap_or(0).min(s.units.unwrap_or(0)),
+        })
+        .collect();
+    let requests = samples.len() as u64;
+    let units: u64 = samples.iter().map(|s| s.units).sum();
+    let degraded_units: u64 = samples.iter().map(|s| s.degraded).sum();
+
+    // Windowed fractions over the timestamped samples.
+    let timestamped: Vec<(u64, u64, u64)> = samples
+        .iter()
+        .filter_map(|s| s.t_us.map(|t| (t, s.units, s.degraded)))
+        .collect();
+    let mut windows = Vec::new();
+    if let (Some(&(t_min, ..)), Some(&(t_max, ..))) = (
+        timestamped.iter().min_by_key(|x| x.0),
+        timestamped.iter().max_by_key(|x| x.0),
+    ) {
+        let count = ((t_max - t_min) / window_us + 1) as usize;
+        windows = (0..count)
+            .map(|w| WindowPoint {
+                start_us: t_min + w as u64 * window_us,
+                units: 0,
+                degraded: 0,
+            })
+            .collect();
+        for &(t, u, d) in &timestamped {
+            let w = ((t - t_min) / window_us) as usize;
+            windows[w].units += u;
+            windows[w].degraded += d;
+        }
+    }
+    let aud_seconds: f64 = windows
+        .iter()
+        .map(|w| w.fraction() * window_us as f64 / 1e6)
+        .sum();
+
+    // Recovery time per burst: the last degraded verdict after the burst
+    // ends (and before the next burst begins) bounds how long the system
+    // took to run clean again.
+    let mut recovery_us = 0u64;
+    for (i, burst) in telemetry.bursts.iter().enumerate() {
+        let horizon = telemetry
+            .bursts
+            .get(i + 1)
+            .map_or(u64::MAX, |next| next.start_us);
+        let last_degraded = timestamped
+            .iter()
+            .filter(|&&(t, _, d)| d > 0 && t > burst.end_us && t < horizon)
+            .map(|&(t, ..)| t)
+            .max();
+        if let Some(t) = last_degraded {
+            recovery_us = recovery_us.max(t - burst.end_us);
+        }
+    }
+
+    // Per-stage percentiles over spans that carry a duration.
+    let mut by_stage: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for span in &telemetry.spans {
+        if let Some(us) = span.us {
+            if us.is_finite() && us >= 0.0 {
+                by_stage.entry(span.stage.as_str()).or_default().push(us);
+            }
+        }
+    }
+    let stages = by_stage
+        .into_iter()
+        .map(|(stage, mut xs)| {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            StageStats {
+                stage: stage.to_string(),
+                count: xs.len() as u64,
+                p50_us: nearest_rank(&xs, 0.50),
+                p99_us: nearest_rank(&xs, 0.99),
+                p999_us: nearest_rank(&xs, 0.999),
+                max_us: *xs.last().expect("non-empty by construction"),
+            }
+        })
+        .collect();
+
+    ResilienceReport {
+        requests,
+        units,
+        degraded_units,
+        bursts: telemetry.bursts.len() as u64,
+        recovery_us,
+        aud_seconds,
+        window_us,
+        windows,
+        stages,
+        skipped: telemetry.skipped,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thresholds and the RESILIENCE.json rendering
+// ---------------------------------------------------------------------------
+
+/// The gate: a report regresses when any measure exceeds its threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceThresholds {
+    /// Cap on the overall degraded fraction.
+    pub max_degraded_fraction: f64,
+    /// Cap on the worst-case recovery time, microseconds.
+    pub max_recovery_us: u64,
+    /// Cap on the area-under-degradation, fraction · seconds.
+    pub max_aud_seconds: f64,
+}
+
+impl ResilienceThresholds {
+    /// Every threshold violation in `report`, as human-readable lines
+    /// (empty = the report passes).
+    pub fn violations(&self, report: &ResilienceReport) -> Vec<String> {
+        let mut out = Vec::new();
+        let f = report.degraded_fraction();
+        if f > self.max_degraded_fraction {
+            out.push(format!(
+                "degraded fraction {f:.4} exceeds cap {:.4}",
+                self.max_degraded_fraction
+            ));
+        }
+        if report.recovery_us > self.max_recovery_us {
+            out.push(format!(
+                "recovery time {} us exceeds cap {} us",
+                report.recovery_us, self.max_recovery_us
+            ));
+        }
+        if report.aud_seconds > self.max_aud_seconds {
+            out.push(format!(
+                "area-under-degradation {:.4} fraction*s exceeds cap {:.4}",
+                report.aud_seconds, self.max_aud_seconds
+            ));
+        }
+        out
+    }
+}
+
+impl ResilienceReport {
+    /// Renders the report plus its thresholds as multi-line JSON, one
+    /// top-level scalar per line — the shape `scripts/check_bench.sh`'s
+    /// line-oriented extractor relies on.
+    pub fn to_pretty_json(&self, thresholds: &ResilienceThresholds) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema\": \"fepia.resilience/v1\",");
+        let _ = writeln!(s, "  \"requests\": {},", self.requests);
+        let _ = writeln!(s, "  \"units\": {},", self.units);
+        let _ = writeln!(s, "  \"degraded_units\": {},", self.degraded_units);
+        let _ = writeln!(
+            s,
+            "  \"degraded_fraction\": {:.6},",
+            self.degraded_fraction()
+        );
+        let _ = writeln!(
+            s,
+            "  \"degraded_fraction_threshold\": {:.6},",
+            thresholds.max_degraded_fraction
+        );
+        let _ = writeln!(s, "  \"recovery_us\": {},", self.recovery_us);
+        let _ = writeln!(
+            s,
+            "  \"recovery_us_threshold\": {},",
+            thresholds.max_recovery_us
+        );
+        let _ = writeln!(s, "  \"aud_seconds\": {:.6},", self.aud_seconds);
+        let _ = writeln!(
+            s,
+            "  \"aud_seconds_threshold\": {:.6},",
+            thresholds.max_aud_seconds
+        );
+        let _ = writeln!(s, "  \"bursts\": {},", self.bursts);
+        let _ = writeln!(s, "  \"window_us\": {},", self.window_us);
+        let _ = writeln!(s, "  \"skipped_lines\": {},", self.skipped);
+        s.push_str("  \"stages\": [");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"stage\": \"{}\", \"count\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}}}",
+                st.stage, st.count, st.p50_us, st.p99_us, st.p999_us, st.max_us
+            );
+        }
+        if !self.stages.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"windows\": [");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"start_us\": {}, \"units\": {}, \"degraded\": {}, \"fraction\": {:.6}}}",
+                w.start_us,
+                w.units,
+                w.degraded,
+                w.fraction()
+            );
+        }
+        if !self.windows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_nesting_and_escapes() {
+        let fields = parse_json_line(
+            r#"{"a": 1, "b": -2.5e1, "s": "x\"y\\z\nq", "t": true, "n": null, "skip": {"deep": [1, {"x": "}"}]}, "after": 7}"#,
+        )
+        .unwrap();
+        assert_eq!(get(&fields, "a").unwrap().as_u64(), Some(1));
+        assert_eq!(get(&fields, "b").unwrap().as_f64(), Some(-25.0));
+        assert_eq!(get(&fields, "s").unwrap().as_str(), Some("x\"y\\z\nq"));
+        assert_eq!(get(&fields, "t"), Some(&Scalar::Bool(true)));
+        assert_eq!(get(&fields, "n"), Some(&Scalar::Null));
+        assert!(get(&fields, "skip").is_none(), "nested values are skipped");
+        assert_eq!(get(&fields, "after").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_without_panicking() {
+        for bad in ["", "{", "not json", "{\"a\":}", "{\"a\" 1}", "[1,2]"] {
+            assert!(parse_json_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn telemetry_skips_unknown_and_pairs_bursts() {
+        let t = Telemetry::from_lines([
+            r#"{"schema":"fepia.event/v1","event":"solver.solve","ok":true}"#,
+            "garbage",
+            r#"{"event":"chaos.burst","phase":"start","t_us":100}"#,
+            r#"{"event":"trace.span","trace":"00000000000000ff","stage":"worker.exec","seq":3,"id":9,"t_us":150,"units":4,"degraded":1}"#,
+            r#"{"event":"chaos.burst","phase":"end","t_us":200}"#,
+        ]);
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].trace, 0xff);
+        assert_eq!(
+            t.bursts,
+            vec![Burst {
+                start_us: 100,
+                end_us: 200
+            }]
+        );
+        assert_eq!(t.skipped, 2);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank(&xs, 0.50), 50.0);
+        assert_eq!(nearest_rank(&xs, 0.99), 99.0);
+        assert_eq!(nearest_rank(&xs, 0.999), 100.0);
+        assert_eq!(nearest_rank(&[7.5], 0.5), 7.5);
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_renders_gateable_json() {
+        let telemetry = Telemetry::from_lines([
+            r#"{"event":"trace.span","trace":"01","stage":"worker.exec","seq":3,"id":0,"t_us":0,"us":10.0,"units":2,"degraded":1}"#,
+        ]);
+        let report = analyze(&telemetry, &AnalyzerConfig::default());
+        let json = report.to_pretty_json(&ResilienceThresholds {
+            max_degraded_fraction: 0.75,
+            max_recovery_us: 1_000,
+            max_aud_seconds: 1.0,
+        });
+        assert!(json.contains("\"degraded_fraction\": 0.500000,"));
+        assert!(json.contains("\"degraded_fraction_threshold\": 0.750000,"));
+        assert!(json.contains("\"recovery_us\": 0,"));
+        assert!(json.contains("\"aud_seconds_threshold\": 1.000000,"));
+        // One top-level scalar per line, so the shell gate can extract.
+        for key in ["degraded_fraction", "recovery_us", "aud_seconds"] {
+            assert_eq!(
+                json.lines()
+                    .filter(|l| l.contains(&format!("\"{key}\":")))
+                    .count(),
+                1,
+                "key {key} must appear on exactly one line"
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_flag_each_violation() {
+        let report = ResilienceReport {
+            requests: 10,
+            units: 10,
+            degraded_units: 5,
+            bursts: 1,
+            recovery_us: 2_000,
+            aud_seconds: 3.0,
+            window_us: 100,
+            windows: vec![],
+            stages: vec![],
+            skipped: 0,
+        };
+        let tight = ResilienceThresholds {
+            max_degraded_fraction: 0.1,
+            max_recovery_us: 1_000,
+            max_aud_seconds: 1.0,
+        };
+        assert_eq!(tight.violations(&report).len(), 3);
+        let loose = ResilienceThresholds {
+            max_degraded_fraction: 0.5,
+            max_recovery_us: 2_000,
+            max_aud_seconds: 3.0,
+        };
+        assert!(loose.violations(&report).is_empty());
+    }
+}

@@ -51,12 +51,18 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Once};
 
+pub mod analyzer;
 pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
+pub use analyzer::{
+    analyze, AnalyzerConfig, ResilienceReport, ResilienceThresholds, StageStats, Telemetry,
+    WindowPoint,
+};
 pub use json::Value;
 pub use manifest::RunManifest;
 pub use registry::{
@@ -67,6 +73,7 @@ pub use sink::{
     clear_sink, flush_sink, install_sink, Event, EventSink, JsonlSink, NullSink, VecSink,
 };
 pub use span::{flush_thread_spans, SpanGuard};
+pub use trace::{set_trace_enabled, set_trace_wall, trace_enabled, trace_wall_enabled, TraceId};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static EVENTS: AtomicBool = AtomicBool::new(false);

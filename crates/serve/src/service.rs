@@ -190,7 +190,7 @@ struct ShardStats {
 }
 
 /// Snapshot of one shard's counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardStatsSnapshot {
     /// Requests accepted into the queue.
     pub submitted: u64,
@@ -276,6 +276,9 @@ struct Job {
     req: EvalRequest,
     tx: mpsc::Sender<EvalResponse>,
     enqueued: Instant,
+    /// Trace id carried through the queue (see [`fepia_obs::trace`]); 0
+    /// when the submission path did not mint one (tracing off).
+    trace: u64,
 }
 
 struct Shard {
@@ -390,7 +393,7 @@ impl Service {
         }
     }
 
-    fn admit(&self, req: EvalRequest) -> Result<(usize, Job, Ticket), ServeError> {
+    fn admit(&self, req: EvalRequest, trace: u64) -> Result<(usize, Job, Ticket), ServeError> {
         Self::validate(&req)?;
         fepia_chaos::maybe_delay("serve.enqueue");
         let shard = self.shard_for(req.scenario.fingerprint());
@@ -399,6 +402,7 @@ impl Service {
             req,
             tx,
             enqueued: Instant::now(),
+            trace,
         };
         Ok((shard, job, Ticket { rx, shard }))
     }
@@ -426,30 +430,89 @@ impl Service {
         }
     }
 
+    /// The trace id the plain submission paths attach: minted from the
+    /// request id when tracing is on, 0 (no trace) otherwise.
+    fn default_trace(req: &EvalRequest) -> u64 {
+        if fepia_obs::trace_enabled() {
+            fepia_obs::TraceId::mint(req.id).0
+        } else {
+            0
+        }
+    }
+
+    /// Emits the `serve.shed` span for a request refused at admission.
+    fn shed_span(&self, job: &Job, reason: ShedReason) {
+        if job.trace != 0 && fepia_obs::trace_enabled() {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(job.trace),
+                    fepia_obs::trace::stage::SERVE_SHED,
+                    job.req.id,
+                ),
+                job.enqueued,
+            )
+            .field(
+                "reason",
+                match reason {
+                    ShedReason::QueueFull => "queue_full",
+                    ShedReason::ShuttingDown => "shutting_down",
+                },
+            )
+            .emit();
+        }
+    }
+
     /// Non-blocking submission: sheds with a typed [`Overloaded`] when the
     /// target shard's queue is full or the service is draining.
     pub fn submit(&self, req: EvalRequest) -> Result<Ticket, ServeError> {
-        let (shard, job, ticket) = self.admit(req)?;
+        let trace = Self::default_trace(&req);
+        self.submit_traced(req, trace)
+    }
+
+    /// [`Service::submit`] with a caller-supplied trace id (the net server
+    /// forwards the id carried in the frame header). `trace = 0` means
+    /// untraced.
+    pub fn submit_traced(&self, req: EvalRequest, trace: u64) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.admit(req, trace)?;
         match self.shards[shard].queue.try_push(job) {
             Ok(()) => {
                 self.accepted(shard);
                 Ok(ticket)
             }
-            Err(PushError::Full(_)) => Err(self.shed(shard, ShedReason::QueueFull)),
-            Err(PushError::Closed(_)) => Err(self.shed(shard, ShedReason::ShuttingDown)),
+            Err(PushError::Full(job)) => {
+                self.shed_span(&job, ShedReason::QueueFull);
+                Err(self.shed(shard, ShedReason::QueueFull))
+            }
+            Err(PushError::Closed(job)) => {
+                self.shed_span(&job, ShedReason::ShuttingDown);
+                Err(self.shed(shard, ShedReason::ShuttingDown))
+            }
         }
     }
 
     /// Blocking submission: waits for queue space (backpressure) instead of
     /// shedding; still rejects once the service is draining.
     pub fn submit_blocking(&self, req: EvalRequest) -> Result<Ticket, ServeError> {
-        let (shard, job, ticket) = self.admit(req)?;
+        let trace = Self::default_trace(&req);
+        self.submit_blocking_traced(req, trace)
+    }
+
+    /// [`Service::submit_blocking`] with a caller-supplied trace id.
+    pub fn submit_blocking_traced(
+        &self,
+        req: EvalRequest,
+        trace: u64,
+    ) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.admit(req, trace)?;
         match self.shards[shard].queue.push_blocking(job) {
             Ok(()) => {
                 self.accepted(shard);
                 Ok(ticket)
             }
-            Err(_) => Err(self.shed(shard, ShedReason::ShuttingDown)),
+            Err(job) => {
+                self.shed_span(&job, ShedReason::ShuttingDown);
+                Err(self.shed(shard, ShedReason::ShuttingDown))
+            }
         }
     }
 
@@ -509,6 +572,18 @@ fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
     let mut ws = PlanWorkspace::new();
     while let Some(job) = shard.queue.pop() {
         let started = Instant::now();
+        if job.trace != 0 && fepia_obs::trace_enabled() {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(job.trace),
+                    fepia_obs::trace::stage::QUEUE_WAIT,
+                    job.req.id,
+                ),
+                job.enqueued,
+            )
+            .field("shard", shard.index as u64)
+            .emit();
+        }
         fepia_chaos::maybe_delay("serve.worker");
         let mut attempts = 0u32;
         let outcome = loop {
@@ -575,6 +650,36 @@ fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
             verdicts,
             attempts,
         };
+        if job.trace != 0 && fepia_obs::trace_enabled() {
+            // `units`, `degraded` and `attempts` are pure functions of the
+            // request under a fixed seed; the cache outcome depends on
+            // worker scheduling, so it only appears in full (wall) mode.
+            let degraded = response.verdicts.iter().filter(|v| !v.is_exact()).count();
+            let mut event = fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(job.trace),
+                    fepia_obs::trace::stage::WORKER_EXEC,
+                    response.id,
+                ),
+                started,
+            )
+            .field("shard", shard.index as u64)
+            .field("units", response.verdicts.len() as u64)
+            .field("degraded", degraded as u64)
+            .field("attempts", u64::from(response.attempts));
+            if fepia_obs::trace_wall_enabled() {
+                event = event.field(
+                    "cache",
+                    match response.cache {
+                        Some(CacheOutcome::Hit) => "hit",
+                        Some(CacheOutcome::Compiled) => "compiled",
+                        Some(CacheOutcome::Coalesced) => "coalesced",
+                        None => "failed",
+                    },
+                );
+            }
+            event.emit();
+        }
         // A dropped ticket is the client's way of abandoning the response.
         let _ = job.tx.send(response);
     }

@@ -1,0 +1,118 @@
+//! One traced §3.1 robustness evaluation over TCP, with its latency
+//! breakdown.
+//!
+//! Turns on full tracing programmatically, routes the span events into an
+//! in-memory sink, evaluates the paper's §3.1 scenario across the wire,
+//! then reconstructs the request's per-stage latency breakdown
+//! (client.send → net.read → queue.wait → worker.exec → net.write →
+//! client.recv) from the telemetry — the same stream
+//! `resilience_report` analyzes at soak scale. A stats poll over the same
+//! connection closes the loop with the server's own counters.
+//!
+//! Run with: `cargo run --release --example traced_roundtrip`
+
+use fepia::etc::EtcMatrix;
+use fepia::mapping::Mapping;
+use fepia::net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use fepia::serve::{EvalKind, EvalRequest, Scenario, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn main() {
+    // Full-trace telemetry into an in-memory sink (a JsonlSink pointed at
+    // a file gives the same lines on disk; FEPIA_TRACE=full + FEPIA_OBS
+    // does the same without touching code).
+    let sink = Arc::new(fepia_obs::VecSink::new());
+    fepia_obs::install_sink(sink.clone());
+    fepia_obs::set_events_enabled(true);
+    fepia_obs::set_trace_enabled(true);
+    fepia_obs::set_trace_wall(true);
+
+    // The §3.1 system: 6 applications on 2 machines, 20% makespan slack.
+    let etc = Arc::new(EtcMatrix::from_rows(vec![
+        vec![10.0, 20.0],
+        vec![15.0, 10.0],
+        vec![12.0, 24.0],
+        vec![30.0, 18.0],
+        vec![9.0, 9.0],
+        vec![22.0, 11.0],
+    ]));
+    let mapping = Mapping::new(vec![0, 1, 0, 1, 0, 1], 2);
+    let scenario =
+        Arc::new(Scenario::new(etc, mapping, 1.2, Default::default()).expect("valid scenario"));
+
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = NetServer::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind an ephemeral localhost port");
+    let mut client =
+        NetClient::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+
+    let req = EvalRequest {
+        id: 1,
+        scenario,
+        kind: EvalKind::Verdict,
+    };
+    let resp = client.call(&req).expect("evaluate over TCP");
+    let verdict = &resp.verdicts[0];
+    println!(
+        "robustness metric (Eq. 7): {:.3}  [verdict: {:?}]",
+        verdict.metric_lo, verdict.kind
+    );
+
+    // The trace id the client minted for request 1 — every span of this
+    // request carries it.
+    let trace = fepia_obs::TraceId::mint(req.id);
+    println!("trace id: {}", trace.to_hex());
+
+    // Close the loop with the server's own counters over the same socket.
+    let stats = client.stats(2).expect("stats poll");
+    let totals = stats.service_totals();
+    println!(
+        "\nserver counters: {} submitted, {} completed, {} frames read over {} connection(s)",
+        totals.submitted, totals.completed, stats.net.frames_read, stats.net.connections
+    );
+
+    // Drain the server before reading the telemetry: its writer thread
+    // emits the net.write span *after* the response bytes are already on
+    // their way to the client, so only the joined shutdown guarantees the
+    // stream is complete.
+    drop(client);
+    server.shutdown();
+    Arc::try_unwrap(service)
+        .ok()
+        .expect("server released the service")
+        .shutdown();
+
+    // Reconstruct the per-stage breakdown from the telemetry, exactly as
+    // the resilience analyzer does at soak scale.
+    let telemetry = fepia_obs::Telemetry::from_lines(sink.lines());
+    let mut spans: Vec<_> = telemetry
+        .spans
+        .iter()
+        .filter(|s| s.trace == trace.0)
+        .collect();
+    spans.sort_by_key(|s| s.seq);
+    println!("\nper-stage latency breakdown:");
+    for s in &spans {
+        println!(
+            "  seq {}  {:<12} {:>10.1} us",
+            s.seq,
+            s.stage,
+            s.us.unwrap_or(0.0)
+        );
+    }
+    assert_eq!(
+        spans.iter().map(|s| s.stage.as_str()).collect::<Vec<_>>(),
+        [
+            "client.send",
+            "net.read",
+            "queue.wait",
+            "worker.exec",
+            "net.write",
+            "client.recv"
+        ],
+        "one clean request = the full six-stage pipeline"
+    );
+
+    fepia_obs::set_trace_enabled(false);
+    fepia_obs::set_events_enabled(false);
+}

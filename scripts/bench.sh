@@ -15,6 +15,10 @@
 # * net_bench — the same warm service behind the fepia-net TCP protocol,
 #   recorded in BENCH_net.json. The bench asserts >= 25k cached
 #   move-evals/sec over localhost TCP.
+# * resilience_report — a traced, fixed-seed chaos-burst soak over TCP
+#   analyzed into RESMETRIC-style resilience measures (degraded fraction,
+#   recovery time, area-under-degradation), recorded in RESILIENCE.json.
+#   The bin exits non-zero if any measure violates its threshold.
 #
 # Every bench runs even if an earlier one fails, so one invocation shows
 # the full picture; the final status summary line reports each verdict
@@ -42,10 +46,26 @@ run_bench() {
   fi
 }
 
+# The resilience soak is a bin, not a Criterion bench: it drives a traced
+# chaos-burst soak and self-gates against the thresholds embedded in its
+# report.
+run_resilience() {
+  echo "==> cargo run --release -p fepia-bench --bin resilience_report"
+  if cargo run --release -p fepia-bench --bin resilience_report; then
+    status[resilience]=PASS
+    cp "$FEPIA_RESULTS/RESILIENCE.json" RESILIENCE.json
+    echo "bench: wrote $(pwd)/RESILIENCE.json"
+  else
+    status[resilience]=FAIL
+    failed=1
+  fi
+}
+
 run_bench plan_speedup BENCH_plan.json
 run_bench chaos_overhead BENCH_chaos.json
 run_bench serve_bench BENCH_serve.json
 run_bench net_bench BENCH_net.json
+run_resilience
 
-echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]}"
+echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} resilience=${status[resilience]}"
 exit "$failed"

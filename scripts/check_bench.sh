@@ -11,6 +11,9 @@
 #   BENCH_serve.json  evals_per_sec >= evals_per_sec_threshold
 #                     cache_hit_rate >= hit_rate_threshold
 #   BENCH_net.json    evals_per_sec >= evals_per_sec_threshold
+#   RESILIENCE.json   degraded_fraction <= degraded_fraction_threshold
+#                     recovery_us <= recovery_us_threshold
+#                     aud_seconds <= aud_seconds_threshold
 #
 # (Fresh value, checked-in threshold: retuning a bar requires a reviewed
 # edit to the checked-in JSON, and a perf regression fails the job even
@@ -26,10 +29,10 @@ export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results/bench_gate}"
 
 # Preserve the checked-in JSONs: bench.sh copies fresh ones over them.
 stash="$(mktemp -d)"
-trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json; do
+trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json RESILIENCE.json; do
         [ -f "$stash/$f" ] && cp "$stash/$f" "$f"
       done; rm -rf "$stash"' EXIT
-for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json; do
+for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json RESILIENCE.json; do
   [ -f "$f" ] || { echo "check_bench: missing checked-in $f" >&2; exit 1; }
   cp "$f" "$stash/$f"
 done
@@ -91,6 +94,15 @@ gate "serve cache hit rate" \
 gate "net evals/sec over TCP" \
   "$(field "$FEPIA_RESULTS/BENCH_net.json" evals_per_sec)" ">=" \
   "$(field "$stash/BENCH_net.json" evals_per_sec_threshold)"
+gate "resilience degraded fraction" \
+  "$(field "$FEPIA_RESULTS/RESILIENCE.json" degraded_fraction)" "<=" \
+  "$(field "$stash/RESILIENCE.json" degraded_fraction_threshold)"
+gate "resilience recovery time us" \
+  "$(field "$FEPIA_RESULTS/RESILIENCE.json" recovery_us)" "<=" \
+  "$(field "$stash/RESILIENCE.json" recovery_us_threshold)"
+gate "resilience area-under-degradation" \
+  "$(field "$FEPIA_RESULTS/RESILIENCE.json" aud_seconds)" "<=" \
+  "$(field "$stash/RESILIENCE.json" aud_seconds_threshold)"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_bench: REGRESSION — one or more gates failed"

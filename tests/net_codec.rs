@@ -83,13 +83,16 @@ proptest! {
         let mut bytes = Frame::new(FrameType::Request, payload.clone()).encode();
         let pos = pos_seed % bytes.len();
         bytes[pos] ^= xor;
-        // A typed rejection is the desired outcome; the one survivable
-        // mutation is a frame-type rewrite at offset 5, which must leave
-        // the payload byte-identical.
+        // A typed rejection is the desired outcome; the survivable
+        // mutations are a frame-type rewrite at offset 5 and the
+        // unchecksummed trace-id bytes at 20..28 — both must leave the
+        // payload byte-identical (they change routing/attribution, never
+        // data).
         if let Ok(frame) = Frame::decode(&bytes) {
             prop_assert_eq!(&frame.payload, payload,
                 "mutation at byte {} misparsed the payload", pos);
-            prop_assert_eq!(pos, 5);
+            prop_assert!(pos == 5 || (20..28).contains(&pos),
+                "mutation at byte {} unexpectedly survived", pos);
         }
     }
 

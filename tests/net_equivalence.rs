@@ -206,12 +206,12 @@ fn client_backs_off_on_overloaded_and_fails_fast_on_invalid() {
                 reason: ShedReason::QueueFull,
             },
         );
-        write_frame(&mut conn, FrameType::Error, &overloaded).unwrap();
+        write_frame(&mut conn, FrameType::Error, 0, &overloaded).unwrap();
         // The retry arrives on the SAME connection → Invalid (permanent).
         let f = read_frame(&mut conn).unwrap();
         assert_eq!(f.frame_type, FrameType::Request);
         let invalid = encode_error(7, &WireError::Invalid("scripted rejection".into()));
-        write_frame(&mut conn, FrameType::Error, &invalid).unwrap();
+        write_frame(&mut conn, FrameType::Error, 0, &invalid).unwrap();
     });
 
     let spec = WorkloadSpec::default();
@@ -258,7 +258,7 @@ fn client_reconnects_through_torn_frame() {
             // Connection 2 (the reconnect): answer properly.
             let (mut conn, _) = listener.accept().unwrap();
             let _ = read_frame(&mut conn).unwrap();
-            write_frame(&mut conn, FrameType::Response, &response_payload).unwrap();
+            write_frame(&mut conn, FrameType::Response, 0, &response_payload).unwrap();
         })
     };
 
@@ -297,6 +297,7 @@ fn shutdown_drains_accepted_requests() {
         write_frame(
             &mut conn,
             FrameType::Request,
+            0,
             &fepia::net::wire::encode_request(&req),
         )
         .unwrap();

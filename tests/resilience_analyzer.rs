@@ -1,0 +1,179 @@
+//! Analyzer correctness on hand-written telemetry fixtures (PR 6
+//! acceptance): every resilience measure is checked against values worked
+//! out by hand, so a drifting window/recovery/percentile definition fails
+//! loudly rather than silently re-tuning the CI gate.
+
+use fepia_obs::{analyze, AnalyzerConfig, ResilienceThresholds, Telemetry};
+
+fn span(t_us: u64, id: u64, units: u64, degraded: u64) -> String {
+    format!(
+        r#"{{"schema":"fepia.event/v1","event":"trace.span","trace":"{:016x}","stage":"worker.exec","seq":3,"id":{id},"t_us":{t_us},"us":12.5,"shard":0,"units":{units},"degraded":{degraded},"attempts":1}}"#,
+        0xabc0_0000_0000_0000u64 | id
+    )
+}
+
+fn burst(phase: &str, t_us: u64) -> String {
+    format!(
+        r#"{{"schema":"fepia.event/v1","event":"chaos.burst","phase":"{phase}","t_us":{t_us}}}"#
+    )
+}
+
+/// One burst with a lingering degraded tail: exact fraction, window
+/// fractions, AUD, and recovery time.
+#[test]
+fn single_burst_measures_are_exact() {
+    // Timeline (default 100 ms windows, t_min = 0):
+    //   w0 [0, 100k):      10 units, 0 degraded
+    //   burst start 50k
+    //   w1 [100k, 200k):   10 units, 5 degraded  (during the burst)
+    //   burst end 150k
+    //   w2 [200k, 300k):   10 units, 2 degraded  (tail at t = 250k)
+    //   w3 [300k, 400k):   10 units, 0 degraded
+    let lines = vec![
+        span(0, 1, 10, 0),
+        burst("start", 50_000),
+        span(100_000, 2, 10, 5),
+        burst("end", 150_000),
+        span(250_000, 3, 10, 2),
+        span(300_000, 4, 10, 0),
+    ];
+    let telemetry = Telemetry::from_lines(&lines);
+    assert_eq!(telemetry.spans.len(), 4);
+    assert_eq!(telemetry.bursts.len(), 1);
+    assert_eq!(telemetry.skipped, 0);
+
+    let report = analyze(&telemetry, &AnalyzerConfig::default());
+    assert_eq!(report.requests, 4);
+    assert_eq!(report.units, 40);
+    assert_eq!(report.degraded_units, 7);
+    assert_eq!(report.degraded_fraction(), 7.0 / 40.0);
+    assert_eq!(report.bursts, 1);
+
+    // The tail degraded verdict at 250k is 100 ms after the burst end.
+    assert_eq!(report.recovery_us, 100_000);
+
+    // Window fractions 0, 0.5, 0.2, 0 over 0.1 s windows.
+    assert_eq!(report.windows.len(), 4);
+    let fractions: Vec<f64> = report.windows.iter().map(|w| w.fraction()).collect();
+    assert_eq!(fractions, vec![0.0, 0.5, 0.2, 0.0]);
+    assert!((report.aud_seconds - 0.07).abs() < 1e-12);
+}
+
+/// Recovery attribution is bounded by the next burst's start: degradation
+/// inside burst 2 never counts as burst 1's tail.
+#[test]
+fn recovery_is_bounded_by_the_next_burst() {
+    let lines = vec![
+        burst("start", 0),
+        span(50_000, 1, 1, 1),
+        burst("end", 100_000),
+        span(160_000, 2, 1, 1), // burst 1 tail: 60 ms after its end
+        burst("start", 200_000),
+        span(250_000, 3, 1, 1), // inside burst 2: attributable to neither tail
+        burst("end", 300_000),
+        span(330_000, 4, 1, 1), // burst 2 tail: 30 ms after its end
+        span(400_000, 5, 1, 0),
+    ];
+    let report = analyze(&Telemetry::from_lines(&lines), &AnalyzerConfig::default());
+    assert_eq!(report.bursts, 2);
+    assert_eq!(
+        report.recovery_us, 60_000,
+        "worst tail is burst 1's 60 ms, not burst 2's in-burst degradation"
+    );
+}
+
+/// A clean stream after every burst recovers instantly.
+#[test]
+fn clean_post_burst_stream_has_zero_recovery() {
+    let lines = vec![
+        burst("start", 0),
+        span(50_000, 1, 4, 4),
+        burst("end", 100_000),
+        span(200_000, 2, 4, 0),
+        span(300_000, 3, 4, 0),
+    ];
+    let report = analyze(&Telemetry::from_lines(&lines), &AnalyzerConfig::default());
+    assert_eq!(report.recovery_us, 0);
+    assert_eq!(report.degraded_fraction(), 4.0 / 12.0);
+}
+
+/// Nearest-rank percentiles on a known 1..=100 duration ladder.
+#[test]
+fn stage_percentiles_are_nearest_rank_exact() {
+    let lines: Vec<String> = (1..=100)
+        .map(|i| {
+            format!(
+                r#"{{"schema":"fepia.event/v1","event":"trace.span","trace":"{:016x}","stage":"net.read","seq":1,"id":{i},"us":{i}.0}}"#,
+                i
+            )
+        })
+        .collect();
+    let report = analyze(&Telemetry::from_lines(&lines), &AnalyzerConfig::default());
+    assert_eq!(report.stages.len(), 1);
+    let s = &report.stages[0];
+    assert_eq!(s.stage, "net.read");
+    assert_eq!(s.count, 100);
+    assert_eq!(s.p50_us, 50.0);
+    assert_eq!(s.p99_us, 99.0);
+    assert_eq!(s.p999_us, 100.0);
+    assert_eq!(s.max_us, 100.0);
+}
+
+/// Hostile inputs: garbage lines are counted and skipped, degraded counts
+/// clamp to the unit count, and an unterminated burst is dropped.
+#[test]
+fn analyzer_is_total_on_hostile_telemetry() {
+    let lines = vec![
+        "not json at all".to_string(),
+        r#"{"event":"trace.span","trace":"xyz","stage":"worker.exec"}"#.to_string(), // bad trace hex
+        span(0, 1, 2, 5),       // degraded 5 of 2 units: clamps to 2
+        burst("start", 10_000), // never ends: dropped
+        String::new(),          // blank lines are ignored entirely
+    ];
+    let telemetry = Telemetry::from_lines(&lines);
+    assert_eq!(telemetry.spans.len(), 1);
+    assert_eq!(telemetry.bursts.len(), 0);
+    assert_eq!(telemetry.skipped, 2);
+
+    let report = analyze(&telemetry, &AnalyzerConfig::default());
+    assert_eq!(report.units, 2);
+    assert_eq!(report.degraded_units, 2, "degraded clamps to units");
+    assert_eq!(report.degraded_fraction(), 1.0);
+}
+
+/// The thresholds embedded in RESILIENCE.json actually trip.
+#[test]
+fn thresholds_gate_each_measure_independently() {
+    let lines = vec![
+        burst("start", 0),
+        span(50_000, 1, 10, 5),
+        burst("end", 100_000),
+        span(400_000, 2, 10, 1), // 300 ms tail
+    ];
+    let report = analyze(&Telemetry::from_lines(&lines), &AnalyzerConfig::default());
+
+    let pass = ResilienceThresholds {
+        max_degraded_fraction: 0.5,
+        max_recovery_us: 400_000,
+        max_aud_seconds: 1.0,
+    };
+    assert!(pass.violations(&report).is_empty());
+
+    let strict_fraction = ResilienceThresholds {
+        max_degraded_fraction: 0.1,
+        ..pass
+    };
+    assert_eq!(strict_fraction.violations(&report).len(), 1);
+
+    let strict_recovery = ResilienceThresholds {
+        max_recovery_us: 100_000,
+        ..pass
+    };
+    assert_eq!(strict_recovery.violations(&report).len(), 1);
+
+    let strict_aud = ResilienceThresholds {
+        max_aud_seconds: 0.01,
+        ..pass
+    };
+    assert_eq!(strict_aud.violations(&report).len(), 1);
+}
