@@ -24,6 +24,7 @@ use crate::wire::{
 use fepia_obs::trace::{self, stage};
 use fepia_obs::TraceId;
 use fepia_serve::{EvalRequest, EvalResponse, ShedReason};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -276,14 +277,145 @@ impl NetClient {
         })
     }
 
+    /// Evaluates a batch of requests **pipelined on one connection**: all
+    /// frames are encoded into a single buffer and written in one burst,
+    /// then responses are collected as the server produces them — in any
+    /// order, matched back to their request by the id echo. Returns the
+    /// responses in request order.
+    ///
+    /// Requirements on the batch: ids must be unique (they are the
+    /// correlation keys). One attempt, no retry: on any failure the
+    /// connection is dropped and the typed error returned — the caller
+    /// decides whether re-running the whole batch is worth it (safe,
+    /// since responses are pure functions of requests). A typed per-
+    /// request refusal (`Overloaded` / `Invalid` error frame) fails the
+    /// batch with that error.
+    pub fn call_pipelined(&mut self, reqs: &[EvalRequest]) -> Result<Vec<EvalResponse>, NetError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let traced = trace::trace_enabled();
+        let send_started = Instant::now();
+        let mut batch = Vec::new();
+        let mut index_of = std::collections::HashMap::with_capacity(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            if index_of.insert(req.id, i).is_some() {
+                return Err(NetError::Protocol(format!(
+                    "pipelined batch reuses id {} (ids are correlation keys)",
+                    req.id
+                )));
+            }
+            let trace_id = if traced { TraceId::mint(req.id).0 } else { 0 };
+            let frame =
+                crate::frame::Frame::with_trace(FrameType::Request, trace_id, encode_request(req));
+            batch.extend_from_slice(&frame.encode());
+        }
+        let stream = self.stream()?;
+        if let Err(e) = stream.write_all(&batch).and_then(|()| stream.flush()) {
+            self.stream = None;
+            return Err(NetError::Io(e));
+        }
+        if traced {
+            for req in reqs {
+                trace::with_wall(
+                    trace::span_event(TraceId(TraceId::mint(req.id).0), stage::CLIENT_SEND, req.id),
+                    send_started,
+                )
+                .emit();
+            }
+        }
+        let mut slots: Vec<Option<EvalResponse>> = (0..reqs.len()).map(|_| None).collect();
+        let mut filled = 0usize;
+        while filled < reqs.len() {
+            let outcome = (|| -> Result<EvalResponse, NetError> {
+                let stream = self.stream.as_mut().expect("stream present while reading");
+                let frame = match read_frame(stream) {
+                    Ok(f) => f,
+                    Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
+                    Err(FrameReadError::Closed) => {
+                        return Err(NetError::Io(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "server closed the connection mid-batch",
+                        )))
+                    }
+                    Err(FrameReadError::Decode(e)) => return Err(NetError::Decode(e)),
+                };
+                match frame.frame_type {
+                    FrameType::Response => {
+                        decode_response(&frame.payload).map_err(NetError::Decode)
+                    }
+                    FrameType::Error => {
+                        let (echo, err) = decode_error(&frame.payload).map_err(NetError::Decode)?;
+                        Err(match err {
+                            WireError::Overloaded { shard, reason } => {
+                                let _ = echo;
+                                NetError::Overloaded { shard, reason }
+                            }
+                            WireError::Invalid(msg) => NetError::Invalid(msg),
+                        })
+                    }
+                    other => Err(NetError::Protocol(format!(
+                        "server sent a {other:?} frame to a pipelined eval batch"
+                    ))),
+                }
+            })();
+            let resp = match outcome {
+                Ok(resp) => resp,
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            };
+            let Some(&i) = index_of.get(&resp.id) else {
+                self.stream = None;
+                return Err(NetError::Protocol(format!(
+                    "response id {} matches no request in the batch",
+                    resp.id
+                )));
+            };
+            if slots[i].is_some() {
+                self.stream = None;
+                return Err(NetError::Protocol(format!(
+                    "duplicate response for id {}",
+                    resp.id
+                )));
+            }
+            if traced {
+                trace::with_wall(
+                    trace::span_event(
+                        TraceId(TraceId::mint(resp.id).0),
+                        stage::CLIENT_RECV,
+                        resp.id,
+                    ),
+                    send_started,
+                )
+                .emit();
+            }
+            slots[i] = Some(resp);
+            filled += 1;
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
+    }
+
     /// Polls the server's live counters ([`StatsReply`]): per-shard service
     /// stats plus the net layer's frame counters. One attempt, no retry —
     /// a stats poll is cheap to reissue and the caller usually wants
     /// *current* numbers, not a delayed echo.
     pub fn stats(&mut self, id: u64) -> Result<StatsReply, NetError> {
         let bytes = encode_stats_request(id);
+        // Under pipelining every outbound frame needs a unique correlation
+        // id: stats polls mint theirs from the same SplitMix64 sequence as
+        // eval requests (0 only when tracing is off).
+        let trace = if trace::trace_enabled() {
+            TraceId::mint(id).0
+        } else {
+            0
+        };
         let stream = self.stream()?;
-        if let Err(e) = write_frame(stream, FrameType::StatsRequest, 0, &bytes) {
+        if let Err(e) = write_frame(stream, FrameType::StatsRequest, trace, &bytes) {
             self.stream = None;
             return Err(NetError::Io(e));
         }

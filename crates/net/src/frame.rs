@@ -413,6 +413,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameReadError> {
 
 /// Writes one frame (header + payload) and flushes. `trace` rides the
 /// header (0 = untraced).
+///
+/// This is the *blocking, one-frame-at-a-time* path used by the simple
+/// client and by tests that speak the protocol by hand. The event-loop
+/// server never uses it: it coalesces queued responses in a
+/// [`FrameWriter`] and flushes once per writable burst instead of once
+/// per frame.
 pub fn write_frame(
     w: &mut impl Write,
     frame_type: FrameType,
@@ -422,6 +428,205 @@ pub fn write_frame(
     let frame = Frame::with_trace(frame_type, trace, payload.to_vec());
     w.write_all(&frame.encode())?;
     w.flush()
+}
+
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// Feed whatever bytes `read(2)` produced via [`FrameDecoder::extend`],
+/// then pull complete frames with [`FrameDecoder::next_frame`] until it
+/// returns `Ok(None)` (more bytes needed). The header is validated before
+/// its length field is trusted to size anything, so a hostile length
+/// claim is rejected as [`DecodeError::OversizedPayload`] without
+/// allocation — exactly like the blocking [`read_frame`].
+///
+/// A decode error is terminal for the stream: framing is lost, the
+/// connection must be dropped.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Appends freshly read bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived connection does not
+        // accumulate consumed prefixes.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame. Non-zero
+    /// at EOF means the peer died mid-frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to decode the next complete frame. `Ok(None)` means the
+    /// buffer holds only a partial frame — read more and call again.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        // Header validation errors (bad magic, version, type, reserved,
+        // oversized length) are real errors even on a partial buffer: the
+        // first HEADER_LEN bytes are all it takes to judge them.
+        let (header, _) = decode_header(avail)?;
+        let len = header.payload_len as usize;
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..HEADER_LEN + len];
+        let actual = fnv1a(payload);
+        if actual != header.checksum {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: header.checksum,
+                actual,
+            });
+        }
+        let frame = Frame {
+            frame_type: header.frame_type,
+            trace: header.trace,
+            payload: payload.to_vec(),
+        };
+        self.start += HEADER_LEN + len;
+        Ok(Some(frame))
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+/// Identity of one frame queued in a [`FrameWriter`], reported back when
+/// its last byte reaches the socket — the hook for `net.write` spans and
+/// per-frame accounting without per-frame flushes.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedFrame {
+    /// What the frame carried.
+    pub frame_type: FrameType,
+    /// Trace id from its header (0 = untraced).
+    pub trace: u64,
+    /// Caller-chosen correlation id (the request id for responses).
+    pub id: u64,
+}
+
+/// Coalescing write buffer for nonblocking sockets.
+///
+/// Responses completing in one loop iteration are [`FrameWriter::enqueue`]d
+/// into a single contiguous buffer, then [`FrameWriter::flush_burst`]
+/// pushes as much as the socket accepts in one burst — one syscall
+/// sequence per writable event instead of a `write + flush` pair per
+/// frame. Frames whose final byte made it out are returned so the caller
+/// can emit their `net.write` spans and count frames-per-flush.
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    start: usize,
+    /// Absolute count of bytes ever written to the socket.
+    written: u64,
+    /// Absolute count of bytes ever enqueued.
+    enqueued: u64,
+    /// Per-frame end offsets (absolute), FIFO.
+    markers: std::collections::VecDeque<(u64, QueuedFrame)>,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    pub fn new() -> FrameWriter {
+        FrameWriter {
+            buf: Vec::new(),
+            start: 0,
+            written: 0,
+            enqueued: 0,
+            markers: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Encodes one frame onto the pending buffer. `id` is echoed back in
+    /// the frame's [`QueuedFrame`] when it finishes flushing.
+    pub fn enqueue(&mut self, frame_type: FrameType, trace: u64, payload: &[u8], id: u64) {
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let frame = Frame::with_trace(frame_type, trace, payload.to_vec());
+        let bytes = frame.encode();
+        self.enqueued += bytes.len() as u64;
+        self.buf.extend_from_slice(&bytes);
+        self.markers.push_back((
+            self.enqueued,
+            QueuedFrame {
+                frame_type,
+                trace,
+                id,
+            },
+        ));
+    }
+
+    /// Bytes not yet accepted by the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Frames not yet fully written.
+    pub fn queued_frames(&self) -> usize {
+        self.markers.len()
+    }
+
+    /// Writes until the socket stops accepting bytes (`WouldBlock`) or the
+    /// buffer empties. Returns the frames completed by this burst; an io
+    /// error (including a zero-length write) is terminal for the stream.
+    pub fn flush_burst(&mut self, w: &mut impl Write) -> std::io::Result<Vec<QueuedFrame>> {
+        let mut done = Vec::new();
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.start += n;
+                    self.written += n as u64;
+                    while let Some(&(end, meta)) = self.markers.front() {
+                        if end > self.written {
+                            break;
+                        }
+                        self.markers.pop_front();
+                        done.push(meta);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(done)
+    }
+}
+
+impl Default for FrameWriter {
+    fn default() -> Self {
+        FrameWriter::new()
+    }
 }
 
 #[cfg(test)]
@@ -549,5 +754,154 @@ mod tests {
             read_frame(&mut cursor),
             Err(FrameReadError::Closed)
         ));
+    }
+
+    #[test]
+    fn incremental_decoder_handles_byte_at_a_time_delivery() {
+        let frames = vec![
+            Frame::with_trace(FrameType::Request, 7, vec![1, 2, 3]),
+            Frame::new(FrameType::Response, Vec::new()),
+            Frame::with_trace(FrameType::Error, u64::MAX, vec![9; 100]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(dec.buffered(), 0, "no partial frame should remain");
+    }
+
+    #[test]
+    fn incremental_decoder_reports_partial_and_rejects_corruption() {
+        let bytes = Frame::new(FrameType::Request, vec![5; 32]).encode();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..HEADER_LEN + 10]);
+        assert!(dec.next_frame().unwrap().is_none(), "mid-frame: need bytes");
+        assert_eq!(dec.buffered(), HEADER_LEN + 10);
+
+        // Corrupt magic is judged from the header alone, before the
+        // payload arrives.
+        let mut dec = FrameDecoder::new();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        dec.extend(&bad[..HEADER_LEN]);
+        assert!(matches!(dec.next_frame(), Err(DecodeError::BadMagic(_))));
+
+        // Corrupt payload is a checksum mismatch once complete.
+        let mut dec = FrameDecoder::new();
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN] ^= 0xff;
+        dec.extend(&bad);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_claim_without_payload() {
+        let mut bytes = Frame::new(FrameType::Request, vec![0; 4]).encode();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..HEADER_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::OversizedPayload { .. })
+        ));
+    }
+
+    /// A writer that accepts a fixed number of bytes per call, then
+    /// `WouldBlock`s — models a socket under backpressure.
+    struct Throttled {
+        out: Vec<u8>,
+        budget: usize,
+        per_call: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.budget == 0 {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.per_call).min(self.budget);
+            self.out.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_coalesces_and_reports_completed_frames() {
+        let mut fw = FrameWriter::new();
+        fw.enqueue(FrameType::Response, 11, &[1; 10], 100);
+        fw.enqueue(FrameType::Response, 0, &[2; 20], 101);
+        fw.enqueue(FrameType::Error, 13, &[3; 30], 102);
+        assert_eq!(fw.queued_frames(), 3);
+        let total = fw.pending();
+        assert_eq!(total, 3 * HEADER_LEN + 60);
+
+        // First burst: enough for frame 1 plus part of frame 2.
+        let mut sock = Throttled {
+            out: Vec::new(),
+            budget: HEADER_LEN + 10 + 5,
+            per_call: 7,
+        };
+        let done = fw.flush_burst(&mut sock).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 100);
+        assert_eq!(done[0].trace, 11);
+        assert_eq!(fw.queued_frames(), 2);
+
+        // Second burst: everything else, in one writable window.
+        sock.budget = usize::MAX;
+        let done = fw.flush_burst(&mut sock).unwrap();
+        assert_eq!(
+            done.iter().map(|m| m.id).collect::<Vec<_>>(),
+            vec![101, 102]
+        );
+        assert_eq!(fw.pending(), 0);
+        assert_eq!(fw.queued_frames(), 0);
+
+        // The bytes on the wire are the three frames, verbatim and in
+        // order.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&sock.out);
+        let f1 = dec.next_frame().unwrap().unwrap();
+        let f2 = dec.next_frame().unwrap().unwrap();
+        let f3 = dec.next_frame().unwrap().unwrap();
+        assert_eq!((f1.trace, f1.payload.len()), (11, 10));
+        assert_eq!((f2.trace, f2.payload.len()), (0, 20));
+        assert_eq!((f3.trace, f3.payload.len()), (13, 30));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_writer_zero_write_is_an_error() {
+        struct Zero;
+        impl Write for Zero {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut fw = FrameWriter::new();
+        fw.enqueue(FrameType::Response, 0, &[1], 1);
+        assert_eq!(
+            fw.flush_burst(&mut Zero).unwrap_err().kind(),
+            std::io::ErrorKind::WriteZero
+        );
     }
 }

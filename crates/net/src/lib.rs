@@ -12,14 +12,21 @@
 //!   `Verdict`/`Origins`/`Moves` kind), bit-exact responses (`f64`s as
 //!   IEEE bit patterns), and typed error payloads
 //!   ([`wire::WireError::Overloaded`] / [`wire::WireError::Invalid`]).
-//! * [`server`] — [`server::NetServer`]: a multi-connection
-//!   `TcpListener` front with per-connection reader/writer threads, a
-//!   bounded in-flight window per connection (backpressure via TCP flow
-//!   control), queue-full mapped to typed `Overloaded` frames, and
+//! * [`poll`] — a std-only readiness shim over `poll(2)` plus a
+//!   self-pipe waker; the one primitive the event loop needs and the
+//!   standard library does not expose.
+//! * [`server`] — [`server::NetServer`]: a single-threaded nonblocking
+//!   event loop multiplexing every connection, with per-connection
+//!   request pipelining (bounded by `max_in_flight`, responses matched
+//!   by id out of order), a completion queue + waker hand-off from the
+//!   shard workers, coalesced batched writes (one flush per writable
+//!   burst), queue-full mapped to typed `Overloaded` frames, and
 //!   graceful drain on shutdown (accepted work is always answered).
 //! * [`client`] — [`client::NetClient`]: blocking, with reconnect on
-//!   transport failure and deterministic exponential backoff on
-//!   `Overloaded`.
+//!   transport failure, deterministic exponential backoff on
+//!   `Overloaded`, and a pipelined batch mode
+//!   ([`client::NetClient::call_pipelined`]) that keeps many requests in
+//!   flight on one connection.
 //!
 //! **Equivalence guarantee.** A response served over TCP is *bitwise*
 //! identical to the in-process [`fepia_serve::Service`] answer — every
@@ -35,12 +42,14 @@
 
 pub mod client;
 pub mod frame;
+pub mod poll;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, NetClient, NetError};
 pub use frame::{
-    DecodeError, Frame, FrameReadError, FrameType, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+    DecodeError, Frame, FrameDecoder, FrameReadError, FrameType, FrameWriter, QueuedFrame,
+    HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
 pub use server::{NetServer, NetStatsSnapshot, ServerConfig};
 pub use wire::{

@@ -752,7 +752,7 @@ pub fn decode_stats_request(payload: &[u8]) -> Result<u64, DecodeError> {
 const SHARD_STAT_FIELDS: usize = 9;
 
 /// Encodes a [`StatsReply`]: id, shard count, 9 `u64` counters per shard,
-/// then the 7 `u64` net counters.
+/// then the 8 `u64` net counters.
 pub fn encode_stats_reply(reply: &StatsReply) -> Vec<u8> {
     let mut w = PayloadWriter::new();
     w.u64(reply.id);
@@ -776,6 +776,7 @@ pub fn encode_stats_reply(reply: &StatsReply) -> Vec<u8> {
     w.u64(n.overloaded);
     w.u64(n.invalid);
     w.u64(n.chaos_drops);
+    w.u64(n.max_pipeline_depth);
     w.finish()
 }
 
@@ -807,6 +808,7 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, DecodeError> {
         overloaded: r.u64()?,
         invalid: r.u64()?,
         chaos_drops: r.u64()?,
+        max_pipeline_depth: r.u64()?,
     };
     r.finish()?;
     Ok(StatsReply { id, shards, net })
@@ -1093,6 +1095,7 @@ mod tests {
                 overloaded: 2,
                 invalid: 0,
                 chaos_drops: 5,
+                max_pipeline_depth: 17,
             },
         };
         let bytes = encode_stats_reply(&reply);

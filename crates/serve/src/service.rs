@@ -272,9 +272,37 @@ impl ServiceStats {
     }
 }
 
+/// How a finished response leaves the worker thread.
+///
+/// The blocking submission paths wait on a channel ([`Ticket`]); the
+/// event-loop net server instead registers a callback that pushes the
+/// response onto its completion queue and wakes the loop — workers never
+/// block on delivery either way.
+pub enum Completion {
+    /// Deliver through a channel a [`Ticket`] is waiting on. A dropped
+    /// receiver silently discards the response (client abandoned it).
+    Channel(mpsc::Sender<EvalResponse>),
+    /// Invoke a callback on the worker thread. Must be cheap and must not
+    /// block: it runs inline in the worker loop.
+    Callback(Box<dyn FnOnce(EvalResponse) + Send + 'static>),
+}
+
+impl Completion {
+    fn complete(self, response: EvalResponse) {
+        match self {
+            Completion::Channel(tx) => {
+                // A dropped ticket is the client's way of abandoning the
+                // response.
+                let _ = tx.send(response);
+            }
+            Completion::Callback(f) => f(response),
+        }
+    }
+}
+
 struct Job {
     req: EvalRequest,
-    tx: mpsc::Sender<EvalResponse>,
+    done: Completion,
     enqueued: Instant,
     /// Trace id carried through the queue (see [`fepia_obs::trace`]); 0
     /// when the submission path did not mint one (tracing off).
@@ -393,18 +421,45 @@ impl Service {
         }
     }
 
-    fn admit(&self, req: EvalRequest, trace: u64) -> Result<(usize, Job, Ticket), ServeError> {
+    fn admit_with(
+        &self,
+        req: EvalRequest,
+        trace: u64,
+        done: Completion,
+    ) -> Result<(usize, Job), ServeError> {
         Self::validate(&req)?;
         fepia_chaos::maybe_delay("serve.enqueue");
         let shard = self.shard_for(req.scenario.fingerprint());
-        let (tx, rx) = mpsc::channel();
         let job = Job {
             req,
-            tx,
+            done,
             enqueued: Instant::now(),
             trace,
         };
+        Ok((shard, job))
+    }
+
+    fn admit(&self, req: EvalRequest, trace: u64) -> Result<(usize, Job, Ticket), ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let (shard, job) = self.admit_with(req, trace, Completion::Channel(tx))?;
         Ok((shard, job, Ticket { rx, shard }))
+    }
+
+    fn try_push(&self, shard: usize, job: Job) -> Result<(), ServeError> {
+        match self.shards[shard].queue.try_push(job) {
+            Ok(()) => {
+                self.accepted(shard);
+                Ok(())
+            }
+            Err(PushError::Full(job)) => {
+                self.shed_span(&job, ShedReason::QueueFull);
+                Err(self.shed(shard, ShedReason::QueueFull))
+            }
+            Err(PushError::Closed(job)) => {
+                self.shed_span(&job, ShedReason::ShuttingDown);
+                Err(self.shed(shard, ShedReason::ShuttingDown))
+            }
+        }
     }
 
     fn shed(&self, shard: usize, reason: ShedReason) -> ServeError {
@@ -474,20 +529,29 @@ impl Service {
     /// untraced.
     pub fn submit_traced(&self, req: EvalRequest, trace: u64) -> Result<Ticket, ServeError> {
         let (shard, job, ticket) = self.admit(req, trace)?;
-        match self.shards[shard].queue.try_push(job) {
-            Ok(()) => {
-                self.accepted(shard);
-                Ok(ticket)
-            }
-            Err(PushError::Full(job)) => {
-                self.shed_span(&job, ShedReason::QueueFull);
-                Err(self.shed(shard, ShedReason::QueueFull))
-            }
-            Err(PushError::Closed(job)) => {
-                self.shed_span(&job, ShedReason::ShuttingDown);
-                Err(self.shed(shard, ShedReason::ShuttingDown))
-            }
-        }
+        self.try_push(shard, job)?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking submission with a completion callback instead of a
+    /// [`Ticket`]: on acceptance, `done` later runs *on the worker thread*
+    /// with the response, and the routed shard index is returned now. On
+    /// refusal the callback is dropped unrun and the typed error returned
+    /// — the caller answers the client itself. This is the event-loop net
+    /// server's hand-off: its callback enqueues the response and wakes the
+    /// loop's poll, so no thread ever blocks waiting on a ticket.
+    pub fn submit_traced_with<F>(
+        &self,
+        req: EvalRequest,
+        trace: u64,
+        done: F,
+    ) -> Result<usize, ServeError>
+    where
+        F: FnOnce(EvalResponse) + Send + 'static,
+    {
+        let (shard, job) = self.admit_with(req, trace, Completion::Callback(Box::new(done)))?;
+        self.try_push(shard, job)?;
+        Ok(shard)
     }
 
     /// Blocking submission: waits for queue space (backpressure) instead of
@@ -680,8 +744,7 @@ fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
             }
             event.emit();
         }
-        // A dropped ticket is the client's way of abandoning the response.
-        let _ = job.tx.send(response);
+        job.done.complete(response);
     }
 }
 
@@ -904,6 +967,54 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn callback_submission_delivers_on_worker_and_matches_ticket_path() {
+        let service = small_service();
+        let s = scenario(7);
+        let (tx, rx) = mpsc::channel();
+        let shard = service
+            .submit_traced_with(
+                EvalRequest {
+                    id: 90,
+                    scenario: Arc::clone(&s),
+                    kind: EvalKind::Verdict,
+                },
+                0,
+                move |resp| {
+                    tx.send(resp).unwrap();
+                },
+            )
+            .unwrap();
+        let via_callback = rx.recv().unwrap();
+        assert_eq!(via_callback.id, 90);
+        assert_eq!(via_callback.shard, shard);
+
+        // Bitwise-identical to the ticket path for the same scenario.
+        let via_ticket = service
+            .call(EvalRequest {
+                id: 91,
+                scenario: s,
+                kind: EvalKind::Verdict,
+            })
+            .unwrap();
+        assert_eq!(
+            via_callback.verdicts[0].metric_hi.to_bits(),
+            via_ticket.verdicts[0].metric_hi.to_bits()
+        );
+
+        // Invalid requests are refused before the callback is ever stored.
+        let err = service.submit_traced_with(
+            EvalRequest {
+                id: 92,
+                scenario: scenario(7),
+                kind: EvalKind::Moves(vec![(99, 0)]),
+            },
+            0,
+            |_| panic!("callback must not run for a refused request"),
+        );
+        assert!(matches!(err, Err(ServeError::Invalid(_))));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 # * net_bench — the same warm service behind the fepia-net TCP protocol,
 #   recorded in BENCH_net.json. The bench asserts >= 25k cached
 #   move-evals/sec over localhost TCP.
+# * netscale — connection scaling on the event-loop I/O plane: pipelined
+#   clients at 1/64/1024 connections, recorded in BENCH_netscale.json.
+#   The bench asserts >= 25k evals/sec at 64 connections and that the
+#   1024-connection figure stays within 2x of the 64-connection one.
 # * resilience_report — a traced, fixed-seed chaos-burst soak over TCP
 #   analyzed into RESMETRIC-style resilience measures (degraded fraction,
 #   recovery time, area-under-degradation), recorded in RESILIENCE.json.
@@ -65,7 +69,8 @@ run_bench plan_speedup BENCH_plan.json
 run_bench chaos_overhead BENCH_chaos.json
 run_bench serve_bench BENCH_serve.json
 run_bench net_bench BENCH_net.json
+run_bench netscale BENCH_netscale.json
 run_resilience
 
-echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} resilience=${status[resilience]}"
+echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} netscale=${status[netscale]} resilience=${status[resilience]}"
 exit "$failed"

@@ -11,6 +11,8 @@
 #   BENCH_serve.json  evals_per_sec >= evals_per_sec_threshold
 #                     cache_hit_rate >= hit_rate_threshold
 #   BENCH_net.json    evals_per_sec >= evals_per_sec_threshold
+#   BENCH_netscale.json  evals_per_sec_64 >= evals_per_sec_threshold
+#                        scale_ratio_1024_vs_64 >= scale_ratio_threshold
 #   RESILIENCE.json   degraded_fraction <= degraded_fraction_threshold
 #                     recovery_us <= recovery_us_threshold
 #                     aud_seconds <= aud_seconds_threshold
@@ -29,10 +31,10 @@ export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results/bench_gate}"
 
 # Preserve the checked-in JSONs: bench.sh copies fresh ones over them.
 stash="$(mktemp -d)"
-trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json RESILIENCE.json; do
+trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json RESILIENCE.json; do
         [ -f "$stash/$f" ] && cp "$stash/$f" "$f"
       done; rm -rf "$stash"' EXIT
-for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json RESILIENCE.json; do
+for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json RESILIENCE.json; do
   [ -f "$f" ] || { echo "check_bench: missing checked-in $f" >&2; exit 1; }
   cp "$f" "$stash/$f"
 done
@@ -94,6 +96,12 @@ gate "serve cache hit rate" \
 gate "net evals/sec over TCP" \
   "$(field "$FEPIA_RESULTS/BENCH_net.json" evals_per_sec)" ">=" \
   "$(field "$stash/BENCH_net.json" evals_per_sec_threshold)"
+gate "netscale evals/sec at 64 connections" \
+  "$(field "$FEPIA_RESULTS/BENCH_netscale.json" evals_per_sec_64)" ">=" \
+  "$(field "$stash/BENCH_netscale.json" evals_per_sec_threshold)"
+gate "netscale 1024-vs-64 connection ratio" \
+  "$(field "$FEPIA_RESULTS/BENCH_netscale.json" scale_ratio_1024_vs_64)" ">=" \
+  "$(field "$stash/BENCH_netscale.json" scale_ratio_threshold)"
 gate "resilience degraded fraction" \
   "$(field "$FEPIA_RESULTS/RESILIENCE.json" degraded_fraction)" "<=" \
   "$(field "$stash/RESILIENCE.json" degraded_fraction_threshold)"

@@ -1,0 +1,193 @@
+//! Connection churn on the event-loop I/O plane (PR 7 acceptance).
+//!
+//! The old thread-per-connection server paid two OS threads per accepted
+//! socket, so churn meant thread churn. The readiness loop must absorb
+//! hundreds of short-lived connections — including peers that vanish
+//! mid-frame and connections severed by the `net.read` chaos site — with
+//! **zero thread growth**, **zero fd leakage**, typed errors only, and a
+//! clean drain at shutdown. Counts come from `/proc/self/task` and
+//! `/proc/self/fd`, so this test is Linux-specific (like the CI runner).
+
+#![cfg(target_os = "linux")]
+
+use fepia::net::frame::{Frame, FrameType};
+use fepia::net::wire::encode_request;
+use fepia::net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use fepia::serve::workload::{moves_request, request, scenario_pool, WorkloadSpec};
+use fepia::serve::Service;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+static NET_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes tests (chaos is process-wide) and silences the backtraces
+/// of intentionally injected `serve.worker` panics.
+fn net_guard() -> std::sync::MutexGuard<'static, ()> {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let text = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !text.contains("chaos: injected panic") {
+                previous(info);
+            }
+        }));
+    });
+    let guard = NET_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    fepia::chaos::clear();
+    guard
+}
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+/// The event loop closes a reaped connection's fd asynchronously to the
+/// client's `drop`, so fd samples settle rather than step.
+fn await_fd_baseline(baseline: usize, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = fd_count();
+        if now <= baseline {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what}: fd count stuck at {now}, baseline {baseline} — leaked fds"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn hundreds_of_churning_connections_leak_no_threads_or_fds() {
+    let _guard = net_guard();
+    let spec = WorkloadSpec {
+        seed: 7_003,
+        ..WorkloadSpec::default()
+    };
+    let pool = scenario_pool(&spec);
+
+    let service = Arc::new(Service::start(Default::default()));
+    let server = NetServer::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("start TCP server");
+    let addr = server.local_addr();
+
+    // Warm up one full round-trip so lazy allocations (buffers, the
+    // first accepted slot) are behind us, then take the baselines.
+    {
+        let mut client = NetClient::connect(addr, ClientConfig::default()).unwrap();
+        client.call(&request(&spec, &pool, 0)).expect("warmup call");
+    }
+    await_fd_baseline(fd_count(), "warmup");
+    let threads_before = thread_count();
+    let fds_before = fd_count();
+
+    // Phase 1, chaos off: 300 connections in three flavors of rudeness.
+    const CHURN: u64 = 300;
+    for index in 0..CHURN {
+        match index % 3 {
+            // A polite client: one call, then drop without goodbye.
+            0 => {
+                let mut client = NetClient::connect(addr, ClientConfig::default()).unwrap();
+                let resp = client
+                    .call(&request(&spec, &pool, index))
+                    .expect("chaos-off call succeeds");
+                assert_eq!(resp.id, index);
+            }
+            // A peer that dies mid-frame: half a request, then gone.
+            1 => {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                let frame = Frame::new(
+                    FrameType::Request,
+                    encode_request(&request(&spec, &pool, index)),
+                )
+                .encode();
+                conn.write_all(&frame[..frame.len() / 2]).unwrap();
+                drop(conn);
+            }
+            // A connect-and-vanish peer: never writes a byte.
+            _ => {
+                let conn = TcpStream::connect(addr).unwrap();
+                drop(conn);
+            }
+        }
+        // No per-connection threads, ever — sampled mid-churn, not just
+        // at the end, so a transient thread pair would be caught too.
+        if index % 50 == 0 {
+            assert_eq!(
+                thread_count(),
+                threads_before,
+                "connection {index}: the event loop must not spawn threads"
+            );
+        }
+    }
+    await_fd_baseline(fds_before, "chaos-off churn");
+    assert_eq!(thread_count(), threads_before, "threads after churn");
+
+    // Phase 2, `net.read` chaos at the fixed CI seed: the server tears
+    // connections down mid-stream; clients must see typed errors (and
+    // recover via reconnect), never a panic, and still nothing may leak.
+    fepia::chaos::set_for_test(2_003, 0.2);
+    const CHAOS_CHURN: u64 = 100;
+    let mut chaos_failures = 0u64;
+    for index in 0..CHAOS_CHURN {
+        let mut client = NetClient::connect(
+            addr,
+            ClientConfig {
+                max_attempts: 8,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        // moves-only workload: verdicts are chaos-invariant, so any
+        // successful response is trustworthy; a typed error after 8
+        // attempts is an acceptable (and counted) outcome.
+        match client.call(&moves_request(&spec, &pool, index)) {
+            Ok(resp) => assert_eq!(resp.id, index),
+            Err(e) => {
+                chaos_failures += 1;
+                let _ = format!("{e}"); // typed, displayable, no panic
+            }
+        }
+    }
+    fepia::chaos::clear();
+    assert!(
+        chaos_failures < CHAOS_CHURN / 2,
+        "chaos should cost retries, not most requests: {chaos_failures} failed"
+    );
+    await_fd_baseline(fds_before, "chaos churn");
+    assert_eq!(thread_count(), threads_before, "threads after chaos churn");
+
+    // Clean drain: shutdown returns (no wedged loop), and the counters
+    // show the churn was absorbed as typed outcomes.
+    let stats = server.shutdown();
+    assert!(
+        stats.connections >= 1 + CHURN + CHAOS_CHURN,
+        "every accepted connection is counted (chaos reconnects add more): {}",
+        stats.connections
+    );
+    assert!(
+        stats.decode_errors >= CHURN / 3,
+        "each mid-frame disconnect is a typed decode error (got {})",
+        stats.decode_errors
+    );
+    assert!(stats.chaos_drops > 0, "net.read chaos must actually fire");
+    Arc::try_unwrap(service)
+        .ok()
+        .expect("server released its service handle")
+        .shutdown();
+}

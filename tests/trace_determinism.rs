@@ -148,6 +148,74 @@ fn disabled_tracing_emits_no_spans() {
     );
 }
 
+/// Under pipelining every outbound frame needs a unique correlation id:
+/// stats polls must mint their header trace id from the same SplitMix64
+/// sequence as eval requests ([`fepia_obs::TraceId::mint`]) when tracing
+/// is on, and send 0 when it is off.
+#[test]
+fn stats_polls_mint_trace_ids_from_the_request_id() {
+    use fepia::net::frame::{read_frame, write_frame, FrameType};
+    use fepia::net::wire::{encode_stats_reply, StatsReply};
+
+    let _guard = lock();
+    fepia::chaos::clear();
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let script = std::thread::spawn(move || {
+        let mut traces = Vec::new();
+        // Two connections (the client reconnects per-scenario below), one
+        // stats poll each.
+        for _ in 0..2 {
+            let (mut conn, _) = listener.accept().unwrap();
+            let frame = read_frame(&mut conn).unwrap();
+            assert_eq!(frame.frame_type, FrameType::StatsRequest);
+            let id = fepia::net::wire::decode_stats_request(&frame.payload).unwrap();
+            traces.push((id, frame.trace));
+            let reply = StatsReply {
+                id,
+                shards: Vec::new(),
+                net: Default::default(),
+            };
+            write_frame(
+                &mut conn,
+                FrameType::StatsResponse,
+                frame.trace,
+                &encode_stats_reply(&reply),
+            )
+            .unwrap();
+        }
+        traces
+    });
+
+    // Poll 1: tracing on — the header must carry TraceId::mint(id).
+    fepia_obs::set_trace_enabled(true);
+    let mut client =
+        NetClient::connect(addr, ClientConfig::default()).expect("client connects (traced)");
+    let reply = client.stats(4_242).expect("traced stats poll");
+    assert_eq!(reply.id, 4_242);
+    drop(client);
+
+    // Poll 2: tracing off — untraced frames carry 0.
+    fepia_obs::set_trace_enabled(false);
+    let mut client =
+        NetClient::connect(addr, ClientConfig::default()).expect("client connects (untraced)");
+    let reply = client.stats(4_243).expect("untraced stats poll");
+    assert_eq!(reply.id, 4_243);
+    drop(client);
+
+    let traces = script.join().unwrap();
+    assert_eq!(traces[0].0, 4_242);
+    assert_eq!(
+        traces[0].1,
+        fepia_obs::TraceId::mint(4_242).0,
+        "traced stats poll must mint its id from the SplitMix64 sequence"
+    );
+    assert_ne!(traces[0].1, 0, "minted trace id is never 0");
+    assert_eq!(traces[1].0, 4_243);
+    assert_eq!(traces[1].1, 0, "tracing off sends an untraced (0) header");
+}
+
 #[test]
 fn stats_poll_returns_live_counters_over_tcp() {
     let _guard = lock();
