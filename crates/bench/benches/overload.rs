@@ -1,0 +1,227 @@
+//! Goodput under overload: the brownout gate.
+//!
+//! Backs the "graceful degradation" contract: when offered load exceeds
+//! worker capacity several times over, the server must keep *answering* —
+//! full precision when it can, budgeted (brownout) precision under
+//! pressure, typed deadline/overload outcomes otherwise — instead of
+//! stalling or failing untyped. Two figures are recorded and gated:
+//!
+//! * **goodput** — verdict units per second delivered in `Full` or
+//!   `Brownout` responses while 16 blocking drivers (8× the two workers)
+//!   hammer the server with deadline-carrying requests;
+//! * **typed-outcome fraction** — the share of offered calls that resolved
+//!   to a response or a *typed* error (`Overloaded`, `DeadlineExceeded`,
+//!   retries exhausted on those). Transport or protocol errors are
+//!   untyped; the bar is 1.0 — availability degrades typed or not at all.
+//!
+//! Results go to `results/BENCH_overload.json` (`$FEPIA_RESULTS` honored)
+//! and are gated by `scripts/check_bench.sh` against the checked-in
+//! thresholds. Under `cargo test` (`--test` flag) a quick pass checks the
+//! plumbing and skips the bars.
+
+use fepia_bench::outdir::results_dir;
+use fepia_net::{ClientConfig, NetClient, NetError, NetServer, ServerConfig};
+use fepia_serve::workload::{moves_request, scenario_pool, WorkloadSpec};
+use fepia_serve::{Disposition, Service, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DRIVERS: usize = 16;
+const GOODPUT_BAR: f64 = 10_000.0;
+const TYPED_FRACTION_BAR: f64 = 1.0;
+/// Every Nth request carries a deliberately hopeless deadline, exercising
+/// the expired-at-dequeue drop path under real concurrency.
+const TIGHT_EVERY: u64 = 8;
+
+fn bench_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 9_008,
+        scenarios: 8,
+        apps: 64,
+        machines: 8,
+        moves_per_request: 64,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[derive(Default)]
+struct Outcomes {
+    full: AtomicU64,
+    brownout: AtomicU64,
+    expired_wire: AtomicU64,
+    typed_errors: AtomicU64,
+    untyped_errors: AtomicU64,
+    goodput_units: AtomicU64,
+}
+
+/// Whether an error is a *typed* degradation outcome (vs a transport or
+/// protocol failure, which would mean availability was lost untyped).
+fn is_typed(err: &NetError) -> bool {
+    match err {
+        NetError::Overloaded { .. } | NetError::DeadlineExceeded { .. } => true,
+        NetError::RetriesExhausted { last, .. } => is_typed(last),
+        NetError::Io(_) | NetError::Decode(_) | NetError::Invalid(_) | NetError::Protocol(_) => {
+            false
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let spec = bench_spec();
+    let pool = scenario_pool(&spec);
+    let requests: u64 = if quick { 64 } else { 4_096 };
+
+    let service = Arc::new(Service::start(ServiceConfig {
+        shards: 1,
+        workers_per_shard: 2,
+        queue_capacity: 256,
+        cache_capacity: pool.len(),
+        ..ServiceConfig::default()
+    }));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            // 16 blocking drivers keep up to 16 requests in flight against
+            // 2 workers: brownout pressure is the steady state, shedding
+            // the spike reserve.
+            brownout_in_flight: 4,
+            shed_in_flight: 12,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let outcomes = Outcomes::default();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..DRIVERS {
+            let spec = &spec;
+            let pool = &pool;
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let mut client = NetClient::connect(
+                    addr,
+                    ClientConfig {
+                        max_attempts: 4,
+                        backoff_base: Duration::from_micros(200),
+                        backoff_cap: Duration::from_millis(2),
+                        ..ClientConfig::default()
+                    },
+                )
+                .expect("connect");
+                let mut i = t as u64;
+                while i < requests {
+                    let req = moves_request(spec, pool, 200_000 + i);
+                    let deadline = if i.is_multiple_of(TIGHT_EVERY) {
+                        // Hopeless on purpose: expires while queued.
+                        Duration::from_micros(50)
+                    } else {
+                        Duration::from_millis(500)
+                    };
+                    match client.call_with_deadline(&req, deadline) {
+                        Ok(resp) => match resp.disposition {
+                            Disposition::Full => {
+                                outcomes.full.fetch_add(1, Ordering::Relaxed);
+                                outcomes
+                                    .goodput_units
+                                    .fetch_add(resp.verdicts.len() as u64, Ordering::Relaxed);
+                            }
+                            Disposition::Brownout => {
+                                outcomes.brownout.fetch_add(1, Ordering::Relaxed);
+                                outcomes
+                                    .goodput_units
+                                    .fetch_add(resp.verdicts.len() as u64, Ordering::Relaxed);
+                            }
+                            Disposition::DeadlineExceeded => {
+                                assert_eq!(
+                                    resp.attempts, 0,
+                                    "expired requests must not be evaluated"
+                                );
+                                assert!(resp.verdicts.is_empty());
+                                outcomes.expired_wire.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(e) if is_typed(&e) => {
+                            outcomes.typed_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("untyped outcome for request {i}: {e}");
+                            outcomes.untyped_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += DRIVERS as u64;
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let net_stats = server.shutdown();
+    let totals = Arc::try_unwrap(service)
+        .ok()
+        .expect("server released the service")
+        .shutdown()
+        .totals();
+
+    let full = outcomes.full.load(Ordering::Relaxed);
+    let brownout = outcomes.brownout.load(Ordering::Relaxed);
+    let expired_wire = outcomes.expired_wire.load(Ordering::Relaxed);
+    let typed_errors = outcomes.typed_errors.load(Ordering::Relaxed);
+    let untyped = outcomes.untyped_errors.load(Ordering::Relaxed);
+    let goodput_units = outcomes.goodput_units.load(Ordering::Relaxed);
+    let goodput = goodput_units as f64 / elapsed;
+    let typed_fraction = (requests - untyped) as f64 / requests as f64;
+
+    println!(
+        "overload ({DRIVERS} drivers, {requests} requests, {} moves each, tight 1/{TIGHT_EVERY}):",
+        spec.moves_per_request
+    );
+    println!(
+        "  outcomes: {full} full, {brownout} brownout, {expired_wire} expired, \
+         {typed_errors} typed errors, {untyped} untyped"
+    );
+    println!(
+        "  server: {} admission brownouts, {} admission sheds; \
+         service: {} brownout evals, {} deadline drops",
+        net_stats.admission_brownout,
+        net_stats.admission_shed,
+        totals.brownout_evals,
+        totals.deadline_expired
+    );
+    println!(
+        "  goodput: {goodput_units} units in {elapsed:.3} s -> {goodput:.0} units/sec \
+         (bar: >= {GOODPUT_BAR})"
+    );
+    println!("  typed-outcome fraction: {typed_fraction:.4} (bar: >= {TYPED_FRACTION_BAR})");
+
+    if quick {
+        assert_eq!(untyped, 0, "quick run must still resolve every call typed");
+        println!("quick mode: typed plumbing checked, throughput bars skipped");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"overload\",\n  \"drivers\": {DRIVERS},\n  \"requests\": {requests},\n  \"moves_per_request\": {},\n  \"answered_full\": {full},\n  \"answered_brownout\": {brownout},\n  \"expired_wire\": {expired_wire},\n  \"typed_errors\": {typed_errors},\n  \"untyped_errors\": {untyped},\n  \"admission_brownout\": {},\n  \"admission_shed\": {},\n  \"service_brownout_evals\": {},\n  \"service_deadline_expired\": {},\n  \"goodput_units_per_sec\": {goodput:.0},\n  \"typed_outcome_fraction\": {typed_fraction:.4},\n  \"goodput_threshold\": {GOODPUT_BAR:.1},\n  \"typed_fraction_threshold\": {TYPED_FRACTION_BAR:.2}\n}}\n",
+        spec.moves_per_request,
+        net_stats.admission_brownout,
+        net_stats.admission_shed,
+        totals.brownout_evals,
+        totals.deadline_expired,
+    );
+    let path = results_dir().join("BENCH_overload.json");
+    std::fs::write(&path, json).expect("write BENCH_overload.json");
+    println!("wrote {}", path.display());
+
+    assert!(
+        typed_fraction >= TYPED_FRACTION_BAR,
+        "availability degraded untyped: {untyped} calls failed with transport/protocol errors"
+    );
+    assert!(
+        goodput >= GOODPUT_BAR,
+        "goodput under overload regressed: {goodput:.0} < {GOODPUT_BAR} units/sec"
+    );
+}

@@ -47,7 +47,7 @@ pub use impact::{FnImpact, Impact, LinearImpact, SumSelected};
 pub use joint::{JointAnalysis, PartId};
 pub use multiparam::MultiParamAnalysis;
 pub use perturbation::{Domain, Perturbation};
-pub use plan::{AnalysisPlan, PlanEvaluation, PlanWorkspace};
+pub use plan::{AnalysisPlan, EvalBudget, PlanEvaluation, PlanWorkspace};
 pub use radius::{robustness_radius, Bound, RadiusMethod, RadiusOptions, RadiusResult};
 pub use verdict::{
     DegradeReason, FailReason, PlanVerdict, RadiusVerdict, ResiliencePolicy, VerdictKind,

@@ -105,6 +105,38 @@ struct CompiledNumeric {
     impact: Arc<dyn Impact>,
 }
 
+/// A deterministic work budget for brownout evaluation.
+///
+/// The budget is expressed in *evaluation units* — full numeric solves
+/// allowed — rather than wall time, so a budgeted verdict is a pure
+/// function of `(plan, origin, budget)` and bitwise-reproducible
+/// regardless of machine load. Affine features cost nothing: the Eq. 6
+/// closed form always runs exactly. Each numeric feature consumes one
+/// unit for its full §3.2 solve; once the budget is spent, remaining
+/// numeric features are truncated to the certified axis-probe interval
+/// ([`fepia_optim::certified_level_interval`]) and come back as
+/// [`RadiusVerdict::Bounded`] with [`DegradeReason::BudgetExhausted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalBudget {
+    /// Full numeric solves allowed before truncation.
+    pub numeric_solves: u32,
+}
+
+impl EvalBudget {
+    /// No truncation: every feature gets its full solve (the default path).
+    pub const UNLIMITED: EvalBudget = EvalBudget {
+        numeric_solves: u32::MAX,
+    };
+    /// Brownout: affine features only; every numeric feature truncates to
+    /// its certified interval.
+    pub const BROWNOUT: EvalBudget = EvalBudget { numeric_solves: 0 };
+
+    /// Whether this budget can never truncate.
+    pub fn is_unlimited(self) -> bool {
+        self.numeric_solves == u32::MAX
+    }
+}
+
 /// Mutable per-evaluation-context scratch for plan evaluation. One per
 /// thread; create with [`AnalysisPlan::workspace`] (or `Default`).
 #[derive(Default)]
@@ -632,6 +664,27 @@ impl AnalysisPlan {
         ws: &mut PlanWorkspace,
         policy: &ResiliencePolicy,
     ) -> PlanVerdict {
+        self.evaluate_verdict_budgeted_with(origin, ws, policy, EvalBudget::UNLIMITED)
+    }
+
+    /// [`Self::evaluate_verdict_with`] under a deterministic work budget —
+    /// the brownout evaluation mode.
+    ///
+    /// The affine SoA block always runs exactly (it is the cheap Eq. 6
+    /// closed form). The first `budget.numeric_solves` numeric features get
+    /// their full solve; the rest are truncated to the certified axis-probe
+    /// interval and classified [`RadiusVerdict::Bounded`] with
+    /// [`DegradeReason::BudgetExhausted`]. Truncated verdicts are still
+    /// *sound*: the interval certifiably contains the exact radius, and the
+    /// result is a pure function of `(plan, origin, budget)` — no wall
+    /// clock — so it is bitwise-reproducible across runs.
+    pub fn evaluate_verdict_budgeted_with(
+        &self,
+        origin: &VecN,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> PlanVerdict {
         if origin.dim() != self.affine.dim {
             return self.record_verdict(PlanVerdict::all_failed(
                 self.features.len(),
@@ -658,9 +711,27 @@ impl AnalysisPlan {
                 FailReason::NonFiniteInput { index },
             ));
         }
+        let mut solves_left = budget.numeric_solves;
+        let mut truncated = 0u64;
         let mut radii = Vec::with_capacity(self.features.len());
         for idx in 0..self.features.len() {
-            radii.push(self.eval_feature_verdict(idx, origin, ws, policy));
+            let verdict = match self.features[idx].slot {
+                Slot::Affine(_) => self.eval_feature_verdict(idx, origin, ws, policy),
+                Slot::Numeric(_) if solves_left > 0 => {
+                    solves_left -= 1;
+                    self.eval_feature_verdict(idx, origin, ws, policy)
+                }
+                Slot::Numeric(_) => {
+                    truncated += 1;
+                    self.budgeted_feature_verdict(idx, origin, ws, policy)
+                }
+            };
+            radii.push(verdict);
+        }
+        if truncated > 0 && fepia_obs::enabled() {
+            fepia_obs::global()
+                .counter("brownout.truncated_features")
+                .add(truncated);
         }
         self.record_verdict(PlanVerdict::from_radii(radii))
     }
@@ -669,6 +740,110 @@ impl AnalysisPlan {
     pub fn evaluate_verdict(&self, origin: &VecN, policy: &ResiliencePolicy) -> PlanVerdict {
         let mut ws = self.workspace();
         self.evaluate_verdict_with(origin, &mut ws, policy)
+    }
+
+    /// [`Self::evaluate_verdict_budgeted_with`] with a throwaway workspace.
+    pub fn evaluate_verdict_budgeted(
+        &self,
+        origin: &VecN,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> PlanVerdict {
+        let mut ws = self.workspace();
+        self.evaluate_verdict_budgeted_with(origin, &mut ws, policy, budget)
+    }
+
+    /// One numeric feature's *truncated* verdict: the budget is spent, so
+    /// instead of solving, go straight to the certified axis-probe interval
+    /// (the boundary-iterate machinery the exhausted-retry path already
+    /// uses). Shares the pre-checks of [`Self::numeric_feature_verdict`]
+    /// so Infeasible / non-finite classifications are identical to the
+    /// unbudgeted path.
+    fn budgeted_feature_verdict(
+        &self,
+        idx: usize,
+        origin: &VecN,
+        _ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+    ) -> RadiusVerdict {
+        let feature = &self.features[idx];
+        let Slot::Numeric(k) = feature.slot else {
+            unreachable!("budgeted truncation only applies to numeric slots");
+        };
+        let impact = self.numeric[k].impact.as_ref();
+        let tol = feature.spec.tolerance;
+        let run = || self.truncated_numeric_verdict(tol, impact, origin, policy);
+        if policy.catch_panics {
+            match catch_unwind(AssertUnwindSafe(run)) {
+                Ok(verdict) => verdict,
+                Err(payload) => {
+                    if fepia_obs::enabled() {
+                        fepia_obs::global().counter("core.verdict.panics").inc();
+                    }
+                    RadiusVerdict::Failed(FailReason::Panic(panic_text(payload)))
+                }
+            }
+        } else {
+            run()
+        }
+    }
+
+    /// The solve-free numeric arm: same origin pre-checks as
+    /// [`Self::numeric_feature_verdict`], then one certified interval per
+    /// active bound, combined min-of-intervals.
+    fn truncated_numeric_verdict(
+        &self,
+        tol: Tolerance,
+        impact: &dyn Impact,
+        origin: &VecN,
+        policy: &ResiliencePolicy,
+    ) -> RadiusVerdict {
+        let f_orig = impact.eval(origin);
+        if !f_orig.is_finite() {
+            return RadiusVerdict::Failed(FailReason::NonFiniteImpact);
+        }
+        if !tol.contains(f_orig) {
+            return RadiusVerdict::Infeasible;
+        }
+        if tol.min == tol.max {
+            return RadiusVerdict::Exact(RadiusResult {
+                radius: 0.0,
+                boundary_point: Some(origin.clone()),
+                bound: Some(Bound::Max),
+                violated: false,
+                method: RadiusMethod::Analytic,
+                iterations: 0,
+                f_evals: 1,
+            });
+        }
+        let mut outcomes = Vec::with_capacity(2);
+        if tol.has_upper() {
+            outcomes.push((
+                truncated_bound_certificate(
+                    impact,
+                    tol.max,
+                    origin,
+                    1.0,
+                    &self.opts.solver,
+                    policy,
+                ),
+                Bound::Max,
+            ));
+        }
+        if tol.has_lower() {
+            outcomes.push((
+                truncated_bound_certificate(
+                    impact,
+                    tol.min,
+                    origin,
+                    -1.0,
+                    &self.opts.solver,
+                    policy,
+                ),
+                Bound::Min,
+            ));
+        }
+        combine_bound_outcomes(outcomes)
     }
 
     /// Sequential fault-tolerant batch: one verdict per origin, no early
@@ -754,6 +929,36 @@ enum BoundOutcome {
         restarts: usize,
     },
     Fail(FailReason),
+}
+
+/// The budget-truncated counterpart of [`numeric_bound_verdict`]: no solve
+/// at all, just the certified axis-probe interval toward one tolerance
+/// boundary. Deterministic — bisection only, no retries, no randomness —
+/// so brownout answers are bitwise-reproducible.
+fn truncated_bound_certificate(
+    impact: &dyn Impact,
+    beta: f64,
+    origin: &VecN,
+    direction: f64,
+    solver: &SolverOptions,
+    policy: &ResiliencePolicy,
+) -> BoundOutcome {
+    let f = |pi: &VecN| direction * impact.eval(pi);
+    let problem = LevelSetProblem {
+        f: &f,
+        grad: None,
+        origin,
+        level: direction * beta,
+    };
+    match certified_level_interval(&problem, solver, policy.certify_bisections) {
+        Ok(iv) => BoundOutcome::Interval {
+            lo: iv.lo,
+            hi: iv.hi,
+            reason: DegradeReason::BudgetExhausted,
+            restarts: 0,
+        },
+        Err(e) => BoundOutcome::Fail(FailReason::Solver(format!("budget-truncated: {e}"))),
+    }
 }
 
 /// Resilient counterpart of `numeric_bound_radius`: solve toward one
@@ -1071,6 +1276,65 @@ mod tests {
             report.radii[2].result.radius.to_bits(),
             legacy_quad.radius.to_bits()
         );
+    }
+
+    #[test]
+    fn budgeted_brownout_is_sound_and_bitwise_reproducible() {
+        let analysis = mixed_analysis();
+        let plan = analysis.compile(&RadiusOptions::default()).unwrap();
+        let origin = analysis.perturbation().origin.clone();
+        let policy = ResiliencePolicy::default();
+
+        let exact = plan.evaluate_verdict(&origin, &policy);
+        assert_eq!(exact.kind, VerdictKind::Exact);
+
+        // Zero budget: affine features exact, the numeric feature truncated
+        // to a certified interval.
+        let b1 = plan.evaluate_verdict_budgeted(&origin, &policy, EvalBudget::BROWNOUT);
+        let b2 = plan.evaluate_verdict_budgeted(&origin, &policy, EvalBudget::BROWNOUT);
+        assert_eq!(b1.kind, VerdictKind::Bounded);
+        for (full, brown) in exact.radii.iter().zip(&b1.radii).take(2) {
+            assert_eq!(
+                full.exact_radius().unwrap().to_bits(),
+                brown.exact_radius().unwrap().to_bits(),
+                "affine features must stay exact under brownout"
+            );
+        }
+        let exact_r = exact.radii[2].exact_radius().unwrap();
+        match (&b1.radii[2], &b2.radii[2]) {
+            (
+                RadiusVerdict::Bounded { lo, hi, reason, .. },
+                RadiusVerdict::Bounded {
+                    lo: lo2, hi: hi2, ..
+                },
+            ) => {
+                assert_eq!(*reason, DegradeReason::BudgetExhausted);
+                assert!(
+                    *lo <= exact_r && exact_r <= *hi,
+                    "certified interval [{lo}, {hi}] must contain the exact radius {exact_r}"
+                );
+                assert_eq!(
+                    lo.to_bits(),
+                    lo2.to_bits(),
+                    "brownout must be bitwise stable"
+                );
+                assert_eq!(
+                    hi.to_bits(),
+                    hi2.to_bits(),
+                    "brownout must be bitwise stable"
+                );
+            }
+            other => panic!("expected Bounded truncations, got {other:?}"),
+        }
+        // The metric interval is sound: it contains the exact metric.
+        assert!(b1.metric_lo <= exact.metric_hi && exact.metric_hi <= b1.metric_hi);
+
+        // A budget covering every numeric feature reproduces the full path
+        // bitwise.
+        let full =
+            plan.evaluate_verdict_budgeted(&origin, &policy, EvalBudget { numeric_solves: 1 });
+        assert_eq!(full.kind, VerdictKind::Exact);
+        assert_eq!(full.metric_hi.to_bits(), exact.metric_hi.to_bits());
     }
 
     #[test]

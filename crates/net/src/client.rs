@@ -15,11 +15,20 @@
 //! After [`ClientConfig::max_attempts`] failures the last error is
 //! returned wrapped in [`NetError::RetriesExhausted`] so callers see both
 //! the budget and the terminal cause.
+//!
+//! Every socket carries [`ClientConfig::io_timeout`] read/write timeouts
+//! from the moment it connects, so a stalled server (accepts, then goes
+//! silent) surfaces as a timed-out [`NetError::Io`] on the regular
+//! reconnect path instead of blocking the caller forever.
+//! [`NetClient::call_with_deadline`] adds end-to-end deadline enforcement:
+//! the *remaining* budget travels in the request (shrinking across
+//! attempts), bounds each read, and expires as a typed
+//! [`NetError::DeadlineExceeded`].
 
 use crate::frame::{read_frame, write_frame, DecodeError, FrameReadError, FrameType};
 use crate::wire::{
-    decode_error, decode_response, decode_stats_reply, encode_request, encode_stats_request,
-    StatsReply, WireError,
+    decode_error, decode_response, decode_stats_reply, encode_request,
+    encode_request_with_deadline, encode_stats_request, StatsReply, WireError,
 };
 use fepia_obs::trace::{self, stage};
 use fepia_obs::TraceId;
@@ -39,6 +48,13 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Upper bound on a single backoff sleep.
     pub backoff_cap: Duration,
+    /// Socket read/write timeout applied to every connection, whether or
+    /// not the call carries a deadline — the floor that keeps a stalled
+    /// server from hanging a client forever. A timed-out operation surfaces
+    /// as [`NetError::Io`] and takes the normal reconnect path.
+    /// `Duration::ZERO` disables (blocking reads, the pre-deadline
+    /// behavior).
+    pub io_timeout: Duration,
 }
 
 impl Default for ClientConfig {
@@ -47,6 +63,7 @@ impl Default for ClientConfig {
             max_attempts: 8,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(200),
+            io_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -76,6 +93,16 @@ pub enum NetError {
         /// The terminal cause.
         last: Box<NetError>,
     },
+    /// The end-to-end deadline passed client-side before an answer
+    /// arrived ([`NetClient::call_with_deadline`]).
+    DeadlineExceeded {
+        /// The deadline the call was given.
+        deadline: Duration,
+        /// Attempts started before the budget ran out.
+        attempts: u32,
+        /// The most recent attempt's error, if any attempt completed.
+        last: Option<Box<NetError>>,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -96,11 +123,32 @@ impl std::fmt::Display for NetError {
             NetError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
             }
+            NetError::DeadlineExceeded {
+                deadline,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "deadline of {deadline:?} exceeded after {attempts} attempts"
+                )?;
+                if let Some(last) = last {
+                    write!(f, "; last error: {last}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// Applies the configured socket timeouts (ZERO = fully blocking).
+fn apply_io_timeouts(stream: &TcpStream, timeout: Duration) -> std::io::Result<()> {
+    let t = (!timeout.is_zero()).then_some(timeout);
+    stream.set_read_timeout(t)?;
+    stream.set_write_timeout(t)
+}
 
 /// A blocking client for one server address. Not thread-safe (`&mut self`
 /// calls); use one client per thread, as the soak tests do.
@@ -117,6 +165,7 @@ impl NetClient {
     pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<NetClient, NetError> {
         let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
         stream.set_nodelay(true).map_err(NetError::Io)?;
+        apply_io_timeouts(&stream, config.io_timeout).map_err(NetError::Io)?;
         Ok(NetClient {
             addr,
             config,
@@ -140,6 +189,7 @@ impl NetClient {
         if self.stream.is_none() {
             let s = TcpStream::connect(self.addr).map_err(NetError::Io)?;
             s.set_nodelay(true).map_err(NetError::Io)?;
+            apply_io_timeouts(&s, self.config.io_timeout).map_err(NetError::Io)?;
             self.stream = Some(s);
             self.reconnects += 1;
             if fepia_obs::enabled() {
@@ -150,9 +200,30 @@ impl NetClient {
     }
 
     /// One attempt: write the request frame, read one frame, classify it.
-    fn attempt(&mut self, bytes: &[u8], id: u64, trace: u64) -> Result<EvalResponse, NetError> {
+    /// `read_budget` tightens this attempt's read timeout below the
+    /// configured `io_timeout` (deadline calls pass their remaining
+    /// budget); `None` restores the configured floor.
+    fn attempt(
+        &mut self,
+        bytes: &[u8],
+        id: u64,
+        trace: u64,
+        read_budget: Option<Duration>,
+    ) -> Result<EvalResponse, NetError> {
         let traced = trace != 0 && trace::trace_enabled();
+        let io_timeout = self.config.io_timeout;
         let stream = self.stream()?;
+        let read_timeout = match read_budget {
+            Some(budget) if !io_timeout.is_zero() => Some(budget.min(io_timeout)),
+            Some(budget) => Some(budget),
+            None if io_timeout.is_zero() => None,
+            None => Some(io_timeout),
+        };
+        // `set_read_timeout(Some(ZERO))` is an invalid argument; callers
+        // guard a non-zero remaining budget before attempting.
+        stream
+            .set_read_timeout(read_timeout.filter(|t| !t.is_zero()))
+            .map_err(NetError::Io)?;
         let send_started = Instant::now();
         write_frame(stream, FrameType::Request, trace, bytes).map_err(NetError::Io)?;
         if traced {
@@ -236,7 +307,9 @@ impl NetClient {
                             NetError::Decode(_) => "decode",
                             NetError::Overloaded { .. } => "overloaded",
                             NetError::Protocol(_) => "protocol",
-                            NetError::Invalid(_) | NetError::RetriesExhausted { .. } => "terminal",
+                            NetError::Invalid(_)
+                            | NetError::RetriesExhausted { .. }
+                            | NetError::DeadlineExceeded { .. } => "terminal",
                         },
                     )
                     .emit();
@@ -247,7 +320,7 @@ impl NetClient {
                     .saturating_mul(1u32 << (n - 1).min(16));
                 std::thread::sleep(exp.min(self.config.backoff_cap));
             }
-            match self.attempt(&bytes, req.id, trace_id) {
+            match self.attempt(&bytes, req.id, trace_id, None) {
                 Ok(resp) => {
                     if traced {
                         trace::with_wall(
@@ -274,6 +347,109 @@ impl NetClient {
         Err(NetError::RetriesExhausted {
             attempts: self.config.max_attempts,
             last: Box::new(last.expect("max_attempts >= 1 guarantees an error")),
+        })
+    }
+
+    /// Evaluates one request under an **end-to-end deadline**. The
+    /// remaining budget — deadline minus time already burned — is:
+    ///
+    /// * sent to the server in the request (wire v3 `deadline_us`), so the
+    ///   service can drop the request at dequeue or brown out the
+    ///   evaluation instead of computing an answer nobody is waiting for;
+    /// * applied as this attempt's socket read timeout (never looser than
+    ///   [`ClientConfig::io_timeout`]);
+    /// * shrunk across retries: each attempt re-encodes the request with
+    ///   whatever budget is left, so a retry after a 40 ms stall asks for
+    ///   strictly less server time than the original.
+    ///
+    /// Retries follow the same classification as [`NetClient::call`], with
+    /// two additions: a retry is only hedged when the kind is idempotent
+    /// ([`fepia_serve::EvalKind::is_idempotent`] — every current kind is a
+    /// pure function of the request), and when the budget runs out the
+    /// typed [`NetError::DeadlineExceeded`] carries the attempt count and
+    /// last transport error. A response whose disposition is
+    /// `DeadlineExceeded` (the server dropped it at dequeue) is returned
+    /// as-is — typed data, not an error.
+    pub fn call_with_deadline(
+        &mut self,
+        req: &EvalRequest,
+        deadline: Duration,
+    ) -> Result<EvalResponse, NetError> {
+        let traced = trace::trace_enabled();
+        let trace_id = if traced { TraceId::mint(req.id).0 } else { 0 };
+        let call_started = Instant::now();
+        let mut last: Option<NetError> = None;
+        let mut attempts = 0u32;
+        for n in 0..self.config.max_attempts {
+            let Some(remaining) = deadline
+                .checked_sub(call_started.elapsed())
+                .filter(|r| !r.is_zero())
+            else {
+                break;
+            };
+            if n > 0 {
+                if !req.kind.is_idempotent() {
+                    // A non-idempotent kind must not be hedged: the first
+                    // attempt may have been applied server-side.
+                    return Err(last.take().expect("retry implies a prior error"));
+                }
+                self.retries += 1;
+                if fepia_obs::enabled() {
+                    fepia_obs::global().counter("net.client.retries").inc();
+                }
+                if traced {
+                    trace::with_wall(
+                        trace::span_event(TraceId(trace_id), stage::CLIENT_RETRY, req.id),
+                        call_started,
+                    )
+                    .field("attempt", u64::from(n))
+                    .field("cause", "deadline-retry")
+                    .emit();
+                }
+                let exp = self
+                    .config
+                    .backoff_base
+                    .saturating_mul(1u32 << (n - 1).min(16));
+                std::thread::sleep(exp.min(self.config.backoff_cap).min(remaining));
+            }
+            // Re-check after the backoff sleep also consumed budget.
+            let Some(remaining) = deadline
+                .checked_sub(call_started.elapsed())
+                .filter(|r| !r.is_zero())
+            else {
+                break;
+            };
+            attempts += 1;
+            let deadline_us = remaining.as_micros().min(u64::MAX as u128) as u64;
+            let bytes = encode_request_with_deadline(req, deadline_us.max(1));
+            match self.attempt(&bytes, req.id, trace_id, Some(remaining)) {
+                Ok(resp) => {
+                    if traced {
+                        trace::with_wall(
+                            trace::span_event(TraceId(trace_id), stage::CLIENT_RECV, req.id),
+                            call_started,
+                        )
+                        .emit();
+                    }
+                    return Ok(resp);
+                }
+                Err(NetError::Invalid(msg)) => return Err(NetError::Invalid(msg)),
+                Err(e @ NetError::Overloaded { .. }) => {
+                    last = Some(e);
+                }
+                Err(e) => {
+                    self.stream = None;
+                    last = Some(e);
+                }
+            }
+        }
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter("deadline.client_expired").inc();
+        }
+        Err(NetError::DeadlineExceeded {
+            deadline,
+            attempts,
+            last: last.map(Box::new),
         })
     }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  = b"FEPN"
-//! 4       1     version = 2
+//! 4       1     version = 3
 //! 5       1     frame type (1 request, 2 response, 3 error,
 //!               4 stats request, 5 stats response)
 //! 6       2     reserved, must be 0 (LE)
@@ -15,13 +15,20 @@
 //! 28      n     payload
 //! ```
 //!
-//! Version 2 (this PR) appends the 8-byte trace id to the version-1
-//! header: the id a client minted for the request (see
-//! [`fepia_obs::trace`]), echoed verbatim on the response so one JSONL
-//! stream stitches client- and server-side spans together. It is metadata,
-//! not payload: deliberately *outside* the checksum, so trace plumbing can
-//! never turn a valid payload into a checksum failure (a corrupted trace
-//! id corrupts attribution, never data).
+//! Version 2 appended the 8-byte trace id to the version-1 header: the id
+//! a client minted for the request (see [`fepia_obs::trace`]), echoed
+//! verbatim on the response so one JSONL stream stitches client- and
+//! server-side spans together. It is metadata, not payload: deliberately
+//! *outside* the checksum, so trace plumbing can never turn a valid
+//! payload into a checksum failure (a corrupted trace id corrupts
+//! attribution, never data).
+//!
+//! Version 3 keeps the header layout and changes the payloads: requests
+//! carry a relative deadline (microseconds, 0 = none), responses carry a
+//! disposition byte (full / brownout / deadline-exceeded), and the stats
+//! reply grows deadline/brownout counters. A v2 frame against a v3
+//! endpoint yields a typed [`DecodeError::UnsupportedVersion`] — never a
+//! mis-parse, panic, or hang.
 //!
 //! Decoding is total: every malformed input maps to a typed
 //! [`DecodeError`] — bad magic, unknown version or type, a length that
@@ -41,7 +48,7 @@ use std::io::{Read, Write};
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"FEPN";
 /// The one wire-protocol version this build speaks.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 28;
 /// Hard cap on payload size; larger claims are rejected before allocation.

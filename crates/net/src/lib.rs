@@ -53,6 +53,6 @@ pub use frame::{
 };
 pub use server::{NetServer, NetStatsSnapshot, ServerConfig};
 pub use wire::{
-    decode_error, decode_request, decode_response, encode_error, encode_request, encode_response,
-    RequestPayload, WireError,
+    decode_error, decode_request, decode_response, encode_error, encode_request,
+    encode_request_with_deadline, encode_response, RequestPayload, WireError,
 };

@@ -177,9 +177,11 @@ impl PollSet {
         }
     }
 
-    /// The readiness the last [`PollSet::wait`] reported for `slot`.
+    /// The readiness the last [`PollSet::wait`] reported for `slot`. An
+    /// out-of-range slot (a caller bug, e.g. a stale index across a
+    /// `clear`) reports no readiness rather than panicking the event loop.
     pub fn readiness(&self, slot: usize) -> Readiness {
-        let r = self.fds[slot].revents;
+        let r = self.fds.get(slot).map_or(0, |fd| fd.revents);
         Readiness {
             readable: r & (POLLIN | POLLHUP) != 0,
             writable: r & POLLOUT != 0,

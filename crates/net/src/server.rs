@@ -48,7 +48,7 @@ use crate::wire::{
     decode_request, decode_stats_request, encode_error, encode_response, encode_stats_reply,
     StatsReply, WireError,
 };
-use fepia_serve::{EvalResponse, ServeError, Service, ShedReason};
+use fepia_serve::{EvalResponse, RequestBudget, ServeError, Service, ShedReason};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -56,9 +56,10 @@ use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// How the server listens and how much it lets each connection pipeline.
+/// How the server listens, how much it lets each connection pipeline, and
+/// where overload admission control kicks in.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port (tests, examples).
@@ -67,6 +68,24 @@ pub struct ServerConfig {
     /// requests a single connection may pipeline before the loop stops
     /// reading it (and TCP backpressure reaches the client).
     pub max_in_flight: usize,
+    /// Global brownout threshold: when the requests in flight across *all*
+    /// connections reach this count, newly admitted requests carry a
+    /// brownout hint — workers answer them at budgeted precision (certified
+    /// `Bounded` intervals for numeric features) instead of queueing full
+    /// evaluations the server cannot keep up with. `usize::MAX` disables.
+    pub brownout_in_flight: usize,
+    /// Global shed threshold (must be ≥ `brownout_in_flight`): at this many
+    /// requests in flight the server answers with a typed `Overloaded`
+    /// error frame without touching the service. Brownout degrades answer
+    /// precision first; shedding availability is the last resort.
+    /// `usize::MAX` disables.
+    pub shed_in_flight: usize,
+    /// Aggregate in-flight-time brownout threshold: when the summed age of
+    /// every in-flight request (maintained incrementally, O(1) per event)
+    /// exceeds this, new admissions brown out even below the count
+    /// threshold — a few very old requests signal overload as surely as
+    /// many young ones. `Duration::ZERO` disables.
+    pub brownout_in_flight_time: Duration,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +93,12 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_in_flight: 64,
+            // Admission control is opt-in: defaults keep the server
+            // byte-identical to the pre-brownout protocol under any load
+            // the per-connection windows admit.
+            brownout_in_flight: usize::MAX,
+            shed_in_flight: usize::MAX,
+            brownout_in_flight_time: Duration::ZERO,
         }
     }
 }
@@ -93,6 +118,8 @@ struct NetStats {
     invalid: AtomicU64,
     chaos_drops: AtomicU64,
     max_pipeline_depth: AtomicU64,
+    admission_brownout: AtomicU64,
+    admission_shed: AtomicU64,
 }
 
 /// Point-in-time copy of the server's counters.
@@ -116,6 +143,12 @@ pub struct NetStatsSnapshot {
     /// High-water mark of requests simultaneously in flight on one
     /// connection — direct evidence of pipelining depth.
     pub max_pipeline_depth: u64,
+    /// Requests admitted with a brownout hint because the global
+    /// in-flight count or in-flight-time crossed the brownout threshold.
+    pub admission_brownout: u64,
+    /// Requests refused with a typed `Overloaded` frame at the global shed
+    /// threshold, without reaching the service.
+    pub admission_shed: u64,
 }
 
 impl NetStats {
@@ -129,6 +162,8 @@ impl NetStats {
             invalid: self.invalid.load(Ordering::Relaxed),
             chaos_drops: self.chaos_drops.load(Ordering::Relaxed),
             max_pipeline_depth: self.max_pipeline_depth.load(Ordering::Relaxed),
+            admission_brownout: self.admission_brownout.load(Ordering::Relaxed),
+            admission_shed: self.admission_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -183,15 +218,21 @@ impl NetServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NetStats::default());
         let (waker, wake_rx) = wake_pair()?;
+        assert!(
+            config.brownout_in_flight <= config.shed_in_flight,
+            "brownout threshold {} must not exceed shed threshold {}: precision degrades before availability",
+            config.brownout_in_flight,
+            config.shed_in_flight
+        );
         let loop_thread = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let waker = waker.try_clone()?;
-            let window = config.max_in_flight.max(1);
+            let config = config.clone();
             std::thread::Builder::new()
                 .name("fepia-net-loop".to_string())
                 .spawn(move || {
-                    EventLoop::new(listener, service, window, stop, stats, waker, wake_rx).run()
+                    EventLoop::new(listener, service, config, stop, stats, waker, wake_rx).run()
                 })?
         };
         Ok(NetServer {
@@ -277,6 +318,9 @@ struct EventLoop {
     listener: TcpListener,
     service: Arc<Service>,
     window: usize,
+    brownout_at: usize,
+    shed_at: usize,
+    brownout_busy_ns: u128,
     stop: Arc<AtomicBool>,
     stats: Arc<NetStats>,
     waker: Waker,
@@ -285,13 +329,23 @@ struct EventLoop {
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     next_gen: u64,
+    /// Admission epoch for the incremental in-flight-time account.
+    epoch: Instant,
+    /// Requests submitted to the service and not yet completed, across all
+    /// connections.
+    in_flight_global: usize,
+    /// Sum of admission timestamps (ns since `epoch`) of every in-flight
+    /// request. Total in-flight time at instant `t` is
+    /// `in_flight_global * t − admitted_sum_ns` — O(1) to maintain and to
+    /// query, no per-request scan.
+    admitted_sum_ns: u128,
 }
 
 impl EventLoop {
     fn new(
         listener: TcpListener,
         service: Arc<Service>,
-        window: usize,
+        config: ServerConfig,
         stop: Arc<AtomicBool>,
         stats: Arc<NetStats>,
         waker: Waker,
@@ -300,7 +354,10 @@ impl EventLoop {
         EventLoop {
             listener,
             service,
-            window,
+            window: config.max_in_flight.max(1),
+            brownout_at: config.brownout_in_flight,
+            shed_at: config.shed_in_flight,
+            brownout_busy_ns: config.brownout_in_flight_time.as_nanos(),
             stop,
             stats,
             waker,
@@ -309,6 +366,9 @@ impl EventLoop {
             conns: Vec::new(),
             free: Vec::new(),
             next_gen: 0,
+            epoch: Instant::now(),
+            in_flight_global: 0,
+            admitted_sum_ns: 0,
         }
     }
 
@@ -434,6 +494,14 @@ impl EventLoop {
         }
     }
 
+    /// Nanoseconds between the loop epoch and an admission instant — the
+    /// unit of the incremental in-flight-time account. Submit and
+    /// completion both derive it from the same `Instant`, so the sum
+    /// returns to exactly zero when the server drains.
+    fn admitted_ns(&self, received: Instant) -> u128 {
+        received.saturating_duration_since(self.epoch).as_nanos()
+    }
+
     /// Accepts until the listener would block.
     fn accept_burst(&mut self) {
         loop {
@@ -482,6 +550,13 @@ impl EventLoop {
                 if fepia_obs::enabled() {
                     fepia_obs::global().counter("net.loop.completions").inc();
                 }
+                // Global admission accounting: every submitted request
+                // completes exactly once, whether or not its connection
+                // still exists.
+                self.in_flight_global = self.in_flight_global.saturating_sub(1);
+                self.admitted_sum_ns = self
+                    .admitted_sum_ns
+                    .saturating_sub(self.admitted_ns(done.received));
                 let alive = matches!(&self.conns[done.slot], Some(c) if c.gen == done.gen);
                 if !alive {
                     continue; // connection closed while the eval ran
@@ -661,10 +736,14 @@ impl EventLoop {
                 Ok(None) => return,
                 Err(e) => {
                     // Malformed bytes: answer with a typed error, then
-                    // close — the stream position is unrecoverable.
+                    // close — the stream position is unrecoverable. Drop
+                    // the poisoned buffer so a later decode pass (window
+                    // freeing up, main-loop catch-up) cannot re-decode the
+                    // same bytes and emit the error frame twice.
                     self.stats
                         .count(&self.stats.decode_errors, "net.decode_errors");
                     conn.read_closed = true;
+                    conn.decoder = FrameDecoder::new();
                     let payload = encode_error(0, &WireError::Invalid(format!("bad frame: {e}")));
                     self.enqueue_frame(slot, FrameType::Error, 0, &payload, 0);
                     return;
@@ -730,8 +809,55 @@ impl EventLoop {
                 };
                 self.stats.count(&self.stats.frames_read, "net.frames.read");
                 let id = payload.id;
+                let deadline_us = payload.deadline_us;
                 let trace = frame.trace;
                 let received = Instant::now();
+
+                // Admission control, *before* the (allocating) semantic
+                // validation: shed at the hard threshold, hint brownout at
+                // the soft one. Precision degrades before availability.
+                if self.in_flight_global >= self.shed_at {
+                    self.stats
+                        .count(&self.stats.admission_shed, "net.admission.shed");
+                    self.stats.count(&self.stats.overloaded, "net.overloaded");
+                    if trace != 0 && fepia_obs::trace_enabled() {
+                        fepia_obs::trace::with_wall(
+                            fepia_obs::trace::span_event(
+                                fepia_obs::TraceId(trace),
+                                fepia_obs::trace::stage::SERVE_SHED,
+                                id,
+                            ),
+                            received,
+                        )
+                        .field("cause", "admission")
+                        .emit();
+                    }
+                    let payload = encode_error(
+                        id,
+                        &WireError::Overloaded {
+                            shard: 0,
+                            reason: ShedReason::QueueFull,
+                        },
+                    );
+                    self.enqueue_frame(slot, FrameType::Error, trace, &payload, id);
+                    return;
+                }
+                let busy_ns = (self.in_flight_global as u128 * self.admitted_ns(received))
+                    .saturating_sub(self.admitted_sum_ns);
+                let brownout_hint = self.in_flight_global >= self.brownout_at
+                    || (self.brownout_busy_ns > 0 && busy_ns >= self.brownout_busy_ns);
+                if brownout_hint {
+                    self.stats
+                        .count(&self.stats.admission_brownout, "net.admission.brownout");
+                }
+                let mut budget = RequestBudget {
+                    brownout: brownout_hint,
+                    ..RequestBudget::default()
+                };
+                if deadline_us > 0 {
+                    budget.deadline = Some(Duration::from_micros(deadline_us));
+                }
+
                 let req = match payload.into_request() {
                     Ok(r) => r,
                     Err(msg) => {
@@ -761,20 +887,24 @@ impl EventLoop {
                     Ok(w) => w,
                     Err(_) => return,
                 };
-                let submit = self.service.submit_traced_with(req, trace, move |resp| {
-                    let mut q = completions.lock().unwrap_or_else(|p| p.into_inner());
-                    q.push_back(Done {
-                        slot,
-                        gen,
-                        trace,
-                        received,
-                        resp,
-                    });
-                    drop(q);
-                    waker.wake();
-                });
+                let submit =
+                    self.service
+                        .submit_traced_budget_with(req, trace, budget, move |resp| {
+                            let mut q = completions.lock().unwrap_or_else(|p| p.into_inner());
+                            q.push_back(Done {
+                                slot,
+                                gen,
+                                trace,
+                                received,
+                                resp,
+                            });
+                            drop(q);
+                            waker.wake();
+                        });
                 match submit {
                     Ok(_shard) => {
+                        self.in_flight_global += 1;
+                        self.admitted_sum_ns += self.admitted_ns(received);
                         if let Some(conn) = &mut self.conns[slot] {
                             conn.in_flight += 1;
                             self.stats.observe_depth(conn.in_flight);

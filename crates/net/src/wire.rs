@@ -8,12 +8,14 @@
 //! any allocation, so a hostile length field cannot balloon memory.
 //!
 //! * **Request** ([`encode_request`] / [`decode_request`]) — the request id,
-//!   the full scenario (ETC matrix, assignment, τ, [`RadiusOptions`]), and
+//!   a relative deadline in microseconds (`0` = none; protocol v3), the
+//!   full scenario (ETC matrix, assignment, τ, [`RadiusOptions`]), and
 //!   the [`EvalKind`]. The scenario travels by value: the server
 //!   reconstructs it and relies on the service's fingerprint cache to avoid
 //!   recompiling plans for scenarios it has already seen.
 //! * **Response** ([`encode_response`] / [`decode_response`]) — the full
-//!   [`EvalResponse`] including every per-feature [`RadiusVerdict`], so the
+//!   [`EvalResponse`] including every per-feature [`RadiusVerdict`] and the
+//!   [`Disposition`] (full / brownout / deadline-exceeded), so the
 //!   client sees exactly what an in-process caller would.
 //! * **Error** ([`encode_error`] / [`decode_error`]) — a typed refusal:
 //!   [`WireError::Overloaded`] maps the service's queue-full/draining
@@ -33,7 +35,8 @@ use fepia_etc::EtcMatrix;
 use fepia_mapping::Mapping;
 use fepia_optim::{Norm, SolverOptions, VecN};
 use fepia_serve::{
-    CacheOutcome, EvalKind, EvalRequest, EvalResponse, Scenario, ShardStatsSnapshot, ShedReason,
+    CacheOutcome, Disposition, EvalKind, EvalRequest, EvalResponse, Scenario, ShardStatsSnapshot,
+    ShedReason,
 };
 use std::sync::Arc;
 
@@ -174,10 +177,19 @@ const KIND_VERDICT: u8 = 1;
 const KIND_ORIGINS: u8 = 2;
 const KIND_MOVES: u8 = 3;
 
-/// Encodes a full request: id, scenario by value, evaluation kind.
+/// Encodes a full request with no deadline: id, scenario by value,
+/// evaluation kind. Equivalent to [`encode_request_with_deadline`] with
+/// `deadline_us = 0`.
 pub fn encode_request(req: &EvalRequest) -> Vec<u8> {
+    encode_request_with_deadline(req, 0)
+}
+
+/// Encodes a full request: id, relative deadline in microseconds (`0` =
+/// none), scenario by value, evaluation kind.
+pub fn encode_request_with_deadline(req: &EvalRequest, deadline_us: u64) -> Vec<u8> {
     let mut w = PayloadWriter::new();
     w.u64(req.id);
+    w.u64(deadline_us);
     let s = &req.scenario;
     w.usize(s.etc().apps());
     w.usize(s.etc().machines());
@@ -284,6 +296,10 @@ fn decode_options(r: &mut PayloadReader<'_>) -> Result<RadiusOptions, DecodeErro
 pub struct RequestPayload {
     /// Client-chosen request id, echoed in every reply.
     pub id: u64,
+    /// Relative deadline in microseconds from server admission; `0` means
+    /// none. Read by the server *before* [`RequestPayload::into_request`]
+    /// so expired requests can be dropped without evaluation.
+    pub deadline_us: u64,
     apps: usize,
     machines: usize,
     etc_values: Vec<f64>,
@@ -344,6 +360,7 @@ impl RequestPayload {
 pub fn decode_request(payload: &[u8]) -> Result<RequestPayload, DecodeError> {
     let mut r = PayloadReader::new(payload);
     let id = r.u64()?;
+    let deadline_us = r.u64()?;
     let apps = r.u64()? as usize;
     let machines = r.u64()? as usize;
     let cells = apps.checked_mul(machines).unwrap_or(u64::MAX as usize);
@@ -393,6 +410,7 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestPayload, DecodeError> {
     r.finish()?;
     Ok(RequestPayload {
         id,
+        deadline_us,
         apps,
         machines,
         etc_values,
@@ -421,6 +439,11 @@ pub fn encode_response(resp: &EvalResponse) -> Vec<u8> {
         Some(CacheOutcome::Compiled) => w.u8(2),
         Some(CacheOutcome::Coalesced) => w.u8(3),
     }
+    w.u8(match resp.disposition {
+        Disposition::Full => 0,
+        Disposition::Brownout => 1,
+        Disposition::DeadlineExceeded => 2,
+    });
     w.usize(resp.verdicts.len());
     for v in &resp.verdicts {
         encode_verdict(&mut w, v);
@@ -544,6 +567,17 @@ pub fn decode_response(payload: &[u8]) -> Result<EvalResponse, DecodeError> {
             })
         }
     };
+    let disposition = match r.u8()? {
+        0 => Disposition::Full,
+        1 => Disposition::Brownout,
+        2 => Disposition::DeadlineExceeded,
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "Disposition",
+                tag: tag as u64,
+            })
+        }
+    };
     let n = r.count("verdicts", 18)?;
     let mut verdicts = Vec::with_capacity(n);
     for _ in 0..n {
@@ -556,6 +590,7 @@ pub fn decode_response(payload: &[u8]) -> Result<EvalResponse, DecodeError> {
         cache,
         verdicts,
         attempts,
+        disposition,
     })
 }
 
@@ -749,10 +784,10 @@ pub fn decode_stats_request(payload: &[u8]) -> Result<u64, DecodeError> {
 }
 
 /// Field count per encoded [`ShardStatsSnapshot`] (all `u64`).
-const SHARD_STAT_FIELDS: usize = 9;
+const SHARD_STAT_FIELDS: usize = 11;
 
-/// Encodes a [`StatsReply`]: id, shard count, 9 `u64` counters per shard,
-/// then the 8 `u64` net counters.
+/// Encodes a [`StatsReply`]: id, shard count, 11 `u64` counters per shard,
+/// then the 10 `u64` net counters.
 pub fn encode_stats_reply(reply: &StatsReply) -> Vec<u8> {
     let mut w = PayloadWriter::new();
     w.u64(reply.id);
@@ -767,6 +802,8 @@ pub fn encode_stats_reply(reply: &StatsReply) -> Vec<u8> {
         w.u64(s.cache_coalesced);
         w.u64(s.worker_panics);
         w.u64(s.busy_ns);
+        w.u64(s.deadline_expired);
+        w.u64(s.brownout_evals);
     }
     let n = &reply.net;
     w.u64(n.connections);
@@ -777,6 +814,8 @@ pub fn encode_stats_reply(reply: &StatsReply) -> Vec<u8> {
     w.u64(n.invalid);
     w.u64(n.chaos_drops);
     w.u64(n.max_pipeline_depth);
+    w.u64(n.admission_brownout);
+    w.u64(n.admission_shed);
     w.finish()
 }
 
@@ -798,6 +837,8 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, DecodeError> {
             cache_coalesced: r.u64()?,
             worker_panics: r.u64()?,
             busy_ns: r.u64()?,
+            deadline_expired: r.u64()?,
+            brownout_evals: r.u64()?,
         });
     }
     let net = NetStatsSnapshot {
@@ -809,6 +850,8 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, DecodeError> {
         invalid: r.u64()?,
         chaos_drops: r.u64()?,
         max_pipeline_depth: r.u64()?,
+        admission_brownout: r.u64()?,
+        admission_shed: r.u64()?,
     };
     r.finish()?;
     Ok(StatsReply { id, shards, net })
@@ -1006,6 +1049,7 @@ mod tests {
             shard: 3,
             cache: Some(CacheOutcome::Coalesced),
             attempts: 2,
+            disposition: Disposition::Brownout,
             verdicts: vec![
                 PlanVerdict {
                     radii: vec![
@@ -1047,8 +1091,29 @@ mod tests {
         // the encoding is canonical, so byte equality IS bitwise equality.
         assert_eq!(encode_response(&decoded), bytes);
         assert_eq!(decoded.id, resp.id);
+        assert_eq!(decoded.disposition, Disposition::Brownout);
         assert_eq!(decoded.verdicts.len(), 2);
         assert!(decoded.verdicts[0].radii.len() == 4);
+    }
+
+    #[test]
+    fn request_deadline_roundtrips() {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        let req = EvalRequest {
+            id: 5,
+            scenario: Arc::clone(&pool[0]),
+            kind: EvalKind::Verdict,
+        };
+        let bytes = encode_request_with_deadline(&req, 2_500);
+        let payload = decode_request(&bytes).unwrap();
+        assert_eq!(payload.deadline_us, 2_500);
+        // The no-deadline encoder is exactly deadline 0.
+        assert_eq!(encode_request(&req), encode_request_with_deadline(&req, 0));
+        assert_eq!(
+            decode_request(&encode_request(&req)).unwrap().deadline_us,
+            0
+        );
     }
 
     #[test]
@@ -1084,6 +1149,8 @@ mod tests {
                     cache_coalesced: 1,
                     worker_panics: 3,
                     busy_ns: 123_456_789,
+                    deadline_expired: 6,
+                    brownout_evals: 4,
                 },
                 ShardStatsSnapshot::default(),
             ],
@@ -1096,6 +1163,8 @@ mod tests {
                 invalid: 0,
                 chaos_drops: 5,
                 max_pipeline_depth: 17,
+                admission_brownout: 8,
+                admission_shed: 3,
             },
         };
         let bytes = encode_stats_reply(&reply);

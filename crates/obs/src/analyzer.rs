@@ -15,7 +15,9 @@
 //!   the `us` field of each pipeline stage's spans.
 //!
 //! Inputs are the events emitted by the tracing layer (see
-//! [`crate::trace`]): `worker.exec` spans carry `units`/`degraded` counts
+//! [`crate::trace`]): `worker.exec` spans — and their exceptional
+//! stand-ins `serve.brownout` (budgeted evaluation) and `serve.deadline`
+//! (dropped with an expired deadline) — carry `units`/`degraded` counts
 //! and (in full mode) a `t_us` timestamp; `chaos.burst` marker events
 //! bracket seeded fault bursts. The analyzer is total over hostile input:
 //! lines that do not parse, or parse to something other than an event, are
@@ -495,7 +497,12 @@ fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
 pub fn analyze(telemetry: &Telemetry, config: &AnalyzerConfig) -> ResilienceReport {
     let window_us = config.window_us.max(1);
 
-    // Degradation samples: worker.exec spans carrying unit counts.
+    // Degradation samples: evaluation-position spans carrying unit counts.
+    // `worker.exec` is the normal full-precision evaluation;
+    // `serve.brownout` replaces it for budgeted (degraded-precision)
+    // evaluations and `serve.deadline` for requests dropped at dequeue
+    // with an expired deadline — both count toward the degraded fraction,
+    // the windows, and burst recovery exactly like degraded verdicts.
     struct Sample {
         t_us: Option<u64>,
         units: u64,
@@ -504,7 +511,12 @@ pub fn analyze(telemetry: &Telemetry, config: &AnalyzerConfig) -> ResilienceRepo
     let samples: Vec<Sample> = telemetry
         .spans
         .iter()
-        .filter(|s| s.stage == "worker.exec")
+        .filter(|s| {
+            matches!(
+                s.stage.as_str(),
+                "worker.exec" | "serve.brownout" | "serve.deadline"
+            )
+        })
         .map(|s| Sample {
             t_us: s.t_us,
             units: s.units.unwrap_or(0),

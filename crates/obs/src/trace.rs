@@ -24,8 +24,11 @@
 //! | 5   | `client.recv` | `NetClient::call` | full client-side round trip   |
 //!
 //! Exceptional paths reuse the scheme: `serve.shed` (seq 2) replaces
-//! `queue.wait` when admission sheds the request, and `client.retry`
-//! (seq 0) records each extra attempt with its cause.
+//! `queue.wait` when admission sheds the request, `client.retry`
+//! (seq 0) records each extra attempt with its cause, and at the
+//! `worker.exec` position (seq 3) `serve.brownout` marks a budgeted
+//! (degraded-precision) evaluation while `serve.deadline` marks a request
+//! dropped at dequeue because its deadline had already expired.
 //!
 //! # Determinism
 //!
@@ -73,6 +76,13 @@ pub mod stage {
     pub const SERVE_SHED: (&str, u32) = ("serve.shed", 2);
     /// One client retry attempt (extra `client.send`-position event).
     pub const CLIENT_RETRY: (&str, u32) = ("client.retry", 0);
+    /// Worker evaluated the request in budgeted (brownout) mode — replaces
+    /// `worker.exec` in the trace; carries the same `units`/`degraded`
+    /// fields so the resilience analyzer counts it as degraded service.
+    pub const SERVE_BROWNOUT: (&str, u32) = ("serve.brownout", 3);
+    /// The request's deadline expired before a worker picked it up; it was
+    /// dropped at dequeue without evaluation (replaces `worker.exec`).
+    pub const SERVE_DEADLINE: (&str, u32) = ("serve.deadline", 3);
 }
 
 static TRACE: AtomicBool = AtomicBool::new(false);

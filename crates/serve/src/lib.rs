@@ -37,6 +37,6 @@ pub mod workload;
 pub use cache::{CacheOutcome, PlanCache};
 pub use scenario::{CompiledScenario, Scenario, ScenarioError};
 pub use service::{
-    Completion, EvalKind, EvalRequest, EvalResponse, Overloaded, ServeError, Service,
-    ServiceConfig, ServiceStats, ShardStatsSnapshot, ShedReason, Ticket,
+    Completion, Disposition, EvalKind, EvalRequest, EvalResponse, Overloaded, RequestBudget,
+    ServeError, Service, ServiceConfig, ServiceStats, ShardStatsSnapshot, ShedReason, Ticket,
 };

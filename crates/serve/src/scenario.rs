@@ -16,8 +16,8 @@
 //! recompiled, never served from the wrong plan.
 
 use fepia_core::{
-    AnalysisPlan, CoreError, FeatureSpec, FepiaAnalysis, Perturbation, PlanVerdict, PlanWorkspace,
-    RadiusOptions, ResiliencePolicy, SumSelected, Tolerance,
+    AnalysisPlan, CoreError, EvalBudget, FeatureSpec, FepiaAnalysis, Perturbation, PlanVerdict,
+    PlanWorkspace, RadiusOptions, ResiliencePolicy, SumSelected, Tolerance,
 };
 use fepia_etc::EtcMatrix;
 use fepia_mapping::{DeltaEval, Mapping};
@@ -239,6 +239,19 @@ impl CompiledScenario {
         self.plan.evaluate_verdict_with(&self.origin, ws, policy)
     }
 
+    /// [`Self::verdict_at_origin`] under a deterministic work budget — the
+    /// brownout path. Affine features stay exact; numeric features past the
+    /// budget truncate to certified `Bounded` intervals.
+    pub fn verdict_at_origin_budgeted(
+        &self,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> PlanVerdict {
+        self.plan
+            .evaluate_verdict_budgeted_with(&self.origin, ws, policy, budget)
+    }
+
     /// Fault-tolerant evaluation at caller-supplied origins (perturbed
     /// operating points), one verdict per origin.
     pub fn verdicts_at(
@@ -250,6 +263,24 @@ impl CompiledScenario {
         origins
             .iter()
             .map(|o| self.plan.evaluate_verdict_with(o, ws, policy))
+            .collect()
+    }
+
+    /// [`Self::verdicts_at`] under a deterministic work budget, applied
+    /// per origin.
+    pub fn verdicts_at_budgeted(
+        &self,
+        origins: &[VecN],
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> Vec<PlanVerdict> {
+        origins
+            .iter()
+            .map(|o| {
+                self.plan
+                    .evaluate_verdict_budgeted_with(o, ws, policy, budget)
+            })
             .collect()
     }
 

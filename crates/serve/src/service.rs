@@ -33,13 +33,13 @@
 use crate::cache::{CacheOutcome, PlanCache};
 use crate::queue::{BoundedQueue, PushError};
 use crate::scenario::Scenario;
-use fepia_core::{FailReason, PlanVerdict, PlanWorkspace, ResiliencePolicy};
+use fepia_core::{EvalBudget, FailReason, PlanVerdict, PlanWorkspace, ResiliencePolicy};
 use fepia_optim::VecN;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What to evaluate against a scenario's compiled plan.
 #[derive(Clone, Debug)]
@@ -62,6 +62,17 @@ impl EvalKind {
             EvalKind::Moves(ms) => ms.len(),
         }
     }
+
+    /// Whether re-evaluating this kind is always safe (bitwise-identical
+    /// answer, no side effects). Every current kind is a pure function of
+    /// the request — the client's deadline path consults this before a
+    /// hedged retry, so a future mutating kind is excluded by construction
+    /// rather than by convention.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            EvalKind::Verdict | EvalKind::Origins(_) | EvalKind::Moves(_) => true,
+        }
+    }
 }
 
 /// One request: a client-chosen id, the scenario, and what to evaluate.
@@ -75,6 +86,61 @@ pub struct EvalRequest {
     pub kind: EvalKind,
 }
 
+/// How a response was produced relative to its deadline budget — echoed on
+/// the wire so clients can distinguish a full-precision answer from a
+/// deliberately degraded one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Disposition {
+    /// Full-precision evaluation (the normal path).
+    #[default]
+    Full,
+    /// Budgeted (brownout) evaluation: affine features exact, numeric
+    /// features truncated to certified `Bounded` intervals — a sound but
+    /// degraded-precision answer, returned instead of shedding.
+    Brownout,
+    /// The deadline expired before a worker picked the request up; it was
+    /// dropped at dequeue without evaluation and `verdicts` is empty.
+    DeadlineExceeded,
+}
+
+impl Disposition {
+    /// Stable label, also the obs counter / trace field value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Full => "full",
+            Disposition::Brownout => "brownout",
+            Disposition::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
+/// Per-request deadline/brownout metadata threaded from admission to the
+/// worker. Separate from [`EvalRequest`] so the request stays a pure
+/// description of *what* to evaluate while this carries *how urgently*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestBudget {
+    /// Relative deadline, measured from admission. A request still queued
+    /// past its deadline is dropped at dequeue with
+    /// [`Disposition::DeadlineExceeded`]; one whose queue wait consumed
+    /// most of the budget (see [`ServiceConfig::brownout_after`]) is
+    /// evaluated in budgeted mode. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Force budgeted evaluation regardless of queue wait — set by
+    /// upstream admission control (the net server's in-flight accounting)
+    /// when the system is under pressure.
+    pub brownout: bool,
+}
+
+impl RequestBudget {
+    /// A budget with just a relative deadline.
+    pub fn with_deadline(deadline: Duration) -> RequestBudget {
+        RequestBudget {
+            deadline: Some(deadline),
+            brownout: false,
+        }
+    }
+}
+
 /// The service's answer to one [`EvalRequest`].
 #[derive(Clone, Debug)]
 pub struct EvalResponse {
@@ -83,12 +149,17 @@ pub struct EvalResponse {
     /// Which shard served the request.
     pub shard: usize,
     /// How the plan was obtained; `None` when every evaluation attempt
-    /// panicked and the response is the all-failed fallback.
+    /// panicked and the response is the all-failed fallback, or when the
+    /// request was dropped with an expired deadline.
     pub cache: Option<CacheOutcome>,
-    /// One verdict per requested unit (see [`EvalKind::units`]).
+    /// One verdict per requested unit (see [`EvalKind::units`]); empty for
+    /// [`Disposition::DeadlineExceeded`].
     pub verdicts: Vec<PlanVerdict>,
-    /// Evaluation attempts consumed (1 = clean first try).
+    /// Evaluation attempts consumed (1 = clean first try; 0 = dropped
+    /// without evaluation).
     pub attempts: u32,
+    /// How the answer relates to its deadline budget.
+    pub disposition: Disposition,
 }
 
 /// Why the service refused a request at admission.
@@ -160,6 +231,14 @@ pub struct ServiceConfig {
     pub worker_attempts: u32,
     /// Resilience policy forwarded to verdict evaluations.
     pub policy: ResiliencePolicy,
+    /// Fraction of a request's deadline that queue wait may consume before
+    /// the worker switches to budgeted (brownout) evaluation. Only
+    /// meaningful for requests that carry a deadline.
+    pub brownout_after: f64,
+    /// Evaluate *every* request in budgeted mode — a deterministic test and
+    /// bench hook: forced-brownout runs are pure functions of the request
+    /// stream, so same-seed runs digest bitwise-identically.
+    pub force_brownout: bool,
 }
 
 impl Default for ServiceConfig {
@@ -171,6 +250,8 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             worker_attempts: 4,
             policy: ResiliencePolicy::default(),
+            brownout_after: 0.5,
+            force_brownout: false,
         }
     }
 }
@@ -187,6 +268,8 @@ struct ShardStats {
     cache_coalesced: AtomicU64,
     worker_panics: AtomicU64,
     busy_ns: AtomicU64,
+    deadline_expired: AtomicU64,
+    brownout_evals: AtomicU64,
 }
 
 /// Snapshot of one shard's counters.
@@ -210,6 +293,10 @@ pub struct ShardStatsSnapshot {
     pub worker_panics: u64,
     /// Total wall time workers spent processing requests, in nanoseconds.
     pub busy_ns: u64,
+    /// Requests dropped at dequeue because their deadline had expired.
+    pub deadline_expired: u64,
+    /// Requests answered in budgeted (brownout) evaluation mode.
+    pub brownout_evals: u64,
 }
 
 impl ShardStatsSnapshot {
@@ -235,6 +322,8 @@ impl ShardStatsSnapshot {
         self.cache_coalesced += other.cache_coalesced;
         self.worker_panics += other.worker_panics;
         self.busy_ns += other.busy_ns;
+        self.deadline_expired += other.deadline_expired;
+        self.brownout_evals += other.brownout_evals;
     }
 }
 
@@ -250,6 +339,8 @@ impl ShardStats {
             cache_coalesced: self.cache_coalesced.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            brownout_evals: self.brownout_evals.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,6 +398,8 @@ struct Job {
     /// Trace id carried through the queue (see [`fepia_obs::trace`]); 0
     /// when the submission path did not mint one (tracing off).
     trace: u64,
+    /// Deadline/brownout metadata from admission.
+    budget: RequestBudget,
 }
 
 struct Shard {
@@ -335,6 +428,15 @@ impl Ticket {
     }
 }
 
+/// The per-worker slice of [`ServiceConfig`] the loop needs.
+#[derive(Clone, Copy)]
+struct WorkerConfig {
+    policy: ResiliencePolicy,
+    max_attempts: u32,
+    brownout_after: f64,
+    force_brownout: bool,
+}
+
 /// The long-running evaluation service. See the module docs.
 pub struct Service {
     shards: Vec<Arc<Shard>>,
@@ -349,6 +451,10 @@ impl Service {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.workers_per_shard >= 1, "need at least one worker");
         assert!(config.worker_attempts >= 1, "need at least one attempt");
+        assert!(
+            config.brownout_after >= 0.0 && config.brownout_after <= 1.0,
+            "brownout_after is a fraction of the deadline"
+        );
         let shards: Vec<Arc<Shard>> = (0..config.shards)
             .map(|index| {
                 Arc::new(Shard {
@@ -359,16 +465,20 @@ impl Service {
                 })
             })
             .collect();
+        let worker_config = WorkerConfig {
+            policy: config.policy,
+            max_attempts: config.worker_attempts,
+            brownout_after: config.brownout_after,
+            force_brownout: config.force_brownout,
+        };
         let mut workers = Vec::with_capacity(config.shards * config.workers_per_shard);
         for shard in &shards {
             for w in 0..config.workers_per_shard {
                 let shard = Arc::clone(shard);
-                let policy = config.policy;
-                let attempts = config.worker_attempts;
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("fepia-serve-{}-{}", shard.index, w))
-                        .spawn(move || worker_loop(&shard, &policy, attempts))
+                        .spawn(move || worker_loop(&shard, &worker_config))
                         .expect("spawn worker thread"),
                 );
             }
@@ -425,6 +535,7 @@ impl Service {
         &self,
         req: EvalRequest,
         trace: u64,
+        budget: RequestBudget,
         done: Completion,
     ) -> Result<(usize, Job), ServeError> {
         Self::validate(&req)?;
@@ -435,13 +546,19 @@ impl Service {
             done,
             enqueued: Instant::now(),
             trace,
+            budget,
         };
         Ok((shard, job))
     }
 
-    fn admit(&self, req: EvalRequest, trace: u64) -> Result<(usize, Job, Ticket), ServeError> {
+    fn admit(
+        &self,
+        req: EvalRequest,
+        trace: u64,
+        budget: RequestBudget,
+    ) -> Result<(usize, Job, Ticket), ServeError> {
         let (tx, rx) = mpsc::channel();
-        let (shard, job) = self.admit_with(req, trace, Completion::Channel(tx))?;
+        let (shard, job) = self.admit_with(req, trace, budget, Completion::Channel(tx))?;
         Ok((shard, job, Ticket { rx, shard }))
     }
 
@@ -528,7 +645,17 @@ impl Service {
     /// forwards the id carried in the frame header). `trace = 0` means
     /// untraced.
     pub fn submit_traced(&self, req: EvalRequest, trace: u64) -> Result<Ticket, ServeError> {
-        let (shard, job, ticket) = self.admit(req, trace)?;
+        self.submit_traced_budget(req, trace, RequestBudget::default())
+    }
+
+    /// [`Service::submit_traced`] with deadline/brownout metadata.
+    pub fn submit_traced_budget(
+        &self,
+        req: EvalRequest,
+        trace: u64,
+        budget: RequestBudget,
+    ) -> Result<Ticket, ServeError> {
+        let (shard, job, ticket) = self.admit(req, trace, budget)?;
         self.try_push(shard, job)?;
         Ok(ticket)
     }
@@ -549,7 +676,25 @@ impl Service {
     where
         F: FnOnce(EvalResponse) + Send + 'static,
     {
-        let (shard, job) = self.admit_with(req, trace, Completion::Callback(Box::new(done)))?;
+        self.submit_traced_budget_with(req, trace, RequestBudget::default(), done)
+    }
+
+    /// [`Service::submit_traced_with`] with deadline/brownout metadata —
+    /// the net server's v3 hand-off: the frame's relative deadline and the
+    /// event loop's admission-control brownout hint ride along to the
+    /// worker.
+    pub fn submit_traced_budget_with<F>(
+        &self,
+        req: EvalRequest,
+        trace: u64,
+        budget: RequestBudget,
+        done: F,
+    ) -> Result<usize, ServeError>
+    where
+        F: FnOnce(EvalResponse) + Send + 'static,
+    {
+        let (shard, job) =
+            self.admit_with(req, trace, budget, Completion::Callback(Box::new(done)))?;
         self.try_push(shard, job)?;
         Ok(shard)
     }
@@ -567,7 +712,7 @@ impl Service {
         req: EvalRequest,
         trace: u64,
     ) -> Result<Ticket, ServeError> {
-        let (shard, job, ticket) = self.admit(req, trace)?;
+        let (shard, job, ticket) = self.admit(req, trace, RequestBudget::default())?;
         match self.shards[shard].queue.push_blocking(job) {
             Ok(()) => {
                 self.accepted(shard);
@@ -583,6 +728,17 @@ impl Service {
     /// Submit-and-wait convenience (non-blocking admission).
     pub fn call(&self, req: EvalRequest) -> Result<EvalResponse, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// Submit-and-wait with deadline/brownout metadata (non-blocking
+    /// admission).
+    pub fn call_budget(
+        &self,
+        req: EvalRequest,
+        budget: RequestBudget,
+    ) -> Result<EvalResponse, ServeError> {
+        let trace = Self::default_trace(&req);
+        self.submit_traced_budget(req, trace, budget)?.wait()
     }
 
     /// Submit-and-wait convenience with backpressure admission.
@@ -632,10 +788,13 @@ impl Drop for Service {
     }
 }
 
-fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
+fn worker_loop(shard: &Shard, config: &WorkerConfig) {
+    let policy = &config.policy;
+    let max_attempts = config.max_attempts;
     let mut ws = PlanWorkspace::new();
     while let Some(job) = shard.queue.pop() {
         let started = Instant::now();
+        let waited = started.duration_since(job.enqueued);
         if job.trace != 0 && fepia_obs::trace_enabled() {
             fepia_obs::trace::with_wall(
                 fepia_obs::trace::span_event(
@@ -648,12 +807,68 @@ fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
             .field("shard", shard.index as u64)
             .emit();
         }
+        // Deadline gate: a request that expired while queued is dropped
+        // here, before any evaluation work — the worker's time goes to
+        // requests that can still meet their budget.
+        if let Some(deadline) = job.budget.deadline {
+            if waited >= deadline {
+                shard.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                shard.stats.completed.fetch_add(1, Ordering::Relaxed);
+                if fepia_obs::enabled() {
+                    fepia_obs::global().counter("deadline.expired").inc();
+                }
+                let units = job.req.kind.units() as u64;
+                if job.trace != 0 && fepia_obs::trace_enabled() {
+                    fepia_obs::trace::with_wall(
+                        fepia_obs::trace::span_event(
+                            fepia_obs::TraceId(job.trace),
+                            fepia_obs::trace::stage::SERVE_DEADLINE,
+                            job.req.id,
+                        ),
+                        started,
+                    )
+                    .field("shard", shard.index as u64)
+                    .field("units", units)
+                    .field("degraded", units)
+                    .emit();
+                }
+                job.done.complete(EvalResponse {
+                    id: job.req.id,
+                    shard: shard.index,
+                    cache: None,
+                    verdicts: Vec::new(),
+                    attempts: 0,
+                    disposition: Disposition::DeadlineExceeded,
+                });
+                continue;
+            }
+        }
+        // Brownout gate: forced by upstream admission control, or the queue
+        // wait consumed more than `brownout_after` of the deadline — answer
+        // with the cheap budgeted evaluation instead of risking a
+        // full-precision answer that lands after the deadline.
+        let brownout = config.force_brownout
+            || job.budget.brownout
+            || job.budget.deadline.is_some_and(|deadline| {
+                waited.as_secs_f64() >= config.brownout_after * deadline.as_secs_f64()
+            });
+        let budget = if brownout {
+            EvalBudget::BROWNOUT
+        } else {
+            EvalBudget::UNLIMITED
+        };
+        if brownout {
+            shard.stats.brownout_evals.fetch_add(1, Ordering::Relaxed);
+            if fepia_obs::enabled() {
+                fepia_obs::global().counter("brownout.evaluations").inc();
+            }
+        }
         fepia_chaos::maybe_delay("serve.worker");
         let mut attempts = 0u32;
         let outcome = loop {
             attempts += 1;
             match catch_unwind(AssertUnwindSafe(|| {
-                process(shard, &job.req, &mut ws, policy)
+                process(shard, &job.req, &mut ws, policy, budget)
             })) {
                 Ok(result) => break Some(result),
                 Err(_) => {
@@ -713,18 +928,32 @@ fn worker_loop(shard: &Shard, policy: &ResiliencePolicy, max_attempts: u32) {
             cache,
             verdicts,
             attempts,
+            disposition: if brownout {
+                Disposition::Brownout
+            } else {
+                Disposition::Full
+            },
         };
         if job.trace != 0 && fepia_obs::trace_enabled() {
             // `units`, `degraded` and `attempts` are pure functions of the
             // request under a fixed seed; the cache outcome depends on
             // worker scheduling, so it only appears in full (wall) mode.
-            let degraded = response.verdicts.iter().filter(|v| !v.is_exact()).count();
+            // Brownout evaluations emit `serve.brownout` *instead of*
+            // `worker.exec` (same seq) with every unit counted degraded —
+            // the service deliberately served reduced precision, whatever
+            // the individual verdicts say.
+            let degraded = if brownout {
+                response.verdicts.len()
+            } else {
+                response.verdicts.iter().filter(|v| !v.is_exact()).count()
+            };
+            let stage = if brownout {
+                fepia_obs::trace::stage::SERVE_BROWNOUT
+            } else {
+                fepia_obs::trace::stage::WORKER_EXEC
+            };
             let mut event = fepia_obs::trace::with_wall(
-                fepia_obs::trace::span_event(
-                    fepia_obs::TraceId(job.trace),
-                    fepia_obs::trace::stage::WORKER_EXEC,
-                    response.id,
-                ),
+                fepia_obs::trace::span_event(fepia_obs::TraceId(job.trace), stage, response.id),
                 started,
             )
             .field("shard", shard.index as u64)
@@ -753,13 +982,16 @@ fn process(
     req: &EvalRequest,
     ws: &mut PlanWorkspace,
     policy: &ResiliencePolicy,
+    budget: EvalBudget,
 ) -> (Vec<PlanVerdict>, CacheOutcome) {
     fepia_chaos::maybe_panic("serve.worker");
     let (compiled, outcome) = shard.cache.get_or_compile(&req.scenario);
     let verdicts = match compiled {
         Ok(compiled) => match &req.kind {
-            EvalKind::Verdict => vec![compiled.verdict_at_origin(ws, policy)],
-            EvalKind::Origins(os) => compiled.verdicts_at(os, ws, policy),
+            EvalKind::Verdict => vec![compiled.verdict_at_origin_budgeted(ws, policy, budget)],
+            EvalKind::Origins(os) => compiled.verdicts_at_budgeted(os, ws, policy, budget),
+            // Moves ride DeltaEval's affine closed form — already the cheap
+            // path, identical under any budget.
             EvalKind::Moves(ms) => compiled.move_verdicts(ms),
         },
         Err(e) => {
@@ -1015,6 +1247,103 @@ mod tests {
             |_| panic!("callback must not run for a refused request"),
         );
         assert!(matches!(err, Err(ServeError::Invalid(_))));
+    }
+
+    #[test]
+    fn expired_deadline_is_dropped_at_dequeue() {
+        // One worker pinned on a heavy request; a zero-deadline request
+        // queued behind it must come back DeadlineExceeded without being
+        // evaluated.
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let s = scenario(8);
+        let heavy: Vec<(usize, usize)> = (0..50_000).map(|k| (k % 20, k % 5)).collect();
+        let pin = service
+            .submit(EvalRequest {
+                id: 0,
+                scenario: Arc::clone(&s),
+                kind: EvalKind::Moves(heavy),
+            })
+            .unwrap();
+        let expired = service
+            .call_budget(
+                EvalRequest {
+                    id: 1,
+                    scenario: Arc::clone(&s),
+                    kind: EvalKind::Verdict,
+                },
+                RequestBudget::with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(expired.disposition, Disposition::DeadlineExceeded);
+        assert!(expired.verdicts.is_empty());
+        assert_eq!(expired.attempts, 0);
+        assert_eq!(expired.cache, None);
+        pin.wait().unwrap();
+        let totals = service.shutdown().totals();
+        assert_eq!(totals.deadline_expired, 1);
+    }
+
+    #[test]
+    fn forced_brownout_is_deterministic_and_marked() {
+        let run = || {
+            let service = Service::start(ServiceConfig {
+                shards: 1,
+                workers_per_shard: 1,
+                queue_capacity: 16,
+                force_brownout: true,
+                ..ServiceConfig::default()
+            });
+            let s = scenario(9);
+            let resp = service
+                .call(EvalRequest {
+                    id: 7,
+                    scenario: s,
+                    kind: EvalKind::Verdict,
+                })
+                .unwrap();
+            let totals = service.shutdown().totals();
+            (resp, totals)
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a.disposition, Disposition::Brownout);
+        assert_eq!(ta.brownout_evals, 1);
+        assert_eq!(tb.brownout_evals, 1);
+        // §3.1 scenarios are all-affine, so brownout answers stay exact —
+        // and bitwise equal across runs.
+        assert_eq!(
+            a.verdicts[0].metric_hi.to_bits(),
+            b.verdicts[0].metric_hi.to_bits()
+        );
+        let s = scenario(9);
+        let expected = makespan_robustness(s.mapping(), s.etc(), s.tau()).unwrap();
+        assert_eq!(a.verdicts[0].metric_hi.to_bits(), expected.metric.to_bits());
+    }
+
+    #[test]
+    fn generous_deadline_still_answers_full_precision() {
+        let service = small_service();
+        let s = scenario(10);
+        let resp = service
+            .call_budget(
+                EvalRequest {
+                    id: 3,
+                    scenario: s,
+                    kind: EvalKind::Verdict,
+                },
+                RequestBudget::with_deadline(Duration::from_secs(60)),
+            )
+            .unwrap();
+        assert_eq!(resp.disposition, Disposition::Full);
+        assert_eq!(resp.verdicts.len(), 1);
+        let totals = service.shutdown().totals();
+        assert_eq!(totals.deadline_expired, 0);
+        assert_eq!(totals.brownout_evals, 0);
     }
 
     #[test]

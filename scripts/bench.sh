@@ -19,6 +19,10 @@
 #   clients at 1/64/1024 connections, recorded in BENCH_netscale.json.
 #   The bench asserts >= 25k evals/sec at 64 connections and that the
 #   1024-connection figure stays within 2x of the 64-connection one.
+# * overload — goodput under brownout: 16 deadline-carrying drivers at
+#   8x worker capacity, recorded in BENCH_overload.json. The bench
+#   asserts >= 10k goodput units/sec and that every offered call
+#   resolves typed (no transport/protocol failures under overload).
 # * resilience_report — a traced, fixed-seed chaos-burst soak over TCP
 #   analyzed into RESMETRIC-style resilience measures (degraded fraction,
 #   recovery time, area-under-degradation), recorded in RESILIENCE.json.
@@ -70,7 +74,8 @@ run_bench chaos_overhead BENCH_chaos.json
 run_bench serve_bench BENCH_serve.json
 run_bench net_bench BENCH_net.json
 run_bench netscale BENCH_netscale.json
+run_bench overload BENCH_overload.json
 run_resilience
 
-echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} netscale=${status[netscale]} resilience=${status[resilience]}"
+echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} netscale=${status[netscale]} overload=${status[overload]} resilience=${status[resilience]}"
 exit "$failed"

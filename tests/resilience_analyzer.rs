@@ -177,3 +177,55 @@ fn thresholds_gate_each_measure_independently() {
     };
     assert_eq!(strict_aud.violations(&report).len(), 1);
 }
+
+fn span_at(stage: &str, t_us: u64, id: u64, units: u64, degraded: u64) -> String {
+    format!(
+        r#"{{"schema":"fepia.event/v1","event":"trace.span","trace":"{:016x}","stage":"{stage}","seq":3,"id":{id},"t_us":{t_us},"us":4.5,"shard":0,"units":{units},"degraded":{degraded}}}"#,
+        0xdef0_0000_0000_0000u64 | id
+    )
+}
+
+/// Brownout and deadline-drop spans are evaluation-position samples: they
+/// count toward the degraded fraction and windows exactly like degraded
+/// `worker.exec` verdicts, while non-evaluation stages never do.
+#[test]
+fn brownout_and_deadline_spans_count_as_degradation_samples() {
+    // w0 [0, 100k):   10 clean full-precision units
+    // w1 [100k, 200k): 10 units answered under brownout, 4 degraded
+    // w2 [200k, 300k): 6 units dropped with expired deadlines (all degraded)
+    let lines = vec![
+        span_at("worker.exec", 0, 1, 10, 0),
+        span_at("serve.brownout", 100_000, 2, 10, 4),
+        span_at("serve.deadline", 200_000, 3, 6, 6),
+        // Present in real streams but not an evaluation position: ignored.
+        span_at("serve.shed", 210_000, 4, 99, 99),
+        span_at("client.retry", 220_000, 5, 99, 99),
+    ];
+    let report = analyze(&Telemetry::from_lines(&lines), &AnalyzerConfig::default());
+    assert_eq!(report.requests, 3, "only evaluation-position spans sample");
+    assert_eq!(report.units, 26);
+    assert_eq!(report.degraded_units, 10);
+    assert_eq!(report.degraded_fraction(), 10.0 / 26.0);
+    let fractions: Vec<f64> = report.windows.iter().map(|w| w.fraction()).collect();
+    assert_eq!(fractions, vec![0.0, 0.4, 1.0]);
+}
+
+/// A deadline-expired tail after a burst extends recovery time just like
+/// a degraded verdict tail: the service has not recovered while it is
+/// still dropping expired work.
+#[test]
+fn deadline_drops_after_a_burst_extend_recovery() {
+    let lines = vec![
+        burst("start", 0),
+        span_at("serve.brownout", 50_000, 1, 8, 8),
+        burst("end", 100_000),
+        span_at("serve.deadline", 180_000, 2, 3, 3), // 80 ms tail
+        span_at("worker.exec", 250_000, 3, 8, 0),    // clean again
+    ];
+    let report = analyze(&Telemetry::from_lines(&lines), &AnalyzerConfig::default());
+    assert_eq!(report.bursts, 1);
+    assert_eq!(
+        report.recovery_us, 80_000,
+        "expired-deadline drops keep the burst un-recovered"
+    );
+}
