@@ -29,6 +29,7 @@
 //! per-call dispatch and allocation.
 
 pub mod analysis;
+pub mod curve;
 pub mod error;
 pub mod feature;
 pub mod impact;
@@ -41,6 +42,9 @@ pub mod report;
 pub mod verdict;
 
 pub use analysis::{FeatureRadius, FepiaAnalysis, RobustnessReport};
+pub use curve::{
+    dense_grid, dyadic_level, CurvePlan, CurvePoint, CurveRefineOptions, CurveVerdict,
+};
 pub use error::CoreError;
 pub use feature::{FeatureSpec, Tolerance};
 pub use impact::{FnImpact, Impact, LinearImpact, SumSelected};

@@ -343,104 +343,7 @@ impl AnalysisPlan {
                 &self.opts,
                 &mut ws.solver,
             ),
-            Slot::Affine(r) => {
-                let f_orig = self.affine.eval(r, origin);
-                if !f_orig.is_finite() {
-                    return Err(CoreError::Optim(OptimError::NonFinite));
-                }
-                if !tol.contains(f_orig) {
-                    return Ok(RadiusResult {
-                        radius: 0.0,
-                        boundary_point: want_point.then(|| origin.clone()),
-                        bound: Some(if f_orig > tol.max {
-                            Bound::Max
-                        } else {
-                            Bound::Min
-                        }),
-                        violated: true,
-                        method: RadiusMethod::Analytic,
-                        iterations: 0,
-                        f_evals: 1,
-                    });
-                }
-                if tol.min == tol.max {
-                    // Degenerate tolerance: origin on the only boundary.
-                    return Ok(RadiusResult {
-                        radius: 0.0,
-                        boundary_point: want_point.then(|| origin.clone()),
-                        bound: Some(Bound::Max),
-                        violated: false,
-                        method: RadiusMethod::Analytic,
-                        iterations: 0,
-                        f_evals: 1,
-                    });
-                }
-                let dual = self.affine.duals[r];
-                let mut best: Option<(f64, Bound)> = None;
-                let mut consider = |radius: f64, bound: Bound| {
-                    if best.as_ref().is_none_or(|(b, _)| radius < *b) {
-                        best = Some((radius, bound));
-                    }
-                };
-                // Same residual arithmetic as `affine_bound_radius`: the
-                // legacy path computes `(a·π + c) − β` left to right, and
-                // `f_orig` above is `(a·π) + c` with the identical dot, so
-                // `f_orig − β` is bitwise equal to the legacy residual.
-                let bound_radius = |beta: f64| -> f64 {
-                    if dual <= f64::EPSILON {
-                        return f64::INFINITY;
-                    }
-                    let residual = f_orig - beta;
-                    residual.abs() / dual
-                };
-                if tol.has_upper() {
-                    let radius = bound_radius(tol.max);
-                    consider(radius, Bound::Max);
-                }
-                if tol.has_lower() {
-                    let radius = bound_radius(tol.min);
-                    consider(radius, Bound::Min);
-                }
-                Ok(match best {
-                    Some((radius, bound)) if radius.is_finite() => {
-                        let boundary_point = if want_point {
-                            let beta = match bound {
-                                Bound::Max => tol.max,
-                                Bound::Min => tol.min,
-                            };
-                            let a = VecN::from(self.affine.row(r));
-                            affine_bound_radius(
-                                &a,
-                                self.constants_at(r),
-                                beta,
-                                origin,
-                                &self.opts.norm,
-                            )
-                            .1
-                        } else {
-                            None
-                        };
-                        RadiusResult {
-                            radius,
-                            boundary_point,
-                            bound: Some(bound),
-                            violated: false,
-                            method: RadiusMethod::Analytic,
-                            iterations: 0,
-                            f_evals: 1,
-                        }
-                    }
-                    _ => RadiusResult {
-                        radius: f64::INFINITY,
-                        boundary_point: None,
-                        bound: None,
-                        violated: false,
-                        method: RadiusMethod::Unbounded,
-                        iterations: 0,
-                        f_evals: 1,
-                    },
-                })
-            }
+            Slot::Affine(r) => self.eval_affine_tol(r, tol, origin, want_point),
         }
     }
 
@@ -555,13 +458,121 @@ impl AnalysisPlan {
         })
     }
 
-    /// One feature's classified verdict at `origin` — the fault-tolerant
-    /// counterpart of [`Self::eval_feature`]. Never returns an error and
-    /// (with `policy.catch_panics`) never unwinds: every outcome maps onto
-    /// a [`RadiusVerdict`].
-    fn eval_feature_verdict(
+    /// The affine arm of [`Self::eval_feature`] with the tolerance supplied
+    /// by the caller instead of read from the feature spec. The float
+    /// operations and branch order are *identical* to the spec-tolerance
+    /// path, so evaluating with an overridden tolerance `t` is bitwise
+    /// equal to evaluating a plan whose feature was compiled with `t` —
+    /// the invariant the degradation-curve engine
+    /// ([`crate::curve::CurvePlan`]) rests on.
+    fn eval_affine_tol(
+        &self,
+        r: usize,
+        tol: Tolerance,
+        origin: &VecN,
+        want_point: bool,
+    ) -> Result<RadiusResult, CoreError> {
+        let f_orig = self.affine.eval(r, origin);
+        if !f_orig.is_finite() {
+            return Err(CoreError::Optim(OptimError::NonFinite));
+        }
+        if !tol.contains(f_orig) {
+            return Ok(RadiusResult {
+                radius: 0.0,
+                boundary_point: want_point.then(|| origin.clone()),
+                bound: Some(if f_orig > tol.max {
+                    Bound::Max
+                } else {
+                    Bound::Min
+                }),
+                violated: true,
+                method: RadiusMethod::Analytic,
+                iterations: 0,
+                f_evals: 1,
+            });
+        }
+        if tol.min == tol.max {
+            // Degenerate tolerance: origin on the only boundary.
+            return Ok(RadiusResult {
+                radius: 0.0,
+                boundary_point: want_point.then(|| origin.clone()),
+                bound: Some(Bound::Max),
+                violated: false,
+                method: RadiusMethod::Analytic,
+                iterations: 0,
+                f_evals: 1,
+            });
+        }
+        let dual = self.affine.duals[r];
+        let mut best: Option<(f64, Bound)> = None;
+        let mut consider = |radius: f64, bound: Bound| {
+            if best.as_ref().is_none_or(|(b, _)| radius < *b) {
+                best = Some((radius, bound));
+            }
+        };
+        // Same residual arithmetic as `affine_bound_radius`: the legacy
+        // path computes `(a·π + c) − β` left to right, and `f_orig` above
+        // is `(a·π) + c` with the identical dot, so `f_orig − β` is
+        // bitwise equal to the legacy residual.
+        let bound_radius = |beta: f64| -> f64 {
+            if dual <= f64::EPSILON {
+                return f64::INFINITY;
+            }
+            let residual = f_orig - beta;
+            residual.abs() / dual
+        };
+        if tol.has_upper() {
+            let radius = bound_radius(tol.max);
+            consider(radius, Bound::Max);
+        }
+        if tol.has_lower() {
+            let radius = bound_radius(tol.min);
+            consider(radius, Bound::Min);
+        }
+        Ok(match best {
+            Some((radius, bound)) if radius.is_finite() => {
+                let boundary_point = if want_point {
+                    let beta = match bound {
+                        Bound::Max => tol.max,
+                        Bound::Min => tol.min,
+                    };
+                    let a = VecN::from(self.affine.row(r));
+                    affine_bound_radius(&a, self.constants_at(r), beta, origin, &self.opts.norm).1
+                } else {
+                    None
+                };
+                RadiusResult {
+                    radius,
+                    boundary_point,
+                    bound: Some(bound),
+                    violated: false,
+                    method: RadiusMethod::Analytic,
+                    iterations: 0,
+                    f_evals: 1,
+                }
+            }
+            _ => RadiusResult {
+                radius: f64::INFINITY,
+                boundary_point: None,
+                bound: None,
+                violated: false,
+                method: RadiusMethod::Unbounded,
+                iterations: 0,
+                f_evals: 1,
+            },
+        })
+    }
+
+    /// One feature's classified verdict at `origin` under a caller-chosen
+    /// tolerance — the fault-tolerant counterpart of
+    /// [`Self::eval_feature`]. Never returns an error and (with
+    /// `policy.catch_panics`) never unwinds: every outcome maps onto a
+    /// [`RadiusVerdict`]. The affine arm runs [`Self::eval_affine_tol`];
+    /// the numeric arm already takes its tolerance as a parameter.
+    fn eval_feature_verdict_tol(
         &self,
         idx: usize,
+        tol: Tolerance,
         origin: &VecN,
         ws: &mut PlanWorkspace,
         policy: &ResiliencePolicy,
@@ -570,7 +581,7 @@ impl AnalysisPlan {
         match feature.slot {
             // The affine arm is exact and infallible past the finiteness
             // check, so the legacy evaluator already covers it.
-            Slot::Affine(_) => match self.eval_feature(idx, origin, ws, false) {
+            Slot::Affine(r) => match self.eval_affine_tol(r, tol, origin, false) {
                 Ok(r) if r.violated => RadiusVerdict::Infeasible,
                 Ok(r) => RadiusVerdict::Exact(r),
                 Err(CoreError::Optim(OptimError::NonFinite)) => {
@@ -580,7 +591,6 @@ impl AnalysisPlan {
             },
             Slot::Numeric(k) => {
                 let impact = self.numeric[k].impact.as_ref();
-                let tol = feature.spec.tolerance;
                 if policy.catch_panics {
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         self.numeric_feature_verdict(tol, impact, origin, &mut ws.solver, policy)
@@ -685,6 +695,56 @@ impl AnalysisPlan {
         policy: &ResiliencePolicy,
         budget: EvalBudget,
     ) -> PlanVerdict {
+        self.evaluate_verdict_budgeted_inner(
+            origin,
+            &|idx| self.features[idx].spec.tolerance,
+            ws,
+            policy,
+            budget,
+        )
+    }
+
+    /// [`Self::evaluate_verdict_budgeted_with`] with every feature's
+    /// tolerance overridden by `tols` (insertion order, one per feature).
+    ///
+    /// This is the level-sweep primitive behind
+    /// [`crate::curve::CurvePlan`]: one compiled plan answers ρ at many
+    /// tolerance levels without recompiling. For any `tols` equal to the
+    /// compiled spec tolerances the result is *bitwise identical* to
+    /// [`Self::evaluate_verdict_budgeted_with`] — the override threads
+    /// through the same branches, float operations and (under fault
+    /// injection) the same chaos draw sequence.
+    ///
+    /// # Panics
+    /// If `tols.len() != self.feature_count()`.
+    pub fn evaluate_verdict_budgeted_with_tolerances(
+        &self,
+        origin: &VecN,
+        tols: &[Tolerance],
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> PlanVerdict {
+        assert_eq!(
+            tols.len(),
+            self.features.len(),
+            "one tolerance override per feature"
+        );
+        self.evaluate_verdict_budgeted_inner(origin, &|idx| tols[idx], ws, policy, budget)
+    }
+
+    /// Shared body of the budgeted verdict entry points: `tol_at` supplies
+    /// each feature's tolerance (spec or override) so both paths are the
+    /// same code — and therefore bitwise-coincident when the tolerances
+    /// coincide.
+    fn evaluate_verdict_budgeted_inner(
+        &self,
+        origin: &VecN,
+        tol_at: &dyn Fn(usize) -> Tolerance,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> PlanVerdict {
         if origin.dim() != self.affine.dim {
             return self.record_verdict(PlanVerdict::all_failed(
                 self.features.len(),
@@ -715,15 +775,16 @@ impl AnalysisPlan {
         let mut truncated = 0u64;
         let mut radii = Vec::with_capacity(self.features.len());
         for idx in 0..self.features.len() {
+            let tol = tol_at(idx);
             let verdict = match self.features[idx].slot {
-                Slot::Affine(_) => self.eval_feature_verdict(idx, origin, ws, policy),
+                Slot::Affine(_) => self.eval_feature_verdict_tol(idx, tol, origin, ws, policy),
                 Slot::Numeric(_) if solves_left > 0 => {
                     solves_left -= 1;
-                    self.eval_feature_verdict(idx, origin, ws, policy)
+                    self.eval_feature_verdict_tol(idx, tol, origin, ws, policy)
                 }
                 Slot::Numeric(_) => {
                     truncated += 1;
-                    self.budgeted_feature_verdict(idx, origin, ws, policy)
+                    self.budgeted_feature_verdict_tol(idx, tol, origin, ws, policy)
                 }
             };
             radii.push(verdict);
@@ -759,9 +820,10 @@ impl AnalysisPlan {
     /// uses). Shares the pre-checks of [`Self::numeric_feature_verdict`]
     /// so Infeasible / non-finite classifications are identical to the
     /// unbudgeted path.
-    fn budgeted_feature_verdict(
+    fn budgeted_feature_verdict_tol(
         &self,
         idx: usize,
+        tol: Tolerance,
         origin: &VecN,
         _ws: &mut PlanWorkspace,
         policy: &ResiliencePolicy,
@@ -771,7 +833,6 @@ impl AnalysisPlan {
             unreachable!("budgeted truncation only applies to numeric slots");
         };
         let impact = self.numeric[k].impact.as_ref();
-        let tol = feature.spec.tolerance;
         let run = || self.truncated_numeric_verdict(tol, impact, origin, policy);
         if policy.catch_panics {
             match catch_unwind(AssertUnwindSafe(run)) {

@@ -10,13 +10,17 @@
 //! * **Request** ([`encode_request`] / [`decode_request`]) — the request id,
 //!   a relative deadline in microseconds (`0` = none; protocol v3), the
 //!   full scenario (ETC matrix, assignment, τ, [`RadiusOptions`]), and
-//!   the [`EvalKind`]. The scenario travels by value: the server
+//!   the [`EvalKind`]. `Curve` requests carry their [`CurveSpec`] — an
+//!   explicit τ grid or adaptive-refinement bounds — as IEEE bit patterns
+//!   like every other `f64`. The scenario travels by value: the server
 //!   reconstructs it and relies on the service's fingerprint cache to avoid
 //!   recompiling plans for scenarios it has already seen.
 //! * **Response** ([`encode_response`] / [`decode_response`]) — the full
-//!   [`EvalResponse`] including every per-feature [`RadiusVerdict`] and the
-//!   [`Disposition`] (full / brownout / deadline-exceeded), so the
-//!   client sees exactly what an in-process caller would.
+//!   [`EvalResponse`] including every per-feature [`RadiusVerdict`], the
+//!   [`Disposition`] (full / brownout / deadline-exceeded), and — for
+//!   curve requests — the trailing [`CurveMeta`] (evaluated τ levels plus
+//!   the monotonicity flag), so the client sees exactly what an in-process
+//!   caller would.
 //! * **Error** ([`encode_error`] / [`decode_error`]) — a typed refusal:
 //!   [`WireError::Overloaded`] maps the service's queue-full/draining
 //!   shedding onto the wire; [`WireError::Invalid`] is a permanent
@@ -35,8 +39,8 @@ use fepia_etc::EtcMatrix;
 use fepia_mapping::Mapping;
 use fepia_optim::{Norm, SolverOptions, VecN};
 use fepia_serve::{
-    CacheOutcome, Disposition, EvalKind, EvalRequest, EvalResponse, Scenario, ShardStatsSnapshot,
-    ShedReason,
+    CacheOutcome, CurveGrid, CurveMeta, CurveSpec, Disposition, EvalKind, EvalRequest,
+    EvalResponse, Scenario, ShardStatsSnapshot, ShedReason,
 };
 use std::sync::Arc;
 
@@ -176,6 +180,7 @@ impl<'a> PayloadReader<'a> {
 const KIND_VERDICT: u8 = 1;
 const KIND_ORIGINS: u8 = 2;
 const KIND_MOVES: u8 = 3;
+const KIND_CURVE: u8 = 4;
 
 /// Encodes a full request with no deadline: id, scenario by value,
 /// evaluation kind. Equivalent to [`encode_request_with_deadline`] with
@@ -221,6 +226,30 @@ pub fn encode_request_with_deadline(req: &EvalRequest, deadline_us: u64) -> Vec<
             for &(app, dst) in ms {
                 w.usize(app);
                 w.usize(dst);
+            }
+        }
+        EvalKind::Curve(spec) => {
+            w.u8(KIND_CURVE);
+            match &spec.grid {
+                CurveGrid::Explicit(levels) => {
+                    w.u8(1);
+                    w.usize(levels.len());
+                    for &t in levels {
+                        w.f64(t);
+                    }
+                }
+                CurveGrid::Adaptive {
+                    tau_lo,
+                    tau_hi,
+                    max_depth,
+                    rho_resolution,
+                } => {
+                    w.u8(2);
+                    w.f64(*tau_lo);
+                    w.f64(*tau_hi);
+                    w.u32(*max_depth);
+                    w.f64(*rho_resolution);
+                }
             }
         }
     }
@@ -321,6 +350,24 @@ impl RequestPayload {
                 self.apps, self.machines
             ));
         }
+        // Empty kind bodies are well-formed frames but can never be served:
+        // answering them with zero verdicts would be indistinguishable from
+        // a served-but-empty response, so they are rejected typed here (and
+        // again at service validation for in-process callers).
+        match &self.kind {
+            EvalKind::Origins(os) if os.is_empty() => {
+                return Err("origins request carries no origins".into());
+            }
+            EvalKind::Moves(ms) if ms.is_empty() => {
+                return Err("moves request carries no moves".into());
+            }
+            EvalKind::Curve(spec) => {
+                if let Some(msg) = spec.validate() {
+                    return Err(msg);
+                }
+            }
+            _ => {}
+        }
         let rows: Vec<Vec<f64>> = self
             .etc_values
             .chunks(self.machines)
@@ -400,6 +447,30 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestPayload, DecodeError> {
             }
             EvalKind::Moves(moves)
         }
+        KIND_CURVE => {
+            let grid = match r.u8()? {
+                1 => CurveGrid::Explicit(r.f64_vec("curve levels")?),
+                2 => {
+                    let tau_lo = r.f64()?;
+                    let tau_hi = r.f64()?;
+                    let max_depth = r.u32()?;
+                    let rho_resolution = r.f64()?;
+                    CurveGrid::Adaptive {
+                        tau_lo,
+                        tau_hi,
+                        max_depth,
+                        rho_resolution,
+                    }
+                }
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "CurveGrid",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            EvalKind::Curve(CurveSpec { grid })
+        }
         tag => {
             return Err(DecodeError::BadTag {
                 what: "EvalKind",
@@ -447,6 +518,17 @@ pub fn encode_response(resp: &EvalResponse) -> Vec<u8> {
     w.usize(resp.verdicts.len());
     for v in &resp.verdicts {
         encode_verdict(&mut w, v);
+    }
+    match &resp.curve {
+        None => w.u8(0),
+        Some(meta) => {
+            w.u8(1);
+            w.usize(meta.taus.len());
+            for &t in &meta.taus {
+                w.f64(t);
+            }
+            w.u8(meta.monotone as u8);
+        }
     }
     w.finish()
 }
@@ -583,6 +665,29 @@ pub fn decode_response(payload: &[u8]) -> Result<EvalResponse, DecodeError> {
     for _ in 0..n {
         verdicts.push(decode_verdict(&mut r)?);
     }
+    let curve = match r.u8()? {
+        0 => None,
+        1 => {
+            let taus = r.f64_vec("curve taus")?;
+            let monotone = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        what: "monotone flag",
+                        tag: tag as u64,
+                    })
+                }
+            };
+            Some(CurveMeta { taus, monotone })
+        }
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "curve option",
+                tag: tag as u64,
+            })
+        }
+    };
     r.finish()?;
     Ok(EvalResponse {
         id,
@@ -591,6 +696,7 @@ pub fn decode_response(payload: &[u8]) -> Result<EvalResponse, DecodeError> {
         verdicts,
         attempts,
         disposition,
+        curve,
     })
 }
 
@@ -1084,6 +1190,7 @@ mod tests {
                     kind: VerdictKind::Exact,
                 },
             ],
+            curve: None,
         };
         let bytes = encode_response(&resp);
         let decoded = decode_response(&bytes).unwrap();
@@ -1094,6 +1201,100 @@ mod tests {
         assert_eq!(decoded.disposition, Disposition::Brownout);
         assert_eq!(decoded.verdicts.len(), 2);
         assert!(decoded.verdicts[0].radii.len() == 4);
+    }
+
+    #[test]
+    fn curve_request_roundtrips_both_grid_kinds() {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        let grids = [
+            CurveGrid::Explicit(vec![1.05, 1.2, 1.4, 2.0]),
+            CurveGrid::Adaptive {
+                tau_lo: 1.01,
+                tau_hi: 1.75,
+                max_depth: 5,
+                rho_resolution: 1e-4,
+            },
+        ];
+        for grid in grids {
+            let req = EvalRequest {
+                id: 12,
+                scenario: Arc::clone(&pool[0]),
+                kind: EvalKind::Curve(CurveSpec { grid: grid.clone() }),
+            };
+            let bytes = encode_request(&req);
+            let decoded = decode_request(&bytes).unwrap().into_request().unwrap();
+            match &decoded.kind {
+                EvalKind::Curve(s) => assert_eq!(s.grid, grid),
+                other => panic!("curve kind drifted over the wire: {other:?}"),
+            }
+            // Canonical: re-encoding the decoded request reproduces the bytes.
+            assert_eq!(encode_request(&decoded), bytes);
+        }
+    }
+
+    #[test]
+    fn curve_response_meta_roundtrips_bitwise() {
+        let resp = EvalResponse {
+            id: 13,
+            shard: 1,
+            cache: Some(CacheOutcome::Hit),
+            attempts: 1,
+            disposition: Disposition::Full,
+            verdicts: vec![PlanVerdict {
+                radii: vec![],
+                metric_lo: 2.5,
+                metric_hi: 2.5,
+                binding: Some(1),
+                kind: VerdictKind::Exact,
+            }],
+            curve: Some(CurveMeta {
+                taus: vec![1.05, 1.2, f64::INFINITY],
+                monotone: true,
+            }),
+        };
+        let bytes = encode_response(&resp);
+        let decoded = decode_response(&bytes).unwrap();
+        assert_eq!(encode_response(&decoded), bytes);
+        assert_eq!(decoded.curve, resp.curve);
+
+        // A hostile tau count fails typed before allocation: the count sits
+        // right after the curve presence byte (second-to-last 9 bytes are
+        // count, last is the monotone flag).
+        let mut m = bytes.clone();
+        let count_pos = m.len() - 1 - 3 * 8 - 8;
+        m[count_pos..count_pos + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            decode_response(&m),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_kind_bodies_are_invalid_not_empty_responses() {
+        // A well-formed frame carrying zero origins / zero moves / a bad
+        // curve spec must surface as Err from into_request, never as a
+        // servable request that would produce an empty verdict list.
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        for kind in [
+            EvalKind::Origins(vec![]),
+            EvalKind::Moves(vec![]),
+            EvalKind::Curve(CurveSpec {
+                grid: CurveGrid::Explicit(vec![]),
+            }),
+            EvalKind::Curve(CurveSpec {
+                grid: CurveGrid::Explicit(vec![1.4, 1.2]),
+            }),
+        ] {
+            let req = EvalRequest {
+                id: 3,
+                scenario: Arc::clone(&pool[0]),
+                kind,
+            };
+            let payload = decode_request(&encode_request(&req)).unwrap();
+            assert!(payload.into_request().is_err());
+        }
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod service;
 pub mod workload;
 
 pub use cache::{CacheOutcome, PlanCache};
-pub use scenario::{CompiledScenario, Scenario, ScenarioError};
+pub use scenario::{
+    CompiledScenario, CurveGrid, CurveMeta, CurveSpec, Scenario, ScenarioError, MAX_CURVE_DEPTH,
+    MAX_CURVE_POINTS,
+};
 pub use service::{
     Completion, Disposition, EvalKind, EvalRequest, EvalResponse, Overloaded, RequestBudget,
     ServeError, Service, ServiceConfig, ServiceStats, ShardStatsSnapshot, ShedReason, Ticket,

@@ -16,8 +16,9 @@
 //! recompiled, never served from the wrong plan.
 
 use fepia_core::{
-    AnalysisPlan, CoreError, EvalBudget, FeatureSpec, FepiaAnalysis, Perturbation, PlanVerdict,
-    PlanWorkspace, RadiusOptions, ResiliencePolicy, SumSelected, Tolerance,
+    AnalysisPlan, CoreError, CurvePlan, CurveRefineOptions, EvalBudget, FeatureSpec, FepiaAnalysis,
+    Perturbation, PlanVerdict, PlanWorkspace, RadiusOptions, ResiliencePolicy, SumSelected,
+    Tolerance,
 };
 use fepia_etc::EtcMatrix;
 use fepia_mapping::{DeltaEval, Mapping};
@@ -205,6 +206,159 @@ impl Scenario {
     }
 }
 
+/// Upper bound on explicit curve grids and on the dense grid an adaptive
+/// request may expand to — curve units feed admission control, so the
+/// worst case must be known at validation time.
+pub const MAX_CURVE_POINTS: usize = 1024;
+/// Deepest adaptive dyadic refinement the service accepts
+/// (`2^MAX_CURVE_DEPTH + 1 ≤ MAX_CURVE_POINTS + 1`).
+pub const MAX_CURVE_DEPTH: u32 = 10;
+
+/// The tolerance grid of a degradation-curve request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CurveGrid {
+    /// Evaluate exactly these τ levels, strictly ascending.
+    Explicit(Vec<f64>),
+    /// Adaptive dyadic refinement of `[tau_lo, tau_hi]` to depth
+    /// `max_depth`, subdividing while the certified ρ-change across an
+    /// interval exceeds `rho_resolution`.
+    Adaptive {
+        /// Lower endpoint (≥ 1, like any scenario τ).
+        tau_lo: f64,
+        /// Upper endpoint (> `tau_lo`).
+        tau_hi: f64,
+        /// Dyadic depth bound (≤ [`MAX_CURVE_DEPTH`]).
+        max_depth: u32,
+        /// Refinement stop: certified ρ-change per interval.
+        rho_resolution: f64,
+    },
+}
+
+/// A degradation-curve request spec: what to sweep on top of a scenario.
+/// Participates in cache keying via [`CurveSpec::fingerprint`] — two
+/// requests on the same scenario with different grids are different
+/// requests, while the compiled plan they share is cached once per
+/// scenario (that sharing *is* the curve amortization).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurveSpec {
+    /// The tolerance grid.
+    pub grid: CurveGrid,
+}
+
+impl CurveSpec {
+    /// Why a spec was rejected: a human-readable validation error, `None`
+    /// when the spec is servable.
+    pub fn validate(&self) -> Option<String> {
+        match &self.grid {
+            CurveGrid::Explicit(levels) => {
+                if levels.is_empty() {
+                    return Some("curve grid must contain at least one level".into());
+                }
+                if levels.len() > MAX_CURVE_POINTS {
+                    return Some(format!(
+                        "curve grid of {} levels exceeds the {MAX_CURVE_POINTS}-point cap",
+                        levels.len()
+                    ));
+                }
+                for &t in levels {
+                    if !(t.is_finite() && t >= 1.0) {
+                        return Some(format!("curve level τ must be finite and ≥ 1, got {t}"));
+                    }
+                }
+                if levels.windows(2).any(|w| w[0] >= w[1]) {
+                    return Some("curve levels must be strictly ascending".into());
+                }
+                None
+            }
+            CurveGrid::Adaptive {
+                tau_lo,
+                tau_hi,
+                max_depth,
+                rho_resolution,
+            } => {
+                if !(tau_lo.is_finite() && *tau_lo >= 1.0) {
+                    return Some(format!("curve τ_lo must be finite and ≥ 1, got {tau_lo}"));
+                }
+                if !(tau_hi.is_finite() && tau_hi > tau_lo) {
+                    return Some(format!(
+                        "curve τ_hi must be finite and > τ_lo, got {tau_hi}"
+                    ));
+                }
+                if *max_depth > MAX_CURVE_DEPTH {
+                    return Some(format!(
+                        "curve depth {max_depth} exceeds the cap of {MAX_CURVE_DEPTH}"
+                    ));
+                }
+                if !(rho_resolution.is_finite() && *rho_resolution >= 0.0) {
+                    return Some(format!(
+                        "curve ρ-resolution must be finite and ≥ 0, got {rho_resolution}"
+                    ));
+                }
+                None
+            }
+        }
+    }
+
+    /// Worst-case number of curve points this spec can produce — the unit
+    /// count admission control and deadline budgets charge the request.
+    pub fn max_points(&self) -> usize {
+        match &self.grid {
+            CurveGrid::Explicit(levels) => levels.len(),
+            CurveGrid::Adaptive { max_depth, .. } => (1usize << max_depth) + 1,
+        }
+    }
+
+    /// 64-bit FNV-1a fingerprint of the grid (tag + every level/field's
+    /// IEEE bits). Combined with [`Scenario::fingerprint`] this keys a
+    /// curve request: specs differing in any grid bit get different keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        match &self.grid {
+            CurveGrid::Explicit(levels) => {
+                h.u64(1);
+                h.u64(levels.len() as u64);
+                for &t in levels {
+                    h.u64(t.to_bits());
+                }
+            }
+            CurveGrid::Adaptive {
+                tau_lo,
+                tau_hi,
+                max_depth,
+                rho_resolution,
+            } => {
+                h.u64(2);
+                h.u64(tau_lo.to_bits());
+                h.u64(tau_hi.to_bits());
+                h.u64(*max_depth as u64);
+                h.u64(rho_resolution.to_bits());
+            }
+        }
+        h.finish()
+    }
+
+    /// The request-level cache key: scenario identity and grid identity
+    /// folded together.
+    pub fn request_key(&self, scenario_fingerprint: u64) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(scenario_fingerprint);
+        h.u64(self.fingerprint());
+        h.finish()
+    }
+}
+
+/// Curve metadata carried alongside the per-point verdicts in a response:
+/// which τ was evaluated at each point (explicit echoes the request grid;
+/// adaptive reports the refined grid) plus the monotonicity flag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurveMeta {
+    /// The τ level of each verdict, ascending, one per response verdict.
+    pub taus: Vec<f64>,
+    /// No adjacent pair certifies a ρ decrease as τ grows (see
+    /// [`fepia_core::CurveVerdict`]).
+    pub monotone: bool,
+}
+
 /// A compiled scenario: the shared [`AnalysisPlan`] plus the assumed
 /// operating point `C_orig`. What the per-shard cache stores.
 pub struct CompiledScenario {
@@ -282,6 +436,59 @@ impl CompiledScenario {
                     .evaluate_verdict_budgeted_with(o, ws, policy, budget)
             })
             .collect()
+    }
+
+    /// The full degradation curve ρ(τ) over this scenario's compiled plan:
+    /// one budgeted verdict per grid level, sharing the plan's affine
+    /// block, dual norms and solver workspace across all levels.
+    ///
+    /// Each level's tolerance bound is `τ_k · makespan` computed with the
+    /// *same arithmetic* [`Scenario::compile`] uses for its single τ, so
+    /// every curve point is bitwise identical to compiling an independent
+    /// scenario at `τ_k` and evaluating its verdict — the differential
+    /// oracle `tests/curve_equivalence.rs` holds the service to this.
+    pub fn curve_verdicts(
+        &self,
+        spec: &CurveSpec,
+        ws: &mut PlanWorkspace,
+        policy: &ResiliencePolicy,
+        budget: EvalBudget,
+    ) -> (Vec<PlanVerdict>, CurveMeta) {
+        let makespan = self.scenario.mapping.makespan(&self.scenario.etc);
+        let features = self.plan.feature_count();
+        let tols = move |tau: f64| -> Vec<Tolerance> {
+            let bound = tau * makespan;
+            (0..features).map(|_| Tolerance::upper(bound)).collect()
+        };
+        let curve = CurvePlan::new(Arc::clone(&self.plan));
+        let cv = match &spec.grid {
+            CurveGrid::Explicit(levels) => {
+                curve.sweep_with(&self.origin, levels, &tols, ws, policy, budget)
+            }
+            CurveGrid::Adaptive {
+                tau_lo,
+                tau_hi,
+                max_depth,
+                rho_resolution,
+            } => curve.refine_with(
+                &self.origin,
+                *tau_lo,
+                *tau_hi,
+                CurveRefineOptions {
+                    max_depth: *max_depth,
+                    rho_resolution: *rho_resolution,
+                },
+                &tols,
+                ws,
+                policy,
+                budget,
+            ),
+        };
+        let meta = CurveMeta {
+            taus: cv.levels(),
+            monotone: cv.monotone,
+        };
+        (cv.verdicts(), meta)
     }
 
     /// One verdict per single-application move `(app, dst)`, each evaluated

@@ -32,7 +32,7 @@
 
 use crate::cache::{CacheOutcome, PlanCache};
 use crate::queue::{BoundedQueue, PushError};
-use crate::scenario::Scenario;
+use crate::scenario::{CurveMeta, CurveSpec, Scenario};
 use fepia_core::{EvalBudget, FailReason, PlanVerdict, PlanWorkspace, ResiliencePolicy};
 use fepia_optim::VecN;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,15 +51,23 @@ pub enum EvalKind {
     /// One verdict per single-application move `(app, dst)` applied to the
     /// base mapping — the hot scheduler-probe path, served by `DeltaEval`.
     Moves(Vec<(usize, usize)>),
+    /// The full degradation curve ρ(τ) over a tolerance grid: one verdict
+    /// per curve point, all levels sharing the scenario's compiled plan.
+    /// The response additionally carries [`CurveMeta`] (the evaluated τ
+    /// levels plus monotonicity).
+    Curve(CurveSpec),
 }
 
 impl EvalKind {
-    /// Number of verdicts a response to this kind carries.
+    /// Number of verdicts a response to this kind carries — for adaptive
+    /// curves the worst case, which is what admission control and deadline
+    /// budgets must charge.
     pub fn units(&self) -> usize {
         match self {
             EvalKind::Verdict => 1,
             EvalKind::Origins(os) => os.len(),
             EvalKind::Moves(ms) => ms.len(),
+            EvalKind::Curve(spec) => spec.max_points(),
         }
     }
 
@@ -70,7 +78,9 @@ impl EvalKind {
     /// rather than by convention.
     pub fn is_idempotent(&self) -> bool {
         match self {
-            EvalKind::Verdict | EvalKind::Origins(_) | EvalKind::Moves(_) => true,
+            EvalKind::Verdict | EvalKind::Origins(_) | EvalKind::Moves(_) | EvalKind::Curve(_) => {
+                true
+            }
         }
     }
 }
@@ -160,6 +170,10 @@ pub struct EvalResponse {
     pub attempts: u32,
     /// How the answer relates to its deadline budget.
     pub disposition: Disposition,
+    /// Curve metadata, present exactly when the request was
+    /// [`EvalKind::Curve`] and an evaluation ran: the τ level of each
+    /// verdict plus the monotonicity flag.
+    pub curve: Option<CurveMeta>,
 }
 
 /// Why the service refused a request at admission.
@@ -508,6 +522,14 @@ impl Service {
         match &req.kind {
             EvalKind::Verdict => Ok(()),
             EvalKind::Origins(os) => {
+                // An empty origin list would produce an empty response a
+                // client cannot tell apart from a dropped evaluation —
+                // reject it as malformed instead.
+                if os.is_empty() {
+                    return Err(ServeError::Invalid(
+                        "origins request carries no origins".into(),
+                    ));
+                }
                 for (k, o) in os.iter().enumerate() {
                     if o.dim() != apps {
                         return Err(ServeError::Invalid(format!(
@@ -519,6 +541,9 @@ impl Service {
                 Ok(())
             }
             EvalKind::Moves(ms) => {
+                if ms.is_empty() {
+                    return Err(ServeError::Invalid("moves request carries no moves".into()));
+                }
                 for (k, &(app, dst)) in ms.iter().enumerate() {
                     if app >= apps || dst >= machines {
                         return Err(ServeError::Invalid(format!(
@@ -528,6 +553,10 @@ impl Service {
                 }
                 Ok(())
             }
+            EvalKind::Curve(spec) => match spec.validate() {
+                Some(msg) => Err(ServeError::Invalid(msg)),
+                None => Ok(()),
+            },
         }
     }
 
@@ -839,6 +868,7 @@ fn worker_loop(shard: &Shard, config: &WorkerConfig) {
                     verdicts: Vec::new(),
                     attempts: 0,
                     disposition: Disposition::DeadlineExceeded,
+                    curve: None,
                 });
                 continue;
             }
@@ -884,7 +914,7 @@ fn worker_loop(shard: &Shard, config: &WorkerConfig) {
                 }
             }
         };
-        let (verdicts, cache) = outcome.map_or_else(
+        let (verdicts, cache, curve) = outcome.map_or_else(
             || {
                 let reason = FailReason::Panic(format!(
                     "evaluation panicked on all {max_attempts} attempts"
@@ -892,9 +922,9 @@ fn worker_loop(shard: &Shard, config: &WorkerConfig) {
                 let failed = (0..job.req.kind.units().max(1))
                     .map(|_| PlanVerdict::all_failed(1, reason.clone()))
                     .collect();
-                (failed, None)
+                (failed, None, None)
             },
-            |(v, c)| (v, Some(c)),
+            |(v, c, meta)| (v, Some(c), meta),
         );
         if let Some(c) = cache {
             let counter = match c {
@@ -933,6 +963,7 @@ fn worker_loop(shard: &Shard, config: &WorkerConfig) {
             } else {
                 Disposition::Full
             },
+            curve,
         };
         if job.trace != 0 && fepia_obs::trace_enabled() {
             // `units`, `degraded` and `attempts` are pure functions of the
@@ -983,32 +1014,43 @@ fn process(
     ws: &mut PlanWorkspace,
     policy: &ResiliencePolicy,
     budget: EvalBudget,
-) -> (Vec<PlanVerdict>, CacheOutcome) {
+) -> (Vec<PlanVerdict>, CacheOutcome, Option<CurveMeta>) {
     fepia_chaos::maybe_panic("serve.worker");
     let (compiled, outcome) = shard.cache.get_or_compile(&req.scenario);
-    let verdicts = match compiled {
+    let (verdicts, curve) = match compiled {
         Ok(compiled) => match &req.kind {
-            EvalKind::Verdict => vec![compiled.verdict_at_origin_budgeted(ws, policy, budget)],
-            EvalKind::Origins(os) => compiled.verdicts_at_budgeted(os, ws, policy, budget),
+            EvalKind::Verdict => (
+                vec![compiled.verdict_at_origin_budgeted(ws, policy, budget)],
+                None,
+            ),
+            EvalKind::Origins(os) => (compiled.verdicts_at_budgeted(os, ws, policy, budget), None),
             // Moves ride DeltaEval's affine closed form — already the cheap
             // path, identical under any budget.
-            EvalKind::Moves(ms) => compiled.move_verdicts(ms),
+            EvalKind::Moves(ms) => (compiled.move_verdicts(ms), None),
+            EvalKind::Curve(spec) => {
+                let (verdicts, meta) = compiled.curve_verdicts(spec, ws, policy, budget);
+                (verdicts, Some(meta))
+            }
         },
         Err(e) => {
             // Compilation failed: a typed all-failed verdict per unit, never
             // a dropped ticket.
             let reason = FailReason::Solver(e.to_string());
-            (0..req.kind.units().max(1))
-                .map(|_| PlanVerdict::all_failed(1, reason.clone()))
-                .collect()
+            (
+                (0..req.kind.units().max(1))
+                    .map(|_| PlanVerdict::all_failed(1, reason.clone()))
+                    .collect(),
+                None,
+            )
         }
     };
-    (verdicts, outcome)
+    (verdicts, outcome, curve)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::CurveGrid;
     use fepia_core::RadiusOptions;
     use fepia_etc::{generate_cvb, EtcParams};
     use fepia_mapping::{makespan_robustness, Mapping};
@@ -1119,10 +1161,108 @@ mod tests {
         assert!(matches!(bad_move, Err(ServeError::Invalid(_))));
         let bad_origin = service.call(EvalRequest {
             id: 0,
-            scenario: s,
+            scenario: Arc::clone(&s),
             kind: EvalKind::Origins(vec![fepia_optim::VecN::zeros(3)]),
         });
         assert!(matches!(bad_origin, Err(ServeError::Invalid(_))));
+        // The empty-list gap: an empty moves/origins request would produce
+        // an empty response indistinguishable from a drop — both are typed
+        // Invalid now.
+        let empty_moves = service.call(EvalRequest {
+            id: 0,
+            scenario: Arc::clone(&s),
+            kind: EvalKind::Moves(Vec::new()),
+        });
+        assert!(matches!(empty_moves, Err(ServeError::Invalid(_))));
+        let empty_origins = service.call(EvalRequest {
+            id: 0,
+            scenario: Arc::clone(&s),
+            kind: EvalKind::Origins(Vec::new()),
+        });
+        assert!(matches!(empty_origins, Err(ServeError::Invalid(_))));
+        // Malformed curve grids are refused the same way.
+        for bad in [
+            CurveSpec {
+                grid: CurveGrid::Explicit(Vec::new()),
+            },
+            CurveSpec {
+                grid: CurveGrid::Explicit(vec![1.2, 1.1]),
+            },
+            CurveSpec {
+                grid: CurveGrid::Explicit(vec![0.5]),
+            },
+            CurveSpec {
+                grid: CurveGrid::Adaptive {
+                    tau_lo: 1.5,
+                    tau_hi: 1.2,
+                    max_depth: 3,
+                    rho_resolution: 0.1,
+                },
+            },
+            CurveSpec {
+                grid: CurveGrid::Adaptive {
+                    tau_lo: 1.0,
+                    tau_hi: 2.0,
+                    max_depth: crate::scenario::MAX_CURVE_DEPTH + 1,
+                    rho_resolution: 0.1,
+                },
+            },
+        ] {
+            let resp = service.call(EvalRequest {
+                id: 0,
+                scenario: Arc::clone(&s),
+                kind: EvalKind::Curve(bad),
+            });
+            assert!(matches!(resp, Err(ServeError::Invalid(_))));
+        }
+    }
+
+    #[test]
+    fn curve_request_serves_per_level_verdicts_with_meta() {
+        let service = small_service();
+        let s = scenario(11);
+        let levels = vec![1.05, 1.2, 1.4, 2.0];
+        let resp = service
+            .call(EvalRequest {
+                id: 5,
+                scenario: Arc::clone(&s),
+                kind: EvalKind::Curve(CurveSpec {
+                    grid: CurveGrid::Explicit(levels.clone()),
+                }),
+            })
+            .unwrap();
+        let meta = resp.curve.as_ref().expect("curve responses carry meta");
+        assert_eq!(meta.taus, levels);
+        assert!(meta.monotone);
+        assert_eq!(resp.verdicts.len(), levels.len());
+        // Every point bitwise-equal to an independently compiled single-τ
+        // scenario at that level.
+        for (&tau, v) in levels.iter().zip(&resp.verdicts) {
+            let solo = Arc::new(
+                Scenario::new(
+                    Arc::clone(s.etc()),
+                    s.mapping().clone(),
+                    tau,
+                    s.opts().clone(),
+                )
+                .unwrap(),
+            );
+            let expected = solo
+                .compile()
+                .unwrap()
+                .verdict_at_origin(&mut PlanWorkspace::new(), service.policy());
+            assert_eq!(v.metric_hi.to_bits(), expected.metric_hi.to_bits());
+            assert_eq!(v.metric_lo.to_bits(), expected.metric_lo.to_bits());
+        }
+        // Non-curve responses never carry curve meta.
+        let plain = service
+            .call(EvalRequest {
+                id: 6,
+                scenario: s,
+                kind: EvalKind::Verdict,
+            })
+            .unwrap();
+        assert!(plain.curve.is_none());
     }
 
     #[test]

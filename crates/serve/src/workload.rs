@@ -292,6 +292,7 @@ mod tests {
                 EvalKind::Moves(_) => moves += 1,
                 EvalKind::Verdict => verdicts += 1,
                 EvalKind::Origins(_) => origins += 1,
+                EvalKind::Curve(_) => unreachable!("workload generator emits no curve requests"),
             }
         }
         assert!(moves > 0 && verdicts > 0 && origins > 0);

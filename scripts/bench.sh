@@ -23,6 +23,10 @@
 #   8x worker capacity, recorded in BENCH_overload.json. The bench
 #   asserts >= 10k goodput units/sec and that every offered call
 #   resolves typed (no transport/protocol failures under overload).
+# * curve — degradation-curve amortization: warm-cache Curve requests
+#   (33-level dense grid) vs the equivalent per-level single-τ Verdict
+#   stream, recorded in BENCH_curve.json. The bench asserts >= 50k curve
+#   points/sec and a >= 2x warm-vs-cold amortization ratio.
 # * resilience_report — a traced, fixed-seed chaos-burst soak over TCP
 #   analyzed into RESMETRIC-style resilience measures (degraded fraction,
 #   recovery time, area-under-degradation), recorded in RESILIENCE.json.
@@ -75,7 +79,8 @@ run_bench serve_bench BENCH_serve.json
 run_bench net_bench BENCH_net.json
 run_bench netscale BENCH_netscale.json
 run_bench overload BENCH_overload.json
+run_bench curve BENCH_curve.json
 run_resilience
 
-echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} netscale=${status[netscale]} overload=${status[overload]} resilience=${status[resilience]}"
+echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} netscale=${status[netscale]} overload=${status[overload]} curve=${status[curve]} resilience=${status[resilience]}"
 exit "$failed"

@@ -15,6 +15,8 @@
 #                        scale_ratio_1024_vs_64 >= scale_ratio_threshold
 #   BENCH_overload.json  goodput_units_per_sec >= goodput_threshold
 #                        typed_outcome_fraction >= typed_fraction_threshold
+#   BENCH_curve.json  curve_points_per_sec >= curve_points_threshold
+#                     warm_cold_ratio >= amortization_threshold
 #   RESILIENCE.json   degraded_fraction <= degraded_fraction_threshold
 #                     recovery_us <= recovery_us_threshold
 #                     aud_seconds <= aud_seconds_threshold
@@ -33,10 +35,10 @@ export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results/bench_gate}"
 
 # Preserve the checked-in JSONs: bench.sh copies fresh ones over them.
 stash="$(mktemp -d)"
-trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json BENCH_overload.json RESILIENCE.json; do
+trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json BENCH_overload.json BENCH_curve.json RESILIENCE.json; do
         [ -f "$stash/$f" ] && cp "$stash/$f" "$f"
       done; rm -rf "$stash"' EXIT
-for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json BENCH_overload.json RESILIENCE.json; do
+for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json BENCH_overload.json BENCH_curve.json RESILIENCE.json; do
   [ -f "$f" ] || { echo "check_bench: missing checked-in $f" >&2; exit 1; }
   cp "$f" "$stash/$f"
 done
@@ -110,6 +112,12 @@ gate "overload goodput units/sec" \
 gate "overload typed-outcome fraction" \
   "$(field "$FEPIA_RESULTS/BENCH_overload.json" typed_outcome_fraction)" ">=" \
   "$(field "$stash/BENCH_overload.json" typed_fraction_threshold)"
+gate "curve points/sec" \
+  "$(field "$FEPIA_RESULTS/BENCH_curve.json" curve_points_per_sec)" ">=" \
+  "$(field "$stash/BENCH_curve.json" curve_points_threshold)"
+gate "curve warm-vs-cold amortization" \
+  "$(field "$FEPIA_RESULTS/BENCH_curve.json" warm_cold_ratio)" ">=" \
+  "$(field "$stash/BENCH_curve.json" amortization_threshold)"
 gate "resilience degraded fraction" \
   "$(field "$FEPIA_RESULTS/RESILIENCE.json" degraded_fraction)" "<=" \
   "$(field "$stash/RESILIENCE.json" degraded_fraction_threshold)"

@@ -274,6 +274,65 @@ fn client_reconnects_through_torn_frame() {
     script.join().unwrap();
 }
 
+/// Regression for the empty-body ambiguity: a `Moves`/`Origins` request
+/// carrying an empty list would be answered with zero verdicts — a
+/// response a client cannot tell apart from a dropped evaluation. The
+/// wire layer must reject both as typed `Invalid` (permanent, no retry),
+/// and an empty explicit curve grid gets the same treatment.
+#[test]
+fn empty_kind_bodies_yield_typed_invalid_over_the_wire() {
+    let _guard = net_guard();
+    let spec = WorkloadSpec::default();
+    let pool = scenario_pool(&spec);
+    let served = Arc::new(Service::start(equivalence_config()));
+    let server =
+        NetServer::start(Arc::clone(&served), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+
+    use fepia::serve::{CurveGrid, CurveSpec, EvalKind, EvalRequest};
+    let cases: [(EvalKind, &str); 3] = [
+        (
+            EvalKind::Moves(Vec::new()),
+            "moves request carries no moves",
+        ),
+        (
+            EvalKind::Origins(Vec::new()),
+            "origins request carries no origins",
+        ),
+        (
+            EvalKind::Curve(CurveSpec {
+                grid: CurveGrid::Explicit(Vec::new()),
+            }),
+            "curve grid must contain at least one level",
+        ),
+    ];
+    for (id, (kind, expected)) in cases.into_iter().enumerate() {
+        let req = EvalRequest {
+            id: id as u64,
+            scenario: Arc::clone(&pool[0]),
+            kind,
+        };
+        match client.call(&req) {
+            Err(NetError::Invalid(msg)) => assert_eq!(msg, expected, "request {id}"),
+            Ok(resp) => panic!(
+                "request {id}: empty body served {} verdicts instead of a typed rejection",
+                resp.verdicts.len()
+            ),
+            other => panic!("request {id}: expected Invalid, got {other:?}"),
+        }
+    }
+    assert_eq!(client.retries(), 0, "Invalid must never be retried");
+    assert_eq!(client.reconnects(), 0, "Invalid must keep the connection");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.invalid, 3, "every empty body counted as invalid");
+    assert_eq!(stats.frames_written, 3, "each rejection was answered");
+    Arc::try_unwrap(served)
+        .ok()
+        .expect("server released its service handle")
+        .shutdown();
+}
+
 /// Graceful drain: every request the server accepted before shutdown is
 /// answered before the connection closes.
 #[test]

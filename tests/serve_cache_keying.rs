@@ -16,10 +16,13 @@
 
 use fepia::optim::Norm;
 use fepia::serve::cache::PlanCache;
+use fepia::serve::workload::verdicts_bitwise_equal;
 use fepia::serve::workload::{
     moves_request, request, response_digest, scenario_pool, WorkloadSpec,
 };
-use fepia::serve::{CacheOutcome, Scenario, Service, ServiceConfig};
+use fepia::serve::{
+    CacheOutcome, CurveGrid, CurveSpec, EvalKind, EvalRequest, Scenario, Service, ServiceConfig,
+};
 use fepia_etc::EtcMatrix;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -81,6 +84,61 @@ fn with_mutated_etc_entry(base: &Scenario, app: usize, machine: usize) -> Arc<Sc
         )
         .expect("perturbed ETC stays valid"),
     )
+}
+
+fn base_curve_spec() -> CurveSpec {
+    CurveSpec {
+        grid: CurveGrid::Explicit(vec![1.0, 1.2, 1.5, 2.0]),
+    }
+}
+
+/// Rebuilds the base curve spec with its grid mutated in one of seven
+/// ways; every mutation changes at least one result-affecting bit.
+fn with_mutated_grid(which: usize) -> CurveSpec {
+    let levels = vec![1.0, 1.2, 1.5, 2.0];
+    let grid = match which % 7 {
+        0 => {
+            // One level nudged by ~1 ULP — still a different f64.
+            let mut l = levels;
+            l[2] = l[2] * (1.0 + 1e-9) + 1e-12;
+            CurveGrid::Explicit(l)
+        }
+        1 => {
+            let mut l = levels;
+            l.push(3.0);
+            CurveGrid::Explicit(l)
+        }
+        2 => {
+            let mut l = levels;
+            l.pop();
+            CurveGrid::Explicit(l)
+        }
+        3 => CurveGrid::Adaptive {
+            tau_lo: 1.0,
+            tau_hi: 2.0,
+            max_depth: 4,
+            rho_resolution: 1e-3,
+        },
+        4 => CurveGrid::Adaptive {
+            tau_lo: 1.0,
+            tau_hi: 2.0,
+            max_depth: 5,
+            rho_resolution: 1e-3,
+        },
+        5 => CurveGrid::Adaptive {
+            tau_lo: 1.0,
+            tau_hi: 2.0,
+            max_depth: 4,
+            rho_resolution: 2e-3,
+        },
+        _ => CurveGrid::Adaptive {
+            tau_lo: 1.0,
+            tau_hi: 2.0 * (1.0 + 1e-9),
+            max_depth: 4,
+            rho_resolution: 1e-3,
+        },
+    };
+    CurveSpec { grid }
 }
 
 proptest! {
@@ -169,6 +227,59 @@ proptest! {
                 "cache hit changed response bits for request {}", twice[0].id
             );
         }
+        service.shutdown();
+    }
+
+    /// Two curve requests differing only in their grid spec never share a
+    /// response key: the spec fingerprint separates every level bit, the
+    /// grid mode and each adaptive knob, so a served curve can never be
+    /// replayed for a different grid over the same scenario.
+    #[test]
+    fn curve_specs_differing_in_grid_never_collide(seed in 0u64..60, which in 0usize..7) {
+        let pool = scenario_pool(&spec_for(seed));
+        let scenario_fp = pool[0].fingerprint();
+        let base = base_curve_spec();
+        let mutated = with_mutated_grid(which);
+
+        prop_assert!(base.fingerprint() != mutated.fingerprint(),
+            "grid mutation {which} left the curve-spec fingerprint unchanged");
+        prop_assert!(base.request_key(scenario_fp) != mutated.request_key(scenario_fp),
+            "grid mutation {which} left the request key unchanged");
+        // The scenario still separates: the same spec over different
+        // scenarios must not collide either.
+        prop_assert!(
+            base.request_key(scenario_fp) != base.request_key(pool[1].fingerprint()),
+            "request key ignored the scenario fingerprint"
+        );
+    }
+
+    /// Identical (scenario, spec) pairs always hit: the repeat reuses the
+    /// compiled plan and returns a bitwise-identical curve — points and
+    /// metadata both.
+    #[test]
+    fn identical_curve_requests_always_hit_bitwise(seed in 0u64..40, which in 0usize..7) {
+        let spec = spec_for(seed);
+        let pool = scenario_pool(&spec);
+        let service = Service::start(ServiceConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            ..ServiceConfig::default()
+        });
+
+        let req = EvalRequest {
+            id: 7,
+            scenario: Arc::clone(&pool[0]),
+            kind: EvalKind::Curve(with_mutated_grid(which)),
+        };
+        let cold = service.call_blocking(req.clone()).expect("cold accepted");
+        let warm = service.call_blocking(req).expect("warm accepted");
+        prop_assert_eq!(cold.cache, Some(CacheOutcome::Compiled));
+        prop_assert_eq!(warm.cache, Some(CacheOutcome::Hit));
+        prop_assert!(
+            verdicts_bitwise_equal(&warm.verdicts, &cold.verdicts),
+            "cache hit changed a curve point"
+        );
+        prop_assert_eq!(&warm.curve, &cold.curve, "cache hit changed curve metadata");
         service.shutdown();
     }
 }

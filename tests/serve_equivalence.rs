@@ -81,6 +81,10 @@ fn oracle_metric_bits(scenario: &Scenario, kind: &EvalKind) -> Vec<u64> {
                     .to_bits()
             })
             .collect(),
+        // Curve requests have their own differential oracle
+        // (tests/curve_equivalence.rs); the recorded workload never
+        // emits them.
+        EvalKind::Curve(_) => unreachable!("workload generator emits no curve requests"),
     }
 }
 
