@@ -1,0 +1,145 @@
+//! Optimizer-job throughput: seeded heuristic populations through the
+//! [`fepia_serve::JobTable`] (the PR 10 tentpole bench).
+//!
+//! Backs the README "Optimizer jobs" section. An annealing-heavy
+//! population is run as one job on the §4.2 system (20 apps × 5
+//! machines): every candidate is a pure function of `(seed, k)`, every
+//! annealing step is one [`fepia_mapping::DeltaEval`] probe, and the
+//! results fold into a makespan × robustness Pareto front in index
+//! order. Reported: sustained delta-evals/sec through the whole job
+//! machinery (admission, batching, fan-out, front folds, snapshot
+//! publication) and the mean cost of one incremental front update
+//! ([`ParetoFront::offer`]) over a large adversarial candidate stream.
+//!
+//! Acceptance bars (checked in as `BENCH_optimize.json`, enforced by
+//! `scripts/check_bench.sh`): ≥ 1_000_000 delta-evals/sec and a mean
+//! front update ≤ 5 µs.
+//!
+//! Correctness first: before timing, the same seed is run twice at
+//! different thread counts and the front digests must match bitwise.
+//! Custom harness (`harness = false`): full run via
+//! `cargo bench --bench optimize`; under `cargo test` (`--test` flag) a
+//! quick pass checks the determinism oracle and skips the bars.
+
+use fepia_bench::outdir::results_dir;
+use fepia_etc::{generate_cvb, EtcMatrix, EtcParams};
+use fepia_mapping::{FrontPoint, ParetoFront};
+use fepia_serve::{JobHeuristic, JobSpec, JobTable, JobTableConfig};
+use fepia_stats::rng_for;
+use rand::Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_spec(etc: &Arc<EtcMatrix>, quick: bool) -> JobSpec {
+    let iterations = if quick { 2_000 } else { 100_000 };
+    let population = if quick { 16 } else { 256 };
+    JobSpec {
+        etc: Arc::clone(etc),
+        tau: 1.2,
+        seed: 2003,
+        population,
+        batches: 8,
+        heuristics: vec![JobHeuristic::Annealing {
+            iterations,
+            initial_temperature: 0.1,
+            cooling: 0.9999,
+        }],
+        threads: 0,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let etc = Arc::new(generate_cvb(
+        &mut rng_for(2003, 1_000),
+        &EtcParams::paper_section_4_2(),
+    ));
+    let table = JobTable::new(JobTableConfig::default());
+
+    // Determinism oracle: the same seed at 1 and 2 worker threads must
+    // serve a bitwise-identical front before any number is trusted.
+    let mut probe = bench_spec(&etc, true);
+    probe.threads = 1;
+    let one = table.run(probe.clone()).expect("probe job runs");
+    probe.threads = 2;
+    let two = table.run(probe).expect("probe job runs");
+    assert_eq!(
+        ParetoFront::from_points(one.front.clone()).digest(),
+        ParetoFront::from_points(two.front.clone()).digest(),
+        "front digest drifted across thread counts"
+    );
+
+    // Timed job: the whole pipeline (admission, batch fan-out, delta
+    // evaluations, index-order folds, snapshot publication).
+    let spec = bench_spec(&etc, quick);
+    let (population, batches) = (spec.population, spec.batches);
+    let t0 = Instant::now();
+    let snap = table.run(spec).expect("bench job runs");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(snap.evals_done, snap.evals_total, "job must finish");
+    let delta_evals_per_sec = snap.evals_done as f64 / elapsed;
+
+    // Front-update latency: fold a large adversarial candidate stream
+    // (random coordinates — inserts, rejections, and evictions all hit)
+    // and charge the mean per offer.
+    let updates: u64 = if quick { 10_000 } else { 1_000_000 };
+    let mut rng = rng_for(2003, 2_000);
+    let candidates: Vec<FrontPoint> = (0..updates)
+        .map(|k| FrontPoint {
+            index: k,
+            makespan: rng.gen_range(1.0..100.0),
+            metric: rng.gen_range(0.1..10.0),
+            heuristic: String::new(),
+            assignment: Vec::new(),
+        })
+        .collect();
+    let mut front = ParetoFront::new();
+    let t1 = Instant::now();
+    for c in candidates {
+        front.offer(c);
+    }
+    let front_update_us = t1.elapsed().as_secs_f64() * 1e6 / updates as f64;
+
+    println!(
+        "optimizer job ({} apps x {} machines, population {population}, {batches} batches):",
+        etc.apps(),
+        etc.machines()
+    );
+    println!(
+        "  delta-evals/sec: {delta_evals_per_sec:>12.0} (bar: 1000000) over {} evals in {elapsed:.3} s",
+        snap.evals_done
+    );
+    println!(
+        "  front update: {front_update_us:.4} us mean over {updates} offers (bar: 5 us), final front {} points",
+        front.len()
+    );
+
+    if !quick {
+        let json = format!(
+            "{{\n  \"bench\": \"optimize\",\n  \"apps\": {},\n  \"machines\": {},\n  \"population\": {},\n  \"batches\": {},\n  \"evals\": {},\n  \"elapsed_s\": {:.3},\n  \"delta_evals_per_sec\": {:.0},\n  \"front_update_us\": {:.4},\n  \"front_points\": {},\n  \"delta_evals_threshold\": 1000000.0,\n  \"front_update_us_threshold\": 5.0\n}}\n",
+            etc.apps(),
+            etc.machines(),
+            population,
+            batches,
+            snap.evals_done,
+            elapsed,
+            delta_evals_per_sec,
+            front_update_us,
+            front.len()
+        );
+        let path = results_dir().join("BENCH_optimize.json");
+        std::fs::write(&path, json).expect("write BENCH_optimize.json");
+        println!("wrote {}", path.display());
+        assert!(
+            delta_evals_per_sec >= 1_000_000.0,
+            "delta-eval throughput {delta_evals_per_sec:.0}/s below the 1M bar"
+        );
+        assert!(
+            front_update_us <= 5.0,
+            "mean front update {front_update_us:.4} us above the 5 us bar"
+        );
+        println!("OK: throughput and front-update bars met");
+    } else {
+        println!("quick mode: determinism oracle checked, throughput bars skipped");
+    }
+}

@@ -71,9 +71,84 @@ pub(crate) fn best_completion(loads: &[f64], etc: &EtcMatrix, app: usize) -> (us
     best
 }
 
-/// Every heuristic in this module, boxed, for sweep-style experiments.
-pub fn all_heuristics(seeded_iters: usize) -> Vec<Box<dyn MappingHeuristic>> {
+/// Per-heuristic iteration budgets for the seeded (stochastic / search)
+/// heuristics, plus their shape parameters.
+///
+/// The old `all_heuristics(seeded_iters)` handed every search heuristic
+/// one number and derived the rest by fixed ratios — the optimizer-job
+/// layer needs to budget annealing, tabu and the GA independently without
+/// re-plumbing construction, so the knobs live here. Every heuristic is a
+/// plain value type (config fields only; all randomness comes through the
+/// caller's `RngCore`), so one budget set can be shared across concurrent
+/// jobs with no hidden state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeuristicBudgets {
+    /// [`SimulatedAnnealing::iterations`].
+    pub annealing_iters: usize,
+    /// [`SimulatedAnnealing::initial_temperature`].
+    pub annealing_temperature: f64,
+    /// [`SimulatedAnnealing::cooling`].
+    pub annealing_cooling: f64,
+    /// [`TabuSearch::iterations`].
+    pub tabu_iters: usize,
+    /// [`TabuSearch::tabu_len`].
+    pub tabu_len: usize,
+    /// [`Genetic::population`].
+    pub genetic_population: usize,
+    /// [`Genetic::generations`].
+    pub genetic_generations: usize,
+    /// [`Genetic::mutation_rate`].
+    pub genetic_mutation_rate: f64,
+    /// [`RobustGreedy::tau`].
+    pub robust_greedy_tau: f64,
+}
+
+impl HeuristicBudgets {
+    /// The legacy budget shape: one `seeded_iters` knob, tabu and GA
+    /// generations at a tenth of it. Exactly what
+    /// `all_heuristics(seeded_iters)` always built.
+    pub fn uniform(seeded_iters: usize) -> HeuristicBudgets {
+        HeuristicBudgets {
+            annealing_iters: seeded_iters,
+            annealing_temperature: 0.1,
+            annealing_cooling: 0.995,
+            tabu_iters: seeded_iters / 10,
+            tabu_len: 16,
+            genetic_population: 32,
+            genetic_generations: seeded_iters / 10,
+            genetic_mutation_rate: 0.05,
+            robust_greedy_tau: 1.2,
+        }
+    }
+}
+
+/// The seeded search heuristics only (the ones an optimizer job runs),
+/// constructed from explicit per-heuristic budgets.
+pub fn seeded_heuristics_with(b: &HeuristicBudgets) -> Vec<Box<dyn MappingHeuristic>> {
     vec![
+        Box::new(RobustGreedy {
+            tau: b.robust_greedy_tau,
+        }),
+        Box::new(SimulatedAnnealing {
+            iterations: b.annealing_iters,
+            initial_temperature: b.annealing_temperature,
+            cooling: b.annealing_cooling,
+        }),
+        Box::new(TabuSearch {
+            iterations: b.tabu_iters,
+            tabu_len: b.tabu_len,
+        }),
+        Box::new(Genetic {
+            population: b.genetic_population,
+            generations: b.genetic_generations,
+            mutation_rate: b.genetic_mutation_rate,
+        }),
+    ]
+}
+
+/// Every heuristic in this module, boxed, with explicit seeded budgets.
+pub fn all_heuristics_with(b: &HeuristicBudgets) -> Vec<Box<dyn MappingHeuristic>> {
+    let mut hs: Vec<Box<dyn MappingHeuristic>> = vec![
         Box::new(Olb),
         Box::new(Met),
         Box::new(Mct),
@@ -83,22 +158,16 @@ pub fn all_heuristics(seeded_iters: usize) -> Vec<Box<dyn MappingHeuristic>> {
         Box::new(Sufferage),
         Box::new(RoundRobin),
         Box::new(RandomMap),
-        Box::new(RobustGreedy { tau: 1.2 }),
-        Box::new(SimulatedAnnealing {
-            iterations: seeded_iters,
-            initial_temperature: 0.1,
-            cooling: 0.995,
-        }),
-        Box::new(TabuSearch {
-            iterations: seeded_iters / 10,
-            tabu_len: 16,
-        }),
-        Box::new(Genetic {
-            population: 32,
-            generations: seeded_iters / 10,
-            mutation_rate: 0.05,
-        }),
-    ]
+    ];
+    hs.extend(seeded_heuristics_with(b));
+    hs
+}
+
+/// Every heuristic in this module, boxed, for sweep-style experiments.
+/// Legacy entry point: one shared iteration knob
+/// ([`HeuristicBudgets::uniform`]).
+pub fn all_heuristics(seeded_iters: usize) -> Vec<Box<dyn MappingHeuristic>> {
+    all_heuristics_with(&HeuristicBudgets::uniform(seeded_iters))
 }
 
 #[cfg(test)]
@@ -142,6 +211,27 @@ mod tests {
             assert_valid(&m, &etc);
             assert!(!h.name().is_empty());
         }
+    }
+
+    #[test]
+    fn budgets_are_applied_per_heuristic() {
+        let b = HeuristicBudgets {
+            annealing_iters: 7,
+            tabu_iters: 3,
+            genetic_generations: 2,
+            ..HeuristicBudgets::uniform(100)
+        };
+        let etc = instance(2);
+        let mut rng = fepia_stats::rng_for(2, 0);
+        // Uneven budgets construct and run; legacy uniform() reproduces the
+        // old derivation exactly.
+        for h in seeded_heuristics_with(&b) {
+            assert_valid(&h.map(&etc, &mut rng), &etc);
+        }
+        let legacy = HeuristicBudgets::uniform(200);
+        assert_eq!(legacy.annealing_iters, 200);
+        assert_eq!(legacy.tabu_iters, 20);
+        assert_eq!(legacy.genetic_generations, 20);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   makespan, Eq. 6 radii and the Eq. 7 minimum live across single-app
 //!   moves (O(2) machines per move, bitwise identical to a full recompute);
 //!   the local-search heuristics run on it.
+//! * [`front`] — makespan × robustness Pareto fronts: incremental
+//!   dominance maintenance over candidate streams ([`ParetoFront`]) plus
+//!   the brute-force reference filter the property suite checks it
+//!   against.
 //! * [`validate`] — Monte-Carlo validation of the radius guarantee
 //!   (failure injection).
 //! * [`heuristics`] — baseline mapping heuristics from the literature the
@@ -32,6 +36,7 @@
 //!   *maximizing* robustness.
 
 pub mod delta;
+pub mod front;
 pub mod heuristics;
 pub mod mapping;
 pub mod robustness;
@@ -40,7 +45,8 @@ pub mod validate;
 
 pub use delta::{DeltaEval, MakespanEvaluator};
 pub use fepia_etc::EtcMatrix;
-pub use heuristics::MappingHeuristic;
+pub use front::{dominates, pareto_filter, FrontPoint, ParetoFront};
+pub use heuristics::{HeuristicBudgets, MappingHeuristic};
 pub use mapping::Mapping;
 pub use robustness::{makespan_robustness, makespan_robustness_generic, MakespanRobustness};
 pub use sensitivity::{etc_sensitivity, EtcSensitivity};

@@ -27,12 +27,13 @@
 
 use crate::frame::{read_frame, write_frame, DecodeError, FrameReadError, FrameType};
 use crate::wire::{
-    decode_error, decode_response, decode_stats_reply, encode_request,
-    encode_request_with_deadline, encode_stats_request, StatsReply, WireError,
+    decode_error, decode_job_reply, decode_response, decode_stats_reply, encode_job_cancel,
+    encode_job_poll, encode_request, encode_request_with_deadline, encode_stats_request,
+    encode_submit_job, StatsReply, WireError,
 };
 use fepia_obs::trace::{self, stage};
 use fepia_obs::TraceId;
-use fepia_serve::{EvalRequest, EvalResponse, ShedReason};
+use fepia_serve::{EvalRequest, EvalResponse, JobSnapshot, JobSpec, ShedReason};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -574,6 +575,170 @@ impl NetClient {
             .into_iter()
             .map(|s| s.expect("all slots filled"))
             .collect())
+    }
+
+    /// One job-frame round trip: write the frame, read one frame back,
+    /// classify. Every job operation is answered with a `JobResult` frame
+    /// (or a typed error frame), whatever the operation was.
+    fn job_roundtrip(
+        &mut self,
+        frame_type: FrameType,
+        bytes: &[u8],
+        id: u64,
+        trace: u64,
+    ) -> Result<JobSnapshot, NetError> {
+        let stream = self.stream()?;
+        write_frame(stream, frame_type, trace, bytes).map_err(NetError::Io)?;
+        let frame = match read_frame(stream) {
+            Ok(f) => f,
+            Err(FrameReadError::Io(e)) => return Err(NetError::Io(e)),
+            Err(FrameReadError::Closed) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server closed the connection",
+                )))
+            }
+            Err(FrameReadError::Decode(e)) => return Err(NetError::Decode(e)),
+        };
+        match frame.frame_type {
+            FrameType::JobResult => {
+                let reply = decode_job_reply(&frame.payload).map_err(NetError::Decode)?;
+                if reply.id != id {
+                    return Err(NetError::Protocol(format!(
+                        "job reply id {} for request id {id}",
+                        reply.id
+                    )));
+                }
+                Ok(reply.snapshot)
+            }
+            FrameType::Error => {
+                let (echo, err) = decode_error(&frame.payload).map_err(NetError::Decode)?;
+                if echo != id && echo != 0 {
+                    return Err(NetError::Protocol(format!(
+                        "error frame id {echo} for request id {id}"
+                    )));
+                }
+                Err(match err {
+                    WireError::Overloaded { shard, reason } => {
+                        NetError::Overloaded { shard, reason }
+                    }
+                    WireError::Invalid(msg) => NetError::Invalid(msg),
+                })
+            }
+            other => Err(NetError::Protocol(format!(
+                "server sent a {other:?} frame to a job operation"
+            ))),
+        }
+    }
+
+    /// An idempotent job operation (status poll, cancel) with the same
+    /// retry / reconnect / backoff classification as [`NetClient::call`].
+    fn job_call_retried(
+        &mut self,
+        frame_type: FrameType,
+        bytes: &[u8],
+        id: u64,
+        trace: u64,
+    ) -> Result<JobSnapshot, NetError> {
+        let mut last: Option<NetError> = None;
+        for n in 0..self.config.max_attempts {
+            if n > 0 {
+                self.retries += 1;
+                if fepia_obs::enabled() {
+                    fepia_obs::global().counter("net.client.retries").inc();
+                }
+                let exp = self
+                    .config
+                    .backoff_base
+                    .saturating_mul(1u32 << (n - 1).min(16));
+                std::thread::sleep(exp.min(self.config.backoff_cap));
+            }
+            match self.job_roundtrip(frame_type, bytes, id, trace) {
+                Ok(snapshot) => return Ok(snapshot),
+                Err(NetError::Invalid(msg)) => return Err(NetError::Invalid(msg)),
+                Err(e @ NetError::Overloaded { .. }) => last = Some(e),
+                Err(e) => {
+                    self.stream = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts: self.config.max_attempts,
+            last: Box::new(last.expect("max_attempts >= 1 guarantees an error")),
+        })
+    }
+
+    /// Submits an optimizer job and returns its first snapshot (carrying
+    /// the server-assigned job id in [`JobSnapshot::job`]).
+    ///
+    /// **One attempt, no retry**: a submit is not idempotent — a retry
+    /// after a transport failure could admit the job twice. On a transport
+    /// error the caller does not know whether the job was admitted; since
+    /// fronts are pure functions of the spec, resubmitting costs capacity
+    /// but never correctness. Typed `Overloaded` (the job table is at its
+    /// admission bound) and `Invalid` (the spec can never run) come back
+    /// unretried as well — the caller owns the admission policy.
+    pub fn submit_job(&mut self, id: u64, spec: &JobSpec) -> Result<JobSnapshot, NetError> {
+        let bytes = encode_submit_job(id, spec);
+        let trace = if trace::trace_enabled() {
+            TraceId::mint(id).0
+        } else {
+            0
+        };
+        let result = self.job_roundtrip(FrameType::SubmitJob, &bytes, id, trace);
+        if matches!(
+            result,
+            Err(NetError::Io(_) | NetError::Decode(_) | NetError::Protocol(_))
+        ) {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Polls a job's best-so-far snapshot. Idempotent: retried with
+    /// reconnect and backoff like [`NetClient::call`].
+    pub fn job_status(&mut self, id: u64, job: u64) -> Result<JobSnapshot, NetError> {
+        let bytes = encode_job_poll(id, job);
+        let trace = if trace::trace_enabled() {
+            TraceId::mint(id).0
+        } else {
+            0
+        };
+        self.job_call_retried(FrameType::JobStatus, &bytes, id, trace)
+    }
+
+    /// Requests cancellation and returns the resulting snapshot (already
+    /// typed `Cancelled` unless the job had finished first). Idempotent:
+    /// retried with reconnect and backoff.
+    pub fn cancel_job(&mut self, id: u64, job: u64) -> Result<JobSnapshot, NetError> {
+        let bytes = encode_job_cancel(id, job);
+        let trace = if trace::trace_enabled() {
+            TraceId::mint(id).0
+        } else {
+            0
+        };
+        self.job_call_retried(FrameType::CancelJob, &bytes, id, trace)
+    }
+
+    /// Polls every `interval` until the job reaches a terminal state,
+    /// returning the final snapshot. Poll `n` uses request id
+    /// `base_id + n` so every frame keeps a unique correlation id.
+    pub fn wait_job(
+        &mut self,
+        base_id: u64,
+        job: u64,
+        interval: Duration,
+    ) -> Result<JobSnapshot, NetError> {
+        let mut n = 0u64;
+        loop {
+            let snapshot = self.job_status(base_id.wrapping_add(n), job)?;
+            if snapshot.state.is_terminal() {
+                return Ok(snapshot);
+            }
+            n += 1;
+            std::thread::sleep(interval);
+        }
     }
 
     /// Polls the server's live counters ([`StatsReply`]): per-shard service

@@ -7,7 +7,8 @@
 //! 0       4     magic  = b"FEPN"
 //! 4       1     version = 3
 //! 5       1     frame type (1 request, 2 response, 3 error,
-//!               4 stats request, 5 stats response)
+//!               4 stats request, 5 stats response, 6 submit job,
+//!               7 job status, 8 job result, 9 cancel job)
 //! 6       2     reserved, must be 0 (LE)
 //! 8       4     payload length in bytes (LE)
 //! 12      8     FNV-1a 64 checksum of the payload (LE)
@@ -68,6 +69,17 @@ pub enum FrameType {
     StatsRequest,
     /// Server → client: one [`crate::wire::StatsReply`].
     StatsResponse,
+    /// Client → server: submit an optimizer job
+    /// ([`crate::wire::encode_submit_job`]).
+    SubmitJob,
+    /// Client → server: poll a job's best-so-far snapshot
+    /// ([`crate::wire::encode_job_poll`]).
+    JobStatus,
+    /// Server → client: one [`crate::wire::JobReply`] (the answer to
+    /// submit, status, and cancel alike).
+    JobResult,
+    /// Client → server: cancel a job ([`crate::wire::encode_job_cancel`]).
+    CancelJob,
 }
 
 impl FrameType {
@@ -78,6 +90,10 @@ impl FrameType {
             FrameType::Error => 3,
             FrameType::StatsRequest => 4,
             FrameType::StatsResponse => 5,
+            FrameType::SubmitJob => 6,
+            FrameType::JobStatus => 7,
+            FrameType::JobResult => 8,
+            FrameType::CancelJob => 9,
         }
     }
 
@@ -88,6 +104,10 @@ impl FrameType {
             3 => Ok(FrameType::Error),
             4 => Ok(FrameType::StatsRequest),
             5 => Ok(FrameType::StatsResponse),
+            6 => Ok(FrameType::SubmitJob),
+            7 => Ok(FrameType::JobStatus),
+            8 => Ok(FrameType::JobResult),
+            9 => Ok(FrameType::CancelJob),
             other => Err(DecodeError::UnknownFrameType(other)),
         }
     }

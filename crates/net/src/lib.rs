@@ -28,6 +28,13 @@
 //!   ([`client::NetClient::call_pipelined`]) that keeps many requests in
 //!   flight on one connection.
 //!
+//! Wire v3 also carries **optimizer jobs** (`SubmitJob` / `JobStatus` /
+//! `JobResult` / `CancelJob` frames): the server fronts a bounded
+//! [`fepia_serve::JobTable`] whose seeded heuristic populations accumulate
+//! a deterministic makespan × robustness Pareto front, pollable
+//! best-so-far mid-flight and cancellable at batch boundaries
+//! ([`client::NetClient::submit_job`] and friends).
+//!
 //! **Equivalence guarantee.** A response served over TCP is *bitwise*
 //! identical to the in-process [`fepia_serve::Service`] answer — every
 //! radius, metric bound, and diagnostic field, NaNs and signed zeros
@@ -53,6 +60,8 @@ pub use frame::{
 };
 pub use server::{NetServer, NetStatsSnapshot, ServerConfig};
 pub use wire::{
-    decode_error, decode_request, decode_response, encode_error, encode_request,
-    encode_request_with_deadline, encode_response, RequestPayload, WireError,
+    decode_error, decode_job_cancel, decode_job_poll, decode_job_reply, decode_request,
+    decode_response, decode_submit_job, encode_error, encode_job_cancel, encode_job_poll,
+    encode_job_reply, encode_request, encode_request_with_deadline, encode_response,
+    encode_submit_job, JobReply, RequestPayload, SubmitJobPayload, WireError,
 };

@@ -45,10 +45,14 @@
 use crate::frame::{FrameDecoder, FrameType, FrameWriter};
 use crate::poll::{wake_pair, Interest, PollSet, WakeReader, Waker};
 use crate::wire::{
-    decode_request, decode_stats_request, encode_error, encode_response, encode_stats_reply,
-    StatsReply, WireError,
+    decode_job_cancel, decode_job_poll, decode_request, decode_stats_request, decode_submit_job,
+    encode_error, encode_job_reply, encode_response, encode_stats_reply, JobReply, StatsReply,
+    WireError,
 };
-use fepia_serve::{EvalResponse, RequestBudget, ServeError, Service, ShedReason};
+use fepia_serve::{
+    EvalResponse, JobError, JobTable, JobTableConfig, RequestBudget, ServeError, Service,
+    ShedReason,
+};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -86,6 +90,10 @@ pub struct ServerConfig {
     /// threshold — a few very old requests signal overload as surely as
     /// many young ones. `Duration::ZERO` disables.
     pub brownout_in_flight_time: Duration,
+    /// Sizing for the optimizer-job table behind the `SubmitJob` /
+    /// `JobStatus` / `CancelJob` frames (bounded concurrent jobs, finished-
+    /// job retention, default worker threads).
+    pub jobs: JobTableConfig,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +107,7 @@ impl Default for ServerConfig {
             brownout_in_flight: usize::MAX,
             shed_in_flight: usize::MAX,
             brownout_in_flight_time: Duration::ZERO,
+            jobs: JobTableConfig::default(),
         }
     }
 }
@@ -201,6 +210,7 @@ pub struct NetServer {
     waker: Waker,
     loop_thread: Option<JoinHandle<()>>,
     stats: Arc<NetStats>,
+    jobs: Arc<JobTable>,
 }
 
 impl NetServer {
@@ -217,6 +227,7 @@ impl NetServer {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NetStats::default());
+        let jobs = Arc::new(JobTable::new(config.jobs.clone()));
         let (waker, wake_rx) = wake_pair()?;
         assert!(
             config.brownout_in_flight <= config.shed_in_flight,
@@ -227,12 +238,14 @@ impl NetServer {
         let loop_thread = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let jobs = Arc::clone(&jobs);
             let waker = waker.try_clone()?;
             let config = config.clone();
             std::thread::Builder::new()
                 .name("fepia-net-loop".to_string())
                 .spawn(move || {
-                    EventLoop::new(listener, service, config, stop, stats, waker, wake_rx).run()
+                    EventLoop::new(listener, service, config, stop, stats, jobs, waker, wake_rx)
+                        .run()
                 })?
         };
         Ok(NetServer {
@@ -241,6 +254,7 @@ impl NetServer {
             waker,
             loop_thread: Some(loop_thread),
             stats,
+            jobs,
         })
     }
 
@@ -261,6 +275,13 @@ impl NetServer {
     /// Current counter values.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The optimizer-job table behind the `SubmitJob` / `JobStatus` /
+    /// `CancelJob` frames. Shared: in-process callers and TCP clients see
+    /// the same jobs.
+    pub fn jobs(&self) -> &Arc<JobTable> {
+        &self.jobs
     }
 
     fn stop(&mut self) {
@@ -317,6 +338,7 @@ enum PollTarget {
 struct EventLoop {
     listener: TcpListener,
     service: Arc<Service>,
+    jobs: Arc<JobTable>,
     window: usize,
     brownout_at: usize,
     shed_at: usize,
@@ -342,18 +364,21 @@ struct EventLoop {
 }
 
 impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         listener: TcpListener,
         service: Arc<Service>,
         config: ServerConfig,
         stop: Arc<AtomicBool>,
         stats: Arc<NetStats>,
+        jobs: Arc<JobTable>,
         waker: Waker,
         wake_rx: WakeReader,
     ) -> EventLoop {
         EventLoop {
             listener,
             service,
+            jobs,
             window: config.max_in_flight.max(1),
             brownout_at: config.brownout_in_flight,
             shed_at: config.shed_in_flight,
@@ -939,6 +964,91 @@ impl EventLoop {
                     }
                 }
             }
+            // Job-table operations are handled inline: submit spawns a
+            // runner thread, status clones a snapshot, cancel flips a flag —
+            // none blocks the loop on evaluation work.
+            FrameType::SubmitJob => {
+                let payload = match decode_submit_job(&frame.payload) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.stats
+                            .count(&self.stats.decode_errors, "net.decode_errors");
+                        if let Some(conn) = &mut self.conns[slot] {
+                            conn.read_closed = true;
+                        }
+                        let msg =
+                            encode_error(0, &WireError::Invalid(format!("bad job submit: {e}")));
+                        self.enqueue_frame(slot, FrameType::Error, frame.trace, &msg, 0);
+                        return;
+                    }
+                };
+                self.stats.count(&self.stats.frames_read, "net.frames.read");
+                let id = payload.id;
+                let spec = match payload.into_spec() {
+                    Ok(s) => s,
+                    Err(msg) => {
+                        self.stats.count(&self.stats.invalid, "net.invalid");
+                        let payload = encode_error(id, &WireError::Invalid(msg));
+                        self.enqueue_frame(slot, FrameType::Error, frame.trace, &payload, id);
+                        return;
+                    }
+                };
+                match self.jobs.submit_traced(spec, frame.trace) {
+                    // The submit answer is the job's first snapshot — the
+                    // same shape every later poll returns. (With a zero
+                    // retention bound an instant job can already be evicted;
+                    // that surfaces as the same typed refusal a late poll
+                    // would get.)
+                    Ok(job) => match self.jobs.status(job) {
+                        Ok(snapshot) => {
+                            let payload = encode_job_reply(&JobReply { id, snapshot });
+                            self.enqueue_frame(
+                                slot,
+                                FrameType::JobResult,
+                                frame.trace,
+                                &payload,
+                                id,
+                            );
+                        }
+                        Err(err) => self.refuse_job(slot, frame.trace, id, err),
+                    },
+                    Err(err) => self.refuse_job(slot, frame.trace, id, err),
+                }
+            }
+            FrameType::JobStatus | FrameType::CancelJob => {
+                let cancel = frame.frame_type == FrameType::CancelJob;
+                let decoded = if cancel {
+                    decode_job_cancel(&frame.payload)
+                } else {
+                    decode_job_poll(&frame.payload)
+                };
+                let (id, job) = match decoded {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        self.stats
+                            .count(&self.stats.decode_errors, "net.decode_errors");
+                        if let Some(conn) = &mut self.conns[slot] {
+                            conn.read_closed = true;
+                        }
+                        let msg = encode_error(0, &WireError::Invalid(format!("bad job ref: {e}")));
+                        self.enqueue_frame(slot, FrameType::Error, frame.trace, &msg, 0);
+                        return;
+                    }
+                };
+                self.stats.count(&self.stats.frames_read, "net.frames.read");
+                let result = if cancel {
+                    self.jobs.cancel(job)
+                } else {
+                    self.jobs.status(job)
+                };
+                match result {
+                    Ok(snapshot) => {
+                        let payload = encode_job_reply(&JobReply { id, snapshot });
+                        self.enqueue_frame(slot, FrameType::JobResult, frame.trace, &payload, id);
+                    }
+                    Err(err) => self.refuse_job(slot, frame.trace, id, err),
+                }
+            }
             other => {
                 self.stats
                     .count(&self.stats.decode_errors, "net.decode_errors");
@@ -952,6 +1062,24 @@ impl EventLoop {
                 self.enqueue_frame(slot, FrameType::Error, frame.trace, &payload, 0);
             }
         }
+    }
+
+    /// Answers a job operation with the typed refusal mapped onto the
+    /// wire's error vocabulary: admission refusals are `Overloaded`
+    /// (retryable), everything else is `Invalid` (permanent).
+    fn refuse_job(&mut self, slot: usize, trace: u64, id: u64, err: JobError) {
+        let wire_err = match err.shed_reason() {
+            Some(reason) => {
+                self.stats.count(&self.stats.overloaded, "net.overloaded");
+                WireError::Overloaded { shard: 0, reason }
+            }
+            None => {
+                self.stats.count(&self.stats.invalid, "net.invalid");
+                WireError::Invalid(err.to_string())
+            }
+        };
+        let payload = encode_error(id, &wire_err);
+        self.enqueue_frame(slot, FrameType::Error, trace, &payload, id);
     }
 
     /// Frees a slot; its generation check drops any still-running

@@ -40,7 +40,8 @@ use fepia_mapping::Mapping;
 use fepia_optim::{Norm, SolverOptions, VecN};
 use fepia_serve::{
     CacheOutcome, CurveGrid, CurveMeta, CurveSpec, Disposition, EvalKind, EvalRequest,
-    EvalResponse, Scenario, ShardStatsSnapshot, ShedReason,
+    EvalResponse, JobHeuristic, JobSnapshot, JobSpec, JobState, Scenario, ShardStatsSnapshot,
+    ShedReason,
 };
 use std::sync::Arc;
 
@@ -964,6 +965,343 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, DecodeError> {
 }
 
 // ---------------------------------------------------------------------------
+// Optimizer jobs
+// ---------------------------------------------------------------------------
+
+const JOB_H_ANNEALING: u8 = 1;
+const JOB_H_TABU: u8 = 2;
+const JOB_H_GENETIC: u8 = 3;
+const JOB_H_ROBUST_GREEDY: u8 = 4;
+
+/// Encodes a job submission: request id, the ETC by value, τ, the seed,
+/// population/batch/thread knobs, and the tagged heuristic portfolio.
+pub fn encode_submit_job(id: u64, spec: &JobSpec) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(id);
+    w.usize(spec.etc.apps());
+    w.usize(spec.etc.machines());
+    for &v in spec.etc.values() {
+        w.f64(v);
+    }
+    w.f64(spec.tau);
+    w.u64(spec.seed);
+    w.u32(spec.population);
+    w.u32(spec.batches);
+    w.u32(spec.threads);
+    w.usize(spec.heuristics.len());
+    for h in &spec.heuristics {
+        match h {
+            JobHeuristic::Annealing {
+                iterations,
+                initial_temperature,
+                cooling,
+            } => {
+                w.u8(JOB_H_ANNEALING);
+                w.u32(*iterations);
+                w.f64(*initial_temperature);
+                w.f64(*cooling);
+            }
+            JobHeuristic::Tabu {
+                iterations,
+                tabu_len,
+            } => {
+                w.u8(JOB_H_TABU);
+                w.u32(*iterations);
+                w.u32(*tabu_len);
+            }
+            JobHeuristic::Genetic {
+                population,
+                generations,
+                mutation_rate,
+            } => {
+                w.u8(JOB_H_GENETIC);
+                w.u32(*population);
+                w.u32(*generations);
+                w.f64(*mutation_rate);
+            }
+            JobHeuristic::RobustGreedy => w.u8(JOB_H_ROBUST_GREEDY),
+        }
+    }
+    w.finish()
+}
+
+/// A structurally valid job submission, not yet semantically validated —
+/// the job-layer analogue of [`RequestPayload`].
+/// [`SubmitJobPayload::into_spec`] performs the semantic checks
+/// (`JobSpec::validate`) that separate a well-formed frame from an
+/// admissible job.
+#[derive(Clone, Debug)]
+pub struct SubmitJobPayload {
+    /// Client-chosen request id, echoed in the [`JobReply`].
+    pub id: u64,
+    apps: usize,
+    machines: usize,
+    etc_values: Vec<f64>,
+    tau: f64,
+    seed: u64,
+    population: u32,
+    batches: u32,
+    threads: u32,
+    heuristics: Vec<JobHeuristic>,
+}
+
+impl SubmitJobPayload {
+    /// Semantic validation: builds the [`JobSpec`] or explains why the
+    /// payload can never be admitted (the server answers with a permanent
+    /// [`WireError::Invalid`]). Never panics, whatever the field values.
+    pub fn into_spec(self) -> Result<JobSpec, String> {
+        if self.apps == 0 || self.machines == 0 {
+            return Err(format!(
+                "empty ETC matrix ({}x{})",
+                self.apps, self.machines
+            ));
+        }
+        let rows: Vec<Vec<f64>> = self
+            .etc_values
+            .chunks(self.machines)
+            .map(|c| c.to_vec())
+            .collect();
+        let etc = EtcMatrix::try_from_rows(rows).map_err(|e| e.to_string())?;
+        let spec = JobSpec {
+            etc: Arc::new(etc),
+            tau: self.tau,
+            seed: self.seed,
+            population: self.population,
+            batches: self.batches,
+            heuristics: self.heuristics,
+            threads: self.threads,
+        };
+        match spec.validate() {
+            Some(msg) => Err(msg),
+            None => Ok(spec),
+        }
+    }
+}
+
+/// Decodes a job submission. Structural errors are [`DecodeError`]s;
+/// semantic errors are deferred to [`SubmitJobPayload::into_spec`].
+pub fn decode_submit_job(payload: &[u8]) -> Result<SubmitJobPayload, DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let apps = r.u64()? as usize;
+    let machines = r.u64()? as usize;
+    let cells = apps.checked_mul(machines).unwrap_or(u64::MAX as usize);
+    let limit = (r.remaining() / 8) as u64;
+    if cells as u64 > limit {
+        return Err(DecodeError::BadLength {
+            what: "job ETC matrix",
+            len: cells as u64,
+            limit,
+        });
+    }
+    let etc_values: Vec<f64> = (0..cells).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let tau = r.f64()?;
+    let seed = r.u64()?;
+    let population = r.u32()?;
+    let batches = r.u32()?;
+    let threads = r.u32()?;
+    let n = r.count("job heuristics", 1)?;
+    let mut heuristics = Vec::with_capacity(n);
+    for _ in 0..n {
+        heuristics.push(match r.u8()? {
+            JOB_H_ANNEALING => JobHeuristic::Annealing {
+                iterations: r.u32()?,
+                initial_temperature: r.f64()?,
+                cooling: r.f64()?,
+            },
+            JOB_H_TABU => JobHeuristic::Tabu {
+                iterations: r.u32()?,
+                tabu_len: r.u32()?,
+            },
+            JOB_H_GENETIC => JobHeuristic::Genetic {
+                population: r.u32()?,
+                generations: r.u32()?,
+                mutation_rate: r.f64()?,
+            },
+            JOB_H_ROBUST_GREEDY => JobHeuristic::RobustGreedy,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "JobHeuristic",
+                    tag: tag as u64,
+                })
+            }
+        });
+    }
+    r.finish()?;
+    Ok(SubmitJobPayload {
+        id,
+        apps,
+        machines,
+        etc_values,
+        tau,
+        seed,
+        population,
+        batches,
+        threads,
+        heuristics,
+    })
+}
+
+fn encode_job_ref(id: u64, job: u64) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u64(id);
+    w.u64(job);
+    w.finish()
+}
+
+fn decode_job_ref(payload: &[u8]) -> Result<(u64, u64), DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let job = r.u64()?;
+    r.finish()?;
+    Ok((id, job))
+}
+
+/// Encodes a job status poll: `(request id, job id)`.
+pub fn encode_job_poll(id: u64, job: u64) -> Vec<u8> {
+    encode_job_ref(id, job)
+}
+
+/// Decodes a job status poll back to `(request id, job id)`.
+pub fn decode_job_poll(payload: &[u8]) -> Result<(u64, u64), DecodeError> {
+    decode_job_ref(payload)
+}
+
+/// Encodes a job cancellation: `(request id, job id)`.
+pub fn encode_job_cancel(id: u64, job: u64) -> Vec<u8> {
+    encode_job_ref(id, job)
+}
+
+/// Decodes a job cancellation back to `(request id, job id)`.
+pub fn decode_job_cancel(payload: &[u8]) -> Result<(u64, u64), DecodeError> {
+    decode_job_ref(payload)
+}
+
+/// The server's one answer shape for every job operation (submit, poll,
+/// cancel): the request id plus the job's current [`JobSnapshot`]. Every
+/// `f64` in the front travels as its IEEE bit pattern, so a polled front
+/// is **bitwise** identical to the one the job table holds.
+#[derive(Clone, Debug)]
+pub struct JobReply {
+    /// The request id, echoed.
+    pub id: u64,
+    /// The job's snapshot at reply time.
+    pub snapshot: JobSnapshot,
+}
+
+/// Encodes a [`JobReply`].
+pub fn encode_job_reply(reply: &JobReply) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    let s = &reply.snapshot;
+    w.u64(reply.id);
+    w.u64(s.job);
+    w.u8(match s.state {
+        JobState::Running => 1,
+        JobState::Done => 2,
+        JobState::Cancelled => 3,
+        JobState::Failed => 4,
+    });
+    match &s.error {
+        None => w.u8(0),
+        Some(msg) => {
+            w.u8(1);
+            w.str(msg);
+        }
+    }
+    w.u32(s.batches_done);
+    w.u32(s.batches_total);
+    w.u64(s.candidates_done);
+    w.u64(s.candidates_total);
+    w.u64(s.evals_done);
+    w.u64(s.evals_total);
+    w.usize(s.front.len());
+    for p in &s.front {
+        w.u64(p.index);
+        w.f64(p.makespan);
+        w.f64(p.metric);
+        w.str(&p.heuristic);
+        w.usize(p.assignment.len());
+        for &j in &p.assignment {
+            w.usize(j);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a [`JobReply`]. Total: hostile counts fail typed before any
+/// allocation, like every other collection on the wire.
+pub fn decode_job_reply(payload: &[u8]) -> Result<JobReply, DecodeError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let job = r.u64()?;
+    let state = match r.u8()? {
+        1 => JobState::Running,
+        2 => JobState::Done,
+        3 => JobState::Cancelled,
+        4 => JobState::Failed,
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "JobState",
+                tag: tag as u64,
+            })
+        }
+    };
+    let error = match r.u8()? {
+        0 => None,
+        1 => Some(r.str("job error message")?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "job error option",
+                tag: tag as u64,
+            })
+        }
+    };
+    let batches_done = r.u32()?;
+    let batches_total = r.u32()?;
+    let candidates_done = r.u64()?;
+    let candidates_total = r.u64()?;
+    let evals_done = r.u64()?;
+    let evals_total = r.u64()?;
+    // Minimum encoded point: index + makespan + metric (8 each), empty
+    // heuristic string (8), empty assignment (8).
+    let n = r.count("front points", 40)?;
+    let mut front = Vec::with_capacity(n);
+    for _ in 0..n {
+        let index = r.u64()?;
+        let makespan = r.f64()?;
+        let metric = r.f64()?;
+        let heuristic = r.str("front heuristic name")?;
+        let n_assign = r.count("front assignment", 8)?;
+        let assignment: Vec<usize> = (0..n_assign)
+            .map(|_| r.u64().map(|v| v as usize))
+            .collect::<Result<_, _>>()?;
+        front.push(fepia_mapping::FrontPoint {
+            index,
+            makespan,
+            metric,
+            heuristic,
+            assignment,
+        });
+    }
+    r.finish()?;
+    Ok(JobReply {
+        id,
+        snapshot: JobSnapshot {
+            job,
+            state,
+            error,
+            batches_done,
+            batches_total,
+            candidates_done,
+            candidates_total,
+            evals_done,
+            evals_total,
+            front,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------
 
@@ -1382,6 +1720,170 @@ mod tests {
         // Truncation anywhere is typed, never a panic.
         for cut in 0..bytes.len() {
             assert!(decode_stats_reply(&bytes[..cut]).is_err());
+        }
+    }
+
+    fn sample_job_spec() -> JobSpec {
+        let spec = WorkloadSpec::default();
+        let pool = scenario_pool(&spec);
+        JobSpec {
+            etc: Arc::clone(pool[0].etc()),
+            tau: 1.2,
+            seed: 42,
+            population: 16,
+            batches: 4,
+            heuristics: vec![
+                JobHeuristic::RobustGreedy,
+                JobHeuristic::Annealing {
+                    iterations: 200,
+                    initial_temperature: 0.1,
+                    cooling: 0.995,
+                },
+                JobHeuristic::Tabu {
+                    iterations: 5,
+                    tabu_len: 16,
+                },
+                JobHeuristic::Genetic {
+                    population: 8,
+                    generations: 3,
+                    mutation_rate: 0.05,
+                },
+            ],
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn submit_job_roundtrips_bitwise() {
+        let spec = sample_job_spec();
+        let bytes = encode_submit_job(9, &spec);
+        let payload = decode_submit_job(&bytes).unwrap();
+        assert_eq!(payload.id, 9);
+        let decoded = payload.into_spec().unwrap();
+        assert_eq!(decoded.heuristics, spec.heuristics);
+        assert_eq!(decoded.seed, spec.seed);
+        assert_eq!(decoded.population, spec.population);
+        assert_eq!(decoded.batches, spec.batches);
+        assert_eq!(decoded.threads, spec.threads);
+        assert_eq!(decoded.tau.to_bits(), spec.tau.to_bits());
+        // Canonical: re-encoding the decoded spec reproduces the bytes, so
+        // the ETC survived bit-for-bit.
+        assert_eq!(encode_submit_job(9, &decoded), bytes);
+    }
+
+    #[test]
+    fn submit_job_semantic_garbage_is_err_not_panic() {
+        let spec = sample_job_spec();
+        let bytes = encode_submit_job(1, &spec);
+        // τ below 1 is a well-formed frame but an inadmissible job.
+        let mut bad = spec.clone();
+        bad.tau = 0.5;
+        let payload = decode_submit_job(&encode_submit_job(1, &bad)).unwrap();
+        assert!(payload.into_spec().is_err());
+        // batches > population likewise.
+        let mut bad = spec.clone();
+        bad.batches = bad.population + 1;
+        let payload = decode_submit_job(&encode_submit_job(1, &bad)).unwrap();
+        assert!(payload.into_spec().is_err());
+        // Truncation anywhere is typed.
+        for cut in 0..bytes.len() {
+            assert!(decode_submit_job(&bytes[..cut]).is_err());
+        }
+        // An unknown heuristic tag is typed.
+        let mut spec_one = spec.clone();
+        spec_one.heuristics = vec![JobHeuristic::RobustGreedy];
+        let mut m = encode_submit_job(1, &spec_one);
+        let last = m.len() - 1;
+        m[last] = 99;
+        assert!(matches!(
+            decode_submit_job(&m),
+            Err(DecodeError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn job_poll_and_cancel_roundtrip() {
+        assert_eq!(decode_job_poll(&encode_job_poll(3, 17)).unwrap(), (3, 17));
+        assert_eq!(
+            decode_job_cancel(&encode_job_cancel(4, 18)).unwrap(),
+            (4, 18)
+        );
+        assert!(decode_job_poll(&encode_job_poll(3, 17)[..9]).is_err());
+    }
+
+    #[test]
+    fn job_reply_roundtrips_bitwise_and_rejects_hostile_counts() {
+        let reply = JobReply {
+            id: 77,
+            snapshot: JobSnapshot {
+                job: 5,
+                state: JobState::Running,
+                error: None,
+                batches_done: 2,
+                batches_total: 4,
+                candidates_done: 8,
+                candidates_total: 16,
+                evals_done: 1234,
+                evals_total: 5000,
+                front: vec![
+                    fepia_mapping::FrontPoint {
+                        index: 3,
+                        makespan: 10.5,
+                        metric: f64::NAN,
+                        heuristic: "annealing".into(),
+                        assignment: vec![0, 1, 2, 1],
+                    },
+                    fepia_mapping::FrontPoint {
+                        index: 7,
+                        makespan: 12.0,
+                        metric: 2.5,
+                        heuristic: "robust_greedy".into(),
+                        assignment: vec![2, 2, 0, 1],
+                    },
+                ],
+            },
+        };
+        let bytes = encode_job_reply(&reply);
+        let decoded = decode_job_reply(&bytes).unwrap();
+        // Canonical encoding: byte equality IS bitwise equality (covers
+        // the NaN metric above).
+        assert_eq!(encode_job_reply(&decoded), bytes);
+        assert_eq!(decoded.id, 77);
+        assert_eq!(decoded.snapshot.state, JobState::Running);
+        assert_eq!(decoded.snapshot.front.len(), 2);
+
+        // A Failed reply carries its error string.
+        let failed = JobReply {
+            id: 1,
+            snapshot: JobSnapshot {
+                state: JobState::Failed,
+                error: Some("candidate 3 panicked".into()),
+                front: Vec::new(),
+                ..reply.snapshot.clone()
+            },
+        };
+        let decoded = decode_job_reply(&encode_job_reply(&failed)).unwrap();
+        assert_eq!(
+            decoded.snapshot.error.as_deref(),
+            Some("candidate 3 panicked")
+        );
+
+        // Hostile front count fails typed before allocation: the count is
+        // the 8 bytes right before the first point.
+        let mut m = bytes.clone();
+        let first_point = m.len()
+            - 2 * (8 + 8 + 8)
+            - (8 + "annealing".len())
+            - (8 + "robust_greedy".len())
+            - 2 * (8 + 4 * 8);
+        m[first_point - 8..first_point].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            decode_job_reply(&m),
+            Err(DecodeError::BadLength { .. })
+        ));
+        // Truncation anywhere is typed, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_job_reply(&bytes[..cut]).is_err());
         }
     }
 

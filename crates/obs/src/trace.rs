@@ -83,6 +83,14 @@ pub mod stage {
     /// The request's deadline expired before a worker picked it up; it was
     /// dropped at dequeue without evaluation (replaces `worker.exec`).
     pub const SERVE_DEADLINE: (&str, u32) = ("serve.deadline", 3);
+    /// An optimizer job was admitted to the job table.
+    pub const JOB_SUBMIT: (&str, u32) = ("job.submit", 6);
+    /// One population batch of an optimizer job finished and folded its
+    /// candidates into the Pareto front.
+    pub const JOB_BATCH: (&str, u32) = ("job.batch", 7);
+    /// An optimizer job reached a terminal state (done / cancelled /
+    /// failed).
+    pub const JOB_DONE: (&str, u32) = ("job.done", 8);
 }
 
 static TRACE: AtomicBool = AtomicBool::new(false);

@@ -1,0 +1,994 @@
+//! Long-running optimizer jobs: the job table.
+//!
+//! A [`JobTable`] turns the mapping heuristics into a served product:
+//! submit an ETC + τ + heuristic config ([`JobSpec`]) and get back a job
+//! id; poll for best-so-far progress ([`JobSnapshot`]); cancel; all under
+//! bounded concurrent-job admission. Each job runs its candidate
+//! population **parallel via `fepia-par`** on top of `DeltaEval` and
+//! accumulates a makespan × robustness [`ParetoFront`].
+//!
+//! # Determinism
+//!
+//! Candidate `k` of a job is a pure function of `(spec.seed, k)`: it runs
+//! heuristic `k % heuristics.len()` with the RNG stream
+//! `rng_for(seed, k)` and evaluates the resulting mapping with the same
+//! `DeltaEval` arithmetic as everything else. Batches are evaluated with
+//! [`fepia_par::par_map_dynamic_catch_with`] — results come back in
+//! **input order** regardless of thread count or work stealing — and are
+//! folded into the front **sequentially in index order** on the runner
+//! thread. The front after `b` completed batches is therefore a pure
+//! function of `(spec, b)`: bitwise identical across runs, across 1/2/8
+//! worker threads, and under fault injection (injected `par.task` panics
+//! are quarantined and re-dispatched; a re-run of a pure candidate
+//! returns the same bits, and `mapping.delta.load` poisons self-heal
+//! bitwise inside `DeltaEval`).
+//!
+//! # Cancellation
+//!
+//! [`JobTable::cancel`] flips the job's cancel flag and immediately marks
+//! the snapshot `Cancelled`, so in-flight polls answer with the typed
+//! terminal state at once. The runner observes the flag at the next batch
+//! boundary, stops without folding the interrupted batch, and releases
+//! its admission slot. Because the front only ever advances at batch
+//! boundaries, a cancelled job's front is bitwise identical to the prefix
+//! an uncancelled same-seed run shows after the same number of batches.
+
+use crate::service::ShedReason;
+use fepia_etc::EtcMatrix;
+use fepia_mapping::heuristics::{Genetic, RobustGreedy, SimulatedAnnealing, TabuSearch};
+use fepia_mapping::{FrontPoint, MappingHeuristic, ParetoFront};
+use fepia_par::{par_map_dynamic_catch_with, CatchConfig, ParConfig, TaskError};
+use fepia_stats::rng_for;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+// Hard validation caps: admission control must know the worst-case work a
+// job can fan out to before accepting it.
+/// Most candidates a single job may evaluate.
+pub const MAX_JOB_POPULATION: u32 = 1 << 20;
+/// Most heuristics a job config may cycle over.
+pub const MAX_JOB_HEURISTICS: usize = 64;
+/// Per-heuristic iteration/population cap.
+pub const MAX_HEURISTIC_ITERS: u32 = 10_000_000;
+/// Most worker threads a job may request.
+pub const MAX_JOB_THREADS: u32 = 256;
+
+/// One seeded search heuristic with its own budget — the per-job unit of
+/// configuration (per-heuristic budgets are the point; see
+/// [`fepia_mapping::HeuristicBudgets`] for the sweep-style equivalent).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobHeuristic {
+    /// [`SimulatedAnnealing`] with an explicit iteration budget.
+    Annealing {
+        /// Accept/reject iterations (one delta eval each).
+        iterations: u32,
+        /// Initial temperature (relative cost units).
+        initial_temperature: f64,
+        /// Geometric cooling factor per iteration.
+        cooling: f64,
+    },
+    /// [`TabuSearch`] with an explicit iteration budget.
+    Tabu {
+        /// Steepest-descent iterations (a full neighborhood scan each).
+        iterations: u32,
+        /// Tabu list length.
+        tabu_len: u32,
+    },
+    /// [`Genetic`] with explicit population/generation budgets.
+    Genetic {
+        /// GA population size.
+        population: u32,
+        /// Generations to evolve.
+        generations: u32,
+        /// Per-gene mutation probability.
+        mutation_rate: f64,
+    },
+    /// [`RobustGreedy`] at the job's τ (deterministic; ignores the RNG).
+    RobustGreedy,
+}
+
+impl JobHeuristic {
+    /// Why this config can never run, or `None` if it is valid.
+    pub fn validate(&self) -> Option<String> {
+        let bounded = |what: &str, v: u32| -> Option<String> {
+            if v == 0 {
+                Some(format!("{what} must be >= 1"))
+            } else if v > MAX_HEURISTIC_ITERS {
+                Some(format!(
+                    "{what} of {v} exceeds the {MAX_HEURISTIC_ITERS} cap"
+                ))
+            } else {
+                None
+            }
+        };
+        let finite01 = |what: &str, v: f64| -> Option<String> {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                Some(format!("{what} must be finite in [0, 1], got {v}"))
+            } else {
+                None
+            }
+        };
+        match self {
+            JobHeuristic::Annealing {
+                iterations,
+                initial_temperature,
+                cooling,
+            } => bounded("annealing iterations", *iterations)
+                .or_else(|| {
+                    (!(initial_temperature.is_finite() && *initial_temperature > 0.0)).then(|| {
+                        format!(
+                            "annealing temperature must be finite > 0, got {initial_temperature}"
+                        )
+                    })
+                })
+                .or_else(|| finite01("annealing cooling", *cooling)),
+            JobHeuristic::Tabu {
+                iterations,
+                tabu_len,
+            } => bounded("tabu iterations", *iterations)
+                .or_else(|| bounded("tabu list length", *tabu_len)),
+            JobHeuristic::Genetic {
+                population,
+                generations,
+                mutation_rate,
+            } => bounded("genetic population", *population)
+                .or_else(|| bounded("genetic generations", *generations))
+                .or_else(|| finite01("genetic mutation rate", *mutation_rate)),
+            JobHeuristic::RobustGreedy => None,
+        }
+    }
+
+    /// Builds the boxed heuristic (τ parameterizes only the greedy).
+    pub fn build(&self, tau: f64) -> Box<dyn MappingHeuristic> {
+        match *self {
+            JobHeuristic::Annealing {
+                iterations,
+                initial_temperature,
+                cooling,
+            } => Box::new(SimulatedAnnealing {
+                iterations: iterations as usize,
+                initial_temperature,
+                cooling,
+            }),
+            JobHeuristic::Tabu {
+                iterations,
+                tabu_len,
+            } => Box::new(TabuSearch {
+                iterations: iterations as usize,
+                tabu_len: tabu_len as usize,
+            }),
+            JobHeuristic::Genetic {
+                population,
+                generations,
+                mutation_rate,
+            } => Box::new(Genetic {
+                population: population as usize,
+                generations: generations as usize,
+                mutation_rate,
+            }),
+            JobHeuristic::RobustGreedy => Box::new(RobustGreedy { tau }),
+        }
+    }
+
+    /// Work units one candidate of this heuristic burns, counted in delta
+    /// evaluations (tabu scans `apps × (machines−1)` moves per iteration;
+    /// the GA's full-mapping fitness evals are charged one unit each).
+    /// Admission, progress accounting and the bench throughput figure all
+    /// use this estimate.
+    pub fn delta_evals(&self, apps: usize, machines: usize) -> u64 {
+        match *self {
+            JobHeuristic::Annealing { iterations, .. } => iterations as u64,
+            JobHeuristic::Tabu { iterations, .. } => {
+                iterations as u64 * apps as u64 * machines.saturating_sub(1) as u64
+            }
+            JobHeuristic::Genetic {
+                population,
+                generations,
+                ..
+            } => population as u64 * (generations as u64 + 1),
+            JobHeuristic::RobustGreedy => apps as u64 * machines as u64,
+        }
+    }
+}
+
+/// A full optimizer-job specification: the §3.1 system `(C, τ)` plus the
+/// seeded population to search with.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The ETC matrix to optimize over.
+    pub etc: Arc<EtcMatrix>,
+    /// Makespan tolerance factor for the Eq. 6/7 metric (finite, ≥ 1).
+    pub tau: f64,
+    /// Master seed; candidate `k` draws from `rng_for(seed, k)`.
+    pub seed: u64,
+    /// Total candidates to evaluate (cycling over `heuristics`).
+    pub population: u32,
+    /// Progress/cancellation granularity: the population is evaluated in
+    /// this many batches, and the front-so-far snapshot advances after
+    /// each (1 ≤ batches ≤ population).
+    pub batches: u32,
+    /// The heuristics to cycle over, each with its own budget.
+    pub heuristics: Vec<JobHeuristic>,
+    /// Worker threads for the population-parallel batches (0 = table
+    /// default). Thread count never changes results, only wall time.
+    pub threads: u32,
+}
+
+impl JobSpec {
+    /// Why this spec can never run, or `None` if it is servable.
+    pub fn validate(&self) -> Option<String> {
+        if self.etc.apps() == 0 || self.etc.machines() == 0 {
+            return Some(format!(
+                "ETC must be non-empty, got {}×{}",
+                self.etc.apps(),
+                self.etc.machines()
+            ));
+        }
+        if !(self.tau.is_finite() && self.tau >= 1.0) {
+            return Some(format!(
+                "tolerance factor τ must be finite and ≥ 1, got {}",
+                self.tau
+            ));
+        }
+        if self.population == 0 || self.population > MAX_JOB_POPULATION {
+            return Some(format!(
+                "population must be in 1..={MAX_JOB_POPULATION}, got {}",
+                self.population
+            ));
+        }
+        if self.batches == 0 || self.batches > self.population {
+            return Some(format!(
+                "batches must be in 1..=population, got {} for population {}",
+                self.batches, self.population
+            ));
+        }
+        if self.heuristics.is_empty() || self.heuristics.len() > MAX_JOB_HEURISTICS {
+            return Some(format!(
+                "heuristic list must have 1..={MAX_JOB_HEURISTICS} entries, got {}",
+                self.heuristics.len()
+            ));
+        }
+        if self.threads > MAX_JOB_THREADS {
+            return Some(format!(
+                "threads of {} exceeds the {MAX_JOB_THREADS} cap",
+                self.threads
+            ));
+        }
+        self.heuristics.iter().find_map(|h| h.validate())
+    }
+
+    /// Candidates per batch (the last batch may be short).
+    pub fn batch_size(&self) -> u32 {
+        self.population.div_ceil(self.batches)
+    }
+
+    /// Total work the job fans out to, in delta evaluations.
+    pub fn total_evals(&self) -> u64 {
+        let (apps, machines) = (self.etc.apps(), self.etc.machines());
+        (0..self.population as u64)
+            .map(|k| {
+                self.heuristics[(k % self.heuristics.len() as u64) as usize]
+                    .delta_evals(apps, machines)
+            })
+            .sum()
+    }
+}
+
+/// Job lifecycle states. `Running` is the only non-terminal state: jobs
+/// start running at submit (admission already happened).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Batches are still being evaluated.
+    Running,
+    /// Every batch completed; the front is final.
+    Done,
+    /// Cancelled; the front is the prefix at the last completed batch.
+    Cancelled,
+    /// A candidate failed terminally (panicked past the re-dispatch
+    /// budget); the snapshot's `error` says why.
+    Failed,
+}
+
+impl JobState {
+    /// Whether the job will never advance again.
+    pub fn is_terminal(self) -> bool {
+        self != JobState::Running
+    }
+}
+
+/// A point-in-time view of a job: typed state, progress counters, and the
+/// best-so-far Pareto front. What polls (and the wire) return.
+#[derive(Clone, Debug)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub job: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Terminal failure detail (`state == Failed` only).
+    pub error: Option<String>,
+    /// Completed batches.
+    pub batches_done: u32,
+    /// Total batches the spec asked for.
+    pub batches_total: u32,
+    /// Candidates folded into the front so far.
+    pub candidates_done: u64,
+    /// Total candidates the spec asked for.
+    pub candidates_total: u64,
+    /// Delta evaluations burned so far (per [`JobHeuristic::delta_evals`]).
+    pub evals_done: u64,
+    /// Total delta evaluations the job will burn.
+    pub evals_total: u64,
+    /// Best-so-far makespan × robustness front, makespan-ascending.
+    pub front: Vec<FrontPoint>,
+}
+
+/// Why the job table refused an operation. Typed, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// Admission: the concurrent-job bound is full. Same family as the
+    /// eval path's [`crate::ServeError::Overloaded`] — retry later.
+    Busy {
+        /// Jobs currently running.
+        running: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The spec can never run as sent (permanent; do not retry).
+    Invalid(String),
+    /// No job with this id exists (never existed, or evicted after
+    /// retention).
+    Unknown(u64),
+    /// The table is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Busy { running, limit } => {
+                write!(f, "job table busy: {running}/{limit} jobs running")
+            }
+            JobError::Invalid(msg) => write!(f, "invalid job spec: {msg}"),
+            JobError::Unknown(id) => write!(f, "no such job {id}"),
+            JobError::ShuttingDown => write!(f, "job table is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl JobError {
+    /// Maps admission refusals onto the wire's shed vocabulary.
+    pub fn shed_reason(&self) -> Option<ShedReason> {
+        match self {
+            JobError::Busy { .. } => Some(ShedReason::QueueFull),
+            JobError::ShuttingDown => Some(ShedReason::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// Sizing for a [`JobTable`].
+#[derive(Clone, Debug)]
+pub struct JobTableConfig {
+    /// Concurrent-job admission bound; submits past it get a typed
+    /// [`JobError::Busy`].
+    pub max_jobs: usize,
+    /// Default worker threads per job when the spec says 0 (0 here =
+    /// `fepia-par`'s own default, one per core).
+    pub threads: usize,
+    /// Finished jobs kept pollable; the oldest finished job is evicted
+    /// past this bound (polling it then answers [`JobError::Unknown`]).
+    pub retain: usize,
+}
+
+impl Default for JobTableConfig {
+    fn default() -> JobTableConfig {
+        JobTableConfig {
+            max_jobs: 4,
+            threads: 0,
+            retain: 64,
+        }
+    }
+}
+
+/// Always-on job-table counters (relaxed atomics, like [`crate::ServiceStats`]).
+#[derive(Debug, Default)]
+struct JobCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    candidates: AtomicU64,
+    evals: AtomicU64,
+}
+
+/// A point-in-time copy of the table counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobStatsSnapshot {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Submits refused at admission.
+    pub rejected: u64,
+    /// Jobs that ran every batch.
+    pub completed: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+    /// Jobs that failed terminally.
+    pub failed: u64,
+    /// Batches folded into fronts.
+    pub batches: u64,
+    /// Candidates evaluated.
+    pub candidates: u64,
+    /// Delta evaluations burned (per [`JobHeuristic::delta_evals`]).
+    pub evals: u64,
+}
+
+struct JobEntry {
+    id: u64,
+    cancel: AtomicBool,
+    /// Set by the runner after it released its admission slot — the
+    /// "capacity actually freed" signal [`JobTable::wait`] blocks on.
+    settled: AtomicBool,
+    snapshot: Mutex<JobSnapshot>,
+    cv: Condvar,
+}
+
+impl JobEntry {
+    fn snapshot(&self) -> JobSnapshot {
+        self.snapshot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+}
+
+struct JobTableInner {
+    config: JobTableConfig,
+    jobs: Mutex<JobMap>,
+    running: AtomicUsize,
+    shutting_down: AtomicBool,
+    next_id: AtomicU64,
+    counters: JobCounters,
+}
+
+#[derive(Default)]
+struct JobMap {
+    by_id: HashMap<u64, Arc<JobEntry>>,
+    /// Finished ids in finish order, for retention eviction.
+    finished: std::collections::VecDeque<u64>,
+}
+
+/// The job table: bounded admission, per-job runner threads, snapshot
+/// polling, cancellation, and always-on stats. See the module docs for
+/// the determinism and cancellation contracts.
+pub struct JobTable {
+    inner: Arc<JobTableInner>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new(config: JobTableConfig) -> JobTable {
+        JobTable {
+            inner: Arc::new(JobTableInner {
+                config,
+                jobs: Mutex::new(JobMap::default()),
+                running: AtomicUsize::new(0),
+                shutting_down: AtomicBool::new(false),
+                next_id: AtomicU64::new(1),
+                counters: JobCounters::default(),
+            }),
+        }
+    }
+
+    /// Validates and admits a job, spawning its runner thread. Returns
+    /// the job id, or a typed refusal: [`JobError::Invalid`] for specs
+    /// that can never run, [`JobError::Busy`] when `max_jobs` jobs are
+    /// already running.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, JobError> {
+        self.submit_traced(spec, 0)
+    }
+
+    /// [`JobTable::submit`] carrying a trace id for `job.*` spans.
+    pub fn submit_traced(&self, spec: JobSpec, trace: u64) -> Result<u64, JobError> {
+        let inner = &self.inner;
+        if let Some(msg) = spec.validate() {
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            if fepia_obs::enabled() {
+                fepia_obs::global().counter("job.rejected").inc();
+            }
+            return Err(JobError::Invalid(msg));
+        }
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(JobError::ShuttingDown);
+        }
+        // Reserve an admission slot with a CAS loop so two racing submits
+        // can never both land in the last slot.
+        let limit = inner.config.max_jobs;
+        loop {
+            let running = inner.running.load(Ordering::SeqCst);
+            if running >= limit {
+                inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                if fepia_obs::enabled() {
+                    fepia_obs::global().counter("job.rejected").inc();
+                }
+                return Err(JobError::Busy { running, limit });
+            }
+            if inner
+                .running
+                .compare_exchange(running, running + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+        }
+
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(JobEntry {
+            id,
+            cancel: AtomicBool::new(false),
+            settled: AtomicBool::new(false),
+            snapshot: Mutex::new(JobSnapshot {
+                job: id,
+                state: JobState::Running,
+                error: None,
+                batches_done: 0,
+                batches_total: spec.batches,
+                candidates_done: 0,
+                candidates_total: spec.population as u64,
+                evals_done: 0,
+                evals_total: spec.total_evals(),
+                front: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            let mut jobs = inner.jobs.lock().unwrap_or_else(|p| p.into_inner());
+            jobs.by_id.insert(id, Arc::clone(&entry));
+        }
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if fepia_obs::enabled() {
+            fepia_obs::global().counter("job.submitted").inc();
+        }
+        let submitted = Instant::now();
+        if trace != 0 && fepia_obs::trace::trace_enabled() {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(trace),
+                    fepia_obs::trace::stage::JOB_SUBMIT,
+                    id,
+                ),
+                submitted,
+            )
+            .field("population", spec.population as u64)
+            .emit();
+        }
+
+        let runner_inner = Arc::clone(inner);
+        let runner_entry = Arc::clone(&entry);
+        let spawned = std::thread::Builder::new()
+            .name(format!("fepia-job-{id}"))
+            .spawn(move || run_job(runner_inner, runner_entry, spec, trace));
+        if let Err(e) = spawned {
+            // Roll back admission; surface as a typed refusal, not a panic.
+            inner.running.fetch_sub(1, Ordering::SeqCst);
+            let mut jobs = inner.jobs.lock().unwrap_or_else(|p| p.into_inner());
+            jobs.by_id.remove(&id);
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(JobError::Invalid(format!("cannot spawn job runner: {e}")));
+        }
+        Ok(id)
+    }
+
+    fn entry(&self, job: u64) -> Result<Arc<JobEntry>, JobError> {
+        let jobs = self.inner.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        jobs.by_id.get(&job).cloned().ok_or(JobError::Unknown(job))
+    }
+
+    /// The job's current snapshot (state, progress, best-so-far front).
+    pub fn status(&self, job: u64) -> Result<JobSnapshot, JobError> {
+        Ok(self.entry(job)?.snapshot())
+    }
+
+    /// Requests cancellation and returns the resulting snapshot.
+    /// Idempotent; a job already terminal keeps its state. The snapshot
+    /// flips to `Cancelled` immediately — in-flight polls see the typed
+    /// terminal state before the runner has wound down — and the
+    /// admission slot is released when the runner observes the flag at
+    /// the next batch boundary ([`JobTable::wait`] blocks on exactly
+    /// that).
+    pub fn cancel(&self, job: u64) -> Result<JobSnapshot, JobError> {
+        let entry = self.entry(job)?;
+        entry.cancel.store(true, Ordering::SeqCst);
+        let mut snap = entry.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+        if snap.state == JobState::Running {
+            snap.state = JobState::Cancelled;
+        }
+        Ok(snap.clone())
+    }
+
+    /// Blocks until the job's runner has reached a terminal state *and*
+    /// released its admission slot, then returns the final snapshot. A
+    /// submit after `wait` returns can therefore never be refused on
+    /// account of this job.
+    pub fn wait(&self, job: u64) -> Result<JobSnapshot, JobError> {
+        let entry = self.entry(job)?;
+        let mut snap = entry.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+        while !entry.settled.load(Ordering::SeqCst) {
+            snap = entry.cv.wait(snap).unwrap_or_else(|p| p.into_inner());
+        }
+        Ok(snap.clone())
+    }
+
+    /// Convenience for benches and in-process callers: submit, wait,
+    /// return the final snapshot.
+    pub fn run(&self, spec: JobSpec) -> Result<JobSnapshot, JobError> {
+        let id = self.submit(spec)?;
+        self.wait(id)
+    }
+
+    /// Jobs currently holding admission slots.
+    pub fn running(&self) -> usize {
+        self.inner.running.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time table counters.
+    pub fn stats(&self) -> JobStatsSnapshot {
+        let c = &self.inner.counters;
+        JobStatsSnapshot {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            candidates: c.candidates.load(Ordering::Relaxed),
+            evals: c.evals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for JobTable {
+    /// Graceful drain: refuse new submits, cancel every running job, and
+    /// wait for each runner to release its slot (bounded by one batch of
+    /// work per job — cancellation is observed at batch boundaries).
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        let entries: Vec<Arc<JobEntry>> = {
+            let jobs = self.inner.jobs.lock().unwrap_or_else(|p| p.into_inner());
+            jobs.by_id.values().cloned().collect()
+        };
+        for entry in &entries {
+            entry.cancel.store(true, Ordering::SeqCst);
+        }
+        for entry in entries {
+            let mut snap = entry.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+            while !entry.settled.load(Ordering::SeqCst) {
+                snap = entry.cv.wait(snap).unwrap_or_else(|p| p.into_inner());
+            }
+            drop(snap);
+        }
+    }
+}
+
+/// The per-job runner: evaluates the population batch-by-batch, folds
+/// candidates into the front in index order, publishes a snapshot after
+/// every batch, and honors cancellation at batch boundaries.
+fn run_job(inner: Arc<JobTableInner>, entry: Arc<JobEntry>, spec: JobSpec, trace: u64) {
+    let started = Instant::now();
+    let observe = fepia_obs::enabled();
+    let traced = trace != 0 && fepia_obs::trace::trace_enabled();
+    let heuristics: Vec<Box<dyn MappingHeuristic>> =
+        spec.heuristics.iter().map(|h| h.build(spec.tau)).collect();
+    let threads = if spec.threads > 0 {
+        spec.threads as usize
+    } else {
+        inner.config.threads
+    };
+    let cfg = if threads > 0 {
+        ParConfig::with_threads(threads)
+    } else {
+        ParConfig::default()
+    };
+    // Injected `par.task` panics fire per execution; at the chaos suite's
+    // 20% rate a deep re-dispatch budget makes a terminal candidate
+    // failure (0.2^16) astronomically unlikely while a real deterministic
+    // panic still surfaces as a typed Failed job.
+    let catch = CatchConfig { max_attempts: 16 };
+
+    let mut front = ParetoFront::new();
+    let chunk = spec.batch_size() as u64;
+    let population = spec.population as u64;
+    let mut outcome = JobState::Done;
+    let mut error: Option<String> = None;
+
+    for b in 0..spec.batches {
+        if entry.cancel.load(Ordering::SeqCst) {
+            outcome = JobState::Cancelled;
+            break;
+        }
+        let lo = b as u64 * chunk;
+        let hi = (lo + chunk).min(population);
+        if lo >= hi {
+            break;
+        }
+        let batch_started = Instant::now();
+        let indices: Vec<u64> = (lo..hi).collect();
+        let results: Vec<Result<FrontPoint, TaskError>> = par_map_dynamic_catch_with(
+            &indices,
+            &cfg,
+            &catch,
+            || (),
+            |_, _, &k| {
+                let h = &heuristics[(k % heuristics.len() as u64) as usize];
+                let mut rng = rng_for(spec.seed, k);
+                let mapping = h.map(&spec.etc, &mut rng);
+                FrontPoint::evaluate(&spec.etc, &mapping, spec.tau, h.name(), k)
+            },
+        );
+        // Fold in index order — the determinism contract (module docs).
+        let mut batch_evals = 0u64;
+        let mut failed: Option<String> = None;
+        for (off, r) in results.into_iter().enumerate() {
+            let k = lo + off as u64;
+            batch_evals += spec.heuristics[(k % spec.heuristics.len() as u64) as usize]
+                .delta_evals(spec.etc.apps(), spec.etc.machines());
+            match r {
+                Ok(point) => {
+                    front.offer(point);
+                }
+                Err(TaskError::Panicked { message, attempts }) => {
+                    failed = Some(format!(
+                        "candidate {k} panicked terminally after {attempts} attempts: {message}"
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(msg) = failed {
+            outcome = JobState::Failed;
+            error = Some(msg);
+            break;
+        }
+        let done = hi - lo;
+        inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+        inner.counters.candidates.fetch_add(done, Ordering::Relaxed);
+        inner
+            .counters
+            .evals
+            .fetch_add(batch_evals, Ordering::Relaxed);
+        if observe {
+            let g = fepia_obs::global();
+            g.counter("job.batches").inc();
+            g.counter("job.candidates").add(done);
+            g.counter("job.evals").add(batch_evals);
+            g.histogram("job.batch.us")
+                .record(batch_started.elapsed().as_micros() as f64);
+        }
+        if traced {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(trace),
+                    fepia_obs::trace::stage::JOB_BATCH,
+                    entry.id,
+                ),
+                batch_started,
+            )
+            .field("batch", b as u64)
+            .field("front", front.len() as u64)
+            .emit();
+        }
+        // Publish the batch: progress counters plus the front-so-far.
+        {
+            let mut snap = entry.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+            snap.batches_done = b + 1;
+            snap.candidates_done += done;
+            snap.evals_done += batch_evals;
+            snap.front = front.points().to_vec();
+            if snap.batches_done == snap.batches_total && snap.state == JobState::Running {
+                snap.state = JobState::Done;
+            }
+        }
+    }
+
+    // Finalize: reconcile the terminal state (a cancel may have raced the
+    // last batch — cancel wins only if it arrived before completion).
+    {
+        let mut snap = entry.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+        match outcome {
+            JobState::Done => {
+                if snap.state == JobState::Running {
+                    snap.state = JobState::Done;
+                }
+            }
+            JobState::Cancelled => snap.state = JobState::Cancelled,
+            JobState::Failed => {
+                snap.state = JobState::Failed;
+                snap.error = error.clone();
+            }
+            JobState::Running => unreachable!("runner outcomes are terminal"),
+        }
+        let (counter, name) = match snap.state {
+            JobState::Done => (&inner.counters.completed, "job.completed"),
+            JobState::Cancelled => (&inner.counters.cancelled, "job.cancelled"),
+            JobState::Failed => (&inner.counters.failed, "job.failed"),
+            JobState::Running => unreachable!("terminal state set above"),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if observe {
+            fepia_obs::global().counter(name).inc();
+            fepia_obs::global()
+                .histogram("job.wall.us")
+                .record(started.elapsed().as_micros() as f64);
+        }
+        if traced {
+            fepia_obs::trace::with_wall(
+                fepia_obs::trace::span_event(
+                    fepia_obs::TraceId(trace),
+                    fepia_obs::trace::stage::JOB_DONE,
+                    entry.id,
+                ),
+                started,
+            )
+            .field("batches", snap.batches_done as u64)
+            .emit();
+        }
+    }
+
+    // Retention: evict the oldest finished jobs past the bound.
+    {
+        let mut jobs = inner.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        jobs.finished.push_back(entry.id);
+        while jobs.finished.len() > inner.config.retain {
+            if let Some(old) = jobs.finished.pop_front() {
+                jobs.by_id.remove(&old);
+            }
+        }
+    }
+
+    // Release the admission slot last, then wake waiters: once `wait`
+    // returns, a new submit cannot be refused on this job's account.
+    inner.running.fetch_sub(1, Ordering::SeqCst);
+    entry.settled.store(true, Ordering::SeqCst);
+    let guard = entry.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+    drop(guard);
+    entry.cv.notify_all();
+}
+
+/// A convenience used by benches and the wire example: a small default
+/// heuristic portfolio with per-heuristic budgets scaled off one knob
+/// (unlike the legacy uniform scaling, each search gets a budget
+/// proportionate to its per-iteration cost).
+pub fn default_portfolio(iters: u32) -> Vec<JobHeuristic> {
+    vec![
+        JobHeuristic::RobustGreedy,
+        JobHeuristic::Annealing {
+            iterations: iters,
+            initial_temperature: 0.1,
+            cooling: 0.995,
+        },
+        JobHeuristic::Tabu {
+            iterations: (iters / 100).max(1),
+            tabu_len: 16,
+        },
+        JobHeuristic::Genetic {
+            population: 32,
+            generations: (iters / 50).max(1),
+            mutation_rate: 0.05,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fepia_etc::{generate_cvb, EtcParams};
+
+    fn small_spec(seed: u64, population: u32, batches: u32) -> JobSpec {
+        let etc = Arc::new(generate_cvb(
+            &mut rng_for(seed, 1_000),
+            &EtcParams::paper_section_4_2(),
+        ));
+        JobSpec {
+            etc,
+            tau: 1.2,
+            seed,
+            population,
+            batches,
+            heuristics: default_portfolio(64),
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn spec_validation_is_typed() {
+        let mut s = small_spec(1, 8, 2);
+        assert!(s.validate().is_none());
+        s.population = 0;
+        assert!(s.validate().is_some());
+        s.population = 8;
+        s.batches = 9;
+        assert!(s.validate().is_some());
+        s.batches = 2;
+        s.tau = 0.5;
+        assert!(s.validate().is_some());
+        s.tau = 1.2;
+        s.heuristics.clear();
+        assert!(s.validate().is_some());
+        s.heuristics = vec![JobHeuristic::Annealing {
+            iterations: 0,
+            initial_temperature: 0.1,
+            cooling: 0.9,
+        }];
+        assert!(s.validate().is_some());
+    }
+
+    #[test]
+    fn job_runs_to_done_with_a_nonempty_front() {
+        let table = JobTable::new(JobTableConfig::default());
+        let snap = table.run(small_spec(42, 8, 4)).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.batches_done, 4);
+        assert_eq!(snap.candidates_done, 8);
+        assert!(!snap.front.is_empty());
+        assert!(snap.evals_done > 0);
+        assert_eq!(snap.evals_done, snap.evals_total);
+        // Front invariant: makespan ascending, metric ascending.
+        for w in snap.front.windows(2) {
+            assert!(w[0].makespan < w[1].makespan);
+            assert!(w[0].metric < w[1].metric);
+        }
+        let stats = table.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn same_seed_same_front_across_thread_counts() {
+        let table = JobTable::new(JobTableConfig::default());
+        let digest = |threads: u32| {
+            let mut spec = small_spec(7, 12, 3);
+            spec.threads = threads;
+            let snap = table.run(spec).unwrap();
+            fepia_mapping::ParetoFront::from_points(snap.front).digest()
+        };
+        let one = digest(1);
+        assert_eq!(one, digest(2));
+        assert_eq!(one, digest(8));
+    }
+
+    #[test]
+    fn admission_bound_is_typed_and_freed_on_completion() {
+        let table = JobTable::new(JobTableConfig {
+            max_jobs: 1,
+            ..JobTableConfig::default()
+        });
+        let long = small_spec(3, 64, 64);
+        let id = table.submit(long).unwrap();
+        // The second submit races the first job's completion; either it is
+        // refused typed-Busy or the first job already finished.
+        match table.submit(small_spec(4, 4, 2)) {
+            Ok(second) => {
+                table.wait(second).unwrap();
+            }
+            Err(JobError::Busy { limit, .. }) => assert_eq!(limit, 1),
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+        table.wait(id).unwrap();
+        // After wait, capacity is free by contract.
+        let third = table.submit(small_spec(5, 4, 2)).unwrap();
+        assert_eq!(table.wait(third).unwrap().state, JobState::Done);
+    }
+
+    #[test]
+    fn unknown_job_is_typed() {
+        let table = JobTable::new(JobTableConfig::default());
+        assert_eq!(table.status(99).unwrap_err(), JobError::Unknown(99));
+        assert_eq!(table.cancel(99).unwrap_err(), JobError::Unknown(99));
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`workload`] — deterministic seeded request streams and
 //!   order-independent response digests, shared by the soak tests, the
 //!   differential oracle and `serve_bench`.
+//! * [`job`] — long-running optimizer jobs: a bounded [`JobTable`] runs
+//!   seeded heuristic populations batch-parallel over `DeltaEval` and
+//!   accumulates a deterministic makespan × robustness Pareto front,
+//!   pollable mid-flight and cancellable at batch boundaries.
 //!
 //! Observability: `serve.*` counters and histograms (queue depth, cache
 //! hits/misses/coalesced, worker panics, per-request latency, shard busy
@@ -29,12 +33,17 @@
 //! compose with the `core.origin` / `mapping.delta.load` sites downstream.
 
 pub mod cache;
+pub mod job;
 mod queue;
 pub mod scenario;
 pub mod service;
 pub mod workload;
 
 pub use cache::{CacheOutcome, PlanCache};
+pub use job::{
+    default_portfolio, JobError, JobHeuristic, JobSnapshot, JobSpec, JobState, JobStatsSnapshot,
+    JobTable, JobTableConfig,
+};
 pub use scenario::{
     CompiledScenario, CurveGrid, CurveMeta, CurveSpec, Scenario, ScenarioError, MAX_CURVE_DEPTH,
     MAX_CURVE_POINTS,

@@ -1,36 +1,10 @@
 #!/usr/bin/env bash
-# Performance gates:
-#
-# * plan_speedup — the compiled-plan layer (DeltaEval-vs-full move
-#   evaluation; compile-once batch vs per-item compile), recorded in
-#   BENCH_plan.json. The bench asserts the acceptance bars (>= 5x move
-#   eval, >= 1.5x batch).
-# * chaos_overhead — the fault-injection layer's disabled path, recorded
-#   in BENCH_chaos.json. The bench asserts the < 2% overhead budget with
-#   FEPIA_CHAOS unset.
-# * serve_bench — the evaluation service's warm-cache path (sharded
-#   workers, plan cache, DeltaEval move probes), recorded in
-#   BENCH_serve.json. The bench asserts >= 50k cached move-evals/sec and
-#   a >= 90% plan-cache hit rate.
-# * net_bench — the same warm service behind the fepia-net TCP protocol,
-#   recorded in BENCH_net.json. The bench asserts >= 25k cached
-#   move-evals/sec over localhost TCP.
-# * netscale — connection scaling on the event-loop I/O plane: pipelined
-#   clients at 1/64/1024 connections, recorded in BENCH_netscale.json.
-#   The bench asserts >= 25k evals/sec at 64 connections and that the
-#   1024-connection figure stays within 2x of the 64-connection one.
-# * overload — goodput under brownout: 16 deadline-carrying drivers at
-#   8x worker capacity, recorded in BENCH_overload.json. The bench
-#   asserts >= 10k goodput units/sec and that every offered call
-#   resolves typed (no transport/protocol failures under overload).
-# * curve — degradation-curve amortization: warm-cache Curve requests
-#   (33-level dense grid) vs the equivalent per-level single-τ Verdict
-#   stream, recorded in BENCH_curve.json. The bench asserts >= 50k curve
-#   points/sec and a >= 2x warm-vs-cold amortization ratio.
-# * resilience_report — a traced, fixed-seed chaos-burst soak over TCP
-#   analyzed into RESMETRIC-style resilience measures (degraded fraction,
-#   recovery time, area-under-degradation), recorded in RESILIENCE.json.
-#   The bin exits non-zero if any measure violates its threshold.
+# Performance benches, driven by scripts/bench_manifest.txt ('run'
+# records). Each target self-documents its workload and asserts its own
+# acceptance bars in-bench; the manifest is the single registry of what
+# runs and which JSON report it writes (copied to the repo root on
+# success). The regression thresholds live in the checked-in JSONs and
+# are enforced separately by scripts/check_bench.sh ('gate' records).
 #
 # Every bench runs even if an earlier one fails, so one invocation shows
 # the full picture; the final status summary line reports each verdict
@@ -42,45 +16,28 @@ export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results}"
 # The chaos_overhead bench measures the *disabled* path.
 unset FEPIA_CHAOS
 
-declare -A status
-failed=0
+manifest="scripts/bench_manifest.txt"
+[ -f "$manifest" ] || { echo "bench: missing $manifest" >&2; exit 2; }
 
-run_bench() {
-  local name="$1" json="$2"
-  echo "==> cargo bench -p fepia-bench --bench $name"
-  if cargo bench -p fepia-bench --bench "$name"; then
-    status[$name]=PASS
+failed=0
+summary=""
+
+while read -r kind target json; do
+  case "$kind" in
+    bench) cmd=(cargo bench -p fepia-bench --bench "$target") ;;
+    bin)   cmd=(cargo run --release -p fepia-bench --bin "$target") ;;
+    *) echo "bench: unknown run kind '$kind' in $manifest" >&2; exit 2 ;;
+  esac
+  echo "==> ${cmd[*]}"
+  if "${cmd[@]}"; then
+    summary+=" $target=PASS"
     cp "$FEPIA_RESULTS/$json" "$json"
     echo "bench: wrote $(pwd)/$json"
   else
-    status[$name]=FAIL
+    summary+=" $target=FAIL"
     failed=1
   fi
-}
+done < <(awk '$1 == "run" { print $2, $3, $4 }' "$manifest")
 
-# The resilience soak is a bin, not a Criterion bench: it drives a traced
-# chaos-burst soak and self-gates against the thresholds embedded in its
-# report.
-run_resilience() {
-  echo "==> cargo run --release -p fepia-bench --bin resilience_report"
-  if cargo run --release -p fepia-bench --bin resilience_report; then
-    status[resilience]=PASS
-    cp "$FEPIA_RESULTS/RESILIENCE.json" RESILIENCE.json
-    echo "bench: wrote $(pwd)/RESILIENCE.json"
-  else
-    status[resilience]=FAIL
-    failed=1
-  fi
-}
-
-run_bench plan_speedup BENCH_plan.json
-run_bench chaos_overhead BENCH_chaos.json
-run_bench serve_bench BENCH_serve.json
-run_bench net_bench BENCH_net.json
-run_bench netscale BENCH_netscale.json
-run_bench overload BENCH_overload.json
-run_bench curve BENCH_curve.json
-run_resilience
-
-echo "bench status: plan_speedup=${status[plan_speedup]} chaos_overhead=${status[chaos_overhead]} serve_bench=${status[serve_bench]} net_bench=${status[net_bench]} netscale=${status[netscale]} overload=${status[overload]} curve=${status[curve]} resilience=${status[resilience]}"
+echo "bench status:$summary"
 exit "$failed"

@@ -1,29 +1,14 @@
 #!/usr/bin/env bash
-# CI bench-regression gate.
+# CI bench-regression gate, driven by scripts/bench_manifest.txt.
 #
-# Runs a fresh `scripts/bench.sh` into a scratch results directory and
-# compares the fresh measurements against the *threshold fields of the
-# checked-in* BENCH_*.json files at the repo root:
-#
-#   BENCH_plan.json   move_eval.speedup  >= move_eval.threshold
-#                     batch_eval.speedup >= batch_eval.threshold
-#   BENCH_chaos.json  bounded_overhead_pct <= threshold_pct
-#   BENCH_serve.json  evals_per_sec >= evals_per_sec_threshold
-#                     cache_hit_rate >= hit_rate_threshold
-#   BENCH_net.json    evals_per_sec >= evals_per_sec_threshold
-#   BENCH_netscale.json  evals_per_sec_64 >= evals_per_sec_threshold
-#                        scale_ratio_1024_vs_64 >= scale_ratio_threshold
-#   BENCH_overload.json  goodput_units_per_sec >= goodput_threshold
-#                        typed_outcome_fraction >= typed_fraction_threshold
-#   BENCH_curve.json  curve_points_per_sec >= curve_points_threshold
-#                     warm_cold_ratio >= amortization_threshold
-#   RESILIENCE.json   degraded_fraction <= degraded_fraction_threshold
-#                     recovery_us <= recovery_us_threshold
-#                     aud_seconds <= aud_seconds_threshold
-#
-# (Fresh value, checked-in threshold: retuning a bar requires a reviewed
-# edit to the checked-in JSON, and a perf regression fails the job even
-# if someone also lowered the in-bench assert.)
+# Runs a fresh `scripts/bench.sh` into a scratch results directory, then
+# walks the manifest's 'gate' records: each compares a fresh measurement
+# in $FEPIA_RESULTS/<json> against the *threshold field of the
+# checked-in* <json> at the repo root (fresh value, checked-in
+# threshold: retuning a bar requires a reviewed edit to the checked-in
+# JSON, and a perf regression fails the job even if someone also lowered
+# the in-bench assert). The manifest is the single registry — adding a
+# bench or a bar never touches this script.
 #
 # The checked-in files are left untouched; fresh JSONs stay in
 # $FEPIA_RESULTS for the workflow to upload as artifacts. Exits non-zero
@@ -33,12 +18,22 @@ cd "$(dirname "$0")/.."
 
 export FEPIA_RESULTS="${FEPIA_RESULTS:-$PWD/results/bench_gate}"
 
+manifest="scripts/bench_manifest.txt"
+[ -f "$manifest" ] || { echo "check_bench: missing $manifest" >&2; exit 1; }
+
+# Every report the manifest's run records produce (the stash list).
+mapfile -t jsons < <(awk '$1 == "run" { print $4 }' "$manifest")
+
 # Preserve the checked-in JSONs: bench.sh copies fresh ones over them.
 stash="$(mktemp -d)"
-trap 'for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json BENCH_overload.json BENCH_curve.json RESILIENCE.json; do
-        [ -f "$stash/$f" ] && cp "$stash/$f" "$f"
-      done; rm -rf "$stash"' EXIT
-for f in BENCH_plan.json BENCH_chaos.json BENCH_serve.json BENCH_net.json BENCH_netscale.json BENCH_overload.json BENCH_curve.json RESILIENCE.json; do
+restore_stash() {
+  for f in "${jsons[@]}"; do
+    [ -f "$stash/$f" ] && cp "$stash/$f" "$f"
+  done
+  rm -rf "$stash"
+}
+trap restore_stash EXIT
+for f in "${jsons[@]}"; do
   [ -f "$f" ] || { echo "check_bench: missing checked-in $f" >&2; exit 1; }
   cp "$f" "$stash/$f"
 done
@@ -80,53 +75,20 @@ gate() {
 }
 
 echo "==> check_bench: fresh measurements vs checked-in thresholds"
-# BENCH_plan.json: two nested blocks; "speedup"/"threshold" occur in
-# move_eval first, batch_eval second.
-gate "plan move_eval speedup" \
-  "$(field "$FEPIA_RESULTS/BENCH_plan.json" speedup 1)" ">=" \
-  "$(field "$stash/BENCH_plan.json" threshold 1)"
-gate "plan batch_eval speedup" \
-  "$(field "$FEPIA_RESULTS/BENCH_plan.json" speedup 2)" ">=" \
-  "$(field "$stash/BENCH_plan.json" threshold 2)"
-gate "chaos disabled-path overhead pct" \
-  "$(field "$FEPIA_RESULTS/BENCH_chaos.json" bounded_overhead_pct)" "<=" \
-  "$(field "$stash/BENCH_chaos.json" threshold_pct)"
-gate "serve evals/sec" \
-  "$(field "$FEPIA_RESULTS/BENCH_serve.json" evals_per_sec)" ">=" \
-  "$(field "$stash/BENCH_serve.json" evals_per_sec_threshold)"
-gate "serve cache hit rate" \
-  "$(field "$FEPIA_RESULTS/BENCH_serve.json" cache_hit_rate)" ">=" \
-  "$(field "$stash/BENCH_serve.json" hit_rate_threshold)"
-gate "net evals/sec over TCP" \
-  "$(field "$FEPIA_RESULTS/BENCH_net.json" evals_per_sec)" ">=" \
-  "$(field "$stash/BENCH_net.json" evals_per_sec_threshold)"
-gate "netscale evals/sec at 64 connections" \
-  "$(field "$FEPIA_RESULTS/BENCH_netscale.json" evals_per_sec_64)" ">=" \
-  "$(field "$stash/BENCH_netscale.json" evals_per_sec_threshold)"
-gate "netscale 1024-vs-64 connection ratio" \
-  "$(field "$FEPIA_RESULTS/BENCH_netscale.json" scale_ratio_1024_vs_64)" ">=" \
-  "$(field "$stash/BENCH_netscale.json" scale_ratio_threshold)"
-gate "overload goodput units/sec" \
-  "$(field "$FEPIA_RESULTS/BENCH_overload.json" goodput_units_per_sec)" ">=" \
-  "$(field "$stash/BENCH_overload.json" goodput_threshold)"
-gate "overload typed-outcome fraction" \
-  "$(field "$FEPIA_RESULTS/BENCH_overload.json" typed_outcome_fraction)" ">=" \
-  "$(field "$stash/BENCH_overload.json" typed_fraction_threshold)"
-gate "curve points/sec" \
-  "$(field "$FEPIA_RESULTS/BENCH_curve.json" curve_points_per_sec)" ">=" \
-  "$(field "$stash/BENCH_curve.json" curve_points_threshold)"
-gate "curve warm-vs-cold amortization" \
-  "$(field "$FEPIA_RESULTS/BENCH_curve.json" warm_cold_ratio)" ">=" \
-  "$(field "$stash/BENCH_curve.json" amortization_threshold)"
-gate "resilience degraded fraction" \
-  "$(field "$FEPIA_RESULTS/RESILIENCE.json" degraded_fraction)" "<=" \
-  "$(field "$stash/RESILIENCE.json" degraded_fraction_threshold)"
-gate "resilience recovery time us" \
-  "$(field "$FEPIA_RESULTS/RESILIENCE.json" recovery_us)" "<=" \
-  "$(field "$stash/RESILIENCE.json" recovery_us_threshold)"
-gate "resilience area-under-degradation" \
-  "$(field "$FEPIA_RESULTS/RESILIENCE.json" aud_seconds)" "<=" \
-  "$(field "$stash/RESILIENCE.json" aud_seconds_threshold)"
+# Gate records: <json>|<label>|<fresh_key[:occ]>|<op>|<threshold_key[:occ]>
+while IFS='|' read -r json label fresh_spec op threshold_spec; do
+  fresh_key="${fresh_spec%%:*}"
+  fresh_occ=1; [[ "$fresh_spec" == *:* ]] && fresh_occ="${fresh_spec##*:}"
+  threshold_key="${threshold_spec%%:*}"
+  threshold_occ=1; [[ "$threshold_spec" == *:* ]] && threshold_occ="${threshold_spec##*:}"
+  case "$op" in
+    ">="|"<=") ;;
+    *) echo "  FAIL $label: unknown op '$op' in $manifest"; fail=1; continue ;;
+  esac
+  gate "$label" \
+    "$(field "$FEPIA_RESULTS/$json" "$fresh_key" "$fresh_occ")" "$op" \
+    "$(field "$stash/$json" "$threshold_key" "$threshold_occ")"
+done < <(sed -n 's/^gate //p' "$manifest")
 
 if [ "$fail" -ne 0 ]; then
   echo "check_bench: REGRESSION — one or more gates failed"

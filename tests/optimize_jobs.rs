@@ -1,0 +1,574 @@
+//! Optimizer jobs end to end (the PR 10 tentpole acceptance suite).
+//!
+//! A job is a seeded heuristic population folded into a makespan ×
+//! robustness Pareto front. Candidate `k` is a pure function of
+//! `(seed, k)` — its heuristic is `k % heuristics.len()`, its RNG is
+//! `rng_for(seed, k)` — and the runner folds results in index order, so
+//! the front is *bitwise* independent of worker-thread count, batch
+//! size, transport, and fault injection. This suite pins that contract:
+//!
+//! * **property** — the incremental [`ParetoFront::offer`] front equals
+//!   the quadratic brute-force dominance filter bitwise, for arbitrary
+//!   candidate streams (ties and duplicates included) and for real
+//!   seeded jobs at any seed;
+//! * **determinism** — a fixed-seed job yields a bitwise-identical
+//!   front across two runs, across 1/2/8 worker threads, and across
+//!   batching choices;
+//! * **transport** — a front served over TCP (wire-v3 `SubmitJob` /
+//!   `JobStatus` / `JobResult` frames) is bitwise identical to the
+//!   in-process [`JobTable`] answer, including under the fixed CI chaos
+//!   seed `2003:0.2` (injected worker panics are re-dispatched, dropped
+//!   connections reconnect; faults cost retries, never bits);
+//! * **lifecycle** — admission past the concurrent-job bound, invalid
+//!   specs, unknown ids, and cancellation are *typed* outcomes, never
+//!   panics; cancellation frees capacity and the cancelled front equals
+//!   the same-seed uncancelled prefix bitwise.
+//!
+//! Chaos state is process-global, so every test holds one lock.
+
+use fepia::etc::{generate_cvb, EtcParams};
+use fepia::mapping::{pareto_filter, EtcMatrix, FrontPoint, ParetoFront};
+use fepia::net::{ClientConfig, NetClient, NetError, NetServer, ServerConfig};
+use fepia::serve::{
+    JobError, JobHeuristic, JobSnapshot, JobSpec, JobState, JobTable, JobTableConfig, Service,
+    ServiceConfig, ShedReason,
+};
+use fepia::stats::rng_for;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
+
+static JOB_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the tests (chaos is process-wide) with the panic hook
+/// silencing intentional injected worker panics, chaos initially off.
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let text = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !text.contains("chaos: injected panic") {
+                previous(info);
+            }
+        }));
+    });
+    let guard = JOB_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    fepia::chaos::clear();
+    guard
+}
+
+/// The paper's §4.2 system (20 apps × 5 machines, CVB heterogeneity).
+fn paper_etc(seed: u64) -> Arc<EtcMatrix> {
+    Arc::new(generate_cvb(
+        &mut rng_for(seed, 1_000),
+        &EtcParams::paper_section_4_2(),
+    ))
+}
+
+/// A mixed four-heuristic portfolio small enough for tests.
+fn portfolio() -> Vec<JobHeuristic> {
+    vec![
+        JobHeuristic::RobustGreedy,
+        JobHeuristic::Annealing {
+            iterations: 400,
+            initial_temperature: 0.1,
+            cooling: 0.995,
+        },
+        JobHeuristic::Tabu {
+            iterations: 4,
+            tabu_len: 16,
+        },
+        JobHeuristic::Genetic {
+            population: 16,
+            generations: 6,
+            mutation_rate: 0.05,
+        },
+    ]
+}
+
+fn spec(etc: &Arc<EtcMatrix>, seed: u64, population: u32, batches: u32, threads: u32) -> JobSpec {
+    JobSpec {
+        etc: Arc::clone(etc),
+        tau: 1.2,
+        seed,
+        population,
+        batches,
+        heuristics: portfolio(),
+        threads,
+    }
+}
+
+/// A deliberately slow single-heuristic spec (one candidate per batch)
+/// so cancellation tests can land mid-flight deterministically.
+fn slow_spec(etc: &Arc<EtcMatrix>, seed: u64) -> JobSpec {
+    JobSpec {
+        etc: Arc::clone(etc),
+        tau: 1.2,
+        seed,
+        population: 256,
+        batches: 256,
+        heuristics: vec![JobHeuristic::Annealing {
+            iterations: 50_000,
+            initial_temperature: 0.1,
+            cooling: 0.9999,
+        }],
+        threads: 1,
+    }
+}
+
+/// Bitwise front equality: every coordinate compared as IEEE bit
+/// patterns, plus the provenance fields the wire transports.
+fn assert_fronts_bitwise_equal(a: &JobSnapshot, b: &JobSnapshot, what: &str) {
+    assert_eq!(a.front.len(), b.front.len(), "{what}: front sizes differ");
+    for (x, y) in a.front.iter().zip(&b.front) {
+        assert_eq!(x.index, y.index, "{what}: candidate index differs");
+        assert_eq!(
+            x.makespan.to_bits(),
+            y.makespan.to_bits(),
+            "{what}: makespan differs bitwise at candidate {}",
+            x.index
+        );
+        assert_eq!(
+            x.metric.to_bits(),
+            y.metric.to_bits(),
+            "{what}: Eq. 7 metric differs bitwise at candidate {}",
+            x.index
+        );
+        assert_eq!(x.heuristic, y.heuristic, "{what}: heuristic label differs");
+        assert_eq!(x.assignment, y.assignment, "{what}: assignment differs");
+    }
+    assert_eq!(
+        ParetoFront::from_points(a.front.clone()).digest(),
+        ParetoFront::from_points(b.front.clone()).digest(),
+        "{what}: front digests differ"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: incremental front == brute-force dominance filter, bitwise.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary candidate streams drawn from a small coordinate grid —
+    /// dense in ties, duplicates, and dominance chains — folded
+    /// incrementally must match the quadratic reference filter bitwise.
+    #[test]
+    fn incremental_front_matches_brute_force_filter(
+        raw in prop::collection::vec((0usize..8, 0usize..8), 0..80)
+    ) {
+        let grid = [1.0f64, 1.25, 2.0, 2.5, 3.75, 4.0, 7.5, 9.0];
+        let candidates: Vec<FrontPoint> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, r))| FrontPoint {
+                index: i as u64,
+                makespan: grid[m],
+                metric: grid[r],
+                heuristic: "synthetic".to_string(),
+                assignment: vec![i % 5],
+            })
+            .collect();
+
+        let mut front = ParetoFront::new();
+        for c in &candidates {
+            front.offer(c.clone());
+        }
+        let brute = pareto_filter(&candidates);
+
+        prop_assert_eq!(front.len(), brute.len());
+        for (a, b) in front.points().iter().zip(&brute) {
+            prop_assert_eq!(a.index, b.index);
+            prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            prop_assert_eq!(a.metric.to_bits(), b.metric.to_bits());
+        }
+        prop_assert_eq!(
+            front.digest(),
+            ParetoFront::from_points(brute).digest()
+        );
+    }
+}
+
+proptest! {
+    /// A real seeded job at *any* seed: the served front must equal the
+    /// brute-force filter over an independent re-evaluation of every
+    /// candidate, and must not care how the population was batched or
+    /// how many threads folded it.
+    #[test]
+    fn any_seed_job_front_matches_independent_candidates(
+        seed in 0u64..u64::MAX,
+        batches in 1u32..5,
+        threads in 1u32..3,
+    ) {
+        let _guard = guard();
+        let etc = paper_etc(7);
+        let population = 12u32;
+        let table = JobTable::new(JobTableConfig::default());
+        let snap = table
+            .run(spec(&etc, seed, population, batches, threads))
+            .expect("a valid spec runs");
+        prop_assert_eq!(snap.state, JobState::Done);
+
+        // Independent oracle: evaluate every candidate directly (pure in
+        // (seed, k)) and brute-force filter.
+        let heuristics = portfolio();
+        let built: Vec<_> = heuristics.iter().map(|h| h.build(1.2)).collect();
+        let candidates: Vec<FrontPoint> = (0..population as u64)
+            .map(|k| {
+                let h = &built[(k % built.len() as u64) as usize];
+                let mut rng = rng_for(seed, k);
+                let mapping = h.map(&etc, &mut rng);
+                FrontPoint::evaluate(&etc, &mapping, 1.2, h.name(), k)
+            })
+            .collect();
+        let brute = pareto_filter(&candidates);
+
+        prop_assert_eq!(snap.front.len(), brute.len());
+        for (a, b) in snap.front.iter().zip(&brute) {
+            prop_assert_eq!(a.index, b.index);
+            prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            prop_assert_eq!(a.metric.to_bits(), b.metric.to_bits());
+            prop_assert_eq!(&a.assignment, &b.assignment);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed determinism: runs × thread counts × batching.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fixed_seed_front_is_bitwise_identical_across_runs_and_threads() {
+    let _guard = guard();
+    let etc = paper_etc(2003);
+    let table = JobTable::new(JobTableConfig::default());
+
+    let reference = table
+        .run(spec(&etc, 42, 48, 6, 1))
+        .expect("reference run succeeds");
+    assert_eq!(reference.state, JobState::Done);
+    assert!(
+        !reference.front.is_empty(),
+        "a completed job serves a non-empty front"
+    );
+    assert_eq!(reference.candidates_done, 48);
+    assert_eq!(reference.evals_done, reference.evals_total);
+
+    // Second run, same everything: bitwise identical.
+    let rerun = table.run(spec(&etc, 42, 48, 6, 1)).expect("rerun succeeds");
+    assert_fronts_bitwise_equal(&reference, &rerun, "same-seed rerun");
+
+    // Thread count never changes results, only wall time.
+    for threads in [2u32, 8] {
+        let t = table
+            .run(spec(&etc, 42, 48, 6, threads))
+            .expect("threaded run succeeds");
+        assert_fronts_bitwise_equal(&reference, &t, &format!("{threads} threads"));
+    }
+
+    // Batching granularity only changes when progress is published.
+    for batches in [1u32, 48] {
+        let b = table
+            .run(spec(&etc, 42, 48, batches, 2))
+            .expect("rebatched run succeeds");
+        assert_fronts_bitwise_equal(&reference, &b, &format!("{batches} batches"));
+    }
+
+    // The front is makespan-ascending and mutually non-dominated.
+    for w in reference.front.windows(2) {
+        assert!(
+            w[0].makespan < w[1].makespan && w[0].metric <= w[1].metric,
+            "front must trade makespan against robustness monotonically"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport: TCP == in-process, chaos-off and under the CI chaos seed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tcp_front_is_bitwise_identical_to_in_process() {
+    let _guard = guard();
+    let etc = paper_etc(2003);
+
+    let in_process = JobTable::new(JobTableConfig::default())
+        .run(spec(&etc, 9, 24, 4, 2))
+        .expect("in-process run succeeds");
+
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server =
+        NetServer::start(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+
+    let submitted = client
+        .submit_job(1, &spec(&etc, 9, 24, 4, 2))
+        .expect("submit succeeds chaos-off");
+    let job = submitted.job;
+    assert_eq!(submitted.state, JobState::Running);
+
+    // Progress polls stream best-so-far snapshots: monotone counters,
+    // every intermediate front already non-dominated.
+    let mut last_done = 0u64;
+    let final_snap = loop {
+        let s = client.job_status(100, job).expect("poll succeeds");
+        assert!(s.candidates_done >= last_done, "progress must be monotone");
+        last_done = s.candidates_done;
+        for w in s.front.windows(2) {
+            assert!(w[0].makespan < w[1].makespan);
+        }
+        if s.state.is_terminal() {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
+    assert_eq!(final_snap.state, JobState::Done);
+    assert_eq!(final_snap.candidates_done, 24);
+    assert_fronts_bitwise_equal(&in_process, &final_snap, "TCP vs in-process");
+
+    server.shutdown();
+}
+
+#[test]
+fn chaos_seeded_job_front_matches_chaos_off_ground_truth() {
+    let _guard = guard();
+    let etc = paper_etc(2003);
+    let job_spec = spec(&etc, 11, 24, 6, 2);
+
+    // Ground truth, chaos off.
+    let truth = JobTable::new(JobTableConfig::default())
+        .run(job_spec.clone())
+        .expect("chaos-off run succeeds");
+    assert_eq!(truth.state, JobState::Done);
+
+    // The fixed CI seed: 20% of every chaos site fires — par.task panics
+    // are re-dispatched (16-deep budget), mapping.delta.load poisons
+    // self-heal bitwise. Faults must not move a single bit of the front.
+    fepia::chaos::set_for_test(2003, 0.2);
+    let chaotic = JobTable::new(JobTableConfig::default())
+        .run(job_spec.clone())
+        .expect("chaos costs retries, not outcomes");
+    assert_eq!(chaotic.state, JobState::Done);
+    assert_fronts_bitwise_equal(&truth, &chaotic, "in-process under chaos");
+
+    // Same job over TCP under the same seed: net.read drops connections,
+    // net.write tears frames; the client reconnects and retries.
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            // A lost submit *reply* leaves the job running server-side and
+            // the retry submits a fresh one; keep the bound generous so
+            // duplicates never trip admission (determinism makes every
+            // duplicate's front identical anyway).
+            jobs: JobTableConfig {
+                max_jobs: 64,
+                ..JobTableConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = NetClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            max_attempts: 16,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Submission is single-attempt (not idempotent), so the retry loop is
+    // caller-owned here.
+    let mut submitted = None;
+    for attempt in 0..50u64 {
+        match client.submit_job(1_000 + attempt, &job_spec) {
+            Ok(snap) => {
+                submitted = Some(snap);
+                break;
+            }
+            Err(NetError::Io(_) | NetError::Decode(_) | NetError::Protocol(_)) => continue,
+            Err(other) => panic!("submit under chaos failed with a non-transport error: {other}"),
+        }
+    }
+    let submitted = submitted.expect("a 20% fault rate cannot exhaust 50 submit attempts");
+    let over_tcp = client
+        .wait_job(2_000, submitted.job, Duration::from_millis(1))
+        .expect("polls retry through chaos");
+    fepia::chaos::clear();
+
+    assert_eq!(over_tcp.state, JobState::Done);
+    assert_fronts_bitwise_equal(&truth, &over_tcp, "TCP under chaos");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: cancellation and admission are typed, never panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cancellation_is_typed_frees_capacity_and_preserves_the_prefix() {
+    let _guard = guard();
+    let etc = paper_etc(2003);
+    let table = JobTable::new(JobTableConfig {
+        max_jobs: 1,
+        ..JobTableConfig::default()
+    });
+
+    let job = table
+        .submit(slow_spec(&etc, 5))
+        .expect("first job admitted");
+
+    // The admission bound is full: a second submit is a typed refusal.
+    match table.submit(spec(&etc, 6, 8, 2, 1)) {
+        Err(JobError::Busy { running, limit }) => {
+            assert_eq!((running, limit), (1, 1));
+        }
+        other => panic!("expected a typed Busy refusal, got {other:?}"),
+    }
+
+    // Let at least two batches land, then cancel mid-flight.
+    loop {
+        let s = table.status(job).expect("running job is pollable");
+        assert!(
+            !s.state.is_terminal(),
+            "a 256-batch job cannot finish before two batches are observed"
+        );
+        if s.batches_done >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let at_cancel = table.cancel(job).expect("cancel is typed");
+    assert_eq!(
+        at_cancel.state,
+        JobState::Cancelled,
+        "in-flight polls see the typed terminal state immediately"
+    );
+    assert_eq!(
+        table.status(job).expect("still pollable").state,
+        JobState::Cancelled
+    );
+
+    // `wait` returns only after the runner released its slot, so the
+    // next submit can never be refused on this job's account.
+    let final_snap = table.wait(job).expect("wait returns the settled snapshot");
+    assert_eq!(final_snap.state, JobState::Cancelled);
+    assert!(
+        final_snap.candidates_done >= 2 && final_snap.candidates_done < 256,
+        "cancellation landed mid-flight ({} of 256 candidates)",
+        final_snap.candidates_done
+    );
+    assert!(!final_snap.front.is_empty(), "best-so-far front survives");
+
+    let replacement = table
+        .submit(spec(&etc, 6, 8, 2, 1))
+        .expect("cancellation freed the admission slot");
+    table.wait(replacement).expect("replacement runs");
+
+    // The cancelled front is the bitwise prefix of the same-seed search:
+    // rerunning with population = candidates_done (any batching) must
+    // reproduce it exactly.
+    let mut prefix_spec = slow_spec(&etc, 5);
+    prefix_spec.population = final_snap.candidates_done as u32;
+    prefix_spec.batches = 1;
+    let prefix = table.run(prefix_spec).expect("prefix rerun succeeds");
+    assert_eq!(prefix.state, JobState::Done);
+    assert_fronts_bitwise_equal(&final_snap, &prefix, "cancelled prefix");
+
+    let stats = table.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert!(stats.rejected >= 1);
+}
+
+#[test]
+fn admission_validation_and_unknown_ids_are_typed_over_the_wire() {
+    let _guard = guard();
+    let etc = paper_etc(2003);
+
+    let service = Arc::new(Service::start(ServiceConfig::default()));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            jobs: JobTableConfig {
+                max_jobs: 1,
+                ..JobTableConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+
+    // A semantically impossible spec is a typed, permanent Invalid.
+    let mut bad = spec(&etc, 1, 8, 2, 1);
+    bad.tau = 0.5;
+    match client.submit_job(1, &bad) {
+        Err(NetError::Invalid(msg)) => {
+            assert!(msg.contains('τ') || msg.contains("tau") || msg.contains("tolerance"))
+        }
+        other => panic!("expected typed Invalid for τ < 1, got {other:?}"),
+    }
+
+    // Polling a job that never existed is typed too.
+    match client.job_status(2, 0xDEAD_BEEF) {
+        Err(NetError::Invalid(msg)) => assert!(msg.contains("no such job")),
+        other => panic!("expected typed Invalid for an unknown id, got {other:?}"),
+    }
+
+    // Fill the single admission slot, then overflow it: the refusal is
+    // the wire's typed Overloaded family (submission never retries, so
+    // the error surfaces on the first attempt).
+    let slow = client
+        .submit_job(3, &slow_spec(&etc, 5))
+        .expect("first job admitted");
+    match client.submit_job(4, &spec(&etc, 6, 8, 2, 1)) {
+        Err(NetError::Overloaded { reason, .. }) => {
+            assert_eq!(reason, ShedReason::QueueFull);
+        }
+        other => panic!("expected typed Overloaded past the job bound, got {other:?}"),
+    }
+
+    // Cancel over the wire: typed snapshot, capacity frees once the
+    // runner winds down (at most one batch later).
+    let cancelled = client.cancel_job(5, slow.job).expect("cancel is typed");
+    assert_eq!(cancelled.state, JobState::Cancelled);
+    let settled = client
+        .wait_job(6_000, slow.job, Duration::from_millis(1))
+        .expect("cancelled job settles");
+    assert_eq!(settled.state, JobState::Cancelled);
+
+    let mut admitted = None;
+    for attempt in 0..500u64 {
+        match client.submit_job(7_000 + attempt, &spec(&etc, 6, 8, 2, 1)) {
+            Ok(snap) => {
+                admitted = Some(snap);
+                break;
+            }
+            Err(NetError::Overloaded { .. }) => {
+                // The runner may still be draining its final batch.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(other) => panic!("resubmit after cancel failed: {other}"),
+        }
+    }
+    let admitted = admitted.expect("cancellation must free the admission slot");
+    let done = client
+        .wait_job(8_000, admitted.job, Duration::from_millis(1))
+        .expect("replacement job completes");
+    assert_eq!(done.state, JobState::Done);
+    assert_eq!(done.candidates_done, 8);
+
+    server.shutdown();
+}
